@@ -1,0 +1,93 @@
+//! §4.3 commit scheduling microbenchmarks: cost of the release decision
+//! per policy at varying dependency density, plus the batching ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvc_core::{CommitPolicy, CommitScheduler, TxnSeq, UpdateId, ViewId, WarehouseTxn};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+fn txn(seq: u64, views: &[u32]) -> WarehouseTxn<u64> {
+    WarehouseTxn {
+        seq: TxnSeq(seq),
+        rows: vec![UpdateId(seq)],
+        actions: vec![],
+        views: views.iter().map(|&v| ViewId(v)).collect(),
+        frontier: UpdateId(seq),
+    }
+}
+
+/// Push `n` transactions through a scheduler, committing everything that
+/// gets released, until all are committed.
+fn drive(policy: CommitPolicy, n: u64, overlap: bool) -> u64 {
+    let mut s: CommitScheduler<u64> = CommitScheduler::new(policy);
+    let mut committed = 0u64;
+    let mut pending: Vec<TxnSeq> = Vec::new();
+    for i in 1..=n {
+        let views: Vec<u32> = if overlap {
+            vec![1, (i % 4) as u32 + 2]
+        } else {
+            vec![(i % 8) as u32 + 1]
+        };
+        pending.extend(s.submit(txn(i, &views)).into_iter().map(|t| t.seq));
+        // commit one outstanding txn per submission to keep the pipe moving
+        if let Some(seq) = pending.pop() {
+            committed += 1;
+            pending.extend(s.on_committed(seq).into_iter().map(|t| t.seq));
+        }
+    }
+    while let Some(seq) = pending.pop() {
+        committed += 1;
+        pending.extend(s.on_committed(seq).into_iter().map(|t| t.seq));
+        if pending.is_empty() {
+            pending.extend(s.flush().into_iter().map(|t| t.seq));
+        }
+    }
+    committed
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("commit_policies");
+    for (label, policy) in [
+        ("sequential", CommitPolicy::Sequential),
+        ("dependency_aware", CommitPolicy::DependencyAware),
+        ("batched_8", CommitPolicy::Batched { max_batch: 8 }),
+    ] {
+        for overlap in [false, true] {
+            let id = BenchmarkId::new(label, if overlap { "dense" } else { "sparse" });
+            g.bench_with_input(id, &overlap, |b, &overlap| {
+                b.iter(|| black_box(drive(policy, 256, overlap)));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Dependency-test cost as view-set size grows.
+fn bench_viewset_width(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dependency_check_width");
+    for width in [2usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("views", width), &width, |b, &width| {
+            let views: Vec<u32> = (1..=width as u32).collect();
+            b.iter(|| {
+                let mut s: CommitScheduler<u64> = CommitScheduler::new(CommitPolicy::DependencyAware);
+                let mut last: BTreeSet<TxnSeq> = BTreeSet::new();
+                for i in 1..=64u64 {
+                    for t in s.submit(txn(i, &views)) {
+                        last.insert(t.seq);
+                    }
+                    if let Some(&seq) = last.iter().next() {
+                        last.remove(&seq);
+                        for t in s.on_committed(seq) {
+                            last.insert(t.seq);
+                        }
+                    }
+                }
+                black_box(last.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_viewset_width);
+criterion_main!(benches);

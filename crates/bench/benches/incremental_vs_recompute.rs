@@ -1,0 +1,62 @@
+//! Experiment X4 as a criterion bench: the delta rule vs full
+//! recomputation for one single-tuple update, across base sizes — the
+//! crossover that motivates incremental warehouse maintenance (§1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvc_relational::maintain::{recompute_delta, spj_delta};
+use mvc_relational::{tuple, Catalog, Database, Delta, Schema, ViewDef};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn setup(n: i64) -> (Database, Database, ViewDef, BTreeMap<mvc_relational::RelationName, Delta>) {
+    let cat = Catalog::new()
+        .with("R", Schema::ints(&["a", "b"]))
+        .with("S", Schema::ints(&["b", "c"]));
+    let mut old = Database::from_catalog(&cat);
+    for i in 0..n {
+        old.relation_mut(&"R".into())
+            .unwrap()
+            .insert(tuple![i, i % 97])
+            .unwrap();
+        old.relation_mut(&"S".into())
+            .unwrap()
+            .insert(tuple![i % 97, i])
+            .unwrap();
+    }
+    let v = ViewDef::builder("V")
+        .from("R")
+        .from("S")
+        .join_on("R.b", "S.b")
+        .project(["R.a", "S.c"])
+        .build(&cat)
+        .unwrap();
+    let mut new = old.clone();
+    let ins = tuple![n + 1, 7];
+    new.relation_mut(&"R".into())
+        .unwrap()
+        .insert(ins.clone())
+        .unwrap();
+    let mut changes = BTreeMap::new();
+    let mut d = Delta::new();
+    d.insert(ins);
+    changes.insert("R".into(), d);
+    (old, new, v, changes)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maintenance_cost");
+    g.sample_size(10);
+    for n in [200i64, 1_000, 4_000] {
+        let (old, new, v, changes) = setup(n);
+        g.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| black_box(spj_delta(&v.core, &old, &new, &changes).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("recompute", n), &n, |b, _| {
+            b.iter(|| black_box(recompute_delta(&v, &old, &new).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

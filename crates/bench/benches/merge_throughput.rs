@@ -1,0 +1,63 @@
+//! End-to-end pipeline throughput (experiment X2's wall-clock side):
+//! the full deterministic simulation — sources, integrator, view
+//! managers, merge, warehouse — per configuration, measuring how fast
+//! each coordination strategy retires a fixed workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvc_whips::workload::{generate, install_relations, install_views};
+use mvc_whips::{ManagerKind, SimBuilder, SimConfig, ViewSuite, WorkloadSpec};
+use std::hint::black_box;
+
+fn run(kind: ManagerKind, sequential: bool, views: usize, seed: u64) -> u64 {
+    let relations = views + 1;
+    let spec = WorkloadSpec {
+        seed,
+        relations,
+        updates: 80,
+        key_domain: 6,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let config = SimConfig {
+        seed: seed ^ 0xc0de,
+        inject_weight: 4,
+        sequential,
+        record_snapshots: false,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let b = install_relations(b, relations);
+    let (b, _) = install_views(b, ViewSuite::OverlappingChain { count: views }, kind);
+    let report = b.workload(w.txns).run().expect("run");
+    report.metrics.commits
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_throughput");
+    g.sample_size(10);
+    for (label, kind, sequential) in [
+        ("spa_complete", ManagerKind::Complete, false),
+        ("pa_strobe", ManagerKind::Strobe, false),
+        ("sequential_strawman", ManagerKind::Complete, true),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run(kind, sequential, 2, 3)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_view_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_vs_view_count");
+    g.sample_size(10);
+    for views in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("views", views), &views, |b, &views| {
+            b.iter(|| black_box(run(ManagerKind::Complete, false, views, 5)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_view_scaling);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Microbenchmarks of the merge-process core: VUT event processing under
+//! SPA and PA as view count and batch shape vary. These bound the
+//! per-update coordination overhead the merge process adds (§7's
+//! bottleneck question at the data-structure level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mvc_core::{ActionList, Pa, Spa, UpdateId, ViewId};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+/// Drive `updates` rows through SPA with `views` fully-overlapping views,
+/// ALs arriving in per-manager order.
+fn spa_round(views: u32, updates: u64) -> u64 {
+    let ids: Vec<ViewId> = (1..=views).map(ViewId).collect();
+    let all: BTreeSet<ViewId> = ids.iter().copied().collect();
+    let mut spa: Spa<u64> = Spa::new(ids.clone());
+    let mut released = 0u64;
+    for u in 1..=updates {
+        released += spa.on_rel(UpdateId(u), all.clone()).unwrap().len() as u64;
+    }
+    for u in 1..=updates {
+        for v in &ids {
+            released += spa
+                .on_action(ActionList::single(*v, UpdateId(u), u))
+                .unwrap()
+                .len() as u64;
+        }
+    }
+    assert!(spa.is_quiescent());
+    released
+}
+
+/// Same shape through PA with every manager batching `batch` updates.
+fn pa_round(views: u32, updates: u64, batch: u64) -> u64 {
+    let ids: Vec<ViewId> = (1..=views).map(ViewId).collect();
+    let all: BTreeSet<ViewId> = ids.iter().copied().collect();
+    let mut pa: Pa<u64> = Pa::new(ids.clone());
+    let mut released = 0u64;
+    for u in 1..=updates {
+        released += pa.on_rel(UpdateId(u), all.clone()).unwrap().len() as u64;
+    }
+    let mut first = 1u64;
+    while first <= updates {
+        let last = (first + batch - 1).min(updates);
+        for v in &ids {
+            released += pa
+                .on_action(ActionList::batch(*v, UpdateId(first), UpdateId(last), first))
+                .unwrap()
+                .len() as u64;
+        }
+        first = last + 1;
+    }
+    assert!(pa.is_quiescent());
+    released
+}
+
+fn bench_spa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spa_event_processing");
+    for views in [1u32, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("views", views), &views, |b, &views| {
+            b.iter(|| black_box(spa_round(views, 64)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pa_event_processing");
+    for batch in [1u64, 4, 16] {
+        g.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter(|| black_box(pa_round(4, 64, batch)));
+        });
+    }
+    g.finish();
+}
+
+/// Out-of-order arrival worst case: every AL for a later update arrives
+/// before the row-1 AL that unblocks the cascade.
+fn bench_cascade(c: &mut Criterion) {
+    c.bench_function("spa_cascade_release", |b| {
+        b.iter(|| {
+            let ids = [ViewId(1), ViewId(2)];
+            let mut spa: Spa<u64> = Spa::new(ids);
+            let both: BTreeSet<ViewId> = ids.into_iter().collect();
+            let only2: BTreeSet<ViewId> = [ViewId(2)].into();
+            spa.on_rel(UpdateId(1), both).unwrap();
+            for u in 2..=64u64 {
+                spa.on_rel(UpdateId(u), only2.clone()).unwrap();
+            }
+            for u in 1..=64u64 {
+                spa.on_action(ActionList::single(ViewId(2), UpdateId(u), u))
+                    .unwrap();
+            }
+            // one AL releases a 64-row cascade
+            let released = spa
+                .on_action(ActionList::single(ViewId(1), UpdateId(1), 1))
+                .unwrap();
+            assert_eq!(released.len(), 64);
+            black_box(released.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_spa, bench_pa, bench_cascade);
+criterion_main!(benches);

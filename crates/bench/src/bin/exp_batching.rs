@@ -1,0 +1,84 @@
+//! Experiment X3 (§4.3) — batched warehouse transactions (BWTs).
+//!
+//! Sweeps the batch size, measuring warehouse transaction counts,
+//! coalescing, staleness, and the delivered consistency level (batching
+//! trades completeness for fewer, larger transactions). Also compares
+//! the three commit policies at fixed workload.
+//!
+//! Run with: `cargo run --release -p mvc-bench --bin exp_batching`
+
+use mvc_bench::{print_table, Row};
+use mvc_core::CommitPolicy;
+use mvc_whips::workload::{generate, install_relations, install_views};
+use mvc_whips::{ManagerKind, Oracle, SimBuilder, SimConfig, ViewSuite, WorkloadSpec};
+
+fn run(policy: CommitPolicy, seed: u64) -> Row {
+    let spec = WorkloadSpec {
+        seed,
+        relations: 3,
+        updates: 240,
+        key_domain: 8,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let config = SimConfig {
+        seed: seed ^ 0xabcd,
+        commit_policy: policy,
+        inject_weight: 4,
+        max_open_updates: Some(16),
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let b = install_relations(b, 3);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::OverlappingChain { count: 2 },
+        ManagerKind::Complete,
+    );
+    let report = b.workload(w.txns).run().expect("run");
+    let oracle = Oracle::new(&report).expect("oracle");
+    let verdicts = oracle.check_report();
+    let ok = verdicts.iter().all(|(_, _, v)| v.is_satisfied());
+    let cs = &report.commit_stats[0];
+    let label = match policy {
+        CommitPolicy::Immediate => "immediate (no control)".to_string(),
+        CommitPolicy::Sequential => "sequential".to_string(),
+        CommitPolicy::DependencyAware => "dependency-aware".to_string(),
+        CommitPolicy::Batched { max_batch } => format!("batched({max_batch})"),
+    };
+    Row::new()
+        .cell("commit policy", label)
+        .cell("warehouse txns", cs.released)
+        .cell("WTs coalesced", cs.coalesced)
+        .cell("max in flight", cs.max_inflight)
+        .cell("max queued", cs.max_queue)
+        .cell_f("mean staleness", report.metrics.mean_staleness())
+        .cell("guarantee", report.guarantees[0])
+        .cell("oracle", if ok { "satisfied" } else { "VIOLATED" })
+}
+
+fn main() {
+    println!("Experiment X3 — commit policies and BWT batching (§4.3)");
+
+    let mut rows = Vec::new();
+    for policy in [
+        CommitPolicy::Sequential,
+        CommitPolicy::DependencyAware,
+        CommitPolicy::Batched { max_batch: 2 },
+        CommitPolicy::Batched { max_batch: 4 },
+        CommitPolicy::Batched { max_batch: 8 },
+        CommitPolicy::Batched { max_batch: 16 },
+    ] {
+        rows.push(run(policy, 9));
+    }
+    print_table("commit policy sweep (complete managers, 240 updates)", &rows);
+
+    println!(
+        "\nPaper-expected shape: batching cuts warehouse transactions\n\
+         (~linearly in batch size) at the cost of downgrading completeness\n\
+         to strong consistency — each BWT advances the warehouse by\n\
+         several source states. Sequential release minimizes in-flight\n\
+         transactions; dependency-aware lets independent WTs overlap."
+    );
+}

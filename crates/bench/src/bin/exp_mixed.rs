@@ -1,0 +1,96 @@
+//! Experiment X6 (§6.3) — mixed view-manager types under one merge
+//! process.
+//!
+//! Runs every manager combination through the same workload, reports the
+//! algorithm selected by the weakest-level rule, per-manager AL shapes,
+//! and the oracle verdict at the guaranteed level.
+//!
+//! Run with: `cargo run --release -p mvc-bench --bin exp_mixed`
+
+use mvc_bench::{print_table, Row};
+use mvc_whips::workload::{generate, install_relations, rel_name, WorkloadSpec};
+use mvc_whips::{ManagerKind, Oracle, SimBuilder, SimConfig};
+
+fn kind_label(k: ManagerKind) -> &'static str {
+    match k {
+        ManagerKind::Complete => "complete",
+        ManagerKind::Eca => "eca",
+        ManagerKind::SelfMaintaining => "selfmaint",
+        ManagerKind::Strobe => "strobe",
+        ManagerKind::Periodic { .. } => "periodic",
+        ManagerKind::Convergent { .. } => "convergent",
+        ManagerKind::CompleteN { .. } => "complete-N",
+    }
+}
+
+fn run(kinds: &[ManagerKind], seed: u64) -> Row {
+    let relations = kinds.len();
+    let config = SimConfig {
+        seed: seed ^ 0x1234,
+        inject_weight: 6,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let mut b = install_relations(b, relations);
+    for (i, kind) in kinds.iter().enumerate() {
+        let def = mvc_relational::ViewDef::builder(format!("V{i}").as_str())
+            .from(rel_name(i).as_str())
+            .build(b.catalog())
+            .expect("copy view");
+        b = b.view(mvc_core::ViewId(i as u32 + 1), def, *kind);
+    }
+    let spec = WorkloadSpec {
+        seed,
+        relations,
+        updates: 120,
+        key_domain: 8,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let report = b.workload(w.txns).run().expect("run");
+    let oracle = Oracle::new(&report).expect("oracle");
+    let ok = oracle
+        .check_report()
+        .iter()
+        .all(|(_, _, v)| v.is_satisfied());
+    let labels: Vec<&str> = kinds.iter().map(|k| kind_label(*k)).collect();
+    let s = &report.merge_stats[0];
+    Row::new()
+        .cell("managers", labels.join("+"))
+        .cell("guarantee", report.guarantees[0])
+        .cell("ALs", s.actions_received)
+        .cell("batched ALs", s.batched_actions)
+        .cell("warehouse txns", s.txns_emitted)
+        .cell("oracle", if ok { "satisfied" } else { "VIOLATED" })
+}
+
+fn main() {
+    println!("Experiment X6 — mixed manager types, weakest-level rule (§6.3)");
+    let mut rows = Vec::new();
+    let combos: Vec<Vec<ManagerKind>> = vec![
+        vec![ManagerKind::Complete, ManagerKind::Complete],
+        vec![ManagerKind::Complete, ManagerKind::Strobe],
+        vec![ManagerKind::Complete, ManagerKind::Periodic { period: 3 }],
+        vec![ManagerKind::Complete, ManagerKind::CompleteN { n: 2 }],
+        vec![
+            ManagerKind::Complete,
+            ManagerKind::Strobe,
+            ManagerKind::Periodic { period: 3 },
+            ManagerKind::CompleteN { n: 2 },
+        ],
+        vec![ManagerKind::Convergent { correction_every: 4 }, ManagerKind::Complete],
+        vec![ManagerKind::SelfMaintaining, ManagerKind::Complete],
+        vec![ManagerKind::SelfMaintaining, ManagerKind::Strobe],
+    ];
+    for combo in &combos {
+        rows.push(run(combo, 21));
+    }
+    print_table("manager combinations (copy views, 120 updates)", &rows);
+    println!(
+        "\nPaper-expected shape: any batching or merely-strong manager in\n\
+         the mix forces PA (strong); a convergent manager forces\n\
+         pass-through (convergent); all-complete keeps SPA (complete).\n\
+         Every configuration satisfies exactly its selected level."
+    );
+}

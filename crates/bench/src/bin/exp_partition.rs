@@ -1,0 +1,138 @@
+//! Experiment F3 (§6.1, Figure 3) — distributing the merge process.
+//!
+//! Verifies the figure's partitioning on its own example, then measures
+//! how splitting the merge relieves the single-MP bottleneck: per-MP
+//! message counts and VUT pressure in the simulator, and wall-clock
+//! throughput on the threaded runtime as the number of disjoint view
+//! groups grows.
+//!
+//! Run with: `cargo run --release -p mvc-bench --bin exp_partition`
+
+use mvc_bench::{print_table, Row};
+use mvc_core::{Partitioning, ViewId};
+use mvc_whips::workload::{generate, install_relations, install_views};
+use mvc_whips::{
+    ManagerKind, Oracle, SimBuilder, SimConfig, ThreadedBuilder, ThreadedConfig, ViewSuite,
+    WorkloadSpec,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+fn figure3_partitioning() {
+    // V1 = R ⋈ S, V2 = S ⋈ T, V3 = Q — the figure's grouping.
+    let mut fp: BTreeMap<ViewId, BTreeSet<String>> = BTreeMap::new();
+    fp.insert(ViewId(1), ["R", "S"].iter().map(|s| s.to_string()).collect());
+    fp.insert(ViewId(2), ["S", "T"].iter().map(|s| s.to_string()).collect());
+    fp.insert(ViewId(3), ["Q"].iter().map(|s| s.to_string()).collect());
+    let p = Partitioning::compute(&fp);
+    println!("Figure 3 partitioning:");
+    for (g, views) in p.groups().iter().enumerate() {
+        let names: Vec<String> = views.iter().map(|v| v.to_string()).collect();
+        println!("  MP{}: {{{}}}", g + 1, names.join(", "));
+    }
+    assert_eq!(p.group_count(), 2);
+    assert_eq!(p.group_of_view(ViewId(1)), p.group_of_view(ViewId(2)));
+    assert_ne!(p.group_of_view(ViewId(1)), p.group_of_view(ViewId(3)));
+    println!("  (matches the figure: {{V1,V2}} share S; V3 is alone)\n");
+}
+
+fn sim_row(groups: usize, partition: bool, seed: u64) -> Row {
+    let spec = WorkloadSpec {
+        seed,
+        relations: groups,
+        updates: 240,
+        key_domain: 8,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let config = SimConfig {
+        seed: seed ^ 0xfeed,
+        partition,
+        inject_weight: 4,
+        max_open_updates: Some(32),
+        record_snapshots: false,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let b = install_relations(b, groups);
+    let (b, _) = install_views(b, ViewSuite::DisjointCopies { count: groups }, ManagerKind::Complete);
+    let report = b.workload(w.txns).run().expect("run");
+    Oracle::new(&report).expect("oracle").assert_ok();
+    let max_rels = report
+        .merge_stats
+        .iter()
+        .map(|s| s.rels_received)
+        .max()
+        .unwrap_or(0);
+    let max_vut = report
+        .merge_stats
+        .iter()
+        .map(|s| s.max_live_rows)
+        .max()
+        .unwrap_or(0);
+    Row::new()
+        .cell("views", groups)
+        .cell("deployment", if partition { "partitioned" } else { "single MP" })
+        .cell("merge processes", report.group_views.len())
+        .cell("busiest MP: RELs", max_rels)
+        .cell("busiest MP: peak VUT", max_vut)
+        .cell_f("mean staleness", report.metrics.mean_staleness())
+}
+
+fn threaded_row(groups: usize, partition: bool, seed: u64) -> Row {
+    let spec = WorkloadSpec {
+        seed,
+        relations: groups,
+        updates: 200,
+        key_domain: 8,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let config = ThreadedConfig {
+        partition,
+        // Sequential commit policy: one transaction in flight per merge
+        // process. A single MP therefore serializes ALL commits; the
+        // partitioned deployment overlaps one commit per group — the
+        // §6.1 concurrency win, made visible by a per-commit latency.
+        commit_policy: mvc_core::CommitPolicy::Sequential,
+        commit_delay: Duration::from_micros(200),
+        ..ThreadedConfig::default()
+    };
+    let b = ThreadedBuilder::new(config);
+    let b = install_relations(b, groups);
+    let (b, _) = install_views(b, ViewSuite::DisjointCopies { count: groups }, ManagerKind::Complete);
+    let (report, wall) = b.workload(w.txns).run().expect("run");
+    Oracle::new(&report).expect("oracle").assert_ok();
+    Row::new()
+        .cell("views", groups)
+        .cell("deployment", if partition { "partitioned" } else { "single MP" })
+        .cell_f("updates/sec", wall.updates_per_sec)
+        .cell_f("elapsed ms", wall.elapsed.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    println!("Experiment F3 — distributed merge (§6.1)\n");
+    figure3_partitioning();
+
+    let mut rows = Vec::new();
+    for groups in [2usize, 4, 8] {
+        rows.push(sim_row(groups, false, 11));
+        rows.push(sim_row(groups, true, 11));
+    }
+    print_table("simulator: single vs partitioned merge", &rows);
+
+    let mut rows = Vec::new();
+    for groups in [2usize, 4, 8] {
+        rows.push(threaded_row(groups, false, 13));
+        rows.push(threaded_row(groups, true, 13));
+    }
+    print_table("threaded: single vs partitioned merge (200µs commit latency, sequential policy)", &rows);
+
+    println!(
+        "\nPaper-expected shape: with disjoint view groups, partitioning\n\
+         splits the REL/AL stream across MPs (busiest-MP load drops\n\
+         roughly by the group count) while every group keeps full MVC."
+    );
+}

@@ -1,0 +1,105 @@
+//! Experiment X7 (§3.2, ref \[7\]) — the integrator's irrelevance tests.
+//!
+//! "We could be more discerning by using selection conditions in the view
+//! definitions to rule out irrelevant updates." This harness quantifies
+//! the effect: selective views over a skewed update stream, run with and
+//! without the tuple-level test, measuring updates dropped at the
+//! integrator, messages through the pipeline, and action lists computed —
+//! work the filter saves while the oracle confirms identical final
+//! contents and intact MVC.
+//!
+//! Run with: `cargo run --release -p mvc-bench --bin exp_relevance`
+
+use mvc_bench::{print_table, Row};
+use mvc_core::ViewId;
+use mvc_relational::{tuple, Expr, Schema, ViewDef};
+use mvc_source::{SourceId, WriteOp};
+use mvc_whips::{ManagerKind, Oracle, SimBuilder, SimConfig, WorkloadTxn};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload: inserts into R(a,b) with `a` uniform in 0..100; the view
+/// selects `a > threshold`, so `threshold`% of updates are tuple-level
+/// irrelevant.
+fn run(threshold: i64, tuple_relevance: bool, seed: u64) -> (u64, u64, u64, bool) {
+    let config = SimConfig {
+        seed: seed ^ 0x7e1e,
+        tuple_relevance,
+        record_snapshots: false,
+        ..SimConfig::default()
+    };
+    let mut b = SimBuilder::new(config)
+        .relation(SourceId(0), "R", Schema::ints(&["a", "b"]))
+        .relation(SourceId(1), "S", Schema::ints(&["b", "c"]));
+    let v = ViewDef::builder("V")
+        .from("R")
+        .from("S")
+        .join_on("R.b", "S.b")
+        .filter(Expr::gt(Expr::named("R.a"), Expr::value(threshold)))
+        .build(b.catalog())
+        .unwrap();
+    b = b.view(ViewId(1), v, ManagerKind::Complete);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut txns = Vec::new();
+    for i in 0..300i64 {
+        if i % 10 == 0 {
+            txns.push(WorkloadTxn {
+                source: SourceId(1),
+                writes: vec![WriteOp::insert("S", tuple![rng.gen_range(0..8), i])],
+                global: false,
+            });
+        } else {
+            txns.push(WorkloadTxn {
+                source: SourceId(0),
+                writes: vec![WriteOp::insert(
+                    "R",
+                    tuple![rng.gen_range(0..100), rng.gen_range(0..8i64)],
+                )],
+                global: false,
+            });
+        }
+    }
+    let report = b.workload(txns).run().expect("run");
+    let ok = Oracle::new(&report)
+        .expect("oracle")
+        .check_report()
+        .iter()
+        .all(|(_, _, v)| v.is_satisfied());
+    (
+        report.metrics.messages_delivered,
+        report.merge_stats[0].rels_received,
+        report.merge_stats[0].actions_received,
+        ok,
+    )
+}
+
+fn main() {
+    println!("Experiment X7 — ref [7] irrelevance filtering at the integrator");
+    let mut rows = Vec::new();
+    for threshold in [0i64, 25, 50, 75, 90] {
+        let (msg_on, rels_on, als_on, ok_on) = run(threshold, true, 5);
+        let (msg_off, _rels_off, als_off, ok_off) = run(threshold, false, 5);
+        rows.push(
+            Row::new()
+                .cell("selectivity (% filtered)", threshold)
+                .cell("messages (filtered)", msg_on)
+                .cell("messages (unfiltered)", msg_off)
+                .cell_f("message savings", 1.0 - msg_on as f64 / msg_off as f64)
+                .cell("ALs computed (filtered)", als_on)
+                .cell("ALs computed (unfiltered)", als_off)
+                .cell("REL rows (filtered)", rels_on)
+                .cell(
+                    "oracle",
+                    if ok_on && ok_off { "both satisfied" } else { "VIOLATED" },
+                ),
+        );
+    }
+    print_table("tuple-level irrelevance test on σ_{a>T}(R ⋈ S)", &rows);
+    println!(
+        "\nPaper-expected shape: the share of messages, VUT rows and delta\n\
+         computations saved tracks the selection's filtering rate, with\n\
+         identical warehouse contents — the optimization is free precisely\n\
+         because filtered tuples can contribute to no derivation."
+    );
+}

@@ -1,0 +1,356 @@
+//! Scenario runner: describe a warehouse deployment in JSON — relations,
+//! SQL view definitions, manager kinds, workload, runtime knobs — run it
+//! end to end, and get the report plus oracle verdicts.
+//!
+//! ```bash
+//! cargo run --release -p mvc-bench --bin run_scenario -- scenarios/bank.json
+//! cargo run --release -p mvc-bench --bin run_scenario -- --print-sample
+//! ```
+
+use mvc_core::{CommitPolicy, MergeAlgorithm, ViewId};
+use mvc_relational::{parse_view, Schema, Value};
+use mvc_source::{SourceId, WriteOp};
+use mvc_whips::{
+    ManagerKind, Oracle, SimBuilder, SimConfig, ThreadedBuilder, ThreadedConfig, WorkloadTxn,
+};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Top-level scenario file.
+#[derive(Debug, Serialize, Deserialize)]
+struct Scenario {
+    /// Base relations: name → (source id, attribute names, all-int).
+    relations: Vec<RelationSpec>,
+    /// Views: id, SQL definition, manager kind.
+    views: Vec<ViewSpec>,
+    /// Explicit transactions (optional) …
+    #[serde(default)]
+    transactions: Vec<TxnSpec>,
+    /// … and/or a generated workload.
+    #[serde(default)]
+    generated: Option<GeneratedSpec>,
+    #[serde(default)]
+    runtime: RuntimeSpec,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct RelationSpec {
+    name: String,
+    source: u32,
+    attributes: Vec<String>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ViewSpec {
+    id: u32,
+    sql: String,
+    /// `complete | eca | self-maintaining | strobe | periodic:N |
+    /// convergent:N | complete-n:N`
+    manager: String,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct TxnSpec {
+    source: u32,
+    #[serde(default)]
+    global: bool,
+    /// ("insert"|"delete", relation, int values…)
+    writes: Vec<(String, String, Vec<i64>)>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct GeneratedSpec {
+    seed: u64,
+    updates: usize,
+    /// Relations (by name) the generator targets; tuples are unique pairs
+    /// drawn from `key_domain`.
+    #[serde(default)]
+    key_domain: Option<i64>,
+    #[serde(default)]
+    delete_percent: Option<u8>,
+}
+
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct RuntimeSpec {
+    /// "sim" (default) or "threaded".
+    #[serde(default)]
+    mode: Option<String>,
+    #[serde(default)]
+    seed: Option<u64>,
+    /// `sequential | dependency-aware | immediate | batched:N`
+    #[serde(default)]
+    commit_policy: Option<String>,
+    /// `spa | pa | pass-through` (default: auto from managers)
+    #[serde(default)]
+    algorithm: Option<String>,
+    #[serde(default)]
+    partition: Option<bool>,
+    #[serde(default)]
+    max_open_updates: Option<usize>,
+    #[serde(default)]
+    query_delay_us: Option<u64>,
+    #[serde(default)]
+    sequential: Option<bool>,
+}
+
+fn parse_manager(s: &str) -> Result<ManagerKind, String> {
+    let (kind, arg) = match s.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (s, None),
+    };
+    let num = |a: Option<&str>| -> Result<u32, String> {
+        a.ok_or_else(|| format!("manager `{s}` needs :N"))?
+            .parse()
+            .map_err(|_| format!("bad N in `{s}`"))
+    };
+    Ok(match kind {
+        "complete" => ManagerKind::Complete,
+        "eca" => ManagerKind::Eca,
+        "self-maintaining" | "selfmaint" => ManagerKind::SelfMaintaining,
+        "strobe" => ManagerKind::Strobe,
+        "periodic" => ManagerKind::Periodic {
+            period: num(arg)? as usize,
+        },
+        "convergent" => ManagerKind::Convergent {
+            correction_every: num(arg)? as usize,
+        },
+        "complete-n" => ManagerKind::CompleteN { n: num(arg)? },
+        other => return Err(format!("unknown manager kind `{other}`")),
+    })
+}
+
+fn parse_policy(s: &str) -> Result<CommitPolicy, String> {
+    Ok(match s.split_once(':') {
+        Some(("batched", n)) => CommitPolicy::Batched {
+            max_batch: n.parse().map_err(|_| "bad batch size".to_string())?,
+        },
+        None | Some(_) => match s {
+            "sequential" => CommitPolicy::Sequential,
+            "dependency-aware" => CommitPolicy::DependencyAware,
+            "immediate" => CommitPolicy::Immediate,
+            other => return Err(format!("unknown commit policy `{other}`")),
+        },
+    })
+}
+
+fn parse_algorithm(s: &str) -> Result<MergeAlgorithm, String> {
+    Ok(match s {
+        "spa" => MergeAlgorithm::Spa,
+        "pa" => MergeAlgorithm::Pa,
+        "pass-through" => MergeAlgorithm::PassThrough,
+        other => return Err(format!("unknown algorithm `{other}`")),
+    })
+}
+
+fn build_txns(sc: &Scenario) -> Result<Vec<WorkloadTxn>, String> {
+    let mut txns = Vec::new();
+    for t in &sc.transactions {
+        let writes = t
+            .writes
+            .iter()
+            .map(|(op, rel, vals)| {
+                let tuple = mvc_relational::Tuple::new(
+                    vals.iter().map(|&v| Value::Int(v)).collect(),
+                );
+                match op.as_str() {
+                    "insert" => Ok(WriteOp::insert(rel.as_str(), tuple)),
+                    "delete" => Ok(WriteOp::delete(rel.as_str(), tuple)),
+                    other => Err(format!("unknown write op `{other}`")),
+                }
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        txns.push(WorkloadTxn {
+            source: SourceId(t.source),
+            writes,
+            global: t.global,
+        });
+    }
+    if let Some(g) = &sc.generated {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(g.seed);
+        let domain = g.key_domain.unwrap_or(8);
+        let del = g.delete_percent.unwrap_or(25) as u32;
+        let mut live: Vec<Vec<mvc_relational::Tuple>> =
+            vec![Vec::new(); sc.relations.len()];
+        for _ in 0..g.updates {
+            let r = rng.gen_range(0..sc.relations.len());
+            let spec = &sc.relations[r];
+            let deleting = !live[r].is_empty() && rng.gen_range(0..100) < del;
+            let write = if deleting {
+                let idx = rng.gen_range(0..live[r].len());
+                WriteOp::delete(spec.name.as_str(), live[r].swap_remove(idx))
+            } else {
+                let vals: Vec<Value> = (0..spec.attributes.len())
+                    .map(|_| Value::Int(rng.gen_range(0..domain)))
+                    .collect();
+                let t = mvc_relational::Tuple::new(vals);
+                if live[r].contains(&t) {
+                    continue;
+                }
+                live[r].push(t.clone());
+                WriteOp::insert(spec.name.as_str(), t)
+            };
+            txns.push(WorkloadTxn {
+                source: SourceId(spec.source),
+                writes: vec![write],
+                global: false,
+            });
+        }
+    }
+    Ok(txns)
+}
+
+fn run(sc: &Scenario) -> Result<(), String> {
+    let mode = sc.runtime.mode.as_deref().unwrap_or("sim");
+    let policy = sc
+        .runtime
+        .commit_policy
+        .as_deref()
+        .map(parse_policy)
+        .transpose()?
+        .unwrap_or(CommitPolicy::DependencyAware);
+    let algorithm = sc
+        .runtime
+        .algorithm
+        .as_deref()
+        .map(parse_algorithm)
+        .transpose()?;
+    let txns = build_txns(sc)?;
+
+    let report = if mode == "threaded" {
+        let config = ThreadedConfig {
+            commit_policy: policy,
+            algorithm,
+            partition: sc.runtime.partition.unwrap_or(false),
+            query_delay: Duration::from_micros(sc.runtime.query_delay_us.unwrap_or(0)),
+            sequential: sc.runtime.sequential.unwrap_or(false),
+            record_snapshots: true,
+            ..ThreadedConfig::default()
+        };
+        let mut b = ThreadedBuilder::new(config);
+        for r in &sc.relations {
+            let names: Vec<&str> = r.attributes.iter().map(String::as_str).collect();
+            b = b.relation(SourceId(r.source), r.name.as_str(), Schema::ints(&names));
+        }
+        for v in &sc.views {
+            let def = parse_view(format!("V{}", v.id).as_str(), &v.sql, b.catalog())
+                .map_err(|e| format!("view {}: {e}", v.id))?;
+            b = b.view(ViewId(v.id), def, parse_manager(&v.manager)?);
+        }
+        let (report, wall) = b.workload(txns).run().map_err(|e| e.to_string())?;
+        println!(
+            "threaded run: {:.1} updates/sec over {:.1} ms",
+            wall.updates_per_sec,
+            wall.elapsed.as_secs_f64() * 1e3
+        );
+        report
+    } else {
+        let config = SimConfig {
+            seed: sc.runtime.seed.unwrap_or(0),
+            commit_policy: policy,
+            algorithm,
+            partition: sc.runtime.partition.unwrap_or(false),
+            max_open_updates: sc.runtime.max_open_updates,
+            sequential: sc.runtime.sequential.unwrap_or(false),
+            ..SimConfig::default()
+        };
+        let mut b = SimBuilder::new(config);
+        for r in &sc.relations {
+            let names: Vec<&str> = r.attributes.iter().map(String::as_str).collect();
+            b = b.relation(SourceId(r.source), r.name.as_str(), Schema::ints(&names));
+        }
+        for v in &sc.views {
+            let def = parse_view(format!("V{}", v.id).as_str(), &v.sql, b.catalog())
+                .map_err(|e| format!("view {}: {e}", v.id))?;
+            b = b.view(ViewId(v.id), def, parse_manager(&v.manager)?);
+        }
+        let report = b.workload(txns).run().map_err(|e| e.to_string())?;
+        println!(
+            "sim run: {} transactions, {} commits, {} steps, mean staleness {:.2}",
+            report.metrics.injected,
+            report.metrics.commits,
+            report.metrics.steps,
+            report.metrics.mean_staleness()
+        );
+        report
+    };
+
+    println!();
+    for entry in report.registry.iter() {
+        println!(
+            "{} {:<14} = {}",
+            entry.id,
+            entry.def.name.to_string(),
+            report.warehouse.view(entry.id).expect("registered")
+        );
+    }
+    println!();
+    let oracle = Oracle::new(&report).map_err(|e| e.to_string())?;
+    let mut all_ok = true;
+    for (g, level, verdict) in oracle.check_report() {
+        println!("merge group {g} guarantees {level}: {verdict}");
+        all_ok &= verdict.is_satisfied();
+    }
+    if !all_ok {
+        return Err("consistency violated".into());
+    }
+    Ok(())
+}
+
+const SAMPLE: &str = r#"{
+  "relations": [
+    { "name": "orders", "source": 0, "attributes": ["oid", "cust", "total"] },
+    { "name": "items",  "source": 1, "attributes": ["oid", "sku", "qty"] }
+  ],
+  "views": [
+    { "id": 1, "sql": "SELECT oid, cust, total FROM orders WHERE total >= 500", "manager": "complete" },
+    { "id": 2, "sql": "SELECT orders.cust, items.sku, items.qty FROM orders, items WHERE orders.oid = items.oid", "manager": "strobe" },
+    { "id": 3, "sql": "SELECT sku, COUNT(*) AS lines, SUM(qty) AS units FROM items GROUP BY sku", "manager": "complete" }
+  ],
+  "transactions": [
+    { "source": 0, "writes": [["insert", "orders", [1, 10, 700]]] },
+    { "source": 1, "writes": [["insert", "items", [1, 501, 2]]] },
+    { "source": 0, "writes": [["insert", "orders", [2, 11, 90]]] },
+    { "source": 1, "writes": [["insert", "items", [2, 502, 5]]] },
+    { "source": 0, "global": true, "writes": [["delete", "orders", [2, 11, 90]], ["delete", "items", [2, 502, 5]]] }
+  ],
+  "generated": { "seed": 7, "updates": 40 },
+  "runtime": { "mode": "sim", "seed": 3, "commit_policy": "dependency-aware", "max_open_updates": 8 }
+}"#;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--print-sample") {
+        println!("{SAMPLE}");
+        return;
+    }
+    let path = match args.get(1) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!(
+                "usage: run_scenario <scenario.json> | --print-sample\n\
+                 (writes a sample with --print-sample > my_scenario.json)"
+            );
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scenario: Scenario = match serde_json::from_str(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bad scenario file: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&scenario) {
+        eprintln!("scenario failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,9 @@
+//! # mvc-bench
+//!
+//! Experiment harnesses and criterion benchmarks regenerating every table
+//! and figure of the paper plus the §7 planned studies. See EXPERIMENTS.md
+//! for the index and `src/bin/` for the runnable harnesses.
+
+pub mod rows;
+
+pub use rows::{print_table, Row};

@@ -1,0 +1,79 @@
+//! Tiny tabular output helper shared by the experiment binaries: rows of
+//! labelled values printed as an aligned text table and serializable to
+//! JSON for EXPERIMENTS.md.
+
+use serde::Serialize;
+
+/// One experiment result row: ordered (label, value) pairs.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    pub cells: Vec<(String, String)>,
+}
+
+impl Row {
+    pub fn new() -> Self {
+        Row { cells: Vec::new() }
+    }
+
+    pub fn cell(mut self, label: impl Into<String>, value: impl ToString) -> Self {
+        self.cells.push((label.into(), value.to_string()));
+        self
+    }
+
+    pub fn cell_f(self, label: impl Into<String>, value: f64) -> Self {
+        self.cell(label, format!("{value:.2}"))
+    }
+}
+
+impl Default for Row {
+    fn default() -> Self {
+        Row::new()
+    }
+}
+
+/// Print rows as an aligned table (all rows must share the same labels).
+pub fn print_table(title: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    if rows.is_empty() {
+        println!("(no rows)");
+        return;
+    }
+    let labels: Vec<&str> = rows[0].cells.iter().map(|(l, _)| l.as_str()).collect();
+    let mut widths: Vec<usize> = labels.iter().map(|l| l.len()).collect();
+    for r in rows {
+        for (i, (_, v)) in r.cells.iter().enumerate() {
+            widths[i] = widths[i].max(v.len());
+        }
+    }
+    let header: Vec<String> = labels
+        .iter()
+        .zip(&widths)
+        .map(|(l, w)| format!("{l:<w$}"))
+        .collect();
+    println!("{}", header.join("  "));
+    println!("{}", "-".repeat(header.join("  ").len()));
+    for r in rows {
+        let line: Vec<String> = r
+            .cells
+            .iter()
+            .zip(&widths)
+            .map(|((_, v), w)| format!("{v:<w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_build_and_print() {
+        let rows = vec![
+            Row::new().cell("a", 1).cell_f("b", 2.5),
+            Row::new().cell("a", 10).cell_f("b", 0.123),
+        ];
+        assert_eq!(rows[0].cells.len(), 2);
+        print_table("test", &rows); // smoke: no panic
+    }
+}

@@ -1,0 +1,378 @@
+//! Warehouse transaction submission control (§4.3).
+//!
+//! The merge process may not let two *dependent* warehouse transactions
+//! (`WTj` depends on `WTi` iff `j > i` and `VS(WTj) ∩ VS(WTi) ≠ ∅`)
+//! commit out of submission order. The paper sketches three strategies,
+//! all implemented here:
+//!
+//! * [`CommitPolicy::Sequential`] — submit one transaction at a time,
+//!   waiting for each commit;
+//! * [`CommitPolicy::DependencyAware`] — hold a transaction only while a
+//!   dependency is uncommitted; independent transactions proceed in
+//!   parallel;
+//! * [`CommitPolicy::Batched`] — coalesce up to `max_batch` transactions
+//!   into one batched warehouse transaction (`BWT`). Batching reduces
+//!   per-transaction overhead but downgrades MVC completeness to strong
+//!   consistency (each BWT may advance the warehouse by several states)
+//!   and may create dependencies between previously independent WTs.
+
+use crate::action::WarehouseTxn;
+use crate::ids::{TxnSeq, ViewId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Strategy for releasing warehouse transactions (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommitPolicy {
+    /// No commit-order control at all: every transaction is released the
+    /// moment it is submitted and the warehouse DBMS decides commit order.
+    /// This is the configuration §4.3 warns about — dependent transactions
+    /// may commit out of order and corrupt view states. Kept for the
+    /// fault-injection experiments and for convergent (pass-through)
+    /// deployments where intermediate states carry no guarantee anyway.
+    Immediate,
+    /// Only one transaction in flight at a time, strictly in order.
+    Sequential,
+    /// Hold a transaction only behind uncommitted transactions whose view
+    /// sets intersect its own.
+    DependencyAware,
+    /// Coalesce up to `max_batch` submitted transactions into one BWT;
+    /// BWTs themselves are sequenced by the dependency rule.
+    Batched { max_batch: usize },
+}
+
+/// The commit scheduler sitting between a merge engine and the warehouse.
+#[derive(Debug, Clone)]
+pub struct CommitScheduler<P> {
+    policy: CommitPolicy,
+    /// Submitted but not yet released, in submission order.
+    queue: VecDeque<WarehouseTxn<P>>,
+    /// A coalesced BWT blocked behind an in-flight dependency (Batched
+    /// policy only); must release before anything newer.
+    held_bwt: Option<WarehouseTxn<P>>,
+    /// Released to the warehouse, not yet reported committed.
+    inflight: BTreeMap<TxnSeq, BTreeSet<ViewId>>,
+    stats: CommitStats,
+}
+
+/// Counters for the batching/commit experiments (X3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    pub submitted: u64,
+    pub released: u64,
+    pub committed: u64,
+    /// WTs folded into released BWTs (Batched policy only).
+    pub coalesced: u64,
+    pub max_inflight: usize,
+    pub max_queue: usize,
+}
+
+impl<P: Clone> CommitScheduler<P> {
+    pub fn new(policy: CommitPolicy) -> Self {
+        if let CommitPolicy::Batched { max_batch } = policy {
+            assert!(max_batch >= 1, "batch size must be at least 1");
+        }
+        CommitScheduler {
+            policy,
+            queue: VecDeque::new(),
+            held_bwt: None,
+            inflight: BTreeMap::new(),
+            stats: CommitStats::default(),
+        }
+    }
+
+    pub fn policy(&self) -> CommitPolicy {
+        self.policy
+    }
+
+    pub fn stats(&self) -> CommitStats {
+        self.stats
+    }
+
+    /// All work drained: nothing queued, nothing awaiting commit.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.held_bwt.is_none() && self.inflight.is_empty()
+    }
+
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Submit a transaction from the merge engine; returns transactions
+    /// now cleared for the warehouse.
+    pub fn submit(&mut self, txn: WarehouseTxn<P>) -> Vec<WarehouseTxn<P>> {
+        debug_assert!(
+            self.queue.back().map(|t| t.seq < txn.seq).unwrap_or(true),
+            "submissions must be in seq order"
+        );
+        self.stats.submitted += 1;
+        self.queue.push_back(txn);
+        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+        self.release_ready(false)
+    }
+
+    /// The warehouse reports a released transaction committed; returns
+    /// transactions newly cleared.
+    pub fn on_committed(&mut self, seq: TxnSeq) -> Vec<WarehouseTxn<P>> {
+        let removed = self.inflight.remove(&seq);
+        debug_assert!(removed.is_some(), "commit for unknown txn {seq}");
+        self.stats.committed += 1;
+        self.release_ready(false)
+    }
+
+    /// Force out any partially filled batch (end of run / timer).
+    pub fn flush(&mut self) -> Vec<WarehouseTxn<P>> {
+        self.release_ready(true)
+    }
+
+    fn release_ready(&mut self, flush: bool) -> Vec<WarehouseTxn<P>> {
+        match self.policy {
+            CommitPolicy::Immediate => {
+                let mut out = Vec::with_capacity(self.queue.len());
+                while let Some(t) = self.queue.pop_front() {
+                    out.push(self.track(t));
+                }
+                out
+            }
+            CommitPolicy::Sequential => self.release_sequential(),
+            CommitPolicy::DependencyAware => self.release_dependency_aware(),
+            CommitPolicy::Batched { max_batch } => self.release_batched(max_batch, flush),
+        }
+    }
+
+    fn release_sequential(&mut self) -> Vec<WarehouseTxn<P>> {
+        let mut out = Vec::new();
+        // Release exactly one transaction when nothing is in flight.
+        if self.inflight.is_empty() {
+            if let Some(t) = self.queue.pop_front() {
+                out.push(self.track(t));
+            }
+        }
+        out
+    }
+
+    fn release_dependency_aware(&mut self) -> Vec<WarehouseTxn<P>> {
+        let mut out = Vec::new();
+        // Views blocked by in-flight transactions…
+        let mut blocked: BTreeSet<ViewId> =
+            self.inflight.values().flatten().copied().collect();
+        // …scan the queue in order; a transaction releases when none of
+        // its views is blocked. Its views then block later queue entries,
+        // keeping dependent transactions in submission order.
+        let mut remaining: VecDeque<WarehouseTxn<P>> = VecDeque::new();
+        while let Some(t) = self.queue.pop_front() {
+            let dependent = t.views.iter().any(|v| blocked.contains(v));
+            if dependent {
+                blocked.extend(t.views.iter().copied());
+                remaining.push_back(t);
+            } else {
+                blocked.extend(t.views.iter().copied());
+                out.push(self.track(t));
+            }
+        }
+        self.queue = remaining;
+        out
+    }
+
+    fn release_batched(&mut self, max_batch: usize, flush: bool) -> Vec<WarehouseTxn<P>> {
+        let mut out = Vec::new();
+        loop {
+            // A previously coalesced BWT must go out before anything newer.
+            let bwt = match self.held_bwt.take() {
+                Some(b) => b,
+                None => {
+                    if self.queue.is_empty() {
+                        break;
+                    }
+                    let full = self.queue.len() >= max_batch;
+                    if !full && !flush {
+                        break;
+                    }
+                    // Build one BWT from up to max_batch queued WTs.
+                    let take = self.queue.len().min(max_batch);
+                    let mut members: Vec<WarehouseTxn<P>> = Vec::with_capacity(take);
+                    for _ in 0..take {
+                        members.push(self.queue.pop_front().expect("checked non-empty"));
+                    }
+                    self.stats.coalesced += (take as u64).saturating_sub(1);
+                    coalesce(members)
+                }
+            };
+            // BWTs are sequenced conservatively: a BWT waits while any
+            // in-flight transaction shares a view with it.
+            let blocked: BTreeSet<ViewId> =
+                self.inflight.values().flatten().copied().collect();
+            if bwt.views.iter().any(|v| blocked.contains(v)) {
+                self.held_bwt = Some(bwt);
+                break;
+            }
+            out.push(self.track(bwt));
+        }
+        out
+    }
+
+    fn track(&mut self, t: WarehouseTxn<P>) -> WarehouseTxn<P> {
+        self.inflight.insert(t.seq, t.views.clone());
+        self.stats.released += 1;
+        self.stats.max_inflight = self.stats.max_inflight.max(self.inflight.len());
+        t
+    }
+}
+
+/// Merge several WTs (in submission order) into one batched warehouse
+/// transaction. Action order within the batch preserves submission order,
+/// so if `WTj` depends on `WTi`, `WTi`'s actions precede `WTj`'s (§4.3).
+fn coalesce<P>(members: Vec<WarehouseTxn<P>>) -> WarehouseTxn<P> {
+    debug_assert!(!members.is_empty());
+    let seq = members[0].seq;
+    let mut rows = Vec::new();
+    let mut actions = Vec::new();
+    let mut views = BTreeSet::new();
+    let mut frontier = members[0].frontier;
+    for m in members {
+        rows.extend(m.rows);
+        actions.extend(m.actions);
+        views.extend(m.views);
+        frontier = frontier.max(m.frontier);
+    }
+    rows.sort_unstable();
+    rows.dedup();
+    WarehouseTxn {
+        seq,
+        rows,
+        actions,
+        views,
+        frontier,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UpdateId;
+
+    fn wt(seq: u64, views: &[u32]) -> WarehouseTxn<&'static str> {
+        WarehouseTxn {
+            seq: TxnSeq(seq),
+            rows: vec![UpdateId(seq)],
+            actions: vec![],
+            views: views.iter().map(|&v| ViewId(v)).collect(),
+            frontier: UpdateId(seq),
+        }
+    }
+
+    #[test]
+    fn sequential_one_at_a_time() {
+        let mut s = CommitScheduler::new(CommitPolicy::Sequential);
+        let r1 = s.submit(wt(1, &[1]));
+        assert_eq!(r1.len(), 1);
+        let r2 = s.submit(wt(2, &[2]));
+        assert!(r2.is_empty(), "held until WT1 commits even though disjoint");
+        let r3 = s.on_committed(TxnSeq(1));
+        assert_eq!(r3.len(), 1);
+        assert_eq!(r3[0].seq, TxnSeq(2));
+        s.on_committed(TxnSeq(2));
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn dependency_aware_releases_independent() {
+        let mut s = CommitScheduler::new(CommitPolicy::DependencyAware);
+        assert_eq!(s.submit(wt(1, &[1, 2])).len(), 1);
+        // shares V2 → held
+        assert!(s.submit(wt(2, &[2, 3])).is_empty());
+        // disjoint from both → released immediately
+        assert_eq!(s.submit(wt(3, &[4])).len(), 1);
+        // WT4 depends on WT2 (queued) via V3 → held even though WT2 not in flight
+        assert!(s.submit(wt(4, &[3])).is_empty());
+        let r = s.on_committed(TxnSeq(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].seq, TxnSeq(2));
+        let r = s.on_committed(TxnSeq(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].seq, TxnSeq(4));
+        s.on_committed(TxnSeq(3));
+        s.on_committed(TxnSeq(4));
+        assert!(s.is_idle());
+    }
+
+    #[test]
+    fn dependency_order_preserved_among_dependents() {
+        let mut s = CommitScheduler::new(CommitPolicy::DependencyAware);
+        s.submit(wt(1, &[1]));
+        assert!(s.submit(wt(2, &[1])).is_empty());
+        assert!(s.submit(wt(3, &[1])).is_empty());
+        let r = s.on_committed(TxnSeq(1));
+        assert_eq!(r.len(), 1, "only the next dependent releases");
+        assert_eq!(r[0].seq, TxnSeq(2));
+    }
+
+    #[test]
+    fn batched_coalesces() {
+        let mut s = CommitScheduler::new(CommitPolicy::Batched { max_batch: 3 });
+        assert!(s.submit(wt(1, &[1])).is_empty());
+        assert!(s.submit(wt(2, &[2])).is_empty());
+        let r = s.submit(wt(3, &[1]));
+        assert_eq!(r.len(), 1);
+        let bwt = &r[0];
+        assert_eq!(bwt.seq, TxnSeq(1), "BWT takes first member's seq");
+        assert_eq!(bwt.views.len(), 2);
+        assert_eq!(bwt.frontier, UpdateId(3));
+        assert_eq!(
+            bwt.rows,
+            vec![UpdateId(1), UpdateId(2), UpdateId(3)],
+            "rows merged in order"
+        );
+        assert_eq!(s.stats().coalesced, 2);
+    }
+
+    #[test]
+    fn batched_flush_releases_partial() {
+        let mut s = CommitScheduler::new(CommitPolicy::Batched { max_batch: 10 });
+        s.submit(wt(1, &[1]));
+        s.submit(wt(2, &[2]));
+        let r = s.flush();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].rows.len(), 2);
+    }
+
+    #[test]
+    fn batched_bwt_dependency_blocks() {
+        let mut s = CommitScheduler::new(CommitPolicy::Batched { max_batch: 2 });
+        let r = s.submit(wt(1, &[1]));
+        assert!(r.is_empty());
+        let r = s.submit(wt(2, &[2]));
+        assert_eq!(r.len(), 1, "first BWT {{1,2}} released");
+        s.submit(wt(3, &[2]));
+        let r = s.submit(wt(4, &[5]));
+        // second BWT shares V2 with in-flight first BWT → blocked
+        assert!(r.is_empty());
+        let r = s.on_committed(TxnSeq(1));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].seq, TxnSeq(3));
+    }
+
+    #[test]
+    fn stats_counters() {
+        let mut s = CommitScheduler::new(CommitPolicy::Sequential);
+        s.submit(wt(1, &[1]));
+        s.submit(wt(2, &[1]));
+        s.on_committed(TxnSeq(1));
+        s.on_committed(TxnSeq(2));
+        let st = s.stats();
+        assert_eq!(st.submitted, 2);
+        assert_eq!(st.released, 2);
+        assert_eq!(st.committed, 2);
+        assert_eq!(st.max_inflight, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_rejected() {
+        let _: CommitScheduler<()> = CommitScheduler::new(CommitPolicy::Batched { max_batch: 0 });
+    }
+}

@@ -1,0 +1,167 @@
+//! Consistency levels (§2) and the merge-algorithm selection rule (§6.3).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The single-view consistency level a view manager guarantees for the
+/// action lists it emits. Ordered weakest → strongest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConsistencyLevel {
+    /// Only eventual correctness: intermediate view states may correspond
+    /// to no source state (§6.3).
+    Convergent,
+    /// Every emitted AL moves the view between states that each reflect a
+    /// consistent source state, in order; several source updates may be
+    /// batched into one AL (strong consistency, §2.2).
+    Strong,
+    /// Strong, processing exactly N source updates per AL (§6.3).
+    CompleteN(u32),
+    /// Strong and one AL per relevant source update: every source state is
+    /// reflected (completeness, §2.2).
+    Complete,
+}
+
+impl ConsistencyLevel {
+    /// Rank for weakest-of comparison. `CompleteN` sits between Strong and
+    /// Complete: it hits every Nth state deterministically.
+    fn rank(self) -> u8 {
+        match self {
+            ConsistencyLevel::Convergent => 0,
+            ConsistencyLevel::Strong => 1,
+            ConsistencyLevel::CompleteN(_) => 2,
+            ConsistencyLevel::Complete => 3,
+        }
+    }
+
+    /// The weaker of two levels (two different `CompleteN`s weaken to
+    /// `Strong`, since their batch boundaries do not line up).
+    pub fn weakest(self, other: ConsistencyLevel) -> ConsistencyLevel {
+        use ConsistencyLevel::*;
+        match (self, other) {
+            (CompleteN(a), CompleteN(b)) if a != b => Strong,
+            (a, b) => {
+                if a.rank() <= b.rank() {
+                    a
+                } else {
+                    b
+                }
+            }
+        }
+    }
+
+    /// Weakest level of a whole system of view managers (`Complete` for an
+    /// empty system — vacuously the strongest).
+    pub fn weakest_of<I: IntoIterator<Item = ConsistencyLevel>>(levels: I) -> ConsistencyLevel {
+        levels
+            .into_iter()
+            .fold(ConsistencyLevel::Complete, ConsistencyLevel::weakest)
+    }
+}
+
+impl fmt::Display for ConsistencyLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyLevel::Convergent => write!(f, "convergent"),
+            ConsistencyLevel::Strong => write!(f, "strong"),
+            ConsistencyLevel::CompleteN(n) => write!(f, "complete-{n}"),
+            ConsistencyLevel::Complete => write!(f, "complete"),
+        }
+    }
+}
+
+/// Which coordination algorithm the merge process runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MergeAlgorithm {
+    /// Simple Painting Algorithm (Algorithm 1) — requires complete view
+    /// managers; yields MVC completeness.
+    Spa,
+    /// Painting Algorithm (Algorithm 2) — works with strongly consistent
+    /// (and complete) view managers; yields MVC strong consistency.
+    Pa,
+    /// No coordination: forward every AL immediately. Only sound when all
+    /// managers are merely convergent (§6.3) — yields MVC convergence.
+    PassThrough,
+}
+
+impl MergeAlgorithm {
+    /// §6.3: "it is always possible to use the merge algorithm
+    /// corresponding to the view manager guaranteeing the weakest level of
+    /// consistency."
+    pub fn for_weakest(level: ConsistencyLevel) -> MergeAlgorithm {
+        match level {
+            ConsistencyLevel::Complete => MergeAlgorithm::Spa,
+            ConsistencyLevel::Strong | ConsistencyLevel::CompleteN(_) => MergeAlgorithm::Pa,
+            ConsistencyLevel::Convergent => MergeAlgorithm::PassThrough,
+        }
+    }
+
+    /// The MVC level the warehouse history will satisfy under this
+    /// algorithm (Theorems 4.1 and 5.1).
+    pub fn guarantees(self) -> ConsistencyLevel {
+        match self {
+            MergeAlgorithm::Spa => ConsistencyLevel::Complete,
+            MergeAlgorithm::Pa => ConsistencyLevel::Strong,
+            MergeAlgorithm::PassThrough => ConsistencyLevel::Convergent,
+        }
+    }
+}
+
+impl fmt::Display for MergeAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeAlgorithm::Spa => write!(f, "SPA"),
+            MergeAlgorithm::Pa => write!(f, "PA"),
+            MergeAlgorithm::PassThrough => write!(f, "pass-through"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ConsistencyLevel::*;
+
+    #[test]
+    fn weakest_ordering() {
+        assert_eq!(Complete.weakest(Strong), Strong);
+        assert_eq!(Strong.weakest(Convergent), Convergent);
+        assert_eq!(Complete.weakest(Complete), Complete);
+        assert_eq!(CompleteN(5).weakest(Complete), CompleteN(5));
+    }
+
+    #[test]
+    fn mismatched_complete_n_weakens_to_strong() {
+        assert_eq!(CompleteN(2).weakest(CompleteN(3)), Strong);
+        assert_eq!(CompleteN(2).weakest(CompleteN(2)), CompleteN(2));
+    }
+
+    #[test]
+    fn weakest_of_system() {
+        assert_eq!(
+            ConsistencyLevel::weakest_of([Complete, Strong, Complete]),
+            Strong
+        );
+        assert_eq!(ConsistencyLevel::weakest_of([]), Complete);
+        assert_eq!(
+            ConsistencyLevel::weakest_of([Complete, Convergent]),
+            Convergent
+        );
+    }
+
+    #[test]
+    fn algorithm_selection() {
+        assert_eq!(MergeAlgorithm::for_weakest(Complete), MergeAlgorithm::Spa);
+        assert_eq!(MergeAlgorithm::for_weakest(Strong), MergeAlgorithm::Pa);
+        assert_eq!(MergeAlgorithm::for_weakest(CompleteN(4)), MergeAlgorithm::Pa);
+        assert_eq!(
+            MergeAlgorithm::for_weakest(Convergent),
+            MergeAlgorithm::PassThrough
+        );
+    }
+
+    #[test]
+    fn guarantees_match_theorems() {
+        assert_eq!(MergeAlgorithm::Spa.guarantees(), Complete);
+        assert_eq!(MergeAlgorithm::Pa.guarantees(), Strong);
+    }
+}

@@ -1,0 +1,53 @@
+//! Protocol errors surfaced by the merge algorithms.
+
+use crate::ids::{UpdateId, ViewId};
+use std::fmt;
+
+/// Violations of the messaging protocol the algorithms assume (§3.2/§3.3).
+/// These indicate a buggy integrator or view manager, never a legal
+/// interleaving — legal reorderings are handled internally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// `REL_i` arrived out of order; the integrator channel must be FIFO
+    /// and gapless.
+    NonSequentialRel { expected: UpdateId, got: UpdateId },
+    /// An action list referenced a view this merge process does not manage.
+    UnknownView(ViewId),
+    /// An AL arrived for an entry that is not white: either a duplicate AL
+    /// (red/gray) or an AL for an update the integrator marked irrelevant
+    /// (black).
+    UnexpectedAction {
+        view: ViewId,
+        update: UpdateId,
+        found: &'static str,
+    },
+    /// SPA received a batched AL; batching managers require PA (§5).
+    BatchedActionInSpa { view: ViewId, first: UpdateId, last: UpdateId },
+    /// A batched AL covers updates at or before the view's last covered
+    /// update — the view manager violated in-order AL generation.
+    StaleAction { view: ViewId, last: UpdateId },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NonSequentialRel { expected, got } => {
+                write!(f, "REL out of order: expected {expected}, got {got}")
+            }
+            MergeError::UnknownView(v) => write!(f, "unknown view {v}"),
+            MergeError::UnexpectedAction { view, update, found } => write!(
+                f,
+                "unexpected action list for [{update}, {view}]: entry is {found}"
+            ),
+            MergeError::BatchedActionInSpa { view, first, last } => write!(
+                f,
+                "SPA received batched AL from {view} covering {first}..{last}; use PA"
+            ),
+            MergeError::StaleAction { view, last } => {
+                write!(f, "stale action list from {view} ending at {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}

@@ -1,0 +1,81 @@
+//! Identifier newtypes shared across the MVC machinery.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a source update (or source transaction, §6.2), assigned
+/// by the integrator in arrival order starting at 1: `U5` is the fifth
+/// update received.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct UpdateId(pub u64);
+
+impl UpdateId {
+    pub const ZERO: UpdateId = UpdateId(0);
+
+    pub fn next(self) -> UpdateId {
+        UpdateId(self.0 + 1)
+    }
+
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for UpdateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "U{}", self.0)
+    }
+}
+
+/// Identifier of a warehouse view / its view manager (one manager per
+/// view, as in Figure 1).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ViewId(pub u32);
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// Submission sequence number of a warehouse transaction within one merge
+/// process (defines the order dependent transactions must commit in).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TxnSeq(pub u64);
+
+impl TxnSeq {
+    pub fn next(self) -> TxnSeq {
+        TxnSeq(self.0 + 1)
+    }
+}
+
+impl fmt::Display for TxnSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WT{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_id_ordering_and_display() {
+        assert!(UpdateId(1) < UpdateId(2));
+        assert_eq!(UpdateId(5).to_string(), "U5");
+        assert_eq!(UpdateId::ZERO.next(), UpdateId(1));
+        assert!(UpdateId::ZERO.is_zero());
+    }
+
+    #[test]
+    fn txn_seq_next() {
+        assert_eq!(TxnSeq(0).next(), TxnSeq(1));
+        assert_eq!(TxnSeq(3).to_string(), "WT3");
+    }
+}

@@ -1,0 +1,46 @@
+//! # mvc-core
+//!
+//! The data-model-independent core of *Multiple View Consistency for Data
+//! Warehousing* (Zhuge, Wiener, Garcia-Molina; ICDE 1997):
+//!
+//! * the **ViewUpdateTable** ([`vut`]) with its white/red/gray/black
+//!   coloring and per-entry jump states;
+//! * the **Simple Painting Algorithm** ([`spa`], Algorithm 1) for complete
+//!   view managers — MVC-complete and prompt (Theorem 4.1);
+//! * the **Painting Algorithm** ([`pa`], Algorithm 2) for strongly
+//!   consistent view managers — MVC-strongly-consistent and prompt
+//!   (Theorem 5.1);
+//! * **commit scheduling** ([`commit`], §4.3): sequential,
+//!   dependency-aware, and batched (BWT) release of warehouse
+//!   transactions;
+//! * **merge distribution** ([`partition`], §6.1): partitioning view
+//!   managers into independent merge groups;
+//! * the composed **merge process** ([`merge`]) with the weakest-level
+//!   algorithm selection rule of §6.3.
+//!
+//! Action-list payloads are an opaque type parameter: this crate never
+//! inspects tuples, exactly mirroring the paper's claim that the MVC
+//! algorithms are independent of the data model. The relational payload
+//! lives in `mvc-warehouse`/`mvc-viewmgr`.
+
+pub mod action;
+pub mod commit;
+pub mod consistency;
+pub mod error;
+pub mod ids;
+pub mod merge;
+pub mod pa;
+pub mod partition;
+pub mod spa;
+pub mod vut;
+
+pub use action::{ActionList, WarehouseTxn};
+pub use commit::{CommitPolicy, CommitScheduler, CommitStats};
+pub use consistency::{ConsistencyLevel, MergeAlgorithm};
+pub use error::MergeError;
+pub use ids::{TxnSeq, UpdateId, ViewId};
+pub use merge::{MergeProcess, MergeStats};
+pub use pa::{Pa, PaStats};
+pub use partition::Partitioning;
+pub use spa::{Spa, SpaStats};
+pub use vut::{Color, Entry, Vut};

@@ -1,0 +1,335 @@
+//! The merge process (§1.2, Figure 1): a coordination engine (SPA, PA or
+//! pass-through) composed with a commit scheduler (§4.3).
+//!
+//! This is the component a deployment instantiates once per merge group
+//! (§6.1). It is a pure state machine: feed it `REL` sets, action lists
+//! and warehouse commit notifications; it returns the warehouse
+//! transactions cleared for submission. All I/O lives in the runtime
+//! layer, which keeps the algorithms testable under every interleaving.
+
+use crate::action::{ActionList, WarehouseTxn};
+use crate::commit::{CommitPolicy, CommitScheduler, CommitStats};
+use crate::consistency::{ConsistencyLevel, MergeAlgorithm};
+use crate::error::MergeError;
+use crate::ids::{TxnSeq, UpdateId, ViewId};
+use crate::pa::{Pa, PaStats};
+use crate::spa::{Spa, SpaStats};
+use std::collections::BTreeSet;
+
+/// Coordination engine variants.
+#[derive(Debug, Clone)]
+enum Engine<P> {
+    Spa(Spa<P>),
+    Pa(Pa<P>),
+    /// §6.3 convergent mode: forward every AL as its own transaction.
+    PassThrough { next_seq: TxnSeq, stats: MergeStats },
+}
+
+/// Aggregated engine statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    pub rels_received: u64,
+    pub actions_received: u64,
+    pub txns_emitted: u64,
+    pub max_live_rows: usize,
+    pub batched_actions: u64,
+    pub rows_applied: u64,
+}
+
+impl From<SpaStats> for MergeStats {
+    fn from(s: SpaStats) -> Self {
+        MergeStats {
+            rels_received: s.rels_received,
+            actions_received: s.actions_received,
+            txns_emitted: s.txns_emitted,
+            max_live_rows: s.max_live_rows,
+            batched_actions: 0,
+            rows_applied: s.rows_purged,
+        }
+    }
+}
+
+impl From<PaStats> for MergeStats {
+    fn from(s: PaStats) -> Self {
+        MergeStats {
+            rels_received: s.rels_received,
+            actions_received: s.actions_received,
+            txns_emitted: s.txns_emitted,
+            max_live_rows: s.max_live_rows,
+            batched_actions: s.batched_actions,
+            rows_applied: s.rows_applied,
+        }
+    }
+}
+
+/// A merge process: engine + commit scheduler.
+#[derive(Debug, Clone)]
+pub struct MergeProcess<P> {
+    engine: Engine<P>,
+    scheduler: CommitScheduler<P>,
+    algorithm: MergeAlgorithm,
+}
+
+impl<P: Clone> MergeProcess<P> {
+    /// Build a merge process running `algorithm` over the given views with
+    /// the given commit policy.
+    pub fn new(
+        algorithm: MergeAlgorithm,
+        views: impl IntoIterator<Item = ViewId>,
+        policy: CommitPolicy,
+    ) -> Self {
+        let engine = match algorithm {
+            MergeAlgorithm::Spa => Engine::Spa(Spa::new(views)),
+            MergeAlgorithm::Pa => Engine::Pa(Pa::new(views)),
+            MergeAlgorithm::PassThrough => Engine::PassThrough {
+                next_seq: TxnSeq(1),
+                stats: MergeStats::default(),
+            },
+        };
+        MergeProcess {
+            engine,
+            scheduler: CommitScheduler::new(policy),
+            algorithm,
+        }
+    }
+
+    /// Pick the algorithm from the weakest view-manager consistency level
+    /// (§6.3) and build the process.
+    pub fn for_managers(
+        levels: impl IntoIterator<Item = (ViewId, ConsistencyLevel)>,
+        policy: CommitPolicy,
+    ) -> Self {
+        let levels: Vec<(ViewId, ConsistencyLevel)> = levels.into_iter().collect();
+        let weakest = ConsistencyLevel::weakest_of(levels.iter().map(|(_, l)| *l));
+        let algorithm = MergeAlgorithm::for_weakest(weakest);
+        MergeProcess::new(algorithm, levels.into_iter().map(|(v, _)| v), policy)
+    }
+
+    pub fn algorithm(&self) -> MergeAlgorithm {
+        self.algorithm
+    }
+
+    /// Combined MVC guarantee of engine and commit policy: batching
+    /// commits weakens completeness to strong consistency (§4.3).
+    pub fn guarantees(&self) -> ConsistencyLevel {
+        let engine_level = self.algorithm.guarantees();
+        match self.scheduler.policy() {
+            CommitPolicy::Batched { .. } => {
+                engine_level.weakest(ConsistencyLevel::Strong)
+            }
+            _ => engine_level,
+        }
+    }
+
+    pub fn stats(&self) -> MergeStats {
+        match &self.engine {
+            Engine::Spa(s) => s.stats().into(),
+            Engine::Pa(p) => p.stats().into(),
+            Engine::PassThrough { stats, .. } => *stats,
+        }
+    }
+
+    pub fn commit_stats(&self) -> CommitStats {
+        self.scheduler.stats()
+    }
+
+    /// Nothing held anywhere: VUT empty, queue empty, nothing in flight.
+    pub fn is_quiescent(&self) -> bool {
+        let engine_done = match &self.engine {
+            Engine::Spa(s) => s.is_quiescent(),
+            Engine::Pa(p) => p.is_quiescent(),
+            Engine::PassThrough { .. } => true,
+        };
+        engine_done && self.scheduler.is_idle()
+    }
+
+    /// Live VUT rows (pass-through has none).
+    pub fn live_rows(&self) -> usize {
+        match &self.engine {
+            Engine::Spa(s) => s.vut().live_rows(),
+            Engine::Pa(p) => p.vut().live_rows(),
+            Engine::PassThrough { .. } => 0,
+        }
+    }
+
+    /// Add a view on the fly (§1.2): the VUT gains a column; updates
+    /// numbered before the install row are black for it. No-op for
+    /// pass-through mode.
+    pub fn add_view(&mut self, v: ViewId) {
+        match &mut self.engine {
+            Engine::Spa(s) => s.add_view(v),
+            Engine::Pa(p) => p.add_view(v),
+            Engine::PassThrough { .. } => {}
+        }
+    }
+
+    /// Receive `REL_i` from the integrator.
+    pub fn on_rel(
+        &mut self,
+        i: UpdateId,
+        relevant: BTreeSet<ViewId>,
+    ) -> Result<Vec<WarehouseTxn<P>>, MergeError> {
+        let emitted = match &mut self.engine {
+            Engine::Spa(s) => s.on_rel(i, relevant)?,
+            Engine::Pa(p) => p.on_rel(i, relevant)?,
+            Engine::PassThrough { stats, .. } => {
+                stats.rels_received += 1;
+                Vec::new()
+            }
+        };
+        Ok(self.schedule(emitted))
+    }
+
+    /// Receive an action list from a view manager.
+    pub fn on_action(&mut self, al: ActionList<P>) -> Result<Vec<WarehouseTxn<P>>, MergeError> {
+        let emitted = match &mut self.engine {
+            Engine::Spa(s) => s.on_action(al)?,
+            Engine::Pa(p) => p.on_action(al)?,
+            Engine::PassThrough { next_seq, stats } => {
+                stats.actions_received += 1;
+                stats.txns_emitted += 1;
+                if al.is_batched() {
+                    stats.batched_actions += 1;
+                }
+                stats.rows_applied += al.last.0 - al.first.0 + 1;
+                let seq = *next_seq;
+                *next_seq = seq.next();
+                vec![WarehouseTxn {
+                    seq,
+                    rows: (al.first.0..=al.last.0).map(UpdateId).collect(),
+                    views: BTreeSet::from([al.view]),
+                    frontier: al.last,
+                    actions: vec![al],
+                }]
+            }
+        };
+        Ok(self.schedule(emitted))
+    }
+
+    /// The warehouse reports a transaction committed.
+    pub fn on_committed(&mut self, seq: TxnSeq) -> Vec<WarehouseTxn<P>> {
+        self.scheduler.on_committed(seq)
+    }
+
+    /// Force out any batched remainder (end of run).
+    pub fn flush(&mut self) -> Vec<WarehouseTxn<P>> {
+        self.scheduler.flush()
+    }
+
+    fn schedule(&mut self, emitted: Vec<WarehouseTxn<P>>) -> Vec<WarehouseTxn<P>> {
+        let mut out = Vec::new();
+        for t in emitted {
+            out.extend(self.scheduler.submit(t));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<ViewId> {
+        ids.iter().map(|&v| ViewId(v)).collect()
+    }
+
+    fn al(view: u32, update: u64) -> ActionList<&'static str> {
+        ActionList::single(ViewId(view), UpdateId(update), "ops")
+    }
+
+    #[test]
+    fn for_managers_picks_weakest() {
+        let mp: MergeProcess<()> = MergeProcess::for_managers(
+            [
+                (ViewId(1), ConsistencyLevel::Complete),
+                (ViewId(2), ConsistencyLevel::Strong),
+            ],
+            CommitPolicy::Sequential,
+        );
+        assert_eq!(mp.algorithm(), MergeAlgorithm::Pa);
+        assert_eq!(mp.guarantees(), ConsistencyLevel::Strong);
+
+        let mp: MergeProcess<()> = MergeProcess::for_managers(
+            [(ViewId(1), ConsistencyLevel::Complete)],
+            CommitPolicy::Sequential,
+        );
+        assert_eq!(mp.algorithm(), MergeAlgorithm::Spa);
+        assert_eq!(mp.guarantees(), ConsistencyLevel::Complete);
+    }
+
+    #[test]
+    fn batched_commits_downgrade_completeness() {
+        let mp: MergeProcess<()> = MergeProcess::new(
+            MergeAlgorithm::Spa,
+            [ViewId(1)],
+            CommitPolicy::Batched { max_batch: 4 },
+        );
+        assert_eq!(mp.guarantees(), ConsistencyLevel::Strong);
+    }
+
+    #[test]
+    fn end_to_end_spa_sequential() {
+        let mut mp = MergeProcess::new(
+            MergeAlgorithm::Spa,
+            [ViewId(1), ViewId(2)],
+            CommitPolicy::Sequential,
+        );
+        assert!(mp.on_rel(UpdateId(1), set(&[1, 2])).unwrap().is_empty());
+        assert!(mp.on_action(al(1, 1)).unwrap().is_empty());
+        let released = mp.on_action(al(2, 1)).unwrap();
+        assert_eq!(released.len(), 1);
+        assert!(!mp.is_quiescent(), "commit outstanding");
+        assert!(mp.on_committed(released[0].seq).is_empty());
+        assert!(mp.is_quiescent());
+    }
+
+    #[test]
+    fn sequential_policy_holds_cascade() {
+        // U1→{V1,V2}, U2→{V2}: rows complete in one event, scheduler
+        // releases them one commit at a time.
+        let mut mp = MergeProcess::new(
+            MergeAlgorithm::Spa,
+            [ViewId(1), ViewId(2)],
+            CommitPolicy::Sequential,
+        );
+        mp.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+        mp.on_rel(UpdateId(2), set(&[2])).unwrap();
+        mp.on_action(al(2, 1)).unwrap();
+        mp.on_action(al(2, 2)).unwrap();
+        let released = mp.on_action(al(1, 1)).unwrap();
+        // engine emits both rows, scheduler releases only the first
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].rows, vec![UpdateId(1)]);
+        let more = mp.on_committed(released[0].seq);
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].rows, vec![UpdateId(2)]);
+    }
+
+    #[test]
+    fn pass_through_forwards_everything() {
+        let mut mp = MergeProcess::new(
+            MergeAlgorithm::PassThrough,
+            [ViewId(1), ViewId(2)],
+            CommitPolicy::DependencyAware,
+        );
+        assert!(mp.on_rel(UpdateId(1), set(&[1, 2])).unwrap().is_empty());
+        let r = mp.on_action(al(1, 1)).unwrap();
+        assert_eq!(r.len(), 1, "no coordination in convergent mode");
+        let r2 = mp.on_action(al(2, 1)).unwrap();
+        assert_eq!(r2.len(), 1);
+        assert_ne!(r[0].seq, r2[0].seq);
+    }
+
+    #[test]
+    fn flush_drains_batches() {
+        let mut mp = MergeProcess::new(
+            MergeAlgorithm::Spa,
+            [ViewId(1)],
+            CommitPolicy::Batched { max_batch: 100 },
+        );
+        mp.on_rel(UpdateId(1), set(&[1])).unwrap();
+        assert!(mp.on_action(al(1, 1)).unwrap().is_empty(), "batch not full");
+        let r = mp.flush();
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,485 @@
+//! The Painting Algorithm (Algorithm 2, §5).
+//!
+//! PA coordinates **strongly consistent** view managers (e.g. Strobe
+//! \[17\]): one action list `AL^x_j` may cover a *batch* of intertwined
+//! source updates `first ..= j`. Receiving an AL therefore turns every
+//! still-white entry of column `x` at rows `≤ j` red, recording the jump
+//! `state = j`; a row `i` with a jump state `j > i` can only be applied
+//! together with row `j` (and, transitively, everything row `j` needs).
+//!
+//! `ProcessRow` computes this closure (`ApplyRows`): it fails if any
+//! needed action list is missing, and otherwise the whole closure is
+//! applied as **one** warehouse transaction. Views skip the intermediate
+//! states — PA yields MVC *strong consistency*, not completeness
+//! (Theorem 5.1), which is the best possible with batching managers.
+//!
+//! ### Pseudocode clarification (DESIGN.md §5.2)
+//! The paper's Lines 6–9 run inside `ProcessRow`, which under a literal
+//! reading lets an inner recursive call apply `ApplyRows` before the outer
+//! call has verified all of its own column dependencies. We instead split
+//! the procedure into a pure marking phase (Lines 1–5) and apply the
+//! closure only after the *outermost* marking succeeds — the only reading
+//! under which every row in the released transaction has had all of its
+//! same-column predecessors either applied or included. Example 5
+//! reproduces exactly under this reading (see the golden tests).
+
+use crate::action::{ActionList, WarehouseTxn};
+use crate::error::MergeError;
+use crate::ids::{TxnSeq, UpdateId, ViewId};
+use crate::vut::{Color, Vut};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// PA engine state; same event-driven surface as [`Spa`](crate::spa::Spa).
+#[derive(Debug, Clone)]
+pub struct Pa<P> {
+    vut: Vut<P>,
+    max_rel: UpdateId,
+    pending: BTreeMap<UpdateId, Vec<ActionList<P>>>,
+    next_seq: TxnSeq,
+    /// Last update covered per view (stale-AL detection).
+    last_covered: BTreeMap<ViewId, UpdateId>,
+    stats: PaStats,
+}
+
+/// Counters for the §7 experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PaStats {
+    pub rels_received: u64,
+    pub actions_received: u64,
+    pub batched_actions: u64,
+    pub txns_emitted: u64,
+    /// Rows covered by emitted transactions (≥ txns when closures merge
+    /// several rows).
+    pub rows_applied: u64,
+    pub max_live_rows: usize,
+}
+
+impl<P: Clone> Pa<P> {
+    pub fn new(views: impl IntoIterator<Item = ViewId>) -> Self {
+        Pa {
+            vut: Vut::new(views),
+            max_rel: UpdateId::ZERO,
+            pending: BTreeMap::new(),
+            next_seq: TxnSeq(1),
+            last_covered: BTreeMap::new(),
+            stats: PaStats::default(),
+        }
+    }
+
+    pub fn vut(&self) -> &Vut<P> {
+        &self.vut
+    }
+
+    /// Register a new view column on the fly (§1.2).
+    pub fn add_view(&mut self, v: ViewId) {
+        self.vut.add_view(v);
+    }
+
+    pub fn stats(&self) -> PaStats {
+        self.stats
+    }
+
+    pub fn is_quiescent(&self) -> bool {
+        self.vut.is_empty() && self.pending.is_empty()
+    }
+
+    /// Receive `REL_i` (FIFO, gapless, one per update).
+    pub fn on_rel(
+        &mut self,
+        i: UpdateId,
+        relevant: BTreeSet<ViewId>,
+    ) -> Result<Vec<WarehouseTxn<P>>, MergeError> {
+        if i != self.max_rel.next() {
+            return Err(MergeError::NonSequentialRel {
+                expected: self.max_rel.next(),
+                got: i,
+            });
+        }
+        for v in &relevant {
+            if !self.vut.has_view(*v) {
+                return Err(MergeError::UnknownView(*v));
+            }
+        }
+        self.stats.rels_received += 1;
+        self.max_rel = i;
+        if relevant.is_empty() {
+            // An update relevant to no view needs no row.
+            return Ok(Vec::new());
+        }
+        self.vut.insert_row(i, &relevant);
+        self.stats.max_live_rows = self.stats.max_live_rows.max(self.vut.live_rows());
+
+        let mut out = Vec::new();
+        if let Some(als) = self.pending.remove(&i) {
+            for al in als {
+                self.process_action(al, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Receive `AL^x_j`, possibly covering a batch `first ..= j`. ALs for
+    /// updates whose `REL` has not arrived are buffered *before* view
+    /// validation — with dynamic installation (§1.2) the column may be
+    /// announced between now and that REL.
+    pub fn on_action(&mut self, al: ActionList<P>) -> Result<Vec<WarehouseTxn<P>>, MergeError> {
+        if al.last <= self.max_rel && !self.vut.has_view(al.view) {
+            return Err(MergeError::UnknownView(al.view));
+        }
+        self.stats.actions_received += 1;
+        if al.is_batched() {
+            self.stats.batched_actions += 1;
+        }
+        let mut out = Vec::new();
+        if al.last > self.max_rel {
+            self.pending.entry(al.last).or_default().push(al);
+        } else {
+            self.process_action(al, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// `ProcessAction(AL^x_j)`: paint all uncovered entries of column `x`
+    /// up to `j` red with jump state `j`, then attempt row `j`.
+    fn process_action(
+        &mut self,
+        al: ActionList<P>,
+        out: &mut Vec<WarehouseTxn<P>>,
+    ) -> Result<(), MergeError> {
+        let (j, x) = (al.last, al.view);
+        if !self.vut.has_view(x) {
+            return Err(MergeError::UnknownView(x));
+        }
+        if let Some(&covered) = self.last_covered.get(&x) {
+            if al.first <= covered {
+                return Err(MergeError::StaleAction { view: x, last: j });
+            }
+        }
+        match self.vut.color(j, x) {
+            Some(Color::White) => {}
+            Some(Color::Red) => {
+                return Err(MergeError::UnexpectedAction {
+                    view: x,
+                    update: j,
+                    found: "red (duplicate AL)",
+                })
+            }
+            Some(Color::Gray) => {
+                return Err(MergeError::UnexpectedAction {
+                    view: x,
+                    update: j,
+                    found: "gray (already applied)",
+                })
+            }
+            Some(Color::Black) | None => {
+                return Err(MergeError::UnexpectedAction {
+                    view: x,
+                    update: j,
+                    found: "black/missing (update irrelevant to view)",
+                })
+            }
+        }
+        let whites = self.vut.whites_up_to(j, x);
+        debug_assert!(
+            whites.iter().all(|&w| w >= al.first),
+            "AL {al} claims first={} but column {x} has uncovered rows below it",
+            al.first.0,
+        );
+        for &i in &whites {
+            self.vut.set_red(i, x, j);
+        }
+        self.vut.store_action(al);
+        self.last_covered.insert(x, j);
+        self.attempt(j, out);
+        Ok(())
+    }
+
+    /// Try to apply the closure rooted at row `i` (one top-level
+    /// `ProcessRow` with a fresh `ApplyRows`).
+    fn attempt(&mut self, i: UpdateId, out: &mut Vec<WarehouseTxn<P>>) {
+        if !self.vut.has_row(i) {
+            return; // already applied
+        }
+        let mut apply_rows = BTreeSet::new();
+        if self.mark(i, &mut apply_rows) {
+            self.commit(apply_rows, out);
+        }
+    }
+
+    /// `ProcessRow` lines 1–5: pure marking. Returns false when any
+    /// transitively required action list has not arrived.
+    fn mark(&mut self, i: UpdateId, apply_rows: &mut BTreeSet<UpdateId>) -> bool {
+        // Line 1: already part of the closure.
+        if apply_rows.contains(&i) {
+            return true;
+        }
+        if !self.vut.has_row(i) {
+            debug_assert!(false, "mark() reached a purged row {i}");
+            return true;
+        }
+        // Line 2: some AL still missing for this row.
+        if self.vut.row_has_white(i) {
+            return false;
+        }
+        // Line 3.
+        apply_rows.insert(i);
+        // Line 4: every earlier unapplied AL from the same managers must
+        // join the closure.
+        for x in self.vut.reds_in_row(i) {
+            for i_prev in self.vut.reds_before(i, x) {
+                if !self.mark(i_prev, apply_rows) {
+                    return false;
+                }
+            }
+        }
+        // Line 5: batched entries drag in their jump-target rows.
+        for j in self.vut.jump_targets(i) {
+            if !self.mark(j, apply_rows) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Lines 6–10: apply the closure as a single warehouse transaction,
+    /// then chase rows unblocked by it.
+    fn commit(&mut self, apply_rows: BTreeSet<UpdateId>, out: &mut Vec<WarehouseTxn<P>>) {
+        debug_assert!(!apply_rows.is_empty());
+        let mut actions: Vec<ActionList<P>> = Vec::new();
+        let mut views: BTreeSet<ViewId> = BTreeSet::new();
+        let rows: Vec<UpdateId> = apply_rows.iter().copied().collect();
+        for &r in &rows {
+            // Line 6: red → gray.
+            for x in self.vut.reds_in_row(r) {
+                self.vut.set_gray(r, x);
+                views.insert(x);
+            }
+            // Line 7: gather WT_r (ascending r keeps per-view AL order).
+            actions.extend(self.vut.take_wt(r));
+        }
+        let frontier = *rows.last().expect("non-empty closure");
+        let seq = self.next_seq;
+        self.next_seq = seq.next();
+        self.stats.txns_emitted += 1;
+        self.stats.rows_applied += rows.len() as u64;
+        out.push(WarehouseTxn {
+            seq,
+            rows: rows.clone(),
+            actions,
+            views: views.clone(),
+            frontier,
+        });
+
+        // Line 9: candidate follow-ups — the next unapplied AL of every
+        // view we just advanced. (Entry-based nextRed; equivalent to the
+        // paper's AL-based definition because every red entry's jump state
+        // leads `mark` to the AL's own row.)
+        let followups: BTreeSet<UpdateId> = views
+            .iter()
+            .filter_map(|&x| self.vut.next_red(UpdateId::ZERO, x))
+            .collect();
+        // Line 10: purge fully-applied rows.
+        self.vut.purge_applied();
+        for f in followups {
+            self.attempt(f, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<ViewId> {
+        ids.iter().map(|&v| ViewId(v)).collect()
+    }
+
+    fn al(view: u32, update: u64) -> ActionList<&'static str> {
+        ActionList::single(ViewId(view), UpdateId(update), "ops")
+    }
+
+    fn batch(view: u32, first: u64, last: u64) -> ActionList<&'static str> {
+        ActionList::batch(ViewId(view), UpdateId(first), UpdateId(last), "ops")
+    }
+
+    /// Example 4 (§5.1): with a batched AL1_3 covering U1 and U3, rows 1
+    /// and 2 must be held even when all their own ALs have arrived,
+    /// because row 1 is tied to row 3 whose AL2_3 is missing. SPA would
+    /// wrongly release rows 1 and 2 here.
+    #[test]
+    fn paper_example_4_holds_intertwined_rows() {
+        // V1=R⋈S, V2=S⋈T⋈Q, V3=Q; U1 on S, U2 on Q, U3 on S.
+        let mut pa = Pa::new([ViewId(1), ViewId(2), ViewId(3)]);
+        let rel = |pa: &mut Pa<&'static str>, i: u64, vs: &[u32]| {
+            pa.on_rel(UpdateId(i), set(vs)).unwrap()
+        };
+        assert!(rel(&mut pa, 1, &[1, 2]).is_empty());
+        assert!(rel(&mut pa, 2, &[2, 3]).is_empty());
+        assert!(rel(&mut pa, 3, &[1, 2]).is_empty());
+
+        // AL1_3 covers U1 and U3 for V1.
+        assert!(pa.on_action(batch(1, 1, 3)).unwrap().is_empty());
+        assert_eq!(pa.vut().color(UpdateId(1), ViewId(1)), Some(Color::Red));
+        assert_eq!(
+            pa.vut().entry(UpdateId(1), ViewId(1)).unwrap().state,
+            UpdateId(3),
+            "intertwined entry records jump state 3"
+        );
+
+        // All ALs for U1 and U2 arrive; rows 1 and 2 must still hold.
+        assert!(pa.on_action(al(2, 1)).unwrap().is_empty());
+        assert!(pa.on_action(al(2, 2)).unwrap().is_empty());
+        assert!(pa.on_action(al(3, 2)).unwrap().is_empty(), "rows 1-2 held");
+
+        // AL2_3 completes row 3 → everything releases as ONE transaction.
+        let txns = pa.on_action(al(2, 3)).unwrap();
+        assert_eq!(txns.len(), 1);
+        let t = &txns[0];
+        assert_eq!(t.rows, vec![UpdateId(1), UpdateId(2), UpdateId(3)]);
+        assert_eq!(t.views, set(&[1, 2, 3]));
+        assert_eq!(t.frontier, UpdateId(3));
+        assert!(pa.is_quiescent());
+    }
+
+    /// Example 5 (§5.1), full trace: WT1 applies alone at t4; rows 2 and 3
+    /// apply together at t6.
+    #[test]
+    fn paper_example_5_trace() {
+        // V1=R⋈S, V2=S⋈T⋈Q, V3=Q; U1 on S (V1,V2), U2 on Q (V2,V3),
+        // U3 on Q (V2,V3).
+        let mut pa = Pa::new([ViewId(1), ViewId(2), ViewId(3)]);
+        pa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+        pa.on_rel(UpdateId(2), set(&[2, 3])).unwrap();
+        pa.on_rel(UpdateId(3), set(&[2, 3])).unwrap();
+
+        // t1: AL2_1 — ProcessRow(1) returns false (V1 white).
+        assert!(pa.on_action(al(2, 1)).unwrap().is_empty());
+        // t2: AL2_3 covering U2..U3 — ProcessRow(3) false (V3 white).
+        assert!(pa.on_action(batch(2, 2, 3)).unwrap().is_empty());
+        assert_eq!(
+            pa.vut().entry(UpdateId(2), ViewId(2)).unwrap().state,
+            UpdateId(3)
+        );
+        // t3: AL3_2 — ProcessRow(2) → ProcessRow(1) false.
+        assert!(pa.on_action(al(3, 2)).unwrap().is_empty());
+        // t4: AL1_1 — row 1 applies alone.
+        let txns = pa.on_action(al(1, 1)).unwrap();
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].rows, vec![UpdateId(1)]);
+        assert_eq!(txns[0].views, set(&[1, 2]));
+        // t5: rows 2, 3 remain, held.
+        assert_eq!(pa.vut().live_rows(), 2);
+        // t6: AL3_3 — rows 2 and 3 apply together as a single transaction.
+        let txns = pa.on_action(al(3, 3)).unwrap();
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].rows, vec![UpdateId(2), UpdateId(3)]);
+        assert_eq!(txns[0].views, set(&[2, 3]));
+        assert_eq!(txns[0].frontier, UpdateId(3));
+        assert!(pa.is_quiescent());
+    }
+
+    /// With purely complete managers (no batching), PA behaves like SPA.
+    #[test]
+    fn degenerates_to_spa_without_batching() {
+        let mut pa = Pa::new([ViewId(1), ViewId(2)]);
+        pa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+        pa.on_rel(UpdateId(2), set(&[2])).unwrap();
+        assert!(pa.on_action(al(2, 1)).unwrap().is_empty());
+        assert!(pa.on_action(al(2, 2)).unwrap().is_empty());
+        let txns = pa.on_action(al(1, 1)).unwrap();
+        assert_eq!(txns.len(), 2, "row 1 then cascaded row 2");
+        assert_eq!(txns[0].rows, vec![UpdateId(1)]);
+        assert_eq!(txns[1].rows, vec![UpdateId(2)]);
+    }
+
+    /// A batched AL whose range precedes its REL is buffered.
+    #[test]
+    fn batched_action_before_rel_buffered() {
+        let mut pa = Pa::new([ViewId(1)]);
+        pa.on_rel(UpdateId(1), set(&[1])).unwrap();
+        assert!(pa.on_action(batch(1, 1, 2)).unwrap().is_empty(), "REL2 missing");
+        let txns = pa.on_rel(UpdateId(2), set(&[1])).unwrap();
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].rows, vec![UpdateId(1), UpdateId(2)]);
+    }
+
+    #[test]
+    fn stale_action_rejected() {
+        let mut pa = Pa::new([ViewId(1)]);
+        pa.on_rel(UpdateId(1), set(&[1])).unwrap();
+        pa.on_rel(UpdateId(2), set(&[1])).unwrap();
+        pa.on_action(batch(1, 1, 2)).unwrap();
+        pa.on_rel(UpdateId(3), set(&[1])).unwrap();
+        // covers update 2 again
+        assert!(matches!(
+            pa.on_action(batch(1, 2, 3)),
+            Err(MergeError::StaleAction { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rel_is_skipped() {
+        let mut pa: Pa<()> = Pa::new([ViewId(1)]);
+        assert!(pa.on_rel(UpdateId(1), set(&[])).unwrap().is_empty());
+        assert!(pa.is_quiescent());
+    }
+
+    /// Cross-view chaining through batches: V1 batches U1..U2, V2 has
+    /// per-update ALs; releasing must happen as one closure containing
+    /// rows 1 and 2 once everything arrived.
+    #[test]
+    fn closure_spans_views_and_batches() {
+        let mut pa = Pa::new([ViewId(1), ViewId(2)]);
+        pa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+        pa.on_rel(UpdateId(2), set(&[1])).unwrap();
+        assert!(pa.on_action(al(2, 1)).unwrap().is_empty());
+        let txns = pa.on_action(batch(1, 1, 2)).unwrap();
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].rows, vec![UpdateId(1), UpdateId(2)]);
+        assert_eq!(txns[0].views, set(&[1, 2]));
+        assert!(pa.is_quiescent());
+    }
+
+    /// Follow-ups cascade after a closure commits. Per-manager FIFO is
+    /// respected: VM1's batch for rows 1-2 precedes its AL for row 3.
+    #[test]
+    fn followup_rows_cascade() {
+        let mut pa = Pa::new([ViewId(1), ViewId(2)]);
+        pa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+        pa.on_rel(UpdateId(2), set(&[1])).unwrap();
+        pa.on_rel(UpdateId(3), set(&[1])).unwrap();
+        assert!(pa.on_action(batch(1, 1, 2)).unwrap().is_empty(), "V2 white");
+        // Row 3's AL arrives next, blocked behind rows 1-2 (same manager).
+        assert!(pa.on_action(al(1, 3)).unwrap().is_empty());
+        let txns = pa.on_action(al(2, 1)).unwrap();
+        assert_eq!(txns.len(), 2, "closure {{1,2}} then follow-up {{3}}");
+        assert_eq!(txns[0].rows, vec![UpdateId(1), UpdateId(2)]);
+        assert_eq!(txns[1].rows, vec![UpdateId(3)]);
+        assert!(pa.is_quiescent());
+    }
+
+    #[test]
+    fn duplicate_al_rejected_as_stale() {
+        let mut pa = Pa::new([ViewId(1), ViewId(2)]);
+        pa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+        pa.on_action(al(1, 1)).unwrap();
+        // A re-sent AL re-covers update 1 → stale by the coverage check.
+        assert!(matches!(
+            pa.on_action(al(1, 1)),
+            Err(MergeError::StaleAction { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_batches() {
+        let mut pa = Pa::new([ViewId(1)]);
+        pa.on_rel(UpdateId(1), set(&[1])).unwrap();
+        pa.on_rel(UpdateId(2), set(&[1])).unwrap();
+        pa.on_action(batch(1, 1, 2)).unwrap();
+        let s = pa.stats();
+        assert_eq!(s.actions_received, 1);
+        assert_eq!(s.batched_actions, 1);
+        assert_eq!(s.txns_emitted, 1);
+        assert_eq!(s.rows_applied, 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! Distributing the merge process (§6.1, Figure 3).
+//!
+//! When the single merge process becomes a bottleneck it can be split:
+//! partition the view managers into groups such that the base relations
+//! used by one group's views are disjoint from every other group's, and
+//! give each group its own merge process. Views that (transitively) share
+//! base relations must stay together, so the groups are the connected
+//! components of the view–relation bipartite graph — computed here with a
+//! union–find over view footprints.
+
+use crate::ids::ViewId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A computed partitioning: each group is a set of views safe to merge
+/// independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning<R: Ord + Clone> {
+    groups: Vec<BTreeSet<ViewId>>,
+    /// Which group handles each base relation.
+    relation_group: BTreeMap<R, usize>,
+    /// Which group each view belongs to.
+    view_group: BTreeMap<ViewId, usize>,
+}
+
+impl<R: Ord + Clone> Partitioning<R> {
+    /// Compute the finest valid partitioning from per-view base-relation
+    /// footprints.
+    ///
+    /// ```
+    /// use mvc_core::{Partitioning, ViewId};
+    /// use std::collections::{BTreeMap, BTreeSet};
+    ///
+    /// // Figure 3: V1 = R⋈S, V2 = S⋈T, V3 = Q.
+    /// let mut fp: BTreeMap<ViewId, BTreeSet<&str>> = BTreeMap::new();
+    /// fp.insert(ViewId(1), ["R", "S"].into());
+    /// fp.insert(ViewId(2), ["S", "T"].into());
+    /// fp.insert(ViewId(3), ["Q"].into());
+    /// let p = Partitioning::compute(&fp);
+    /// assert_eq!(p.group_count(), 2);
+    /// assert_eq!(p.group_of_view(ViewId(1)), p.group_of_view(ViewId(2)));
+    /// ```
+    pub fn compute(footprints: &BTreeMap<ViewId, BTreeSet<R>>) -> Self {
+        let views: Vec<ViewId> = footprints.keys().copied().collect();
+        let mut uf = UnionFind::new(views.len());
+        let index: BTreeMap<ViewId, usize> = views
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+
+        // Union views sharing any base relation.
+        let mut owner: BTreeMap<&R, usize> = BTreeMap::new();
+        for (v, rels) in footprints {
+            let vi = index[v];
+            for r in rels {
+                match owner.get(r) {
+                    Some(&other) => uf.union(vi, other),
+                    None => {
+                        owner.insert(r, vi);
+                    }
+                }
+            }
+        }
+
+        // Collect components.
+        let mut root_to_group: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut groups: Vec<BTreeSet<ViewId>> = Vec::new();
+        let mut view_group = BTreeMap::new();
+        for (&v, &vi) in &index {
+            let root = uf.find(vi);
+            let g = *root_to_group.entry(root).or_insert_with(|| {
+                groups.push(BTreeSet::new());
+                groups.len() - 1
+            });
+            groups[g].insert(v);
+            view_group.insert(v, g);
+        }
+
+        let mut relation_group = BTreeMap::new();
+        for (v, rels) in footprints {
+            let g = view_group[v];
+            for r in rels {
+                relation_group.insert(r.clone(), g);
+            }
+        }
+
+        Partitioning {
+            groups,
+            relation_group,
+            view_group,
+        }
+    }
+
+    /// Number of independent merge processes this partitioning supports.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    pub fn groups(&self) -> &[BTreeSet<ViewId>] {
+        &self.groups
+    }
+
+    /// The group responsible for a view.
+    pub fn group_of_view(&self, v: ViewId) -> Option<usize> {
+        self.view_group.get(&v).copied()
+    }
+
+    /// The group responsible for updates to a base relation. `None` when
+    /// no view reads the relation (such updates are irrelevant everywhere).
+    pub fn group_of_relation(&self, r: &R) -> Option<usize> {
+        self.relation_group.get(r).copied()
+    }
+
+    /// Route a source transaction touching `relations` to merge-process
+    /// groups. For single-relation updates this is always one group; a
+    /// multi-relation transaction (§6.2) may span several, in which case
+    /// per-group MVC still holds but cross-group atomicity needs the
+    /// single-merge configuration — callers decide how to handle it.
+    pub fn route<'a, I>(&self, relations: I) -> BTreeSet<usize>
+    where
+        I: IntoIterator<Item = &'a R>,
+        R: 'a,
+    {
+        relations
+            .into_iter()
+            .filter_map(|r| self.group_of_relation(r))
+            .collect()
+    }
+
+    /// Verify the defining property: group base-relation footprints are
+    /// pairwise disjoint. (Exposed for property tests.)
+    pub fn is_valid(&self, footprints: &BTreeMap<ViewId, BTreeSet<R>>) -> bool {
+        let mut group_rels: Vec<BTreeSet<&R>> = vec![BTreeSet::new(); self.groups.len()];
+        for (v, rels) in footprints {
+            let Some(g) = self.group_of_view(*v) else {
+                return false;
+            };
+            for r in rels {
+                group_rels[g].insert(r);
+            }
+        }
+        for i in 0..group_rels.len() {
+            for j in (i + 1)..group_rels.len() {
+                if group_rels[i].intersection(&group_rels[j]).next().is_some() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Minimal union–find with path compression and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(entries: &[(u32, &[&str])]) -> BTreeMap<ViewId, BTreeSet<String>> {
+        entries
+            .iter()
+            .map(|(v, rels)| {
+                (
+                    ViewId(*v),
+                    rels.iter().map(|s| s.to_string()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Figure 3's example: V1 = R ⋈ S, V2 = S ⋈ T, V3 = Q.
+    /// V1 and V2 share S → one group; V3 alone → second group.
+    #[test]
+    fn figure_3_partitioning() {
+        let footprints = fp(&[(1, &["R", "S"]), (2, &["S", "T"]), (3, &["Q"])]);
+        let p = Partitioning::compute(&footprints);
+        assert_eq!(p.group_count(), 2);
+        assert_eq!(p.group_of_view(ViewId(1)), p.group_of_view(ViewId(2)));
+        assert_ne!(p.group_of_view(ViewId(1)), p.group_of_view(ViewId(3)));
+        assert!(p.is_valid(&footprints));
+        assert_eq!(
+            p.group_of_relation(&"S".to_string()),
+            p.group_of_view(ViewId(1))
+        );
+        assert_eq!(
+            p.group_of_relation(&"Q".to_string()),
+            p.group_of_view(ViewId(3))
+        );
+        assert_eq!(p.group_of_relation(&"Z".to_string()), None);
+    }
+
+    #[test]
+    fn transitive_sharing_collapses() {
+        // V1-{A,B}, V2-{B,C}, V3-{C,D}: all transitively connected.
+        let footprints = fp(&[(1, &["A", "B"]), (2, &["B", "C"]), (3, &["C", "D"])]);
+        let p = Partitioning::compute(&footprints);
+        assert_eq!(p.group_count(), 1);
+        assert!(p.is_valid(&footprints));
+    }
+
+    #[test]
+    fn fully_disjoint_views_each_get_a_group() {
+        let footprints = fp(&[(1, &["A"]), (2, &["B"]), (3, &["C"]), (4, &["D"])]);
+        let p = Partitioning::compute(&footprints);
+        assert_eq!(p.group_count(), 4);
+        assert!(p.is_valid(&footprints));
+    }
+
+    #[test]
+    fn route_single_and_multi_relation() {
+        let footprints = fp(&[(1, &["R", "S"]), (3, &["Q"])]);
+        let p = Partitioning::compute(&footprints);
+        let r = "R".to_string();
+        let q = "Q".to_string();
+        assert_eq!(p.route([&r]).len(), 1);
+        let spanning = p.route([&r, &q]);
+        assert_eq!(spanning.len(), 2, "multi-relation txn spans groups");
+    }
+
+    #[test]
+    fn empty_input() {
+        let footprints: BTreeMap<ViewId, BTreeSet<String>> = BTreeMap::new();
+        let p = Partitioning::compute(&footprints);
+        assert_eq!(p.group_count(), 0);
+        assert!(p.is_valid(&footprints));
+    }
+
+    #[test]
+    fn view_with_empty_footprint_gets_own_group() {
+        let mut footprints = fp(&[(1, &["A"])]);
+        footprints.insert(ViewId(2), BTreeSet::new());
+        let p = Partitioning::compute(&footprints);
+        assert_eq!(p.group_count(), 2);
+    }
+}

@@ -1,0 +1,462 @@
+//! The Simple Painting Algorithm (Algorithm 1, §4).
+//!
+//! SPA coordinates **complete** view managers: every relevant source
+//! update `Ui` produces exactly one action list `AL^x_i` per relevant view
+//! `Vx`. SPA holds action lists in the VUT and releases a row — all of a
+//! row's action lists in one warehouse transaction — as soon as
+//!
+//! 1. every relevant AL for the row has arrived (no white entries), and
+//! 2. for each view in the row, all earlier ALs from the same view manager
+//!    have already been applied (no earlier red in the same column).
+//!
+//! Theorem 4.1: the resulting warehouse history is *complete* under MVC.
+//! SPA is also *prompt*: a row is emitted in the same event-handling step
+//! in which its enabling condition first becomes true.
+
+use crate::action::{ActionList, WarehouseTxn};
+use crate::error::MergeError;
+use crate::ids::{TxnSeq, UpdateId, ViewId};
+use crate::vut::{Color, Vut};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// SPA engine state. Event-driven: feed it `REL` sets and action lists;
+/// it returns the warehouse transactions released by each event.
+///
+/// ```
+/// use mvc_core::{ActionList, Spa, UpdateId, ViewId};
+/// use std::collections::BTreeSet;
+///
+/// let mut spa: Spa<&str> = Spa::new([ViewId(1), ViewId(2)]);
+/// let rel: BTreeSet<ViewId> = [ViewId(1), ViewId(2)].into();
+/// // U1 is relevant to both views…
+/// assert!(spa.on_rel(UpdateId(1), rel).unwrap().is_empty());
+/// // …so the first action list is held…
+/// let al1 = ActionList::single(ViewId(1), UpdateId(1), "ops");
+/// assert!(spa.on_action(al1).unwrap().is_empty());
+/// // …and the second releases both in ONE warehouse transaction.
+/// let al2 = ActionList::single(ViewId(2), UpdateId(1), "ops");
+/// let released = spa.on_action(al2).unwrap();
+/// assert_eq!(released.len(), 1);
+/// assert_eq!(released[0].actions.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spa<P> {
+    vut: Vut<P>,
+    /// Highest (contiguous) REL received.
+    max_rel: UpdateId,
+    /// ALs that arrived before their REL (keyed by update id).
+    pending: BTreeMap<UpdateId, Vec<ActionList<P>>>,
+    next_seq: TxnSeq,
+    /// Running statistics for the bottleneck/freshness experiments.
+    stats: SpaStats,
+}
+
+/// Counters exposed for the experiments of §7.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaStats {
+    pub rels_received: u64,
+    pub actions_received: u64,
+    pub txns_emitted: u64,
+    pub rows_purged: u64,
+    /// High-water mark of live VUT rows (merge-process memory pressure).
+    pub max_live_rows: usize,
+}
+
+impl<P: Clone> Spa<P> {
+    /// Create an SPA merge engine for the given set of view managers.
+    pub fn new(views: impl IntoIterator<Item = ViewId>) -> Self {
+        Spa {
+            vut: Vut::new(views),
+            max_rel: UpdateId::ZERO,
+            pending: BTreeMap::new(),
+            next_seq: TxnSeq(1),
+            stats: SpaStats::default(),
+        }
+    }
+
+    pub fn vut(&self) -> &Vut<P> {
+        &self.vut
+    }
+
+    /// Register a new view column on the fly (§1.2); rows for updates
+    /// numbered so far stay black for it.
+    pub fn add_view(&mut self, v: ViewId) {
+        self.vut.add_view(v);
+    }
+
+    pub fn stats(&self) -> SpaStats {
+        self.stats
+    }
+
+    /// True when every received AL has been applied and no row is waiting.
+    pub fn is_quiescent(&self) -> bool {
+        self.vut.is_empty() && self.pending.is_empty()
+    }
+
+    /// Handle receipt of `REL_i` from the integrator. RELs must arrive in
+    /// FIFO order (`i == previous + 1`); every update gets a REL, possibly
+    /// empty.
+    pub fn on_rel(
+        &mut self,
+        i: UpdateId,
+        relevant: BTreeSet<ViewId>,
+    ) -> Result<Vec<WarehouseTxn<P>>, MergeError> {
+        if i != self.max_rel.next() {
+            return Err(MergeError::NonSequentialRel {
+                expected: self.max_rel.next(),
+                got: i,
+            });
+        }
+        for v in &relevant {
+            if !self.vut.has_view(*v) {
+                return Err(MergeError::UnknownView(*v));
+            }
+        }
+        self.stats.rels_received += 1;
+        self.max_rel = i;
+        self.vut.insert_row(i, &relevant);
+        self.stats.max_live_rows = self.stats.max_live_rows.max(self.vut.live_rows());
+
+        let mut out = Vec::new();
+        // A row relevant to no view can be retired immediately.
+        self.process_row(i, &mut out);
+        // Process any ALs that were waiting for this REL.
+        if let Some(als) = self.pending.remove(&i) {
+            for al in als {
+                self.process_action(al, &mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Handle receipt of `AL^x_i` from view manager `x`. ALs for updates
+    /// whose `REL` has not arrived are buffered *before* view validation:
+    /// with dynamic installation (§1.2) the column may be announced on
+    /// the integrator FIFO between now and that REL.
+    pub fn on_action(&mut self, al: ActionList<P>) -> Result<Vec<WarehouseTxn<P>>, MergeError> {
+        if al.last <= self.max_rel && !self.vut.has_view(al.view) {
+            return Err(MergeError::UnknownView(al.view));
+        }
+        if al.first != al.last {
+            return Err(MergeError::BatchedActionInSpa {
+                view: al.view,
+                first: al.first,
+                last: al.last,
+            });
+        }
+        self.stats.actions_received += 1;
+        let mut out = Vec::new();
+        if al.last > self.max_rel {
+            // REL_i has not arrived yet; hold the AL (§4: "the merge
+            // process needs to delay the processing of AL^x_i until after
+            // REL_i arrives").
+            self.pending.entry(al.last).or_default().push(al);
+        } else {
+            self.process_action(al, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// `ProcessAction(AL^x_i)`: mark red, then try the row.
+    fn process_action(
+        &mut self,
+        al: ActionList<P>,
+        out: &mut Vec<WarehouseTxn<P>>,
+    ) -> Result<(), MergeError> {
+        let (i, x) = (al.last, al.view);
+        if !self.vut.has_view(x) {
+            return Err(MergeError::UnknownView(x));
+        }
+        match self.vut.color(i, x) {
+            Some(Color::White) => {}
+            Some(Color::Red) => {
+                return Err(MergeError::UnexpectedAction {
+                    view: x,
+                    update: i,
+                    found: "red (duplicate AL)",
+                })
+            }
+            Some(Color::Gray) => {
+                return Err(MergeError::UnexpectedAction {
+                    view: x,
+                    update: i,
+                    found: "gray (already applied)",
+                })
+            }
+            Some(Color::Black) | None => {
+                return Err(MergeError::UnexpectedAction {
+                    view: x,
+                    update: i,
+                    found: "black/missing (update irrelevant to view)",
+                })
+            }
+        }
+        self.vut.store_action(al);
+        self.vut.set_red(i, x, i);
+        self.process_row(i, out);
+        Ok(())
+    }
+
+    /// `ProcessRow(i)` (Algorithm 1): apply the row if permitted, then
+    /// recursively check rows unblocked by the application.
+    fn process_row(&mut self, i: UpdateId, out: &mut Vec<WarehouseTxn<P>>) {
+        if !self.vut.has_row(i) {
+            return; // already applied and purged
+        }
+        // Line 1: some AL still missing.
+        if self.vut.row_has_white(i) {
+            return;
+        }
+        // Line 2: an earlier AL from the same manager is still unapplied.
+        let reds = self.vut.reds_in_row(i);
+        for &x in &reds {
+            if !self.vut.reds_before(i, x).is_empty() {
+                return;
+            }
+        }
+        // Line 3: red → gray.
+        for &x in &reds {
+            self.vut.set_gray(i, x);
+        }
+        // Line 4: emit all of WT_i as a single warehouse transaction.
+        let actions = self.vut.take_wt(i);
+        debug_assert_eq!(actions.len(), reds.len(), "one AL per red entry");
+        if !actions.is_empty() {
+            let views: BTreeSet<ViewId> = actions.iter().map(|a| a.view).collect();
+            let seq = self.next_seq;
+            self.next_seq = seq.next();
+            self.stats.txns_emitted += 1;
+            out.push(WarehouseTxn {
+                seq,
+                rows: vec![i],
+                actions,
+                views,
+                frontier: i,
+            });
+        }
+        // Line 5: collect follow-up rows before purging.
+        let mut follow: Vec<UpdateId> = reds
+            .iter()
+            .filter_map(|&x| self.vut.next_red(i, x))
+            .collect();
+        follow.sort_unstable();
+        follow.dedup();
+        // Line 6: purge row i.
+        self.vut.purge_row(i);
+        self.stats.rows_purged += 1;
+        for j in follow {
+            self.process_row(j, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> BTreeSet<ViewId> {
+        ids.iter().map(|&v| ViewId(v)).collect()
+    }
+
+    fn al(view: u32, update: u64) -> ActionList<&'static str> {
+        ActionList::single(ViewId(view), UpdateId(update), "ops")
+    }
+
+    /// Example 2 + the basic hold: AL2_1 arrives but AL1_1 is missing →
+    /// nothing released until AL1_1 arrives, then both go in one txn.
+    #[test]
+    fn holds_until_row_complete() {
+        let mut spa = Spa::new([ViewId(1), ViewId(2), ViewId(3)]);
+        assert!(spa.on_rel(UpdateId(1), set(&[1, 2])).unwrap().is_empty());
+        assert!(spa.on_action(al(2, 1)).unwrap().is_empty(), "V1 still white");
+        let txns = spa.on_action(al(1, 1)).unwrap();
+        assert_eq!(txns.len(), 1);
+        let t = &txns[0];
+        assert_eq!(t.rows, vec![UpdateId(1)]);
+        assert_eq!(t.views, set(&[1, 2]));
+        assert_eq!(t.actions.len(), 2);
+        assert_eq!(t.frontier, UpdateId(1));
+        assert!(spa.is_quiescent());
+    }
+
+    /// Independent rows release out of order (Example 3, time t5: row 2 on
+    /// V3 applies before row 1).
+    #[test]
+    fn disjoint_later_row_releases_first() {
+        let mut spa = Spa::new([ViewId(1), ViewId(2), ViewId(3)]);
+        spa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+        spa.on_action(al(2, 1)).unwrap();
+        spa.on_rel(UpdateId(2), set(&[3])).unwrap();
+        let txns = spa.on_action(al(3, 2)).unwrap();
+        assert_eq!(txns.len(), 1, "row 2 independent of row 1");
+        assert_eq!(txns[0].rows, vec![UpdateId(2)]);
+        assert!(!spa.is_quiescent(), "row 1 still waiting");
+    }
+
+    /// Line 2: same-manager order. AL for U3 cannot apply before AL for U1
+    /// when both affect V2.
+    #[test]
+    fn same_manager_order_enforced() {
+        let mut spa = Spa::new([ViewId(1), ViewId(2)]);
+        spa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+        spa.on_rel(UpdateId(2), set(&[2])).unwrap();
+        spa.on_action(al(2, 1)).unwrap();
+        // AL2_2 arrives; row 2 has no whites but row 1 has red in V2.
+        let txns = spa.on_action(al(2, 2)).unwrap();
+        assert!(txns.is_empty(), "blocked by earlier red in same column");
+        // AL1_1 completes row 1 → row 1 applies, then row 2 cascades.
+        let txns = spa.on_action(al(1, 1)).unwrap();
+        assert_eq!(txns.len(), 2);
+        assert_eq!(txns[0].rows, vec![UpdateId(1)]);
+        assert_eq!(txns[1].rows, vec![UpdateId(2)]);
+        assert!(txns[1].seq > txns[0].seq);
+        assert!(spa.is_quiescent());
+    }
+
+    /// AL arriving before its REL is buffered (§4: "may receive a list
+    /// AL^x_j without having received REL_j").
+    #[test]
+    fn action_before_rel_buffered() {
+        let mut spa = Spa::new([ViewId(1)]);
+        spa.on_rel(UpdateId(1), set(&[1])).unwrap();
+        spa.on_action(al(1, 1)).unwrap();
+        // AL for U2 arrives before REL_2
+        assert!(spa.on_action(al(1, 2)).unwrap().is_empty());
+        let txns = spa.on_rel(UpdateId(2), set(&[1])).unwrap();
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].rows, vec![UpdateId(2)]);
+    }
+
+    /// Full Example 3 message sequence; the released transactions must be
+    /// WT2 (V3), WT1 (V1,V2), WT3 (V2) in that order.
+    #[test]
+    fn paper_example_3_sequence() {
+        // Views: V1 = R⋈S, V2 = S⋈T, V3 = Q
+        // Updates: U1 on S (→V1,V2), U2 on Q (→V3), U3 on T (→V2)
+        let mut spa = Spa::new([ViewId(1), ViewId(2), ViewId(3)]);
+        let mut released: Vec<WarehouseTxn<&str>> = Vec::new();
+        released.extend(spa.on_rel(UpdateId(1), set(&[1, 2])).unwrap());
+        released.extend(spa.on_action(al(2, 1)).unwrap());
+        released.extend(spa.on_rel(UpdateId(2), set(&[3])).unwrap());
+        released.extend(spa.on_rel(UpdateId(3), set(&[2])).unwrap());
+        released.extend(spa.on_action(al(3, 2)).unwrap()); // t5: WT2 applied
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].rows, vec![UpdateId(2)]);
+        released.extend(spa.on_action(al(2, 3)).unwrap()); // t7: still blocked
+        assert_eq!(released.len(), 1);
+        released.extend(spa.on_action(al(1, 1)).unwrap()); // t8-t11: WT1 then WT3
+        assert_eq!(released.len(), 3);
+        assert_eq!(released[1].rows, vec![UpdateId(1)]);
+        assert_eq!(released[1].views, set(&[1, 2]));
+        assert_eq!(released[2].rows, vec![UpdateId(3)]);
+        assert_eq!(released[2].views, set(&[2]));
+        assert!(spa.is_quiescent());
+    }
+
+    #[test]
+    fn empty_rel_row_purges_immediately() {
+        let mut spa: Spa<()> = Spa::new([ViewId(1)]);
+        let txns = spa.on_rel(UpdateId(1), set(&[])).unwrap();
+        assert!(txns.is_empty());
+        assert!(spa.is_quiescent());
+    }
+
+    #[test]
+    fn rejects_out_of_order_rel() {
+        let mut spa: Spa<()> = Spa::new([ViewId(1)]);
+        assert!(matches!(
+            spa.on_rel(UpdateId(2), set(&[1])),
+            Err(MergeError::NonSequentialRel { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_batched_al() {
+        let mut spa: Spa<()> = Spa::new([ViewId(1)]);
+        spa.on_rel(UpdateId(1), set(&[1])).unwrap();
+        spa.on_rel(UpdateId(2), set(&[1])).unwrap();
+        let batched = ActionList::batch(ViewId(1), UpdateId(1), UpdateId(2), ());
+        assert!(matches!(
+            spa.on_action(batched),
+            Err(MergeError::BatchedActionInSpa { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_and_irrelevant_al() {
+        let mut spa = Spa::new([ViewId(1), ViewId(2)]);
+        spa.on_rel(UpdateId(1), set(&[1])).unwrap();
+        // irrelevant view (entry black)
+        assert!(matches!(
+            spa.on_action(al(2, 1)),
+            Err(MergeError::UnexpectedAction { .. })
+        ));
+        // unknown view id
+        assert!(matches!(
+            spa.on_action(al(9, 1)),
+            Err(MergeError::UnknownView(_))
+        ));
+    }
+
+    #[test]
+    fn empty_payload_al_still_required_and_counted() {
+        // Empty ALs are sent and complete the row like any other.
+        let mut spa = Spa::new([ViewId(1), ViewId(2)]);
+        spa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+        spa.on_action(ActionList::single(ViewId(1), UpdateId(1), ""))
+            .unwrap();
+        let txns = spa
+            .on_action(ActionList::single(ViewId(2), UpdateId(1), ""))
+            .unwrap();
+        assert_eq!(txns.len(), 1);
+        assert_eq!(txns[0].actions.len(), 2);
+    }
+
+    #[test]
+    fn stats_track_progress() {
+        let mut spa = Spa::new([ViewId(1)]);
+        spa.on_rel(UpdateId(1), set(&[1])).unwrap();
+        spa.on_action(al(1, 1)).unwrap();
+        let s = spa.stats();
+        assert_eq!(s.rels_received, 1);
+        assert_eq!(s.actions_received, 1);
+        assert_eq!(s.txns_emitted, 1);
+        assert!(s.max_live_rows >= 1);
+    }
+
+    /// Promptness: a row releases in the exact event that completes it,
+    /// and never before.
+    #[test]
+    fn promptness_release_at_enabling_event() {
+        let mut spa = Spa::new([ViewId(1), ViewId(2)]);
+        spa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+        // Every prefix of the enabling sequence releases nothing…
+        assert!(spa.on_action(al(1, 1)).unwrap().is_empty());
+        // …and the completing event releases immediately.
+        assert_eq!(spa.on_action(al(2, 1)).unwrap().len(), 1);
+    }
+
+    /// Deep cascade: applying row 1 unblocks rows 2 and 3 transitively
+    /// through overlapping view chains (U1→{A,B}, U2→{B,C}, U3→{C}).
+    /// Per-manager FIFO is respected: each VM's ALs arrive in order.
+    #[test]
+    fn cascading_chain() {
+        let (a, b, c) = (1u32, 2u32, 3u32);
+        let mut spa = Spa::new([ViewId(a), ViewId(b), ViewId(c)]);
+        spa.on_rel(UpdateId(1), set(&[a, b])).unwrap();
+        spa.on_rel(UpdateId(2), set(&[b, c])).unwrap();
+        spa.on_rel(UpdateId(3), set(&[c])).unwrap();
+        // VM B in order, VM C in order; row 2 blocked by row 1 (column B),
+        // row 3 blocked by row 2 (column C).
+        assert!(spa.on_action(al(b, 1)).unwrap().is_empty());
+        assert!(spa.on_action(al(b, 2)).unwrap().is_empty());
+        assert!(spa.on_action(al(c, 2)).unwrap().is_empty());
+        assert!(spa.on_action(al(c, 3)).unwrap().is_empty());
+        // The single missing AL releases the whole chain in order.
+        let txns = spa.on_action(al(a, 1)).unwrap();
+        assert_eq!(txns.len(), 3);
+        let rows: Vec<u64> = txns.iter().map(|t| t.rows[0].0).collect();
+        assert_eq!(rows, vec![1, 2, 3], "applied in update order");
+        assert!(spa.is_quiescent());
+    }
+}

@@ -1,0 +1,298 @@
+//! Property tests for SPA and PA over randomized *legal* message
+//! arrivals: random relevance patterns, random batching (PA), and random
+//! interleavings of AL arrivals that respect the only ordering guarantee
+//! the paper assumes — per-sender FIFO.
+//!
+//! Invariants checked (independent of the warehouse or any data model):
+//! * every update relevant to a view is covered by exactly one applied AL
+//!   of that view, in order (no loss, no duplication, no reordering);
+//! * a transaction's rows are applied together: all views relevant to a
+//!   row advance past it in the same transaction;
+//! * per view, the sequence of applied AL frontiers is strictly
+//!   increasing;
+//! * the engine quiesces exactly when all input has arrived.
+
+use mvc_core::{ActionList, MergeError, Pa, Spa, UpdateId, ViewId, WarehouseTxn};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A generated scenario: per update, the set of relevant views.
+#[derive(Debug, Clone)]
+struct Scenario {
+    views: Vec<ViewId>,
+    rel: Vec<BTreeSet<ViewId>>, // index 0 ↔ update 1
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2u32..5, 3usize..14).prop_flat_map(|(nviews, nupd)| {
+        let views: Vec<ViewId> = (1..=nviews).map(ViewId).collect();
+        proptest::collection::vec(
+            proptest::collection::btree_set(1u32..=nviews, 1..=(nviews as usize)),
+            nupd..=nupd,
+        )
+        .prop_map(move |rels| Scenario {
+            views: views.clone(),
+            rel: rels
+                .into_iter()
+                .map(|s| s.into_iter().map(ViewId).collect())
+                .collect(),
+        })
+    })
+}
+
+/// Per-sender FIFO queues → random interleaving drained by a seeded RNG.
+struct Interleaver {
+    queues: Vec<VecDeque<Event>>,
+    rng: StdRng,
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Rel(UpdateId, BTreeSet<ViewId>),
+    Action(ActionList<()>),
+}
+
+impl Interleaver {
+    fn next(&mut self) -> Option<Event> {
+        let nonempty: Vec<usize> = self
+            .queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if nonempty.is_empty() {
+            return None;
+        }
+        let pick = nonempty[self.rng.gen_range(0..nonempty.len())];
+        self.queues[pick].pop_front()
+    }
+}
+
+fn build_queues(sc: &Scenario, batch_seed: Option<u64>) -> Vec<VecDeque<Event>> {
+    // queue 0: integrator RELs in order; queue 1..: per-VM ALs in order.
+    let mut queues: Vec<VecDeque<Event>> = vec![VecDeque::new(); sc.views.len() + 1];
+    for (i, rel) in sc.rel.iter().enumerate() {
+        queues[0].push_back(Event::Rel(UpdateId(i as u64 + 1), rel.clone()));
+    }
+    for (vi, &v) in sc.views.iter().enumerate() {
+        let mine: Vec<UpdateId> = sc
+            .rel
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.contains(&v))
+            .map(|(i, _)| UpdateId(i as u64 + 1))
+            .collect();
+        match batch_seed {
+            None => {
+                for u in mine {
+                    queues[vi + 1].push_back(Event::Action(ActionList::single(v, u, ())));
+                }
+            }
+            Some(seed) => {
+                // random contiguous batches of this VM's relevant updates
+                let mut rng = StdRng::seed_from_u64(seed ^ (v.0 as u64) << 17);
+                let mut idx = 0;
+                while idx < mine.len() {
+                    let take = rng.gen_range(1..=3.min(mine.len() - idx));
+                    let first = mine[idx];
+                    let last = mine[idx + take - 1];
+                    queues[vi + 1].push_back(Event::Action(ActionList::batch(v, first, last, ())));
+                    idx += take;
+                }
+            }
+        }
+    }
+    queues
+}
+
+/// Check the shared invariants over the released transactions.
+fn check_invariants(
+    sc: &Scenario,
+    txns: &[WarehouseTxn<()>],
+) -> Result<(), TestCaseError> {
+    // per view: applied ALs in frontier order, covering its relevant
+    // updates exactly once
+    for &v in &sc.views {
+        let mut covered: BTreeSet<UpdateId> = BTreeSet::new();
+        let mut last = UpdateId::ZERO;
+        for t in txns {
+            for al in &t.actions {
+                if al.view != v {
+                    continue;
+                }
+                prop_assert!(al.first > last, "view {v}: AL out of order");
+                for u in al.first.0..=al.last.0 {
+                    // only relevant updates are covered
+                    if sc.rel[(u - 1) as usize].contains(&v) {
+                        prop_assert!(
+                            covered.insert(UpdateId(u)),
+                            "view {v}: update U{u} covered twice"
+                        );
+                    }
+                }
+                last = al.last;
+            }
+        }
+        let expected: BTreeSet<UpdateId> = sc
+            .rel
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.contains(&v))
+            .map(|(i, _)| UpdateId(i as u64 + 1))
+            .collect();
+        prop_assert_eq!(covered, expected, "view {} lost updates", v);
+    }
+    // atomicity: within one txn, every row it covers is covered for ALL
+    // views relevant to that row
+    for t in txns {
+        for &row in &t.rows {
+            for &v in &sc.rel[(row.0 - 1) as usize] {
+                let covered_here = t
+                    .actions
+                    .iter()
+                    .any(|al| al.view == v && al.first <= row && row <= al.last);
+                prop_assert!(
+                    covered_here,
+                    "txn {:?} covers {row} but not for view {v}",
+                    t.seq
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// SPA under complete managers: invariants hold for every relevance
+    /// pattern and interleaving; additionally every transaction covers
+    /// exactly one row (completeness) and quiescence is reached.
+    #[test]
+    fn spa_invariants(sc in scenario(), seed in 0u64..1_000_000) {
+        let mut spa: Spa<()> = Spa::new(sc.views.iter().copied());
+        let mut il = Interleaver {
+            queues: build_queues(&sc, None),
+            rng: StdRng::seed_from_u64(seed),
+        };
+        let mut txns: Vec<WarehouseTxn<()>> = Vec::new();
+        while let Some(ev) = il.next() {
+            let out = match ev {
+                Event::Rel(i, rel) => spa.on_rel(i, rel),
+                Event::Action(al) => spa.on_action(al),
+            };
+            txns.extend(out.expect("legal inputs never error"));
+        }
+        prop_assert!(spa.is_quiescent(), "SPA failed to quiesce");
+        for t in &txns {
+            prop_assert_eq!(t.rows.len(), 1, "SPA txns cover exactly one row");
+        }
+        check_invariants(&sc, &txns)?;
+    }
+
+    /// PA under randomly batching managers: same invariants; quiescence;
+    /// closures may span rows.
+    #[test]
+    fn pa_invariants(sc in scenario(), seed in 0u64..1_000_000, bseed in 0u64..1_000_000) {
+        let mut pa: Pa<()> = Pa::new(sc.views.iter().copied());
+        let mut il = Interleaver {
+            queues: build_queues(&sc, Some(bseed)),
+            rng: StdRng::seed_from_u64(seed),
+        };
+        let mut txns: Vec<WarehouseTxn<()>> = Vec::new();
+        while let Some(ev) = il.next() {
+            let out = match ev {
+                Event::Rel(i, rel) => pa.on_rel(i, rel),
+                Event::Action(al) => pa.on_action(al),
+            };
+            txns.extend(out.expect("legal inputs never error"));
+        }
+        prop_assert!(pa.is_quiescent(), "PA failed to quiesce");
+        check_invariants(&sc, &txns)?;
+    }
+
+    /// SPA promptness: replaying the identical event sequence but
+    /// checking after each event — once a row's enabling condition holds
+    /// (all ALs present, all same-column predecessors applied), it is
+    /// released within that same event.
+    #[test]
+    fn spa_prompt(sc in scenario(), seed in 0u64..1_000_000) {
+        let mut spa: Spa<()> = Spa::new(sc.views.iter().copied());
+        let mut il = Interleaver {
+            queues: build_queues(&sc, None),
+            rng: StdRng::seed_from_u64(seed),
+        };
+        // Track which (update, view) ALs have arrived and which applied.
+        let mut arrived: BTreeMap<UpdateId, BTreeSet<ViewId>> = BTreeMap::new();
+        let mut applied_rows: BTreeSet<UpdateId> = BTreeSet::new();
+        let mut rel_seen: BTreeMap<UpdateId, BTreeSet<ViewId>> = BTreeMap::new();
+        while let Some(ev) = il.next() {
+            let out = match ev {
+                Event::Rel(i, rel) => {
+                    rel_seen.insert(i, rel.clone());
+                    spa.on_rel(i, rel)
+                }
+                Event::Action(al) => {
+                    arrived.entry(al.last).or_default().insert(al.view);
+                    spa.on_action(al)
+                }
+            };
+            for t in out.expect("legal") {
+                for r in &t.rows {
+                    applied_rows.insert(*r);
+                }
+            }
+            // promptness: any fully-enabled unapplied row is a violation
+            for (&u, rel) in &rel_seen {
+                if applied_rows.contains(&u) {
+                    continue;
+                }
+                let all_arrived = rel
+                    .iter()
+                    .all(|v| arrived.get(&u).map(|s| s.contains(v)).unwrap_or(false));
+                if !all_arrived {
+                    continue;
+                }
+                // blocked only if some earlier update shares a view and
+                // is unapplied
+                let blocked = rel_seen.iter().any(|(&u2, rel2)| {
+                    u2 < u
+                        && !applied_rows.contains(&u2)
+                        && rel2.intersection(rel).next().is_some()
+                });
+                prop_assert!(
+                    blocked,
+                    "row {u} enabled but unapplied (not prompt)"
+                );
+            }
+        }
+    }
+
+    /// Protocol violations are rejected, never silently mis-coordinated:
+    /// duplicate ALs and ALs for irrelevant updates error out.
+    #[test]
+    fn spa_rejects_protocol_violations(sc in scenario()) {
+        let mut spa: Spa<()> = Spa::new(sc.views.iter().copied());
+        for (i, rel) in sc.rel.iter().enumerate() {
+            spa.on_rel(UpdateId(i as u64 + 1), rel.clone()).unwrap();
+        }
+        // AL for a view NOT in REL_1 (if such a view exists)
+        if let Some(&wrong) = sc.views.iter().find(|v| !sc.rel[0].contains(v)) {
+            let al = ActionList::single(wrong, UpdateId(1), ());
+            let rejected = matches!(
+                spa.on_action(al),
+                Err(MergeError::UnexpectedAction { .. })
+            );
+            prop_assert!(rejected);
+        }
+        // duplicate AL
+        let v = *sc.rel[0].iter().next().unwrap();
+        spa.on_action(ActionList::single(v, UpdateId(1), ())).unwrap();
+        prop_assert!(spa
+            .on_action(ActionList::single(v, UpdateId(1), ()))
+            .is_err());
+    }
+}

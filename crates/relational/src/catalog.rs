@@ -1,0 +1,87 @@
+//! The catalog: base-relation schemas known system-wide.
+
+use crate::schema::{RelationName, Schema, SchemaError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Maps base-relation names to their schemas. Shared (immutably) by
+/// sources, view managers and the integrator.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Catalog {
+    relations: BTreeMap<RelationName, Schema>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a relation schema. Returns an error on redefinition with a
+    /// different schema (idempotent for identical redefinitions).
+    pub fn define(
+        &mut self,
+        name: impl Into<RelationName>,
+        schema: Schema,
+    ) -> Result<(), SchemaError> {
+        let name = name.into();
+        if let Some(existing) = self.relations.get(&name) {
+            if *existing != schema {
+                return Err(SchemaError::DuplicateAttribute(format!(
+                    "relation `{name}` redefined with different schema"
+                )));
+            }
+            return Ok(());
+        }
+        self.relations.insert(name, schema);
+        Ok(())
+    }
+
+    /// Builder-style definition for test/bench setup.
+    pub fn with(mut self, name: impl Into<RelationName>, schema: Schema) -> Self {
+        self.define(name, schema).expect("catalog redefinition");
+        self
+    }
+
+    pub fn schema(&self, name: &RelationName) -> Option<&Schema> {
+        self.relations.get(name)
+    }
+
+    pub fn require(&self, name: &RelationName) -> Result<&Schema, SchemaError> {
+        self.schema(name)
+            .ok_or_else(|| SchemaError::UnknownAttribute(format!("relation `{name}`")))
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &RelationName> {
+        self.relations.keys()
+    }
+
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_and_lookup() {
+        let mut c = Catalog::new();
+        c.define("R", Schema::ints(&["a", "b"])).unwrap();
+        assert_eq!(c.schema(&"R".into()).unwrap().arity(), 2);
+        assert!(c.schema(&"S".into()).is_none());
+        assert!(c.require(&"S".into()).is_err());
+    }
+
+    #[test]
+    fn idempotent_redefinition_ok_conflict_err() {
+        let mut c = Catalog::new();
+        c.define("R", Schema::ints(&["a"])).unwrap();
+        assert!(c.define("R", Schema::ints(&["a"])).is_ok());
+        assert!(c.define("R", Schema::ints(&["a", "b"])).is_err());
+    }
+}

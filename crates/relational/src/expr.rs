@@ -1,0 +1,457 @@
+//! Scalar expressions for selection predicates and projections.
+//!
+//! Expressions reference attributes either by resolved position (`Col`) or
+//! by qualified name (`Named`), which is resolved against a schema before
+//! evaluation. Comparison follows SQL three-valued logic collapsed to
+//! two-valued at the top: a predicate keeps a tuple only when it evaluates
+//! to `true` (unknown → filtered out).
+
+use crate::schema::{Schema, SchemaError};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Evaluation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    Schema(SchemaError),
+    /// Arithmetic applied to non-numeric operands.
+    NotNumeric,
+    DivisionByZero,
+    /// `Named` column used without prior resolution.
+    Unresolved(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Schema(e) => write!(f, "schema error: {e}"),
+            ExprError::NotNumeric => write!(f, "arithmetic on non-numeric operands"),
+            ExprError::DivisionByZero => write!(f, "division by zero"),
+            ExprError::Unresolved(n) => write!(f, "unresolved column `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+impl From<SchemaError> for ExprError {
+    fn from(e: SchemaError) -> Self {
+        ExprError::Schema(e)
+    }
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Column by resolved position within the (joined) input schema.
+    Col(usize),
+    /// Column by name; must be resolved against a schema before evaluation.
+    Named(String),
+    /// Literal constant.
+    Const(Value),
+    /// Comparison, SQL three-valued (null operand → unknown → false at top).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic over numerics (int op int → int except Div → float).
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    IsNull(Box<Expr>),
+    /// Always true (empty predicate).
+    True,
+}
+
+impl Expr {
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    pub fn named(n: impl Into<String>) -> Expr {
+        Expr::Named(n.into())
+    }
+
+    pub fn value(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(a), Box::new(b))
+    }
+
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(a), Box::new(b))
+    }
+
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(a), Box::new(b))
+    }
+
+    pub fn le(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(a), Box::new(b))
+    }
+
+    pub fn gt(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(a), Box::new(b))
+    }
+
+    pub fn ge(a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(a), Box::new(b))
+    }
+
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    #[allow(clippy::should_implement_trait)] // builder-style constructor, not an operator
+    pub fn not(a: Expr) -> Expr {
+        Expr::Not(Box::new(a))
+    }
+
+    /// Conjunction of many predicates (`True` when empty).
+    pub fn all<I: IntoIterator<Item = Expr>>(preds: I) -> Expr {
+        preds
+            .into_iter()
+            .reduce(Expr::and)
+            .unwrap_or(Expr::True)
+    }
+
+    /// Resolve all `Named` references to `Col` positions against `schema`.
+    pub fn resolve(&self, schema: &Schema) -> Result<Expr, SchemaError> {
+        Ok(match self {
+            Expr::Named(n) => Expr::Col(schema.resolve(n)?),
+            Expr::Col(i) => {
+                if *i >= schema.arity() {
+                    return Err(SchemaError::PositionOutOfRange {
+                        position: *i,
+                        arity: schema.arity(),
+                    });
+                }
+                Expr::Col(*i)
+            }
+            Expr::Const(v) => Expr::Const(v.clone()),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.resolve(schema)?),
+                Box::new(b.resolve(schema)?),
+            ),
+            Expr::Arith(op, a, b) => Expr::Arith(
+                *op,
+                Box::new(a.resolve(schema)?),
+                Box::new(b.resolve(schema)?),
+            ),
+            Expr::And(a, b) => Expr::and(a.resolve(schema)?, b.resolve(schema)?),
+            Expr::Or(a, b) => Expr::or(a.resolve(schema)?, b.resolve(schema)?),
+            Expr::Not(a) => Expr::not(a.resolve(schema)?),
+            Expr::IsNull(a) => Expr::IsNull(Box::new(a.resolve(schema)?)),
+            Expr::True => Expr::True,
+        })
+    }
+
+    /// Evaluate against a tuple. `Named` must be resolved first.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value, ExprError> {
+        Ok(match self {
+            Expr::Col(i) => tuple
+                .try_get(*i)
+                .ok_or(ExprError::Schema(SchemaError::PositionOutOfRange {
+                    position: *i,
+                    arity: tuple.arity(),
+                }))?
+                .clone(),
+            Expr::Named(n) => return Err(ExprError::Unresolved(n.clone())),
+            Expr::Const(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let va = a.eval(tuple)?;
+                let vb = b.eval(tuple)?;
+                match va.sql_cmp(&vb) {
+                    Some(ord) => Value::Bool(op.test(ord)),
+                    None => Value::Null, // unknown
+                }
+            }
+            Expr::Arith(op, a, b) => {
+                let va = a.eval(tuple)?;
+                let vb = b.eval(tuple)?;
+                if va.is_null() || vb.is_null() {
+                    return Ok(Value::Null);
+                }
+                match (va.as_i64(), vb.as_i64(), op) {
+                    (Some(x), Some(y), ArithOp::Add) => Value::Int(x.wrapping_add(y)),
+                    (Some(x), Some(y), ArithOp::Sub) => Value::Int(x.wrapping_sub(y)),
+                    (Some(x), Some(y), ArithOp::Mul) => Value::Int(x.wrapping_mul(y)),
+                    _ => {
+                        let x = va.as_f64().ok_or(ExprError::NotNumeric)?;
+                        let y = vb.as_f64().ok_or(ExprError::NotNumeric)?;
+                        match op {
+                            ArithOp::Add => Value::Float(x + y),
+                            ArithOp::Sub => Value::Float(x - y),
+                            ArithOp::Mul => Value::Float(x * y),
+                            ArithOp::Div => {
+                                if y == 0.0 {
+                                    return Err(ExprError::DivisionByZero);
+                                }
+                                Value::Float(x / y)
+                            }
+                        }
+                    }
+                }
+            }
+            Expr::And(a, b) => {
+                // three-valued AND
+                let va = a.eval(tuple)?;
+                let vb = b.eval(tuple)?;
+                match (va.as_bool(), vb.as_bool()) {
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                    (Some(true), Some(true)) => Value::Bool(true),
+                    _ => Value::Null,
+                }
+            }
+            Expr::Or(a, b) => {
+                let va = a.eval(tuple)?;
+                let vb = b.eval(tuple)?;
+                match (va.as_bool(), vb.as_bool()) {
+                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                    (Some(false), Some(false)) => Value::Bool(false),
+                    _ => Value::Null,
+                }
+            }
+            Expr::Not(a) => match a.eval(tuple)?.as_bool() {
+                Some(b) => Value::Bool(!b),
+                None => Value::Null,
+            },
+            Expr::IsNull(a) => Value::Bool(a.eval(tuple)?.is_null()),
+            Expr::True => Value::Bool(true),
+        })
+    }
+
+    /// Evaluate as a filter: `true` keeps the tuple; `false`/unknown drops it.
+    pub fn matches(&self, tuple: &Tuple) -> Result<bool, ExprError> {
+        Ok(self.eval(tuple)?.as_bool().unwrap_or(false))
+    }
+
+    /// Column positions this expression reads (for irrelevance analysis).
+    pub fn columns(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => out.push(*i),
+            Expr::Named(_) | Expr::Const(_) | Expr::True => {}
+            Expr::Cmp(_, a, b) | Expr::Arith(_, a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Not(a) | Expr::IsNull(a) => a.collect_columns(out),
+        }
+    }
+
+    /// Rewrite column positions through `map` (position in the old schema →
+    /// position in the new schema). Used to push predicates onto single
+    /// relations during irrelevance analysis and delta evaluation.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> Option<usize>) -> Option<Expr> {
+        Some(match self {
+            Expr::Col(i) => Expr::Col(map(*i)?),
+            Expr::Named(n) => Expr::Named(n.clone()),
+            Expr::Const(v) => Expr::Const(v.clone()),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.remap_columns(map)?),
+                Box::new(b.remap_columns(map)?),
+            ),
+            Expr::Arith(op, a, b) => Expr::Arith(
+                *op,
+                Box::new(a.remap_columns(map)?),
+                Box::new(b.remap_columns(map)?),
+            ),
+            Expr::And(a, b) => Expr::and(a.remap_columns(map)?, b.remap_columns(map)?),
+            Expr::Or(a, b) => Expr::or(a.remap_columns(map)?, b.remap_columns(map)?),
+            Expr::Not(a) => Expr::not(a.remap_columns(map)?),
+            Expr::IsNull(a) => Expr::IsNull(Box::new(a.remap_columns(map)?)),
+            Expr::True => Expr::True,
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "#{i}"),
+            Expr::Named(n) => write!(f, "{n}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Cmp(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::Arith(op, a, b) => write!(f, "({a} {op} {b})"),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "(NOT {a})"),
+            Expr::IsNull(a) => write!(f, "({a} IS NULL)"),
+            Expr::True => write!(f, "TRUE"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn comparison_and_logic() {
+        let t = tuple![1, 2];
+        let p = Expr::and(
+            Expr::lt(Expr::col(0), Expr::col(1)),
+            Expr::eq(Expr::col(0), Expr::value(1)),
+        );
+        assert!(p.matches(&t).unwrap());
+        assert!(!Expr::gt(Expr::col(0), Expr::col(1)).matches(&t).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_filter_out() {
+        let t = crate::tuple::Tuple::new(vec![Value::Null, Value::Int(1)]);
+        let p = Expr::eq(Expr::col(0), Expr::col(1));
+        assert!(!p.matches(&t).unwrap());
+        assert!(Expr::IsNull(Box::new(Expr::col(0))).matches(&t).unwrap());
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let t = crate::tuple::Tuple::new(vec![Value::Null, Value::Int(1)]);
+        let unknown = Expr::eq(Expr::col(0), Expr::value(0));
+        // unknown AND false = false; unknown OR true = true
+        let f = Expr::and(unknown.clone(), Expr::eq(Expr::col(1), Expr::value(2)));
+        assert_eq!(f.eval(&t).unwrap(), Value::Bool(false));
+        let tr = Expr::or(unknown, Expr::eq(Expr::col(1), Expr::value(1)));
+        assert_eq!(tr.eval(&t).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let t = tuple![6, 4];
+        let add = Expr::Arith(ArithOp::Add, Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        assert_eq!(add.eval(&t).unwrap(), Value::Int(10));
+        let div = Expr::Arith(ArithOp::Div, Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        assert_eq!(div.eval(&t).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let t = tuple![1, 0];
+        let div = Expr::Arith(ArithOp::Div, Box::new(Expr::col(0)), Box::new(Expr::col(1)));
+        assert_eq!(div.eval(&t), Err(ExprError::DivisionByZero));
+    }
+
+    #[test]
+    fn resolve_named_columns() {
+        let schema = Schema::ints(&["a", "b"]);
+        let p = Expr::eq(Expr::named("b"), Expr::value(2));
+        let r = p.resolve(&schema).unwrap();
+        assert!(r.matches(&tuple![1, 2]).unwrap());
+        assert!(Expr::named("z").resolve(&schema).is_err());
+    }
+
+    #[test]
+    fn unresolved_named_errors_at_eval() {
+        assert!(matches!(
+            Expr::named("x").eval(&tuple![1]),
+            Err(ExprError::Unresolved(_))
+        ));
+    }
+
+    #[test]
+    fn columns_collects_dedup_sorted() {
+        let p = Expr::and(
+            Expr::eq(Expr::col(3), Expr::col(1)),
+            Expr::lt(Expr::col(1), Expr::value(5)),
+        );
+        assert_eq!(p.columns(), vec![1, 3]);
+    }
+
+    #[test]
+    fn remap_fails_when_column_unmapped() {
+        let p = Expr::eq(Expr::col(0), Expr::col(2));
+        let mapped = p.remap_columns(&|i| if i == 0 { Some(0) } else { None });
+        assert!(mapped.is_none());
+        let ok = p.remap_columns(&|i| Some(i));
+        assert_eq!(ok, Some(p));
+    }
+
+    #[test]
+    fn all_builds_conjunction() {
+        assert_eq!(Expr::all([]), Expr::True);
+        let t = tuple![1];
+        let p = Expr::all([
+            Expr::eq(Expr::col(0), Expr::value(1)),
+            Expr::lt(Expr::col(0), Expr::value(2)),
+        ]);
+        assert!(p.matches(&t).unwrap());
+    }
+}

@@ -1,0 +1,296 @@
+//! Bag (multiset) relations.
+//!
+//! Incremental view maintenance over select-project-join views is only
+//! correct under bag semantics (Griffin & Libkin, SIGMOD '95 — the paper's
+//! ref \[3\]): a projection can map two distinct base tuples to the same view
+//! tuple, and deleting one base tuple must not delete the view tuple while
+//! a derivation remains. Relations therefore store a multiplicity per
+//! distinct tuple.
+
+use crate::schema::{Schema, SchemaError};
+use crate::tuple::Tuple;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A multiset of tuples conforming to a [`Schema`].
+///
+/// Backed by a `BTreeMap<Tuple, u64>` so iteration order is deterministic —
+/// important for golden tests that render the paper's tables byte-for-byte.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    rows: BTreeMap<Tuple, u64>,
+    /// Total multiplicity (cached so `len` is O(1)).
+    count: u64,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: BTreeMap::new(),
+            count: 0,
+        }
+    }
+
+    /// Build from tuples, validating each against the schema.
+    pub fn from_tuples<I>(schema: Schema, tuples: I) -> Result<Self, SchemaError>
+    where
+        I: IntoIterator<Item = Tuple>,
+    {
+        let mut r = Relation::new(schema);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples counting multiplicity.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of *distinct* tuples.
+    pub fn distinct_len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Multiplicity of a tuple (0 when absent).
+    pub fn multiplicity(&self, t: &Tuple) -> u64 {
+        self.rows.get(t).copied().unwrap_or(0)
+    }
+
+    /// Does the relation contain at least one copy of `t`?
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.multiplicity(t) > 0
+    }
+
+    /// Insert one copy of a tuple (schema-checked).
+    pub fn insert(&mut self, t: Tuple) -> Result<(), SchemaError> {
+        self.insert_n(t, 1)
+    }
+
+    /// Insert `n` copies.
+    pub fn insert_n(&mut self, t: Tuple, n: u64) -> Result<(), SchemaError> {
+        if n == 0 {
+            return Ok(());
+        }
+        self.schema.check(&t)?;
+        *self.rows.entry(t).or_insert(0) += n;
+        self.count += n;
+        Ok(())
+    }
+
+    /// Remove one copy of a tuple. Returns `true` when a copy was present
+    /// and removed; deleting an absent tuple is a no-op returning `false`
+    /// (sources may race; the warehouse treats this as idempotent).
+    pub fn delete(&mut self, t: &Tuple) -> bool {
+        self.delete_n(t, 1) > 0
+    }
+
+    /// Remove up to `n` copies; returns how many were actually removed.
+    pub fn delete_n(&mut self, t: &Tuple, n: u64) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        match self.rows.get_mut(t) {
+            None => 0,
+            Some(m) => {
+                let removed = (*m).min(n);
+                *m -= removed;
+                if *m == 0 {
+                    self.rows.remove(t);
+                }
+                self.count -= removed;
+                removed
+            }
+        }
+    }
+
+    /// Remove all tuples.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.count = 0;
+    }
+
+    /// Iterate `(tuple, multiplicity)` pairs in deterministic (sorted) order.
+    pub fn iter_counted(&self) -> impl Iterator<Item = (&Tuple, u64)> {
+        self.rows.iter().map(|(t, &n)| (t, n))
+    }
+
+    /// Iterate tuples, repeating each according to its multiplicity.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows
+            .iter()
+            .flat_map(|(t, &n)| std::iter::repeat_n(t, n as usize))
+    }
+
+    /// Distinct tuples, sorted.
+    pub fn distinct(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.keys()
+    }
+
+    /// Collect all tuples (with multiplicity) into a vector.
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        self.iter().cloned().collect()
+    }
+
+    /// Multiset union.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let mut out = self.clone();
+        for (t, n) in other.iter_counted() {
+            *out.rows.entry(t.clone()).or_insert(0) += n;
+            out.count += n;
+        }
+        out
+    }
+
+    /// Multiset difference (`self ∸ other`, monus semantics).
+    pub fn difference(&self, other: &Relation) -> Relation {
+        let mut out = self.clone();
+        for (t, n) in other.iter_counted() {
+            out.delete_n(t, n);
+        }
+        out
+    }
+
+    /// A content fingerprint independent of representation, used by the
+    /// consistency oracle to compare states cheaply.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        for (t, n) in self.iter_counted() {
+            t.hash(&mut h);
+            n.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for (t, n) in self.iter_counted() {
+            for _ in 0..n {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                first = false;
+                write!(f, "{t}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rel(names: &[&str]) -> Relation {
+        Relation::new(Schema::ints(names))
+    }
+
+    #[test]
+    fn multiset_insert_delete() {
+        let mut r = rel(&["a"]);
+        r.insert(tuple![1]).unwrap();
+        r.insert(tuple![1]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.distinct_len(), 1);
+        assert_eq!(r.multiplicity(&tuple![1]), 2);
+        assert!(r.delete(&tuple![1]));
+        assert_eq!(r.multiplicity(&tuple![1]), 1);
+        assert!(r.delete(&tuple![1]));
+        assert!(!r.delete(&tuple![1]), "deleting absent tuple is a no-op");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn schema_enforced_on_insert() {
+        let mut r = rel(&["a", "b"]);
+        assert!(r.insert(tuple![1]).is_err());
+        assert!(r.insert(tuple![1, "x"]).is_err());
+        assert!(r.insert(tuple![1, 2]).is_ok());
+    }
+
+    #[test]
+    fn union_adds_multiplicities() {
+        let mut a = rel(&["a"]);
+        let mut b = rel(&["a"]);
+        a.insert_n(tuple![1], 2).unwrap();
+        b.insert_n(tuple![1], 3).unwrap();
+        b.insert(tuple![2]).unwrap();
+        let u = a.union(&b);
+        assert_eq!(u.multiplicity(&tuple![1]), 5);
+        assert_eq!(u.multiplicity(&tuple![2]), 1);
+        assert_eq!(u.len(), 6);
+    }
+
+    #[test]
+    fn difference_is_monus() {
+        let mut a = rel(&["a"]);
+        let mut b = rel(&["a"]);
+        a.insert_n(tuple![1], 2).unwrap();
+        b.insert_n(tuple![1], 5).unwrap();
+        let d = a.difference(&b);
+        assert_eq!(d.multiplicity(&tuple![1]), 0);
+        assert_eq!(d.len(), 0);
+    }
+
+    #[test]
+    fn delete_n_partial() {
+        let mut r = rel(&["a"]);
+        r.insert_n(tuple![7], 3).unwrap();
+        assert_eq!(r.delete_n(&tuple![7], 2), 2);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.delete_n(&tuple![7], 10), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deterministic_iteration_order() {
+        let mut r = rel(&["a"]);
+        for v in [3i64, 1, 2] {
+            r.insert(tuple![v]).unwrap();
+        }
+        let vals: Vec<i64> = r.iter().map(|t| t.get(0).as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let mut a = rel(&["a"]);
+        let mut b = rel(&["a"]);
+        a.insert(tuple![1]).unwrap();
+        b.insert(tuple![1]).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.insert(tuple![2]).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // multiplicity matters
+        let mut c = a.clone();
+        c.insert(tuple![1]).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn display_sorted() {
+        let mut r = rel(&["a", "b"]);
+        r.insert(tuple![2, 3]).unwrap();
+        r.insert(tuple![1, 2]).unwrap();
+        assert_eq!(r.to_string(), "{[1, 2], [2, 3]}");
+    }
+}

@@ -1,0 +1,861 @@
+//! A small SQL front-end for view definitions.
+//!
+//! The WHIPS prototype defined warehouse views in a SQL-ish DDL; this
+//! module provides the same convenience: parse a `SELECT … FROM … [WHERE
+//! …] [GROUP BY …]` statement into a [`ViewDef`] against a [`Catalog`].
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! select    := SELECT items FROM tables [WHERE pred] [GROUP BY refs]
+//! items     := '*' | item (',' item)*
+//! item      := expr [AS ident] | aggfn '(' (expr | '*') ')' [AS ident]
+//! aggfn     := COUNT | SUM | MIN | MAX | AVG
+//! tables    := ident (',' ident)*          -- duplicates = self-join
+//! pred      := or ;  or := and (OR and)* ; and := not (AND not)*
+//! not       := NOT not | primary
+//! primary   := expr cmp expr | expr IS [NOT] NULL | '(' pred ')'
+//! cmp       := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//! expr      := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)*
+//! factor    := number | string | NULL | ref | '(' expr ')' | '-' factor
+//! ref       := ident ['.' ident]           -- `R.a` or bare `a`
+//! ```
+//!
+//! Bare column names are resolved against the qualified join schema when
+//! unambiguous (`a` → `R.a` if exactly one source has an `a`).
+
+use crate::catalog::Catalog;
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::schema::SchemaError;
+use crate::value::Value;
+use crate::viewdef::{AggFunc, ViewDef, ViewName};
+use std::fmt;
+
+/// Errors raised by the SQL front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error at byte offset.
+    Lex(usize, String),
+    /// Unexpected token.
+    Parse(String),
+    /// Name resolution / schema error from the builder.
+    Schema(SchemaError),
+    /// Ambiguous bare column.
+    Ambiguous(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(pos, what) => write!(f, "lex error at byte {pos}: {what}"),
+            SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SqlError::Schema(e) => write!(f, "schema error: {e}"),
+            SqlError::Ambiguous(n) => write!(f, "ambiguous column `{n}`"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<SchemaError> for SqlError {
+    fn from(e: SchemaError) -> Self {
+        SqlError::Schema(e)
+    }
+}
+
+/// Parse one SELECT statement into a view definition named `name`.
+pub fn parse_view(
+    name: impl Into<ViewName>,
+    sql: &str,
+    catalog: &Catalog,
+) -> Result<ViewDef, SqlError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        catalog,
+        sources: Vec::new(),
+    };
+    p.parse_select(name.into())
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Symbol(&'static str), // ( ) , . * + - / = != <> < <= > >=
+}
+
+fn keyword(s: &str) -> String {
+    s.to_ascii_uppercase()
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
+    let b = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '=' => {
+                out.push(Tok::Symbol(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    _ => "=",
+                }));
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Tok::Symbol("!="));
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex(i, "expected `!=`".into()));
+                }
+            }
+            '<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Tok::Symbol("<="));
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Tok::Symbol("!="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Tok::Symbol(">="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(SqlError::Lex(i, "unterminated string".into()));
+                }
+                out.push(Tok::Str(input[start..j].to_owned()));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && (b[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit()
+                {
+                    i += 1;
+                    while i < b.len() && (b[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                    let f: f64 = input[start..i]
+                        .parse()
+                        .map_err(|_| SqlError::Lex(start, "bad float".into()))?;
+                    out.push(Tok::Float(f));
+                } else {
+                    let n: i64 = input[start..i]
+                        .parse()
+                        .map_err(|_| SqlError::Lex(start, "bad integer".into()))?;
+                    out.push(Tok::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() {
+                    let ch = b[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '#' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(input[start..i].to_owned()));
+            }
+            other => return Err(SqlError::Lex(i, format!("unexpected `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    tokens: Vec<Tok>,
+    pos: usize,
+    catalog: &'a Catalog,
+    /// FROM-list relation names in order (with duplicates for self-joins).
+    sources: Vec<String>,
+}
+
+/// One SELECT-list item before resolution.
+enum SelectItem {
+    Star,
+    Expr { expr: Expr, alias: Option<String> },
+    Agg {
+        func: AggFunc,
+        input: Option<Expr>,
+        alias: Option<String>,
+    },
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_symbol(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Symbol(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(x)) if keyword(x) == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_symbol(&mut self, s: &str) -> Result<(), SqlError> {
+        if self.eat_symbol(s) {
+            Ok(())
+        } else {
+            Err(SqlError::Parse(format!(
+                "expected `{s}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_select(&mut self, name: ViewName) -> Result<ViewDef, SqlError> {
+        self.expect_keyword("SELECT")?;
+        // select list (deferred resolution until FROM is known)
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        loop {
+            let rel = self.ident()?;
+            self.sources.push(rel);
+            if !self.eat_symbol(",") {
+                break;
+            }
+        }
+        let predicate = if self.eat_keyword("WHERE") {
+            Some(self.parse_or()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_ref()?);
+                if !self.eat_symbol(",") {
+                    break;
+                }
+            }
+        }
+        if self.pos != self.tokens.len() {
+            return Err(SqlError::Parse(format!(
+                "trailing input at token {:?}",
+                self.peek()
+            )));
+        }
+
+        // Assemble via the builder.
+        let mut b = ViewDef::builder(name.as_str());
+        for s in &self.sources {
+            b = b.from(s.as_str());
+        }
+        if let Some(p) = predicate {
+            b = b.filter(self.qualify(p)?);
+        }
+        let has_agg = items
+            .iter()
+            .any(|i| matches!(i, SelectItem::Agg { .. }));
+        let mut agg_group_exprs: Vec<Expr> = Vec::new();
+        for item in items {
+            match item {
+                SelectItem::Star => {
+                    if has_agg {
+                        return Err(SqlError::Parse("`*` cannot mix with aggregates".into()));
+                    }
+                    // identity projection: nothing to add (builder default)
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let q = self.qualify(expr)?;
+                    if has_agg {
+                        // non-aggregate item in an aggregate query must be
+                        // a grouped expression; remember it as group-by
+                        // output order is builder-managed
+                        agg_group_exprs.push(q.clone());
+                        let name = alias.unwrap_or_else(|| display_name(&q));
+                        let _ = name; // group columns take their own names
+                    } else {
+                        let name = alias.unwrap_or_else(|| display_name(&q));
+                        b = b.project_expr(q, name);
+                    }
+                }
+                SelectItem::Agg { func, input, alias } => {
+                    let input = match input {
+                        Some(e) => self.normalize_output(e)?,
+                        None => Expr::True, // COUNT(*)
+                    };
+                    let name = alias.unwrap_or_else(|| func.to_string());
+                    b = b.aggregate(func, input, name);
+                }
+            }
+        }
+        for g in group_by {
+            b = b.group_by(self.normalize_output(g)?);
+        }
+        b.build(self.catalog).map_err(SqlError::from)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
+        if self.eat_symbol("*") {
+            return Ok(SelectItem::Star);
+        }
+        // aggregate function?
+        if let Some(Tok::Ident(id)) = self.peek() {
+            let func = match keyword(id).as_str() {
+                "COUNT" => Some(AggFunc::Count),
+                "SUM" => Some(AggFunc::Sum),
+                "MIN" => Some(AggFunc::Min),
+                "MAX" => Some(AggFunc::Max),
+                "AVG" => Some(AggFunc::Avg),
+                _ => None,
+            };
+            if let Some(func) = func {
+                // lookahead for '('
+                if matches!(self.tokens.get(self.pos + 1), Some(Tok::Symbol("("))) {
+                    self.pos += 2; // ident + (
+                    let input = if self.eat_symbol("*") {
+                        None
+                    } else {
+                        Some(self.parse_expr()?)
+                    };
+                    self.expect_symbol(")")?;
+                    let alias = self.parse_alias()?;
+                    return Ok(SelectItem::Agg { func, input, alias });
+                }
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = self.parse_alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn parse_alias(&mut self) -> Result<Option<String>, SqlError> {
+        if self.eat_keyword("AS") {
+            Ok(Some(self.ident()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // predicates -----------------------------------------------------
+
+    fn parse_or(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.parse_and()?;
+            e = Expr::or(e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.parse_not()?;
+            e = Expr::and(e, rhs);
+        }
+        Ok(e)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::not(self.parse_not()?))
+        } else {
+            self.parse_primary_pred()
+        }
+    }
+
+    fn parse_primary_pred(&mut self) -> Result<Expr, SqlError> {
+        // Parenthesized predicate vs parenthesized arithmetic — parse an
+        // expression first; if followed by a comparison, it's arithmetic.
+        let save = self.pos;
+        if self.eat_symbol("(") {
+            // try predicate
+            if let Ok(inner) = self.parse_or() {
+                if self.eat_symbol(")") {
+                    // If this parses as a comparison already (or the next
+                    // token is a boolean connective / end), accept it.
+                    if !self.next_is_cmp() {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save; // fall through to expression route
+        }
+        let lhs = self.parse_expr()?;
+        if self.eat_keyword("IS") {
+            let negate = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            let isnull = Expr::IsNull(Box::new(lhs));
+            return Ok(if negate { Expr::not(isnull) } else { isnull });
+        }
+        let op = match self.next() {
+            Some(Tok::Symbol("=")) => CmpOp::Eq,
+            Some(Tok::Symbol("!=")) => CmpOp::Ne,
+            Some(Tok::Symbol("<")) => CmpOp::Lt,
+            Some(Tok::Symbol("<=")) => CmpOp::Le,
+            Some(Tok::Symbol(">")) => CmpOp::Gt,
+            Some(Tok::Symbol(">=")) => CmpOp::Ge,
+            other => {
+                return Err(SqlError::Parse(format!(
+                    "expected comparison operator, found {other:?}"
+                )))
+            }
+        };
+        let rhs = self.parse_expr()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn next_is_cmp(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Tok::Symbol("=" | "!=" | "<" | "<=" | ">" | ">="))
+        )
+    }
+
+    // arithmetic expressions ------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.parse_term()?;
+        loop {
+            if self.eat_symbol("+") {
+                e = Expr::Arith(ArithOp::Add, Box::new(e), Box::new(self.parse_term()?));
+            } else if self.eat_symbol("-") {
+                e = Expr::Arith(ArithOp::Sub, Box::new(e), Box::new(self.parse_term()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.parse_factor()?;
+        loop {
+            if self.eat_symbol("*") {
+                e = Expr::Arith(ArithOp::Mul, Box::new(e), Box::new(self.parse_factor()?));
+            } else if self.eat_symbol("/") {
+                e = Expr::Arith(ArithOp::Div, Box::new(e), Box::new(self.parse_factor()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, SqlError> {
+        match self.peek().cloned() {
+            Some(Tok::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Const(Value::Int(n)))
+            }
+            Some(Tok::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::Const(Value::Float(f)))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Const(Value::Str(s)))
+            }
+            Some(Tok::Symbol("-")) => {
+                self.pos += 1;
+                let inner = self.parse_factor()?;
+                Ok(Expr::Arith(
+                    ArithOp::Sub,
+                    Box::new(Expr::Const(Value::Int(0))),
+                    Box::new(inner),
+                ))
+            }
+            Some(Tok::Symbol("(")) => {
+                self.pos += 1;
+                let e = self.parse_expr()?;
+                self.expect_symbol(")")?;
+                Ok(e)
+            }
+            Some(Tok::Ident(id)) if keyword(&id) == "NULL" => {
+                self.pos += 1;
+                Ok(Expr::Const(Value::Null))
+            }
+            Some(Tok::Ident(_)) => self.parse_ref(),
+            other => Err(SqlError::Parse(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn parse_ref(&mut self) -> Result<Expr, SqlError> {
+        let first = self.ident()?;
+        if self.eat_symbol(".") {
+            let attr = self.ident()?;
+            Ok(Expr::named(format!("{first}.{attr}")))
+        } else {
+            Ok(Expr::named(first))
+        }
+    }
+
+    /// Qualify bare column references against the FROM list: `a` becomes
+    /// `R.a` when exactly one source relation has an attribute `a`.
+    fn qualify(&self, e: Expr) -> Result<Expr, SqlError> {
+        Ok(match e {
+            Expr::Named(n) if !n.contains('.') => {
+                let mut owner: Option<String> = None;
+                let mut seen = std::collections::BTreeSet::new();
+                for src in &self.sources {
+                    if !seen.insert(src.clone()) {
+                        continue; // self-join: second occurrence ambiguous anyway
+                    }
+                    if let Some(schema) = self.catalog.schema(&src.as_str().into()) {
+                        if schema.position_of(&n).is_some() {
+                            if owner.is_some() {
+                                return Err(SqlError::Ambiguous(n));
+                            }
+                            owner = Some(src.clone());
+                        }
+                    }
+                }
+                match owner {
+                    Some(src) => Expr::named(format!("{src}.{n}")),
+                    None => Expr::Named(n), // let the builder report it
+                }
+            }
+            Expr::Named(n) => Expr::Named(n),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                op,
+                Box::new(self.qualify(*a)?),
+                Box::new(self.qualify(*b)?),
+            ),
+            Expr::Arith(op, a, b) => Expr::Arith(
+                op,
+                Box::new(self.qualify(*a)?),
+                Box::new(self.qualify(*b)?),
+            ),
+            Expr::And(a, b) => Expr::and(self.qualify(*a)?, self.qualify(*b)?),
+            Expr::Or(a, b) => Expr::or(self.qualify(*a)?, self.qualify(*b)?),
+            Expr::Not(a) => Expr::not(self.qualify(*a)?),
+            Expr::IsNull(a) => Expr::IsNull(Box::new(self.qualify(*a)?)),
+            other => other,
+        })
+    }
+}
+
+impl Parser<'_> {
+    /// Normalize a reference for the *core output* schema (where group-by
+    /// and aggregate inputs resolve): qualifiers are stripped when the
+    /// bare attribute is unique across the FROM list, mirroring the
+    /// builder's default output naming.
+    fn normalize_output(&self, e: Expr) -> Result<Expr, SqlError> {
+        Ok(match e {
+            Expr::Named(n) => {
+                let bare = match n.rsplit_once('.') {
+                    Some((_, a)) => a.to_owned(),
+                    None => n.clone(),
+                };
+                let mut owners = 0usize;
+                let mut seen = std::collections::BTreeSet::new();
+                for src in &self.sources {
+                    if !seen.insert(src.clone()) {
+                        owners += 1; // self-join repeats keep names qualified
+                        continue;
+                    }
+                    if let Some(schema) = self.catalog.schema(&src.as_str().into()) {
+                        if schema.position_of(&bare).is_some() {
+                            owners += 1;
+                        }
+                    }
+                }
+                if owners <= 1 {
+                    Expr::Named(bare)
+                } else {
+                    // ambiguous: keep (or synthesize) the qualified form
+                    self.qualify(Expr::Named(n))?
+                }
+            }
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                op,
+                Box::new(self.normalize_output(*a)?),
+                Box::new(self.normalize_output(*b)?),
+            ),
+            Expr::Arith(op, a, b) => Expr::Arith(
+                op,
+                Box::new(self.normalize_output(*a)?),
+                Box::new(self.normalize_output(*b)?),
+            ),
+            Expr::And(a, b) => Expr::and(self.normalize_output(*a)?, self.normalize_output(*b)?),
+            Expr::Or(a, b) => Expr::or(self.normalize_output(*a)?, self.normalize_output(*b)?),
+            Expr::Not(a) => Expr::not(self.normalize_output(*a)?),
+            Expr::IsNull(a) => Expr::IsNull(Box::new(self.normalize_output(*a)?)),
+            other => other,
+        })
+    }
+}
+
+fn display_name(e: &Expr) -> String {
+    match e {
+        Expr::Named(n) => match n.rsplit_once('.') {
+            Some((_, a)) => a.to_owned(),
+            None => n.clone(),
+        },
+        other => format!("{other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::eval::eval_view;
+    use crate::schema::Schema;
+    use crate::tuple;
+
+    fn catalog() -> Catalog {
+        Catalog::new()
+            .with("R", Schema::ints(&["a", "b"]))
+            .with("S", Schema::ints(&["b", "c"]))
+    }
+
+    fn db() -> Database {
+        let mut db = Database::from_catalog(&catalog());
+        for (a, b) in [(1i64, 2i64), (5, 2), (9, 7)] {
+            db.relation_mut(&"R".into())
+                .unwrap()
+                .insert(tuple![a, b])
+                .unwrap();
+        }
+        for (b, c) in [(2i64, 3i64), (7, 8)] {
+            db.relation_mut(&"S".into())
+                .unwrap()
+                .insert(tuple![b, c])
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn select_star_single_table() {
+        let v = parse_view("V", "SELECT * FROM R", &catalog()).unwrap();
+        let out = eval_view(&v, &db()).unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn join_with_projection_and_filter() {
+        let v = parse_view(
+            "V",
+            "SELECT R.a, S.c FROM R, S WHERE R.b = S.b AND R.a > 2",
+            &catalog(),
+        )
+        .unwrap();
+        let out = eval_view(&v, &db()).unwrap();
+        // R[5,2]⋈S[2,3] and R[9,7]⋈S[7,8]; R[1,2] filtered by a>2
+        assert_eq!(out.len(), 2);
+        assert!(out.contains(&tuple![5, 3]));
+        assert!(out.contains(&tuple![9, 8]));
+    }
+
+    #[test]
+    fn bare_columns_qualified_when_unambiguous() {
+        let v = parse_view(
+            "V",
+            "SELECT a, c FROM R, S WHERE R.b = S.b",
+            &catalog(),
+        )
+        .unwrap();
+        let names: Vec<_> = v.schema.attributes().iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn ambiguous_bare_column_rejected() {
+        let err = parse_view("V", "SELECT b FROM R, S", &catalog()).unwrap_err();
+        assert!(matches!(err, SqlError::Ambiguous(_)), "{err}");
+    }
+
+    #[test]
+    fn aggregates_with_group_by() {
+        let v = parse_view(
+            "A",
+            "SELECT b, COUNT(*) AS n, SUM(a) AS total FROM R GROUP BY b",
+            &catalog(),
+        )
+        .unwrap();
+        let out = eval_view(&v, &db()).unwrap();
+        assert!(out.contains(&tuple![2, 2, 6]), "{out}");
+        assert!(out.contains(&tuple![7, 1, 9]), "{out}");
+    }
+
+    #[test]
+    fn arithmetic_aliases_and_literals() {
+        let v = parse_view(
+            "V",
+            "SELECT a * 2 + 1 AS odd FROM R WHERE a <= 5",
+            &catalog(),
+        )
+        .unwrap();
+        let out = eval_view(&v, &db()).unwrap();
+        assert!(out.contains(&tuple![3]));
+        assert!(out.contains(&tuple![11]));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn or_not_parens_is_null() {
+        let v = parse_view(
+            "V",
+            "SELECT a FROM R WHERE (a = 1 OR a = 9) AND NOT a IS NULL",
+            &catalog(),
+        )
+        .unwrap();
+        let out = eval_view(&v, &db()).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn self_join_via_duplicate_from() {
+        let v = parse_view(
+            "V",
+            "SELECT R.a FROM R, R WHERE R.b = R#2.a",
+            &catalog(),
+        )
+        .unwrap();
+        // R[?,b]⋈R[a=b,?]: pairs where first.b == second.a
+        let out = eval_view(&v, &db()).unwrap();
+        // b values {2,2,7}; a values {1,5,9}: no matches (2,7 ∉ {1,5,9})
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn string_and_null_literals() {
+        let cat = Catalog::new().with(
+            "P",
+            Schema::new(vec![
+                crate::schema::Attribute::str("name"),
+                crate::schema::Attribute::int("age"),
+            ])
+            .unwrap(),
+        );
+        let v = parse_view(
+            "V",
+            "SELECT name FROM P WHERE name = 'alice' AND age IS NOT NULL",
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(v.schema.arity(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let cat = catalog();
+        assert!(matches!(
+            parse_view("V", "SELECT FROM R", &cat),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_view("V", "SELECT * FROM", &cat),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(
+            parse_view("V", "SELECT * FROM R WHERE a ~ 1", &cat),
+            Err(SqlError::Lex(..))
+        ));
+        assert!(matches!(
+            parse_view("V", "SELECT * FROM Unknown", &cat),
+            Err(SqlError::Schema(_))
+        ));
+        assert!(matches!(
+            parse_view("V", "SELECT * FROM R extra", &cat),
+            Err(SqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn sql_view_equals_builder_view() {
+        let cat = catalog();
+        let sql = parse_view(
+            "V1",
+            "SELECT R.a, R.b, S.c FROM R, S WHERE R.b = S.b",
+            &cat,
+        )
+        .unwrap();
+        let built = ViewDef::builder("V1")
+            .from("R")
+            .from("S")
+            .join_on("R.b", "S.b")
+            .project(["R.a", "R.b", "S.c"])
+            .build(&cat)
+            .unwrap();
+        let d = db();
+        assert_eq!(
+            eval_view(&sql, &d).unwrap(),
+            eval_view(&built, &d).unwrap()
+        );
+    }
+}

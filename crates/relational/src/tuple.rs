@@ -1,0 +1,131 @@
+//! Tuples: immutable, cheaply clonable rows of [`Value`]s.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable row. Backed by `Arc<[Value]>` so cloning a tuple while it
+/// flows through update streams, action lists and materialized views is a
+/// reference-count bump, not a deep copy.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from owned values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at position `i` (panics when out of range, like slice indexing).
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Checked access.
+    pub fn try_get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Concatenate two tuples (used by joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::new(v)
+    }
+
+    /// Project onto the given positions (panics when a position is out of
+    /// range — schemas are validated before evaluation).
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple::new(positions.iter().map(|&i| self.values[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Convenience macro: `tuple![1, "a", 2.5]` builds a [`Tuple`] by
+/// converting each element with `Into<Value>`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_converted_values() {
+        let t = tuple![1, "a", 2.5, true];
+        assert_eq!(t.arity(), 4);
+        assert_eq!(t.get(0), &Value::Int(1));
+        assert_eq!(t.get(1), &Value::str("a"));
+        assert_eq!(t.get(2), &Value::Float(2.5));
+        assert_eq!(t.get(3), &Value::Bool(true));
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = tuple![1, 2];
+        let b = tuple![3];
+        assert_eq!(a.concat(&b), tuple![1, 2, 3]);
+    }
+
+    #[test]
+    fn project_selects_positions() {
+        let t = tuple![10, 20, 30];
+        assert_eq!(t.project(&[2, 0]), tuple![30, 10]);
+        assert_eq!(t.project(&[]), Tuple::new(vec![]));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let t = tuple![1, 2, 3];
+        let u = t.clone();
+        assert!(Arc::ptr_eq(&t.values, &u.values));
+    }
+
+    #[test]
+    fn display_is_bracketed() {
+        assert_eq!(tuple![2, 3].to_string(), "[2, 3]");
+    }
+
+    #[test]
+    fn try_get_out_of_range() {
+        assert!(tuple![1].try_get(1).is_none());
+    }
+}

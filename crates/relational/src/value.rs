@@ -1,0 +1,294 @@
+//! Scalar values stored in tuples.
+//!
+//! The engine is dynamically typed at the value level (like the WHIPS
+//! prototype's wrapper layer): every attribute position holds a [`Value`].
+//! Values have a total order so they can be used as keys in ordered
+//! containers and compared by predicates; floats are ordered by
+//! `f64::total_cmp`, with `Null` sorting first.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A dynamically typed scalar value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL-style NULL. Compares equal to itself here (bag semantics need a
+    /// decidable equality); predicates treat comparisons with `Null` as
+    /// false except explicit `IsNull` tests.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float, totally ordered via `total_cmp`.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// String value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// The [`ValueType`] tag of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Null => ValueType::Null,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+        }
+    }
+
+    /// True iff this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as boolean for predicate evaluation (`Null`/non-bool → `None`).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view used by arithmetic: ints widen to floats when mixed.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// SQL-style three-valued comparison: `None` when either side is null
+    /// or the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => Some(a.total_cmp(b)),
+            (Value::Int(a), Value::Float(b)) => Some((*a as f64).total_cmp(b)),
+            (Value::Float(a), Value::Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            _ => None,
+        }
+    }
+}
+
+/// Total order used for container keys and deterministic output: groups by
+/// type tag first, then by value. Distinct from [`Value::sql_cmp`], which
+/// is the SQL-predicate comparison.
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn tag(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) => 2,
+                Value::Float(_) => 3,
+                Value::Str(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => tag(self).cmp(&tag(other)),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                2u8.hash(state);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                3u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Type tags for schema declarations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    Null,
+    Bool,
+    Int,
+    Float,
+    Str,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Null => "null",
+            ValueType::Bool => "bool",
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order_groups_by_type() {
+        let mut vs = [
+            Value::str("a"),
+            Value::Int(1),
+            Value::Null,
+            Value::Float(0.5),
+            Value::Bool(true),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert!(matches!(vs[1], Value::Bool(_)));
+        assert!(matches!(vs[2], Value::Int(_)));
+        assert!(matches!(vs[3], Value::Float(_)));
+        assert!(matches!(vs[4], Value::Str(_)));
+    }
+
+    #[test]
+    fn sql_cmp_mixes_numeric_types() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            Value::Float(1.5).sql_cmp(&Value::Int(2)),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_incomparable_types() {
+        assert_eq!(Value::Bool(true).sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::str("1").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn float_total_order_handles_nan() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        let mut set = std::collections::HashSet::new();
+        set.insert(nan.clone());
+        assert!(set.contains(&nan));
+    }
+
+    #[test]
+    fn display_round_trips_simply() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::str("x").to_string(), "x");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        use std::collections::hash_map::DefaultHasher;
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&Value::Int(7)), h(&Value::Int(7)));
+        assert_eq!(h(&Value::Float(1.0)), h(&Value::Float(1.0)));
+    }
+}

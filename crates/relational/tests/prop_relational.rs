@@ -1,0 +1,187 @@
+//! Property tests for the relational substrate: bag-algebra laws, delta
+//! composition, and — most importantly — the incremental delta rule
+//! against full recomputation over randomized views and update batches.
+
+use mvc_relational::maintain::{recompute_delta, spj_delta};
+use mvc_relational::{
+    diff, eval_view, tuple, Catalog, Database, Delta, Expr, Relation, RelationName, Schema,
+    Tuple, ViewDef,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn small_tuple() -> impl Strategy<Value = Tuple> {
+    (0i64..6, 0i64..6).prop_map(|(a, b)| tuple![a, b])
+}
+
+fn small_relation() -> impl Strategy<Value = Vec<(Tuple, u8)>> {
+    proptest::collection::vec((small_tuple(), 1u8..3), 0..12)
+}
+
+fn build_relation(schema: &Schema, rows: &[(Tuple, u8)]) -> Relation {
+    let mut r = Relation::new(schema.clone());
+    for (t, n) in rows {
+        r.insert_n(t.clone(), *n as u64).unwrap();
+    }
+    r
+}
+
+/// Signed multiset changes: net in -2..=2 per tuple.
+fn small_delta() -> impl Strategy<Value = Vec<(Tuple, i8)>> {
+    proptest::collection::vec((small_tuple(), -2i8..=2), 0..8)
+}
+
+fn catalog() -> Catalog {
+    Catalog::new()
+        .with("R", Schema::ints(&["a", "b"]))
+        .with("S", Schema::ints(&["b", "c"]))
+}
+
+/// A few representative view shapes over R and S.
+fn views(cat: &Catalog) -> Vec<ViewDef> {
+    vec![
+        ViewDef::builder("copy").from("R").build(cat).unwrap(),
+        ViewDef::builder("select")
+            .from("R")
+            .filter(Expr::gt(Expr::named("R.a"), Expr::value(2)))
+            .build(cat)
+            .unwrap(),
+        ViewDef::builder("join")
+            .from("R")
+            .from("S")
+            .join_on("R.b", "S.b")
+            .project(["R.a", "S.c"])
+            .build(cat)
+            .unwrap(),
+        ViewDef::builder("selfjoin")
+            .from("R")
+            .from("R")
+            .join_on("R.b", "R#2.a")
+            .build(cat)
+            .unwrap(),
+        ViewDef::builder("theta")
+            .from("R")
+            .from("S")
+            .filter(Expr::lt(Expr::named("R.b"), Expr::named("S.b")))
+            .project(["R.a", "S.c"])
+            .build(cat)
+            .unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The headline invariant: the multilinear delta rule equals full
+    /// recomputation for every view shape, any base contents, any signed
+    /// batch touching both relations at once.
+    #[test]
+    fn delta_rule_equals_recompute(
+        r_rows in small_relation(),
+        s_rows in small_relation(),
+        dr in small_delta(),
+        ds in small_delta(),
+    ) {
+        let cat = catalog();
+        let r_schema = cat.schema(&"R".into()).unwrap().clone();
+        let s_schema = cat.schema(&"S".into()).unwrap().clone();
+        let mut old = Database::new();
+        old.insert_relation("R", build_relation(&r_schema, &r_rows));
+        old.insert_relation("S", build_relation(&s_schema, &s_rows));
+
+        // Build clamped per-relation deltas (deletes bounded by content so
+        // both evaluation paths see identical final states).
+        let mut changes: BTreeMap<RelationName, Delta> = BTreeMap::new();
+        let mut new = old.clone();
+        for (name, raw) in [("R", &dr), ("S", &ds)] {
+            let rel_name: RelationName = name.into();
+            let mut d = Delta::new();
+            for (t, n) in raw {
+                let current = {
+                    let rel = new.relation(&rel_name).unwrap();
+                    rel.multiplicity(t) as i64 + d.net(t)
+                };
+                let n = (*n as i64).max(-current); // clamp deletes
+                d.add(t.clone(), n);
+            }
+            if !d.is_empty() {
+                new.apply(&rel_name, &d).unwrap();
+                changes.insert(rel_name, d);
+            }
+        }
+
+        for v in views(&cat) {
+            if v.is_aggregate() { continue; }
+            let inc = spj_delta(&v.core, &old, &new, &changes).unwrap();
+            let rec = recompute_delta(&v, &old, &new).unwrap();
+            prop_assert_eq!(&inc, &rec, "view {} diverged", v.name);
+            // and applying the delta lands exactly on the new evaluation
+            let mut mat = eval_view(&v, &old).unwrap();
+            inc.apply_to(&mut mat).unwrap();
+            prop_assert_eq!(mat, eval_view(&v, &new).unwrap());
+        }
+    }
+
+    /// Delta composition is associative-with-inverse: d ∘ d⁻¹ = ∅ and
+    /// (a ∘ b) applied = a applied then b applied.
+    #[test]
+    fn delta_group_laws(a in small_delta(), b in small_delta()) {
+        let to_delta = |v: &Vec<(Tuple, i8)>| {
+            let mut d = Delta::new();
+            for (t, n) in v { d.add(t.clone(), *n as i64); }
+            d
+        };
+        let (da, db) = (to_delta(&a), to_delta(&b));
+        prop_assert!(da.then(&da.inverse()).is_empty());
+        // composition consistency on an unbounded (net) level
+        let ab = da.then(&db);
+        for (t, _) in ab.iter() {
+            prop_assert_eq!(ab.net(t), da.net(t) + db.net(t));
+        }
+    }
+
+    /// Bag union/difference laws: |A ∪ B| = |A| + |B|;
+    /// (A ∪ B) ∖ B = A (monus with B fully removable).
+    #[test]
+    fn bag_union_difference(a_rows in small_relation(), b_rows in small_relation()) {
+        let schema = Schema::ints(&["a", "b"]);
+        let a = build_relation(&schema, &a_rows);
+        let b = build_relation(&schema, &b_rows);
+        let u = a.union(&b);
+        prop_assert_eq!(u.len(), a.len() + b.len());
+        prop_assert_eq!(u.difference(&b), a);
+    }
+
+    /// diff() is the unique delta from old to new.
+    #[test]
+    fn diff_round_trip(a_rows in small_relation(), b_rows in small_relation()) {
+        let schema = Schema::ints(&["a", "b"]);
+        let old = build_relation(&schema, &a_rows);
+        let new = build_relation(&schema, &b_rows);
+        let d = diff(&old, &new);
+        let mut x = old.clone();
+        d.apply_to(&mut x).unwrap();
+        prop_assert_eq!(x, new);
+    }
+
+    /// Evaluation is insensitive to insertion order (relations are
+    /// canonical bags).
+    #[test]
+    fn eval_order_independent(mut rows in small_relation()) {
+        let cat = catalog();
+        let schema = cat.schema(&"R".into()).unwrap().clone();
+        let mut db1 = Database::new();
+        db1.insert_relation("R", build_relation(&schema, &rows));
+        db1.insert_relation("S", Relation::new(cat.schema(&"S".into()).unwrap().clone()));
+        rows.reverse();
+        let mut db2 = Database::new();
+        db2.insert_relation("R", build_relation(&schema, &rows));
+        db2.insert_relation("S", Relation::new(cat.schema(&"S".into()).unwrap().clone()));
+        for v in views(&cat) {
+            prop_assert_eq!(
+                eval_view(&v, &db1).unwrap(),
+                eval_view(&v, &db2).unwrap()
+            );
+        }
+    }
+}

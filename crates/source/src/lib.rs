@@ -1,0 +1,16 @@
+//! # mvc-source
+//!
+//! Simulated autonomous data sources for the MVC warehouse reproduction:
+//! serializable transaction execution with a cluster-wide commit order
+//! (defining the source state sequence `ss_0 … ss_f` of §2.1), per-source
+//! update reporting, an MVCC change log with checkpointed as-of snapshot
+//! reconstruction, and the query services (as-of and current-state) view
+//! managers use for delta computation.
+
+pub mod cluster;
+pub mod service;
+pub mod update;
+
+pub use cluster::{AsOfProvider, SourceCluster, SourceError};
+pub use service::{QueryService, SharedCluster};
+pub use update::{GlobalSeq, RelationChange, SourceId, SourceUpdate, WriteOp};

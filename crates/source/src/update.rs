@@ -1,0 +1,157 @@
+//! Source transactions and the updates they report.
+
+use mvc_relational::{Delta, RelationName, TupleOp};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an autonomous data source.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SourceId(pub u32);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "src{}", self.0)
+    }
+}
+
+/// Global commit sequence number across the whole source cluster. The
+/// serializable execution of source transactions is equivalent to the
+/// schedule `S = U1; U2; …; Uf` (§2.1); `GlobalSeq(i)` identifies the
+/// source state `ss_i` reached after the `i`-th commit.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct GlobalSeq(pub u64);
+
+impl GlobalSeq {
+    pub const INITIAL: GlobalSeq = GlobalSeq(0);
+
+    pub fn next(self) -> GlobalSeq {
+        GlobalSeq(self.0 + 1)
+    }
+}
+
+impl fmt::Display for GlobalSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ss{}", self.0)
+    }
+}
+
+/// The change a transaction made to one base relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationChange {
+    pub relation: RelationName,
+    pub delta: Delta,
+}
+
+/// One committed source transaction, as reported to the integrator.
+///
+/// In the paper's base model (§2.1) a transaction spans a single source
+/// and generates a single tuple-level update; §6.2 relaxes this to
+/// multi-update, multi-relation transactions — `changes` then has several
+/// entries. Either way the report is atomic: the integrator treats it as
+/// one unit `Ui`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceUpdate {
+    /// Commit position in the cluster-wide serialization.
+    pub seq: GlobalSeq,
+    /// The source whose transaction this was (the coordinator for §6.2
+    /// multi-source transactions).
+    pub source: SourceId,
+    /// Per-relation changes, in the order applied.
+    pub changes: Vec<RelationChange>,
+}
+
+impl SourceUpdate {
+    /// All relations touched by this transaction.
+    pub fn relations(&self) -> impl Iterator<Item = &RelationName> {
+        self.changes.iter().map(|c| &c.relation)
+    }
+
+    /// Tuples touched per relation (for relevance testing at the
+    /// integrator).
+    pub fn touched_tuples(&self, rel: &RelationName) -> Vec<mvc_relational::Tuple> {
+        self.changes
+            .iter()
+            .filter(|c| &c.relation == rel)
+            .flat_map(|c| c.delta.iter().map(|(t, _)| t.clone()))
+            .collect()
+    }
+
+    /// Is this a single-tuple, single-relation update (the §2.1 model)?
+    pub fn is_simple(&self) -> bool {
+        self.changes.len() == 1 && self.changes[0].delta.distinct_len() == 1
+    }
+}
+
+/// A requested operation inside a transaction, before commit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WriteOp {
+    pub relation: RelationName,
+    pub op: TupleOp,
+}
+
+impl WriteOp {
+    pub fn insert(relation: impl Into<RelationName>, t: mvc_relational::Tuple) -> Self {
+        WriteOp {
+            relation: relation.into(),
+            op: TupleOp::Insert(t),
+        }
+    }
+
+    pub fn delete(relation: impl Into<RelationName>, t: mvc_relational::Tuple) -> Self {
+        WriteOp {
+            relation: relation.into(),
+            op: TupleOp::Delete(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_relational::tuple;
+
+    #[test]
+    fn simple_update_detection() {
+        let mut d = Delta::new();
+        d.insert(tuple![1, 2]);
+        let u = SourceUpdate {
+            seq: GlobalSeq(1),
+            source: SourceId(0),
+            changes: vec![RelationChange {
+                relation: "R".into(),
+                delta: d.clone(),
+            }],
+        };
+        assert!(u.is_simple());
+        assert_eq!(u.relations().count(), 1);
+        assert_eq!(u.touched_tuples(&"R".into()), vec![tuple![1, 2]]);
+        assert!(u.touched_tuples(&"S".into()).is_empty());
+
+        let multi = SourceUpdate {
+            seq: GlobalSeq(2),
+            source: SourceId(0),
+            changes: vec![
+                RelationChange {
+                    relation: "R".into(),
+                    delta: d.clone(),
+                },
+                RelationChange {
+                    relation: "S".into(),
+                    delta: d,
+                },
+            ],
+        };
+        assert!(!multi.is_simple());
+    }
+
+    #[test]
+    fn global_seq_ordering() {
+        assert!(GlobalSeq(1) < GlobalSeq(2));
+        assert_eq!(GlobalSeq::INITIAL.next(), GlobalSeq(1));
+        assert_eq!(GlobalSeq(3).to_string(), "ss3");
+    }
+}

@@ -1,0 +1,572 @@
+//! The Strobe-style strongly consistent view manager (the paper's ref
+//! \[17\], reproduced in the form §5 relies on).
+//!
+//! Unlike the complete manager, Strobe queries the sources at their
+//! **current** state — the realistic mode for autonomous sources without
+//! MVCC support. Current-state answers may include the effects of updates
+//! that committed after the one being processed (*intertwining*, §1
+//! problem 3). Strobe stays correct by:
+//!
+//! * keeping its mirror at the **join level** (pre-projection), so base
+//!   tuple deletes apply locally by segment matching, with no query;
+//! * registering every update that arrives while a query is outstanding as
+//!   a **compensation** against that query: on answer, contributions of
+//!   later-committed inserts (which the answer may double count — the
+//!   inserting update issues its own query) and of deletes (whose joins
+//!   must not survive the batch) are subtracted by segment;
+//! * emitting one action list only at **quiescence** (empty unanswered
+//!   query set), covering the whole intertwined batch — which is exactly
+//!   the batched `AL^x_j` shape the Painting Algorithm coordinates.
+//!
+//! Restrictions (documented, enforced at construction): SPJ views only
+//! (no aggregates — use the complete or periodic manager for those), no
+//! self-joins, and set semantics at the sources (single-copy tuples), the
+//! standard Strobe assumptions.
+
+use crate::protocol::{
+    QueryAnswer, QueryRequest, QueryToken, ViewManager, VmError, VmEvent, VmOutput,
+};
+use mvc_core::{ActionList, ConsistencyLevel, UpdateId, ViewId};
+use mvc_relational::{project_delta, Delta, Relation, RelationName, Tuple, ViewDef};
+use mvc_source::GlobalSeq;
+use std::collections::BTreeMap;
+
+/// A compensation entry: an update-caused change that must be subtracted
+/// from an outstanding query's answer.
+#[derive(Debug, Clone)]
+struct Compensation {
+    relation: RelationName,
+    tuple: Tuple,
+    seq: GlobalSeq,
+    is_delete: bool,
+}
+
+/// An outstanding Strobe insert query.
+#[derive(Debug, Clone)]
+struct PendingQuery {
+    /// Commit seq of the update this query serves — the state the answer
+    /// is *supposed* to reflect.
+    as_if: GlobalSeq,
+    compensations: Vec<Compensation>,
+}
+
+/// Strobe view manager.
+#[derive(Debug)]
+pub struct StrobeVm {
+    id: ViewId,
+    def: ViewDef,
+    /// Join-level contents as of the last emitted AL.
+    mirror: Relation,
+    /// Join-level delta accumulated for the current batch.
+    pending: Delta,
+    /// Update ids covered by the current batch.
+    batch_first: Option<UpdateId>,
+    batch_last: UpdateId,
+    /// Unanswered query set (UQS).
+    uqs: BTreeMap<QueryToken, PendingQuery>,
+    next_token: u64,
+    /// Batches emitted (stats).
+    emitted: u64,
+}
+
+impl StrobeVm {
+    pub fn new(id: ViewId, def: ViewDef) -> Result<Self, VmError> {
+        if def.is_aggregate() {
+            return Err(VmError::UnsupportedView(
+                id,
+                "Strobe manages SPJ views; use the complete or periodic manager for aggregates",
+            ));
+        }
+        let distinct = def.base_relations().len();
+        if distinct != def.core.sources.len() {
+            return Err(VmError::UnsupportedView(
+                id,
+                "Strobe does not support self-joins (a relation occurs twice)",
+            ));
+        }
+        let mirror = Relation::new(def.core.join_schema.clone());
+        Ok(StrobeVm {
+            id,
+            def,
+            mirror,
+            pending: Delta::new(),
+            batch_first: None,
+            batch_last: UpdateId::ZERO,
+            uqs: BTreeMap::new(),
+            next_token: 1,
+            emitted: 0,
+        })
+    }
+
+    /// Join-level view of the last emitted state plus the pending batch
+    /// (diagnostics/tests).
+    pub fn effective_join(&self) -> Relation {
+        let mut r = self.mirror.clone();
+        self.pending.apply_to(&mut r).expect("pending applies");
+        r
+    }
+
+    /// Count of emitted (batched) action lists.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Occurrence index of a relation in the core (unique — no self-joins).
+    fn occurrence_of(&self, rel: &RelationName) -> Option<usize> {
+        self.def.core.sources.iter().position(|s| s == rel)
+    }
+
+    /// Remove from `pending` every join tuple whose occurrence segment for
+    /// `rel` equals `t`, clamped by what mirror ⊕ pending actually holds.
+    fn delete_segment_locally(&mut self, rel: &RelationName, t: &Tuple) {
+        let Some(k) = self.occurrence_of(rel) else {
+            return;
+        };
+        let lo = self.def.core.offsets[k];
+        let hi = lo + t.arity();
+        let effective = self.effective_join();
+        for (jt, n) in effective.iter_counted() {
+            if jt.values()[lo..hi] == *t.values() {
+                self.pending.add(jt.clone(), -(n as i64));
+            }
+        }
+    }
+
+    /// Subtract segment matches from an answered relation.
+    fn subtract_segment(&self, rows: &mut Relation, rel: &RelationName, t: &Tuple) {
+        let Some(k) = self.occurrence_of(rel) else {
+            return;
+        };
+        let lo = self.def.core.offsets[k];
+        let hi = lo + t.arity();
+        let matching: Vec<Tuple> = rows
+            .iter_counted()
+            .filter(|(jt, _)| jt.values()[lo..hi] == *t.values())
+            .map(|(jt, _)| jt.clone())
+            .collect();
+        for jt in matching {
+            let n = rows.multiplicity(&jt);
+            rows.delete_n(&jt, n);
+        }
+    }
+
+    fn try_emit(&mut self, out: &mut Vec<VmOutput>) -> Result<(), VmError> {
+        if !self.uqs.is_empty() {
+            return Ok(());
+        }
+        let Some(first) = self.batch_first.take() else {
+            return Ok(());
+        };
+        let last = self.batch_last;
+        // Key-based (set-semantics) apply, as in Strobe: an insert query
+        // whose answer arrived before the inserting update was even seen
+        // by this manager double counts a join tuple; since base relations
+        // are sets, a join-level multiplicity above 1 can only be such a
+        // double count, so the target state clamps every multiplicity to 1
+        // (and the monus in `apply_to` already clamps at 0).
+        let mut target = self.mirror.clone();
+        self.pending
+            .apply_to(&mut target)
+            .map_err(mvc_relational::EvalError::from)?;
+        let mut clamped = Relation::new(target.schema().clone());
+        for (t, _) in target.iter_counted() {
+            clamped
+                .insert(t.clone())
+                .map_err(mvc_relational::EvalError::from)?;
+        }
+        let join_delta = mvc_relational::diff(&self.mirror, &clamped);
+        let view_delta = project_delta(&self.def.core, &join_delta)?;
+        self.mirror = clamped;
+        self.pending = Delta::new();
+        self.emitted += 1;
+        out.push(VmOutput::Action(ActionList::batch(
+            self.id, first, last, view_delta,
+        )));
+        Ok(())
+    }
+}
+
+impl ViewManager for StrobeVm {
+    fn id(&self) -> ViewId {
+        self.id
+    }
+
+    fn def(&self) -> &ViewDef {
+        &self.def
+    }
+
+    fn level(&self) -> ConsistencyLevel {
+        ConsistencyLevel::Strong
+    }
+
+    fn handle(&mut self, event: VmEvent) -> Result<Vec<VmOutput>, VmError> {
+        let mut out = Vec::new();
+        match event {
+            VmEvent::Update(u) => {
+                if self.batch_first.is_none() {
+                    self.batch_first = Some(u.id);
+                }
+                self.batch_last = u.id;
+                let base = self.def.base_relations();
+                let seq = u.seq();
+                for change in &u.update.changes {
+                    if !base.contains(&change.relation) {
+                        continue;
+                    }
+                    for (t, n) in change.delta.iter() {
+                        if n > 0 {
+                            // Insert: register as compensation against every
+                            // outstanding query, then query the sources.
+                            for pq in self.uqs.values_mut() {
+                                pq.compensations.push(Compensation {
+                                    relation: change.relation.clone(),
+                                    tuple: t.clone(),
+                                    seq,
+                                    is_delete: false,
+                                });
+                            }
+                            let k = self
+                                .occurrence_of(&change.relation)
+                                .expect("relation in base set");
+                            let mut rows = Relation::new(occurrence_schema(&self.def, k));
+                            rows.insert_n(t.clone(), n as u64)
+                                .map_err(mvc_relational::EvalError::from)?;
+                            let token = QueryToken(self.next_token);
+                            self.next_token += 1;
+                            self.uqs.insert(
+                                token,
+                                PendingQuery {
+                                    as_if: seq,
+                                    compensations: Vec::new(),
+                                },
+                            );
+                            out.push(VmOutput::Query {
+                                token,
+                                request: QueryRequest::JoinCurrentWith {
+                                    core: self.def.core.clone(),
+                                    occurrence: k,
+                                    rows,
+                                },
+                            });
+                        } else {
+                            // Delete: local segment removal + compensation
+                            // registration against outstanding queries.
+                            for pq in self.uqs.values_mut() {
+                                pq.compensations.push(Compensation {
+                                    relation: change.relation.clone(),
+                                    tuple: t.clone(),
+                                    seq,
+                                    is_delete: true,
+                                });
+                            }
+                            self.delete_segment_locally(&change.relation, t);
+                        }
+                    }
+                }
+                self.try_emit(&mut out)?;
+            }
+            VmEvent::Answer { token, answer } => {
+                let Some(pq) = self.uqs.remove(&token) else {
+                    return Err(VmError::UnknownToken(token));
+                };
+                let QueryAnswer::Rows(mut rows, answered_at) = answer else {
+                    return Err(VmError::AnswerKindMismatch(token));
+                };
+                for comp in &pq.compensations {
+                    // Later inserts are double counted only when the answer
+                    // actually saw them; deletes are subtracted always —
+                    // their joins must not survive the batch.
+                    if comp.is_delete || (comp.seq > pq.as_if && comp.seq <= answered_at) {
+                        self.subtract_segment(&mut rows, &comp.relation, &comp.tuple);
+                    }
+                }
+                for (t, n) in rows.iter_counted() {
+                    self.pending.add(t.clone(), n as i64);
+                }
+                self.try_emit(&mut out)?;
+            }
+            VmEvent::Flush => {
+                self.try_emit(&mut out)?;
+            }
+        }
+        Ok(out)
+    }
+
+    fn initialize(
+        &mut self,
+        provider: &dyn mvc_relational::StateProvider,
+    ) -> Result<(), VmError> {
+        // join-level mirror = pre-projection contents at the load state
+        let rels: Vec<Relation> = self
+            .def
+            .core
+            .sources
+            .iter()
+            .map(|n| {
+                provider
+                    .fetch(n)
+                    .ok_or_else(|| mvc_relational::EvalError::MissingRelation(n.clone()))
+            })
+            .collect::<Result<_, _>>()
+            .map_err(VmError::Eval)?;
+        self.mirror = mvc_relational::eval_join_with(&self.def.core, &rels)?;
+        Ok(())
+    }
+
+    fn is_idle(&self) -> bool {
+        self.uqs.is_empty() && self.batch_first.is_none()
+    }
+}
+
+/// Schema of one source occurrence in a view (by catalog position range).
+fn occurrence_schema(def: &ViewDef, k: usize) -> mvc_relational::Schema {
+    let lo = def.core.offsets[k];
+    let hi = if k + 1 < def.core.offsets.len() {
+        def.core.offsets[k + 1]
+    } else {
+        def.core.join_schema.arity()
+    };
+    def.core
+        .join_schema
+        .project(&(lo..hi).collect::<Vec<_>>())
+        .expect("occurrence range valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_relational::{tuple, Schema};
+    use crate::protocol::NumberedUpdate;
+    use mvc_source::{SourceCluster, SourceId, SourceUpdate, WriteOp};
+
+    fn cluster() -> SourceCluster {
+        let mut c = SourceCluster::new(4);
+        c.create_relation(SourceId(0), "R", Schema::ints(&["a", "b"]))
+            .unwrap();
+        c.create_relation(SourceId(1), "S", Schema::ints(&["b", "c"]))
+            .unwrap();
+        c
+    }
+
+    fn view(c: &SourceCluster) -> ViewDef {
+        ViewDef::builder("V1")
+            .from("R")
+            .from("S")
+            .join_on("R.b", "S.b")
+            .project(["R.a", "R.b", "S.c"])
+            .build(c.catalog())
+            .unwrap()
+    }
+
+    fn numbered(u: SourceUpdate) -> NumberedUpdate {
+        NumberedUpdate {
+            id: UpdateId(u.seq.0),
+            update: u,
+        }
+    }
+
+    fn take_queries(outs: &[VmOutput]) -> Vec<(QueryToken, QueryRequest)> {
+        outs.iter()
+            .filter_map(|o| match o {
+                VmOutput::Query { token, request } => Some((*token, request.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn take_actions(outs: &[VmOutput]) -> Vec<ActionList<Delta>> {
+        outs.iter()
+            .filter_map(|o| match o {
+                VmOutput::Action(al) => Some(al.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_aggregates_and_self_joins() {
+        use mvc_relational::{AggFunc, Expr};
+        let c = cluster();
+        let agg = ViewDef::builder("A")
+            .from("R")
+            .group_by(Expr::named("a"))
+            .aggregate(AggFunc::Count, Expr::True, "n")
+            .build(c.catalog())
+            .unwrap();
+        assert!(matches!(
+            StrobeVm::new(ViewId(1), agg),
+            Err(VmError::UnsupportedView(..))
+        ));
+        let selfjoin = ViewDef::builder("SJ")
+            .from("R")
+            .from("R")
+            .join_on("R.b", "R#2.a")
+            .build(c.catalog())
+            .unwrap();
+        assert!(matches!(
+            StrobeVm::new(ViewId(1), selfjoin),
+            Err(VmError::UnsupportedView(..))
+        ));
+    }
+
+    /// No intertwining: one insert, query answered immediately → one
+    /// single-update AL with the right delta.
+    #[test]
+    fn simple_insert_round_trip() {
+        let mut c = cluster();
+        c.execute(SourceId(0), vec![WriteOp::insert("R", tuple![1, 2])])
+            .unwrap();
+        let def = view(&c);
+        let mut vm = StrobeVm::new(ViewId(1), def).unwrap();
+        let u = c
+            .execute(SourceId(1), vec![WriteOp::insert("S", tuple![2, 3])])
+            .unwrap();
+        let outs = vm.handle(VmEvent::Update(numbered(u))).unwrap();
+        let queries = take_queries(&outs);
+        assert_eq!(queries.len(), 1);
+        let (token, req) = queries.into_iter().next().unwrap();
+        let answer = crate::protocol::answer_query(&c, &req).unwrap();
+        let outs = vm.handle(VmEvent::Answer { token, answer }).unwrap();
+        let actions = take_actions(&outs);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].payload.net(&tuple![1, 2, 3]), 1);
+        assert!(vm.is_idle());
+    }
+
+    /// The double-counting anomaly: R-insert and S-insert whose queries
+    /// both see the other side. Compensation must remove the duplicate and
+    /// the emitted batch AL must contain the join row exactly once.
+    #[test]
+    fn insert_insert_double_count_compensated() {
+        let mut c = cluster();
+        let def = view(&c);
+        let mut vm = StrobeVm::new(ViewId(1), def).unwrap();
+
+        // U1: insert R[1,2]; query issued but NOT answered yet.
+        let u1 = c
+            .execute(SourceId(0), vec![WriteOp::insert("R", tuple![1, 2])])
+            .unwrap();
+        let outs1 = vm.handle(VmEvent::Update(numbered(u1))).unwrap();
+        let (t1, q1) = take_queries(&outs1).into_iter().next().unwrap();
+
+        // U2 commits: insert S[2,3]; its query also issued.
+        let u2 = c
+            .execute(SourceId(1), vec![WriteOp::insert("S", tuple![2, 3])])
+            .unwrap();
+        let outs2 = vm.handle(VmEvent::Update(numbered(u2))).unwrap();
+        let (t2, q2) = take_queries(&outs2).into_iter().next().unwrap();
+
+        // Both answers computed at the current state (both tuples in).
+        let a1 = crate::protocol::answer_query(&c, &q1).unwrap();
+        let a2 = crate::protocol::answer_query(&c, &q2).unwrap();
+        // Answer order: q1 first, then q2; emission at quiescence.
+        assert!(take_actions(&vm.handle(VmEvent::Answer { token: t1, answer: a1 }).unwrap())
+            .is_empty());
+        let outs = vm.handle(VmEvent::Answer { token: t2, answer: a2 }).unwrap();
+        let actions = take_actions(&outs);
+        assert_eq!(actions.len(), 1, "one batched AL at quiescence");
+        let al = &actions[0];
+        assert!(al.is_batched());
+        assert_eq!(al.first, UpdateId(1));
+        assert_eq!(al.last, UpdateId(2));
+        assert_eq!(
+            al.payload.net(&tuple![1, 2, 3]),
+            1,
+            "exactly one copy despite both queries seeing the join: {}",
+            al.payload
+        );
+    }
+
+    /// Insert followed by delete of a joining tuple while the insert's
+    /// query is outstanding: the delete's compensation must strip the
+    /// stale join from the late answer.
+    #[test]
+    fn pending_delete_compensates_late_answer() {
+        let mut c = cluster();
+        // S starts with [2,3] via a pre-view transaction processed first.
+        let u0 = c
+            .execute(SourceId(1), vec![WriteOp::insert("S", tuple![2, 3])])
+            .unwrap();
+        let def = view(&c);
+        let mut vm = StrobeVm::new(ViewId(1), def).unwrap();
+        // Feed U0 (S insert) and answer it immediately.
+        let outs = vm.handle(VmEvent::Update(numbered(u0))).unwrap();
+        for (tk, rq) in take_queries(&outs) {
+            let ans = crate::protocol::answer_query(&c, &rq).unwrap();
+            vm.handle(VmEvent::Answer { token: tk, answer: ans }).unwrap();
+        }
+        assert!(vm.is_idle());
+
+        // U1: insert R[1,2] — query outstanding.
+        let u1 = c
+            .execute(SourceId(0), vec![WriteOp::insert("R", tuple![1, 2])])
+            .unwrap();
+        let outs1 = vm.handle(VmEvent::Update(numbered(u1))).unwrap();
+        let (t1, q1) = take_queries(&outs1).into_iter().next().unwrap();
+
+        // U2: delete S[2,3] commits and reaches the VM before the answer.
+        let u2 = c
+            .execute(SourceId(1), vec![WriteOp::delete("S", tuple![2, 3])])
+            .unwrap();
+        assert!(take_actions(&vm.handle(VmEvent::Update(numbered(u2))).unwrap()).is_empty());
+
+        // The late answer is computed *now* — after the delete — so it is
+        // already empty; compensation must keep that consistent.
+        let a1 = crate::protocol::answer_query(&c, &q1).unwrap();
+        let outs = vm.handle(VmEvent::Answer { token: t1, answer: a1 }).unwrap();
+        let actions = take_actions(&outs);
+        assert_eq!(actions.len(), 1);
+        assert!(
+            actions[0].payload.is_empty(),
+            "join born and killed within the batch nets to nothing: {}",
+            actions[0].payload
+        );
+        assert!(vm.is_idle());
+    }
+
+    /// Deletes need no query: a delete-only update emits immediately when
+    /// no queries are outstanding.
+    #[test]
+    fn delete_only_update_emits_without_query() {
+        let mut c = cluster();
+        let u_r = c
+            .execute(SourceId(0), vec![WriteOp::insert("R", tuple![1, 2])])
+            .unwrap();
+        let u_s = c
+            .execute(SourceId(1), vec![WriteOp::insert("S", tuple![2, 3])])
+            .unwrap();
+        let def = view(&c);
+        let mut vm = StrobeVm::new(ViewId(1), def).unwrap();
+        for u in [u_r, u_s] {
+            let outs = vm.handle(VmEvent::Update(numbered(u))).unwrap();
+            for (tk, rq) in take_queries(&outs) {
+                let ans = crate::protocol::answer_query(&c, &rq).unwrap();
+                vm.handle(VmEvent::Answer { token: tk, answer: ans }).unwrap();
+            }
+        }
+        assert!(vm.effective_join().len() == 1);
+
+        let u3 = c
+            .execute(SourceId(0), vec![WriteOp::delete("R", tuple![1, 2])])
+            .unwrap();
+        let outs = vm.handle(VmEvent::Update(numbered(u3))).unwrap();
+        assert!(take_queries(&outs).is_empty(), "no query for deletes");
+        let actions = take_actions(&outs);
+        assert_eq!(actions.len(), 1);
+        assert_eq!(actions[0].payload.net(&tuple![1, 2, 3]), -1);
+    }
+
+    #[test]
+    fn flush_is_noop_while_queries_outstanding() {
+        let mut c = cluster();
+        let def = view(&c);
+        let mut vm = StrobeVm::new(ViewId(1), def).unwrap();
+        let u1 = c
+            .execute(SourceId(0), vec![WriteOp::insert("R", tuple![1, 2])])
+            .unwrap();
+        vm.handle(VmEvent::Update(numbered(u1))).unwrap();
+        let outs = vm.handle(VmEvent::Flush).unwrap();
+        assert!(outs.is_empty(), "cannot emit with UQS non-empty");
+        assert!(!vm.is_idle());
+    }
+}

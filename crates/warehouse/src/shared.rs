@@ -1,0 +1,150 @@
+//! Thread-safe warehouse handle for the threaded runtime, with optional
+//! commit-reordering fault injection (used to demonstrate why §4.3's
+//! commit-order control is necessary).
+
+use crate::store::{CommittedTxn, StoreTxn, Warehouse, WarehouseError};
+use mvc_core::{TxnSeq, ViewId};
+use mvc_relational::Relation;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Shared warehouse: all mutation goes through [`SharedWarehouse::apply`], all reads are
+/// consistent snapshots under the same lock.
+#[derive(Debug, Clone)]
+pub struct SharedWarehouse {
+    inner: Arc<RwLock<Warehouse>>,
+}
+
+impl SharedWarehouse {
+    pub fn new(warehouse: Warehouse) -> Self {
+        SharedWarehouse {
+            inner: Arc::new(RwLock::new(warehouse)),
+        }
+    }
+
+    /// Apply a transaction atomically; returns its commit record's seq.
+    pub fn apply(&self, txn: &StoreTxn) -> Result<TxnSeq, WarehouseError> {
+        let mut w = self.inner.write();
+        w.apply(txn).map(|rec| rec.seq)
+    }
+
+    /// Consistent multi-view read (§1.1's customer-inquiry access).
+    pub fn read(&self, ids: &[ViewId]) -> BTreeMap<ViewId, Relation> {
+        self.inner.read().read(ids)
+    }
+
+    pub fn history_len(&self) -> usize {
+        self.inner.read().history().len()
+    }
+
+    pub fn history(&self) -> Vec<CommittedTxn> {
+        self.inner.read().history().to_vec()
+    }
+
+    pub fn with<R>(&self, f: impl FnOnce(&Warehouse) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+/// A committer that buffers released transactions and applies them in a
+/// deliberately scrambled order — fault injection reproducing the §4.3
+/// hazard ("it is possible that the warehouse DBMS will commit WT3 before
+/// WT1. If so, the state of view V2 will be invalid").
+#[derive(Debug)]
+pub struct ReorderingCommitter {
+    warehouse: SharedWarehouse,
+    buffer: Vec<StoreTxn>,
+    /// Commit the buffer once it reaches this depth, in reversed order.
+    depth: usize,
+}
+
+impl ReorderingCommitter {
+    pub fn new(warehouse: SharedWarehouse, depth: usize) -> Self {
+        ReorderingCommitter {
+            warehouse,
+            buffer: Vec::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Submit a released transaction; commits happen (reversed) whenever
+    /// the buffer fills. Returns the seqs committed by this call.
+    pub fn submit(&mut self, txn: StoreTxn) -> Result<Vec<TxnSeq>, WarehouseError> {
+        self.buffer.push(txn);
+        if self.buffer.len() >= self.depth {
+            self.drain_reversed()
+        } else {
+            Ok(Vec::new())
+        }
+    }
+
+    /// Commit everything left (reversed).
+    pub fn flush(&mut self) -> Result<Vec<TxnSeq>, WarehouseError> {
+        self.drain_reversed()
+    }
+
+    fn drain_reversed(&mut self) -> Result<Vec<TxnSeq>, WarehouseError> {
+        let mut out = Vec::with_capacity(self.buffer.len());
+        for txn in self.buffer.drain(..).rev() {
+            out.push(self.warehouse.apply(&txn)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_core::{ActionList, UpdateId};
+    use mvc_relational::{tuple, Delta, Schema};
+
+    fn setup() -> SharedWarehouse {
+        let mut w = Warehouse::new(true);
+        w.register_view(ViewId(1), "V1", Relation::new(Schema::ints(&["a"])))
+            .unwrap();
+        SharedWarehouse::new(w)
+    }
+
+    fn ins_txn(seq: u64, update: u64, val: i64) -> StoreTxn {
+        let mut d = Delta::new();
+        d.insert(tuple![val]);
+        let al = ActionList::single(ViewId(1), UpdateId(update), d);
+        StoreTxn {
+            seq: TxnSeq(seq),
+            rows: vec![UpdateId(update)],
+            views: [ViewId(1)].into(),
+            frontier: UpdateId(update),
+            actions: vec![al],
+        }
+    }
+
+    #[test]
+    fn shared_apply_and_read() {
+        let w = setup();
+        w.apply(&ins_txn(1, 1, 42)).unwrap();
+        let r = w.read(&[ViewId(1)]);
+        assert!(r[&ViewId(1)].contains(&tuple![42]));
+        assert_eq!(w.history_len(), 1);
+    }
+
+    #[test]
+    fn reordering_committer_scrambles() {
+        let w = setup();
+        let mut rc = ReorderingCommitter::new(w.clone(), 2);
+        assert!(rc.submit(ins_txn(1, 1, 1)).unwrap().is_empty());
+        let committed = rc.submit(ins_txn(2, 2, 2)).unwrap();
+        assert_eq!(committed, vec![TxnSeq(2), TxnSeq(1)], "reversed order");
+        let h = w.history();
+        assert_eq!(h[0].seq, TxnSeq(2));
+        assert_eq!(h[1].seq, TxnSeq(1));
+    }
+
+    #[test]
+    fn flush_drains_partial_buffer() {
+        let w = setup();
+        let mut rc = ReorderingCommitter::new(w, 10);
+        rc.submit(ins_txn(1, 1, 1)).unwrap();
+        assert_eq!(rc.flush().unwrap(), vec![TxnSeq(1)]);
+    }
+}

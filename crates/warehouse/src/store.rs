@@ -1,0 +1,354 @@
+//! The warehouse store: materialized views, atomic multi-view
+//! transactions, and the committed-state history the consistency oracle
+//! checks.
+
+use mvc_core::{ActionList, TxnSeq, UpdateId, ViewId, WarehouseTxn};
+use mvc_relational::{Delta, Relation, SchemaError, ViewName};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The concrete action-list payload of the relational instantiation: the
+/// delta to apply to one materialized view.
+pub type ViewDelta = Delta;
+
+/// Action list carrying a view delta.
+pub type WarehouseAction = ActionList<ViewDelta>;
+
+/// A warehouse transaction carrying view deltas.
+pub type StoreTxn = WarehouseTxn<ViewDelta>;
+
+/// Errors from applying transactions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WarehouseError {
+    UnknownView(ViewId),
+    Schema(SchemaError),
+    DuplicateView(ViewId),
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::UnknownView(v) => write!(f, "unknown view {v}"),
+            WarehouseError::Schema(e) => write!(f, "schema error: {e}"),
+            WarehouseError::DuplicateView(v) => write!(f, "view {v} already registered"),
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {}
+
+impl From<SchemaError> for WarehouseError {
+    fn from(e: SchemaError) -> Self {
+        WarehouseError::Schema(e)
+    }
+}
+
+/// Record of one committed warehouse transaction, kept for the oracle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommittedTxn {
+    pub seq: TxnSeq,
+    /// Views the transaction updated.
+    pub views: BTreeSet<ViewId>,
+    /// Update frontier the transaction advanced those views to.
+    pub frontier: UpdateId,
+    /// Content fingerprint of *every* view after the commit (the warehouse
+    /// state vector of §2.3).
+    pub fingerprints: BTreeMap<ViewId, u64>,
+    /// Full contents after the commit when snapshot recording is on.
+    pub snapshot: Option<BTreeMap<ViewId, Relation>>,
+    /// Commit order (may differ from `seq` order under fault injection).
+    pub commit_index: u64,
+}
+
+/// One materialized view plus bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ViewSlot {
+    name: ViewName,
+    content: Relation,
+    /// Last source update reflected (0 = initial state).
+    version: UpdateId,
+}
+
+/// The warehouse: a set of materialized views updated by atomic
+/// multi-view transactions (the merge process's `WT`s / `BWT`s).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Warehouse {
+    views: BTreeMap<ViewId, ViewSlot>,
+    history: Vec<CommittedTxn>,
+    record_snapshots: bool,
+    commits: u64,
+}
+
+impl Warehouse {
+    /// `record_snapshots` keeps full view contents per commit — required
+    /// by the consistency oracle, expensive for large benchmarks
+    /// (fingerprints are always recorded).
+    pub fn new(record_snapshots: bool) -> Self {
+        Warehouse {
+            views: BTreeMap::new(),
+            history: Vec::new(),
+            record_snapshots,
+            commits: 0,
+        }
+    }
+
+    /// Register a view with its initial materialization (commonly the view
+    /// evaluated at source state `ss_0`).
+    pub fn register_view(
+        &mut self,
+        id: ViewId,
+        name: impl Into<ViewName>,
+        initial: Relation,
+    ) -> Result<(), WarehouseError> {
+        if self.views.contains_key(&id) {
+            return Err(WarehouseError::DuplicateView(id));
+        }
+        self.views.insert(
+            id,
+            ViewSlot {
+                name: name.into(),
+                content: initial,
+                version: UpdateId::ZERO,
+            },
+        );
+        Ok(())
+    }
+
+    pub fn view_ids(&self) -> impl Iterator<Item = ViewId> + '_ {
+        self.views.keys().copied()
+    }
+
+    pub fn view_name(&self, id: ViewId) -> Option<&ViewName> {
+        self.views.get(&id).map(|s| &s.name)
+    }
+
+    /// Current contents of one view.
+    pub fn view(&self, id: ViewId) -> Option<&Relation> {
+        self.views.get(&id).map(|s| &s.content)
+    }
+
+    /// Version (last reflected update) of one view.
+    pub fn version(&self, id: ViewId) -> Option<UpdateId> {
+        self.views.get(&id).map(|s| s.version)
+    }
+
+    /// Consistent multi-view read: clones the requested views atomically
+    /// (the warehouse customer-inquiry scenario of §1.1).
+    pub fn read(&self, ids: &[ViewId]) -> BTreeMap<ViewId, Relation> {
+        ids.iter()
+            .filter_map(|id| self.views.get(id).map(|s| (*id, s.content.clone())))
+            .collect()
+    }
+
+    /// Apply one warehouse transaction atomically: every action list in
+    /// the transaction, in order, then record the new state vector.
+    pub fn apply(&mut self, txn: &StoreTxn) -> Result<&CommittedTxn, WarehouseError> {
+        // Validate all views first — atomicity.
+        for al in &txn.actions {
+            if !self.views.contains_key(&al.view) {
+                return Err(WarehouseError::UnknownView(al.view));
+            }
+        }
+        for al in &txn.actions {
+            let slot = self.views.get_mut(&al.view).expect("validated");
+            al.payload.apply_to(&mut slot.content)?;
+            slot.version = slot.version.max(al.last);
+        }
+        self.commits += 1;
+        let record = CommittedTxn {
+            seq: txn.seq,
+            views: txn.views.clone(),
+            frontier: txn.frontier,
+            fingerprints: self
+                .views
+                .iter()
+                .map(|(&id, s)| (id, s.content.fingerprint()))
+                .collect(),
+            snapshot: self.record_snapshots.then(|| {
+                self.views
+                    .iter()
+                    .map(|(&id, s)| (id, s.content.clone()))
+                    .collect()
+            }),
+            commit_index: self.commits,
+        };
+        self.history.push(record);
+        Ok(self.history.last().expect("just pushed"))
+    }
+
+    /// Committed-transaction history in commit order.
+    pub fn history(&self) -> &[CommittedTxn] {
+        &self.history
+    }
+
+    /// Mutable history access — exists solely so adversarial tests can
+    /// plant corrupted records and prove the consistency oracle notices.
+    pub fn history_mut(&mut self) -> &mut Vec<CommittedTxn> {
+        &mut self.history
+    }
+
+    pub fn commit_count(&self) -> u64 {
+        self.commits
+    }
+
+    /// Fingerprints of the initial (pre-any-commit) state vector.
+    pub fn initial_fingerprints(&self) -> BTreeMap<ViewId, u64> {
+        // Note: valid only before the first apply(); callers snapshot it
+        // at setup time. After commits the current content has moved on.
+        self.views
+            .iter()
+            .map(|(&id, s)| (id, s.content.fingerprint()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_relational::{tuple, Schema};
+
+    fn delta_ins(vals: &[(i64, i64)]) -> Delta {
+        let mut d = Delta::new();
+        for &(a, b) in vals {
+            d.insert(tuple![a, b]);
+        }
+        d
+    }
+
+    fn wh() -> Warehouse {
+        let mut w = Warehouse::new(true);
+        w.register_view(ViewId(1), "V1", Relation::new(Schema::ints(&["a", "b"])))
+            .unwrap();
+        w.register_view(ViewId(2), "V2", Relation::new(Schema::ints(&["b", "c"])))
+            .unwrap();
+        w
+    }
+
+    fn txn(seq: u64, actions: Vec<WarehouseAction>) -> StoreTxn {
+        let views = actions.iter().map(|a| a.view).collect();
+        let frontier = actions.iter().map(|a| a.last).max().unwrap();
+        StoreTxn {
+            seq: TxnSeq(seq),
+            rows: actions.iter().map(|a| a.last).collect(),
+            actions,
+            views,
+            frontier,
+        }
+    }
+
+    #[test]
+    fn atomic_multi_view_apply() {
+        let mut w = wh();
+        let t = txn(
+            1,
+            vec![
+                ActionList::single(ViewId(1), UpdateId(1), delta_ins(&[(1, 2)])),
+                ActionList::single(ViewId(2), UpdateId(1), delta_ins(&[(2, 3)])),
+            ],
+        );
+        let rec = w.apply(&t).unwrap();
+        assert_eq!(rec.frontier, UpdateId(1));
+        assert_eq!(rec.commit_index, 1);
+        assert!(w.view(ViewId(1)).unwrap().contains(&tuple![1, 2]));
+        assert!(w.view(ViewId(2)).unwrap().contains(&tuple![2, 3]));
+        assert_eq!(w.version(ViewId(1)), Some(UpdateId(1)));
+    }
+
+    #[test]
+    fn unknown_view_rejected_before_any_mutation() {
+        let mut w = wh();
+        let t = txn(
+            1,
+            vec![
+                ActionList::single(ViewId(1), UpdateId(1), delta_ins(&[(1, 2)])),
+                ActionList::single(ViewId(9), UpdateId(1), delta_ins(&[(2, 3)])),
+            ],
+        );
+        assert!(matches!(
+            w.apply(&t),
+            Err(WarehouseError::UnknownView(ViewId(9)))
+        ));
+        assert!(w.view(ViewId(1)).unwrap().is_empty(), "atomic rejection");
+        assert!(w.history().is_empty());
+    }
+
+    #[test]
+    fn history_records_state_vector() {
+        let mut w = wh();
+        w.apply(&txn(
+            1,
+            vec![ActionList::single(ViewId(1), UpdateId(1), delta_ins(&[(1, 2)]))],
+        ))
+        .unwrap();
+        w.apply(&txn(
+            2,
+            vec![ActionList::single(ViewId(2), UpdateId(2), delta_ins(&[(2, 3)]))],
+        ))
+        .unwrap();
+        let h = w.history();
+        assert_eq!(h.len(), 2);
+        // fingerprints cover *all* views at each commit
+        assert_eq!(h[0].fingerprints.len(), 2);
+        assert_eq!(h[1].fingerprints.len(), 2);
+        // V1 unchanged between commits → same fingerprint
+        assert_eq!(
+            h[0].fingerprints[&ViewId(1)],
+            h[1].fingerprints[&ViewId(1)]
+        );
+        assert_ne!(
+            h[0].fingerprints[&ViewId(2)],
+            h[1].fingerprints[&ViewId(2)]
+        );
+        let snap = h[1].snapshot.as_ref().unwrap();
+        assert!(snap[&ViewId(1)].contains(&tuple![1, 2]));
+    }
+
+    #[test]
+    fn consistent_read_returns_requested_views() {
+        let mut w = wh();
+        w.apply(&txn(
+            1,
+            vec![ActionList::single(ViewId(1), UpdateId(1), delta_ins(&[(1, 2)]))],
+        ))
+        .unwrap();
+        let r = w.read(&[ViewId(1), ViewId(2), ViewId(7)]);
+        assert_eq!(r.len(), 2, "unknown views skipped");
+        assert_eq!(r[&ViewId(1)].len(), 1);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut w = wh();
+        assert!(matches!(
+            w.register_view(ViewId(1), "again", Relation::new(Schema::ints(&["x"]))),
+            Err(WarehouseError::DuplicateView(_))
+        ));
+    }
+
+    #[test]
+    fn deletes_are_clamped_idempotent() {
+        let mut w = wh();
+        let mut d = Delta::new();
+        d.delete(tuple![9, 9]);
+        w.apply(&txn(1, vec![ActionList::single(ViewId(1), UpdateId(1), d)]))
+            .unwrap();
+        assert!(w.view(ViewId(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn version_is_max_of_applied_frontiers() {
+        let mut w = wh();
+        w.apply(&txn(
+            1,
+            vec![ActionList::batch(
+                ViewId(1),
+                UpdateId(1),
+                UpdateId(3),
+                delta_ins(&[(1, 2)]),
+            )],
+        ))
+        .unwrap();
+        assert_eq!(w.version(ViewId(1)), Some(UpdateId(3)));
+    }
+}

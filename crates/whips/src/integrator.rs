@@ -1,0 +1,281 @@
+//! The integrator (§3.2): numbers incoming source updates, computes the
+//! relevant view set `REL_i`, and routes updates to view managers and
+//! `REL` sets to merge processes.
+//!
+//! With a partitioned merge (§6.1) each group gets its own contiguous
+//! update numbering — a group only ever sees updates relevant to it, and
+//! the painting algorithms need gapless `REL` streams.
+
+use crate::registry::ViewRegistry;
+use mvc_core::{Partitioning, UpdateId, ViewId};
+use mvc_relational::RelationName;
+use mvc_source::SourceUpdate;
+use mvc_viewmgr::NumberedUpdate;
+use std::collections::BTreeSet;
+
+/// The routing decision for one source update within one merge group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRouting {
+    pub group: usize,
+    /// The update as numbered in this group's id space.
+    pub numbered: NumberedUpdate,
+    /// `REL_i`: views of this group the update is relevant to (non-empty).
+    pub rel: BTreeSet<ViewId>,
+}
+
+/// The integrator state machine.
+#[derive(Debug)]
+pub struct Integrator {
+    registry: ViewRegistry,
+    partitioning: Partitioning<RelationName>,
+    /// Next update number per merge group.
+    next_id: Vec<UpdateId>,
+    /// Use the tuple-level irrelevance test of ref \[7\] in addition to the
+    /// relation-level test.
+    tuple_relevance: bool,
+    /// Updates received (stats).
+    received: u64,
+    /// Updates relevant to no view at all (stats — ref \[7\] wins).
+    dropped: u64,
+}
+
+impl Integrator {
+    pub fn new(
+        registry: ViewRegistry,
+        partitioning: Partitioning<RelationName>,
+        tuple_relevance: bool,
+    ) -> Self {
+        let groups = partitioning.group_count();
+        Integrator {
+            registry,
+            partitioning,
+            next_id: vec![UpdateId::ZERO; groups],
+            tuple_relevance,
+            received: 0,
+            dropped: 0,
+        }
+    }
+
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
+    pub fn partitioning(&self) -> &Partitioning<RelationName> {
+        &self.partitioning
+    }
+
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Is this update relevant to the given view?
+    fn relevant_to(&self, view: ViewId, update: &SourceUpdate) -> bool {
+        let entry = self.registry.get(view).expect("registered view");
+        for change in &update.changes {
+            if !entry.def.base_relations().contains(&change.relation) {
+                continue;
+            }
+            if !self.tuple_relevance {
+                return true;
+            }
+            let tuples: Vec<_> = change.delta.iter().map(|(t, _)| t.clone()).collect();
+            if entry.def.relevant_update(&change.relation, &tuples) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// §1.2 dynamic view installation (single-merge-group deployments
+    /// only): register the view with the integrator and allocate the
+    /// install row's update id. The caller wires the rest (VM creation,
+    /// initial load, merge-column addition).
+    pub fn install_view(
+        &mut self,
+        id: ViewId,
+        def: mvc_relational::ViewDef,
+        kind: crate::registry::ManagerKind,
+    ) -> Result<(usize, UpdateId), String> {
+        if self.partitioning.group_count() > 1 {
+            return Err(
+                "dynamic view installation requires the single-merge deployment".into(),
+            );
+        }
+        self.registry.add(id, def, kind);
+        self.partitioning = self.registry.partitioning(false);
+        let g = 0;
+        if self.next_id.is_empty() {
+            self.next_id.push(UpdateId::ZERO);
+        }
+        let c = self.next_id[g].next();
+        self.next_id[g] = c;
+        Ok((g, c))
+    }
+
+    /// Route one committed source update. Returns one entry per merge
+    /// group with a non-empty relevant set; an update relevant to nothing
+    /// returns an empty vec.
+    pub fn route(&mut self, update: SourceUpdate) -> Vec<GroupRouting> {
+        self.received += 1;
+        // Which groups could care, by relation ownership.
+        let groups: BTreeSet<usize> = self.partitioning.route(update.relations());
+        let mut out = Vec::new();
+        for g in groups {
+            let rel: BTreeSet<ViewId> = self
+                .registry
+                .ids()
+                .filter(|&v| self.partitioning.group_of_view(v) == Some(g))
+                .filter(|&v| self.relevant_to(v, &update))
+                .collect();
+            if rel.is_empty() {
+                continue;
+            }
+            let id = self.next_id[g].next();
+            self.next_id[g] = id;
+            out.push(GroupRouting {
+                group: g,
+                numbered: NumberedUpdate {
+                    id,
+                    update: update.clone(),
+                },
+                rel,
+            });
+        }
+        if out.is_empty() {
+            self.dropped += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ManagerKind;
+    use mvc_relational::{tuple, Catalog, Expr, Schema, ViewDef};
+    use mvc_source::{GlobalSeq, RelationChange, SourceId};
+
+    fn update(seq: u64, rel: &str, vals: (i64, i64)) -> SourceUpdate {
+        let mut d = mvc_relational::Delta::new();
+        d.insert(tuple![vals.0, vals.1]);
+        SourceUpdate {
+            seq: GlobalSeq(seq),
+            source: SourceId(0),
+            changes: vec![RelationChange {
+                relation: rel.into(),
+                delta: d,
+            }],
+        }
+    }
+
+    fn setup(tuple_relevance: bool, partition: bool) -> Integrator {
+        let cat = Catalog::new()
+            .with("R", Schema::ints(&["a", "b"]))
+            .with("S", Schema::ints(&["b", "c"]))
+            .with("Q", Schema::ints(&["q", "r"]));
+        let mut reg = ViewRegistry::new();
+        reg.add(
+            ViewId(1),
+            ViewDef::builder("V1")
+                .from("R")
+                .from("S")
+                .join_on("R.b", "S.b")
+                .filter(Expr::gt(Expr::named("R.a"), Expr::value(10)))
+                .build(&cat)
+                .unwrap(),
+            ManagerKind::Complete,
+        );
+        reg.add(
+            ViewId(2),
+            ViewDef::builder("V2").from("S").build(&cat).unwrap(),
+            ManagerKind::Complete,
+        );
+        reg.add(
+            ViewId(3),
+            ViewDef::builder("V3").from("Q").build(&cat).unwrap(),
+            ManagerKind::Complete,
+        );
+        let p = reg.partitioning(partition);
+        Integrator::new(reg, p, tuple_relevance)
+    }
+
+    #[test]
+    fn relation_level_routing() {
+        let mut it = setup(false, false);
+        let r = it.route(update(1, "S", (2, 3)));
+        assert_eq!(r.len(), 1, "single group");
+        assert_eq!(
+            r[0].rel,
+            [ViewId(1), ViewId(2)].into_iter().collect::<BTreeSet<_>>()
+        );
+        assert_eq!(r[0].numbered.id, UpdateId(1));
+        // Q update → only V3; numbering continues in the same group space
+        let r2 = it.route(update(2, "Q", (1, 1)));
+        assert_eq!(r2[0].rel, [ViewId(3)].into_iter().collect::<BTreeSet<_>>());
+        assert_eq!(r2[0].numbered.id, UpdateId(2));
+    }
+
+    #[test]
+    fn tuple_level_irrelevance_filters() {
+        let mut it = setup(true, false);
+        // R tuple with a=5 fails V1's selection a>10 → V1 not relevant;
+        // R is not in any other view → update dropped entirely.
+        let r = it.route(update(1, "R", (5, 2)));
+        assert!(r.is_empty());
+        assert_eq!(it.dropped(), 1);
+        // a=11 passes
+        let r = it.route(update(2, "R", (11, 2)));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].rel, [ViewId(1)].into_iter().collect::<BTreeSet<_>>());
+        assert_eq!(r[0].numbered.id, UpdateId(1), "dropped updates unnumbered");
+    }
+
+    #[test]
+    fn partitioned_numbering_is_per_group() {
+        let mut it = setup(false, true);
+        let g_rs = it.partitioning().group_of_view(ViewId(1)).unwrap();
+        let g_q = it.partitioning().group_of_view(ViewId(3)).unwrap();
+        assert_ne!(g_rs, g_q);
+        let r1 = it.route(update(1, "S", (2, 3)));
+        assert_eq!(r1[0].group, g_rs);
+        assert_eq!(r1[0].numbered.id, UpdateId(1));
+        let r2 = it.route(update(2, "Q", (1, 1)));
+        assert_eq!(r2[0].group, g_q);
+        assert_eq!(
+            r2[0].numbered.id,
+            UpdateId(1),
+            "each group numbers independently"
+        );
+        let r3 = it.route(update(3, "S", (9, 9)));
+        assert_eq!(r3[0].numbered.id, UpdateId(2));
+    }
+
+    #[test]
+    fn multi_relation_txn_spans_groups() {
+        let mut it = setup(false, true);
+        let mut d1 = mvc_relational::Delta::new();
+        d1.insert(tuple![1, 2]);
+        let mut d2 = mvc_relational::Delta::new();
+        d2.insert(tuple![7, 8]);
+        let u = SourceUpdate {
+            seq: GlobalSeq(1),
+            source: SourceId(0),
+            changes: vec![
+                RelationChange {
+                    relation: "S".into(),
+                    delta: d1,
+                },
+                RelationChange {
+                    relation: "Q".into(),
+                    delta: d2,
+                },
+            ],
+        };
+        let r = it.route(u);
+        assert_eq!(r.len(), 2, "routed to both groups");
+    }
+}

@@ -1,0 +1,25 @@
+//! # mvc-whips
+//!
+//! WHIPS-style system assembly for the MVC reproduction: the integrator
+//! (§3.2), a deterministic event simulator of the Figure 1 architecture,
+//! a threaded runtime (one OS thread per process over crossbeam FIFO
+//! channels), workload generators, metrics for the §7 experiments, the
+//! consistency oracle that machine-checks the §2 definitions, and canned
+//! scenarios reproducing the paper's worked examples.
+
+pub mod integrator;
+pub mod metrics;
+pub mod oracle;
+pub mod registry;
+pub mod scenario;
+pub mod sim;
+pub mod threaded;
+pub mod workload;
+
+pub use integrator::{GroupRouting, Integrator};
+pub use metrics::{SimMetrics, Summary};
+pub use oracle::{Oracle, Verdict};
+pub use registry::{ManagerKind, ViewEntry, ViewRegistry};
+pub use sim::{CommitLogEntry, SimBuilder, SimConfig, SimError, SimReport, WorkloadTxn};
+pub use threaded::{ThreadedBuilder, ThreadedConfig, WallClock};
+pub use workload::{Deployment, GeneratedWorkload, ViewSuite, WorkloadSpec};

@@ -1,0 +1,519 @@
+//! The consistency oracle: machine-checks the §2 definitions against an
+//! executed history.
+//!
+//! ### Which serializations count
+//!
+//! The definitions quantify over *any* consistent source state sequence —
+//! any serial schedule **equivalent** to the one that executed (§2.1).
+//! Source transactions whose write sets touch no common tuple commute, so
+//! the warehouse may legally reflect a later disjoint update before an
+//! earlier one (the paper's own Example 3 applies `WT2` before `WT1`).
+//!
+//! The oracle therefore checks MVC *constructively* against the cut the
+//! commit history itself exhibits:
+//!
+//! 1. **order preservation** — when a commit first covers update `u`,
+//!    every earlier routed update whose write set *conflicts* with `u`
+//!    (touches a common tuple of a common relation) must already be
+//!    covered: the covered set stays an order-ideal of the conflict
+//!    relation, so "covered in coverage order" is an equivalent
+//!    serialization;
+//! 2. **state matching** — after each commit, every view's content must
+//!    equal the view evaluated over the *cut database* (each base
+//!    relation holding exactly the covered updates' deltas) — this is
+//!    `ws ≐ ss'` against the witness serialization's current state;
+//! 3. **termination** — finally all routed updates are covered and the
+//!    warehouse matches the final source state (updates the integrator
+//!    dropped as irrelevant (ref \[7\]) provably change no view, so the
+//!    final match also verifies their irrelevance);
+//! 4. **completeness** (only for the complete level) — every commit
+//!    covers at most one new update, so every state of the witness
+//!    serialization is reflected.
+//!
+//! Per-view (single-view consistency, §2.2) checks use the simpler
+//! prefix-matching machinery: one view's content depends only on its own
+//! relevant-update prefix, for which the original commit order is itself
+//! the witness.
+
+use crate::sim::SimReport;
+use mvc_core::{ConsistencyLevel, ViewId};
+use mvc_relational::{
+    eval_view, Database, Delta, EvalError, Relation, RelationName, Tuple, ViewDef,
+};
+use mvc_source::GlobalSeq;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The outcome of a consistency check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    Satisfied,
+    Violated {
+        level: ConsistencyLevel,
+        /// Commit index (0-based into the warehouse history) where the
+        /// violation was detected; `usize::MAX` for end-of-history checks.
+        at_commit: usize,
+        detail: String,
+    },
+}
+
+impl Verdict {
+    pub fn is_satisfied(&self) -> bool {
+        matches!(self, Verdict::Satisfied)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Satisfied => write!(f, "satisfied"),
+            Verdict::Violated {
+                level,
+                at_commit,
+                detail,
+            } => write!(f, "{level} VIOLATED at commit {at_commit}: {detail}"),
+        }
+    }
+}
+
+/// Oracle over one simulation report.
+pub struct Oracle<'a> {
+    report: &'a SimReport,
+    /// Write footprint per routed update: (relation, tuple) pairs.
+    footprints: BTreeMap<GlobalSeq, BTreeSet<(RelationName, Tuple)>>,
+    /// Per-relation delta per update.
+    deltas: BTreeMap<GlobalSeq, Vec<(RelationName, Delta)>>,
+}
+
+impl<'a> Oracle<'a> {
+    pub fn new(report: &'a SimReport) -> Result<Self, EvalError> {
+        let mut footprints = BTreeMap::new();
+        let mut deltas = BTreeMap::new();
+        for u in report.cluster.history() {
+            let fp: BTreeSet<(RelationName, Tuple)> = u
+                .changes
+                .iter()
+                .flat_map(|c| {
+                    c.delta
+                        .iter()
+                        .map(move |(t, _)| (c.relation.clone(), t.clone()))
+                })
+                .collect();
+            footprints.insert(u.seq, fp);
+            deltas.insert(
+                u.seq,
+                u.changes
+                    .iter()
+                    .map(|c| (c.relation.clone(), c.delta.clone()))
+                    .collect(),
+            );
+        }
+        Ok(Oracle {
+            report,
+            footprints,
+            deltas,
+        })
+    }
+
+    /// Do two updates conflict (non-commuting: common tuple in a common
+    /// relation)?
+    fn conflicts(&self, a: GlobalSeq, b: GlobalSeq) -> bool {
+        let (fa, fb) = (&self.footprints[&a], &self.footprints[&b]);
+        fa.intersection(fb).next().is_some()
+    }
+
+    /// The constructive MVC check described in the module docs, over the
+    /// view subset of one merge group.
+    pub fn check_group(&self, group: usize, level: ConsistencyLevel) -> Verdict {
+        let views = &self.report.group_views[group];
+        if views.is_empty() {
+            return Verdict::Satisfied;
+        }
+        let defs: BTreeMap<ViewId, &ViewDef> = views
+            .iter()
+            .map(|&v| (v, &self.report.registry.get(v).expect("registered").def))
+            .collect();
+
+        // The cut database: base relations of this group's views, holding
+        // covered updates only.
+        let base: BTreeSet<RelationName> = defs
+            .values()
+            .flat_map(|d| d.base_relations())
+            .collect();
+        let mut cut_db = Database::new();
+        for r in &base {
+            let schema = self
+                .report
+                .cluster
+                .catalog()
+                .schema(r)
+                .expect("known relation")
+                .clone();
+            cut_db.insert_relation(r.clone(), Relation::new(schema));
+        }
+
+        // Updates routed to *this group* (global seqs), in order.
+        let group_seqs: BTreeSet<GlobalSeq> = self.report.group_updates[group]
+            .values()
+            .copied()
+            .collect();
+        let mut covered: BTreeSet<GlobalSeq> = BTreeSet::new();
+
+        // Expected view contents at the current cut (lazily re-evaluated).
+        let mut expected: BTreeMap<ViewId, u64> = BTreeMap::new();
+        for (&v, def) in &defs {
+            expected.insert(v, Relation::new(def.schema.clone()).fingerprint());
+        }
+
+        let history = self.report.warehouse.history();
+        // A length mismatch between the two logs (possible only with a
+        // corrupted/adversarial report) truncates the zip below; the
+        // termination check then flags the uncovered updates.
+
+        // Dynamically-installed views (§1.2) participate only from their
+        // activation commit onward; at that commit the cut database also
+        // folds in never-routed updates up to the install's initial-load
+        // seq (they are irrelevant to the then-existing views by the
+        // ref [7] test, but may matter to the new one).
+        let activation = |v: ViewId| -> usize {
+            self.report
+                .activations
+                .get(&v)
+                .map(|&(k, _)| k)
+                .unwrap_or(0)
+        };
+        let mut folded: BTreeSet<GlobalSeq> = BTreeSet::new();
+
+        for (k, (entry, rec)) in self
+            .report
+            .commit_log
+            .iter()
+            .zip(history.iter())
+            .enumerate()
+        {
+            if entry.group != group {
+                // Another group's commit cannot change this group's views.
+                for (&v, fp) in &expected {
+                    if k < activation(v) {
+                        continue;
+                    }
+                    if rec.fingerprints.get(&v) != Some(fp) {
+                        return Verdict::Violated {
+                            level,
+                            at_commit: k,
+                            detail: format!(
+                                "commit by group {} changed view {v} of group {group}",
+                                entry.group
+                            ),
+                        };
+                    }
+                }
+                continue;
+            }
+            // Map covered rows to global seqs; collect the new ones.
+            let mut new_seqs: Vec<GlobalSeq> = entry
+                .rows
+                .iter()
+                .filter_map(|row| self.report.group_updates[group].get(row))
+                .copied()
+                .filter(|s| !covered.contains(s))
+                .collect();
+            new_seqs.sort_unstable();
+            // Completeness: one source state per warehouse transaction.
+            if level == ConsistencyLevel::Complete && new_seqs.len() > 1 {
+                return Verdict::Violated {
+                    level,
+                    at_commit: k,
+                    detail: format!(
+                        "commit covers {} new updates at once (skips source states)",
+                        new_seqs.len()
+                    ),
+                };
+            }
+            // Order preservation under commutation.
+            for &s in &new_seqs {
+                for &earlier in group_seqs.range(..s) {
+                    if !covered.contains(&earlier)
+                        && !new_seqs.contains(&earlier)
+                        && self.conflicts(earlier, s)
+                    {
+                        return Verdict::Violated {
+                            level,
+                            at_commit: k,
+                            detail: format!(
+                                "update {s} reflected before conflicting earlier {earlier}"
+                            ),
+                        };
+                    }
+                }
+            }
+            // Advance the cut.
+            let mut touched: BTreeSet<RelationName> = BTreeSet::new();
+            for &s in &new_seqs {
+                covered.insert(s);
+                for (r, d) in &self.deltas[&s] {
+                    if base.contains(r) {
+                        if let Err(e) = cut_db.apply(r, d) {
+                            return Verdict::Violated {
+                                level,
+                                at_commit: k,
+                                detail: format!("cut replay failed on `{r}`: {e}"),
+                            };
+                        }
+                        touched.insert(r.clone());
+                    }
+                }
+            }
+            // View activations at this commit: fold unrouted updates up
+            // to the install cut and force-evaluate the new view.
+            let mut force_eval: BTreeSet<ViewId> = BTreeSet::new();
+            for (&v, &(ak, cut)) in &self.report.activations {
+                if ak == k && defs.contains_key(&v) {
+                    for u in self.report.cluster.history() {
+                        if u.seq <= cut
+                            && !self.report.routed.contains(&u.seq)
+                            && folded.insert(u.seq)
+                        {
+                            for c in &u.changes {
+                                if base.contains(&c.relation) {
+                                    if let Err(e) = cut_db.apply(&c.relation, &c.delta) {
+                                        return Verdict::Violated {
+                                            level,
+                                            at_commit: k,
+                                            detail: format!(
+                                                "install fold failed on `{}`: {e}",
+                                                c.relation
+                                            ),
+                                        };
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    force_eval.insert(v);
+                }
+            }
+            // Re-evaluate affected views; all active views must now match.
+            for (&v, def) in &defs {
+                if k < activation(v) {
+                    continue;
+                }
+                if force_eval.contains(&v)
+                    || def.base_relations().intersection(&touched).next().is_some()
+                {
+                    match eval_view(def, &cut_db) {
+                        Ok(rel) => {
+                            expected.insert(v, rel.fingerprint());
+                        }
+                        Err(e) => {
+                            return Verdict::Violated {
+                                level,
+                                at_commit: k,
+                                detail: format!("cut evaluation of {v} failed: {e}"),
+                            }
+                        }
+                    }
+                }
+                if rec.fingerprints.get(&v) != expected.get(&v) {
+                    return Verdict::Violated {
+                        level,
+                        at_commit: k,
+                        detail: format!(
+                            "view {v} does not match the witness cut state \
+                             (covered {} of {} group updates)",
+                            covered.len(),
+                            group_seqs.len()
+                        ),
+                    };
+                }
+            }
+        }
+
+        // Termination: every routed update covered, i.e. the final state
+        // reached (ws_q ≐ ss_f).
+        if covered != group_seqs {
+            let missing: Vec<String> = group_seqs
+                .difference(&covered)
+                .map(|s| s.to_string())
+                .collect();
+            return Verdict::Violated {
+                level,
+                at_commit: usize::MAX,
+                detail: format!("updates never reflected: {}", missing.join(", ")),
+            };
+        }
+        // Cross-check against the true final source state (also validates
+        // the integrator's irrelevance filtering).
+        for (&v, def) in &defs {
+            match eval_at(&self.report.cluster, def, self.report.cluster.latest_seq()) {
+                Ok(rel) => {
+                    if rel.fingerprint() != expected[&v] {
+                        return Verdict::Violated {
+                            level,
+                            at_commit: usize::MAX,
+                            detail: format!(
+                                "final content of {v} differs from V(ss_f) \
+                                 (dropped update was relevant after all?)"
+                            ),
+                        };
+                    }
+                }
+                Err(e) => {
+                    return Verdict::Violated {
+                        level,
+                        at_commit: usize::MAX,
+                        detail: format!("final evaluation of {v} failed: {e}"),
+                    }
+                }
+            }
+        }
+        Verdict::Satisfied
+    }
+
+    /// Convergence only: the final warehouse contents equal the final
+    /// source state, intermediate states unconstrained.
+    pub fn check_convergence(&self, views: &BTreeSet<ViewId>) -> Verdict {
+        for &v in views {
+            let def = &self.report.registry.get(v).expect("registered").def;
+            let truth = match eval_at(&self.report.cluster, def, self.report.cluster.latest_seq())
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    return Verdict::Violated {
+                        level: ConsistencyLevel::Convergent,
+                        at_commit: usize::MAX,
+                        detail: format!("evaluation failed: {e}"),
+                    }
+                }
+            };
+            let actual = self.report.warehouse.view(v).expect("registered view");
+            if actual != &truth {
+                return Verdict::Violated {
+                    level: ConsistencyLevel::Convergent,
+                    at_commit: usize::MAX,
+                    detail: format!(
+                        "view {v} diverged: warehouse {actual} vs sources {truth}"
+                    ),
+                };
+            }
+        }
+        Verdict::Satisfied
+    }
+
+    /// Single-view consistency (§2.2): the view's content sequence must be
+    /// an order-preserving (and, for complete, gap-free) walk over
+    /// `V(ss_0) … V(ss_f)` of the original serialization.
+    pub fn check_view(&self, view: ViewId, level: ConsistencyLevel) -> Result<Verdict, EvalError> {
+        let def = &self.report.registry.get(view).expect("registered").def;
+        let f = self.report.cluster.latest_seq().0;
+        let mut source_fps = Vec::with_capacity(f as usize + 1);
+        for i in 0..=f {
+            source_fps.push(eval_at(&self.report.cluster, def, GlobalSeq(i))?.fingerprint());
+        }
+        // Warehouse content sequence for this view, consecutive dups
+        // collapsed.
+        let mut states: Vec<u64> = vec![Relation::new(def.schema.clone()).fingerprint()];
+        for rec in self.report.warehouse.history() {
+            let fp = rec.fingerprints[&view];
+            if *states.last().expect("nonempty") != fp {
+                states.push(fp);
+            }
+        }
+        if level == ConsistencyLevel::Convergent {
+            return Ok(if *states.last().expect("nonempty") == source_fps[f as usize] {
+                Verdict::Satisfied
+            } else {
+                Verdict::Violated {
+                    level,
+                    at_commit: usize::MAX,
+                    detail: "final view content diverged".into(),
+                }
+            });
+        }
+        let mut prev: u64 = 0;
+        let mut witness: Vec<u64> = Vec::with_capacity(states.len());
+        for (j, fp) in states.iter().enumerate() {
+            match (prev..=f).find(|&i| source_fps[i as usize] == *fp) {
+                Some(i) => {
+                    witness.push(i);
+                    prev = i;
+                }
+                None => {
+                    return Ok(Verdict::Violated {
+                        level,
+                        at_commit: j,
+                        detail: format!("no source state ≥ ss{prev} matches"),
+                    })
+                }
+            }
+        }
+        if source_fps[prev as usize] != source_fps[f as usize] {
+            return Ok(Verdict::Violated {
+                level,
+                at_commit: usize::MAX,
+                detail: format!("history ends before reaching ss{f}"),
+            });
+        }
+        if level == ConsistencyLevel::Complete {
+            // Every distinct view state along ss_0..ss_f must appear.
+            let mut need: Vec<u64> = Vec::new();
+            for i in 0..=f {
+                if need
+                    .last()
+                    .map(|&l| source_fps[l as usize] != source_fps[i as usize])
+                    .unwrap_or(true)
+                {
+                    need.push(i);
+                }
+            }
+            let seen: BTreeSet<u64> = witness.iter().map(|&i| source_fps[i as usize]).collect();
+            for &i in &need {
+                if !seen.contains(&source_fps[i as usize]) {
+                    return Ok(Verdict::Violated {
+                        level,
+                        at_commit: usize::MAX,
+                        detail: format!("view state at ss{i} never reflected"),
+                    });
+                }
+            }
+        }
+        Ok(Verdict::Satisfied)
+    }
+
+    /// Check every merge group against the level its merge process
+    /// guarantees.
+    pub fn check_report(&self) -> Vec<(usize, ConsistencyLevel, Verdict)> {
+        let mut out = Vec::new();
+        for (g, views) in self.report.group_views.iter().enumerate() {
+            if views.is_empty() {
+                continue;
+            }
+            let level = self.report.guarantees[g];
+            let verdict = match level {
+                ConsistencyLevel::Convergent => self.check_convergence(views),
+                _ => self.check_group(g, level),
+            };
+            out.push((g, level, verdict));
+        }
+        out
+    }
+
+    /// Test helper: assert every group satisfies its guaranteed level.
+    pub fn assert_ok(&self) {
+        for (g, level, verdict) in self.check_report() {
+            assert!(
+                verdict.is_satisfied(),
+                "merge group {g} failed its {level} guarantee: {verdict}"
+            );
+        }
+    }
+}
+
+/// Evaluate a view definition at a historical source state.
+pub fn eval_at(
+    cluster: &mvc_source::SourceCluster,
+    def: &ViewDef,
+    seq: GlobalSeq,
+) -> Result<Relation, EvalError> {
+    eval_view(def, &cluster.as_of(seq))
+}

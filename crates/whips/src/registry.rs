@@ -1,0 +1,225 @@
+//! The system's view registry: which views exist, which manager kind runs
+//! each, and the §6.1 partitioning into merge groups.
+
+use mvc_core::{ConsistencyLevel, Partitioning, ViewId};
+use mvc_relational::{RelationName, ViewDef};
+use mvc_viewmgr::{
+    CompleteNVm, CompleteVm, ConvergentVm, EcaVm, PeriodicVm, SelfMaintVm, StrobeVm, ViewManager,
+    VmError,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which view-manager implementation maintains a view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ManagerKind {
+    /// Exact per-update deltas via MVCC as-of queries.
+    Complete,
+    /// ECA (ref \[16\]): per-update completeness over current-state-only
+    /// sources via eager compensating queries (2-way SPJ views).
+    Eca,
+    /// Self-maintaining (refs \[4, 11\]): local auxiliary base copies, no
+    /// source queries at all.
+    SelfMaintaining,
+    Strobe,
+    /// Full refresh every `period` relevant updates.
+    Periodic { period: usize },
+    /// Uncompensated estimates with a correction pass every `correction_every`.
+    Convergent { correction_every: usize },
+    /// Exact batches of `n`.
+    CompleteN { n: u32 },
+}
+
+impl ManagerKind {
+    /// The consistency level this kind declares to the merge process.
+    pub fn level(self) -> ConsistencyLevel {
+        match self {
+            ManagerKind::Complete => ConsistencyLevel::Complete,
+            ManagerKind::Eca => ConsistencyLevel::Complete,
+            ManagerKind::SelfMaintaining => ConsistencyLevel::Complete,
+            ManagerKind::Strobe => ConsistencyLevel::Strong,
+            ManagerKind::Periodic { .. } => ConsistencyLevel::Strong,
+            ManagerKind::Convergent { .. } => ConsistencyLevel::Convergent,
+            ManagerKind::CompleteN { n } => ConsistencyLevel::CompleteN(n),
+        }
+    }
+
+    /// Instantiate the manager.
+    pub fn build(self, id: ViewId, def: ViewDef) -> Result<Box<dyn ViewManager>, VmError> {
+        Ok(match self {
+            ManagerKind::Complete => Box::new(CompleteVm::new(id, def)),
+            ManagerKind::Eca => Box::new(EcaVm::new(id, def)?),
+            ManagerKind::SelfMaintaining => Box::new(SelfMaintVm::new(id, def)),
+            ManagerKind::Strobe => Box::new(StrobeVm::new(id, def)?),
+            ManagerKind::Periodic { period } => Box::new(PeriodicVm::new(id, def, period)),
+            ManagerKind::Convergent { correction_every } => {
+                Box::new(ConvergentVm::new(id, def, correction_every))
+            }
+            ManagerKind::CompleteN { n } => Box::new(CompleteNVm::new(id, def, n)),
+        })
+    }
+}
+
+/// One registered view.
+#[derive(Debug, Clone)]
+pub struct ViewEntry {
+    pub id: ViewId,
+    pub def: ViewDef,
+    pub kind: ManagerKind,
+}
+
+/// All views in the system.
+#[derive(Debug, Clone, Default)]
+pub struct ViewRegistry {
+    entries: BTreeMap<ViewId, ViewEntry>,
+}
+
+impl ViewRegistry {
+    pub fn new() -> Self {
+        ViewRegistry::default()
+    }
+
+    pub fn add(&mut self, id: ViewId, def: ViewDef, kind: ManagerKind) {
+        assert!(
+            !self.entries.contains_key(&id),
+            "view {id} registered twice"
+        );
+        self.entries.insert(id, ViewEntry { id, def, kind });
+    }
+
+    pub fn get(&self, id: ViewId) -> Option<&ViewEntry> {
+        self.entries.get(&id)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &ViewEntry> {
+        self.entries.values()
+    }
+
+    pub fn ids(&self) -> impl Iterator<Item = ViewId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Consistency levels of all managers (for §6.3 algorithm selection).
+    pub fn levels(&self) -> Vec<(ViewId, ConsistencyLevel)> {
+        self.entries
+            .values()
+            .map(|e| (e.id, e.kind.level()))
+            .collect()
+    }
+
+    /// Base-relation footprints (for §6.1 partitioning and integrator
+    /// routing).
+    pub fn footprints(&self) -> BTreeMap<ViewId, BTreeSet<RelationName>> {
+        self.entries
+            .values()
+            .map(|e| (e.id, e.def.base_relations()))
+            .collect()
+    }
+
+    /// Compute the §6.1 partitioning. With `partition == false` everything
+    /// lands in a single group (the default single-merge deployment).
+    pub fn partitioning(&self, partition: bool) -> Partitioning<RelationName> {
+        if partition {
+            Partitioning::compute(&self.footprints())
+        } else {
+            // One group holding every view: give all views an artificial
+            // shared footprint marker so union-find collapses them.
+            let marker = RelationName::new("\u{0}__all__");
+            let mut fp = self.footprints();
+            for rels in fp.values_mut() {
+                rels.insert(marker.clone());
+            }
+            Partitioning::compute(&fp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_relational::{Catalog, Schema};
+
+    fn registry() -> ViewRegistry {
+        let cat = Catalog::new()
+            .with("R", Schema::ints(&["a", "b"]))
+            .with("S", Schema::ints(&["b", "c"]))
+            .with("Q", Schema::ints(&["q", "r"]));
+        let mut reg = ViewRegistry::new();
+        reg.add(
+            ViewId(1),
+            ViewDef::builder("V1")
+                .from("R")
+                .from("S")
+                .join_on("R.b", "S.b")
+                .build(&cat)
+                .unwrap(),
+            ManagerKind::Complete,
+        );
+        reg.add(
+            ViewId(2),
+            ViewDef::builder("V2").from("S").build(&cat).unwrap(),
+            ManagerKind::Strobe,
+        );
+        reg.add(
+            ViewId(3),
+            ViewDef::builder("V3").from("Q").build(&cat).unwrap(),
+            ManagerKind::Complete,
+        );
+        reg
+    }
+
+    #[test]
+    fn levels_and_kinds() {
+        let reg = registry();
+        let levels = reg.levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(
+            ConsistencyLevel::weakest_of(levels.iter().map(|(_, l)| *l)),
+            ConsistencyLevel::Strong
+        );
+    }
+
+    #[test]
+    fn partitioning_modes() {
+        let reg = registry();
+        let single = reg.partitioning(false);
+        assert_eq!(single.group_count(), 1);
+        let multi = reg.partitioning(true);
+        assert_eq!(multi.group_count(), 2, "{{V1,V2}} and {{V3}}");
+        assert_eq!(
+            multi.group_of_view(ViewId(1)),
+            multi.group_of_view(ViewId(2))
+        );
+        assert_ne!(
+            multi.group_of_view(ViewId(1)),
+            multi.group_of_view(ViewId(3))
+        );
+    }
+
+    #[test]
+    fn manager_construction() {
+        let reg = registry();
+        for e in reg.iter() {
+            let m = e.kind.build(e.id, e.def.clone()).unwrap();
+            assert_eq!(m.id(), e.id);
+            assert_eq!(m.level(), e.kind.level());
+            assert!(m.is_idle());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_view_panics() {
+        let mut reg = registry();
+        let def = reg.get(ViewId(1)).unwrap().def.clone();
+        reg.add(ViewId(1), def, ManagerKind::Complete);
+    }
+}

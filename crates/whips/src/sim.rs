@@ -1,0 +1,1213 @@
+//! Deterministic event simulator of the Figure 1 architecture.
+//!
+//! Every process (integrator, view managers, query server, merge
+//! processes, warehouse committer) is a state machine; every arrow in
+//! Figure 1 is a FIFO channel. A seeded scheduler repeatedly picks one
+//! enabled action — inject the next workload transaction at the sources,
+//! or deliver the head message of one channel — so a single `u64` seed
+//! fixes the entire interleaving. Per-channel FIFO is the *only* ordering
+//! guarantee, exactly the paper's assumption ("messages from the same
+//! process must arrive in the order sent"); everything else is fair game,
+//! which is how the simulator manufactures intertwined updates, late
+//! query answers, and out-of-order AL arrivals that the painting
+//! algorithms must survive.
+//!
+//! Simulated time is the step counter: one delivered message (or one
+//! injected transaction) per step.
+
+use crate::integrator::Integrator;
+use crate::metrics::SimMetrics;
+use crate::registry::{ManagerKind, ViewRegistry};
+use mvc_core::{
+    CommitPolicy, CommitStats, ConsistencyLevel, MergeAlgorithm, MergeError, MergeProcess,
+    MergeStats, Partitioning, TxnSeq, UpdateId, ViewId,
+};
+use mvc_relational::{Delta, EvalError, RelationName, Schema, ViewDef};
+use mvc_source::{GlobalSeq, SourceCluster, SourceError, SourceId, SourceUpdate, WriteOp};
+use mvc_viewmgr::{
+    answer_query, ActionListDelta, QueryAnswer, QueryRequest, QueryToken, ViewManager, VmError,
+    VmEvent, VmOutput,
+};
+use mvc_warehouse::{StoreTxn, Warehouse, WarehouseError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed fixing the whole interleaving.
+    pub seed: u64,
+    /// Commit release policy (§4.3).
+    pub commit_policy: CommitPolicy,
+    /// Merge algorithm override; `None` selects per group from the
+    /// weakest manager level (§6.3).
+    pub algorithm: Option<MergeAlgorithm>,
+    /// Distribute the merge per §6.1.
+    pub partition: bool,
+    /// Tuple-level irrelevance tests at the integrator (ref \[7\]).
+    pub tuple_relevance: bool,
+    /// Fault injection: buffer released transactions and commit each
+    /// buffer of this depth in *reversed* order (reproduces the §4.3
+    /// hazard). `None` = commit in arrival order.
+    pub commit_reorder_depth: Option<usize>,
+    /// Relative scheduler weight of injecting the next source transaction
+    /// versus delivering one message (each nonempty channel has weight 1).
+    /// Higher = sources outpace the pipeline = more intertwining.
+    pub inject_weight: u32,
+    /// §1.1 sequential strawman: the next transaction is injected only
+    /// when the whole pipeline is quiescent.
+    pub sequential: bool,
+    /// Source rate control: at most this many updates may be "open"
+    /// (injected but not yet fully covered by warehouse commits) at once.
+    /// `None` = unbounded (flood). This is the load knob of the §7
+    /// bottleneck study: a window of 1 approximates the sequential
+    /// strawman, larger windows expose the merge process to more
+    /// concurrent rows.
+    pub max_open_updates: Option<usize>,
+    /// Record full warehouse snapshots per commit (needed by the oracle).
+    pub record_snapshots: bool,
+    /// Safety cap on scheduler steps.
+    pub max_steps: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            commit_policy: CommitPolicy::DependencyAware,
+            algorithm: None,
+            partition: false,
+            tuple_relevance: true,
+            commit_reorder_depth: None,
+            inject_weight: 2,
+            sequential: false,
+            max_open_updates: None,
+            record_snapshots: true,
+            max_steps: 50_000_000,
+        }
+    }
+}
+
+/// One workload transaction.
+#[derive(Debug, Clone)]
+pub struct WorkloadTxn {
+    pub source: SourceId,
+    pub writes: Vec<WriteOp>,
+    /// §6.2 multi-source global transaction.
+    pub global: bool,
+}
+
+/// Simulation errors.
+#[derive(Debug)]
+pub enum SimError {
+    Merge(MergeError),
+    Vm(VmError),
+    Source(SourceError),
+    Warehouse(WarehouseError),
+    Eval(EvalError),
+    /// The drain phase failed to reach quiescence (component bug).
+    NonQuiescent(String),
+    StepLimit(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Merge(e) => write!(f, "merge error: {e}"),
+            SimError::Vm(e) => write!(f, "view manager error: {e}"),
+            SimError::Source(e) => write!(f, "source error: {e}"),
+            SimError::Warehouse(e) => write!(f, "warehouse error: {e}"),
+            SimError::Eval(e) => write!(f, "evaluation error: {e}"),
+            SimError::NonQuiescent(why) => write!(f, "drain did not quiesce: {why}"),
+            SimError::StepLimit(n) => write!(f, "step limit {n} exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<MergeError> for SimError {
+    fn from(e: MergeError) -> Self {
+        SimError::Merge(e)
+    }
+}
+impl From<VmError> for SimError {
+    fn from(e: VmError) -> Self {
+        SimError::Vm(e)
+    }
+}
+impl From<SourceError> for SimError {
+    fn from(e: SourceError) -> Self {
+        SimError::Source(e)
+    }
+}
+impl From<WarehouseError> for SimError {
+    fn from(e: WarehouseError) -> Self {
+        SimError::Warehouse(e)
+    }
+}
+impl From<EvalError> for SimError {
+    fn from(e: EvalError) -> Self {
+        SimError::Eval(e)
+    }
+}
+
+/// What the driver does next.
+enum DriverAction {
+    Txn(WorkloadTxn),
+    Install(Box<InstallSpec>),
+}
+
+/// Messages on the Figure 1 arrows.
+#[derive(Debug, Clone)]
+enum Msg {
+    /// sources → integrator: a committed transaction's report.
+    SrcUpdate(SourceUpdate),
+    /// driver → integrator: §1.2 dynamic view installation.
+    InstallView(ViewId),
+    /// integrator → merge process: grow the VUT by one column before the
+    /// install row's REL arrives (same FIFO, so ordering is guaranteed).
+    AddView(ViewId),
+    /// integrator → view manager.
+    Update(mvc_viewmgr::NumberedUpdate),
+    /// integrator → merge process.
+    Rel(UpdateId, BTreeSet<ViewId>),
+    /// view manager → merge process.
+    Action(ActionListDelta),
+    /// view manager → query server.
+    Query(QueryToken, QueryRequest),
+    /// query server → view manager.
+    Answer(QueryToken, QueryAnswer),
+    /// merge process → warehouse committer.
+    Txn(StoreTxn),
+    /// warehouse committer → merge process.
+    Committed(TxnSeq),
+    /// query server → integrator → view manager. Answers ride the same
+    /// source→integrator→VM pipeline as updates (the WHIPS topology), so
+    /// per-source FIFO guarantees an answer computed at state `s` arrives
+    /// *after* every update ≤ `s` — the ordering Strobe's compensation
+    /// relies on.
+    AnswerFor(ViewId, QueryToken, QueryAnswer),
+    /// drain phase → view manager.
+    Flush,
+}
+
+/// Channel identifiers (each is an independent FIFO).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Chan {
+    SrcToInt,
+    IntToVm(ViewId),
+    IntToMp(usize),
+    VmToMp(ViewId),
+    VmToQs(ViewId),
+    MpToWh(usize),
+    WhToMp(usize),
+}
+
+/// A dynamically-installed view (§1.2).
+#[derive(Debug, Clone)]
+struct InstallSpec {
+    id: ViewId,
+    def: ViewDef,
+    kind: ManagerKind,
+}
+
+/// Builder for a simulation.
+pub struct SimBuilder {
+    config: SimConfig,
+    cluster: SourceCluster,
+    registry: ViewRegistry,
+    workload: Vec<WorkloadTxn>,
+    /// Views installed mid-run: workload index → specs.
+    installs: BTreeMap<usize, Vec<InstallSpec>>,
+}
+
+impl SimBuilder {
+    pub fn new(config: SimConfig) -> Self {
+        SimBuilder {
+            config,
+            cluster: SourceCluster::new(32),
+            registry: ViewRegistry::new(),
+            workload: Vec::new(),
+            installs: BTreeMap::new(),
+        }
+    }
+
+    /// Create a base relation on a source.
+    pub fn relation(
+        mut self,
+        source: SourceId,
+        name: impl Into<RelationName>,
+        schema: Schema,
+    ) -> Self {
+        self.cluster
+            .create_relation(source, name, schema)
+            .expect("relation setup");
+        self
+    }
+
+    /// Register a view with its manager kind.
+    pub fn view(mut self, id: ViewId, def: ViewDef, kind: ManagerKind) -> Self {
+        self.registry.add(id, def, kind);
+        self
+    }
+
+    pub fn catalog(&self) -> &mvc_relational::Catalog {
+        self.cluster.catalog()
+    }
+
+    /// Append a single-source transaction to the workload.
+    pub fn txn(mut self, source: SourceId, writes: Vec<WriteOp>) -> Self {
+        self.workload.push(WorkloadTxn {
+            source,
+            writes,
+            global: false,
+        });
+        self
+    }
+
+    /// Append a §6.2 global (multi-source) transaction.
+    pub fn global_txn(mut self, coordinator: SourceId, writes: Vec<WriteOp>) -> Self {
+        self.workload.push(WorkloadTxn {
+            source: coordinator,
+            writes,
+            global: true,
+        });
+        self
+    }
+
+    pub fn workload(mut self, txns: Vec<WorkloadTxn>) -> Self {
+        self.workload.extend(txns);
+        self
+    }
+
+    /// Install a view on the fly (§1.2: "our architecture also makes it
+    /// easy to add and delete views on the fly"): the view joins the
+    /// system after `after_txn` workload transactions have been injected.
+    /// Installation is coordinated through the merge process — an install
+    /// row relevant to every view gates the initial load behind all
+    /// earlier updates, so MVC holds across the transition. Requires the
+    /// single-merge deployment (`partition == false`).
+    pub fn view_later(
+        mut self,
+        id: ViewId,
+        def: ViewDef,
+        kind: ManagerKind,
+        after_txn: usize,
+    ) -> Self {
+        self.installs
+            .entry(after_txn)
+            .or_default()
+            .push(InstallSpec { id, def, kind });
+        self
+    }
+
+    /// Run the simulation to quiescence.
+    pub fn run(self) -> Result<SimReport, SimError> {
+        Sim::build(self)?.run()
+    }
+}
+
+/// Result of a simulation run: full histories plus metrics, ready for the
+/// consistency oracle and the experiment harnesses.
+pub struct SimReport {
+    pub cluster: SourceCluster,
+    pub warehouse: Warehouse,
+    pub registry: ViewRegistry,
+    pub partitioning: Partitioning<RelationName>,
+    /// Per merge group: local update id → global commit seq.
+    pub group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>>,
+    pub metrics: SimMetrics,
+    pub merge_stats: Vec<MergeStats>,
+    pub commit_stats: Vec<CommitStats>,
+    /// MVC level each merge group guarantees (engine × commit policy).
+    pub guarantees: Vec<ConsistencyLevel>,
+    /// Views of each merge group.
+    pub group_views: Vec<BTreeSet<ViewId>>,
+    /// Commit log aligned 1:1 with `warehouse.history()`: which merge
+    /// group committed and which group-local rows the transaction covered.
+    pub commit_log: Vec<CommitLogEntry>,
+    /// Global seqs of updates the integrator routed to at least one group
+    /// (the complement — dropped updates — are provably irrelevant to
+    /// every view by the ref \[7\] test).
+    pub routed: BTreeSet<GlobalSeq>,
+    /// Dynamically-installed views (§1.2): view → (index of the commit
+    /// that activated it, source seq of its initial load). Views absent
+    /// here were registered statically (active from commit 0).
+    pub activations: BTreeMap<ViewId, (usize, GlobalSeq)>,
+}
+
+/// One entry of [`SimReport::commit_log`].
+#[derive(Debug, Clone)]
+pub struct CommitLogEntry {
+    pub group: usize,
+    pub seq: TxnSeq,
+    pub rows: Vec<UpdateId>,
+    pub views: BTreeSet<ViewId>,
+}
+
+struct Sim {
+    config: SimConfig,
+    rng: StdRng,
+    cluster: SourceCluster,
+    integrator: Integrator,
+    vms: BTreeMap<ViewId, Box<dyn ViewManager>>,
+    mps: Vec<MergeProcess<Delta>>,
+    warehouse: Warehouse,
+    channels: BTreeMap<Chan, VecDeque<Msg>>,
+    workload: VecDeque<DriverAction>,
+    /// Pending install specs by view id (payload for `Msg::InstallView`).
+    install_specs: BTreeMap<ViewId, InstallSpec>,
+    /// Install rows: update id → (installed view, initial-load cut seq).
+    install_rows: BTreeMap<UpdateId, (ViewId, GlobalSeq)>,
+    /// View activations: view → (commit index, initial-load cut seq).
+    activations: BTreeMap<ViewId, (usize, GlobalSeq)>,
+    /// Seq of the last source update processed by the integrator
+    /// (routed or dropped) — the initial-load cut for installs.
+    last_processed_seq: GlobalSeq,
+    /// Chaos: (group, txn) buffered for reversed commit.
+    reorder_buf: Vec<(usize, StoreTxn)>,
+    metrics: SimMetrics,
+    /// Per group: local id → (global seq, inject step).
+    group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>>,
+    inject_steps: BTreeMap<GlobalSeq, u64>,
+    /// Per group: rows not yet covered by a commit → used for latency.
+    uncovered: Vec<BTreeMap<UpdateId, ()>>,
+    /// Per group: release step per txn seq.
+    release_steps: Vec<BTreeMap<TxnSeq, u64>>,
+    guarantees: Vec<ConsistencyLevel>,
+    group_views: Vec<BTreeSet<ViewId>>,
+    commit_log: Vec<CommitLogEntry>,
+    routed: BTreeSet<GlobalSeq>,
+    /// Injected but not yet fully covered (None until routed; the count
+    /// is the number of groups still holding uncovered rows).
+    open_updates: BTreeMap<GlobalSeq, Option<usize>>,
+}
+
+impl Sim {
+    fn build(b: SimBuilder) -> Result<Self, SimError> {
+        let partitioning = b.registry.partitioning(b.config.partition);
+        let groups = partitioning.group_count().max(1);
+        let mut group_views: Vec<BTreeSet<ViewId>> = vec![BTreeSet::new(); groups];
+        for id in b.registry.ids() {
+            let g = partitioning.group_of_view(id).unwrap_or(0);
+            group_views[g].insert(id);
+        }
+
+        // Build merge processes (per group).
+        let mut mps = Vec::with_capacity(groups);
+        let mut guarantees = Vec::with_capacity(groups);
+        for views in group_views.iter() {
+            let levels: Vec<(ViewId, ConsistencyLevel)> = b
+                .registry
+                .levels()
+                .into_iter()
+                .filter(|(v, _)| views.contains(v))
+                .collect();
+            let mp = match b.config.algorithm {
+                Some(alg) => MergeProcess::new(
+                    alg,
+                    levels.iter().map(|(v, _)| *v),
+                    b.config.commit_policy,
+                ),
+                None => MergeProcess::for_managers(levels, b.config.commit_policy),
+            };
+            guarantees.push(mp.guarantees());
+            mps.push(mp);
+        }
+
+        // Build view managers and register warehouse views (initially
+        // empty — the workload drives everything from ss_0).
+        let mut vms: BTreeMap<ViewId, Box<dyn ViewManager>> = BTreeMap::new();
+        let mut warehouse = Warehouse::new(b.config.record_snapshots);
+        for e in b.registry.iter() {
+            vms.insert(e.id, e.kind.build(e.id, e.def.clone())?);
+            warehouse
+                .register_view(
+                    e.id,
+                    e.def.name.clone(),
+                    mvc_relational::Relation::new(e.def.schema.clone()),
+                )
+                .expect("fresh warehouse");
+        }
+
+        let integrator = Integrator::new(
+            b.registry.clone(),
+            b.registry.partitioning(b.config.partition),
+            b.config.tuple_relevance,
+        );
+
+        // Splice dynamic installs into the driver stream at their
+        // workload positions; installs at or past the end join after the
+        // last transaction.
+        let workload_len = b.workload.len();
+        let mut driver: VecDeque<DriverAction> = VecDeque::new();
+        let mut install_specs = BTreeMap::new();
+        for (i, t) in b.workload.into_iter().enumerate() {
+            if let Some(specs) = b.installs.get(&i) {
+                for spec in specs {
+                    install_specs.insert(spec.id, spec.clone());
+                    driver.push_back(DriverAction::Install(Box::new(spec.clone())));
+                }
+            }
+            driver.push_back(DriverAction::Txn(t));
+        }
+        for (_, specs) in b.installs.range(workload_len..) {
+            for spec in specs {
+                install_specs.insert(spec.id, spec.clone());
+                driver.push_back(DriverAction::Install(Box::new(spec.clone())));
+            }
+        }
+
+        Ok(Sim {
+            rng: StdRng::seed_from_u64(b.config.seed),
+            cluster: b.cluster,
+            integrator,
+            vms,
+            mps,
+            warehouse,
+            channels: BTreeMap::new(),
+            workload: driver,
+            reorder_buf: Vec::new(),
+            metrics: SimMetrics::default(),
+            group_updates: vec![BTreeMap::new(); groups],
+            inject_steps: BTreeMap::new(),
+            uncovered: vec![BTreeMap::new(); groups],
+            release_steps: vec![BTreeMap::new(); groups],
+            guarantees,
+            group_views,
+            commit_log: Vec::new(),
+            routed: BTreeSet::new(),
+            open_updates: BTreeMap::new(),
+            install_specs,
+            install_rows: BTreeMap::new(),
+            activations: BTreeMap::new(),
+            last_processed_seq: GlobalSeq::INITIAL,
+            config: b.config,
+        })
+    }
+
+    fn send(&mut self, chan: Chan, msg: Msg) {
+        self.channels.entry(chan).or_default().push_back(msg);
+    }
+
+    fn quiescent(&self) -> bool {
+        self.channels.values().all(VecDeque::is_empty)
+            && self.vms.values().all(|v| v.is_idle())
+            && self.mps.iter().all(MergeProcess::is_quiescent)
+            && self.reorder_buf.is_empty()
+    }
+
+    fn run(mut self) -> Result<SimReport, SimError> {
+        // Main phase: interleave injection and delivery.
+        loop {
+            if self.metrics.steps >= self.config.max_steps {
+                return Err(SimError::StepLimit(self.config.max_steps));
+            }
+            let nonempty: Vec<Chan> = self
+                .channels
+                .iter()
+                .filter(|(_, q)| !q.is_empty())
+                .map(|(&c, _)| c)
+                .collect();
+            let open = self.open_updates.len();
+            let window_ok = self
+                .config
+                .max_open_updates
+                .map(|w| open < w.max(1))
+                .unwrap_or(true);
+            let can_inject = !self.workload.is_empty()
+                && window_ok
+                && (!self.config.sequential || self.quiescent());
+            if nonempty.is_empty() && !can_inject {
+                if self.workload.is_empty() {
+                    break;
+                }
+                // Sequential mode stalled with no messages in flight: a
+                // batching component is withholding work. Nudge it so the
+                // end-to-end chain finishes and injection can resume.
+                debug_assert!(self.config.sequential);
+                let lagging: Vec<ViewId> = self
+                    .vms
+                    .iter()
+                    .filter(|(_, v)| !v.is_idle())
+                    .map(|(&id, _)| id)
+                    .collect();
+                for v in &lagging {
+                    self.send(Chan::IntToVm(*v), Msg::Flush);
+                }
+                for g in 0..self.mps.len() {
+                    let released = self.mps[g].flush();
+                    self.record_releases(g, released);
+                }
+                self.flush_reorder_buffer()?;
+                let still_empty = self.channels.values().all(VecDeque::is_empty);
+                if still_empty && !self.quiescent() {
+                    return Err(SimError::NonQuiescent(
+                        "sequential mode stalled with unfinishable work".into(),
+                    ));
+                }
+                continue;
+            }
+            let inject_w = if can_inject {
+                self.config.inject_weight.max(1) as usize
+            } else {
+                0
+            };
+            let total = nonempty.len() + inject_w;
+            let pick = self.rng.gen_range(0..total);
+            self.metrics.steps += 1;
+            if pick < nonempty.len() {
+                self.deliver(nonempty[pick])?;
+            } else {
+                self.inject()?;
+            }
+        }
+
+        // Drain phase: flush batching components until global quiescence.
+        // Every view manager receives at least one Flush even when idle —
+        // convergent managers run their final correction pass there.
+        let mut flushed_all = false;
+        for _round in 0..10_000 {
+            // Deliver everything currently in flight.
+            loop {
+                if self.metrics.steps >= self.config.max_steps {
+                    return Err(SimError::StepLimit(self.config.max_steps));
+                }
+                let nonempty: Vec<Chan> = self
+                    .channels
+                    .iter()
+                    .filter(|(_, q)| !q.is_empty())
+                    .map(|(&c, _)| c)
+                    .collect();
+                if nonempty.is_empty() {
+                    break;
+                }
+                let pick = self.rng.gen_range(0..nonempty.len());
+                self.metrics.steps += 1;
+                self.deliver(nonempty[pick])?;
+            }
+            if self.quiescent() && flushed_all {
+                break;
+            }
+            // Nudge whoever is holding back (everyone, the first time).
+            let lagging: Vec<ViewId> = self
+                .vms
+                .iter()
+                .filter(|(_, v)| !flushed_all || !v.is_idle())
+                .map(|(&id, _)| id)
+                .collect();
+            flushed_all = true;
+            for v in lagging {
+                self.send(Chan::IntToVm(v), Msg::Flush);
+            }
+            for g in 0..self.mps.len() {
+                let released = self.mps[g].flush();
+                self.record_releases(g, released);
+            }
+            if let Some(depth) = self.config.commit_reorder_depth {
+                let _ = depth;
+                self.flush_reorder_buffer()?;
+            }
+        }
+        if !self.quiescent() {
+            let stuck: Vec<String> = self
+                .vms
+                .iter()
+                .filter(|(_, v)| !v.is_idle())
+                .map(|(id, _)| id.to_string())
+                .chain(
+                    self.mps
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, m)| !m.is_quiescent())
+                        .map(|(g, m)| format!("MP{g} ({} rows live)", m.live_rows())),
+                )
+                .collect();
+            return Err(SimError::NonQuiescent(stuck.join(", ")));
+        }
+
+        let merge_stats = self.mps.iter().map(MergeProcess::stats).collect();
+        let commit_stats = self.mps.iter().map(MergeProcess::commit_stats).collect();
+        Ok(SimReport {
+            cluster: self.cluster,
+            warehouse: self.warehouse,
+            registry: self.integrator.registry().clone(),
+            partitioning: self.integrator.partitioning().clone(),
+            group_updates: self.group_updates,
+            metrics: self.metrics,
+            merge_stats,
+            commit_stats,
+            guarantees: self.guarantees,
+            group_views: self.group_views,
+            commit_log: self.commit_log,
+            routed: self.routed,
+            activations: self.activations,
+        })
+    }
+
+    /// Execute the next driver action: a workload transaction at the
+    /// sources, or a dynamic view installation.
+    fn inject(&mut self) -> Result<(), SimError> {
+        match self.workload.pop_front().expect("inject checked") {
+            DriverAction::Txn(t) => {
+                let update = if t.global {
+                    self.cluster.execute_global(t.source, t.writes)?
+                } else {
+                    self.cluster.execute(t.source, t.writes)?
+                };
+                self.metrics.injected += 1;
+                self.inject_steps.insert(update.seq, self.metrics.steps);
+                self.open_updates.insert(update.seq, None);
+                self.send(Chan::SrcToInt, Msg::SrcUpdate(update));
+            }
+            DriverAction::Install(spec) => {
+                // rides the same FIFO as the update stream so the
+                // integrator sees it at a well-defined cut
+                self.send(Chan::SrcToInt, Msg::InstallView(spec.id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deliver the head message of a channel.
+    fn deliver(&mut self, chan: Chan) -> Result<(), SimError> {
+        let msg = self
+            .channels
+            .get_mut(&chan)
+            .and_then(VecDeque::pop_front)
+            .expect("chosen channel nonempty");
+        self.metrics.messages_delivered += 1;
+        match (chan, msg) {
+            (Chan::SrcToInt, Msg::SrcUpdate(u)) => {
+                let seq = u.seq;
+                self.last_processed_seq = seq;
+                let routings = self.integrator.route(u);
+                if routings.is_empty() {
+                    // irrelevant everywhere: closes immediately
+                    self.open_updates.remove(&seq);
+                } else {
+                    self.open_updates.insert(seq, Some(routings.len()));
+                }
+                for r in &routings {
+                    self.routed.insert(r.numbered.seq());
+                }
+                for r in routings {
+                    self.group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
+                    self.uncovered[r.group].insert(r.numbered.id, ());
+                    self.send(Chan::IntToMp(r.group), Msg::Rel(r.numbered.id, r.rel.clone()));
+                    for v in r.rel {
+                        self.send(Chan::IntToVm(v), Msg::Update(r.numbered.clone()));
+                    }
+                }
+            }
+            (Chan::IntToVm(v), Msg::Update(u)) => {
+                let outs = self
+                    .vms
+                    .get_mut(&v)
+                    .expect("known view")
+                    .handle(VmEvent::Update(u))?;
+                self.route_vm_outputs(v, outs);
+            }
+            (Chan::IntToVm(v), Msg::Flush) => {
+                let outs = self
+                    .vms
+                    .get_mut(&v)
+                    .expect("known view")
+                    .handle(VmEvent::Flush)?;
+                self.route_vm_outputs(v, outs);
+            }
+            (Chan::IntToVm(v), Msg::Answer(token, answer)) => {
+                let outs = self
+                    .vms
+                    .get_mut(&v)
+                    .expect("known view")
+                    .handle(VmEvent::Answer { token, answer })?;
+                self.route_vm_outputs(v, outs);
+            }
+            (Chan::VmToQs(v), Msg::Query(token, request)) => {
+                // Answered at the current source state *now* — the delay
+                // between issue and this step is the intertwining window.
+                // The answer is routed through the integrator pipeline so
+                // it cannot overtake the updates it reflects.
+                let answer = answer_query(&self.cluster, &request)?;
+                self.send(Chan::SrcToInt, Msg::AnswerFor(v, token, answer));
+            }
+            (Chan::SrcToInt, Msg::InstallView(view)) => {
+                self.handle_install(view)?;
+            }
+            (Chan::IntToMp(g), Msg::AddView(v)) => {
+                self.mps[g].add_view(v);
+            }
+            (Chan::SrcToInt, Msg::AnswerFor(v, token, answer)) => {
+                // Forwarded on the *same* FIFO as this view's updates so
+                // that the end-to-end order is preserved.
+                self.send(Chan::IntToVm(v), Msg::Answer(token, answer));
+            }
+            (Chan::IntToMp(g), Msg::Action(al)) => {
+                // install AL for a freshly added view (§1.2)
+                let released = self.mps[g].on_action(al)?;
+                self.sample_vut(g);
+                self.record_releases(g, released);
+            }
+            (Chan::IntToMp(g), Msg::Rel(id, rel)) => {
+                let released = self.mps[g].on_rel(id, rel)?;
+                self.sample_vut(g);
+                self.record_releases(g, released);
+            }
+            (Chan::VmToMp(v), Msg::Action(al)) => {
+                let g = self
+                    .integrator
+                    .partitioning()
+                    .group_of_view(v)
+                    .unwrap_or(0);
+                let released = self.mps[g].on_action(al)?;
+                self.sample_vut(g);
+                self.record_releases(g, released);
+            }
+            (Chan::MpToWh(g), Msg::Txn(txn)) => {
+                self.commit_or_buffer(g, txn)?;
+            }
+            (Chan::WhToMp(g), Msg::Committed(seq)) => {
+                let released = self.mps[g].on_committed(seq);
+                self.record_releases(g, released);
+            }
+            (c, m) => unreachable!("message {m:?} on channel {c:?}"),
+        }
+        Ok(())
+    }
+
+    fn route_vm_outputs(&mut self, v: ViewId, outs: Vec<VmOutput>) {
+        for o in outs {
+            match o {
+                VmOutput::Action(al) => self.send(Chan::VmToMp(v), Msg::Action(al)),
+                VmOutput::Query { token, request } => {
+                    self.send(Chan::VmToQs(v), Msg::Query(token, request))
+                }
+            }
+        }
+    }
+
+    fn record_releases(&mut self, g: usize, released: Vec<StoreTxn>) {
+        for t in released {
+            self.release_steps[g].insert(t.seq, self.metrics.steps);
+            self.send(Chan::MpToWh(g), Msg::Txn(t));
+        }
+    }
+
+    fn sample_vut(&mut self, g: usize) {
+        self.metrics
+            .vut_occupancy
+            .record(self.mps[g].live_rows() as u64);
+    }
+
+    fn commit_or_buffer(&mut self, g: usize, txn: StoreTxn) -> Result<(), SimError> {
+        match self.config.commit_reorder_depth {
+            Some(depth) => {
+                self.reorder_buf.push((g, txn));
+                if self.reorder_buf.len() >= depth.max(1) {
+                    self.flush_reorder_buffer()?;
+                }
+            }
+            None => self.commit(g, txn)?,
+        }
+        Ok(())
+    }
+
+    fn flush_reorder_buffer(&mut self) -> Result<(), SimError> {
+        let buf: Vec<(usize, StoreTxn)> = self.reorder_buf.drain(..).rev().collect();
+        for (g, txn) in buf {
+            self.commit(g, txn)?;
+        }
+        Ok(())
+    }
+
+    /// §1.2 dynamic view installation, processed by the integrator at a
+    /// well-defined cut of the update stream.
+    fn handle_install(&mut self, view: ViewId) -> Result<(), SimError> {
+        let spec = self
+            .install_specs
+            .remove(&view)
+            .expect("install spec registered");
+        let (g, c) = self
+            .integrator
+            .install_view(spec.id, spec.def.clone(), spec.kind)
+            .map_err(SimError::NonQuiescent)?;
+        let cut_seq = self.last_processed_seq;
+
+        // New view manager (state loaded at the cut) and an empty
+        // warehouse slot (the install AL fills it transactionally).
+        let mut vm = spec.kind.build(spec.id, spec.def.clone())?;
+        vm.initialize(&self.cluster.as_of(cut_seq))?;
+        self.vms.insert(spec.id, vm);
+        self.warehouse
+            .register_view(
+                spec.id,
+                spec.def.name.clone(),
+                mvc_relational::Relation::new(spec.def.schema.clone()),
+            )
+            .map_err(SimError::Warehouse)?;
+
+        // Initial load at the cut (exact, via the MVCC log).
+        let initial = mvc_relational::eval_view(&spec.def, &self.cluster.as_of(cut_seq))?;
+        let initial_delta = Delta::inserts_from(&initial);
+
+        // Grow the merge group.
+        if g >= self.group_views.len() {
+            self.group_views.resize_with(g + 1, BTreeSet::new);
+        }
+        let old_views: Vec<ViewId> = self.group_views[g].iter().copied().collect();
+        self.group_views[g].insert(spec.id);
+
+        // Coordinate the install through the merge process: the VUT gains
+        // a column, then an install row relevant to EVERY view gates the
+        // initial load behind all earlier updates (their action lists
+        // precede the pseudo-ALs on each manager's FIFO).
+        self.send(Chan::IntToMp(g), Msg::AddView(spec.id));
+        self.send(
+            Chan::IntToMp(g),
+            Msg::Rel(c, self.group_views[g].clone()),
+        );
+        let pseudo = mvc_viewmgr::NumberedUpdate {
+            id: c,
+            update: SourceUpdate {
+                seq: cut_seq,
+                source: mvc_source::SourceId(0),
+                changes: vec![],
+            },
+        };
+        for v in old_views {
+            self.send(Chan::IntToVm(v), Msg::Update(pseudo.clone()));
+        }
+        // The new view's install AL carries the initial load. It rides
+        // the SAME FIFO as AddView and REL_c so it cannot overtake them.
+        self.send(
+            Chan::IntToMp(g),
+            Msg::Action(mvc_core::ActionList::single(spec.id, c, initial_delta)),
+        );
+        self.install_rows.insert(c, (spec.id, cut_seq));
+        Ok(())
+    }
+
+    fn commit(&mut self, g: usize, txn: StoreTxn) -> Result<(), SimError> {
+        let seq = txn.seq;
+        self.warehouse.apply(&txn)?;
+        self.commit_log.push(CommitLogEntry {
+            group: g,
+            seq,
+            rows: txn.rows.clone(),
+            views: txn.views.clone(),
+        });
+        for row in &txn.rows {
+            if let Some(&(v, cut)) = self.install_rows.get(row) {
+                self.activations
+                    .entry(v)
+                    .or_insert((self.commit_log.len() - 1, cut));
+            }
+        }
+        self.metrics.commits += 1;
+        // Freshness: how far the sources have moved past this txn's
+        // frontier, measured in source commits. Sampled only while the
+        // sources are still producing (steady state) — during the final
+        // drain the gap shrinks to zero by construction and would skew
+        // the measure.
+        if !self.workload.is_empty() {
+            if let Some(&frontier_seq) = self.group_updates[g].get(&txn.frontier) {
+                let staleness = self.cluster.latest_seq().0.saturating_sub(frontier_seq.0);
+                self.metrics.staleness_updates.record(staleness);
+            }
+        }
+        // Per-update latency: injection step → first covering commit step.
+        for row in &txn.rows {
+            if self.uncovered[g].remove(row).is_some() {
+                if let Some(&seq_of_row) = self.group_updates[g].get(row) {
+                    if let Some(&inj) = self.inject_steps.get(&seq_of_row) {
+                        self.metrics
+                            .update_latency_steps
+                            .record(self.metrics.steps.saturating_sub(inj));
+                    }
+                    // close the update once every routed group covered it
+                    if let Some(Some(remaining)) = self.open_updates.get_mut(&seq_of_row) {
+                        *remaining -= 1;
+                        if *remaining == 0 {
+                            self.open_updates.remove(&seq_of_row);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(&rel_step) = self.release_steps[g].get(&seq) {
+            self.metrics
+                .commit_delay_steps
+                .record(self.metrics.steps.saturating_sub(rel_step));
+        }
+        self.send(Chan::WhToMp(g), Msg::Committed(seq));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_relational::tuple;
+    use mvc_relational::ViewDef;
+
+    /// The paper's running schema: R(a,b) on src0, S(b,c) on src1,
+    /// T(c,d) on src2, Q(q,r) on src3.
+    fn builder(config: SimConfig) -> SimBuilder {
+        SimBuilder::new(config)
+            .relation(SourceId(0), "R", Schema::ints(&["a", "b"]))
+            .relation(SourceId(1), "S", Schema::ints(&["b", "c"]))
+            .relation(SourceId(2), "T", Schema::ints(&["c", "d"]))
+            .relation(SourceId(3), "Q", Schema::ints(&["q", "r"]))
+    }
+
+    fn v1(b: &SimBuilder) -> ViewDef {
+        ViewDef::builder("V1")
+            .from("R")
+            .from("S")
+            .join_on("R.b", "S.b")
+            .project(["R.a", "R.b", "S.c"])
+            .build(b.catalog())
+            .unwrap()
+    }
+
+    fn v2(b: &SimBuilder) -> ViewDef {
+        ViewDef::builder("V2")
+            .from("S")
+            .from("T")
+            .join_on("S.c", "T.c")
+            .project(["S.b", "S.c", "T.d"])
+            .build(b.catalog())
+            .unwrap()
+    }
+
+    fn v3(b: &SimBuilder) -> ViewDef {
+        ViewDef::builder("V3").from("Q").build(b.catalog()).unwrap()
+    }
+
+    /// Example 1's workload: R\[1,2\] and T\[3,4\] pre-exist, then S\[2,3\]
+    /// arrives, affecting both views.
+    fn example1_workload(b: SimBuilder) -> SimBuilder {
+        b.txn(SourceId(0), vec![WriteOp::insert("R", tuple![1, 2])])
+            .txn(SourceId(2), vec![WriteOp::insert("T", tuple![3, 4])])
+            .txn(SourceId(1), vec![WriteOp::insert("S", tuple![2, 3])])
+    }
+
+    #[test]
+    fn example1_spa_is_mvc_complete_across_seeds() {
+        for seed in 0..25 {
+            let config = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
+            let mut b = builder(config);
+            let (d1, d2) = (v1(&b), v2(&b));
+            b = b
+                .view(ViewId(1), d1, ManagerKind::Complete)
+                .view(ViewId(2), d2, ManagerKind::Complete);
+            let report = example1_workload(b).run().unwrap();
+            assert_eq!(report.guarantees[0], ConsistencyLevel::Complete);
+            // Final contents correct.
+            assert!(report
+                .warehouse
+                .view(ViewId(1))
+                .unwrap()
+                .contains(&tuple![1, 2, 3]));
+            assert!(report
+                .warehouse
+                .view(ViewId(2))
+                .unwrap()
+                .contains(&tuple![2, 3, 4]));
+            crate::oracle::Oracle::new(&report).unwrap().assert_ok();
+        }
+    }
+
+    #[test]
+    fn strobe_pa_is_mvc_strong_across_seeds() {
+        for seed in 0..25 {
+            let config = SimConfig {
+                seed,
+                inject_weight: 6, // flood the pipeline → intertwining
+                ..SimConfig::default()
+            };
+            let mut b = builder(config);
+            let (d1, d2) = (v1(&b), v2(&b));
+            b = b
+                .view(ViewId(1), d1, ManagerKind::Strobe)
+                .view(ViewId(2), d2, ManagerKind::Strobe);
+            b = example1_workload(b)
+                .txn(SourceId(1), vec![WriteOp::insert("S", tuple![2, 9])])
+                .txn(SourceId(0), vec![WriteOp::insert("R", tuple![7, 2])])
+                .txn(SourceId(1), vec![WriteOp::delete("S", tuple![2, 3])]);
+            let report = b.run().unwrap();
+            assert_eq!(report.guarantees[0], ConsistencyLevel::Strong);
+            let oracle = crate::oracle::Oracle::new(&report).unwrap();
+            oracle.assert_ok();
+        }
+    }
+
+    #[test]
+    fn mixed_managers_weakest_level_holds() {
+        for seed in 0..10 {
+            let config = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
+            let mut b = builder(config);
+            let (d1, d2, d3) = (v1(&b), v2(&b), v3(&b));
+            b = b
+                .view(ViewId(1), d1, ManagerKind::Complete)
+                .view(ViewId(2), d2, ManagerKind::Strobe)
+                .view(ViewId(3), d3, ManagerKind::Periodic { period: 2 });
+            b = example1_workload(b)
+                .txn(SourceId(3), vec![WriteOp::insert("Q", tuple![5, 5])])
+                .txn(SourceId(3), vec![WriteOp::insert("Q", tuple![6, 6])]);
+            let report = b.run().unwrap();
+            assert_eq!(
+                report.guarantees[0],
+                ConsistencyLevel::Strong,
+                "complete+strong+periodic → PA → strong"
+            );
+            crate::oracle::Oracle::new(&report).unwrap().assert_ok();
+        }
+    }
+
+    #[test]
+    fn convergent_managers_converge() {
+        for seed in 0..10 {
+            let config = SimConfig {
+                seed,
+                inject_weight: 8,
+                ..SimConfig::default()
+            };
+            let mut b = builder(config);
+            let (d1, d2) = (v1(&b), v2(&b));
+            b = b
+                .view(ViewId(1), d1, ManagerKind::Convergent { correction_every: 3 })
+                .view(ViewId(2), d2, ManagerKind::Convergent { correction_every: 3 });
+            b = example1_workload(b)
+                .txn(SourceId(0), vec![WriteOp::insert("R", tuple![9, 2])]);
+            let report = b.run().unwrap();
+            assert_eq!(report.guarantees[0], ConsistencyLevel::Convergent);
+            crate::oracle::Oracle::new(&report).unwrap().assert_ok();
+        }
+    }
+
+    #[test]
+    fn partitioned_merge_groups_each_hold() {
+        for seed in 0..10 {
+            let config = SimConfig {
+                seed,
+                partition: true,
+                ..SimConfig::default()
+            };
+            let mut b = builder(config);
+            let (d1, d2, d3) = (v1(&b), v2(&b), v3(&b));
+            b = b
+                .view(ViewId(1), d1, ManagerKind::Complete)
+                .view(ViewId(2), d2, ManagerKind::Complete)
+                .view(ViewId(3), d3, ManagerKind::Complete);
+            b = example1_workload(b)
+                .txn(SourceId(3), vec![WriteOp::insert("Q", tuple![5, 5])]);
+            let report = b.run().unwrap();
+            assert_eq!(report.group_views.len(), 2, "{{V1,V2}} | {{V3}}");
+            crate::oracle::Oracle::new(&report).unwrap().assert_ok();
+        }
+    }
+
+    #[test]
+    fn sequential_strawman_also_consistent_but_serial() {
+        let config = SimConfig {
+            seed: 1,
+            sequential: true,
+            ..SimConfig::default()
+        };
+        let mut b = builder(config);
+        let (d1, d2) = (v1(&b), v2(&b));
+        b = b
+            .view(ViewId(1), d1, ManagerKind::Complete)
+            .view(ViewId(2), d2, ManagerKind::Complete);
+        let report = example1_workload(b).run().unwrap();
+        crate::oracle::Oracle::new(&report).unwrap().assert_ok();
+        // Serial processing: the VUT never holds more than one row.
+        assert!(report.merge_stats[0].max_live_rows <= 1);
+    }
+
+    #[test]
+    fn commit_reordering_fault_detected_by_oracle() {
+        // §4.3 hazard: scrambled commits break per-view ordering. With
+        // reorder depth 2 and dependent transactions the oracle must flag
+        // a completeness/strong-consistency violation for at least one
+        // seed (not every interleaving triggers the hazard).
+        let mut violated = false;
+        for seed in 0..30 {
+            let config = SimConfig {
+                seed,
+                commit_reorder_depth: Some(2),
+                // The hazard requires abdicating commit-order control
+                // (§4.3): Immediate releases dependent txns concurrently
+                // and the chaos committer scrambles them.
+                commit_policy: CommitPolicy::Immediate,
+                ..SimConfig::default()
+            };
+            let mut b = builder(config);
+            let d3 = v3(&b);
+            b = b.view(ViewId(3), d3, ManagerKind::Complete);
+            // insert/delete pairs on the SAME tuple: genuinely conflicting
+            // updates whose reversal is observable (commuting inserts of
+            // distinct tuples could be legally reordered).
+            for i in 0..3i64 {
+                b = b
+                    .txn(SourceId(3), vec![WriteOp::insert("Q", tuple![i, i])])
+                    .txn(SourceId(3), vec![WriteOp::delete("Q", tuple![i, i])]);
+            }
+            let report = b.run().unwrap();
+            let oracle = crate::oracle::Oracle::new(&report).unwrap();
+            let results = oracle.check_report();
+            if results.iter().any(|(_, _, v)| !v.is_satisfied()) {
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "reordered commits never violated consistency");
+    }
+
+    #[test]
+    fn global_transactions_update_views_atomically() {
+        // §6.2: one transaction inserts into R and Q; V1-over-R… use
+        // copy views over R and Q so both must reflect the txn together.
+        for seed in 0..10 {
+            let config = SimConfig {
+                seed,
+                ..SimConfig::default()
+            };
+            let mut b = builder(config);
+            let dr = ViewDef::builder("VR").from("R").build(b.catalog()).unwrap();
+            let dq = ViewDef::builder("VQ").from("Q").build(b.catalog()).unwrap();
+            b = b
+                .view(ViewId(1), dr, ManagerKind::Complete)
+                .view(ViewId(2), dq, ManagerKind::Complete);
+            b = b.global_txn(
+                SourceId(0),
+                vec![
+                    WriteOp::insert("R", tuple![1, 1]),
+                    WriteOp::insert("Q", tuple![2, 2]),
+                ],
+            );
+            b = b.txn(SourceId(0), vec![WriteOp::insert("R", tuple![3, 3])]);
+            let report = b.run().unwrap();
+            crate::oracle::Oracle::new(&report).unwrap().assert_ok();
+            // Every committed snapshot must show the global txn's two
+            // inserts together or not at all.
+            for rec in report.warehouse.history() {
+                let snap = rec.snapshot.as_ref().unwrap();
+                let has_r = snap[&ViewId(1)].contains(&tuple![1, 1]);
+                let has_q = snap[&ViewId(2)].contains(&tuple![2, 2]);
+                assert_eq!(has_r, has_q, "§6.2 atomicity violated at {:?}", rec.seq);
+            }
+        }
+    }
+}

@@ -1,0 +1,765 @@
+//! Threaded runtime: the Figure 1 architecture with one OS thread per
+//! process and crossbeam FIFO channels as the arrows.
+//!
+//! This runtime exists for wall-clock measurements (the §7 bottleneck and
+//! scaling studies): the deterministic simulator measures in steps, this
+//! one in nanoseconds. Both produce a [`SimReport`], so the consistency
+//! oracle validates threaded runs exactly like simulated ones.
+//!
+//! Ordering notes:
+//! * updates and query answers destined for a view manager travel through
+//!   the integrator thread and share that VM's input channel, preserving
+//!   the per-source FIFO guarantee Strobe requires (see `sim.rs`);
+//! * transaction commits and query answering serialize on the cluster
+//!   lock, so an answer computed at state `s` is reported after every
+//!   update ≤ `s` entered the integrator queue.
+//!
+//! Quiescence uses a global in-flight message counter: each send
+//! increments it, each fully processed message decrements it *after* its
+//! outputs were sent, so counter == 0 means the pipeline is empty.
+
+use crate::integrator::Integrator;
+use crate::metrics::SimMetrics;
+use crate::registry::{ManagerKind, ViewRegistry};
+use crate::sim::{CommitLogEntry, SimError, SimReport};
+use mvc_core::{
+    CommitPolicy, ConsistencyLevel, MergeAlgorithm, MergeProcess, TxnSeq, UpdateId, ViewId,
+};
+use mvc_relational::{Delta, RelationName, Schema, ViewDef};
+use mvc_source::{GlobalSeq, SourceCluster, SourceId};
+use mvc_viewmgr::{
+    answer_query, ActionListDelta, QueryAnswer, QueryRequest, QueryToken, VmEvent, VmOutput,
+};
+use mvc_warehouse::{StoreTxn, Warehouse};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Threaded-runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    pub commit_policy: CommitPolicy,
+    pub algorithm: Option<MergeAlgorithm>,
+    pub partition: bool,
+    pub tuple_relevance: bool,
+    /// Artificial per-query service delay (widens intertwining windows).
+    pub query_delay: Duration,
+    /// Artificial per-commit latency at the warehouse.
+    pub commit_delay: Duration,
+    /// Pause between workload transactions (0 = flood).
+    pub pacing: Duration,
+    pub record_snapshots: bool,
+    /// Abort if quiescence is not reached within this budget.
+    pub drain_timeout: Duration,
+    /// §1.1 sequential strawman: wait for full quiescence between
+    /// transactions.
+    pub sequential: bool,
+    /// Spawn a concurrent reader sampling these views (the §1.1
+    /// customer-inquiry workload); every sample is a consistent
+    /// multi-view read taken under the warehouse lock while commits flow.
+    pub reader_views: Vec<ViewId>,
+    /// Pause between reader samples.
+    pub reader_interval: Duration,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig {
+            commit_policy: CommitPolicy::DependencyAware,
+            algorithm: None,
+            partition: false,
+            tuple_relevance: true,
+            query_delay: Duration::ZERO,
+            commit_delay: Duration::ZERO,
+            pacing: Duration::ZERO,
+            record_snapshots: false,
+            drain_timeout: Duration::from_secs(30),
+            sequential: false,
+            reader_views: Vec::new(),
+            reader_interval: Duration::from_micros(200),
+        }
+    }
+}
+
+/// Wall-clock results beyond the shared [`SimReport`].
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    pub elapsed: Duration,
+    /// Source transactions per second end-to-end.
+    pub updates_per_sec: f64,
+    /// Samples taken by the concurrent reader (when configured): each is
+    /// one consistent multi-view read.
+    pub reader_samples: Vec<std::collections::BTreeMap<ViewId, mvc_relational::Relation>>,
+}
+
+enum VmMsg {
+    Update(mvc_viewmgr::NumberedUpdate),
+    Answer(QueryToken, QueryAnswer),
+    Flush,
+    Stop,
+}
+
+enum MpMsg {
+    Rel(UpdateId, BTreeSet<ViewId>),
+    Action(ActionListDelta),
+    Committed(TxnSeq),
+    Flush,
+    Stop,
+}
+
+enum IntMsg {
+    Update(mvc_source::SourceUpdate),
+    AnswerFor(ViewId, QueryToken, QueryAnswer),
+    Stop,
+}
+
+enum QsMsg {
+    Query(ViewId, QueryToken, Box<QueryRequest>),
+    Stop,
+}
+
+enum WhMsg {
+    Txn(usize, StoreTxn),
+    Stop,
+}
+
+/// Tracks in-flight messages for quiescence detection.
+#[derive(Clone)]
+struct Flight(Arc<AtomicI64>);
+
+impl Flight {
+    fn new() -> Self {
+        Flight(Arc::new(AtomicI64::new(0)))
+    }
+    fn up(&self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+    fn down(&self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+    fn zero(&self) -> bool {
+        self.0.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// Builder mirroring [`crate::sim::SimBuilder`] for the threaded runtime.
+pub struct ThreadedBuilder {
+    config: ThreadedConfig,
+    cluster: SourceCluster,
+    registry: ViewRegistry,
+    workload: Vec<crate::sim::WorkloadTxn>,
+}
+
+impl ThreadedBuilder {
+    pub fn new(config: ThreadedConfig) -> Self {
+        ThreadedBuilder {
+            config,
+            cluster: SourceCluster::new(64),
+            registry: ViewRegistry::new(),
+            workload: Vec::new(),
+        }
+    }
+
+    pub fn relation(
+        mut self,
+        source: SourceId,
+        name: impl Into<RelationName>,
+        schema: Schema,
+    ) -> Self {
+        self.cluster
+            .create_relation(source, name, schema)
+            .expect("relation setup");
+        self
+    }
+
+    pub fn view(mut self, id: ViewId, def: ViewDef, kind: ManagerKind) -> Self {
+        self.registry.add(id, def, kind);
+        self
+    }
+
+    pub fn catalog(&self) -> &mvc_relational::Catalog {
+        self.cluster.catalog()
+    }
+
+    pub fn workload(mut self, txns: Vec<crate::sim::WorkloadTxn>) -> Self {
+        self.workload.extend(txns);
+        self
+    }
+
+    /// Run to quiescence; returns the report plus wall-clock stats.
+    pub fn run(self) -> Result<(SimReport, WallClock), SimError> {
+        run_threaded(self)
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> {
+    let config = b.config.clone();
+    let partitioning = b.registry.partitioning(config.partition);
+    let groups = partitioning.group_count().max(1);
+    let mut group_views: Vec<BTreeSet<ViewId>> = vec![BTreeSet::new(); groups];
+    for id in b.registry.ids() {
+        let g = partitioning.group_of_view(id).unwrap_or(0);
+        group_views[g].insert(id);
+    }
+
+    // Shared state.
+    let flight = Flight::new();
+    let cluster = Arc::new(Mutex::new(b.cluster));
+    let mut warehouse = Warehouse::new(config.record_snapshots);
+    for e in b.registry.iter() {
+        warehouse
+            .register_view(
+                e.id,
+                e.def.name.clone(),
+                mvc_relational::Relation::new(e.def.schema.clone()),
+            )
+            .expect("fresh warehouse");
+    }
+    let warehouse = Arc::new(Mutex::new(warehouse));
+    let commit_log: Arc<Mutex<Vec<CommitLogEntry>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Channels.
+    let (int_tx, int_rx) = crossbeam::channel::unbounded::<IntMsg>();
+    let (qs_tx, qs_rx) = crossbeam::channel::unbounded::<QsMsg>();
+    let (wh_tx, wh_rx) = crossbeam::channel::unbounded::<WhMsg>();
+    let mut vm_txs: BTreeMap<ViewId, crossbeam::channel::Sender<VmMsg>> = BTreeMap::new();
+    let mut mp_txs: Vec<crossbeam::channel::Sender<MpMsg>> = Vec::new();
+
+    let mut handles = Vec::new();
+
+    // --- View manager threads ---
+    let vm_idle: Arc<Mutex<BTreeMap<ViewId, Arc<AtomicBool>>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    // (MP channels created below; VMs need them — create MP channels first.)
+    let mut mp_rxs = Vec::new();
+    for _ in 0..groups {
+        let (tx, rx) = crossbeam::channel::unbounded::<MpMsg>();
+        mp_txs.push(tx);
+        mp_rxs.push(rx);
+    }
+
+    for e in b.registry.iter() {
+        let (tx, rx) = crossbeam::channel::unbounded::<VmMsg>();
+        vm_txs.insert(e.id, tx);
+        let mut vm = e.kind.build(e.id, e.def.clone())?;
+        let idle = Arc::new(AtomicBool::new(true));
+        vm_idle.lock().insert(e.id, idle.clone());
+        let g = partitioning.group_of_view(e.id).unwrap_or(0);
+        let mp_tx = mp_txs[g].clone();
+        let qs_tx = qs_tx.clone();
+        let flight = flight.clone();
+        let id = e.id;
+        handles.push(std::thread::spawn(move || -> Result<(), String> {
+            while let Ok(msg) = rx.recv() {
+                let event = match msg {
+                    VmMsg::Update(u) => VmEvent::Update(u),
+                    VmMsg::Answer(t, a) => VmEvent::Answer { token: t, answer: a },
+                    VmMsg::Flush => VmEvent::Flush,
+                    VmMsg::Stop => break,
+                };
+                let outs = vm.handle(event).map_err(|e| e.to_string())?;
+                for o in outs {
+                    match o {
+                        VmOutput::Action(al) => {
+                            flight.up();
+                            let _ = mp_tx.send(MpMsg::Action(al));
+                        }
+                        VmOutput::Query { token, request } => {
+                            flight.up();
+                            let _ = qs_tx.send(QsMsg::Query(id, token, Box::new(request)));
+                        }
+                    }
+                }
+                idle.store(vm.is_idle(), Ordering::SeqCst);
+                flight.down();
+            }
+            Ok(())
+        }));
+    }
+
+    // --- Merge process threads ---
+    let mp_quiescent: Arc<Mutex<Vec<Arc<AtomicBool>>>> = Arc::new(Mutex::new(Vec::new()));
+    let merge_stats = Arc::new(Mutex::new(vec![mvc_core::MergeStats::default(); groups]));
+    let commit_stats = Arc::new(Mutex::new(vec![mvc_core::CommitStats::default(); groups]));
+    let mut guarantees = Vec::with_capacity(groups);
+    for (g, rx) in mp_rxs.into_iter().enumerate() {
+        let levels: Vec<(ViewId, ConsistencyLevel)> = b
+            .registry
+            .levels()
+            .into_iter()
+            .filter(|(v, _)| group_views[g].contains(v))
+            .collect();
+        let mut mp = match config.algorithm {
+            Some(alg) => {
+                MergeProcess::<Delta>::new(alg, levels.iter().map(|(v, _)| *v), config.commit_policy)
+            }
+            None => MergeProcess::for_managers(levels, config.commit_policy),
+        };
+        guarantees.push(mp.guarantees());
+        let quiescent = Arc::new(AtomicBool::new(true));
+        mp_quiescent.lock().push(quiescent.clone());
+        let wh_tx = wh_tx.clone();
+        let flight = flight.clone();
+        let merge_stats = merge_stats.clone();
+        let commit_stats = commit_stats.clone();
+        handles.push(std::thread::spawn(move || -> Result<(), String> {
+            while let Ok(msg) = rx.recv() {
+                let released = match msg {
+                    MpMsg::Rel(i, rel) => mp.on_rel(i, rel).map_err(|e| e.to_string())?,
+                    MpMsg::Action(al) => mp.on_action(al).map_err(|e| e.to_string())?,
+                    MpMsg::Committed(seq) => mp.on_committed(seq),
+                    MpMsg::Flush => mp.flush(),
+                    MpMsg::Stop => break,
+                };
+                for t in released {
+                    flight.up();
+                    let _ = wh_tx.send(WhMsg::Txn(g, t));
+                }
+                quiescent.store(mp.is_quiescent(), Ordering::SeqCst);
+                merge_stats.lock()[g] = mp.stats();
+                commit_stats.lock()[g] = mp.commit_stats();
+                flight.down();
+            }
+            Ok(())
+        }));
+    }
+
+    // --- Query server thread ---
+    {
+        let cluster = cluster.clone();
+        let int_tx = int_tx.clone();
+        let flight = flight.clone();
+        let delay = config.query_delay;
+        handles.push(std::thread::spawn(move || -> Result<(), String> {
+            // Queries are served concurrently (real sources answer many
+            // clients at once): with a configured delay, each query gets
+            // its own short-lived worker so service time does not
+            // serialize the whole pipeline.
+            let mut workers = Vec::new();
+            while let Ok(msg) = qs_rx.recv() {
+                match msg {
+                    QsMsg::Query(v, token, request) => {
+                        let cluster = cluster.clone();
+                        let int_tx = int_tx.clone();
+                        let flight = flight.clone();
+                        let serve = move || -> Result<(), String> {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            // Lock serializes with commits: the answer
+                            // state is consistent with the updates
+                            // already reported.
+                            let answer = {
+                                let c = cluster.lock();
+                                answer_query(&c, &request).map_err(|e| e.to_string())?
+                            };
+                            flight.up();
+                            let _ = int_tx.send(IntMsg::AnswerFor(v, token, answer));
+                            flight.down();
+                            Ok(())
+                        };
+                        if delay.is_zero() {
+                            serve()?;
+                        } else {
+                            workers.push(std::thread::spawn(serve));
+                        }
+                    }
+                    QsMsg::Stop => break,
+                }
+            }
+            for w in workers {
+                w.join().map_err(|_| "query worker panicked".to_string())??;
+            }
+            Ok(())
+        }));
+    }
+
+    // --- Warehouse committer thread ---
+    {
+        let warehouse = warehouse.clone();
+        let commit_log = commit_log.clone();
+        let mp_txs = mp_txs.clone();
+        let flight = flight.clone();
+        let delay = config.commit_delay;
+        handles.push(std::thread::spawn(move || -> Result<(), String> {
+            // Commits run concurrently when a latency is configured (a
+            // real DBMS overlaps independent transactions); ordering of
+            // *dependent* transactions is the merge process's commit
+            // scheduler's responsibility (§4.3) — it never has two
+            // dependent transactions in flight under the ordered
+            // policies, so concurrent workers are safe.
+            let mut workers = Vec::new();
+            while let Ok(msg) = wh_rx.recv() {
+                match msg {
+                    WhMsg::Txn(g, txn) => {
+                        let warehouse = warehouse.clone();
+                        let commit_log = commit_log.clone();
+                        let mp_tx = mp_txs[g].clone();
+                        let flight = flight.clone();
+                        let commit = move || -> Result<(), String> {
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            {
+                                let mut w = warehouse.lock();
+                                w.apply(&txn).map_err(|e| e.to_string())?;
+                                commit_log.lock().push(CommitLogEntry {
+                                    group: g,
+                                    seq: txn.seq,
+                                    rows: txn.rows.clone(),
+                                    views: txn.views.clone(),
+                                });
+                            }
+                            flight.up();
+                            let _ = mp_tx.send(MpMsg::Committed(txn.seq));
+                            flight.down();
+                            Ok(())
+                        };
+                        if delay.is_zero() {
+                            commit()?;
+                        } else {
+                            workers.push(std::thread::spawn(commit));
+                        }
+                    }
+                    WhMsg::Stop => break,
+                }
+            }
+            for w in workers {
+                w.join().map_err(|_| "commit worker panicked".to_string())??;
+            }
+            Ok(())
+        }));
+    }
+
+    // --- Integrator thread ---
+    type RoutingState = (
+        Vec<BTreeMap<UpdateId, GlobalSeq>>,
+        BTreeSet<GlobalSeq>,
+        ViewRegistry,
+    );
+    let routing_state: Arc<Mutex<Option<RoutingState>>> = Arc::new(Mutex::new(None));
+    {
+        let registry = b.registry.clone();
+        let partitioning = registry.partitioning(config.partition);
+        let mut integrator = Integrator::new(registry.clone(), partitioning, config.tuple_relevance);
+        let vm_txs = vm_txs.clone();
+        let mp_txs = mp_txs.clone();
+        let flight = flight.clone();
+        let routing_state = routing_state.clone();
+        let ngroups = groups;
+        handles.push(std::thread::spawn(move || -> Result<(), String> {
+            let mut group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>> =
+                vec![BTreeMap::new(); ngroups];
+            let mut routed: BTreeSet<GlobalSeq> = BTreeSet::new();
+            while let Ok(msg) = int_rx.recv() {
+                match msg {
+                    IntMsg::Update(u) => {
+                        for r in integrator.route(u) {
+                            routed.insert(r.numbered.seq());
+                            group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
+                            flight.up();
+                            let _ = mp_txs[r.group].send(MpMsg::Rel(r.numbered.id, r.rel.clone()));
+                            for v in &r.rel {
+                                flight.up();
+                                let _ = vm_txs[v].send(VmMsg::Update(r.numbered.clone()));
+                            }
+                        }
+                        flight.down();
+                    }
+                    IntMsg::AnswerFor(v, token, answer) => {
+                        flight.up();
+                        let _ = vm_txs[&v].send(VmMsg::Answer(token, answer));
+                        flight.down();
+                    }
+                    IntMsg::Stop => break,
+                }
+            }
+            *routing_state.lock() = Some((group_updates, routed, registry));
+            Ok(())
+        }));
+    }
+
+    // --- Concurrent reader (§1.1 customer inquiry) ---
+    let reader_stop = Arc::new(AtomicBool::new(false));
+    let reader_handle = if config.reader_views.is_empty() {
+        None
+    } else {
+        let warehouse = warehouse.clone();
+        let views = config.reader_views.clone();
+        let interval = config.reader_interval;
+        let stop = reader_stop.clone();
+        Some(std::thread::spawn(move || {
+            let mut samples = Vec::new();
+            while !stop.load(Ordering::SeqCst) {
+                {
+                    let w = warehouse.lock();
+                    samples.push(w.read(&views));
+                }
+                std::thread::sleep(interval);
+            }
+            samples
+        }))
+    };
+
+    // --- Driver (this thread) ---
+    let started = Instant::now();
+    let injected = b.workload.len() as u64;
+    let quiescent_now = |flight: &Flight| -> bool {
+        flight.zero()
+            && vm_idle
+                .lock()
+                .values()
+                .all(|f| f.load(Ordering::SeqCst))
+            && mp_quiescent
+                .lock()
+                .iter()
+                .all(|f| f.load(Ordering::SeqCst))
+    };
+    for t in b.workload {
+        if config.sequential {
+            // wait for pipeline quiescence before the next transaction
+            let deadline = Instant::now() + config.drain_timeout;
+            loop {
+                if quiescent_now(&flight) {
+                    break;
+                }
+                if Instant::now() > deadline {
+                    return Err(SimError::NonQuiescent(
+                        "sequential wait timed out".into(),
+                    ));
+                }
+                std::thread::yield_now();
+            }
+        }
+        let update = {
+            let mut c = cluster.lock();
+            let res = if t.global {
+                c.execute_global(t.source, t.writes)
+            } else {
+                c.execute(t.source, t.writes)
+            }
+            .map_err(SimError::Source)?;
+            // send under the lock so answers computed later cannot
+            // overtake this update in the integrator queue
+            flight.up();
+            let _ = int_tx.send(IntMsg::Update(res.clone()));
+            res
+        };
+        let _ = update;
+        if !config.pacing.is_zero() {
+            std::thread::sleep(config.pacing);
+        }
+    }
+
+    // --- Drain ---
+    let deadline = Instant::now() + config.drain_timeout;
+    let mut flushed_all = false;
+    loop {
+        if quiescent_now(&flight) {
+            if flushed_all {
+                break;
+            }
+            // one full flush round even when everything looks idle
+            for tx in vm_txs.values() {
+                flight.up();
+                let _ = tx.send(VmMsg::Flush);
+            }
+            for tx in &mp_txs {
+                flight.up();
+                let _ = tx.send(MpMsg::Flush);
+            }
+            flushed_all = true;
+        } else if flight.zero() {
+            // stalled with nothing in flight: nudge batching components
+            for (v, idle) in vm_idle.lock().iter() {
+                if !idle.load(Ordering::SeqCst) {
+                    flight.up();
+                    let _ = vm_txs[v].send(VmMsg::Flush);
+                }
+            }
+            for tx in &mp_txs {
+                flight.up();
+                let _ = tx.send(MpMsg::Flush);
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(SimError::NonQuiescent("threaded drain timed out".into()));
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let elapsed = started.elapsed();
+    reader_stop.store(true, Ordering::SeqCst);
+    let reader_samples = match reader_handle {
+        Some(h) => h.join().unwrap_or_default(),
+        None => Vec::new(),
+    };
+
+    // --- Shutdown ---
+    let _ = int_tx.send(IntMsg::Stop);
+    let _ = qs_tx.send(QsMsg::Stop);
+    let _ = wh_tx.send(WhMsg::Stop);
+    for tx in vm_txs.values() {
+        let _ = tx.send(VmMsg::Stop);
+    }
+    for tx in &mp_txs {
+        let _ = tx.send(MpMsg::Stop);
+    }
+    for h in handles {
+        match h.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => return Err(SimError::NonQuiescent(format!("thread error: {e}"))),
+            Err(_) => return Err(SimError::NonQuiescent("thread panicked".into())),
+        }
+    }
+
+    let (group_updates, routed, registry) = routing_state
+        .lock()
+        .take()
+        .expect("integrator published routing state");
+    let cluster = Arc::try_unwrap(cluster)
+        .map_err(|_| SimError::NonQuiescent("cluster still shared".into()))?
+        .into_inner();
+    let warehouse = Arc::try_unwrap(warehouse)
+        .map_err(|_| SimError::NonQuiescent("warehouse still shared".into()))?
+        .into_inner();
+    let commit_log = Arc::try_unwrap(commit_log)
+        .map_err(|_| SimError::NonQuiescent("commit log still shared".into()))?
+        .into_inner();
+
+    let metrics = SimMetrics {
+        injected,
+        commits: commit_log.len() as u64,
+        ..SimMetrics::default()
+    };
+
+    let updates_per_sec = if elapsed.as_secs_f64() > 0.0 {
+        injected as f64 / elapsed.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+
+    let partitioning = registry.partitioning(config.partition);
+    let final_merge_stats = merge_stats.lock().clone();
+    let final_commit_stats = commit_stats.lock().clone();
+    Ok((
+        SimReport {
+            cluster,
+            warehouse,
+            registry,
+            partitioning,
+            group_updates,
+            metrics,
+            merge_stats: final_merge_stats,
+            commit_stats: final_commit_stats,
+            guarantees,
+            group_views,
+            commit_log,
+            routed,
+            activations: BTreeMap::new(),
+        },
+        WallClock {
+            elapsed,
+            updates_per_sec,
+            reader_samples,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::Oracle;
+    use crate::workload::{generate, install_relations, install_views, WorkloadSpec};
+    use mvc_relational::tuple;
+    use mvc_source::WriteOp;
+
+    #[test]
+    fn threaded_end_to_end_complete_managers() {
+        let config = ThreadedConfig {
+            record_snapshots: true,
+            ..ThreadedConfig::default()
+        };
+        let mut b = ThreadedBuilder::new(config)
+            .relation(SourceId(0), "R", Schema::ints(&["a", "b"]))
+            .relation(SourceId(1), "S", Schema::ints(&["b", "c"]));
+        let v1 = ViewDef::builder("V1")
+            .from("R")
+            .from("S")
+            .join_on("R.b", "S.b")
+            .project(["R.a", "R.b", "S.c"])
+            .build(b.catalog())
+            .unwrap();
+        let v2 = ViewDef::builder("V2").from("S").build(b.catalog()).unwrap();
+        b = b
+            .view(ViewId(1), v1, ManagerKind::Complete)
+            .view(ViewId(2), v2, ManagerKind::Complete);
+        let mut txns = Vec::new();
+        for i in 0..10i64 {
+            txns.push(crate::sim::WorkloadTxn {
+                source: SourceId(0),
+                writes: vec![WriteOp::insert("R", tuple![i, i % 3])],
+                global: false,
+            });
+            txns.push(crate::sim::WorkloadTxn {
+                source: SourceId(1),
+                writes: vec![WriteOp::insert("S", tuple![i % 3, i])],
+                global: false,
+            });
+        }
+        let (report, wall) = b.workload(txns).run().unwrap();
+        assert_eq!(report.metrics.injected, 20);
+        assert!(wall.elapsed > Duration::ZERO);
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+
+    #[test]
+    fn threaded_strobe_with_query_delay() {
+        let config = ThreadedConfig {
+            query_delay: Duration::from_micros(300),
+            record_snapshots: true,
+            ..ThreadedConfig::default()
+        };
+        let spec = WorkloadSpec {
+            seed: 3,
+            relations: 3,
+            updates: 40,
+            ..WorkloadSpec::default()
+        };
+        let w = generate(&spec);
+        let b = ThreadedBuilder::new(config);
+        let b = install_relations(b, spec.relations);
+        let (b, _ids) = install_views(
+            b,
+            crate::workload::ViewSuite::OverlappingChain { count: 2 },
+            ManagerKind::Strobe,
+        );
+        let (report, _wall) = b.workload(w.txns).run().unwrap();
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+
+    #[test]
+    fn threaded_sequential_strawman() {
+        let config = ThreadedConfig {
+            sequential: true,
+            record_snapshots: true,
+            ..ThreadedConfig::default()
+        };
+        let mut b = ThreadedBuilder::new(config)
+            .relation(SourceId(0), "R", Schema::ints(&["a", "b"]));
+        let v = ViewDef::builder("V").from("R").build(b.catalog()).unwrap();
+        b = b.view(ViewId(1), v, ManagerKind::Complete);
+        let txns = (0..5i64)
+            .map(|i| crate::sim::WorkloadTxn {
+                source: SourceId(0),
+                writes: vec![WriteOp::insert("R", tuple![i, i])],
+                global: false,
+            })
+            .collect();
+        let (report, _w) = b.workload(txns).run().unwrap();
+        Oracle::new(&report).unwrap().assert_ok();
+        assert!(report.merge_stats[0].max_live_rows <= 1);
+    }
+}

@@ -1,0 +1,84 @@
+//! Distributing the merge process (§6.1, Figure 3).
+//!
+//! Views are partitioned into groups with disjoint base-relation
+//! footprints; each group gets its own merge process. The example builds
+//! the figure's exact configuration — `V1 = R ⋈ S`, `V2 = S ⋈ T`,
+//! `V3 = Q` — shows the computed partitioning, runs a workload through
+//! both deployments, and compares merge-process load.
+//!
+//! Run with: `cargo run --example distributed_merge`
+
+use mvc_repro::prelude::*;
+use mvc_repro::whips::workload::{generate, install_relations, install_views};
+
+fn build(partition: bool, seed: u64) -> mvc_repro::whips::SimReport {
+    let config = SimConfig {
+        seed,
+        partition,
+        inject_weight: 4,
+        record_snapshots: false,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    // Figure 3's shape: two chained views sharing S, one disjoint copy.
+    let b = install_relations(b, 4);
+    let (b, _ids) = install_views(
+        b,
+        ViewSuite::OverlappingChain { count: 2 },
+        ManagerKind::Complete,
+    );
+    // add the disjoint view over R3
+    let def = ViewDef::builder("V3")
+        .from("R3")
+        .build(b.catalog())
+        .expect("copy view");
+    let b = b.view(ViewId(10), def, ManagerKind::Complete);
+
+    let spec = WorkloadSpec {
+        seed,
+        relations: 4,
+        updates: 120,
+        ..WorkloadSpec::default()
+    };
+    let w = generate(&spec);
+    b.workload(w.txns).run().expect("run")
+}
+
+fn main() {
+    println!("Figure 3 configuration: V0=R0⋈R1, V1=R1⋈R2 (share R1), V3=R3.\n");
+
+    for partition in [false, true] {
+        let report = build(partition, 5);
+        println!(
+            "== {} ==",
+            if partition {
+                "partitioned merge (one MP per group)"
+            } else {
+                "single merge process"
+            }
+        );
+        println!("  merge groups: {}", report.group_views.len());
+        for (g, views) in report.group_views.iter().enumerate() {
+            let names: Vec<String> = views.iter().map(|v| v.to_string()).collect();
+            let s = &report.merge_stats[g];
+            println!(
+                "  MP{g}: views [{}]  rels={} actions={} txns={} peak VUT rows={}",
+                names.join(", "),
+                s.rels_received,
+                s.actions_received,
+                s.txns_emitted,
+                s.max_live_rows
+            );
+        }
+        let oracle = Oracle::new(&report).expect("oracle");
+        for (g, level, verdict) in oracle.check_report() {
+            println!("  group {g} {level}: {verdict}");
+        }
+        println!();
+    }
+    println!(
+        "Partitioning sends each update only to the merge process whose\n\
+         views can be affected, splitting the coordination load while each\n\
+         group retains full MVC — the §6.1 scaling story."
+    );
+}

@@ -1,0 +1,46 @@
+//! # mvc-repro
+//!
+//! Reproduction of *Multiple View Consistency for Data Warehousing*
+//! (Zhuge, Wiener, Garcia-Molina; ICDE 1997).
+//!
+//! This facade re-exports the full stack:
+//!
+//! * [`relational`] — bag-relational engine with SPJ/aggregate views and
+//!   exact incremental maintenance;
+//! * [`source`] — simulated autonomous sources with serializable
+//!   transactions, MVCC as-of snapshots and query services;
+//! * [`core`] — the paper's contribution: the ViewUpdateTable, the Simple
+//!   Painting Algorithm (Algorithm 1), the Painting Algorithm
+//!   (Algorithm 2), commit scheduling (§4.3) and merge partitioning (§6.1);
+//! * [`viewmgr`] — complete, Strobe, periodic, convergent and complete-N
+//!   view managers;
+//! * [`warehouse`] — the warehouse store with atomic multi-view
+//!   transactions and consistent readers;
+//! * [`whips`] — system assembly: integrator, deterministic simulator,
+//!   threaded runtime, workload generators, metrics, the consistency
+//!   oracle, and canned paper scenarios.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
+//! the system inventory and per-experiment index.
+
+pub use mvc_core as core;
+pub use mvc_relational as relational;
+pub use mvc_source as source;
+pub use mvc_viewmgr as viewmgr;
+pub use mvc_warehouse as warehouse;
+pub use mvc_whips as whips;
+
+/// Commonly used items for examples and tests.
+pub mod prelude {
+    pub use mvc_core::{
+        CommitPolicy, ConsistencyLevel, MergeAlgorithm, MergeProcess, UpdateId, ViewId,
+    };
+    pub use mvc_relational::{
+        tuple, AggFunc, Catalog, Delta, Expr, Relation, Schema, Tuple, TupleOp, ViewDef,
+    };
+    pub use mvc_source::{GlobalSeq, SourceCluster, SourceId, WriteOp};
+    pub use mvc_whips::{
+        ManagerKind, Oracle, SimBuilder, SimConfig, ThreadedBuilder, ThreadedConfig, ViewSuite,
+        WorkloadSpec,
+    };
+}

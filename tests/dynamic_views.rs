@@ -1,0 +1,223 @@
+//! §1.2: "Our architecture also makes it easy to add and delete views on
+//! the fly." Views installed mid-run join through a merge-coordinated
+//! install row: the initial load (computed at a well-defined cut of the
+//! update stream) commits only after every earlier update has been
+//! applied to the pre-existing views, so MVC holds across the transition.
+
+use mvc_repro::prelude::*;
+use mvc_repro::whips::workload::{generate, install_relations, rel_name};
+use mvc_repro::whips::{SimBuilder, WorkloadSpec};
+
+fn chain_view(b: &SimBuilder, i: usize, name: &str) -> ViewDef {
+    ViewDef::builder(name)
+        .from(rel_name(i).as_str())
+        .from(rel_name(i + 1).as_str())
+        .join_on(
+            format!("{}.k{}", rel_name(i), i + 1),
+            format!("{}.k{}", rel_name(i + 1), i + 1),
+        )
+        .build(b.catalog())
+        .unwrap()
+}
+
+fn copy_view(b: &SimBuilder, i: usize, name: &str) -> ViewDef {
+    ViewDef::builder(name)
+        .from(rel_name(i).as_str())
+        .build(b.catalog())
+        .unwrap()
+}
+
+/// A view installed mid-run over already-populated relations: its initial
+/// load lands at a consistent cut, later updates maintain it, the oracle
+/// certifies the whole history including the transition.
+#[test]
+fn install_view_mid_run_mvc_holds() {
+    for seed in 0..20 {
+        let spec = WorkloadSpec {
+            seed,
+            relations: 3,
+            updates: 40,
+            key_domain: 5,
+            delete_percent: 25,
+            multi_percent: 0,
+        };
+        let w = generate(&spec);
+        let config = SimConfig {
+            seed: seed ^ 0xadd,
+            inject_weight: 5,
+            ..SimConfig::default()
+        };
+        let b = SimBuilder::new(config);
+        let mut b = install_relations(b, 3);
+        let v0 = chain_view(&b, 0, "Static");
+        let dynamic = chain_view(&b, 1, "Dynamic");
+        b = b.view(ViewId(1), v0, ManagerKind::Complete);
+        // V2 = R1 ⋈ R2 arrives after 20 transactions.
+        b = b.view_later(ViewId(2), dynamic, ManagerKind::Complete, 20);
+        let report = b.workload(w.txns).run().unwrap();
+        let (commit_idx, _cut) = report.activations[&ViewId(2)];
+        assert!(commit_idx > 0, "seed {seed}: view activated at a commit");
+        Oracle::new(&report).unwrap().assert_ok();
+        // Final content equals a fresh evaluation at the final state.
+        let truth = mvc_repro::whips::oracle::eval_at(
+            &report.cluster,
+            &report.registry.get(ViewId(2)).unwrap().def,
+            report.cluster.latest_seq(),
+        )
+        .unwrap();
+        assert_eq!(report.warehouse.view(ViewId(2)).unwrap(), &truth);
+    }
+}
+
+/// The initial load must include updates the integrator dropped as
+/// irrelevant to the pre-existing views — they can still matter to the
+/// newcomer.
+#[test]
+fn install_captures_previously_irrelevant_updates() {
+    for seed in 0..10 {
+        let config = SimConfig {
+            seed,
+            inject_weight: 4,
+            ..SimConfig::default()
+        };
+        let mut b = SimBuilder::new(config)
+            .relation(SourceId(0), "R", Schema::ints(&["a", "b"]))
+            .relation(SourceId(1), "S", Schema::ints(&["b", "c"]));
+        // Static view sees only a > 10; updates with a ≤ 10 are dropped.
+        let selective = ViewDef::builder("HighA")
+            .from("R")
+            .filter(Expr::gt(Expr::named("R.a"), Expr::value(10)))
+            .build(b.catalog())
+            .unwrap();
+        // The dynamic view copies ALL of R.
+        let full = ViewDef::builder("FullR").from("R").build(b.catalog()).unwrap();
+        b = b.view(ViewId(1), selective, ManagerKind::Complete);
+        b = b.view_later(ViewId(2), full, ManagerKind::Complete, 4);
+        // two low updates (dropped), two high, then more of each
+        for (i, a) in [(0i64, 1i64), (1, 2), (2, 50), (3, 60), (4, 3), (5, 70)] {
+            b = b.txn(SourceId(0), vec![WriteOp::insert("R", tuple![a, i])]);
+        }
+        let report = b.run().unwrap();
+        Oracle::new(&report).unwrap().assert_ok();
+        let full_r = report.warehouse.view(ViewId(2)).unwrap();
+        assert_eq!(
+            full_r.len(),
+            6,
+            "seed {seed}: dropped-before-install tuples must be in the load: {full_r}"
+        );
+    }
+}
+
+/// Installation under Strobe managers and PA: the install row joins the
+/// batched closures without breaking strong consistency.
+#[test]
+fn install_with_strobe_managers_pa() {
+    for seed in 0..15 {
+        let spec = WorkloadSpec {
+            seed,
+            relations: 3,
+            updates: 30,
+            key_domain: 5,
+            delete_percent: 25,
+            multi_percent: 0,
+        };
+        let w = generate(&spec);
+        let config = SimConfig {
+            seed: seed ^ 0xcafe,
+            inject_weight: 7,
+            ..SimConfig::default()
+        };
+        let b = SimBuilder::new(config);
+        let mut b = install_relations(b, 3);
+        let v0 = chain_view(&b, 0, "Static");
+        let dynamic = copy_view(&b, 2, "DynCopy");
+        b = b.view(ViewId(1), v0, ManagerKind::Strobe);
+        b = b.view_later(ViewId(2), dynamic, ManagerKind::Strobe, 15);
+        let report = b.workload(w.txns).run().unwrap();
+        assert_eq!(report.guarantees[0], ConsistencyLevel::Strong);
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+}
+
+/// Several views installed at different points in one run.
+#[test]
+fn multiple_staggered_installs() {
+    for seed in 0..10 {
+        let spec = WorkloadSpec {
+            seed,
+            relations: 4,
+            updates: 40,
+            key_domain: 5,
+            delete_percent: 20,
+            multi_percent: 0,
+        };
+        let w = generate(&spec);
+        let config = SimConfig {
+            seed: seed * 3 + 1,
+            inject_weight: 5,
+            ..SimConfig::default()
+        };
+        let b = SimBuilder::new(config);
+        let mut b = install_relations(b, 4);
+        let v1 = copy_view(&b, 0, "C0");
+        let v2 = chain_view(&b, 1, "J12");
+        let v3 = copy_view(&b, 3, "C3");
+        b = b.view(ViewId(1), v1, ManagerKind::Complete);
+        b = b.view_later(ViewId(2), v2, ManagerKind::Complete, 10);
+        b = b.view_later(ViewId(3), v3, ManagerKind::SelfMaintaining, 25);
+        let report = b.workload(w.txns).run().unwrap();
+        assert_eq!(report.activations.len(), 2);
+        let (a2, _) = report.activations[&ViewId(2)];
+        let (a3, _) = report.activations[&ViewId(3)];
+        assert!(a2 <= a3, "install order preserved in activations");
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+}
+
+/// Dynamic installation is refused in partitioned deployments (documented
+/// restriction — the install row must gate every view of the system).
+#[test]
+fn install_rejected_when_partitioned() {
+    let config = SimConfig {
+        seed: 0,
+        partition: true,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let mut b = install_relations(b, 3);
+    let v1 = copy_view(&b, 0, "C0");
+    let v2 = copy_view(&b, 1, "C1");
+    let v3 = copy_view(&b, 2, "C2");
+    b = b
+        .view(ViewId(1), v1, ManagerKind::Complete)
+        .view(ViewId(2), v2, ManagerKind::Complete);
+    b = b.view_later(ViewId(3), v3, ManagerKind::Complete, 1);
+    for i in 0..4i64 {
+        b = b.txn(SourceId(0), vec![WriteOp::insert("R0", tuple![i, i])]);
+    }
+    assert!(b.run().is_err());
+}
+
+/// Installs scheduled at or past the end of the workload still happen
+/// (after the last transaction) and load the complete final state.
+#[test]
+fn install_after_last_transaction() {
+    let config = SimConfig {
+        seed: 2,
+        ..SimConfig::default()
+    };
+    let mut b = SimBuilder::new(config)
+        .relation(SourceId(0), "R", Schema::ints(&["a", "b"]));
+    let v1 = ViewDef::builder("C").from("R").build(b.catalog()).unwrap();
+    let v2 = ViewDef::builder("Late").from("R").build(b.catalog()).unwrap();
+    b = b.view(ViewId(1), v1, ManagerKind::Complete);
+    // install index == workload length → appended at the very end
+    b = b.view_later(ViewId(2), v2, ManagerKind::Complete, 3);
+    for i in 0..3i64 {
+        b = b.txn(SourceId(0), vec![WriteOp::insert("R", tuple![i, i])]);
+    }
+    let report = b.run().unwrap();
+    assert!(report.activations.contains_key(&ViewId(2)), "install happened");
+    Oracle::new(&report).unwrap().assert_ok();
+    assert_eq!(report.warehouse.view(ViewId(2)).unwrap().len(), 3);
+}

@@ -1,0 +1,184 @@
+//! Golden reproductions of the paper's worked examples (Table 1,
+//! Examples 2–5) — the exact scenarios, colors and release orders.
+
+use mvc_repro::core::{ActionList, Color, Pa, Spa, UpdateId, ViewId};
+use mvc_repro::prelude::*;
+use mvc_repro::whips::scenario;
+use std::collections::BTreeSet;
+
+fn set(ids: &[u32]) -> BTreeSet<ViewId> {
+    ids.iter().map(|&v| ViewId(v)).collect()
+}
+
+/// Table 1: the uncoordinated evolution has exactly one mutually
+/// inconsistent row (t2) and the rendered table flags it.
+#[test]
+fn table1_uncoordinated_inconsistency_window() {
+    let table = scenario::example1_uncoordinated();
+    let flags: Vec<bool> = table.rows.iter().map(|r| r.6).collect();
+    assert_eq!(flags, vec![true, true, false, true]);
+}
+
+/// Example 1 through the coordinated pipeline: across many interleavings
+/// no committed state ever separates the two views' images of the S
+/// insert, and the oracle certifies MVC completeness.
+#[test]
+fn example1_coordinated_all_seeds() {
+    for seed in 0..40 {
+        let report = scenario::example1_coordinated(seed);
+        Oracle::new(&report).unwrap().assert_ok();
+        for rec in report.warehouse.history() {
+            let snap = rec.snapshot.as_ref().unwrap();
+            assert_eq!(
+                snap[&ViewId(1)].contains(&tuple![1, 2, 3]),
+                snap[&ViewId(2)].contains(&tuple![2, 3, 4]),
+                "seed {seed}: S insert visible in one view but not the other"
+            );
+        }
+    }
+}
+
+/// Example 2: the VUT after REL1 (U1 on S → V1,V2 white; V3 black),
+/// REL2 (U2 on Q → V3 white), and the arrival of AL2_1 (red, held).
+#[test]
+fn example2_vut_colors() {
+    let mut spa: Spa<&str> = Spa::new([ViewId(1), ViewId(2), ViewId(3)]);
+    spa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+    spa.on_rel(UpdateId(2), set(&[3])).unwrap();
+    let vut = spa.vut();
+    assert_eq!(vut.color(UpdateId(1), ViewId(1)), Some(Color::White));
+    assert_eq!(vut.color(UpdateId(1), ViewId(2)), Some(Color::White));
+    assert_eq!(vut.color(UpdateId(1), ViewId(3)), Some(Color::Black));
+    assert_eq!(vut.color(UpdateId(2), ViewId(3)), Some(Color::White));
+
+    // AL2_1 arrives: entry [1, V2] turns red, and the merge process holds
+    // it ("it needs to wait for the corresponding actions from VM1").
+    let released = spa
+        .on_action(ActionList::single(ViewId(2), UpdateId(1), "ops"))
+        .unwrap();
+    assert!(released.is_empty());
+    assert_eq!(spa.vut().color(UpdateId(1), ViewId(2)), Some(Color::Red));
+    assert_eq!(spa.vut().wt(UpdateId(1)).len(), 1, "AL saved in WT1");
+
+    // Only after AL1_1 do both apply together.
+    let released = spa
+        .on_action(ActionList::single(ViewId(1), UpdateId(1), "ops"))
+        .unwrap();
+    assert_eq!(released.len(), 1);
+    assert_eq!(released[0].views, set(&[1, 2]));
+}
+
+/// Example 3: full trace through SPA with the paper's release order
+/// (WT2 at t5, WT1 and WT3 at t9/t11).
+#[test]
+fn example3_full_trace() {
+    let steps = scenario::example3_trace();
+    let all_released: Vec<&String> = steps.iter().flat_map(|s| &s.released).collect();
+    assert_eq!(all_released.len(), 3);
+    assert!(all_released[0].contains("rows[U2]"), "WT2 first (t5)");
+    assert!(all_released[1].contains("rows[U1]"), "WT1 second (t9)");
+    assert!(all_released[2].contains("rows[U3]"), "WT3 last (t11)");
+    // After t1, the VUT must show row 1 as [w r b] — V1 white, V2 red,
+    // V3 black — exactly the paper's table.
+    let t1 = &steps[1].table;
+    let row1 = t1.lines().find(|l| l.starts_with("U1")).expect("row U1");
+    let cells: Vec<&str> = row1.split_whitespace().collect();
+    assert_eq!(&cells[1..4], &["w", "r", "b"], "paper's t1 VUT row: {row1}");
+}
+
+/// Example 4: PA holds rows 1 and 2 when AL1_3 is batched over U1,U3 —
+/// the situation where SPA would release incorrectly.
+#[test]
+fn example4_pa_vs_spa() {
+    // SPA (incorrectly configured with a batching manager) rejects the
+    // batched AL outright — the type system of the protocol makes the
+    // §5.1 failure impossible rather than silent.
+    let mut spa: Spa<&str> = Spa::new([ViewId(1), ViewId(2), ViewId(3)]);
+    spa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+    spa.on_rel(UpdateId(2), set(&[2, 3])).unwrap();
+    spa.on_rel(UpdateId(3), set(&[1, 2])).unwrap();
+    let batched = ActionList::batch(ViewId(1), UpdateId(1), UpdateId(3), "ops");
+    assert!(spa.on_action(batched.clone()).is_err());
+
+    // PA accepts it and holds the intertwined closure until complete.
+    let mut pa: Pa<&str> = Pa::new([ViewId(1), ViewId(2), ViewId(3)]);
+    pa.on_rel(UpdateId(1), set(&[1, 2])).unwrap();
+    pa.on_rel(UpdateId(2), set(&[2, 3])).unwrap();
+    pa.on_rel(UpdateId(3), set(&[1, 2])).unwrap();
+    assert!(pa.on_action(batched).unwrap().is_empty());
+    assert!(pa
+        .on_action(ActionList::single(ViewId(2), UpdateId(1), "ops"))
+        .unwrap()
+        .is_empty());
+    assert!(pa
+        .on_action(ActionList::single(ViewId(2), UpdateId(2), "ops"))
+        .unwrap()
+        .is_empty());
+    assert!(pa
+        .on_action(ActionList::single(ViewId(3), UpdateId(2), "ops"))
+        .unwrap()
+        .is_empty(), "rows 1 and 2 held while AL2_3 missing");
+    let released = pa
+        .on_action(ActionList::single(ViewId(2), UpdateId(3), "ops"))
+        .unwrap();
+    assert_eq!(released.len(), 1, "whole closure in one transaction");
+    assert_eq!(
+        released[0].rows,
+        vec![UpdateId(1), UpdateId(2), UpdateId(3)]
+    );
+}
+
+/// Example 5: the paper's t0..t7 PA trace with jump states.
+#[test]
+fn example5_full_trace() {
+    let steps = scenario::example5_trace();
+    // Jump state 3 recorded on rows 2 and 3 after the batched AL2_3 (t2).
+    let t2 = &steps[4].table;
+    assert!(t2.contains("(r,3)"), "jump state missing:\n{t2}");
+    // WT1 applies alone at t4; rows 2+3 apply together at t6.
+    let all: Vec<&String> = steps.iter().flat_map(|s| &s.released).collect();
+    assert_eq!(all.len(), 2);
+    assert!(all[0].contains("rows[U1]"));
+    assert!(all[1].contains("rows[U2,U3]"));
+}
+
+/// The dual of Example 1 through a *strongly consistent* pipeline: the
+/// Strobe managers batch intertwined updates; PA keeps the batches
+/// mutually consistent.
+#[test]
+fn example1_with_strobe_managers() {
+    for seed in [1u64, 9, 17, 33] {
+        let config = SimConfig {
+            seed,
+            inject_weight: 8,
+            ..SimConfig::default()
+        };
+        let mut b = SimBuilder::new(config)
+            .relation(SourceId(0), "R", Schema::ints(&["a", "b"]))
+            .relation(SourceId(1), "S", Schema::ints(&["b", "c"]))
+            .relation(SourceId(2), "T", Schema::ints(&["c", "d"]));
+        let v1 = ViewDef::builder("V1")
+            .from("R")
+            .from("S")
+            .join_on("R.b", "S.b")
+            .build(b.catalog())
+            .unwrap();
+        let v2 = ViewDef::builder("V2")
+            .from("S")
+            .from("T")
+            .join_on("S.c", "T.c")
+            .build(b.catalog())
+            .unwrap();
+        b = b
+            .view(ViewId(1), v1, ManagerKind::Strobe)
+            .view(ViewId(2), v2, ManagerKind::Strobe)
+            .txn(SourceId(0), vec![WriteOp::insert("R", tuple![1, 2])])
+            .txn(SourceId(2), vec![WriteOp::insert("T", tuple![3, 4])])
+            .txn(SourceId(1), vec![WriteOp::insert("S", tuple![2, 3])])
+            .txn(SourceId(1), vec![WriteOp::insert("S", tuple![5, 3])])
+            .txn(SourceId(0), vec![WriteOp::delete("R", tuple![1, 2])]);
+        let report = b.run().unwrap();
+        assert_eq!(report.guarantees[0], ConsistencyLevel::Strong);
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+}
