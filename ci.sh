@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo CI gate: build + tests (tier-1 plus the full workspace), format,
+# lint. Run from the repo root; any failure fails the script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, workspace) =="
+cargo build --release --workspace
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -69,7 +69,8 @@ fn bench_viewset_width(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("views", width), &width, |b, &width| {
             let views: Vec<u32> = (1..=width as u32).collect();
             b.iter(|| {
-                let mut s: CommitScheduler<u64> = CommitScheduler::new(CommitPolicy::DependencyAware);
+                let mut s: CommitScheduler<u64> =
+                    CommitScheduler::new(CommitPolicy::DependencyAware);
                 let mut last: BTreeSet<TxnSeq> = BTreeSet::new();
                 for i in 1..=64u64 {
                     for t in s.submit(txn(i, &views)) {

@@ -8,7 +8,14 @@ use mvc_relational::{tuple, Catalog, Database, Delta, Schema, ViewDef};
 use std::collections::BTreeMap;
 use std::hint::black_box;
 
-fn setup(n: i64) -> (Database, Database, ViewDef, BTreeMap<mvc_relational::RelationName, Delta>) {
+fn setup(
+    n: i64,
+) -> (
+    Database,
+    Database,
+    ViewDef,
+    BTreeMap<mvc_relational::RelationName, Delta>,
+) {
     let cat = Catalog::new()
         .with("R", Schema::ints(&["a", "b"]))
         .with("S", Schema::ints(&["b", "c"]));

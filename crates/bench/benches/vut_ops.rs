@@ -44,7 +44,12 @@ fn pa_round(views: u32, updates: u64, batch: u64) -> u64 {
         let last = (first + batch - 1).min(updates);
         for v in &ids {
             released += pa
-                .on_action(ActionList::batch(*v, UpdateId(first), UpdateId(last), first))
+                .on_action(ActionList::batch(
+                    *v,
+                    UpdateId(first),
+                    UpdateId(last),
+                    first,
+                ))
                 .unwrap()
                 .len() as u64;
         }

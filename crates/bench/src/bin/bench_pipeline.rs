@@ -1,0 +1,134 @@
+//! Pipeline observability report — regenerates `BENCH_pipeline.json`.
+//!
+//! Runs one SPA scenario (Complete managers, Theorem 4.1) and one PA
+//! scenario (Strobe managers, Theorem 5.1) through BOTH runtimes and
+//! dumps every stage's latency distribution (p50/p99), throughput and
+//! peak VUT occupancy. The simulator measures in virtual scheduler
+//! steps, the threaded runtime in nanoseconds; the JSON records the
+//! unit next to each block so the two are never compared directly.
+//!
+//! Run with: `cargo run --release -p mvc-bench --bin bench_pipeline`
+//! (writes `BENCH_pipeline.json` into the current directory).
+
+use mvc_whips::workload::{generate, install_relations, install_views};
+use mvc_whips::{
+    ManagerKind, SimBuilder, SimConfig, SimReport, ThreadedBuilder, ThreadedConfig, ViewSuite,
+    WorkloadSpec,
+};
+
+struct Scenario {
+    name: &'static str,
+    kind: ManagerKind,
+    suite: ViewSuite,
+    spec: WorkloadSpec,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        // SPA: MVC-complete managers over an overlapping chain — the
+        // merge process batches and the VUT holds rows across views.
+        Scenario {
+            name: "spa_complete_chain",
+            kind: ManagerKind::Complete,
+            suite: ViewSuite::OverlappingChain { count: 3 },
+            spec: WorkloadSpec {
+                seed: 21,
+                relations: 4,
+                updates: 200,
+                key_domain: 12,
+                delete_percent: 25,
+                multi_percent: 0,
+            },
+        },
+        // PA: MVC-strong Strobe managers — query round trips through the
+        // integrator widen the vm_compute stage.
+        Scenario {
+            name: "pa_strobe_chain",
+            kind: ManagerKind::Strobe,
+            suite: ViewSuite::OverlappingChain { count: 2 },
+            spec: WorkloadSpec {
+                seed: 22,
+                relations: 3,
+                updates: 120,
+                key_domain: 12,
+                delete_percent: 25,
+                multi_percent: 0,
+            },
+        },
+    ]
+}
+
+fn entry(
+    s: &Scenario,
+    runtime: &str,
+    report: &SimReport,
+    throughput: (f64, &str),
+) -> serde_json::Value {
+    let (tp, tp_unit) = throughput;
+    [
+        ("scenario".to_owned(), s.name.into()),
+        ("runtime".to_owned(), runtime.into()),
+        ("injected".to_owned(), report.metrics.injected.into()),
+        ("commits".to_owned(), report.metrics.commits.into()),
+        ("throughput".to_owned(), tp.into()),
+        ("throughput_unit".to_owned(), tp_unit.into()),
+        ("pipeline".to_owned(), report.pipeline.to_json()),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn run_sim(s: &Scenario) -> serde_json::Value {
+    let w = generate(&s.spec);
+    let config = SimConfig {
+        seed: s.spec.seed ^ 0xabcd,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let b = install_relations(b, s.spec.relations);
+    let (b, _) = install_views(b, s.suite, s.kind);
+    let report = b.workload(w.txns).run().expect("sim run");
+    // Virtual-time throughput: source updates per thousand scheduler steps.
+    let tp = if report.metrics.steps > 0 {
+        report.metrics.injected as f64 * 1000.0 / report.metrics.steps as f64
+    } else {
+        0.0
+    };
+    entry(s, "sim", &report, (tp, "updates_per_kstep"))
+}
+
+fn run_threaded(s: &Scenario) -> serde_json::Value {
+    let w = generate(&s.spec);
+    let b = ThreadedBuilder::new(ThreadedConfig::default());
+    let b = install_relations(b, s.spec.relations);
+    let (b, _) = install_views(b, s.suite, s.kind);
+    let (report, wall) = b.workload(w.txns).run().expect("threaded run");
+    entry(
+        s,
+        "threaded",
+        &report,
+        (wall.updates_per_sec, "updates_per_sec"),
+    )
+}
+
+fn main() {
+    let mut runs = Vec::new();
+    for s in scenarios() {
+        println!("running {} (sim)...", s.name);
+        runs.push(run_sim(&s));
+        println!("running {} (threaded)...", s.name);
+        runs.push(run_threaded(&s));
+    }
+    let doc: serde_json::Value = [
+        (
+            "note".to_owned(),
+            "per-stage pipeline latencies; sim in virtual steps, threaded in ns".into(),
+        ),
+        ("runs".to_owned(), serde_json::Value::Array(runs)),
+    ]
+    .into_iter()
+    .collect();
+    let rendered = serde_json::to_string_pretty(&doc);
+    std::fs::write("BENCH_pipeline.json", &rendered).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json ({} bytes)", rendered.len());
+}

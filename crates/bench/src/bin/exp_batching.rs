@@ -72,7 +72,10 @@ fn main() {
     ] {
         rows.push(run(policy, 9));
     }
-    print_table("commit policy sweep (complete managers, 240 updates)", &rows);
+    print_table(
+        "commit policy sweep (complete managers, 240 updates)",
+        &rows,
+    );
 
     println!(
         "\nPaper-expected shape: batching cuts warehouse transactions\n\

@@ -40,7 +40,11 @@ fn sim_run(views: usize, window: usize, sequential: bool, seed: u64) -> (u64, u6
     };
     let b = SimBuilder::new(config);
     let b = install_relations(b, relations);
-    let (b, _) = install_views(b, ViewSuite::OverlappingChain { count: views }, ManagerKind::Complete);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::OverlappingChain { count: views },
+        ManagerKind::Complete,
+    );
     let report = b.workload(w.txns).run().expect("run");
     (
         report.metrics.steps,
@@ -68,7 +72,11 @@ fn threaded_run(views: usize, sequential: bool, query_delay_us: u64, seed: u64) 
     };
     let b = ThreadedBuilder::new(config);
     let b = install_relations(b, relations);
-    let (b, _) = install_views(b, ViewSuite::OverlappingChain { count: views }, ManagerKind::Complete);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::OverlappingChain { count: views },
+        ManagerKind::Complete,
+    );
     let (_report, wall) = b.workload(w.txns).run().expect("threaded run");
     wall.updates_per_sec
 }
@@ -120,7 +128,10 @@ fn main() {
                 .cell_f("speedup", conc / seq),
         );
     }
-    print_table("threaded throughput: concurrent vs sequential integrator", &rows);
+    print_table(
+        "threaded throughput: concurrent vs sequential integrator",
+        &rows,
+    );
 
     println!(
         "\nPaper-expected shape: the sequential integrator pays one full\n\

@@ -87,16 +87,39 @@ fn main() {
                 .cell_f("pass-through latency", l_pt),
         );
     }
-    print_table("staleness vs update load (overlapping chain, 2 views)", &rows);
+    print_table(
+        "staleness vs update load (overlapping chain, 2 views)",
+        &rows,
+    );
 
     // (b) staleness vs view overlap at fixed load
     let mut rows = Vec::new();
     for (label, suite, relations) in [
-        ("disjoint copies x2", ViewSuite::DisjointCopies { count: 2 }, 2),
-        ("disjoint copies x4", ViewSuite::DisjointCopies { count: 4 }, 4),
-        ("overlapping chain x2", ViewSuite::OverlappingChain { count: 2 }, 3),
-        ("overlapping chain x4", ViewSuite::OverlappingChain { count: 4 }, 5),
-        ("star + 3 copies", ViewSuite::StarPlusCopies { copies: 3 }, 4),
+        (
+            "disjoint copies x2",
+            ViewSuite::DisjointCopies { count: 2 },
+            2,
+        ),
+        (
+            "disjoint copies x4",
+            ViewSuite::DisjointCopies { count: 4 },
+            4,
+        ),
+        (
+            "overlapping chain x2",
+            ViewSuite::OverlappingChain { count: 2 },
+            3,
+        ),
+        (
+            "overlapping chain x4",
+            ViewSuite::OverlappingChain { count: 4 },
+            5,
+        ),
+        (
+            "star + 3 copies",
+            ViewSuite::StarPlusCopies { copies: 3 },
+            4,
+        ),
     ] {
         let (s, m, l) = run(suite, relations, ManagerKind::Complete, None, 6, 2);
         rows.push(
@@ -116,7 +139,10 @@ fn main() {
         ("ECA (compensating) + SPA", ManagerKind::Eca),
         ("self-maintaining + SPA", ManagerKind::SelfMaintaining),
         ("Strobe managers + PA", ManagerKind::Strobe),
-        ("periodic(4) managers + PA", ManagerKind::Periodic { period: 4 }),
+        (
+            "periodic(4) managers + PA",
+            ManagerKind::Periodic { period: 4 },
+        ),
     ] {
         let (s, m, l) = run(
             ViewSuite::OverlappingChain { count: 2 },

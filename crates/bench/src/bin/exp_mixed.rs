@@ -79,7 +79,12 @@ fn main() {
             ManagerKind::Periodic { period: 3 },
             ManagerKind::CompleteN { n: 2 },
         ],
-        vec![ManagerKind::Convergent { correction_every: 4 }, ManagerKind::Complete],
+        vec![
+            ManagerKind::Convergent {
+                correction_every: 4,
+            },
+            ManagerKind::Complete,
+        ],
         vec![ManagerKind::SelfMaintaining, ManagerKind::Complete],
         vec![ManagerKind::SelfMaintaining, ManagerKind::Strobe],
     ];

@@ -21,8 +21,14 @@ use std::time::Duration;
 fn figure3_partitioning() {
     // V1 = R ⋈ S, V2 = S ⋈ T, V3 = Q — the figure's grouping.
     let mut fp: BTreeMap<ViewId, BTreeSet<String>> = BTreeMap::new();
-    fp.insert(ViewId(1), ["R", "S"].iter().map(|s| s.to_string()).collect());
-    fp.insert(ViewId(2), ["S", "T"].iter().map(|s| s.to_string()).collect());
+    fp.insert(
+        ViewId(1),
+        ["R", "S"].iter().map(|s| s.to_string()).collect(),
+    );
+    fp.insert(
+        ViewId(2),
+        ["S", "T"].iter().map(|s| s.to_string()).collect(),
+    );
     fp.insert(ViewId(3), ["Q"].iter().map(|s| s.to_string()).collect());
     let p = Partitioning::compute(&fp);
     println!("Figure 3 partitioning:");
@@ -56,7 +62,11 @@ fn sim_row(groups: usize, partition: bool, seed: u64) -> Row {
     };
     let b = SimBuilder::new(config);
     let b = install_relations(b, groups);
-    let (b, _) = install_views(b, ViewSuite::DisjointCopies { count: groups }, ManagerKind::Complete);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::DisjointCopies { count: groups },
+        ManagerKind::Complete,
+    );
     let report = b.workload(w.txns).run().expect("run");
     Oracle::new(&report).expect("oracle").assert_ok();
     let max_rels = report
@@ -73,7 +83,14 @@ fn sim_row(groups: usize, partition: bool, seed: u64) -> Row {
         .unwrap_or(0);
     Row::new()
         .cell("views", groups)
-        .cell("deployment", if partition { "partitioned" } else { "single MP" })
+        .cell(
+            "deployment",
+            if partition {
+                "partitioned"
+            } else {
+                "single MP"
+            },
+        )
         .cell("merge processes", report.group_views.len())
         .cell("busiest MP: RELs", max_rels)
         .cell("busiest MP: peak VUT", max_vut)
@@ -102,12 +119,23 @@ fn threaded_row(groups: usize, partition: bool, seed: u64) -> Row {
     };
     let b = ThreadedBuilder::new(config);
     let b = install_relations(b, groups);
-    let (b, _) = install_views(b, ViewSuite::DisjointCopies { count: groups }, ManagerKind::Complete);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::DisjointCopies { count: groups },
+        ManagerKind::Complete,
+    );
     let (report, wall) = b.workload(w.txns).run().expect("run");
     Oracle::new(&report).expect("oracle").assert_ok();
     Row::new()
         .cell("views", groups)
-        .cell("deployment", if partition { "partitioned" } else { "single MP" })
+        .cell(
+            "deployment",
+            if partition {
+                "partitioned"
+            } else {
+                "single MP"
+            },
+        )
         .cell_f("updates/sec", wall.updates_per_sec)
         .cell_f("elapsed ms", wall.elapsed.as_secs_f64() * 1e3)
 }
@@ -128,7 +156,10 @@ fn main() {
         rows.push(threaded_row(groups, false, 13));
         rows.push(threaded_row(groups, true, 13));
     }
-    print_table("threaded: single vs partitioned merge (200µs commit latency, sequential policy)", &rows);
+    print_table(
+        "threaded: single vs partitioned merge (200µs commit latency, sequential policy)",
+        &rows,
+    );
 
     println!(
         "\nPaper-expected shape: with disjoint view groups, partitioning\n\

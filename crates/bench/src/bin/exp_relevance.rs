@@ -91,7 +91,11 @@ fn main() {
                 .cell("REL rows (filtered)", rels_on)
                 .cell(
                     "oracle",
-                    if ok_on && ok_off { "both satisfied" } else { "VIOLATED" },
+                    if ok_on && ok_off {
+                        "both satisfied"
+                    } else {
+                        "VIOLATED"
+                    },
                 ),
         );
     }

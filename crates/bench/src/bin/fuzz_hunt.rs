@@ -1,0 +1,267 @@
+//! Temporary bug-hunt driver: randomized sweep over the full parameter
+//! ranges of every property in tests/prop_mvc.rs.
+
+use mvc_core::CommitPolicy;
+use mvc_whips::workload::{generate, install_relations, install_views, rel_name};
+use mvc_whips::{ManagerKind, Oracle, SimBuilder, SimConfig, ViewSuite, WorkloadSpec};
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_suite(
+    seed: u64,
+    sched: u64,
+    relations: usize,
+    updates: usize,
+    deletes: u8,
+    weight: u32,
+    suite: ViewSuite,
+    kind: ManagerKind,
+    policy: CommitPolicy,
+) -> Result<(), String> {
+    let spec = WorkloadSpec {
+        seed,
+        relations,
+        updates,
+        key_domain: 5,
+        delete_percent: deletes,
+        multi_percent: 10,
+    };
+    let w = generate(&spec);
+    let config = SimConfig {
+        seed: sched,
+        inject_weight: weight,
+        commit_policy: policy,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let b = install_relations(b, relations);
+    let (b, _) = install_views(b, suite, kind);
+    let report = b
+        .workload(w.txns)
+        .run()
+        .map_err(|e| format!("sim error: {e}"))?;
+    let oracle = Oracle::new(&report).map_err(|e| format!("oracle: {e:?}"))?;
+    for (g, level, verdict) in oracle.check_report() {
+        if !verdict.is_satisfied() {
+            return Err(format!("group {g} failed {level}: {verdict}"));
+        }
+    }
+    Ok(())
+}
+
+fn partitioned(seed: u64, sched: u64, updates: usize) -> Result<(), String> {
+    let spec = WorkloadSpec {
+        seed,
+        relations: 4,
+        updates,
+        key_domain: 5,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let config = SimConfig {
+        seed: sched,
+        partition: true,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let b = install_relations(b, 4);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::DisjointCopies { count: 4 },
+        ManagerKind::Complete,
+    );
+    let report = b
+        .workload(w.txns)
+        .run()
+        .map_err(|e| format!("sim error: {e}"))?;
+    let oracle = Oracle::new(&report).map_err(|e| format!("oracle: {e:?}"))?;
+    for (g, level, verdict) in oracle.check_report() {
+        if !verdict.is_satisfied() {
+            return Err(format!("group {g} failed {level}: {verdict}"));
+        }
+    }
+    Ok(())
+}
+
+fn mixed(seed: u64, sched: u64, updates: usize) -> Result<(), String> {
+    use mvc_core::ViewId;
+    use mvc_relational::ViewDef;
+    let config = SimConfig {
+        seed: sched,
+        inject_weight: 5,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let mut b = install_relations(b, 3);
+    let v1 = ViewDef::builder("V1")
+        .from(rel_name(0).as_str())
+        .from(rel_name(1).as_str())
+        .join_on("R0.k1", "R1.k1")
+        .build(b.catalog())
+        .unwrap();
+    let v2 = ViewDef::builder("V2")
+        .from(rel_name(1).as_str())
+        .from(rel_name(2).as_str())
+        .join_on("R1.k2", "R2.k2")
+        .build(b.catalog())
+        .unwrap();
+    let v3 = ViewDef::builder("V3")
+        .from(rel_name(2).as_str())
+        .build(b.catalog())
+        .unwrap();
+    b = b
+        .view(ViewId(1), v1, ManagerKind::Eca)
+        .view(ViewId(2), v2, ManagerKind::SelfMaintaining)
+        .view(ViewId(3), v3, ManagerKind::Complete);
+    let spec = WorkloadSpec {
+        seed,
+        relations: 3,
+        updates,
+        key_domain: 5,
+        delete_percent: 30,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let report = b
+        .workload(w.txns)
+        .run()
+        .map_err(|e| format!("sim error: {e}"))?;
+    let oracle = Oracle::new(&report).map_err(|e| format!("oracle: {e:?}"))?;
+    for (g, level, verdict) in oracle.check_report() {
+        if !verdict.is_satisfied() {
+            return Err(format!("group {g} failed {level}: {verdict}"));
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    let mut failures = 0u64;
+    for case in 0..200_000u64 {
+        let mut rng = Lcg(case.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
+        let seed = rng.range(0, 10_000);
+        let sched = rng.range(0, 10_000);
+        let family = case % 10;
+        let res = match family {
+            // spa_complete / pa_strobe / eca / selfmaint (5-param shape)
+            0..=3 => {
+                let updates = rng.range(10, 60) as usize;
+                let deletes = rng.range(0, 50) as u8;
+                let weight = rng.range(1, 10) as u32;
+                let kind = [
+                    ManagerKind::Complete,
+                    ManagerKind::Strobe,
+                    ManagerKind::Eca,
+                    ManagerKind::SelfMaintaining,
+                ][family as usize];
+                run_suite(
+                    seed,
+                    sched,
+                    3,
+                    updates,
+                    deletes,
+                    weight,
+                    ViewSuite::OverlappingChain { count: 2 },
+                    kind,
+                    CommitPolicy::DependencyAware,
+                )
+                .map_err(|e| format!("kind{family} {e}"))
+            }
+            4 => {
+                let updates = rng.range(10, 50) as usize;
+                partitioned(seed, sched, updates).map_err(|e| format!("partitioned {e}"))
+            }
+            5 => {
+                let updates = rng.range(10, 40) as usize;
+                mixed(seed, sched, updates).map_err(|e| format!("mixed {e}"))
+            }
+            6 => {
+                let updates = rng.range(10, 40) as usize;
+                run_suite(
+                    seed,
+                    sched,
+                    2,
+                    updates,
+                    30,
+                    3,
+                    ViewSuite::Aggregates { count: 2 },
+                    ManagerKind::Complete,
+                    CommitPolicy::DependencyAware,
+                )
+                .map_err(|e| format!("aggregates {e}"))
+            }
+            7 => {
+                let updates = rng.range(10, 40) as usize;
+                let batch = rng.range(2, 6) as usize;
+                run_suite(
+                    seed,
+                    sched,
+                    3,
+                    updates,
+                    25,
+                    4,
+                    ViewSuite::OverlappingChain { count: 2 },
+                    ManagerKind::Complete,
+                    CommitPolicy::Batched { max_batch: batch },
+                )
+                .map_err(|e| format!("batched {e}"))
+            }
+            8 => {
+                let updates = rng.range(10, 40) as usize;
+                let n = rng.range(2, 5) as u32;
+                run_suite(
+                    seed,
+                    sched,
+                    3,
+                    updates,
+                    25,
+                    4,
+                    ViewSuite::OverlappingChain { count: 2 },
+                    ManagerKind::CompleteN { n },
+                    CommitPolicy::DependencyAware,
+                )
+                .map_err(|e| format!("complete_n {e}"))
+            }
+            _ => {
+                let updates = rng.range(10, 40) as usize;
+                let weight = rng.range(2, 10) as u32;
+                run_suite(
+                    seed,
+                    sched,
+                    3,
+                    updates,
+                    30,
+                    weight,
+                    ViewSuite::OverlappingChain { count: 2 },
+                    ManagerKind::Convergent {
+                        correction_every: 5,
+                    },
+                    CommitPolicy::Immediate,
+                )
+                .map_err(|e| format!("convergent {e}"))
+            }
+        };
+        if let Err(e) = res {
+            failures += 1;
+            println!("FAIL case={case} seed={seed} sched={sched}: {e}");
+        }
+        if case % 5000 == 4999 {
+            println!("progress: case={case} failures={failures}");
+        }
+    }
+    println!("done: failures={failures}");
+}

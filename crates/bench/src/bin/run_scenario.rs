@@ -93,6 +93,153 @@ struct RuntimeSpec {
     sequential: Option<bool>,
 }
 
+/// Hand-rolled JSON → `Scenario` extraction. The vendored `serde_json`
+/// stand-in parses to a `Value` tree only (no generic deserialization, see
+/// `vendor/README.md`), so the field mapping the serde derives used to
+/// provide lives here, including the `#[serde(default)]` semantics.
+mod from_json {
+    use super::{GeneratedSpec, RelationSpec, RuntimeSpec, Scenario, TxnSpec, ViewSpec};
+    use serde_json::Value as Json;
+
+    /// Present and non-null.
+    fn field<'a>(v: &'a Json, key: &str) -> Option<&'a Json> {
+        v.get(key).filter(|f| !f.is_null())
+    }
+
+    fn str_field(v: &Json, key: &str) -> Result<String, String> {
+        field(v, key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing or non-string `{key}`"))
+    }
+
+    fn u64_field(v: &Json, key: &str) -> Result<u64, String> {
+        field(v, key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing or non-integer `{key}`"))
+    }
+
+    fn array_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+        field(v, key)
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("missing or non-array `{key}`"))
+    }
+
+    pub fn scenario(v: &Json) -> Result<Scenario, String> {
+        if v.as_object().is_none() {
+            return Err("scenario must be a JSON object".into());
+        }
+        Ok(Scenario {
+            relations: array_field(v, "relations")?
+                .iter()
+                .map(relation)
+                .collect::<Result<_, _>>()?,
+            views: array_field(v, "views")?
+                .iter()
+                .map(view)
+                .collect::<Result<_, _>>()?,
+            transactions: match field(v, "transactions") {
+                Some(t) => t
+                    .as_array()
+                    .ok_or("`transactions` must be an array")?
+                    .iter()
+                    .map(txn)
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            },
+            generated: field(v, "generated").map(generated).transpose()?,
+            runtime: field(v, "runtime")
+                .map(runtime)
+                .transpose()?
+                .unwrap_or_default(),
+        })
+    }
+
+    fn relation(v: &Json) -> Result<RelationSpec, String> {
+        Ok(RelationSpec {
+            name: str_field(v, "name")?,
+            source: u64_field(v, "source")? as u32,
+            attributes: array_field(v, "attributes")?
+                .iter()
+                .map(|a| {
+                    a.as_str()
+                        .map(str::to_owned)
+                        .ok_or_else(|| "attribute names must be strings".to_string())
+                })
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
+    fn view(v: &Json) -> Result<ViewSpec, String> {
+        Ok(ViewSpec {
+            id: u64_field(v, "id")? as u32,
+            sql: str_field(v, "sql")?,
+            manager: str_field(v, "manager")?,
+        })
+    }
+
+    fn txn(v: &Json) -> Result<TxnSpec, String> {
+        let writes = array_field(v, "writes")?
+            .iter()
+            .map(|w| {
+                let parts = w.as_array().ok_or("each write must be an array")?;
+                match parts {
+                    [op, rel, vals] => Ok((
+                        op.as_str().ok_or("write op must be a string")?.to_owned(),
+                        rel.as_str()
+                            .ok_or("write relation must be a string")?
+                            .to_owned(),
+                        vals.as_array()
+                            .ok_or("write values must be an array")?
+                            .iter()
+                            .map(|n| {
+                                n.as_i64()
+                                    .ok_or_else(|| "write values must be integers".to_string())
+                            })
+                            .collect::<Result<Vec<i64>, _>>()?,
+                    )),
+                    _ => Err("each write is [op, relation, [values…]]".to_string()),
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(TxnSpec {
+            source: u64_field(v, "source")? as u32,
+            global: field(v, "global").and_then(Json::as_bool).unwrap_or(false),
+            writes,
+        })
+    }
+
+    fn generated(v: &Json) -> Result<GeneratedSpec, String> {
+        Ok(GeneratedSpec {
+            seed: u64_field(v, "seed")?,
+            updates: u64_field(v, "updates")? as usize,
+            key_domain: field(v, "key_domain").and_then(Json::as_i64),
+            delete_percent: field(v, "delete_percent")
+                .and_then(Json::as_u64)
+                .map(|n| n as u8),
+        })
+    }
+
+    fn runtime(v: &Json) -> Result<RuntimeSpec, String> {
+        Ok(RuntimeSpec {
+            mode: field(v, "mode").and_then(Json::as_str).map(str::to_owned),
+            seed: field(v, "seed").and_then(Json::as_u64),
+            commit_policy: field(v, "commit_policy")
+                .and_then(Json::as_str)
+                .map(str::to_owned),
+            algorithm: field(v, "algorithm")
+                .and_then(Json::as_str)
+                .map(str::to_owned),
+            partition: field(v, "partition").and_then(Json::as_bool),
+            max_open_updates: field(v, "max_open_updates")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize),
+            query_delay_us: field(v, "query_delay_us").and_then(Json::as_u64),
+            sequential: field(v, "sequential").and_then(Json::as_bool),
+        })
+    }
+}
+
 fn parse_manager(s: &str) -> Result<ManagerKind, String> {
     let (kind, arg) = match s.split_once(':') {
         Some((k, a)) => (k, Some(a)),
@@ -149,9 +296,8 @@ fn build_txns(sc: &Scenario) -> Result<Vec<WorkloadTxn>, String> {
             .writes
             .iter()
             .map(|(op, rel, vals)| {
-                let tuple = mvc_relational::Tuple::new(
-                    vals.iter().map(|&v| Value::Int(v)).collect(),
-                );
+                let tuple =
+                    mvc_relational::Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect());
                 match op.as_str() {
                     "insert" => Ok(WriteOp::insert(rel.as_str(), tuple)),
                     "delete" => Ok(WriteOp::delete(rel.as_str(), tuple)),
@@ -171,8 +317,7 @@ fn build_txns(sc: &Scenario) -> Result<Vec<WorkloadTxn>, String> {
         let mut rng = StdRng::seed_from_u64(g.seed);
         let domain = g.key_domain.unwrap_or(8);
         let del = g.delete_percent.unwrap_or(25) as u32;
-        let mut live: Vec<Vec<mvc_relational::Tuple>> =
-            vec![Vec::new(); sc.relations.len()];
+        let mut live: Vec<Vec<mvc_relational::Tuple>> = vec![Vec::new(); sc.relations.len()];
         for _ in 0..g.updates {
             let r = rng.gen_range(0..sc.relations.len());
             let spec = &sc.relations[r];
@@ -342,7 +487,10 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let scenario: Scenario = match serde_json::from_str(&text) {
+    let parsed = serde_json::from_str(&text)
+        .map_err(|e| e.to_string())
+        .and_then(|v| from_json::scenario(&v));
+    let scenario: Scenario = match parsed {
         Ok(s) => s,
         Err(e) => {
             eprintln!("bad scenario file: {e}");

@@ -158,8 +158,7 @@ impl<P: Clone> CommitScheduler<P> {
     fn release_dependency_aware(&mut self) -> Vec<WarehouseTxn<P>> {
         let mut out = Vec::new();
         // Views blocked by in-flight transactions…
-        let mut blocked: BTreeSet<ViewId> =
-            self.inflight.values().flatten().copied().collect();
+        let mut blocked: BTreeSet<ViewId> = self.inflight.values().flatten().copied().collect();
         // …scan the queue in order; a transaction releases when none of
         // its views is blocked. Its views then block later queue entries,
         // keeping dependent transactions in submission order.
@@ -204,8 +203,7 @@ impl<P: Clone> CommitScheduler<P> {
             };
             // BWTs are sequenced conservatively: a BWT waits while any
             // in-flight transaction shares a view with it.
-            let blocked: BTreeSet<ViewId> =
-                self.inflight.values().flatten().copied().collect();
+            let blocked: BTreeSet<ViewId> = self.inflight.values().flatten().copied().collect();
             if bwt.views.iter().any(|v| blocked.contains(v)) {
                 self.held_bwt = Some(bwt);
                 break;

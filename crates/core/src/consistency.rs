@@ -152,7 +152,10 @@ mod tests {
     fn algorithm_selection() {
         assert_eq!(MergeAlgorithm::for_weakest(Complete), MergeAlgorithm::Spa);
         assert_eq!(MergeAlgorithm::for_weakest(Strong), MergeAlgorithm::Pa);
-        assert_eq!(MergeAlgorithm::for_weakest(CompleteN(4)), MergeAlgorithm::Pa);
+        assert_eq!(
+            MergeAlgorithm::for_weakest(CompleteN(4)),
+            MergeAlgorithm::Pa
+        );
         assert_eq!(
             MergeAlgorithm::for_weakest(Convergent),
             MergeAlgorithm::PassThrough

@@ -22,10 +22,31 @@ pub enum MergeError {
         found: &'static str,
     },
     /// SPA received a batched AL; batching managers require PA (§5).
-    BatchedActionInSpa { view: ViewId, first: UpdateId, last: UpdateId },
+    BatchedActionInSpa {
+        view: ViewId,
+        first: UpdateId,
+        last: UpdateId,
+    },
     /// A batched AL covers updates at or before the view's last covered
     /// update — the view manager violated in-order AL generation.
     StaleAction { view: ViewId, last: UpdateId },
+    /// A VUT paint transition (`set_red`/`set_gray`) addressed a cell that
+    /// does not exist — a malformed action list survived validation, or
+    /// internal bookkeeping lost a row.
+    VutMissingEntry {
+        update: UpdateId,
+        view: ViewId,
+        op: &'static str,
+    },
+    /// A VUT paint transition found the cell in the wrong color (e.g. a
+    /// duplicate AL trying to re-redden an applied entry).
+    VutColorConflict {
+        update: UpdateId,
+        view: ViewId,
+        op: &'static str,
+        expected: &'static str,
+        found: &'static str,
+    },
 }
 
 impl fmt::Display for MergeError {
@@ -35,7 +56,11 @@ impl fmt::Display for MergeError {
                 write!(f, "REL out of order: expected {expected}, got {got}")
             }
             MergeError::UnknownView(v) => write!(f, "unknown view {v}"),
-            MergeError::UnexpectedAction { view, update, found } => write!(
+            MergeError::UnexpectedAction {
+                view,
+                update,
+                found,
+            } => write!(
                 f,
                 "unexpected action list for [{update}, {view}]: entry is {found}"
             ),
@@ -46,6 +71,19 @@ impl fmt::Display for MergeError {
             MergeError::StaleAction { view, last } => {
                 write!(f, "stale action list from {view} ending at {last}")
             }
+            MergeError::VutMissingEntry { update, view, op } => {
+                write!(f, "{op} on missing entry [{update},{view}]")
+            }
+            MergeError::VutColorConflict {
+                update,
+                view,
+                op,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{op} on [{update},{view}]: expected {expected}, found {found}"
+            ),
         }
     }
 }

@@ -22,7 +22,10 @@ enum Engine<P> {
     Spa(Spa<P>),
     Pa(Pa<P>),
     /// §6.3 convergent mode: forward every AL as its own transaction.
-    PassThrough { next_seq: TxnSeq, stats: MergeStats },
+    PassThrough {
+        next_seq: TxnSeq,
+        stats: MergeStats,
+    },
 }
 
 /// Aggregated engine statistics.
@@ -114,9 +117,7 @@ impl<P: Clone> MergeProcess<P> {
     pub fn guarantees(&self) -> ConsistencyLevel {
         let engine_level = self.algorithm.guarantees();
         match self.scheduler.policy() {
-            CommitPolicy::Batched { .. } => {
-                engine_level.weakest(ConsistencyLevel::Strong)
-            }
+            CommitPolicy::Batched { .. } => engine_level.weakest(ConsistencyLevel::Strong),
             _ => engine_level,
         }
     }

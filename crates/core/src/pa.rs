@@ -186,24 +186,25 @@ impl<P: Clone> Pa<P> {
             al.first.0,
         );
         for &i in &whites {
-            self.vut.set_red(i, x, j);
+            self.vut.set_red(i, x, j)?;
         }
         self.vut.store_action(al);
         self.last_covered.insert(x, j);
-        self.attempt(j, out);
+        self.attempt(j, out)?;
         Ok(())
     }
 
     /// Try to apply the closure rooted at row `i` (one top-level
     /// `ProcessRow` with a fresh `ApplyRows`).
-    fn attempt(&mut self, i: UpdateId, out: &mut Vec<WarehouseTxn<P>>) {
+    fn attempt(&mut self, i: UpdateId, out: &mut Vec<WarehouseTxn<P>>) -> Result<(), MergeError> {
         if !self.vut.has_row(i) {
-            return; // already applied
+            return Ok(()); // already applied
         }
         let mut apply_rows = BTreeSet::new();
         if self.mark(i, &mut apply_rows) {
-            self.commit(apply_rows, out);
+            self.commit(apply_rows, out)?;
         }
+        Ok(())
     }
 
     /// `ProcessRow` lines 1–5: pure marking. Returns false when any
@@ -243,7 +244,11 @@ impl<P: Clone> Pa<P> {
 
     /// Lines 6–10: apply the closure as a single warehouse transaction,
     /// then chase rows unblocked by it.
-    fn commit(&mut self, apply_rows: BTreeSet<UpdateId>, out: &mut Vec<WarehouseTxn<P>>) {
+    fn commit(
+        &mut self,
+        apply_rows: BTreeSet<UpdateId>,
+        out: &mut Vec<WarehouseTxn<P>>,
+    ) -> Result<(), MergeError> {
         debug_assert!(!apply_rows.is_empty());
         let mut actions: Vec<ActionList<P>> = Vec::new();
         let mut views: BTreeSet<ViewId> = BTreeSet::new();
@@ -251,7 +256,7 @@ impl<P: Clone> Pa<P> {
         for &r in &rows {
             // Line 6: red → gray.
             for x in self.vut.reds_in_row(r) {
-                self.vut.set_gray(r, x);
+                self.vut.set_gray(r, x)?;
                 views.insert(x);
             }
             // Line 7: gather WT_r (ascending r keeps per-view AL order).
@@ -281,8 +286,9 @@ impl<P: Clone> Pa<P> {
         // Line 10: purge fully-applied rows.
         self.vut.purge_applied();
         for f in followups {
-            self.attempt(f, out);
+            self.attempt(f, out)?;
         }
+        Ok(())
     }
 }
 
@@ -397,7 +403,10 @@ mod tests {
     fn batched_action_before_rel_buffered() {
         let mut pa = Pa::new([ViewId(1)]);
         pa.on_rel(UpdateId(1), set(&[1])).unwrap();
-        assert!(pa.on_action(batch(1, 1, 2)).unwrap().is_empty(), "REL2 missing");
+        assert!(
+            pa.on_action(batch(1, 1, 2)).unwrap().is_empty(),
+            "REL2 missing"
+        );
         let txns = pa.on_rel(UpdateId(2), set(&[1])).unwrap();
         assert_eq!(txns.len(), 1);
         assert_eq!(txns[0].rows, vec![UpdateId(1), UpdateId(2)]);

@@ -42,11 +42,8 @@ impl<R: Ord + Clone> Partitioning<R> {
     pub fn compute(footprints: &BTreeMap<ViewId, BTreeSet<R>>) -> Self {
         let views: Vec<ViewId> = footprints.keys().copied().collect();
         let mut uf = UnionFind::new(views.len());
-        let index: BTreeMap<ViewId, usize> = views
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i))
-            .collect();
+        let index: BTreeMap<ViewId, usize> =
+            views.iter().enumerate().map(|(i, &v)| (v, i)).collect();
 
         // Union views sharing any base relation.
         let mut owner: BTreeMap<&R, usize> = BTreeMap::new();
@@ -193,12 +190,7 @@ mod tests {
     fn fp(entries: &[(u32, &[&str])]) -> BTreeMap<ViewId, BTreeSet<String>> {
         entries
             .iter()
-            .map(|(v, rels)| {
-                (
-                    ViewId(*v),
-                    rels.iter().map(|s| s.to_string()).collect(),
-                )
-            })
+            .map(|(v, rels)| (ViewId(*v), rels.iter().map(|s| s.to_string()).collect()))
             .collect()
     }
 

@@ -119,7 +119,7 @@ impl<P: Clone> Spa<P> {
 
         let mut out = Vec::new();
         // A row relevant to no view can be retired immediately.
-        self.process_row(i, &mut out);
+        self.process_row(i, &mut out)?;
         // Process any ALs that were waiting for this REL.
         if let Some(als) = self.pending.remove(&i) {
             for al in als {
@@ -192,31 +192,35 @@ impl<P: Clone> Spa<P> {
             }
         }
         self.vut.store_action(al);
-        self.vut.set_red(i, x, i);
-        self.process_row(i, out);
+        self.vut.set_red(i, x, i)?;
+        self.process_row(i, out)?;
         Ok(())
     }
 
     /// `ProcessRow(i)` (Algorithm 1): apply the row if permitted, then
     /// recursively check rows unblocked by the application.
-    fn process_row(&mut self, i: UpdateId, out: &mut Vec<WarehouseTxn<P>>) {
+    fn process_row(
+        &mut self,
+        i: UpdateId,
+        out: &mut Vec<WarehouseTxn<P>>,
+    ) -> Result<(), MergeError> {
         if !self.vut.has_row(i) {
-            return; // already applied and purged
+            return Ok(()); // already applied and purged
         }
         // Line 1: some AL still missing.
         if self.vut.row_has_white(i) {
-            return;
+            return Ok(());
         }
         // Line 2: an earlier AL from the same manager is still unapplied.
         let reds = self.vut.reds_in_row(i);
         for &x in &reds {
             if !self.vut.reds_before(i, x).is_empty() {
-                return;
+                return Ok(());
             }
         }
         // Line 3: red → gray.
         for &x in &reds {
-            self.vut.set_gray(i, x);
+            self.vut.set_gray(i, x)?;
         }
         // Line 4: emit all of WT_i as a single warehouse transaction.
         let actions = self.vut.take_wt(i);
@@ -245,8 +249,9 @@ impl<P: Clone> Spa<P> {
         self.vut.purge_row(i);
         self.stats.rows_purged += 1;
         for j in follow {
-            self.process_row(j, out);
+            self.process_row(j, out)?;
         }
+        Ok(())
     }
 }
 
@@ -268,7 +273,10 @@ mod tests {
     fn holds_until_row_complete() {
         let mut spa = Spa::new([ViewId(1), ViewId(2), ViewId(3)]);
         assert!(spa.on_rel(UpdateId(1), set(&[1, 2])).unwrap().is_empty());
-        assert!(spa.on_action(al(2, 1)).unwrap().is_empty(), "V1 still white");
+        assert!(
+            spa.on_action(al(2, 1)).unwrap().is_empty(),
+            "V1 still white"
+        );
         let txns = spa.on_action(al(1, 1)).unwrap();
         assert_eq!(txns.len(), 1);
         let t = &txns[0];

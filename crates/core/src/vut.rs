@@ -15,6 +15,7 @@
 //! where no view manager is a bottleneck the table stays small (§4.2).
 
 use crate::action::ActionList;
+use crate::error::MergeError;
 use crate::ids::{UpdateId, ViewId};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -37,6 +38,16 @@ impl Color {
             Color::Red => 'r',
             Color::Gray => 'g',
             Color::Black => 'b',
+        }
+    }
+
+    /// Full name, for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Color::White => "white",
+            Color::Red => "red",
+            Color::Gray => "gray",
+            Color::Black => "black",
         }
     }
 }
@@ -158,29 +169,55 @@ impl<P> Vut<P> {
     }
 
     /// Set `VUT[i,x]` red, recording the PA jump state (pass `i` itself
-    /// for SPA). Panics if the entry is not white — callers validate.
-    pub fn set_red(&mut self, i: UpdateId, x: ViewId, state: UpdateId) {
-        let e = self
-            .rows
-            .get_mut(&i)
-            .and_then(|r| r.get_mut(&x))
-            .unwrap_or_else(|| panic!("set_red on missing entry [{i},{x}]"));
-        debug_assert_eq!(e.color, Color::White, "set_red on non-white [{i},{x}]");
+    /// for SPA). A missing cell or a non-white entry is a protocol
+    /// violation reported as a typed error, so a malformed or duplicate
+    /// action list degrades to an error instead of crashing the merge
+    /// process thread.
+    pub fn set_red(&mut self, i: UpdateId, x: ViewId, state: UpdateId) -> Result<(), MergeError> {
+        let e = self.rows.get_mut(&i).and_then(|r| r.get_mut(&x)).ok_or(
+            MergeError::VutMissingEntry {
+                update: i,
+                view: x,
+                op: "set_red",
+            },
+        )?;
+        if e.color != Color::White {
+            return Err(MergeError::VutColorConflict {
+                update: i,
+                view: x,
+                op: "set_red",
+                expected: Color::White.name(),
+                found: e.color.name(),
+            });
+        }
         e.color = Color::Red;
         e.state = state;
         self.red.get_mut(&x).expect("known view").insert(i);
+        Ok(())
     }
 
-    /// Turn a red entry gray (applied).
-    pub fn set_gray(&mut self, i: UpdateId, x: ViewId) {
-        let e = self
-            .rows
-            .get_mut(&i)
-            .and_then(|r| r.get_mut(&x))
-            .unwrap_or_else(|| panic!("set_gray on missing entry [{i},{x}]"));
-        debug_assert_eq!(e.color, Color::Red, "set_gray on non-red [{i},{x}]");
+    /// Turn a red entry gray (applied). Same typed-error contract as
+    /// [`Vut::set_red`].
+    pub fn set_gray(&mut self, i: UpdateId, x: ViewId) -> Result<(), MergeError> {
+        let e = self.rows.get_mut(&i).and_then(|r| r.get_mut(&x)).ok_or(
+            MergeError::VutMissingEntry {
+                update: i,
+                view: x,
+                op: "set_gray",
+            },
+        )?;
+        if e.color != Color::Red {
+            return Err(MergeError::VutColorConflict {
+                update: i,
+                view: x,
+                op: "set_gray",
+                expected: Color::Red.name(),
+                found: e.color.name(),
+            });
+        }
         e.color = Color::Gray;
         self.red.get_mut(&x).expect("known view").remove(&i);
+        Ok(())
     }
 
     /// Store a received action list in `WT_{al.last}`.
@@ -363,13 +400,13 @@ mod tests {
         for i in 1..=4 {
             vut.insert_row(UpdateId(i), &set(&[1]));
         }
-        vut.set_red(UpdateId(2), ViewId(1), UpdateId(2));
-        vut.set_red(UpdateId(4), ViewId(1), UpdateId(4));
+        vut.set_red(UpdateId(2), ViewId(1), UpdateId(2)).unwrap();
+        vut.set_red(UpdateId(4), ViewId(1), UpdateId(4)).unwrap();
         assert_eq!(vut.next_red(UpdateId(1), ViewId(1)), Some(UpdateId(2)));
         assert_eq!(vut.next_red(UpdateId(2), ViewId(1)), Some(UpdateId(4)));
         assert_eq!(vut.next_red(UpdateId(4), ViewId(1)), None);
         assert_eq!(vut.reds_before(UpdateId(4), ViewId(1)), vec![UpdateId(2)]);
-        vut.set_gray(UpdateId(2), ViewId(1));
+        vut.set_gray(UpdateId(2), ViewId(1)).unwrap();
         assert_eq!(vut.next_red(UpdateId(1), ViewId(1)), Some(UpdateId(4)));
     }
 
@@ -389,9 +426,9 @@ mod tests {
         let mut vut: Vut<()> = Vut::new(views(3));
         vut.insert_row(UpdateId(1), &set(&[1, 2]));
         assert!(vut.row_has_white(UpdateId(1)));
-        vut.set_red(UpdateId(1), ViewId(1), UpdateId(1));
+        vut.set_red(UpdateId(1), ViewId(1), UpdateId(1)).unwrap();
         assert!(vut.row_has_white(UpdateId(1)), "V2 still white");
-        vut.set_red(UpdateId(1), ViewId(2), UpdateId(1));
+        vut.set_red(UpdateId(1), ViewId(2), UpdateId(1)).unwrap();
         assert!(!vut.row_has_white(UpdateId(1)));
         assert_eq!(vut.reds_in_row(UpdateId(1)), vec![ViewId(1), ViewId(2)]);
     }
@@ -401,8 +438,8 @@ mod tests {
         let mut vut: Vut<()> = Vut::new(views(2));
         vut.insert_row(UpdateId(1), &set(&[1]));
         vut.insert_row(UpdateId(2), &set(&[2]));
-        vut.set_red(UpdateId(1), ViewId(1), UpdateId(1));
-        vut.set_gray(UpdateId(1), ViewId(1));
+        vut.set_red(UpdateId(1), ViewId(1), UpdateId(1)).unwrap();
+        vut.set_gray(UpdateId(1), ViewId(1)).unwrap();
         let purged = vut.purge_applied();
         assert_eq!(purged, vec![UpdateId(1)]);
         assert!(!vut.has_row(UpdateId(1)));
@@ -415,7 +452,7 @@ mod tests {
         for i in 1..=3 {
             vut.insert_row(UpdateId(i), &set(&[1]));
         }
-        vut.set_red(UpdateId(2), ViewId(1), UpdateId(2));
+        vut.set_red(UpdateId(2), ViewId(1), UpdateId(2)).unwrap();
         assert_eq!(
             vut.whites_up_to(UpdateId(3), ViewId(1)),
             vec![UpdateId(1), UpdateId(3)]
@@ -427,8 +464,8 @@ mod tests {
     fn jump_targets_pa() {
         let mut vut: Vut<()> = Vut::new(views(2));
         vut.insert_row(UpdateId(1), &set(&[1, 2]));
-        vut.set_red(UpdateId(1), ViewId(1), UpdateId(3));
-        vut.set_red(UpdateId(1), ViewId(2), UpdateId(1));
+        vut.set_red(UpdateId(1), ViewId(1), UpdateId(3)).unwrap();
+        vut.set_red(UpdateId(1), ViewId(2), UpdateId(1)).unwrap();
         assert_eq!(vut.jump_targets(UpdateId(1)), vec![UpdateId(3)]);
     }
 
@@ -437,7 +474,7 @@ mod tests {
         let mut vut: Vut<()> = Vut::new(views(3));
         vut.insert_row(UpdateId(1), &set(&[1, 2]));
         vut.store_action(ActionList::single(ViewId(2), UpdateId(1), ()));
-        vut.set_red(UpdateId(1), ViewId(2), UpdateId(1));
+        vut.set_red(UpdateId(1), ViewId(2), UpdateId(1)).unwrap();
         let s = vut.render(false);
         assert!(s.contains("U1"), "{s}");
         assert!(s.contains('w') && s.contains('r') && s.contains('b'), "{s}");
@@ -448,15 +485,56 @@ mod tests {
     fn render_pa_style_has_states() {
         let mut vut: Vut<()> = Vut::new(views(1));
         vut.insert_row(UpdateId(1), &set(&[1]));
-        vut.set_red(UpdateId(1), ViewId(1), UpdateId(3));
+        vut.set_red(UpdateId(1), ViewId(1), UpdateId(3)).unwrap();
         let s = vut.render(true);
         assert!(s.contains("(r,3)"), "{s}");
     }
 
     #[test]
-    #[should_panic(expected = "set_red on missing entry")]
-    fn set_red_missing_row_panics() {
+    fn set_red_missing_row_is_typed_error() {
         let mut vut: Vut<()> = Vut::new(views(1));
-        vut.set_red(UpdateId(1), ViewId(1), UpdateId(1));
+        let err = vut
+            .set_red(UpdateId(1), ViewId(1), UpdateId(1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::VutMissingEntry {
+                update: UpdateId(1),
+                view: ViewId(1),
+                op: "set_red",
+            }
+        );
+        assert_eq!(err.to_string(), "set_red on missing entry [U1,V1]");
+    }
+
+    #[test]
+    fn set_red_twice_is_color_conflict() {
+        let mut vut: Vut<()> = Vut::new(views(1));
+        vut.insert_row(UpdateId(1), &set(&[1]));
+        vut.set_red(UpdateId(1), ViewId(1), UpdateId(1)).unwrap();
+        let err = vut
+            .set_red(UpdateId(1), ViewId(1), UpdateId(1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::VutColorConflict {
+                update: UpdateId(1),
+                view: ViewId(1),
+                op: "set_red",
+                expected: "white",
+                found: "red",
+            }
+        );
+        // A gray (already applied) entry cannot be re-applied either.
+        vut.set_gray(UpdateId(1), ViewId(1)).unwrap();
+        let err = vut.set_gray(UpdateId(1), ViewId(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            MergeError::VutColorConflict {
+                op: "set_gray",
+                found: "gray",
+                ..
+            }
+        ));
     }
 }

@@ -109,10 +109,7 @@ fn build_queues(sc: &Scenario, batch_seed: Option<u64>) -> Vec<VecDeque<Event>> 
 }
 
 /// Check the shared invariants over the released transactions.
-fn check_invariants(
-    sc: &Scenario,
-    txns: &[WarehouseTxn<()>],
-) -> Result<(), TestCaseError> {
+fn check_invariants(sc: &Scenario, txns: &[WarehouseTxn<()>]) -> Result<(), TestCaseError> {
     // per view: applied ALs in frontier order, covering its relevant
     // updates exactly once
     for &v in &sc.views {

@@ -24,7 +24,10 @@ pub enum EvalError {
     Schema(SchemaError),
     Expr(ExprError),
     /// Supplied relation count does not match the view's source list.
-    SourceCountMismatch { expected: usize, actual: usize },
+    SourceCountMismatch {
+        expected: usize,
+        actual: usize,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -273,11 +276,7 @@ pub fn group_keys(def: &ViewDef, core: &Relation) -> Result<Vec<Vec<Value>>, Eva
     Ok(keys)
 }
 
-fn eval_aggregate(
-    func: AggFunc,
-    input: &Expr,
-    rows: &[(&Tuple, u64)],
-) -> Result<Value, EvalError> {
+fn eval_aggregate(func: AggFunc, input: &Expr, rows: &[(&Tuple, u64)]) -> Result<Value, EvalError> {
     match func {
         AggFunc::Count => {
             let n: u64 = rows.iter().map(|(_, n)| n).sum();
@@ -586,7 +585,11 @@ mod tests {
     #[test]
     fn source_count_mismatch() {
         let (cat, _) = setup();
-        let v = ViewDef::builder("V").from("R").from("S").build(&cat).unwrap();
+        let v = ViewDef::builder("V")
+            .from("R")
+            .from("S")
+            .build(&cat)
+            .unwrap();
         let r = Relation::new(Schema::ints(&["a", "b"]));
         assert!(matches!(
             eval_core_with(&v.core, &[r]),

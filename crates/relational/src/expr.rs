@@ -175,10 +175,7 @@ impl Expr {
 
     /// Conjunction of many predicates (`True` when empty).
     pub fn all<I: IntoIterator<Item = Expr>>(preds: I) -> Expr {
-        preds
-            .into_iter()
-            .reduce(Expr::and)
-            .unwrap_or(Expr::True)
+        preds.into_iter().reduce(Expr::and).unwrap_or(Expr::True)
     }
 
     /// Resolve all `Named` references to `Col` positions against `schema`.

@@ -236,8 +236,7 @@ impl Schema {
                 continue;
             }
             let vt = v.value_type();
-            let compatible = vt == a.ty
-                || matches!((a.ty, vt), (ValueType::Float, ValueType::Int));
+            let compatible = vt == a.ty || matches!((a.ty, vt), (ValueType::Float, ValueType::Int));
             if !compatible {
                 return Err(SchemaError::TypeMismatch {
                     attribute: a.name.clone(),
@@ -270,7 +269,9 @@ impl fmt::Display for Schema {
 
 /// Helper: value conforms to type?
 pub fn value_conforms(v: &Value, ty: ValueType) -> bool {
-    v.is_null() || v.value_type() == ty || matches!((ty, v.value_type()), (ValueType::Float, ValueType::Int))
+    v.is_null()
+        || v.value_type() == ty
+        || matches!((ty, v.value_type()), (ValueType::Float, ValueType::Int))
 }
 
 #[cfg(test)]

@@ -162,7 +162,10 @@ fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
                 while i < b.len() && (b[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit()
+                if i < b.len()
+                    && b[i] == b'.'
+                    && i + 1 < b.len()
+                    && (b[i + 1] as char).is_ascii_digit()
                 {
                     i += 1;
                     while i < b.len() && (b[i] as char).is_ascii_digit() {
@@ -210,7 +213,10 @@ struct Parser<'a> {
 /// One SELECT-list item before resolution.
 enum SelectItem {
     Star,
-    Expr { expr: Expr, alias: Option<String> },
+    Expr {
+        expr: Expr,
+        alias: Option<String>,
+    },
     Agg {
         func: AggFunc,
         input: Option<Expr>,
@@ -274,7 +280,9 @@ impl<'a> Parser<'a> {
     fn ident(&mut self) -> Result<String, SqlError> {
         match self.next() {
             Some(Tok::Ident(s)) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -326,9 +334,7 @@ impl<'a> Parser<'a> {
         if let Some(p) = predicate {
             b = b.filter(self.qualify(p)?);
         }
-        let has_agg = items
-            .iter()
-            .any(|i| matches!(i, SelectItem::Agg { .. }));
+        let has_agg = items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
         let mut agg_group_exprs: Vec<Expr> = Vec::new();
         for item in items {
             match item {
@@ -548,7 +554,9 @@ impl<'a> Parser<'a> {
                 Ok(Expr::Const(Value::Null))
             }
             Some(Tok::Ident(_)) => self.parse_ref(),
-            other => Err(SqlError::Parse(format!("expected expression, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
         }
     }
 
@@ -588,16 +596,12 @@ impl<'a> Parser<'a> {
                 }
             }
             Expr::Named(n) => Expr::Named(n),
-            Expr::Cmp(op, a, b) => Expr::Cmp(
-                op,
-                Box::new(self.qualify(*a)?),
-                Box::new(self.qualify(*b)?),
-            ),
-            Expr::Arith(op, a, b) => Expr::Arith(
-                op,
-                Box::new(self.qualify(*a)?),
-                Box::new(self.qualify(*b)?),
-            ),
+            Expr::Cmp(op, a, b) => {
+                Expr::Cmp(op, Box::new(self.qualify(*a)?), Box::new(self.qualify(*b)?))
+            }
+            Expr::Arith(op, a, b) => {
+                Expr::Arith(op, Box::new(self.qualify(*a)?), Box::new(self.qualify(*b)?))
+            }
             Expr::And(a, b) => Expr::and(self.qualify(*a)?, self.qualify(*b)?),
             Expr::Or(a, b) => Expr::or(self.qualify(*a)?, self.qualify(*b)?),
             Expr::Not(a) => Expr::not(self.qualify(*a)?),
@@ -723,13 +727,13 @@ mod tests {
 
     #[test]
     fn bare_columns_qualified_when_unambiguous() {
-        let v = parse_view(
-            "V",
-            "SELECT a, c FROM R, S WHERE R.b = S.b",
-            &catalog(),
-        )
-        .unwrap();
-        let names: Vec<_> = v.schema.attributes().iter().map(|x| x.name.as_str()).collect();
+        let v = parse_view("V", "SELECT a, c FROM R, S WHERE R.b = S.b", &catalog()).unwrap();
+        let names: Vec<_> = v
+            .schema
+            .attributes()
+            .iter()
+            .map(|x| x.name.as_str())
+            .collect();
         assert_eq!(names, vec!["a", "c"]);
     }
 
@@ -780,12 +784,7 @@ mod tests {
 
     #[test]
     fn self_join_via_duplicate_from() {
-        let v = parse_view(
-            "V",
-            "SELECT R.a FROM R, R WHERE R.b = R#2.a",
-            &catalog(),
-        )
-        .unwrap();
+        let v = parse_view("V", "SELECT R.a FROM R, R WHERE R.b = R#2.a", &catalog()).unwrap();
         // R[?,b]⋈R[a=b,?]: pairs where first.b == second.a
         let out = eval_view(&v, &db()).unwrap();
         // b values {2,2,7}; a values {1,5,9}: no matches (2,7 ∉ {1,5,9})
@@ -839,12 +838,7 @@ mod tests {
     #[test]
     fn sql_view_equals_builder_view() {
         let cat = catalog();
-        let sql = parse_view(
-            "V1",
-            "SELECT R.a, R.b, S.c FROM R, S WHERE R.b = S.b",
-            &cat,
-        )
-        .unwrap();
+        let sql = parse_view("V1", "SELECT R.a, R.b, S.c FROM R, S WHERE R.b = S.b", &cat).unwrap();
         let built = ViewDef::builder("V1")
             .from("R")
             .from("S")
@@ -853,9 +847,6 @@ mod tests {
             .build(&cat)
             .unwrap();
         let d = db();
-        assert_eq!(
-            eval_view(&sql, &d).unwrap(),
-            eval_view(&built, &d).unwrap()
-        );
+        assert_eq!(eval_view(&sql, &d).unwrap(), eval_view(&built, &d).unwrap());
     }
 }

@@ -194,7 +194,13 @@ impl ViewDef {
             }
             if cols.iter().all(|&c| c >= lo && c < hi) {
                 let local = conj
-                    .remap_columns(&|c| if (lo..hi).contains(&c) { Some(c - lo) } else { None })
+                    .remap_columns(&|c| {
+                        if (lo..hi).contains(&c) {
+                            Some(c - lo)
+                        } else {
+                            None
+                        }
+                    })
                     .expect("columns checked local");
                 match local.matches(tuple) {
                     Ok(true) => {}
@@ -255,7 +261,10 @@ impl ViewDefBuilder {
 
     /// Equi-join shorthand: `R.b = S.b` written as `.join_on("R.b", "S.b")`.
     pub fn join_on(self, left: impl Into<String>, right: impl Into<String>) -> Self {
-        self.filter(Expr::eq(Expr::Named(left.into()), Expr::Named(right.into())))
+        self.filter(Expr::eq(
+            Expr::Named(left.into()),
+            Expr::Named(right.into()),
+        ))
     }
 
     /// Project onto named columns.
@@ -606,7 +615,10 @@ mod tests {
             .filter(Expr::gt(Expr::named("R.a"), Expr::value(10)))
             .build(&catalog())
             .unwrap();
-        assert!(!v.relevant_tuple(&"R".into(), &tuple![5, 2]), "a=5 fails a>10");
+        assert!(
+            !v.relevant_tuple(&"R".into(), &tuple![5, 2]),
+            "a=5 fails a>10"
+        );
         assert!(v.relevant_tuple(&"R".into(), &tuple![11, 2]));
         // S tuples unaffected by the R-local conjunct
         assert!(v.relevant_tuple(&"S".into(), &tuple![2, 3]));

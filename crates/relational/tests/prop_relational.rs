@@ -4,8 +4,8 @@
 
 use mvc_relational::maintain::{recompute_delta, spj_delta};
 use mvc_relational::{
-    diff, eval_view, tuple, Catalog, Database, Delta, Expr, Relation, RelationName, Schema,
-    Tuple, ViewDef,
+    diff, eval_view, tuple, Catalog, Database, Delta, Expr, Relation, RelationName, Schema, Tuple,
+    ViewDef,
 };
 use proptest::prelude::*;
 use std::collections::BTreeMap;

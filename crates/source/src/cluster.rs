@@ -45,10 +45,7 @@ impl fmt::Display for SourceError {
                 relation,
                 owner,
                 requested,
-            } => write!(
-                f,
-                "relation `{relation}` lives on {owner}, not {requested}"
-            ),
+            } => write!(f, "relation `{relation}` lives on {owner}, not {requested}"),
             SourceError::Schema(e) => write!(f, "schema error: {e}"),
             SourceError::NoSuchTuple(r) => write!(f, "delete of absent tuple from `{r}`"),
             SourceError::EmptyTransaction => write!(f, "transaction performs no writes"),
@@ -204,8 +201,7 @@ impl SourceCluster {
         let mut per_rel: BTreeMap<RelationName, Delta> = BTreeMap::new();
         {
             // simulate against a scratch view of current multiplicities
-            let mut scratch: BTreeMap<(RelationName, mvc_relational::Tuple), i64> =
-                BTreeMap::new();
+            let mut scratch: BTreeMap<(RelationName, mvc_relational::Tuple), i64> = BTreeMap::new();
             for w in &writes {
                 let rel = self
                     .current

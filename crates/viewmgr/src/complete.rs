@@ -122,10 +122,7 @@ impl ViewManager for CompleteVm {
         Ok(out)
     }
 
-    fn initialize(
-        &mut self,
-        provider: &dyn mvc_relational::StateProvider,
-    ) -> Result<(), VmError> {
+    fn initialize(&mut self, provider: &dyn mvc_relational::StateProvider) -> Result<(), VmError> {
         let core = mvc_relational::eval_core(&self.mat.def().core.clone(), provider)?;
         self.mat = MaterializedView::from_core(self.mat.def().clone(), core)?;
         Ok(())
@@ -171,11 +168,7 @@ mod tests {
 
     /// Drive the VM synchronously: answer each query immediately against
     /// the cluster (zero delay).
-    fn drive(
-        vm: &mut CompleteVm,
-        cluster: &SourceCluster,
-        ev: VmEvent,
-    ) -> Vec<ActionList<Delta>> {
+    fn drive(vm: &mut CompleteVm, cluster: &SourceCluster, ev: VmEvent) -> Vec<ActionList<Delta>> {
         let mut actions = Vec::new();
         let mut pending = vm.handle(ev).unwrap();
         while let Some(o) = pending.pop() {

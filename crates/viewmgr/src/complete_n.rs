@@ -133,10 +133,7 @@ impl ViewManager for CompleteNVm {
         Ok(out)
     }
 
-    fn initialize(
-        &mut self,
-        provider: &dyn mvc_relational::StateProvider,
-    ) -> Result<(), VmError> {
+    fn initialize(&mut self, provider: &dyn mvc_relational::StateProvider) -> Result<(), VmError> {
         let core = mvc_relational::eval_core(&self.mat.def().core.clone(), provider)?;
         self.mat = MaterializedView::from_core(self.mat.def().clone(), core)?;
         // batches after installation start from the load state

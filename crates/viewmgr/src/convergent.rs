@@ -153,10 +153,7 @@ impl ViewManager for ConvergentVm {
         Ok(out)
     }
 
-    fn initialize(
-        &mut self,
-        provider: &dyn mvc_relational::StateProvider,
-    ) -> Result<(), VmError> {
+    fn initialize(&mut self, provider: &dyn mvc_relational::StateProvider) -> Result<(), VmError> {
         let core = mvc_relational::eval_core(&self.mat.def().core.clone(), provider)?;
         self.mat = MaterializedView::from_core(self.mat.def().clone(), core)?;
         Ok(())
@@ -170,8 +167,8 @@ impl ViewManager for ConvergentVm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvc_relational::{tuple, Delta, Schema};
     use crate::protocol::NumberedUpdate;
+    use mvc_relational::{tuple, Delta, Schema};
     use mvc_source::{SourceCluster, SourceId, SourceUpdate, WriteOp};
 
     fn cluster() -> SourceCluster {
@@ -245,7 +242,10 @@ mod tests {
         }
         // Each estimate saw the other side already present → both added
         // the join row: the view now holds TWO copies (the anomaly).
-        let total: i64 = actions.iter().map(|a| a.payload.net(&tuple![1, 2, 3])).sum();
+        let total: i64 = actions
+            .iter()
+            .map(|a| a.payload.net(&tuple![1, 2, 3]))
+            .sum();
         assert_eq!(total, 2, "uncompensated double count");
         assert_eq!(vm.view().multiplicity(&tuple![1, 2, 3]), 2);
 

@@ -41,7 +41,10 @@ enum PendingOp {
         token: QueryToken,
         answer: Option<(Relation, GlobalSeq)>,
     },
-    Delete { relation: RelationName, tuple: Tuple },
+    Delete {
+        relation: RelationName,
+        tuple: Tuple,
+    },
 }
 
 /// An update awaiting in-order emission.
@@ -90,7 +93,10 @@ impl EcaVm {
             ));
         }
         if def.base_relations().len() != 2 {
-            return Err(VmError::UnsupportedView(id, "ECA does not support self-joins"));
+            return Err(VmError::UnsupportedView(
+                id,
+                "ECA does not support self-joins",
+            ));
         }
         let mirror = Relation::new(def.core.join_schema.clone());
         Ok(EcaVm {
@@ -203,8 +209,7 @@ impl EcaVm {
                         // segment is removed wholesale and re-derived
                         // locally — order-insensitive even when a tuple is
                         // deleted and re-inserted inside the window.
-                        let mut first_event: BTreeMap<Tuple, bool /*is_delete*/> =
-                            BTreeMap::new();
+                        let mut first_event: BTreeMap<Tuple, bool /*is_delete*/> = BTreeMap::new();
                         for (_, rs) in self.log.range((lower, std::ops::Bound::Included(sa))) {
                             for r in rs {
                                 if &r.relation == relation {
@@ -284,8 +289,7 @@ impl ViewManager for EcaVm {
                                 let token = QueryToken(self.next_token);
                                 self.next_token += 1;
                                 let k = self.occurrence_of(&change.relation);
-                                let mut rows =
-                                    Relation::new(occurrence_schema(&self.def, k));
+                                let mut rows = Relation::new(occurrence_schema(&self.def, k));
                                 rows.insert(t.clone())
                                     .map_err(mvc_relational::EvalError::from)?;
                                 out.push(VmOutput::Query {
@@ -358,10 +362,7 @@ impl ViewManager for EcaVm {
         Ok(out)
     }
 
-    fn initialize(
-        &mut self,
-        provider: &dyn mvc_relational::StateProvider,
-    ) -> Result<(), VmError> {
+    fn initialize(&mut self, provider: &dyn mvc_relational::StateProvider) -> Result<(), VmError> {
         let rels: Vec<Relation> = self
             .def
             .core
@@ -452,11 +453,16 @@ mod tests {
         let c = cluster();
         let three = {
             let mut c2 = SourceCluster::new(4);
-            c2.create_relation(SourceId(0), "R", Schema::ints(&["a", "b"])).unwrap();
-            c2.create_relation(SourceId(1), "S", Schema::ints(&["b", "c"])).unwrap();
-            c2.create_relation(SourceId(2), "T", Schema::ints(&["c", "d"])).unwrap();
+            c2.create_relation(SourceId(0), "R", Schema::ints(&["a", "b"]))
+                .unwrap();
+            c2.create_relation(SourceId(1), "S", Schema::ints(&["b", "c"]))
+                .unwrap();
+            c2.create_relation(SourceId(2), "T", Schema::ints(&["c", "d"]))
+                .unwrap();
             ViewDef::builder("W")
-                .from("R").from("S").from("T")
+                .from("R")
+                .from("S")
+                .from("T")
                 .join_on("R.b", "S.b")
                 .join_on("S.c", "T.c")
                 .build(c2.catalog())
@@ -504,7 +510,12 @@ mod tests {
         // Both answers computed now (current state has both tuples).
         let a1 = crate::protocol::answer_query(&c, &q1).unwrap();
         let a2 = crate::protocol::answer_query(&c, &q2).unwrap();
-        let o = vm.handle(VmEvent::Answer { token: t1, answer: a1 }).unwrap();
+        let o = vm
+            .handle(VmEvent::Answer {
+                token: t1,
+                answer: a1,
+            })
+            .unwrap();
         let als1 = actions(&o);
         assert_eq!(als1.len(), 1, "AL1 emits as soon as Q1 answered");
         assert!(
@@ -512,7 +523,12 @@ mod tests {
             "AL1 compensated empty (S was empty at ss1): {}",
             als1[0].payload
         );
-        let o = vm.handle(VmEvent::Answer { token: t2, answer: a2 }).unwrap();
+        let o = vm
+            .handle(VmEvent::Answer {
+                token: t2,
+                answer: a2,
+            })
+            .unwrap();
         let als2 = actions(&o);
         assert_eq!(als2.len(), 1);
         assert_eq!(als2[0].payload.net(&tuple![1, 2, 3]), 1);
@@ -537,7 +553,11 @@ mod tests {
         let o0 = vm.handle(VmEvent::Update(numbered(u0))).unwrap();
         for (tk, rq) in queries(&o0) {
             let a = crate::protocol::answer_query(&c, &rq).unwrap();
-            vm.handle(VmEvent::Answer { token: tk, answer: a }).unwrap();
+            vm.handle(VmEvent::Answer {
+                token: tk,
+                answer: a,
+            })
+            .unwrap();
         }
         assert!(vm.is_idle());
 
@@ -556,7 +576,12 @@ mod tests {
 
         // Late answer: computed after the delete → misses the join.
         let a1 = crate::protocol::answer_query(&c, &q1).unwrap();
-        let o = vm.handle(VmEvent::Answer { token: t1, answer: a1 }).unwrap();
+        let o = vm
+            .handle(VmEvent::Answer {
+                token: t1,
+                answer: a1,
+            })
+            .unwrap();
         let als = actions(&o);
         assert_eq!(als.len(), 2, "AL1 and then AL2 both emit");
         assert_eq!(
@@ -600,7 +625,12 @@ mod tests {
 
         let a1 = crate::protocol::answer_query(&c, &q1).unwrap();
         let a2 = crate::protocol::answer_query(&c, &q2).unwrap();
-        let o = vm.handle(VmEvent::Answer { token: t1, answer: a1 }).unwrap();
+        let o = vm
+            .handle(VmEvent::Answer {
+                token: t1,
+                answer: a1,
+            })
+            .unwrap();
         let als1 = actions(&o);
         assert_eq!(als1.len(), 1);
         assert!(
@@ -608,7 +638,12 @@ mod tests {
             "S[2,3] did not exist at ss1: {}",
             als1[0].payload
         );
-        let o = vm.handle(VmEvent::Answer { token: t2, answer: a2 }).unwrap();
+        let o = vm
+            .handle(VmEvent::Answer {
+                token: t2,
+                answer: a2,
+            })
+            .unwrap();
         let als = actions(&o);
         assert_eq!(als.len(), 2, "AL2 (+join) and AL3 (−join)");
         assert_eq!(als[0].payload.net(&tuple![1, 2, 3]), 1);
@@ -633,11 +668,23 @@ mod tests {
         let (t2, q2) = queries(&o2).into_iter().next().unwrap();
         // Answer U2's query first: nothing may emit (order!).
         let a2 = crate::protocol::answer_query(&c, &q2).unwrap();
-        assert!(actions(&vm.handle(VmEvent::Answer { token: t2, answer: a2 }).unwrap())
-            .is_empty());
+        assert!(actions(
+            &vm.handle(VmEvent::Answer {
+                token: t2,
+                answer: a2
+            })
+            .unwrap()
+        )
+        .is_empty());
         // Answering U1 releases both, in order.
         let a1 = crate::protocol::answer_query(&c, &q1).unwrap();
-        let als = actions(&vm.handle(VmEvent::Answer { token: t1, answer: a1 }).unwrap());
+        let als = actions(
+            &vm.handle(VmEvent::Answer {
+                token: t1,
+                answer: a1,
+            })
+            .unwrap(),
+        );
         assert_eq!(als.len(), 2);
         assert_eq!(als[0].last, UpdateId(1));
         assert_eq!(als[1].last, UpdateId(2));

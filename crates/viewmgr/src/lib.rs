@@ -34,11 +34,11 @@ pub use convergent::ConvergentVm;
 pub use eca::EcaVm;
 pub use materialized::MaterializedView;
 pub use periodic::PeriodicVm;
-pub use selfmaint::SelfMaintVm;
 pub use protocol::{
     answer_query, NumberedUpdate, QueryAnswer, QueryRequest, QueryToken, ViewManager, VmError,
     VmEvent, VmOutput,
 };
+pub use selfmaint::SelfMaintVm;
 pub use strobe::StrobeVm;
 
 /// The concrete action-list type every manager emits: routing metadata

@@ -2,7 +2,7 @@
 //! for aggregate views, the derived aggregate layer.
 
 use mvc_relational::{
-    eval::aggregate, maintain::aggregate_delta, diff, Delta, EvalError, Relation, ViewDef,
+    diff, eval::aggregate, maintain::aggregate_delta, Delta, EvalError, Relation, ViewDef,
 };
 
 /// A view manager's local copy of its view: the core-output relation and

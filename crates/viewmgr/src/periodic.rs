@@ -125,10 +125,7 @@ impl ViewManager for PeriodicVm {
         Ok(out)
     }
 
-    fn initialize(
-        &mut self,
-        provider: &dyn mvc_relational::StateProvider,
-    ) -> Result<(), VmError> {
+    fn initialize(&mut self, provider: &dyn mvc_relational::StateProvider) -> Result<(), VmError> {
         let core = mvc_relational::eval_core(&self.mat.def().core.clone(), provider)?;
         self.mat = MaterializedView::from_core(self.mat.def().clone(), core)?;
         Ok(())
@@ -142,8 +139,8 @@ impl ViewManager for PeriodicVm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvc_relational::{tuple, Delta, Schema};
     use crate::protocol::NumberedUpdate;
+    use mvc_relational::{tuple, Delta, Schema};
     use mvc_source::{SourceCluster, SourceId, SourceUpdate, WriteOp};
 
     fn cluster() -> SourceCluster {

@@ -117,9 +117,10 @@ pub fn answer_query(cluster: &SourceCluster, req: &QueryRequest) -> Result<Query
             let d = spj_delta(core, &cluster.as_of(*old), &cluster.as_of(*new), changes)?;
             Ok(QueryAnswer::Delta(d))
         }
-        QueryRequest::EvalAsOf { core, seq } => {
-            Ok(QueryAnswer::Rows(eval_core(core, &cluster.as_of(*seq))?, *seq))
-        }
+        QueryRequest::EvalAsOf { core, seq } => Ok(QueryAnswer::Rows(
+            eval_core(core, &cluster.as_of(*seq))?,
+            *seq,
+        )),
         QueryRequest::DeltaCurrent { core, changes } => {
             let now = cluster.latest_seq();
             let provider = cluster.as_of(now);
@@ -149,7 +150,10 @@ pub fn answer_query(cluster: &SourceCluster, req: &QueryRequest) -> Result<Query
         }
         QueryRequest::EvalCurrent { core } => {
             let now = cluster.latest_seq();
-            Ok(QueryAnswer::Rows(eval_core(core, &cluster.as_of(now))?, now))
+            Ok(QueryAnswer::Rows(
+                eval_core(core, &cluster.as_of(now))?,
+                now,
+            ))
         }
     }
 }
@@ -226,8 +230,5 @@ pub trait ViewManager: Send {
     /// Dynamic installation (§1.2): load the manager's internal state
     /// (materializations, mirrors, auxiliary copies) from the given
     /// source snapshot. Called once, before any update is delivered.
-    fn initialize(
-        &mut self,
-        provider: &dyn mvc_relational::StateProvider,
-    ) -> Result<(), VmError>;
+    fn initialize(&mut self, provider: &dyn mvc_relational::StateProvider) -> Result<(), VmError>;
 }

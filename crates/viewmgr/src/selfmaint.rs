@@ -86,10 +86,7 @@ impl ViewManager for SelfMaintVm {
         Ok(out)
     }
 
-    fn initialize(
-        &mut self,
-        provider: &dyn mvc_relational::StateProvider,
-    ) -> Result<(), VmError> {
+    fn initialize(&mut self, provider: &dyn mvc_relational::StateProvider) -> Result<(), VmError> {
         for name in self.aux.names().cloned().collect::<Vec<_>>() {
             let rel = provider
                 .fetch(&name)
@@ -255,9 +252,7 @@ mod tests {
             .execute(SourceId(0), vec![WriteOp::insert("R", tuple![1, 2])])
             .unwrap();
         let outs = vm.handle(VmEvent::Update(numbered(u1))).unwrap();
-        assert!(outs
-            .iter()
-            .all(|o| matches!(o, VmOutput::Action(_))));
+        assert!(outs.iter().all(|o| matches!(o, VmOutput::Action(_))));
         assert!(vm.is_idle());
         assert!(vm.handle(VmEvent::Flush).unwrap().is_empty());
     }

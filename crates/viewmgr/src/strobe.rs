@@ -292,10 +292,7 @@ impl ViewManager for StrobeVm {
         Ok(out)
     }
 
-    fn initialize(
-        &mut self,
-        provider: &dyn mvc_relational::StateProvider,
-    ) -> Result<(), VmError> {
+    fn initialize(&mut self, provider: &dyn mvc_relational::StateProvider) -> Result<(), VmError> {
         // join-level mirror = pre-projection contents at the load state
         let rels: Vec<Relation> = self
             .def
@@ -335,8 +332,8 @@ fn occurrence_schema(def: &ViewDef, k: usize) -> mvc_relational::Schema {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mvc_relational::{tuple, Schema};
     use crate::protocol::NumberedUpdate;
+    use mvc_relational::{tuple, Schema};
     use mvc_source::{SourceCluster, SourceId, SourceUpdate, WriteOp};
 
     fn cluster() -> SourceCluster {
@@ -460,9 +457,20 @@ mod tests {
         let a1 = crate::protocol::answer_query(&c, &q1).unwrap();
         let a2 = crate::protocol::answer_query(&c, &q2).unwrap();
         // Answer order: q1 first, then q2; emission at quiescence.
-        assert!(take_actions(&vm.handle(VmEvent::Answer { token: t1, answer: a1 }).unwrap())
-            .is_empty());
-        let outs = vm.handle(VmEvent::Answer { token: t2, answer: a2 }).unwrap();
+        assert!(take_actions(
+            &vm.handle(VmEvent::Answer {
+                token: t1,
+                answer: a1
+            })
+            .unwrap()
+        )
+        .is_empty());
+        let outs = vm
+            .handle(VmEvent::Answer {
+                token: t2,
+                answer: a2,
+            })
+            .unwrap();
         let actions = take_actions(&outs);
         assert_eq!(actions.len(), 1, "one batched AL at quiescence");
         let al = &actions[0];
@@ -493,7 +501,11 @@ mod tests {
         let outs = vm.handle(VmEvent::Update(numbered(u0))).unwrap();
         for (tk, rq) in take_queries(&outs) {
             let ans = crate::protocol::answer_query(&c, &rq).unwrap();
-            vm.handle(VmEvent::Answer { token: tk, answer: ans }).unwrap();
+            vm.handle(VmEvent::Answer {
+                token: tk,
+                answer: ans,
+            })
+            .unwrap();
         }
         assert!(vm.is_idle());
 
@@ -513,7 +525,12 @@ mod tests {
         // The late answer is computed *now* — after the delete — so it is
         // already empty; compensation must keep that consistent.
         let a1 = crate::protocol::answer_query(&c, &q1).unwrap();
-        let outs = vm.handle(VmEvent::Answer { token: t1, answer: a1 }).unwrap();
+        let outs = vm
+            .handle(VmEvent::Answer {
+                token: t1,
+                answer: a1,
+            })
+            .unwrap();
         let actions = take_actions(&outs);
         assert_eq!(actions.len(), 1);
         assert!(
@@ -541,7 +558,11 @@ mod tests {
             let outs = vm.handle(VmEvent::Update(numbered(u))).unwrap();
             for (tk, rq) in take_queries(&outs) {
                 let ans = crate::protocol::answer_query(&c, &rq).unwrap();
-                vm.handle(VmEvent::Answer { token: tk, answer: ans }).unwrap();
+                vm.handle(VmEvent::Answer {
+                    token: tk,
+                    answer: ans,
+                })
+                .unwrap();
             }
         }
         assert!(vm.effective_join().len() == 1);

@@ -278,12 +278,20 @@ mod tests {
         let mut w = wh();
         w.apply(&txn(
             1,
-            vec![ActionList::single(ViewId(1), UpdateId(1), delta_ins(&[(1, 2)]))],
+            vec![ActionList::single(
+                ViewId(1),
+                UpdateId(1),
+                delta_ins(&[(1, 2)]),
+            )],
         ))
         .unwrap();
         w.apply(&txn(
             2,
-            vec![ActionList::single(ViewId(2), UpdateId(2), delta_ins(&[(2, 3)]))],
+            vec![ActionList::single(
+                ViewId(2),
+                UpdateId(2),
+                delta_ins(&[(2, 3)]),
+            )],
         ))
         .unwrap();
         let h = w.history();
@@ -292,14 +300,8 @@ mod tests {
         assert_eq!(h[0].fingerprints.len(), 2);
         assert_eq!(h[1].fingerprints.len(), 2);
         // V1 unchanged between commits → same fingerprint
-        assert_eq!(
-            h[0].fingerprints[&ViewId(1)],
-            h[1].fingerprints[&ViewId(1)]
-        );
-        assert_ne!(
-            h[0].fingerprints[&ViewId(2)],
-            h[1].fingerprints[&ViewId(2)]
-        );
+        assert_eq!(h[0].fingerprints[&ViewId(1)], h[1].fingerprints[&ViewId(1)]);
+        assert_ne!(h[0].fingerprints[&ViewId(2)], h[1].fingerprints[&ViewId(2)]);
         let snap = h[1].snapshot.as_ref().unwrap();
         assert!(snap[&ViewId(1)].contains(&tuple![1, 2]));
     }
@@ -309,7 +311,11 @@ mod tests {
         let mut w = wh();
         w.apply(&txn(
             1,
-            vec![ActionList::single(ViewId(1), UpdateId(1), delta_ins(&[(1, 2)]))],
+            vec![ActionList::single(
+                ViewId(1),
+                UpdateId(1),
+                delta_ins(&[(1, 2)]),
+            )],
         ))
         .unwrap();
         let r = w.read(&[ViewId(1), ViewId(2), ViewId(7)]);

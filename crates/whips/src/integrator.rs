@@ -101,9 +101,7 @@ impl Integrator {
         kind: crate::registry::ManagerKind,
     ) -> Result<(usize, UpdateId), String> {
         if self.partitioning.group_count() > 1 {
-            return Err(
-                "dynamic view installation requires the single-merge deployment".into(),
-            );
+            return Err("dynamic view installation requires the single-merge deployment".into());
         }
         self.registry.add(id, def, kind);
         self.partitioning = self.registry.partitioning(false);

@@ -9,6 +9,7 @@
 
 pub mod integrator;
 pub mod metrics;
+pub mod obs;
 pub mod oracle;
 pub mod registry;
 pub mod scenario;
@@ -18,6 +19,7 @@ pub mod workload;
 
 pub use integrator::{GroupRouting, Integrator};
 pub use metrics::{SimMetrics, Summary};
+pub use obs::{Histogram, PipelineObs, QueueGauge};
 pub use oracle::{Oracle, Verdict};
 pub use registry::{ManagerKind, ViewEntry, ViewRegistry};
 pub use sim::{CommitLogEntry, SimBuilder, SimConfig, SimError, SimReport, WorkloadTxn};

@@ -136,10 +136,7 @@ impl<'a> Oracle<'a> {
 
         // The cut database: base relations of this group's views, holding
         // covered updates only.
-        let base: BTreeSet<RelationName> = defs
-            .values()
-            .flat_map(|d| d.base_relations())
-            .collect();
+        let base: BTreeSet<RelationName> = defs.values().flat_map(|d| d.base_relations()).collect();
         let mut cut_db = Database::new();
         for r in &base {
             let schema = self
@@ -153,10 +150,8 @@ impl<'a> Oracle<'a> {
         }
 
         // Updates routed to *this group* (global seqs), in order.
-        let group_seqs: BTreeSet<GlobalSeq> = self.report.group_updates[group]
-            .values()
-            .copied()
-            .collect();
+        let group_seqs: BTreeSet<GlobalSeq> =
+            self.report.group_updates[group].values().copied().collect();
         let mut covered: BTreeSet<GlobalSeq> = BTreeSet::new();
 
         // Expected view contents at the current cut (lazily re-evaluated).
@@ -375,8 +370,7 @@ impl<'a> Oracle<'a> {
     pub fn check_convergence(&self, views: &BTreeSet<ViewId>) -> Verdict {
         for &v in views {
             let def = &self.report.registry.get(v).expect("registered").def;
-            let truth = match eval_at(&self.report.cluster, def, self.report.cluster.latest_seq())
-            {
+            let truth = match eval_at(&self.report.cluster, def, self.report.cluster.latest_seq()) {
                 Ok(r) => r,
                 Err(e) => {
                     return Verdict::Violated {
@@ -391,9 +385,7 @@ impl<'a> Oracle<'a> {
                 return Verdict::Violated {
                     level: ConsistencyLevel::Convergent,
                     at_commit: usize::MAX,
-                    detail: format!(
-                        "view {v} diverged: warehouse {actual} vs sources {truth}"
-                    ),
+                    detail: format!("view {v} diverged: warehouse {actual} vs sources {truth}"),
                 };
             }
         }
@@ -420,15 +412,17 @@ impl<'a> Oracle<'a> {
             }
         }
         if level == ConsistencyLevel::Convergent {
-            return Ok(if *states.last().expect("nonempty") == source_fps[f as usize] {
-                Verdict::Satisfied
-            } else {
-                Verdict::Violated {
-                    level,
-                    at_commit: usize::MAX,
-                    detail: "final view content diverged".into(),
-                }
-            });
+            return Ok(
+                if *states.last().expect("nonempty") == source_fps[f as usize] {
+                    Verdict::Satisfied
+                } else {
+                    Verdict::Violated {
+                        level,
+                        at_commit: usize::MAX,
+                        detail: "final view content diverged".into(),
+                    }
+                },
+            );
         }
         let mut prev: u64 = 0;
         let mut witness: Vec<u64> = Vec::with_capacity(states.len());

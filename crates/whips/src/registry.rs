@@ -23,11 +23,17 @@ pub enum ManagerKind {
     SelfMaintaining,
     Strobe,
     /// Full refresh every `period` relevant updates.
-    Periodic { period: usize },
+    Periodic {
+        period: usize,
+    },
     /// Uncompensated estimates with a correction pass every `correction_every`.
-    Convergent { correction_every: usize },
+    Convergent {
+        correction_every: usize,
+    },
     /// Exact batches of `n`.
-    CompleteN { n: u32 },
+    CompleteN {
+        n: u32,
+    },
 }
 
 impl ManagerKind {

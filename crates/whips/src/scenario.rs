@@ -38,7 +38,11 @@ impl Example1Table {
             let _ = writeln!(
                 out,
                 "{t:<5}{r:<12}{s:<12}{tt:<12}{v1:<16}{v2:<16}{}",
-                if *ok { "yes" } else { "NO ← mutually inconsistent" }
+                if *ok {
+                    "yes"
+                } else {
+                    "NO ← mutually inconsistent"
+                }
             );
         }
         out
@@ -146,8 +150,10 @@ pub fn example3_trace() -> Vec<TraceStep> {
     let set = |ids: &[u32]| -> BTreeSet<ViewId> { ids.iter().map(|&v| ViewId(v)).collect() };
     let al = |v: u32, u: u64| ActionList::single(ViewId(v), UpdateId(u), "ops");
 
-    let record = |label: &str, spa: &Spa<&'static str>, released: Vec<String>,
-                      steps: &mut Vec<TraceStep>| {
+    let record = |label: &str,
+                  spa: &Spa<&'static str>,
+                  released: Vec<String>,
+                  steps: &mut Vec<TraceStep>| {
         steps.push(TraceStep {
             label: label.to_string(),
             table: spa.vut().render(false),
@@ -157,28 +163,43 @@ pub fn example3_trace() -> Vec<TraceStep> {
 
     type TraceEvent = Box<dyn FnOnce(&mut Spa<&'static str>) -> Vec<String>>;
     let events: Vec<(&str, TraceEvent)> = vec![
-        ("t0: REL1 received (U1 on S → V1,V2)", Box::new({
-            let set = set(&[1, 2]);
-            move |s| names(s.on_rel(UpdateId(1), set).unwrap())
-        })),
-        ("t1: AL2_1 received", Box::new(move |s| names(s.on_action(al(2, 1)).unwrap()))),
-        ("t2: REL2 received (U2 on Q → V3)", Box::new({
-            let set = set(&[3]);
-            move |s| names(s.on_rel(UpdateId(2), set).unwrap())
-        })),
-        ("t3: REL3 received (U3 on T → V2)", Box::new({
-            let set = set(&[2]);
-            move |s| names(s.on_rel(UpdateId(3), set).unwrap())
-        })),
-        ("t4/t5: AL3_2 received → WT2 applied", Box::new(move |s| {
-            names(s.on_action(al(3, 2)).unwrap())
-        })),
-        ("t7: AL2_3 received (held: row 1 red in V2)", Box::new(move |s| {
-            names(s.on_action(al(2, 3)).unwrap())
-        })),
-        ("t8-t11: AL1_1 received → WT1 then WT3 applied", Box::new(move |s| {
-            names(s.on_action(al(1, 1)).unwrap())
-        })),
+        (
+            "t0: REL1 received (U1 on S → V1,V2)",
+            Box::new({
+                let set = set(&[1, 2]);
+                move |s| names(s.on_rel(UpdateId(1), set).unwrap())
+            }),
+        ),
+        (
+            "t1: AL2_1 received",
+            Box::new(move |s| names(s.on_action(al(2, 1)).unwrap())),
+        ),
+        (
+            "t2: REL2 received (U2 on Q → V3)",
+            Box::new({
+                let set = set(&[3]);
+                move |s| names(s.on_rel(UpdateId(2), set).unwrap())
+            }),
+        ),
+        (
+            "t3: REL3 received (U3 on T → V2)",
+            Box::new({
+                let set = set(&[2]);
+                move |s| names(s.on_rel(UpdateId(3), set).unwrap())
+            }),
+        ),
+        (
+            "t4/t5: AL3_2 received → WT2 applied",
+            Box::new(move |s| names(s.on_action(al(3, 2)).unwrap())),
+        ),
+        (
+            "t7: AL2_3 received (held: row 1 red in V2)",
+            Box::new(move |s| names(s.on_action(al(2, 3)).unwrap())),
+        ),
+        (
+            "t8-t11: AL1_1 received → WT1 then WT3 applied",
+            Box::new(move |s| names(s.on_action(al(1, 1)).unwrap())),
+        ),
     ];
     for (label, ev) in events {
         let released = ev(&mut spa);
@@ -197,14 +218,14 @@ pub fn example5_trace() -> Vec<TraceStep> {
     let mut steps = Vec::new();
     let set = |ids: &[u32]| -> BTreeSet<ViewId> { ids.iter().map(|&v| ViewId(v)).collect() };
 
-    let push = |label: &str, pa: &Pa<&'static str>, released: Vec<String>,
-                    steps: &mut Vec<TraceStep>| {
-        steps.push(TraceStep {
-            label: label.to_string(),
-            table: pa.vut().render(true),
-            released,
-        });
-    };
+    let push =
+        |label: &str, pa: &Pa<&'static str>, released: Vec<String>, steps: &mut Vec<TraceStep>| {
+            steps.push(TraceStep {
+                label: label.to_string(),
+                table: pa.vut().render(true),
+                released,
+            });
+        };
 
     let r1 = names(pa.on_rel(UpdateId(1), set(&[1, 2])).unwrap());
     push("t0a: REL1 (U1 on S → V1,V2)", &pa, r1, &mut steps);
@@ -213,19 +234,46 @@ pub fn example5_trace() -> Vec<TraceStep> {
     let r3 = names(pa.on_rel(UpdateId(3), set(&[2, 3])).unwrap());
     push("t0c: REL3 (U3 on Q → V2,V3)", &pa, r3, &mut steps);
 
-    let r = names(pa.on_action(ActionList::single(ViewId(2), UpdateId(1), "ops")).unwrap());
-    push("t1: AL2_1", &pa, r, &mut steps);
     let r = names(
-        pa.on_action(ActionList::batch(ViewId(2), UpdateId(2), UpdateId(3), "ops"))
+        pa.on_action(ActionList::single(ViewId(2), UpdateId(1), "ops"))
             .unwrap(),
     );
+    push("t1: AL2_1", &pa, r, &mut steps);
+    let r = names(
+        pa.on_action(ActionList::batch(
+            ViewId(2),
+            UpdateId(2),
+            UpdateId(3),
+            "ops",
+        ))
+        .unwrap(),
+    );
     push("t2: AL2_3 (batch U2..U3)", &pa, r, &mut steps);
-    let r = names(pa.on_action(ActionList::single(ViewId(3), UpdateId(2), "ops")).unwrap());
+    let r = names(
+        pa.on_action(ActionList::single(ViewId(3), UpdateId(2), "ops"))
+            .unwrap(),
+    );
     push("t3: AL3_2", &pa, r, &mut steps);
-    let r = names(pa.on_action(ActionList::single(ViewId(1), UpdateId(1), "ops")).unwrap());
-    push("t4/t5: AL1_1 → WT1 applied, row 1 purged", &pa, r, &mut steps);
-    let r = names(pa.on_action(ActionList::single(ViewId(3), UpdateId(3), "ops")).unwrap());
-    push("t6/t7: AL3_3 → rows 2,3 applied together", &pa, r, &mut steps);
+    let r = names(
+        pa.on_action(ActionList::single(ViewId(1), UpdateId(1), "ops"))
+            .unwrap(),
+    );
+    push(
+        "t4/t5: AL1_1 → WT1 applied, row 1 purged",
+        &pa,
+        r,
+        &mut steps,
+    );
+    let r = names(
+        pa.on_action(ActionList::single(ViewId(3), UpdateId(3), "ops"))
+            .unwrap(),
+    );
+    push(
+        "t6/t7: AL3_3 → rows 2,3 applied together",
+        &pa,
+        r,
+        &mut steps,
+    );
     assert!(pa.is_quiescent(), "example 5 ends quiescent");
     steps
 }
@@ -390,7 +438,11 @@ mod tests {
         let steps = example3_trace();
         // t4/t5: WT2 (row 2, V3) released before row 1 — index 4.
         assert_eq!(steps[4].released.len(), 1);
-        assert!(steps[4].released[0].contains("rows[U2]"), "{:?}", steps[4].released);
+        assert!(
+            steps[4].released[0].contains("rows[U2]"),
+            "{:?}",
+            steps[4].released
+        );
         // t7: AL2_3 held.
         assert!(steps[5].released.is_empty());
         // t8-t11: WT1 then WT3.

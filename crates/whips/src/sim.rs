@@ -17,6 +17,7 @@
 
 use crate::integrator::Integrator;
 use crate::metrics::SimMetrics;
+use crate::obs::PipelineObs;
 use crate::registry::{ManagerKind, ViewRegistry};
 use mvc_core::{
     CommitPolicy, CommitStats, ConsistencyLevel, MergeAlgorithm, MergeError, MergeProcess,
@@ -109,6 +110,14 @@ pub enum SimError {
     Eval(EvalError),
     /// The drain phase failed to reach quiescence (component bug).
     NonQuiescent(String),
+    /// Threaded runtime: the drain deadline passed with work still in
+    /// flight. Carries the in-flight message counter and the backlog of
+    /// every channel at the deadline so the stuck stage is identifiable
+    /// from the error alone.
+    DrainTimeout {
+        in_flight: i64,
+        queue_depths: Vec<(String, usize)>,
+    },
     StepLimit(u64),
 }
 
@@ -121,6 +130,17 @@ impl fmt::Display for SimError {
             SimError::Warehouse(e) => write!(f, "warehouse error: {e}"),
             SimError::Eval(e) => write!(f, "evaluation error: {e}"),
             SimError::NonQuiescent(why) => write!(f, "drain did not quiesce: {why}"),
+            SimError::DrainTimeout {
+                in_flight,
+                queue_depths,
+            } => {
+                write!(f, "drain timed out with {in_flight} message(s) in flight;")?;
+                write!(f, " queue depths:")?;
+                for (chan, depth) in queue_depths {
+                    write!(f, " {chan}={depth}")?;
+                }
+                Ok(())
+            }
             SimError::StepLimit(n) => write!(f, "step limit {n} exceeded"),
         }
     }
@@ -204,6 +224,22 @@ enum Chan {
     VmToQs(ViewId),
     MpToWh(usize),
     WhToMp(usize),
+}
+
+impl Chan {
+    /// Channel class for the queue-depth gauges (instances of one arrow
+    /// kind share a gauge).
+    fn class(self) -> &'static str {
+        match self {
+            Chan::SrcToInt => "src_to_int",
+            Chan::IntToVm(_) => "int_to_vm",
+            Chan::IntToMp(_) => "int_to_mp",
+            Chan::VmToMp(_) => "vm_to_mp",
+            Chan::VmToQs(_) => "vm_to_qs",
+            Chan::MpToWh(_) => "mp_to_wh",
+            Chan::WhToMp(_) => "wh_to_mp",
+        }
+    }
 }
 
 /// A dynamically-installed view (§1.2).
@@ -329,6 +365,9 @@ pub struct SimReport {
     /// Commit log aligned 1:1 with `warehouse.history()`: which merge
     /// group committed and which group-local rows the transaction covered.
     pub commit_log: Vec<CommitLogEntry>,
+    /// Per-stage latency histograms + queue-depth gauges (virtual steps
+    /// from the simulator, nanoseconds from the threaded runtime).
+    pub pipeline: PipelineObs,
     /// Global seqs of updates the integrator routed to at least one group
     /// (the complement — dropped updates — are provably irrelevant to
     /// every view by the ref \[7\] test).
@@ -356,7 +395,9 @@ struct Sim {
     vms: BTreeMap<ViewId, Box<dyn ViewManager>>,
     mps: Vec<MergeProcess<Delta>>,
     warehouse: Warehouse,
-    channels: BTreeMap<Chan, VecDeque<Msg>>,
+    /// Per channel: FIFO of (send step, message) — the send step drives
+    /// the queue-wait histograms.
+    channels: BTreeMap<Chan, VecDeque<(u64, Msg)>>,
     workload: VecDeque<DriverAction>,
     /// Pending install specs by view id (payload for `Msg::InstallView`).
     install_specs: BTreeMap<ViewId, InstallSpec>,
@@ -370,6 +411,15 @@ struct Sim {
     /// Chaos: (group, txn) buffered for reversed commit.
     reorder_buf: Vec<(usize, StoreTxn)>,
     metrics: SimMetrics,
+    /// Per-stage pipeline observability (virtual-step unit).
+    obs: PipelineObs,
+    /// Update arrival step at each VM, keyed (view, update) — drives the
+    /// `vm_compute` stage (arrival → AL emission, including any query
+    /// round-trip the manager needed).
+    vm_pending: BTreeMap<(ViewId, UpdateId), u64>,
+    /// AL arrival step at each merge process, keyed (group, view,
+    /// `AL.last`) — drives the `merge_hold` stage.
+    al_recv: BTreeMap<(usize, ViewId, UpdateId), u64>,
     /// Per group: local id → (global seq, inject step).
     group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>>,
     inject_steps: BTreeMap<GlobalSeq, u64>,
@@ -407,11 +457,9 @@ impl Sim {
                 .filter(|(v, _)| views.contains(v))
                 .collect();
             let mp = match b.config.algorithm {
-                Some(alg) => MergeProcess::new(
-                    alg,
-                    levels.iter().map(|(v, _)| *v),
-                    b.config.commit_policy,
-                ),
+                Some(alg) => {
+                    MergeProcess::new(alg, levels.iter().map(|(v, _)| *v), b.config.commit_policy)
+                }
                 None => MergeProcess::for_managers(levels, b.config.commit_policy),
             };
             guarantees.push(mp.guarantees());
@@ -472,6 +520,9 @@ impl Sim {
             workload: driver,
             reorder_buf: Vec::new(),
             metrics: SimMetrics::default(),
+            obs: PipelineObs::new("steps"),
+            vm_pending: BTreeMap::new(),
+            al_recv: BTreeMap::new(),
             group_updates: vec![BTreeMap::new(); groups],
             inject_steps: BTreeMap::new(),
             uncovered: vec![BTreeMap::new(); groups],
@@ -490,7 +541,9 @@ impl Sim {
     }
 
     fn send(&mut self, chan: Chan, msg: Msg) {
-        self.channels.entry(chan).or_default().push_back(msg);
+        let q = self.channels.entry(chan).or_default();
+        q.push_back((self.metrics.steps, msg));
+        self.obs.note_depth(chan.class(), q.len() as u64);
     }
 
     fn quiescent(&self) -> bool {
@@ -643,6 +696,7 @@ impl Sim {
             guarantees: self.guarantees,
             group_views: self.group_views,
             commit_log: self.commit_log,
+            pipeline: self.obs,
             routed: self.routed,
             activations: self.activations,
         })
@@ -674,12 +728,20 @@ impl Sim {
 
     /// Deliver the head message of a channel.
     fn deliver(&mut self, chan: Chan) -> Result<(), SimError> {
-        let msg = self
+        let (sent, msg) = self
             .channels
             .get_mut(&chan)
             .and_then(VecDeque::pop_front)
             .expect("chosen channel nonempty");
         self.metrics.messages_delivered += 1;
+        let wait = self.metrics.steps.saturating_sub(sent);
+        match chan {
+            Chan::SrcToInt => self.obs.src_to_int_wait.record(wait),
+            // Fan-out arrows from the integrator: routing latency in
+            // virtual time is the queue wait until the recipient runs.
+            Chan::IntToVm(_) | Chan::IntToMp(_) => self.obs.int_routing.record(wait),
+            _ => {}
+        }
         match (chan, msg) {
             (Chan::SrcToInt, Msg::SrcUpdate(u)) => {
                 let seq = u.seq;
@@ -697,13 +759,17 @@ impl Sim {
                 for r in routings {
                     self.group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
                     self.uncovered[r.group].insert(r.numbered.id, ());
-                    self.send(Chan::IntToMp(r.group), Msg::Rel(r.numbered.id, r.rel.clone()));
+                    self.send(
+                        Chan::IntToMp(r.group),
+                        Msg::Rel(r.numbered.id, r.rel.clone()),
+                    );
                     for v in r.rel {
                         self.send(Chan::IntToVm(v), Msg::Update(r.numbered.clone()));
                     }
                 }
             }
             (Chan::IntToVm(v), Msg::Update(u)) => {
+                self.vm_pending.insert((v, u.id), self.metrics.steps);
                 let outs = self
                     .vms
                     .get_mut(&v)
@@ -748,6 +814,8 @@ impl Sim {
             }
             (Chan::IntToMp(g), Msg::Action(al)) => {
                 // install AL for a freshly added view (§1.2)
+                self.al_recv
+                    .insert((g, al.view, al.last), self.metrics.steps);
                 let released = self.mps[g].on_action(al)?;
                 self.sample_vut(g);
                 self.record_releases(g, released);
@@ -758,11 +826,9 @@ impl Sim {
                 self.record_releases(g, released);
             }
             (Chan::VmToMp(v), Msg::Action(al)) => {
-                let g = self
-                    .integrator
-                    .partitioning()
-                    .group_of_view(v)
-                    .unwrap_or(0);
+                let g = self.integrator.partitioning().group_of_view(v).unwrap_or(0);
+                self.al_recv
+                    .insert((g, al.view, al.last), self.metrics.steps);
                 let released = self.mps[g].on_action(al)?;
                 self.sample_vut(g);
                 self.record_releases(g, released);
@@ -782,7 +848,25 @@ impl Sim {
     fn route_vm_outputs(&mut self, v: ViewId, outs: Vec<VmOutput>) {
         for o in outs {
             match o {
-                VmOutput::Action(al) => self.send(Chan::VmToMp(v), Msg::Action(al)),
+                VmOutput::Action(al) => {
+                    // vm_compute: earliest covered update's arrival at the
+                    // VM → this AL's emission (batched ALs span a range).
+                    let covered: Vec<(ViewId, UpdateId)> = self
+                        .vm_pending
+                        .range((v, al.first)..=(v, al.last))
+                        .map(|(&k, _)| k)
+                        .collect();
+                    let earliest = covered
+                        .iter()
+                        .filter_map(|k| self.vm_pending.remove(k))
+                        .min();
+                    if let Some(arrived) = earliest {
+                        self.obs
+                            .vm_compute
+                            .record(self.metrics.steps.saturating_sub(arrived));
+                    }
+                    self.send(Chan::VmToMp(v), Msg::Action(al));
+                }
                 VmOutput::Query { token, request } => {
                     self.send(Chan::VmToQs(v), Msg::Query(token, request))
                 }
@@ -792,15 +876,22 @@ impl Sim {
 
     fn record_releases(&mut self, g: usize, released: Vec<StoreTxn>) {
         for t in released {
+            for a in &t.actions {
+                if let Some(rcv) = self.al_recv.remove(&(g, a.view, a.last)) {
+                    self.obs
+                        .merge_hold
+                        .record(self.metrics.steps.saturating_sub(rcv));
+                }
+            }
             self.release_steps[g].insert(t.seq, self.metrics.steps);
             self.send(Chan::MpToWh(g), Msg::Txn(t));
         }
     }
 
     fn sample_vut(&mut self, g: usize) {
-        self.metrics
-            .vut_occupancy
-            .record(self.mps[g].live_rows() as u64);
+        let rows = self.mps[g].live_rows() as u64;
+        self.metrics.vut_occupancy.record(rows);
+        self.obs.vut_occupancy.record(rows);
     }
 
     fn commit_or_buffer(&mut self, g: usize, txn: StoreTxn) -> Result<(), SimError> {
@@ -866,10 +957,7 @@ impl Sim {
         // initial load behind all earlier updates (their action lists
         // precede the pseudo-ALs on each manager's FIFO).
         self.send(Chan::IntToMp(g), Msg::AddView(spec.id));
-        self.send(
-            Chan::IntToMp(g),
-            Msg::Rel(c, self.group_views[g].clone()),
-        );
+        self.send(Chan::IntToMp(g), Msg::Rel(c, self.group_views[g].clone()));
         let pseudo = mvc_viewmgr::NumberedUpdate {
             id: c,
             update: SourceUpdate {
@@ -939,9 +1027,9 @@ impl Sim {
             }
         }
         if let Some(&rel_step) = self.release_steps[g].get(&seq) {
-            self.metrics
-                .commit_delay_steps
-                .record(self.metrics.steps.saturating_sub(rel_step));
+            let delay = self.metrics.steps.saturating_sub(rel_step);
+            self.metrics.commit_delay_steps.record(delay);
+            self.obs.commit_apply.record(delay);
         }
         self.send(Chan::WhToMp(g), Msg::Committed(seq));
         Ok(())
@@ -1005,9 +1093,11 @@ mod tests {
             };
             let mut b = builder(config);
             let (d1, d2) = (v1(&b), v2(&b));
-            b = b
-                .view(ViewId(1), d1, ManagerKind::Complete)
-                .view(ViewId(2), d2, ManagerKind::Complete);
+            b = b.view(ViewId(1), d1, ManagerKind::Complete).view(
+                ViewId(2),
+                d2,
+                ManagerKind::Complete,
+            );
             let report = example1_workload(b).run().unwrap();
             assert_eq!(report.guarantees[0], ConsistencyLevel::Complete);
             // Final contents correct.
@@ -1086,10 +1176,21 @@ mod tests {
             let mut b = builder(config);
             let (d1, d2) = (v1(&b), v2(&b));
             b = b
-                .view(ViewId(1), d1, ManagerKind::Convergent { correction_every: 3 })
-                .view(ViewId(2), d2, ManagerKind::Convergent { correction_every: 3 });
-            b = example1_workload(b)
-                .txn(SourceId(0), vec![WriteOp::insert("R", tuple![9, 2])]);
+                .view(
+                    ViewId(1),
+                    d1,
+                    ManagerKind::Convergent {
+                        correction_every: 3,
+                    },
+                )
+                .view(
+                    ViewId(2),
+                    d2,
+                    ManagerKind::Convergent {
+                        correction_every: 3,
+                    },
+                );
+            b = example1_workload(b).txn(SourceId(0), vec![WriteOp::insert("R", tuple![9, 2])]);
             let report = b.run().unwrap();
             assert_eq!(report.guarantees[0], ConsistencyLevel::Convergent);
             crate::oracle::Oracle::new(&report).unwrap().assert_ok();
@@ -1110,8 +1211,7 @@ mod tests {
                 .view(ViewId(1), d1, ManagerKind::Complete)
                 .view(ViewId(2), d2, ManagerKind::Complete)
                 .view(ViewId(3), d3, ManagerKind::Complete);
-            b = example1_workload(b)
-                .txn(SourceId(3), vec![WriteOp::insert("Q", tuple![5, 5])]);
+            b = example1_workload(b).txn(SourceId(3), vec![WriteOp::insert("Q", tuple![5, 5])]);
             let report = b.run().unwrap();
             assert_eq!(report.group_views.len(), 2, "{{V1,V2}} | {{V3}}");
             crate::oracle::Oracle::new(&report).unwrap().assert_ok();
@@ -1187,9 +1287,11 @@ mod tests {
             let mut b = builder(config);
             let dr = ViewDef::builder("VR").from("R").build(b.catalog()).unwrap();
             let dq = ViewDef::builder("VQ").from("Q").build(b.catalog()).unwrap();
-            b = b
-                .view(ViewId(1), dr, ManagerKind::Complete)
-                .view(ViewId(2), dq, ManagerKind::Complete);
+            b = b.view(ViewId(1), dr, ManagerKind::Complete).view(
+                ViewId(2),
+                dq,
+                ManagerKind::Complete,
+            );
             b = b.global_txn(
                 SourceId(0),
                 vec![

@@ -20,6 +20,7 @@
 
 use crate::integrator::Integrator;
 use crate::metrics::SimMetrics;
+use crate::obs::PipelineObs;
 use crate::registry::{ManagerKind, ViewRegistry};
 use crate::sim::{CommitLogEntry, SimError, SimReport};
 use mvc_core::{
@@ -95,14 +96,14 @@ pub struct WallClock {
 }
 
 enum VmMsg {
-    Update(mvc_viewmgr::NumberedUpdate),
+    Update(mvc_viewmgr::NumberedUpdate, Instant),
     Answer(QueryToken, QueryAnswer),
     Flush,
     Stop,
 }
 
 enum MpMsg {
-    Rel(UpdateId, BTreeSet<ViewId>),
+    Rel(UpdateId, BTreeSet<ViewId>, Instant),
     Action(ActionListDelta),
     Committed(TxnSeq),
     Flush,
@@ -110,7 +111,7 @@ enum MpMsg {
 }
 
 enum IntMsg {
-    Update(mvc_source::SourceUpdate),
+    Update(mvc_source::SourceUpdate, Instant),
     AnswerFor(ViewId, QueryToken, QueryAnswer),
     Stop,
 }
@@ -121,7 +122,7 @@ enum QsMsg {
 }
 
 enum WhMsg {
-    Txn(usize, StoreTxn),
+    Txn(usize, StoreTxn, Instant),
     Stop,
 }
 
@@ -141,6 +142,9 @@ impl Flight {
     }
     fn zero(&self) -> bool {
         self.0.load(Ordering::SeqCst) == 0
+    }
+    fn count(&self) -> i64 {
+        self.0.load(Ordering::SeqCst)
     }
 }
 
@@ -221,6 +225,11 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     let warehouse = Arc::new(Mutex::new(warehouse));
     let commit_log: Arc<Mutex<Vec<CommitLogEntry>>> = Arc::new(Mutex::new(Vec::new()));
 
+    // Per-thread observability: every thread records latencies into its
+    // own PipelineObs (no lock on the hot path) and pushes it here on
+    // exit; the driver merges the shards into SimReport.pipeline.
+    let obs_parts: Arc<Mutex<Vec<PipelineObs>>> = Arc::new(Mutex::new(Vec::new()));
+
     // Channels.
     let (int_tx, int_rx) = crossbeam::channel::unbounded::<IntMsg>();
     let (qs_tx, qs_rx) = crossbeam::channel::unbounded::<QsMsg>();
@@ -252,30 +261,43 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let qs_tx = qs_tx.clone();
         let flight = flight.clone();
         let id = e.id;
+        let obs_parts = obs_parts.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
+            let mut obs = PipelineObs::new("ns");
             while let Ok(msg) = rx.recv() {
                 let event = match msg {
-                    VmMsg::Update(u) => VmEvent::Update(u),
-                    VmMsg::Answer(t, a) => VmEvent::Answer { token: t, answer: a },
+                    VmMsg::Update(u, sent) => {
+                        obs.int_routing.record(sent.elapsed().as_nanos() as u64);
+                        VmEvent::Update(u)
+                    }
+                    VmMsg::Answer(t, a) => VmEvent::Answer {
+                        token: t,
+                        answer: a,
+                    },
                     VmMsg::Flush => VmEvent::Flush,
                     VmMsg::Stop => break,
                 };
+                let t0 = Instant::now();
                 let outs = vm.handle(event).map_err(|e| e.to_string())?;
+                obs.vm_compute.record(t0.elapsed().as_nanos() as u64);
                 for o in outs {
                     match o {
                         VmOutput::Action(al) => {
                             flight.up();
                             let _ = mp_tx.send(MpMsg::Action(al));
+                            obs.note_depth("vm_to_mp", mp_tx.len() as u64);
                         }
                         VmOutput::Query { token, request } => {
                             flight.up();
                             let _ = qs_tx.send(QsMsg::Query(id, token, Box::new(request)));
+                            obs.note_depth("vm_to_qs", qs_tx.len() as u64);
                         }
                     }
                 }
                 idle.store(vm.is_idle(), Ordering::SeqCst);
                 flight.down();
             }
+            obs_parts.lock().push(obs);
             Ok(())
         }));
     }
@@ -293,9 +315,11 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             .filter(|(v, _)| group_views[g].contains(v))
             .collect();
         let mut mp = match config.algorithm {
-            Some(alg) => {
-                MergeProcess::<Delta>::new(alg, levels.iter().map(|(v, _)| *v), config.commit_policy)
-            }
+            Some(alg) => MergeProcess::<Delta>::new(
+                alg,
+                levels.iter().map(|(v, _)| *v),
+                config.commit_policy,
+            ),
             None => MergeProcess::for_managers(levels, config.commit_policy),
         };
         guarantees.push(mp.guarantees());
@@ -305,24 +329,43 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let flight = flight.clone();
         let merge_stats = merge_stats.clone();
         let commit_stats = commit_stats.clone();
+        let obs_parts = obs_parts.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
+            let mut obs = PipelineObs::new("ns");
+            // AL arrival times, keyed like the simulator's merge-hold map:
+            // (view, last covered update) identifies the list inside a WT.
+            let mut al_recv: BTreeMap<(ViewId, UpdateId), Instant> = BTreeMap::new();
             while let Ok(msg) = rx.recv() {
                 let released = match msg {
-                    MpMsg::Rel(i, rel) => mp.on_rel(i, rel).map_err(|e| e.to_string())?,
-                    MpMsg::Action(al) => mp.on_action(al).map_err(|e| e.to_string())?,
+                    MpMsg::Rel(i, rel, sent) => {
+                        obs.int_routing.record(sent.elapsed().as_nanos() as u64);
+                        mp.on_rel(i, rel).map_err(|e| e.to_string())?
+                    }
+                    MpMsg::Action(al) => {
+                        al_recv.insert((al.view, al.last), Instant::now());
+                        mp.on_action(al).map_err(|e| e.to_string())?
+                    }
                     MpMsg::Committed(seq) => mp.on_committed(seq),
                     MpMsg::Flush => mp.flush(),
                     MpMsg::Stop => break,
                 };
                 for t in released {
+                    for a in &t.actions {
+                        if let Some(arrived) = al_recv.remove(&(a.view, a.last)) {
+                            obs.merge_hold.record(arrived.elapsed().as_nanos() as u64);
+                        }
+                    }
                     flight.up();
-                    let _ = wh_tx.send(WhMsg::Txn(g, t));
+                    let _ = wh_tx.send(WhMsg::Txn(g, t, Instant::now()));
+                    obs.note_depth("mp_to_wh", wh_tx.len() as u64);
                 }
+                obs.vut_occupancy.record(mp.live_rows() as u64);
                 quiescent.store(mp.is_quiescent(), Ordering::SeqCst);
                 merge_stats.lock()[g] = mp.stats();
                 commit_stats.lock()[g] = mp.commit_stats();
                 flight.down();
             }
+            obs_parts.lock().push(obs);
             Ok(())
         }));
     }
@@ -371,7 +414,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                 }
             }
             for w in workers {
-                w.join().map_err(|_| "query worker panicked".to_string())??;
+                w.join()
+                    .map_err(|_| "query worker panicked".to_string())??;
             }
             Ok(())
         }));
@@ -384,6 +428,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let mp_txs = mp_txs.clone();
         let flight = flight.clone();
         let delay = config.commit_delay;
+        let obs_parts = obs_parts.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
             // Commits run concurrently when a latency is configured (a
             // real DBMS overlaps independent transactions); ordering of
@@ -392,14 +437,15 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             // dependent transactions in flight under the ordered
             // policies, so concurrent workers are safe.
             let mut workers = Vec::new();
+            let mut local_obs = PipelineObs::new("ns");
             while let Ok(msg) = wh_rx.recv() {
                 match msg {
-                    WhMsg::Txn(g, txn) => {
+                    WhMsg::Txn(g, txn, released) => {
                         let warehouse = warehouse.clone();
                         let commit_log = commit_log.clone();
                         let mp_tx = mp_txs[g].clone();
                         let flight = flight.clone();
-                        let commit = move || -> Result<(), String> {
+                        let commit = move |obs: &mut PipelineObs| -> Result<(), String> {
                             if !delay.is_zero() {
                                 std::thread::sleep(delay);
                             }
@@ -413,23 +459,37 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                     views: txn.views.clone(),
                                 });
                             }
+                            // WT released by the merge process -> applied
+                            // at the warehouse (same span the simulator
+                            // measures in steps).
+                            obs.commit_apply
+                                .record(released.elapsed().as_nanos() as u64);
                             flight.up();
                             let _ = mp_tx.send(MpMsg::Committed(txn.seq));
+                            obs.note_depth("wh_to_mp", mp_tx.len() as u64);
                             flight.down();
                             Ok(())
                         };
                         if delay.is_zero() {
-                            commit()?;
+                            commit(&mut local_obs)?;
                         } else {
-                            workers.push(std::thread::spawn(commit));
+                            let obs_parts = obs_parts.clone();
+                            workers.push(std::thread::spawn(move || {
+                                let mut obs = PipelineObs::new("ns");
+                                let res = commit(&mut obs);
+                                obs_parts.lock().push(obs);
+                                res
+                            }));
                         }
                     }
                     WhMsg::Stop => break,
                 }
             }
             for w in workers {
-                w.join().map_err(|_| "commit worker panicked".to_string())??;
+                w.join()
+                    .map_err(|_| "commit worker panicked".to_string())??;
             }
+            obs_parts.lock().push(local_obs);
             Ok(())
         }));
     }
@@ -444,27 +504,38 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     {
         let registry = b.registry.clone();
         let partitioning = registry.partitioning(config.partition);
-        let mut integrator = Integrator::new(registry.clone(), partitioning, config.tuple_relevance);
+        let mut integrator =
+            Integrator::new(registry.clone(), partitioning, config.tuple_relevance);
         let vm_txs = vm_txs.clone();
         let mp_txs = mp_txs.clone();
         let flight = flight.clone();
         let routing_state = routing_state.clone();
+        let obs_parts = obs_parts.clone();
         let ngroups = groups;
         handles.push(std::thread::spawn(move || -> Result<(), String> {
+            let mut obs = PipelineObs::new("ns");
             let mut group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>> =
                 vec![BTreeMap::new(); ngroups];
             let mut routed: BTreeSet<GlobalSeq> = BTreeSet::new();
             while let Ok(msg) = int_rx.recv() {
                 match msg {
-                    IntMsg::Update(u) => {
+                    IntMsg::Update(u, sent) => {
+                        obs.src_to_int_wait.record(sent.elapsed().as_nanos() as u64);
                         for r in integrator.route(u) {
                             routed.insert(r.numbered.seq());
                             group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
                             flight.up();
-                            let _ = mp_txs[r.group].send(MpMsg::Rel(r.numbered.id, r.rel.clone()));
+                            let _ = mp_txs[r.group].send(MpMsg::Rel(
+                                r.numbered.id,
+                                r.rel.clone(),
+                                Instant::now(),
+                            ));
+                            obs.note_depth("int_to_mp", mp_txs[r.group].len() as u64);
                             for v in &r.rel {
                                 flight.up();
-                                let _ = vm_txs[v].send(VmMsg::Update(r.numbered.clone()));
+                                let _ = vm_txs[v]
+                                    .send(VmMsg::Update(r.numbered.clone(), Instant::now()));
+                                obs.note_depth("int_to_vm", vm_txs[v].len() as u64);
                             }
                         }
                         flight.down();
@@ -477,6 +548,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                     IntMsg::Stop => break,
                 }
             }
+            obs_parts.lock().push(obs);
             *routing_state.lock() = Some((group_updates, routed, registry));
             Ok(())
         }));
@@ -507,16 +579,27 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     // --- Driver (this thread) ---
     let started = Instant::now();
     let injected = b.workload.len() as u64;
+    let mut driver_obs = PipelineObs::new("ns");
+    let queue_depths = |vm_txs: &BTreeMap<ViewId, crossbeam::channel::Sender<VmMsg>>,
+                        mp_txs: &[crossbeam::channel::Sender<MpMsg>]|
+     -> Vec<(String, usize)> {
+        let mut d = vec![
+            ("src_to_int".to_string(), int_tx.len()),
+            ("vm_to_qs".to_string(), qs_tx.len()),
+            ("mp_to_wh".to_string(), wh_tx.len()),
+        ];
+        for (v, tx) in vm_txs {
+            d.push((format!("vm:{v}"), tx.len()));
+        }
+        for (g, tx) in mp_txs.iter().enumerate() {
+            d.push((format!("mp:{g}"), tx.len()));
+        }
+        d
+    };
     let quiescent_now = |flight: &Flight| -> bool {
         flight.zero()
-            && vm_idle
-                .lock()
-                .values()
-                .all(|f| f.load(Ordering::SeqCst))
-            && mp_quiescent
-                .lock()
-                .iter()
-                .all(|f| f.load(Ordering::SeqCst))
+            && vm_idle.lock().values().all(|f| f.load(Ordering::SeqCst))
+            && mp_quiescent.lock().iter().all(|f| f.load(Ordering::SeqCst))
     };
     for t in b.workload {
         if config.sequential {
@@ -527,9 +610,10 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                     break;
                 }
                 if Instant::now() > deadline {
-                    return Err(SimError::NonQuiescent(
-                        "sequential wait timed out".into(),
-                    ));
+                    return Err(SimError::DrainTimeout {
+                        in_flight: flight.count(),
+                        queue_depths: queue_depths(&vm_txs, &mp_txs),
+                    });
                 }
                 std::thread::yield_now();
             }
@@ -545,7 +629,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             // send under the lock so answers computed later cannot
             // overtake this update in the integrator queue
             flight.up();
-            let _ = int_tx.send(IntMsg::Update(res.clone()));
+            let _ = int_tx.send(IntMsg::Update(res.clone(), Instant::now()));
+            driver_obs.note_depth("src_to_int", int_tx.len() as u64);
             res
         };
         let _ = update;
@@ -586,7 +671,10 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             }
         }
         if Instant::now() > deadline {
-            return Err(SimError::NonQuiescent("threaded drain timed out".into()));
+            return Err(SimError::DrainTimeout {
+                in_flight: flight.count(),
+                queue_depths: queue_depths(&vm_txs, &mp_txs),
+            });
         }
         std::thread::sleep(Duration::from_micros(200));
     }
@@ -644,6 +732,13 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     let partitioning = registry.partitioning(config.partition);
     let final_merge_stats = merge_stats.lock().clone();
     let final_commit_stats = commit_stats.lock().clone();
+
+    // Merge per-thread observability shards into one pipeline view.
+    let mut pipeline = driver_obs;
+    for part in obs_parts.lock().drain(..) {
+        pipeline.merge(&part);
+    }
+
     Ok((
         SimReport {
             cluster,
@@ -659,6 +754,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             commit_log,
             routed,
             activations: BTreeMap::new(),
+            pipeline,
         },
         WallClock {
             elapsed,
@@ -713,6 +809,93 @@ mod tests {
         assert_eq!(report.metrics.injected, 20);
         assert!(wall.elapsed > Duration::ZERO);
         Oracle::new(&report).unwrap().assert_ok();
+        // Tentpole: every pipeline stage must have been observed, in ns.
+        let p = &report.pipeline;
+        assert_eq!(p.unit, "ns");
+        assert!(p.src_to_int_wait.count() > 0, "src->int waits recorded");
+        assert!(p.int_routing.count() > 0, "routing waits recorded");
+        assert!(p.vm_compute.count() > 0, "VM compute times recorded");
+        assert!(p.merge_hold.count() > 0, "merge hold times recorded");
+        assert!(p.commit_apply.count() > 0, "commit latencies recorded");
+        assert!(p.vut_occupancy.count() > 0, "VUT occupancy sampled");
+        assert!(p.queue_depth.contains_key("src_to_int"));
+        assert!(p.queue_depth.contains_key("mp_to_wh"));
+    }
+
+    #[test]
+    fn threaded_drain_timeout_reports_in_flight_and_depths() {
+        // A 2s commit latency against a 150ms drain budget guarantees the
+        // deadline passes with the released WT still uncommitted.
+        let config = ThreadedConfig {
+            commit_delay: Duration::from_secs(2),
+            drain_timeout: Duration::from_millis(150),
+            ..ThreadedConfig::default()
+        };
+        let mut b =
+            ThreadedBuilder::new(config).relation(SourceId(0), "R", Schema::ints(&["a", "b"]));
+        let v = ViewDef::builder("V").from("R").build(b.catalog()).unwrap();
+        b = b.view(ViewId(1), v, ManagerKind::Complete);
+        let txns = vec![crate::sim::WorkloadTxn {
+            source: SourceId(0),
+            writes: vec![WriteOp::insert("R", tuple![1, 1])],
+            global: false,
+        }];
+        let err = match b.workload(txns).run() {
+            Ok(_) => panic!("run should have timed out during drain"),
+            Err(e) => e,
+        };
+        match err {
+            SimError::DrainTimeout {
+                in_flight,
+                queue_depths,
+            } => {
+                assert!(in_flight > 0, "commit still in flight: {in_flight}");
+                assert!(
+                    queue_depths.iter().any(|(c, _)| c == "src_to_int"),
+                    "per-channel depths present: {queue_depths:?}"
+                );
+                assert!(queue_depths.iter().any(|(c, _)| c.starts_with("vm:")));
+                assert!(queue_depths.iter().any(|(c, _)| c.starts_with("mp:")));
+            }
+            other => panic!("expected DrainTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn threaded_partitioned_matches_unpartitioned() {
+        // §6.1: merge partitioning must not change warehouse contents —
+        // only which merge process holds which view. Run the identical
+        // workload through both configurations and compare final states.
+        let spec = WorkloadSpec {
+            seed: 11,
+            relations: 4,
+            updates: 60,
+            delete_percent: 20,
+            ..WorkloadSpec::default()
+        };
+        let run = |partition: bool| {
+            let config = ThreadedConfig {
+                partition,
+                record_snapshots: true,
+                ..ThreadedConfig::default()
+            };
+            let w = generate(&spec);
+            let b = ThreadedBuilder::new(config);
+            let b = install_relations(b, spec.relations);
+            let (b, ids) = install_views(
+                b,
+                crate::workload::ViewSuite::DisjointCopies { count: 3 },
+                ManagerKind::Complete,
+            );
+            let (report, _wall) = b.workload(w.txns).run().unwrap();
+            Oracle::new(&report).unwrap().assert_ok();
+            let contents = report.warehouse.read(&ids);
+            (report.partitioning.group_count(), contents)
+        };
+        let (groups_part, with_partition) = run(true);
+        let (groups_flat, without_partition) = run(false);
+        assert!(groups_part > groups_flat, "partitioning must split groups");
+        assert_eq!(with_partition, without_partition);
     }
 
     #[test]
@@ -747,8 +930,8 @@ mod tests {
             record_snapshots: true,
             ..ThreadedConfig::default()
         };
-        let mut b = ThreadedBuilder::new(config)
-            .relation(SourceId(0), "R", Schema::ints(&["a", "b"]));
+        let mut b =
+            ThreadedBuilder::new(config).relation(SourceId(0), "R", Schema::ints(&["a", "b"]));
         let v = ViewDef::builder("V").from("R").build(b.catalog()).unwrap();
         b = b.view(ViewId(1), v, ManagerKind::Complete);
         let txns = (0..5i64)

@@ -114,39 +114,41 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
     let mut next_tag: i64 = 0;
     let mut txns = Vec::with_capacity(spec.updates);
 
-    let gen_write = |rng: &mut StdRng, live: &mut Vec<Vec<Tuple>>, next_tag: &mut i64, r: usize| -> WriteOp {
-        let deleting = !live[r].is_empty() && rng.gen_range(0..100) < spec.delete_percent as u32;
-        if deleting {
-            let idx = rng.gen_range(0..live[r].len());
-            let t = live[r].swap_remove(idx);
-            WriteOp::delete(rel_name(r), t)
-        } else {
-            let k1 = rng.gen_range(0..spec.key_domain);
-            let k2 = rng.gen_range(0..spec.key_domain);
-            *next_tag += 1;
-            let t = tuple![k1, k2];
-            if live[r].contains(&t) {
-                // regenerate deterministic-uniquely: offset second key by
-                // tag multiples of the domain — still joins? No: keep key
-                // semantics by retrying a few times, else skip to delete.
-                for _ in 0..8 {
-                    let k1 = rng.gen_range(0..spec.key_domain);
-                    let k2 = rng.gen_range(0..spec.key_domain);
-                    let t2 = tuple![k1, k2];
-                    if !live[r].contains(&t2) {
-                        live[r].push(t2.clone());
-                        return WriteOp::insert(rel_name(r), t2);
-                    }
-                }
-                // domain saturated: delete instead
+    let gen_write =
+        |rng: &mut StdRng, live: &mut Vec<Vec<Tuple>>, next_tag: &mut i64, r: usize| -> WriteOp {
+            let deleting =
+                !live[r].is_empty() && rng.gen_range(0..100) < spec.delete_percent as u32;
+            if deleting {
                 let idx = rng.gen_range(0..live[r].len());
                 let t = live[r].swap_remove(idx);
-                return WriteOp::delete(rel_name(r), t);
+                WriteOp::delete(rel_name(r), t)
+            } else {
+                let k1 = rng.gen_range(0..spec.key_domain);
+                let k2 = rng.gen_range(0..spec.key_domain);
+                *next_tag += 1;
+                let t = tuple![k1, k2];
+                if live[r].contains(&t) {
+                    // regenerate deterministic-uniquely: offset second key by
+                    // tag multiples of the domain — still joins? No: keep key
+                    // semantics by retrying a few times, else skip to delete.
+                    for _ in 0..8 {
+                        let k1 = rng.gen_range(0..spec.key_domain);
+                        let k2 = rng.gen_range(0..spec.key_domain);
+                        let t2 = tuple![k1, k2];
+                        if !live[r].contains(&t2) {
+                            live[r].push(t2.clone());
+                            return WriteOp::insert(rel_name(r), t2);
+                        }
+                    }
+                    // domain saturated: delete instead
+                    let idx = rng.gen_range(0..live[r].len());
+                    let t = live[r].swap_remove(idx);
+                    return WriteOp::delete(rel_name(r), t);
+                }
+                live[r].push(t.clone());
+                WriteOp::insert(rel_name(r), t)
             }
-            live[r].push(t.clone());
-            WriteOp::insert(rel_name(r), t)
-        }
-    };
+        };
 
     for _ in 0..spec.updates {
         let r = rng.gen_range(0..spec.relations);

@@ -57,7 +57,11 @@ fn main() {
     run("coordinated (SPA)", None, 7);
     // Uncoordinated: pass-through forwards each view's actions
     // independently — transfers can be observed half-applied.
-    run("uncoordinated (pass-through)", Some(MergeAlgorithm::PassThrough), 7);
+    run(
+        "uncoordinated (pass-through)",
+        Some(MergeAlgorithm::PassThrough),
+        7,
+    );
     println!(
         "The uncoordinated run converges to the right final balances, but\n\
          its intermediate committed states tear transfers apart — exactly\n\

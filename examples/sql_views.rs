@@ -23,11 +23,7 @@ fn main() {
             "orders",
             Schema::ints(&["oid", "cust", "total"]),
         )
-        .relation(
-            SourceId(1),
-            "items",
-            Schema::ints(&["oid", "sku", "qty"]),
-        );
+        .relation(SourceId(1), "items", Schema::ints(&["oid", "sku", "qty"]));
 
     // Three SQL-defined views.
     let big_orders = parse_view(

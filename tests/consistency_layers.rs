@@ -71,9 +71,7 @@ fn view_layer_per_view_complete() {
     let report = run(5, ManagerKind::Complete);
     let oracle = Oracle::new(&report).unwrap();
     for e in report.registry.iter() {
-        let verdict = oracle
-            .check_view(e.id, ConsistencyLevel::Complete)
-            .unwrap();
+        let verdict = oracle.check_view(e.id, ConsistencyLevel::Complete).unwrap();
         assert!(
             verdict.is_satisfied(),
             "view {} not complete: {verdict}",
@@ -94,9 +92,7 @@ fn view_layer_strong_vs_complete_distinguishable() {
         for e in report.registry.iter() {
             let strong = oracle.check_view(e.id, ConsistencyLevel::Strong).unwrap();
             assert!(strong.is_satisfied(), "view {} not strong: {strong}", e.id);
-            let complete = oracle
-                .check_view(e.id, ConsistencyLevel::Complete)
-                .unwrap();
+            let complete = oracle.check_view(e.id, ConsistencyLevel::Complete).unwrap();
             if !complete.is_satisfied() {
                 complete_everywhere = false;
             }

@@ -90,7 +90,10 @@ fn install_captures_previously_irrelevant_updates() {
             .build(b.catalog())
             .unwrap();
         // The dynamic view copies ALL of R.
-        let full = ViewDef::builder("FullR").from("R").build(b.catalog()).unwrap();
+        let full = ViewDef::builder("FullR")
+            .from("R")
+            .build(b.catalog())
+            .unwrap();
         b = b.view(ViewId(1), selective, ManagerKind::Complete);
         b = b.view_later(ViewId(2), full, ManagerKind::Complete, 4);
         // two low updates (dropped), two high, then more of each
@@ -206,10 +209,12 @@ fn install_after_last_transaction() {
         seed: 2,
         ..SimConfig::default()
     };
-    let mut b = SimBuilder::new(config)
-        .relation(SourceId(0), "R", Schema::ints(&["a", "b"]));
+    let mut b = SimBuilder::new(config).relation(SourceId(0), "R", Schema::ints(&["a", "b"]));
     let v1 = ViewDef::builder("C").from("R").build(b.catalog()).unwrap();
-    let v2 = ViewDef::builder("Late").from("R").build(b.catalog()).unwrap();
+    let v2 = ViewDef::builder("Late")
+        .from("R")
+        .build(b.catalog())
+        .unwrap();
     b = b.view(ViewId(1), v1, ManagerKind::Complete);
     // install index == workload length → appended at the very end
     b = b.view_later(ViewId(2), v2, ManagerKind::Complete, 3);
@@ -217,7 +222,10 @@ fn install_after_last_transaction() {
         b = b.txn(SourceId(0), vec![WriteOp::insert("R", tuple![i, i])]);
     }
     let report = b.run().unwrap();
-    assert!(report.activations.contains_key(&ViewId(2)), "install happened");
+    assert!(
+        report.activations.contains_key(&ViewId(2)),
+        "install happened"
+    );
     Oracle::new(&report).unwrap().assert_ok();
     assert_eq!(report.warehouse.view(ViewId(2)).unwrap().len(), 3);
 }

@@ -27,7 +27,11 @@ fn multi_source_transactions_atomic() {
         };
         let b = SimBuilder::new(config);
         let b = install_relations(b, 3);
-        let (b, _) = install_views(b, ViewSuite::DisjointCopies { count: 3 }, ManagerKind::Complete);
+        let (b, _) = install_views(
+            b,
+            ViewSuite::DisjointCopies { count: 3 },
+            ManagerKind::Complete,
+        );
         let report = b.workload(w.txns).run().expect("runs");
         Oracle::new(&report).unwrap().assert_ok();
         // §6.2's point: even views over disjoint relations must move
@@ -58,7 +62,11 @@ fn partitioned_merge_with_spanning_transactions() {
         };
         let b = SimBuilder::new(config);
         let b = install_relations(b, 4);
-        let (b, _) = install_views(b, ViewSuite::DisjointCopies { count: 4 }, ManagerKind::Complete);
+        let (b, _) = install_views(
+            b,
+            ViewSuite::DisjointCopies { count: 4 },
+            ManagerKind::Complete,
+        );
         let report = b.workload(w.txns).run().expect("runs");
         assert!(report.group_views.len() > 1);
         Oracle::new(&report).unwrap().assert_ok();
@@ -121,11 +129,7 @@ fn commit_order_hazard_and_remedies() {
             commit_reorder_depth: Some(2),
             ..SimConfig::default()
         };
-        let mut b = SimBuilder::new(config).relation(
-            SourceId(0),
-            "Q",
-            Schema::ints(&["q", "r"]),
-        );
+        let mut b = SimBuilder::new(config).relation(SourceId(0), "Q", Schema::ints(&["q", "r"]));
         let def = ViewDef::builder("VQ").from("Q").build(b.catalog()).unwrap();
         b = b.view(ViewId(1), def, ManagerKind::Complete);
         for i in 0..4i64 {

@@ -89,11 +89,7 @@ fn detects_reordered_conflicting_commits() {
         seed: 5,
         ..SimConfig::default()
     };
-    let mut b = SimBuilder::new(config).relation(
-        SourceId(0),
-        "Q",
-        Schema::ints(&["q", "r"]),
-    );
+    let mut b = SimBuilder::new(config).relation(SourceId(0), "Q", Schema::ints(&["q", "r"]));
     let def = ViewDef::builder("VQ").from("Q").build(b.catalog()).unwrap();
     b = b.view(ViewId(1), def, ManagerKind::Complete);
     for i in 0..3i64 {
@@ -114,6 +110,91 @@ fn detects_reordered_conflicting_commits() {
     assert!(
         results.iter().any(|(_, _, v)| !v.is_satisfied()),
         "oracle missed reordered conflicting commits"
+    );
+}
+
+/// A commit that *claims* to cover an update whose actions it never
+/// applied: the witness cut advances but the stored view contents do
+/// not, so state matching must fail. Checked at the *strong* level so
+/// the violation cannot hide behind the completeness one-state-per-WT
+/// counter.
+#[test]
+fn detects_phantom_coverage() {
+    let mut report = healthy_report(3);
+    // Move a later commit's coverage claim onto the first commit of the
+    // same group (its actions stay where they were). The stolen commit
+    // must have visibly changed some view, otherwise the early coverage
+    // is an unobservable (and legal) commutation.
+    let group = report.commit_log[0].group;
+    let changed_at = (1..report.commit_log.len())
+        .rev()
+        .find(|&k| {
+            let h = report.warehouse.history();
+            report.commit_log[k].group == group && h[k].fingerprints != h[k - 1].fingerprints
+        })
+        .expect("a later commit that changed view content");
+    let stolen = report.commit_log[changed_at].rows.clone();
+    report.commit_log[0].rows.extend(stolen);
+    let oracle = Oracle::new(&report).unwrap();
+    let verdict = oracle.check_group(group, ConsistencyLevel::Strong);
+    assert!(
+        !verdict.is_satisfied(),
+        "oracle missed phantom coverage (cut advanced, content did not)"
+    );
+}
+
+/// Partitioned deployment: a commit by one group that changes another
+/// group's view must be flagged (groups own disjoint view sets).
+#[test]
+fn detects_cross_group_interference() {
+    let spec = WorkloadSpec {
+        seed: 9,
+        relations: 2,
+        updates: 20,
+        key_domain: 5,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let config = SimConfig {
+        seed: 4,
+        partition: true,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let b = install_relations(b, 2);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::DisjointCopies { count: 2 },
+        ManagerKind::Complete,
+    );
+    let mut report = b.workload(w.txns).run().expect("runs");
+    Oracle::new(&report).unwrap().assert_ok();
+
+    // Find a commit by group A and flip the stored fingerprint of a view
+    // owned by group B at that commit.
+    let (k, other_view) = {
+        let e = report
+            .commit_log
+            .iter()
+            .enumerate()
+            .find(|(_, e)| !report.group_views[e.group].is_empty())
+            .map(|(k, e)| (k, e.group))
+            .expect("a commit");
+        let other_group = (e.1 + 1) % report.group_views.len();
+        let v = *report.group_views[other_group]
+            .iter()
+            .next()
+            .expect("other group has a view");
+        (e.0, v)
+    };
+    let rec = report.warehouse.history_mut().get_mut(k).expect("rec");
+    *rec.fingerprints.get_mut(&other_view).unwrap() ^= 0xfeed_f00d;
+    let oracle = Oracle::new(&report).unwrap();
+    let results = oracle.check_report();
+    assert!(
+        results.iter().any(|(_, _, v)| !v.is_satisfied()),
+        "oracle missed cross-group interference"
     );
 }
 
@@ -147,7 +228,10 @@ fn distinguishes_strong_from_complete() {
     let report = b.workload(w.txns).run().expect("runs");
     let oracle = Oracle::new(&report).unwrap();
     let strong = oracle.check_group(0, ConsistencyLevel::Strong);
-    assert!(strong.is_satisfied(), "batched run should be strong: {strong}");
+    assert!(
+        strong.is_satisfied(),
+        "batched run should be strong: {strong}"
+    );
     let complete = oracle.check_group(0, ConsistencyLevel::Complete);
     assert!(
         !complete.is_satisfied(),

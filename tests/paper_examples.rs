@@ -114,10 +114,12 @@ fn example4_pa_vs_spa() {
         .on_action(ActionList::single(ViewId(2), UpdateId(2), "ops"))
         .unwrap()
         .is_empty());
-    assert!(pa
-        .on_action(ActionList::single(ViewId(3), UpdateId(2), "ops"))
-        .unwrap()
-        .is_empty(), "rows 1 and 2 held while AL2_3 missing");
+    assert!(
+        pa.on_action(ActionList::single(ViewId(3), UpdateId(2), "ops"))
+            .unwrap()
+            .is_empty(),
+        "rows 1 and 2 held while AL2_3 missing"
+    );
     let released = pa
         .on_action(ActionList::single(ViewId(2), UpdateId(3), "ops"))
         .unwrap();

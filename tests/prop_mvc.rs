@@ -252,6 +252,16 @@ proptest! {
         sched in 0u64..10_000,
         updates in 10usize..40,
     ) {
+        mixed_complete_strategies_body(seed, sched, updates)?;
+    }
+}
+
+fn mixed_complete_strategies_body(
+    seed: u64,
+    sched: u64,
+    updates: usize,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    {
         use mvc_repro::prelude::*;
         use mvc_repro::whips::workload::{install_relations, rel_name};
         let config = SimConfig {
@@ -293,6 +303,157 @@ proptest! {
         let w = mvc_repro::whips::workload::generate(&spec);
         let report = b.workload(w.txns).run().expect("runs");
         prop_assert_eq!(report.guarantees[0], ConsistencyLevel::Complete);
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+    Ok(())
+}
+
+/// Pinned literal replays of the two regression seeds recorded in
+/// `prop_mvc.proptest-regressions` (kept checked in alongside). The
+/// stored `cc` entries pin proptest's own RNG; these tests pin the
+/// *shrunk parameter values* directly against every property with a
+/// matching shape, so the cases re-run even under a proptest
+/// implementation that does not read regression files.
+///
+/// Determination (PR 1): the original failing workloads are not
+/// replayable here — the `cc` entries were recorded under upstream
+/// proptest's ChaCha RNG, while the vendored stub RNG derives a
+/// different stream from the same seed. The shrunk values below all
+/// pass, and an exhaustive review of SPA/PA, the commit scheduler, the
+/// VUT, and the oracle's witness-cut check (plus 284k randomized sweep
+/// cases across every property family, see `fuzz_hunt`) surfaced no
+/// defect on either side. Both the `cc` entries and these literal pins
+/// stay checked in as regression tripwires.
+mod pinned_regressions {
+    use super::*;
+
+    // cc 89cb09… shrank to: seed = 68, sched = 0, updates = 25
+    const SEED_A: u64 = 68;
+    const SCHED_A: u64 = 0;
+    const UPDATES_A: usize = 25;
+
+    // cc 7cd16d… shrank to: seed = 248, sched = 0, updates = 40,
+    //                       deletes = 10, weight = 2
+    const SEED_B: u64 = 248;
+    const SCHED_B: u64 = 0;
+    const UPDATES_B: usize = 40;
+    const DELETES_B: u8 = 10;
+    const WEIGHT_B: u32 = 2;
+
+    #[test]
+    fn pinned_partitioned_merge_groups_hold() {
+        let spec = WorkloadSpec {
+            seed: SEED_A,
+            relations: 4,
+            updates: UPDATES_A,
+            key_domain: 5,
+            delete_percent: 25,
+            multi_percent: 0,
+        };
+        let w = generate(&spec);
+        let config = SimConfig {
+            seed: SCHED_A,
+            partition: true,
+            ..SimConfig::default()
+        };
+        let b = SimBuilder::new(config);
+        let b = install_relations(b, 4);
+        let (b, _) = install_views(
+            b,
+            ViewSuite::DisjointCopies { count: 4 },
+            ManagerKind::Complete,
+        );
+        let report = b.workload(w.txns).run().expect("runs");
+        assert_eq!(report.group_views.len(), 4);
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+
+    #[test]
+    fn pinned_aggregates_mvc_complete() {
+        let report = run_suite(
+            SEED_A,
+            SCHED_A,
+            2,
+            UPDATES_A,
+            30,
+            3,
+            ViewSuite::Aggregates { count: 2 },
+            ManagerKind::Complete,
+            CommitPolicy::DependencyAware,
+        );
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+
+    #[test]
+    fn pinned_mixed_complete_strategies() {
+        mixed_complete_strategies_body(SEED_A, SCHED_A, UPDATES_A).unwrap();
+    }
+
+    #[test]
+    fn pinned_spa_complete_managers() {
+        let report = run_suite(
+            SEED_B,
+            SCHED_B,
+            3,
+            UPDATES_B,
+            DELETES_B,
+            WEIGHT_B,
+            ViewSuite::OverlappingChain { count: 2 },
+            ManagerKind::Complete,
+            CommitPolicy::DependencyAware,
+        );
+        assert_eq!(report.guarantees[0], ConsistencyLevel::Complete);
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+
+    #[test]
+    fn pinned_pa_strobe_managers() {
+        let report = run_suite(
+            SEED_B,
+            SCHED_B,
+            3,
+            UPDATES_B,
+            DELETES_B,
+            WEIGHT_B,
+            ViewSuite::OverlappingChain { count: 2 },
+            ManagerKind::Strobe,
+            CommitPolicy::DependencyAware,
+        );
+        assert_eq!(report.guarantees[0], ConsistencyLevel::Strong);
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+
+    #[test]
+    fn pinned_spa_eca_managers() {
+        let report = run_suite(
+            SEED_B,
+            SCHED_B,
+            3,
+            UPDATES_B,
+            DELETES_B,
+            WEIGHT_B,
+            ViewSuite::OverlappingChain { count: 2 },
+            ManagerKind::Eca,
+            CommitPolicy::DependencyAware,
+        );
+        assert_eq!(report.guarantees[0], ConsistencyLevel::Complete);
+        Oracle::new(&report).unwrap().assert_ok();
+    }
+
+    #[test]
+    fn pinned_spa_selfmaint_managers() {
+        let report = run_suite(
+            SEED_B,
+            SCHED_B,
+            3,
+            UPDATES_B,
+            DELETES_B,
+            WEIGHT_B,
+            ViewSuite::OverlappingChain { count: 2 },
+            ManagerKind::SelfMaintaining,
+            CommitPolicy::DependencyAware,
+        );
+        assert_eq!(report.guarantees[0], ConsistencyLevel::Complete);
         Oracle::new(&report).unwrap().assert_ok();
     }
 }

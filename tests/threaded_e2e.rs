@@ -155,8 +155,14 @@ fn concurrent_reader_never_sees_torn_transfers() {
     let mut b = ThreadedBuilder::new(config)
         .relation(SourceId(0), "checking", Schema::ints(&["cust", "bal"]))
         .relation(SourceId(0), "savings", Schema::ints(&["cust", "bal"]));
-    let vc = ViewDef::builder("VC").from("checking").build(b.catalog()).unwrap();
-    let vs = ViewDef::builder("VS").from("savings").build(b.catalog()).unwrap();
+    let vc = ViewDef::builder("VC")
+        .from("checking")
+        .build(b.catalog())
+        .unwrap();
+    let vs = ViewDef::builder("VS")
+        .from("savings")
+        .build(b.catalog())
+        .unwrap();
     b = b
         .view(ViewId(1), vc, ManagerKind::Complete)
         .view(ViewId(2), vs, ManagerKind::Complete);

@@ -1,0 +1,157 @@
+//! Offline stand-in for `criterion`, covering the API shape the
+//! `crates/bench/benches/*` targets use: `criterion_group!` /
+//! `criterion_main!`, `benchmark_group`, `sample_size`,
+//! `bench_with_input`, `bench_function`, `Bencher::iter`, `BenchmarkId`.
+//!
+//! Measurement is intentionally lightweight — a warm-up call sizes the
+//! iteration count to a small time budget, then the mean over that batch
+//! is printed. No statistics, plots or comparison baselines. Good enough
+//! to keep the bench targets compiling, runnable and roughly indicative;
+//! `BENCH_pipeline.json` (the tracked perf baseline) is produced by the
+//! dedicated `bench_pipeline` bin instead, not by these targets.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-point time budget. Kept small so `cargo test`-driven runs of
+/// `harness = false` bench binaries stay fast.
+const BUDGET: Duration = Duration::from_millis(40);
+const MAX_ITERS: u64 = 200;
+
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+#[derive(Default)]
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup = Instant::now();
+        std::hint::black_box(f());
+        let once = warmup.elapsed().max(Duration::from_nanos(1));
+        let iters = (BUDGET.as_nanos() / once.as_nanos()).clamp(1, u128::from(MAX_ITERS)) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+
+    fn report(&self, label: &str) {
+        match self.measured {
+            Some((total, iters)) => {
+                let per = total.as_nanos() as f64 / iters as f64;
+                println!("bench {label:<48} {:>12.0} ns/iter (n={iters})", per);
+            }
+            None => println!("bench {label:<48} (no measurement)"),
+        }
+    }
+}
+
+/// Re-export location matches upstream so `use criterion::black_box` works.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` may pass harness flags; ignore them.
+            $($group();)+
+        }
+    };
+}

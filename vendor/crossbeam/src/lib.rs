@@ -1,0 +1,148 @@
+//! Offline stand-in for `crossbeam`, covering the `channel` module surface
+//! the workspace uses: `unbounded()`, cloneable `Sender`, and a `Receiver`
+//! with blocking/timeout/non-blocking receives. Backed by `std::sync::mpsc`
+//! plus an atomic depth counter so `len()` works (the threaded runtime's
+//! queue-depth gauges and drain diagnostics rely on it, as upstream
+//! crossbeam channels also expose `len()`).
+
+pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+        depth: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+                depth: self.depth.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            // Count before the send so a racing recv never observes a
+            // negative depth; undo on failure.
+            self.depth.fetch_add(1, Ordering::SeqCst);
+            self.tx.send(value).map_err(|e| {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                SendError(e.0)
+            })
+        }
+
+        /// Messages sent but not yet received.
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::SeqCst)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let v = self.rx.recv().map_err(|_| RecvError)?;
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            Ok(v)
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let v = self.rx.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })?;
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            Ok(v)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let v = self.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })?;
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            Ok(v)
+        }
+
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::SeqCst)
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Share the depth gauge (read-only use) with monitors.
+        pub fn depth_gauge(&self) -> Arc<AtomicUsize> {
+            self.depth.clone()
+        }
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                tx,
+                depth: depth.clone(),
+            },
+            Receiver { rx, depth },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn depth_tracks_queue() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(rx.len(), 0);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.len(), 2);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.len(), 1);
+            assert_eq!(rx.try_recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+    }
+}

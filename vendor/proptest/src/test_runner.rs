@@ -1,0 +1,131 @@
+//! Deterministic case runner: seeds per-case RNGs from the test name,
+//! runs each case, and reports the case seed on failure so a single case
+//! can be replayed with `PROPTEST_SEED`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Subset of upstream's `Config` the workspace constructs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+
+    /// Upstream-compatible alias.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Splitmix64 stream handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x6A09_E667_F3BC_C909,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.below_u128(u128::from(bound)) as u64
+    }
+
+    /// Uniform value in `[0, bound)` for widths up to 2^64 (covers every
+    /// primitive integer range).
+    pub fn below_u128(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        let v = u128::from(self.next_u64());
+        (v * bound) >> 64
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Drive `f` over `config.cases` generated cases (overridable with
+/// `PROPTEST_CASES`; replay one case with `PROPTEST_SEED`).
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    if let Some(seed) = env_u64("PROPTEST_SEED") {
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = f(&mut rng) {
+            panic!("proptest {name}: replayed case PROPTEST_SEED={seed} failed: {e}");
+        }
+        return;
+    }
+    let cases = env_u64("PROPTEST_CASES")
+        .map(|n| n as u32)
+        .unwrap_or(config.cases);
+    let mut seeder = TestRng::from_seed(fnv1a(name));
+    for case in 0..cases {
+        let case_seed = seeder.next_u64();
+        let mut rng = TestRng::from_seed(case_seed);
+        match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "proptest {name}: case {}/{cases} failed \
+                 (replay with PROPTEST_SEED={case_seed}): {e}",
+                case + 1
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "proptest {name}: case {}/{cases} panicked \
+                     (replay with PROPTEST_SEED={case_seed})",
+                    case + 1
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}

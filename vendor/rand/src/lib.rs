@@ -1,0 +1,173 @@
+//! Offline stand-in for `rand 0.8`, covering the surface this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range`
+//! over integer ranges, and `Rng::gen_bool`.
+//!
+//! Deterministic and seed-stable across platforms (splitmix64), but **not**
+//! stream-compatible with upstream rand's ChaCha12 `StdRng`: the same seed
+//! produces a different (still deterministic) sequence. Workload seeds in
+//! tests/benches therefore define different concrete workloads than under
+//! upstream rand, which is fine — nothing in the repo depends on the exact
+//! stream, only on determinism.
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding, reduced to the one constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers.
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that can produce a uniform sample. Implemented for `Range` and
+/// `RangeInclusive` over the primitive integer types.
+pub trait SampleRange<T> {
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+// Uniform over [0, width) via Lemire-style widening multiply (unbiased
+// enough for test workloads; avoids modulo clustering on small widths).
+fn below<G: RngCore>(rng: &mut G, width: u128) -> u128 {
+    debug_assert!(width > 0);
+    let v = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+    // (v * width) >> 128, computed via 128-bit halves.
+    let hi = (v >> 64) * width;
+    let lo = ((v & u128::from(u64::MAX)) * width) >> 64;
+    (hi + lo) >> 64
+}
+
+/// Integer types `gen_range` can sample. Mirrors upstream's
+/// `SampleUniform` so `Range<T>: SampleRange<T>` stays a single generic
+/// impl — that genericity is what lets untyped literals (`0..100`) infer
+/// their type from surrounding code, exactly as with upstream rand.
+pub trait SampleUniform: Copy {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        T::from_i128(lo + below(rng, (hi - lo) as u128) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<G: RngCore>(self, rng: &mut G) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::from_i128(lo + below(rng, (hi - lo) as u128 + 1) as i128)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator. Same name/constructor as
+    /// upstream's `StdRng`, different stream (see crate docs).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // Pre-mix so small adjacent seeds don't yield correlated
+            // first outputs.
+            let mut rng = StdRng {
+                state: state ^ 0x5851_F42D_4C95_7F2D,
+            };
+            let _ = rng.next_u64();
+            StdRng { state: rng.state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_bounds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u32 = a.gen_range(0..17);
+            assert_eq!(x, b.gen_range(0..17));
+            assert!(x < 17);
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let first: Vec<u64> = (0..4).map(|_| c.gen_range(0..u64::MAX)).collect();
+        let mut d = StdRng::seed_from_u64(7);
+        let other: Vec<u64> = (0..4).map(|_| d.gen_range(0..u64::MAX)).collect();
+        assert_ne!(first, other, "different seeds should diverge");
+    }
+
+    #[test]
+    fn inclusive_and_signed_ranges() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            let v: i8 = r.gen_range(-2i8..=2);
+            assert!((-2..=2).contains(&v));
+            seen.insert(v);
+        }
+        assert_eq!(seen.len(), 5, "all values of a small range appear");
+        for _ in 0..100 {
+            let v: usize = r.gen_range(3..4);
+            assert_eq!(v, 3);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline stand-in for the `serde` facade crate.
+//!
+//! The workspace only uses serde as derive markers (`#[derive(Serialize,
+//! Deserialize)]` + `#[serde(default)]`); no code path serializes through
+//! the trait machinery. The derives are no-ops and the traits are satisfied
+//! by every type via blanket impls, so generic bounds (if any appear later)
+//! keep compiling.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Mirror of `serde::de::DeserializeOwned` for bounds that may need it.
+pub mod de {
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

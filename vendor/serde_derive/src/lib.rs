@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The container this repository builds in has no crates.io access, so the
+//! real serde stack is replaced by vendored stubs (see `vendor/README.md`).
+//! Nothing in the workspace serializes through serde at runtime — the
+//! derives only need to *exist* and to accept `#[serde(...)]` helper
+//! attributes, so both derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
