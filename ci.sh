@@ -16,4 +16,7 @@ cargo fmt --check
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== recovery smoke (SPA + PA crash-recover) =="
+cargo run -q --release -p mvc-bench --bin recovery_smoke
+
 echo "CI OK"

@@ -1,9 +1,13 @@
 //! Temporary bug-hunt driver: randomized sweep over the full parameter
 //! ranges of every property in tests/prop_mvc.rs.
 
-use mvc_core::CommitPolicy;
+use mvc_core::{CommitPolicy, MergeAlgorithm};
+use mvc_durability::{DurabilityConfig, FaultSpec, KillMode};
 use mvc_whips::workload::{generate, install_relations, install_views, rel_name};
-use mvc_whips::{ManagerKind, Oracle, SimBuilder, SimConfig, ViewSuite, WorkloadSpec};
+use mvc_whips::{
+    recover_and_run, DurableOutcome, ManagerKind, Oracle, SimBuilder, SimConfig, ViewSuite,
+    WorkloadSpec,
+};
 
 struct Lcg(u64);
 impl Lcg {
@@ -149,13 +153,95 @@ fn mixed(seed: u64, sched: u64, updates: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Crash/recover property: kill a durable run at a random WAL position,
+/// rebuild from the log, finish the workload, and hold the stitched
+/// history to the same oracle bar as an uninterrupted run — plus zero
+/// duplicate warehouse commits.
+fn crash_recover(seed: u64, sched: u64, updates: usize, kill: u64, pa: bool) -> Result<(), String> {
+    use std::collections::BTreeSet;
+    let spec = WorkloadSpec {
+        seed,
+        relations: 3,
+        updates,
+        key_domain: 5,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let path = std::env::temp_dir().join(format!(
+        "mvc-fuzz-{}-{seed}-{sched}-{kill}.wal",
+        std::process::id()
+    ));
+    let config = SimConfig {
+        seed: sched,
+        algorithm: Some(if pa {
+            MergeAlgorithm::Pa
+        } else {
+            MergeAlgorithm::Spa
+        }),
+        durability: Some(DurabilityConfig::new(&path).with_fault(FaultSpec {
+            kill_at_record: kill,
+            torn_tail_bytes: 0,
+            mode: KillMode::Error,
+        })),
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config.clone());
+    let b = install_relations(b, 3);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::OverlappingChain { count: 2 },
+        ManagerKind::Complete,
+    );
+    let registry = b.registry().clone();
+    let res = (|| -> Result<(), String> {
+        let report = match b
+            .workload(w.txns.clone())
+            .run_durable()
+            .map_err(|e| format!("durable run: {e}"))?
+        {
+            DurableOutcome::Completed(r) => *r,
+            DurableOutcome::Crashed { cluster, injected } => {
+                recover_and_run(config, cluster, &registry, w.txns[injected..].to_vec())
+                    .map_err(|e| format!("recovery: {e}"))?
+            }
+        };
+        let oracle = Oracle::new(&report).map_err(|e| format!("oracle: {e:?}"))?;
+        for (g, level, verdict) in oracle.check_report() {
+            if !verdict.is_satisfied() {
+                return Err(format!("group {g} failed {level}: {verdict}"));
+            }
+        }
+        if report.commit_log.len() != report.warehouse.history().len() {
+            return Err("commit log / history length mismatch".into());
+        }
+        let mut seen = BTreeSet::new();
+        for e in &report.commit_log {
+            if !seen.insert((e.group, e.seq)) {
+                return Err(format!(
+                    "duplicate commit group {} seq {:?}",
+                    e.group, e.seq
+                ));
+            }
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_file(&path);
+    res
+}
+
 fn main() {
+    // Optional first arg: number of cases (default 200k full sweep).
+    let cases: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
     let mut failures = 0u64;
-    for case in 0..200_000u64 {
+    for case in 0..cases {
         let mut rng = Lcg(case.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
         let seed = rng.range(0, 10_000);
         let sched = rng.range(0, 10_000);
-        let family = case % 10;
+        let family = case % 11;
         let res = match family {
             // spa_complete / pa_strobe / eca / selfmaint (5-param shape)
             0..=3 => {
@@ -235,6 +321,13 @@ fn main() {
                     CommitPolicy::DependencyAware,
                 )
                 .map_err(|e| format!("complete_n {e}"))
+            }
+            9 => {
+                let updates = rng.range(10, 40) as usize;
+                let kill = rng.range(1, 400);
+                let pa = rng.next().is_multiple_of(2);
+                crash_recover(seed, sched, updates, kill, pa)
+                    .map_err(|e| format!("crash_recover {e}"))
             }
             _ => {
                 let updates = rng.range(10, 40) as usize;

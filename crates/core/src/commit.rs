@@ -18,6 +18,7 @@
 
 use crate::action::WarehouseTxn;
 use crate::ids::{TxnSeq, ViewId};
+use crate::snapshot::SchedulerSnapshot;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
@@ -100,6 +101,28 @@ impl<P: Clone> CommitScheduler<P> {
 
     pub fn inflight(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Capture the full scheduler state for a durability checkpoint.
+    pub fn snapshot(&self) -> SchedulerSnapshot<P> {
+        SchedulerSnapshot {
+            policy: self.policy,
+            queue: self.queue.iter().cloned().collect(),
+            held_bwt: self.held_bwt.clone(),
+            inflight: self.inflight.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild a scheduler from a checkpoint snapshot.
+    pub fn from_snapshot(s: SchedulerSnapshot<P>) -> Self {
+        CommitScheduler {
+            policy: s.policy,
+            queue: s.queue.into(),
+            held_bwt: s.held_bwt,
+            inflight: s.inflight,
+            stats: s.stats,
+        }
     }
 
     /// Submit a transaction from the merge engine; returns transactions

@@ -31,6 +31,7 @@ pub mod ids;
 pub mod merge;
 pub mod pa;
 pub mod partition;
+pub mod snapshot;
 pub mod spa;
 pub mod vut;
 
@@ -42,5 +43,9 @@ pub use ids::{TxnSeq, UpdateId, ViewId};
 pub use merge::{MergeProcess, MergeStats};
 pub use pa::{Pa, PaStats};
 pub use partition::Partitioning;
+pub use snapshot::{
+    EngineSnapshot, MergeSnapshot, PaSnapshot, PaintEvent, SchedulerSnapshot, SpaSnapshot,
+    VutSnapshot,
+};
 pub use spa::{Spa, SpaStats};
 pub use vut::{Color, Entry, Vut};

@@ -13,6 +13,7 @@ use crate::consistency::{ConsistencyLevel, MergeAlgorithm};
 use crate::error::MergeError;
 use crate::ids::{TxnSeq, UpdateId, ViewId};
 use crate::pa::{Pa, PaStats};
+use crate::snapshot::{EngineSnapshot, MergeSnapshot, PaintEvent};
 use crate::spa::{Spa, SpaStats};
 use std::collections::BTreeSet;
 
@@ -215,6 +216,59 @@ impl<P: Clone> MergeProcess<P> {
     /// Force out any batched remainder (end of run).
     pub fn flush(&mut self) -> Vec<WarehouseTxn<P>> {
         self.scheduler.flush()
+    }
+
+    /// Turn on the VUT paint-event sink for the durability WAL. No-op in
+    /// pass-through mode (no VUT, no paint transitions).
+    pub fn enable_paint_events(&mut self) {
+        match &mut self.engine {
+            Engine::Spa(s) => s.vut_mut().enable_events(),
+            Engine::Pa(p) => p.vut_mut().enable_events(),
+            Engine::PassThrough { .. } => {}
+        }
+    }
+
+    /// Drain accumulated paint transitions (empty unless enabled).
+    pub fn take_paint_events(&mut self) -> Vec<PaintEvent> {
+        match &mut self.engine {
+            Engine::Spa(s) => s.vut_mut().take_events(),
+            Engine::Pa(p) => p.vut_mut().take_events(),
+            Engine::PassThrough { .. } => Vec::new(),
+        }
+    }
+
+    /// Capture the whole merge process (engine + scheduler) for a
+    /// durability checkpoint.
+    pub fn snapshot(&self) -> MergeSnapshot<P> {
+        let engine = match &self.engine {
+            Engine::Spa(s) => EngineSnapshot::Spa(s.snapshot()),
+            Engine::Pa(p) => EngineSnapshot::Pa(p.snapshot()),
+            Engine::PassThrough { next_seq, stats } => EngineSnapshot::PassThrough {
+                next_seq: *next_seq,
+                stats: *stats,
+            },
+        };
+        MergeSnapshot {
+            algorithm: self.algorithm,
+            engine,
+            scheduler: self.scheduler.snapshot(),
+        }
+    }
+
+    /// Rebuild a merge process from a checkpoint snapshot.
+    pub fn from_snapshot(s: MergeSnapshot<P>) -> Self {
+        let engine = match s.engine {
+            EngineSnapshot::Spa(e) => Engine::Spa(Spa::from_snapshot(e)),
+            EngineSnapshot::Pa(e) => Engine::Pa(Pa::from_snapshot(e)),
+            EngineSnapshot::PassThrough { next_seq, stats } => {
+                Engine::PassThrough { next_seq, stats }
+            }
+        };
+        MergeProcess {
+            engine,
+            scheduler: CommitScheduler::from_snapshot(s.scheduler),
+            algorithm: s.algorithm,
+        }
     }
 
     fn schedule(&mut self, emitted: Vec<WarehouseTxn<P>>) -> Vec<WarehouseTxn<P>> {

@@ -26,6 +26,7 @@
 use crate::action::{ActionList, WarehouseTxn};
 use crate::error::MergeError;
 use crate::ids::{TxnSeq, UpdateId, ViewId};
+use crate::snapshot::PaSnapshot;
 use crate::vut::{Color, Vut};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -68,6 +69,35 @@ impl<P: Clone> Pa<P> {
 
     pub fn vut(&self) -> &Vut<P> {
         &self.vut
+    }
+
+    /// Mutable VUT access for the durability hooks (paint-event sink).
+    pub fn vut_mut(&mut self) -> &mut Vut<P> {
+        &mut self.vut
+    }
+
+    /// Capture the full engine state for a durability checkpoint.
+    pub fn snapshot(&self) -> PaSnapshot<P> {
+        PaSnapshot {
+            vut: self.vut.snapshot(),
+            max_rel: self.max_rel,
+            pending: self.pending.clone(),
+            next_seq: self.next_seq,
+            last_covered: self.last_covered.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild an engine from a checkpoint snapshot.
+    pub fn from_snapshot(s: PaSnapshot<P>) -> Self {
+        Pa {
+            vut: Vut::from_snapshot(s.vut),
+            max_rel: s.max_rel,
+            pending: s.pending,
+            next_seq: s.next_seq,
+            last_covered: s.last_covered,
+            stats: s.stats,
+        }
     }
 
     /// Register a new view column on the fly (§1.2).

@@ -1,0 +1,89 @@
+//! Serializable state snapshots of the merge-process machinery, used by
+//! the durability subsystem's checkpoints (crash recovery restores a
+//! merge process from the last checkpoint and replays the log tail).
+//!
+//! Every snapshot struct mirrors the private fields of its live
+//! counterpart exactly; conversion methods (`snapshot`/`from_snapshot`)
+//! live next to the live types so the fields can stay private. Payloads
+//! stay generic, matching the model-independence of the core.
+
+use crate::action::{ActionList, WarehouseTxn};
+use crate::commit::{CommitPolicy, CommitStats};
+use crate::consistency::MergeAlgorithm;
+use crate::ids::{TxnSeq, UpdateId, ViewId};
+use crate::pa::PaStats;
+use crate::spa::SpaStats;
+use crate::vut::{Color, Entry};
+use std::collections::BTreeMap;
+
+/// One VUT paint transition, recorded for the durability audit trail
+/// (replay never consumes these — recovery reconstructs colors by
+/// re-running the engine — but the log makes every §4/§5 transition
+/// inspectable post-mortem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaintEvent {
+    pub update: UpdateId,
+    pub view: ViewId,
+    pub color: Color,
+    /// PA jump state at the moment of the transition.
+    pub state: UpdateId,
+}
+
+/// Snapshot of a [`crate::vut::Vut`]. The per-column red index is not
+/// captured — it is derivable from `rows` and rebuilt on restore.
+#[derive(Debug, Clone)]
+pub struct VutSnapshot<P> {
+    pub views: Vec<ViewId>,
+    pub rows: BTreeMap<UpdateId, BTreeMap<ViewId, Entry>>,
+    pub wt: BTreeMap<UpdateId, Vec<ActionList<P>>>,
+}
+
+/// Snapshot of a [`crate::spa::Spa`] engine.
+#[derive(Debug, Clone)]
+pub struct SpaSnapshot<P> {
+    pub vut: VutSnapshot<P>,
+    pub max_rel: UpdateId,
+    pub pending: BTreeMap<UpdateId, Vec<ActionList<P>>>,
+    pub next_seq: TxnSeq,
+    pub stats: SpaStats,
+}
+
+/// Snapshot of a [`crate::pa::Pa`] engine.
+#[derive(Debug, Clone)]
+pub struct PaSnapshot<P> {
+    pub vut: VutSnapshot<P>,
+    pub max_rel: UpdateId,
+    pub pending: BTreeMap<UpdateId, Vec<ActionList<P>>>,
+    pub next_seq: TxnSeq,
+    pub last_covered: BTreeMap<ViewId, UpdateId>,
+    pub stats: PaStats,
+}
+
+/// Snapshot of the engine variant inside a merge process.
+#[derive(Debug, Clone)]
+pub enum EngineSnapshot<P> {
+    Spa(SpaSnapshot<P>),
+    Pa(PaSnapshot<P>),
+    PassThrough {
+        next_seq: TxnSeq,
+        stats: crate::merge::MergeStats,
+    },
+}
+
+/// Snapshot of a [`crate::commit::CommitScheduler`].
+#[derive(Debug, Clone)]
+pub struct SchedulerSnapshot<P> {
+    pub policy: CommitPolicy,
+    pub queue: Vec<WarehouseTxn<P>>,
+    pub held_bwt: Option<WarehouseTxn<P>>,
+    pub inflight: BTreeMap<TxnSeq, std::collections::BTreeSet<ViewId>>,
+    pub stats: CommitStats,
+}
+
+/// Snapshot of a whole [`crate::merge::MergeProcess`].
+#[derive(Debug, Clone)]
+pub struct MergeSnapshot<P> {
+    pub algorithm: MergeAlgorithm,
+    pub engine: EngineSnapshot<P>,
+    pub scheduler: SchedulerSnapshot<P>,
+}

@@ -16,6 +16,7 @@
 use crate::action::{ActionList, WarehouseTxn};
 use crate::error::MergeError;
 use crate::ids::{TxnSeq, UpdateId, ViewId};
+use crate::snapshot::SpaSnapshot;
 use crate::vut::{Color, Vut};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -76,6 +77,33 @@ impl<P: Clone> Spa<P> {
 
     pub fn vut(&self) -> &Vut<P> {
         &self.vut
+    }
+
+    /// Mutable VUT access for the durability hooks (paint-event sink).
+    pub fn vut_mut(&mut self) -> &mut Vut<P> {
+        &mut self.vut
+    }
+
+    /// Capture the full engine state for a durability checkpoint.
+    pub fn snapshot(&self) -> SpaSnapshot<P> {
+        SpaSnapshot {
+            vut: self.vut.snapshot(),
+            max_rel: self.max_rel,
+            pending: self.pending.clone(),
+            next_seq: self.next_seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Rebuild an engine from a checkpoint snapshot.
+    pub fn from_snapshot(s: SpaSnapshot<P>) -> Self {
+        Spa {
+            vut: Vut::from_snapshot(s.vut),
+            max_rel: s.max_rel,
+            pending: s.pending,
+            next_seq: s.next_seq,
+            stats: s.stats,
+        }
     }
 
     /// Register a new view column on the fly (§1.2); rows for updates

@@ -17,6 +17,7 @@
 use crate::action::ActionList;
 use crate::error::MergeError;
 use crate::ids::{UpdateId, ViewId};
+use crate::snapshot::{PaintEvent, VutSnapshot};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -84,6 +85,9 @@ pub struct Vut<P> {
     /// Per column: rows whose entry is currently red (received,
     /// unapplied). Supports `nextRed`/"previous red" in O(log n).
     red: BTreeMap<ViewId, BTreeSet<UpdateId>>,
+    /// Opt-in paint-transition sink for the durability WAL (`None` = off,
+    /// zero cost on the non-durable path).
+    events: Option<Vec<PaintEvent>>,
 }
 
 impl<P> Vut<P> {
@@ -98,7 +102,20 @@ impl<P> Vut<P> {
             rows: BTreeMap::new(),
             wt: BTreeMap::new(),
             red,
+            events: None,
         }
+    }
+
+    /// Start buffering paint transitions (durability hook).
+    pub fn enable_events(&mut self) {
+        if self.events.is_none() {
+            self.events = Some(Vec::new());
+        }
+    }
+
+    /// Drain buffered paint transitions (empty when the sink is off).
+    pub fn take_events(&mut self) -> Vec<PaintEvent> {
+        self.events.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     pub fn views(&self) -> &[ViewId] {
@@ -193,6 +210,14 @@ impl<P> Vut<P> {
         e.color = Color::Red;
         e.state = state;
         self.red.get_mut(&x).expect("known view").insert(i);
+        if let Some(events) = &mut self.events {
+            events.push(PaintEvent {
+                update: i,
+                view: x,
+                color: Color::Red,
+                state,
+            });
+        }
         Ok(())
     }
 
@@ -216,7 +241,16 @@ impl<P> Vut<P> {
             });
         }
         e.color = Color::Gray;
+        let state = e.state;
         self.red.get_mut(&x).expect("known view").remove(&i);
+        if let Some(events) = &mut self.events {
+            events.push(PaintEvent {
+                update: i,
+                view: x,
+                color: Color::Gray,
+                state,
+            });
+        }
         Ok(())
     }
 
@@ -343,6 +377,39 @@ impl<P> Vut<P> {
             self.purge_row(i);
         }
         purgeable
+    }
+
+    /// Capture the table for a durability checkpoint. The red index is
+    /// derivable from `rows` and is rebuilt by [`Vut::from_snapshot`].
+    pub fn snapshot(&self) -> VutSnapshot<P>
+    where
+        P: Clone,
+    {
+        VutSnapshot {
+            views: self.views.clone(),
+            rows: self.rows.clone(),
+            wt: self.wt.clone(),
+        }
+    }
+
+    /// Rebuild a table from a checkpoint snapshot (event sink off).
+    pub fn from_snapshot(s: VutSnapshot<P>) -> Self {
+        let mut red: BTreeMap<ViewId, BTreeSet<UpdateId>> =
+            s.views.iter().map(|&v| (v, BTreeSet::new())).collect();
+        for (&i, row) in &s.rows {
+            for (&v, e) in row {
+                if e.color == Color::Red {
+                    red.entry(v).or_default().insert(i);
+                }
+            }
+        }
+        Vut {
+            views: s.views,
+            rows: s.rows,
+            wt: s.wt,
+            red,
+            events: None,
+        }
     }
 
     /// Render the table in the paper's style. With `with_state`, entries

@@ -1,0 +1,69 @@
+//! Checkpoint payloads: a full image of the pipeline's durable state at a
+//! commit boundary.
+//!
+//! A checkpoint is written as an ordinary WAL record, always immediately
+//! after a `TxnCommitted` record on the sim runtime (so every engine input
+//! that produced the checkpointed state precedes it in the log). Recovery
+//! restores the newest checkpoint and replays only records after it into
+//! the engines and the warehouse; `SourceUpdate` records are replayed from
+//! the log start regardless, because integrator routing is deterministic
+//! and cheap to rebuild.
+
+use crate::codec::{Codec, CodecError, Reader};
+use mvc_core::{MergeSnapshot, TxnSeq, UpdateId, ViewId};
+use mvc_relational::Delta;
+use mvc_warehouse::WarehouseSnapshot;
+use std::collections::BTreeSet;
+
+/// Durability's own mirror of the runtime's commit-log entry (the crate
+/// cannot depend on `mvc-whips`, which owns the runtime type).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    pub group: u64,
+    pub seq: TxnSeq,
+    pub rows: Vec<UpdateId>,
+    pub views: BTreeSet<ViewId>,
+}
+
+impl Codec for CommitRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.group.encode(out);
+        self.seq.encode(out);
+        self.rows.encode(out);
+        self.views.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(CommitRecord {
+            group: u64::decode(r)?,
+            seq: TxnSeq::decode(r)?,
+            rows: Vec::decode(r)?,
+            views: BTreeSet::decode(r)?,
+        })
+    }
+}
+
+/// Everything recovery needs that is not derivable from the log tail:
+/// warehouse relations + history, per-group merge-process state (VUT,
+/// pending ALs, scheduler queue), and the runtime commit log.
+#[derive(Debug, Clone)]
+pub struct CheckpointState {
+    pub warehouse: WarehouseSnapshot,
+    /// Merge snapshots indexed by group number.
+    pub merges: Vec<MergeSnapshot<Delta>>,
+    pub commit_log: Vec<CommitRecord>,
+}
+
+impl Codec for CheckpointState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.warehouse.encode(out);
+        self.merges.encode(out);
+        self.commit_log.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(CheckpointState {
+            warehouse: WarehouseSnapshot::decode(r)?,
+            merges: Vec::decode(r)?,
+            commit_log: Vec::decode(r)?,
+        })
+    }
+}

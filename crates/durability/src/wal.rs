@@ -1,0 +1,438 @@
+//! The write-ahead log file: framing, fsync batching, fault injection,
+//! and the torn-tail-tolerant reader.
+//!
+//! File layout:
+//!
+//! ```text
+//! [8-byte magic "MVCWAL01"]
+//! frame*  where frame = [u32 LE payload length]
+//!                       [u64 LE FNV-1a checksum of payload]
+//!                       [payload bytes]
+//! ```
+//!
+//! The magic is written (and flushed) at open. Frames are buffered and
+//! flushed to the OS every `fsync_every` records, so a crash can lose a
+//! suffix of appended records — exactly the delayed-fsync window real
+//! systems have. An *incomplete* trailing frame (torn write) is a clean
+//! end-of-log; a *complete* frame whose checksum does not match is
+//! corruption and surfaces as a typed error with the frame's offset.
+
+use crate::codec::{from_bytes, to_bytes};
+use crate::record::WalRecord;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File magic, bumped when the frame or record format changes.
+pub const WAL_MAGIC: &[u8; 8] = b"MVCWAL01";
+
+const FRAME_HEADER: usize = 4 + 8;
+
+/// 64-bit FNV-1a over a payload.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// WAL failure modes.
+#[derive(Debug)]
+pub enum WalError {
+    Io(std::io::Error),
+    /// The file does not start with [`WAL_MAGIC`] (or is shorter than it).
+    BadMagic,
+    /// Frame `index` (0-based) at byte `offset` has a checksum mismatch or
+    /// an undecodable payload. Everything before it is intact; nothing
+    /// after it can be trusted.
+    CorruptRecord {
+        offset: u64,
+        index: u64,
+    },
+    /// An injected crash point fired (fault-injection harness only).
+    CrashPoint,
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::BadMagic => write!(f, "not a WAL file (bad magic)"),
+            WalError::CorruptRecord { offset, index } => {
+                write!(f, "corrupt WAL record {index} at byte offset {offset}")
+            }
+            WalError::CrashPoint => write!(f, "injected crash point reached"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// What the writer does when its injected crash point fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KillMode {
+    /// Return [`WalError::CrashPoint`] so the caller aborts (sim runtime:
+    /// the error propagates and the run stops deterministically).
+    Error,
+    /// Go silently dead: the append and all later ones become no-ops
+    /// (threaded runtime: worker threads finish the workload, but nothing
+    /// more reaches the disk — recovery sees only the pre-crash prefix).
+    Drop,
+}
+
+/// Injected crash specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Crash when the N-th `append` (1-based) is attempted; that record
+    /// and every record still in the fsync buffer are lost.
+    pub kill_at_record: u64,
+    /// Additionally truncate this many bytes off the end of the durable
+    /// file — a torn write of the last flushed frame.
+    pub torn_tail_bytes: u64,
+    pub mode: KillMode,
+}
+
+/// Durability configuration for a runtime.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    pub wal_path: PathBuf,
+    /// Write a checkpoint record every N warehouse commits (0 = never).
+    /// Only honored by runtimes that can snapshot their merge state.
+    pub checkpoint_every: u64,
+    /// Flush + fsync after every N appended records (1 = every record,
+    /// larger values model delayed group fsync).
+    pub fsync_every: u64,
+    pub fault: Option<FaultSpec>,
+}
+
+impl DurabilityConfig {
+    /// Durable-every-record config with no fault injection.
+    pub fn new(wal_path: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            wal_path: wal_path.into(),
+            checkpoint_every: 0,
+            fsync_every: 1,
+            fault: None,
+        }
+    }
+
+    pub fn with_checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = n;
+        self
+    }
+
+    pub fn with_fsync_every(mut self, n: u64) -> Self {
+        self.fsync_every = n.max(1);
+        self
+    }
+
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
+
+/// Appending side of the WAL.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    /// Frames encoded but not yet written+synced.
+    buffer: Vec<u8>,
+    buffered_records: u64,
+    fsync_every: u64,
+    fault: Option<FaultSpec>,
+    /// Appends attempted (including the one that crashed).
+    records_appended: u64,
+    /// Crash point fired; all further appends are no-ops.
+    dead: bool,
+}
+
+impl WalWriter {
+    /// Create (truncate) the WAL file and durably write the magic.
+    pub fn create(config: &DurabilityConfig) -> Result<Self, WalError> {
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&config.wal_path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_data()?;
+        Ok(WalWriter {
+            file,
+            buffer: Vec::new(),
+            buffered_records: 0,
+            fsync_every: config.fsync_every.max(1),
+            fault: config.fault,
+            records_appended: 0,
+            dead: false,
+        })
+    }
+
+    /// Append one record. With fault injection, the `kill_at_record`-th
+    /// append crashes instead: the unflushed buffer is discarded, the
+    /// durable tail is torn by `torn_tail_bytes`, and the writer goes
+    /// dead.
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), WalError> {
+        if self.dead {
+            return match self.fault.map(|f| f.mode) {
+                Some(KillMode::Error) => Err(WalError::CrashPoint),
+                _ => Ok(()),
+            };
+        }
+        self.records_appended += 1;
+        if let Some(f) = self.fault {
+            if self.records_appended == f.kill_at_record {
+                return self.crash(f);
+            }
+        }
+        let payload = to_bytes(rec);
+        let len = u32::try_from(payload.len()).expect("record under 4 GiB");
+        self.buffer.extend_from_slice(&len.to_le_bytes());
+        self.buffer
+            .extend_from_slice(&checksum(&payload).to_le_bytes());
+        self.buffer.extend_from_slice(&payload);
+        self.buffered_records += 1;
+        if self.buffered_records >= self.fsync_every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn crash(&mut self, f: FaultSpec) -> Result<(), WalError> {
+        self.buffer.clear();
+        self.buffered_records = 0;
+        self.dead = true;
+        if f.torn_tail_bytes > 0 {
+            let len = self.file.metadata()?.len();
+            let floor = WAL_MAGIC.len() as u64;
+            let new_len = len.saturating_sub(f.torn_tail_bytes).max(floor);
+            self.file.set_len(new_len)?;
+            self.file.sync_data()?;
+        }
+        match f.mode {
+            KillMode::Error => Err(WalError::CrashPoint),
+            KillMode::Drop => Ok(()),
+        }
+    }
+
+    /// Write buffered frames to the OS and fsync.
+    pub fn flush(&mut self) -> Result<(), WalError> {
+        if self.dead || self.buffer.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.buffer)?;
+        self.file.sync_data()?;
+        self.buffer.clear();
+        self.buffered_records = 0;
+        Ok(())
+    }
+
+    /// Clean shutdown: flush whatever the fsync window still holds.
+    pub fn finalize(&mut self) -> Result<(), WalError> {
+        self.flush()
+    }
+
+    /// Appends attempted so far (crashed append included).
+    pub fn records_appended(&self) -> u64 {
+        self.records_appended
+    }
+
+    /// Has the injected crash point fired?
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+}
+
+/// Reading side: scans the whole file into records.
+pub struct WalReader {
+    bytes: Vec<u8>,
+}
+
+impl WalReader {
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, WalError> {
+        let mut file = File::open(path.as_ref())?;
+        file.seek(SeekFrom::Start(0))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(WalError::BadMagic);
+        }
+        Ok(WalReader { bytes })
+    }
+
+    /// Decode every intact record. An incomplete trailing frame is a
+    /// clean stop (torn write); a complete frame that fails its checksum
+    /// or decode is [`WalError::CorruptRecord`].
+    pub fn read_all(&self) -> Result<Vec<WalRecord>, WalError> {
+        let mut records = Vec::new();
+        let mut pos = WAL_MAGIC.len();
+        let mut index: u64 = 0;
+        let bytes = &self.bytes;
+        while pos < bytes.len() {
+            let offset = pos as u64;
+            if bytes.len() - pos < FRAME_HEADER {
+                break; // torn header
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let sum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+            let body_start = pos + FRAME_HEADER;
+            if bytes.len() - body_start < len {
+                break; // torn payload
+            }
+            let payload = &bytes[body_start..body_start + len];
+            if checksum(payload) != sum {
+                return Err(WalError::CorruptRecord { offset, index });
+            }
+            let rec = from_bytes::<WalRecord>(payload)
+                .map_err(|_| WalError::CorruptRecord { offset, index })?;
+            records.push(rec);
+            pos = body_start + len;
+            index += 1;
+        }
+        Ok(records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_core::{TxnSeq, UpdateId, ViewId};
+    use std::collections::BTreeSet;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mvc-wal-test-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn rel_rec(group: u64, id: u64) -> WalRecord {
+        WalRecord::RelInstalled {
+            group,
+            id: UpdateId(id),
+            rel: BTreeSet::from([ViewId(1)]),
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let path = temp_path("roundtrip");
+        let cfg = DurabilityConfig::new(&path);
+        let mut w = WalWriter::create(&cfg).unwrap();
+        w.append(&rel_rec(0, 1)).unwrap();
+        w.append(&WalRecord::TxnCommitted {
+            group: 0,
+            seq: TxnSeq(1),
+        })
+        .unwrap();
+        w.finalize().unwrap();
+        let records = WalReader::open(&path).unwrap().read_all().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].kind(), "rel-installed");
+        assert_eq!(records[1].kind(), "txn-committed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn delayed_fsync_loses_buffered_suffix() {
+        let path = temp_path("fsync");
+        let cfg = DurabilityConfig::new(&path)
+            .with_fsync_every(10)
+            .with_fault(FaultSpec {
+                kill_at_record: 5,
+                torn_tail_bytes: 0,
+                mode: KillMode::Drop,
+            });
+        let mut w = WalWriter::create(&cfg).unwrap();
+        for i in 1..=8 {
+            w.append(&rel_rec(0, i)).unwrap();
+        }
+        assert!(w.is_dead());
+        // Records 1-4 were buffered and never flushed; the crash drops them.
+        let records = WalReader::open(&path).unwrap().read_all().unwrap();
+        assert!(records.is_empty(), "nothing was fsynced before the crash");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_mode_surfaces_crash_point() {
+        let path = temp_path("errmode");
+        let cfg = DurabilityConfig::new(&path).with_fault(FaultSpec {
+            kill_at_record: 3,
+            torn_tail_bytes: 0,
+            mode: KillMode::Error,
+        });
+        let mut w = WalWriter::create(&cfg).unwrap();
+        w.append(&rel_rec(0, 1)).unwrap();
+        w.append(&rel_rec(0, 2)).unwrap();
+        assert!(matches!(
+            w.append(&rel_rec(0, 3)),
+            Err(WalError::CrashPoint)
+        ));
+        // Durable prefix survives: fsync_every=1 flushed records 1-2.
+        let records = WalReader::open(&path).unwrap().read_all().unwrap();
+        assert_eq!(records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_clean_end_of_log() {
+        let path = temp_path("torn");
+        let cfg = DurabilityConfig::new(&path).with_fault(FaultSpec {
+            kill_at_record: 4,
+            torn_tail_bytes: 5,
+            mode: KillMode::Drop,
+        });
+        let mut w = WalWriter::create(&cfg).unwrap();
+        for i in 1..=6 {
+            w.append(&rel_rec(0, i)).unwrap();
+        }
+        // Records 1-3 durable; the torn tail ate into record 3's frame.
+        let records = WalReader::open(&path).unwrap().read_all().unwrap();
+        assert_eq!(records.len(), 2, "torn frame dropped, no error");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checksum_is_typed_error() {
+        let path = temp_path("corrupt");
+        let cfg = DurabilityConfig::new(&path);
+        let mut w = WalWriter::create(&cfg).unwrap();
+        w.append(&rel_rec(0, 1)).unwrap();
+        w.append(&rel_rec(0, 2)).unwrap();
+        w.append(&rel_rec(0, 3)).unwrap();
+        w.finalize().unwrap();
+        drop(w);
+        // Flip one byte inside the SECOND frame's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        let second_payload = 8 + FRAME_HEADER + first_len + FRAME_HEADER;
+        bytes[second_payload] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = WalReader::open(&path).unwrap().read_all().unwrap_err();
+        match err {
+            WalError::CorruptRecord { index, offset } => {
+                assert_eq!(index, 1, "second record flagged");
+                assert_eq!(offset as usize, 8 + FRAME_HEADER + first_len);
+            }
+            other => panic!("expected CorruptRecord, got {other}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTAWAL!rest").unwrap();
+        assert!(matches!(WalReader::open(&path), Err(WalError::BadMagic)));
+        std::fs::remove_file(&path).ok();
+    }
+}

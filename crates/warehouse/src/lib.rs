@@ -13,4 +13,7 @@ pub mod shared;
 pub mod store;
 
 pub use shared::{ReorderingCommitter, SharedWarehouse};
-pub use store::{CommittedTxn, StoreTxn, ViewDelta, Warehouse, WarehouseAction, WarehouseError};
+pub use store::{
+    CommittedTxn, StoreTxn, ViewDelta, Warehouse, WarehouseAction, WarehouseError,
+    WarehouseSnapshot,
+};

@@ -70,6 +70,18 @@ struct ViewSlot {
     version: UpdateId,
 }
 
+/// Serializable image of a whole [`Warehouse`], written into durability
+/// checkpoints. History is included in full — the consistency oracle
+/// needs pre-crash commits to certify a stitched run.
+#[derive(Debug, Clone)]
+pub struct WarehouseSnapshot {
+    /// `(id, name, content, version)` per registered view.
+    pub views: Vec<(ViewId, ViewName, Relation, UpdateId)>,
+    pub history: Vec<CommittedTxn>,
+    pub record_snapshots: bool,
+    pub commits: u64,
+}
+
 /// The warehouse: a set of materialized views updated by atomic
 /// multi-view transactions (the merge process's `WT`s / `BWT`s).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -190,6 +202,43 @@ impl Warehouse {
 
     pub fn commit_count(&self) -> u64 {
         self.commits
+    }
+
+    /// Capture the full store for a durability checkpoint.
+    pub fn snapshot(&self) -> WarehouseSnapshot {
+        WarehouseSnapshot {
+            views: self
+                .views
+                .iter()
+                .map(|(&id, s)| (id, s.name.clone(), s.content.clone(), s.version))
+                .collect(),
+            history: self.history.clone(),
+            record_snapshots: self.record_snapshots,
+            commits: self.commits,
+        }
+    }
+
+    /// Rebuild a store from a checkpoint snapshot.
+    pub fn restore(s: WarehouseSnapshot) -> Self {
+        Warehouse {
+            views: s
+                .views
+                .into_iter()
+                .map(|(id, name, content, version)| {
+                    (
+                        id,
+                        ViewSlot {
+                            name,
+                            content,
+                            version,
+                        },
+                    )
+                })
+                .collect(),
+            history: s.history,
+            record_snapshots: s.record_snapshots,
+            commits: s.commits,
+        }
     }
 
     /// Fingerprints of the initial (pre-any-commit) state vector.

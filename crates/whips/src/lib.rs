@@ -11,6 +11,7 @@ pub mod integrator;
 pub mod metrics;
 pub mod obs;
 pub mod oracle;
+pub mod recovery;
 pub mod registry;
 pub mod scenario;
 pub mod sim;
@@ -21,7 +22,10 @@ pub use integrator::{GroupRouting, Integrator};
 pub use metrics::{SimMetrics, Summary};
 pub use obs::{Histogram, PipelineObs, QueueGauge};
 pub use oracle::{Oracle, Verdict};
+pub use recovery::{recover_and_run, RecoveryError};
 pub use registry::{ManagerKind, ViewEntry, ViewRegistry};
-pub use sim::{CommitLogEntry, SimBuilder, SimConfig, SimError, SimReport, WorkloadTxn};
+pub use sim::{
+    CommitLogEntry, DurableOutcome, SimBuilder, SimConfig, SimError, SimReport, WorkloadTxn,
+};
 pub use threaded::{ThreadedBuilder, ThreadedConfig, WallClock};
 pub use workload::{Deployment, GeneratedWorkload, ViewSuite, WorkloadSpec};

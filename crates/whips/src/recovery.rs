@@ -1,0 +1,334 @@
+//! Crash recovery: rebuild a mid-flight pipeline from its write-ahead
+//! log and finish the workload.
+//!
+//! The scan makes a single ordered pass over the log. Integrator routing
+//! is replayed from the log start (it is deterministic and cheap, and
+//! rebuilding it also reconstructs the per-group numbering and routing
+//! bookkeeping the oracle needs); engines and the warehouse start from
+//! the newest checkpoint — or fresh, if none — and consume only records
+//! *after* it. Replay is idempotent by construction: engine inputs are
+//! deduplicated by `UpdateId` watermark, commits by `(group, seq)`, so a
+//! group is never double-applied no matter where the crash landed.
+//!
+//! The resumed run does not re-log (single-recovery model): surviving a
+//! second crash during recovery would need the recovered state itself to
+//! be checkpointed first, which is exactly a fresh WAL — out of scope.
+
+use crate::integrator::Integrator;
+use crate::registry::{ManagerKind, ViewRegistry};
+use crate::sim::{CommitLogEntry, Sim, SimConfig, SimError, SimReport, WorkloadTxn};
+use mvc_core::{ConsistencyLevel, MergeProcess, TxnSeq, UpdateId, ViewId};
+use mvc_durability::{WalError, WalReader, WalRecord};
+use mvc_relational::Delta;
+use mvc_source::{GlobalSeq, SourceCluster, SourceUpdate};
+use mvc_viewmgr::NumberedUpdate;
+use mvc_warehouse::{StoreTxn, Warehouse};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Recovery failures, all typed — corruption, unsupported configurations
+/// and log-discipline violations are reported, never papered over.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// Reading the log failed (I/O, bad magic, checksum mismatch).
+    Wal(WalError),
+    /// The config carries no durability section, so there is no log.
+    NoDurability,
+    /// Only stateless (`Complete`) managers can be rebuilt from the log;
+    /// stateful manager kinds would need their own snapshots.
+    UnsupportedManager { view: ViewId },
+    /// A `TxnCommitted` record with no preceding `GroupReleased` payload:
+    /// the log violates the log-ahead discipline (or was tampered with).
+    MissingReleasePayload { group: usize, seq: TxnSeq },
+    /// Replaying the tail (or finishing the workload) failed.
+    Replay(SimError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Wal(e) => write!(f, "wal error: {e}"),
+            RecoveryError::NoDurability => {
+                write!(f, "config has no durability section (no log to recover)")
+            }
+            RecoveryError::UnsupportedManager { view } => {
+                write!(f, "view {view} uses a stateful manager kind; recovery supports Complete managers only")
+            }
+            RecoveryError::MissingReleasePayload { group, seq } => {
+                write!(
+                    f,
+                    "TxnCommitted({seq:?}) for group {group} has no GroupReleased payload"
+                )
+            }
+            RecoveryError::Replay(e) => write!(f, "replay error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<WalError> for RecoveryError {
+    fn from(e: WalError) -> Self {
+        RecoveryError::Wal(e)
+    }
+}
+impl From<SimError> for RecoveryError {
+    fn from(e: SimError) -> Self {
+        RecoveryError::Replay(e)
+    }
+}
+
+/// Everything the scan reconstructs; consumed by `Sim::resume`.
+pub(crate) struct RecoveredState {
+    pub(crate) integrator: Integrator,
+    pub(crate) warehouse: Warehouse,
+    pub(crate) mps: Vec<MergeProcess<Delta>>,
+    pub(crate) guarantees: Vec<ConsistencyLevel>,
+    pub(crate) group_views: Vec<BTreeSet<ViewId>>,
+    pub(crate) commit_log: Vec<CommitLogEntry>,
+    /// Per group: local id → global seq, for every routed update.
+    pub(crate) group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>>,
+    pub(crate) routed: BTreeSet<GlobalSeq>,
+    /// Per group, in arrival (= id) order: every routing decision.
+    pub(crate) route_lists: Vec<Vec<(UpdateId, NumberedUpdate, BTreeSet<ViewId>)>>,
+    /// Per group: highest REL id durably delivered to the engine.
+    pub(crate) installed_rel: Vec<UpdateId>,
+    /// Per view: highest `AL.last` durably delivered to its engine.
+    pub(crate) installed_al: BTreeMap<ViewId, UpdateId>,
+    /// Released but not committed, in `(group, seq)` order.
+    pub(crate) pending: BTreeMap<(usize, TxnSeq), StoreTxn>,
+    /// Committed but not acknowledged back to the scheduler.
+    pub(crate) unacked: Vec<(usize, TxnSeq)>,
+    /// Seq of the last `SourceUpdate` record in the log.
+    pub(crate) last_logged_src: GlobalSeq,
+}
+
+impl RecoveredState {
+    /// Source history the integrator never durably saw (the sources
+    /// survive crashes on their own, so their history is authoritative).
+    pub(crate) fn cluster_tail<'a>(
+        &self,
+        cluster: &'a SourceCluster,
+    ) -> impl Iterator<Item = &'a SourceUpdate> {
+        let after = self.last_logged_src;
+        cluster.history().iter().filter(move |u| u.seq > after)
+    }
+}
+
+/// Recover from the WAL named in `config.durability`, then finish
+/// `remaining` (the workload suffix the crashed run never injected) and
+/// return the stitched report: pre-crash commits restored from the log,
+/// post-crash commits appended by the resumed run, `commit_log` aligned
+/// 1:1 with `warehouse.history()` throughout.
+pub fn recover_and_run(
+    config: SimConfig,
+    cluster: SourceCluster,
+    registry: &ViewRegistry,
+    remaining: Vec<WorkloadTxn>,
+) -> Result<SimReport, RecoveryError> {
+    let d = config
+        .durability
+        .clone()
+        .ok_or(RecoveryError::NoDurability)?;
+    let records = WalReader::open(&d.wal_path)?.read_all()?;
+    let state = rebuild(&config, registry, &records)?;
+    let sim = Sim::resume(config, cluster, state, remaining)?;
+    sim.run().map_err(RecoveryError::Replay)
+}
+
+/// The single-pass log scan (see module docs).
+fn rebuild(
+    config: &SimConfig,
+    registry: &ViewRegistry,
+    records: &[WalRecord],
+) -> Result<RecoveredState, RecoveryError> {
+    for e in registry.iter() {
+        if e.kind != ManagerKind::Complete {
+            return Err(RecoveryError::UnsupportedManager { view: e.id });
+        }
+    }
+
+    // Mirror Sim::build's group layout.
+    let partitioning = registry.partitioning(config.partition);
+    let groups = partitioning.group_count().max(1);
+    let mut group_views: Vec<BTreeSet<ViewId>> = vec![BTreeSet::new(); groups];
+    for id in registry.ids() {
+        group_views[partitioning.group_of_view(id).unwrap_or(0)].insert(id);
+    }
+
+    // Engines, warehouse and commit log start from the newest checkpoint,
+    // or fresh if the log holds none.
+    let ck_idx = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::Checkpoint(_)));
+    let (mut mps, mut warehouse, mut commit_log) = match ck_idx {
+        Some(c) => {
+            let WalRecord::Checkpoint(ck) = &records[c] else {
+                unreachable!("rposition matched a checkpoint")
+            };
+            let mps: Vec<MergeProcess<Delta>> = ck
+                .merges
+                .iter()
+                .cloned()
+                .map(MergeProcess::from_snapshot)
+                .collect();
+            let warehouse = Warehouse::restore(ck.warehouse.clone());
+            let commit_log = ck
+                .commit_log
+                .iter()
+                .map(|r| CommitLogEntry {
+                    group: r.group as usize,
+                    seq: r.seq,
+                    rows: r.rows.clone(),
+                    views: r.views.clone(),
+                })
+                .collect();
+            (mps, warehouse, commit_log)
+        }
+        None => {
+            let mut mps = Vec::with_capacity(groups);
+            for views in group_views.iter() {
+                let levels: Vec<(ViewId, ConsistencyLevel)> = registry
+                    .levels()
+                    .into_iter()
+                    .filter(|(v, _)| views.contains(v))
+                    .collect();
+                mps.push(match config.algorithm {
+                    Some(alg) => {
+                        MergeProcess::new(alg, levels.iter().map(|(v, _)| *v), config.commit_policy)
+                    }
+                    None => MergeProcess::for_managers(levels, config.commit_policy),
+                });
+            }
+            let mut warehouse = Warehouse::new(config.record_snapshots);
+            for e in registry.iter() {
+                warehouse
+                    .register_view(
+                        e.id,
+                        e.def.name.clone(),
+                        mvc_relational::Relation::new(e.def.schema.clone()),
+                    )
+                    .expect("fresh warehouse");
+            }
+            (mps, warehouse, Vec::new())
+        }
+    };
+    let guarantees: Vec<ConsistencyLevel> = mps.iter().map(MergeProcess::guarantees).collect();
+
+    // Routing is replayed from the log start through a fresh integrator
+    // (deterministic, and it rebuilds the numbering bookkeeping).
+    let mut integrator = Integrator::new(
+        registry.clone(),
+        registry.partitioning(config.partition),
+        config.tuple_relevance,
+    );
+
+    let mut route_lists: Vec<Vec<(UpdateId, NumberedUpdate, BTreeSet<ViewId>)>> =
+        vec![Vec::new(); groups];
+    let mut group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>> = vec![BTreeMap::new(); groups];
+    let mut routed = BTreeSet::new();
+    let mut installed_rel = vec![UpdateId::ZERO; groups];
+    let mut installed_al: BTreeMap<ViewId, UpdateId> = BTreeMap::new();
+    let mut pending: BTreeMap<(usize, TxnSeq), StoreTxn> = BTreeMap::new();
+    let mut committed: BTreeSet<(usize, TxnSeq)> = BTreeSet::new();
+    let mut acked: BTreeSet<(usize, TxnSeq)> = BTreeSet::new();
+    let mut last_logged_src = GlobalSeq::INITIAL;
+
+    for (i, rec) in records.iter().enumerate() {
+        // Engine/warehouse transitions at or before the checkpoint are
+        // already inside it; watermarks and payloads are tracked across
+        // the whole log.
+        let past_ck = ck_idx.is_none_or(|c| i > c);
+        match rec {
+            WalRecord::SourceUpdate(u) => {
+                last_logged_src = u.seq;
+                for r in integrator.route(u.clone()) {
+                    routed.insert(r.numbered.seq());
+                    group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
+                    route_lists[r.group].push((r.numbered.id, r.numbered, r.rel));
+                }
+            }
+            WalRecord::RelInstalled { group, id, rel } => {
+                let g = *group as usize;
+                installed_rel[g] = installed_rel[g].max(*id);
+                if past_ck {
+                    let released = mps[g].on_rel(*id, rel.clone()).map_err(SimError::from)?;
+                    stash(&mut pending, g, released);
+                }
+            }
+            WalRecord::ActionInstalled { group, al } => {
+                let g = *group as usize;
+                let w = installed_al.entry(al.view).or_insert(UpdateId::ZERO);
+                *w = (*w).max(al.last);
+                if past_ck {
+                    let released = mps[g].on_action(al.clone()).map_err(SimError::from)?;
+                    stash(&mut pending, g, released);
+                }
+            }
+            WalRecord::GroupReleased { group, txn } => {
+                // `or_insert`: the logged payload wins over (identical)
+                // replay-emitted copies.
+                pending
+                    .entry((*group as usize, txn.seq))
+                    .or_insert_with(|| txn.clone());
+            }
+            WalRecord::TxnCommitted { group, seq } => {
+                let g = *group as usize;
+                committed.insert((g, *seq));
+                let txn =
+                    pending
+                        .remove(&(g, *seq))
+                        .ok_or(RecoveryError::MissingReleasePayload {
+                            group: g,
+                            seq: *seq,
+                        })?;
+                if past_ck {
+                    warehouse.apply(&txn).map_err(SimError::from)?;
+                    commit_log.push(CommitLogEntry {
+                        group: g,
+                        seq: *seq,
+                        rows: txn.rows.clone(),
+                        views: txn.views.clone(),
+                    });
+                }
+            }
+            WalRecord::CommitAcked { group, seq } => {
+                let g = *group as usize;
+                acked.insert((g, *seq));
+                if past_ck {
+                    let released = mps[g].on_committed(*seq);
+                    stash(&mut pending, g, released);
+                }
+            }
+            // Paint records are an audit trail; colors are reconstructed
+            // by the engine replay above. Checkpoints were consumed up
+            // front.
+            WalRecord::Paint { .. } | WalRecord::Checkpoint(_) => {}
+        }
+    }
+
+    let unacked: Vec<(usize, TxnSeq)> = committed.difference(&acked).copied().collect();
+    Ok(RecoveredState {
+        integrator,
+        warehouse,
+        mps,
+        guarantees,
+        group_views,
+        commit_log,
+        group_updates,
+        routed,
+        route_lists,
+        installed_rel,
+        installed_al,
+        pending,
+        unacked,
+        last_logged_src,
+    })
+}
+
+/// Record replay-released transactions without clobbering logged payloads.
+fn stash(pending: &mut BTreeMap<(usize, TxnSeq), StoreTxn>, g: usize, released: Vec<StoreTxn>) {
+    for t in released {
+        pending.entry((g, t.seq)).or_insert(t);
+    }
+}

@@ -23,6 +23,9 @@ use mvc_core::{
     CommitPolicy, CommitStats, ConsistencyLevel, MergeAlgorithm, MergeError, MergeProcess,
     MergeStats, Partitioning, TxnSeq, UpdateId, ViewId,
 };
+use mvc_durability::{
+    CheckpointState, CommitRecord, DurabilityConfig, WalError, WalRecord, WalWriter,
+};
 use mvc_relational::{Delta, EvalError, RelationName, Schema, ViewDef};
 use mvc_source::{GlobalSeq, SourceCluster, SourceError, SourceId, SourceUpdate, WriteOp};
 use mvc_viewmgr::{
@@ -71,6 +74,10 @@ pub struct SimConfig {
     pub record_snapshots: bool,
     /// Safety cap on scheduler steps.
     pub max_steps: u64,
+    /// Write-ahead logging + crash injection (`None` = in-memory only).
+    /// Durable runs reject §1.2 dynamic installs — the install protocol's
+    /// pseudo-updates are not in the WAL vocabulary.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for SimConfig {
@@ -87,6 +94,7 @@ impl Default for SimConfig {
             max_open_updates: None,
             record_snapshots: true,
             max_steps: 50_000_000,
+            durability: None,
         }
     }
 }
@@ -119,6 +127,12 @@ pub enum SimError {
         queue_depths: Vec<(String, usize)>,
     },
     StepLimit(u64),
+    /// Durability subsystem failure (WAL append/flush). The injected
+    /// crash point of the fault harness also arrives here, as
+    /// `Wal(WalError::CrashPoint)`.
+    Wal(WalError),
+    /// Configuration rejected in the requested mode.
+    Unsupported(String),
 }
 
 impl fmt::Display for SimError {
@@ -142,6 +156,8 @@ impl fmt::Display for SimError {
                 Ok(())
             }
             SimError::StepLimit(n) => write!(f, "step limit {n} exceeded"),
+            SimError::Wal(e) => write!(f, "wal error: {e}"),
+            SimError::Unsupported(why) => write!(f, "unsupported configuration: {why}"),
         }
     }
 }
@@ -171,6 +187,11 @@ impl From<WarehouseError> for SimError {
 impl From<EvalError> for SimError {
     fn from(e: EvalError) -> Self {
         SimError::Eval(e)
+    }
+}
+impl From<WalError> for SimError {
+    fn from(e: WalError) -> Self {
+        SimError::Wal(e)
     }
 }
 
@@ -294,6 +315,12 @@ impl SimBuilder {
         self.cluster.catalog()
     }
 
+    /// The view registry as configured so far. Crash recovery needs the
+    /// same registry the crashed run was built with.
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
     /// Append a single-source transaction to the workload.
     pub fn txn(mut self, source: SourceId, writes: Vec<WriteOp>) -> Self {
         self.workload.push(WorkloadTxn {
@@ -344,6 +371,40 @@ impl SimBuilder {
     pub fn run(self) -> Result<SimReport, SimError> {
         Sim::build(self)?.run()
     }
+
+    /// Run under the configured durability settings; an injected crash
+    /// point surfaces as [`DurableOutcome::Crashed`] rather than an error,
+    /// carrying everything `recovery::recover_and_run` needs.
+    pub fn run_durable(self) -> Result<DurableOutcome, SimError> {
+        let mut sim = Sim::build(self)?;
+        match sim.run_inner() {
+            Ok(()) => Ok(DurableOutcome::Completed(Box::new(sim.into_report()?))),
+            Err(SimError::Wal(WalError::CrashPoint)) => {
+                let injected = sim.metrics.injected as usize;
+                Ok(DurableOutcome::Crashed {
+                    cluster: sim.cluster,
+                    injected,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Outcome of [`SimBuilder::run_durable`].
+pub enum DurableOutcome {
+    /// The run completed; the WAL holds the full history.
+    Completed(Box<SimReport>),
+    /// The injected crash point fired mid-run. The warehouse-side state is
+    /// gone — only the WAL file survives.
+    Crashed {
+        /// Source-side state at the crash (the sources are autonomous
+        /// DBMSs with their own durability, so their state survives).
+        cluster: SourceCluster,
+        /// Workload transactions injected before the crash:
+        /// `workload[injected..]` is the unfinished remainder.
+        injected: usize,
+    },
 }
 
 /// Result of a simulation run: full histories plus metrics, ready for the
@@ -387,7 +448,7 @@ pub struct CommitLogEntry {
     pub views: BTreeSet<ViewId>,
 }
 
-struct Sim {
+pub(crate) struct Sim {
     config: SimConfig,
     rng: StdRng,
     cluster: SourceCluster,
@@ -434,6 +495,12 @@ struct Sim {
     /// Injected but not yet fully covered (None until routed; the count
     /// is the number of groups still holding uncovered rows).
     open_updates: BTreeMap<GlobalSeq, Option<usize>>,
+    /// Write-ahead log (durable mode only).
+    wal: Option<WalWriter>,
+    /// Commits since the last checkpoint record.
+    commits_since_checkpoint: u64,
+    /// Checkpoint cadence from the durability config (0 = never).
+    checkpoint_every: u64,
 }
 
 impl Sim {
@@ -509,6 +576,21 @@ impl Sim {
             }
         }
 
+        let mut wal = None;
+        let mut checkpoint_every = 0;
+        if let Some(d) = &b.config.durability {
+            if !b.installs.is_empty() {
+                return Err(SimError::Unsupported(
+                    "dynamic view installs are not supported in durable mode".into(),
+                ));
+            }
+            wal = Some(WalWriter::create(d)?);
+            checkpoint_every = d.checkpoint_every;
+            for mp in &mut mps {
+                mp.enable_paint_events();
+            }
+        }
+
         Ok(Sim {
             rng: StdRng::seed_from_u64(b.config.seed),
             cluster: b.cluster,
@@ -536,8 +618,38 @@ impl Sim {
             install_rows: BTreeMap::new(),
             activations: BTreeMap::new(),
             last_processed_seq: GlobalSeq::INITIAL,
+            wal,
+            commits_since_checkpoint: 0,
+            checkpoint_every,
             config: b.config,
         })
+    }
+
+    /// Append one WAL record (no-op without durability). An injected
+    /// crash point surfaces as `SimError::Wal(WalError::CrashPoint)`.
+    fn log(&mut self, rec: &WalRecord) -> Result<(), SimError> {
+        if let Some(w) = self.wal.as_mut() {
+            w.append(rec)?;
+        }
+        Ok(())
+    }
+
+    /// Drain paint transitions out of group `g`'s engine into the audit
+    /// trail (recovery never replays these).
+    fn log_paints(&mut self, g: usize) -> Result<(), SimError> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        for e in self.mps[g].take_paint_events() {
+            self.log(&WalRecord::Paint {
+                group: g as u64,
+                update: e.update,
+                view: e.view,
+                color: e.color,
+                state: e.state,
+            })?;
+        }
+        Ok(())
     }
 
     fn send(&mut self, chan: Chan, msg: Msg) {
@@ -553,7 +665,12 @@ impl Sim {
             && self.reorder_buf.is_empty()
     }
 
-    fn run(mut self) -> Result<SimReport, SimError> {
+    pub(crate) fn run(mut self) -> Result<SimReport, SimError> {
+        self.run_inner()?;
+        self.into_report()
+    }
+
+    fn run_inner(&mut self) -> Result<(), SimError> {
         // Main phase: interleave injection and delivery.
         loop {
             if self.metrics.steps >= self.config.max_steps {
@@ -593,7 +710,7 @@ impl Sim {
                 }
                 for g in 0..self.mps.len() {
                     let released = self.mps[g].flush();
-                    self.record_releases(g, released);
+                    self.record_releases(g, released)?;
                 }
                 self.flush_reorder_buffer()?;
                 let still_empty = self.channels.values().all(VecDeque::is_empty);
@@ -658,7 +775,7 @@ impl Sim {
             }
             for g in 0..self.mps.len() {
                 let released = self.mps[g].flush();
-                self.record_releases(g, released);
+                self.record_releases(g, released)?;
             }
             if let Some(depth) = self.config.commit_reorder_depth {
                 let _ = depth;
@@ -681,7 +798,13 @@ impl Sim {
                 .collect();
             return Err(SimError::NonQuiescent(stuck.join(", ")));
         }
+        Ok(())
+    }
 
+    fn into_report(mut self) -> Result<SimReport, SimError> {
+        if let Some(w) = self.wal.as_mut() {
+            w.finalize()?;
+        }
         let merge_stats = self.mps.iter().map(MergeProcess::stats).collect();
         let commit_stats = self.mps.iter().map(MergeProcess::commit_stats).collect();
         Ok(SimReport {
@@ -746,6 +869,9 @@ impl Sim {
             (Chan::SrcToInt, Msg::SrcUpdate(u)) => {
                 let seq = u.seq;
                 self.last_processed_seq = seq;
+                if self.wal.is_some() {
+                    self.log(&WalRecord::SourceUpdate(u.clone()))?;
+                }
                 let routings = self.integrator.route(u);
                 if routings.is_empty() {
                     // irrelevant everywhere: closes immediately
@@ -816,29 +942,55 @@ impl Sim {
                 // install AL for a freshly added view (§1.2)
                 self.al_recv
                     .insert((g, al.view, al.last), self.metrics.steps);
+                if self.wal.is_some() {
+                    self.log(&WalRecord::ActionInstalled {
+                        group: g as u64,
+                        al: al.clone(),
+                    })?;
+                }
                 let released = self.mps[g].on_action(al)?;
                 self.sample_vut(g);
-                self.record_releases(g, released);
+                self.log_paints(g)?;
+                self.record_releases(g, released)?;
             }
             (Chan::IntToMp(g), Msg::Rel(id, rel)) => {
+                if self.wal.is_some() {
+                    self.log(&WalRecord::RelInstalled {
+                        group: g as u64,
+                        id,
+                        rel: rel.clone(),
+                    })?;
+                }
                 let released = self.mps[g].on_rel(id, rel)?;
                 self.sample_vut(g);
-                self.record_releases(g, released);
+                self.log_paints(g)?;
+                self.record_releases(g, released)?;
             }
             (Chan::VmToMp(v), Msg::Action(al)) => {
                 let g = self.integrator.partitioning().group_of_view(v).unwrap_or(0);
                 self.al_recv
                     .insert((g, al.view, al.last), self.metrics.steps);
+                if self.wal.is_some() {
+                    self.log(&WalRecord::ActionInstalled {
+                        group: g as u64,
+                        al: al.clone(),
+                    })?;
+                }
                 let released = self.mps[g].on_action(al)?;
                 self.sample_vut(g);
-                self.record_releases(g, released);
+                self.log_paints(g)?;
+                self.record_releases(g, released)?;
             }
             (Chan::MpToWh(g), Msg::Txn(txn)) => {
                 self.commit_or_buffer(g, txn)?;
             }
             (Chan::WhToMp(g), Msg::Committed(seq)) => {
+                self.log(&WalRecord::CommitAcked {
+                    group: g as u64,
+                    seq,
+                })?;
                 let released = self.mps[g].on_committed(seq);
-                self.record_releases(g, released);
+                self.record_releases(g, released)?;
             }
             (c, m) => unreachable!("message {m:?} on channel {c:?}"),
         }
@@ -874,8 +1026,16 @@ impl Sim {
         }
     }
 
-    fn record_releases(&mut self, g: usize, released: Vec<StoreTxn>) {
+    fn record_releases(&mut self, g: usize, released: Vec<StoreTxn>) -> Result<(), SimError> {
         for t in released {
+            if self.wal.is_some() {
+                // Full payload: a txn released before a checkpoint but
+                // committed after it cannot be regenerated by tail replay.
+                self.log(&WalRecord::GroupReleased {
+                    group: g as u64,
+                    txn: t.clone(),
+                })?;
+            }
             for a in &t.actions {
                 if let Some(rcv) = self.al_recv.remove(&(g, a.view, a.last)) {
                     self.obs
@@ -886,6 +1046,7 @@ impl Sim {
             self.release_steps[g].insert(t.seq, self.metrics.steps);
             self.send(Chan::MpToWh(g), Msg::Txn(t));
         }
+        Ok(())
     }
 
     fn sample_vut(&mut self, g: usize) {
@@ -981,6 +1142,10 @@ impl Sim {
 
     fn commit(&mut self, g: usize, txn: StoreTxn) -> Result<(), SimError> {
         let seq = txn.seq;
+        self.log(&WalRecord::TxnCommitted {
+            group: g as u64,
+            seq,
+        })?;
         self.warehouse.apply(&txn)?;
         self.commit_log.push(CommitLogEntry {
             group: g,
@@ -1032,7 +1197,179 @@ impl Sim {
             self.obs.commit_apply.record(delay);
         }
         self.send(Chan::WhToMp(g), Msg::Committed(seq));
+        self.maybe_checkpoint()?;
         Ok(())
+    }
+
+    /// Emit a checkpoint record every `checkpoint_every` commits. Written
+    /// immediately after the triggering `TxnCommitted`, so every engine
+    /// input that produced the checkpointed state precedes it in the log.
+    fn maybe_checkpoint(&mut self) -> Result<(), SimError> {
+        if self.wal.is_none() || self.checkpoint_every == 0 {
+            return Ok(());
+        }
+        self.commits_since_checkpoint += 1;
+        if self.commits_since_checkpoint < self.checkpoint_every {
+            return Ok(());
+        }
+        self.commits_since_checkpoint = 0;
+        let ck = CheckpointState {
+            warehouse: self.warehouse.snapshot(),
+            merges: self.mps.iter().map(MergeProcess::snapshot).collect(),
+            commit_log: self
+                .commit_log
+                .iter()
+                .map(|e| CommitRecord {
+                    group: e.group as u64,
+                    seq: e.seq,
+                    rows: e.rows.clone(),
+                    views: e.views.clone(),
+                })
+                .collect(),
+        };
+        self.log(&WalRecord::Checkpoint(Box::new(ck)))
+    }
+
+    /// Reconstruct a mid-flight simulation from recovered state (see
+    /// `recovery::recover_and_run`): engines, warehouse and bookkeeping
+    /// come from the WAL scan; view managers are rebuilt fresh and
+    /// initialized at their last logged AL watermark; every message that
+    /// was in flight (or lost with the log tail) is re-enqueued. The
+    /// resumed run does not re-log (single-recovery model).
+    pub(crate) fn resume(
+        mut config: SimConfig,
+        cluster: SourceCluster,
+        state: crate::recovery::RecoveredState,
+        remaining: Vec<WorkloadTxn>,
+    ) -> Result<Self, SimError> {
+        config.durability = None;
+        let groups = state.mps.len();
+        let mut channels: BTreeMap<Chan, VecDeque<(u64, Msg)>> = BTreeMap::new();
+        let mut push = |chan: Chan, msg: Msg| {
+            channels.entry(chan).or_default().push_back((0, msg));
+        };
+
+        // Source updates the integrator never durably saw: re-deliver
+        // from the (surviving) source history.
+        let mut open_updates: BTreeMap<GlobalSeq, Option<usize>> = BTreeMap::new();
+        for u in state.cluster_tail(&cluster) {
+            open_updates.insert(u.seq, None);
+            push(Chan::SrcToInt, Msg::SrcUpdate(u.clone()));
+        }
+
+        // REL messages past each group's installed watermark (per-channel
+        // FIFO makes the durable prefix gapless), and per-view update
+        // messages past each view's AL watermark.
+        for (g, list) in state.route_lists.iter().enumerate() {
+            for (id, _, rel) in list {
+                if *id > state.installed_rel[g] {
+                    push(Chan::IntToMp(g), Msg::Rel(*id, rel.clone()));
+                }
+            }
+        }
+        let zero = UpdateId::ZERO;
+        for (g, views) in state.group_views.iter().enumerate() {
+            for &v in views {
+                let watermark = *state.installed_al.get(&v).unwrap_or(&zero);
+                for (id, numbered, rel) in &state.route_lists[g] {
+                    if rel.contains(&v) && *id > watermark {
+                        push(Chan::IntToVm(v), Msg::Update(numbered.clone()));
+                    }
+                }
+            }
+        }
+
+        // Released-but-uncommitted transactions go straight back to the
+        // committer; committed-but-unacked seqs get their ack re-delivered
+        // (else the scheduler's in-flight window never clears).
+        for ((g, _), txn) in &state.pending {
+            push(Chan::MpToWh(*g), Msg::Txn(txn.clone()));
+        }
+        for (g, seq) in &state.unacked {
+            push(Chan::WhToMp(*g), Msg::Committed(*seq));
+        }
+
+        // Rows not yet covered by a commit, and the open-update window.
+        let mut uncovered: Vec<BTreeMap<UpdateId, ()>> = vec![BTreeMap::new(); groups];
+        for (g, list) in state.route_lists.iter().enumerate() {
+            for (id, _, _) in list {
+                uncovered[g].insert(*id, ());
+            }
+        }
+        for e in &state.commit_log {
+            for row in &e.rows {
+                uncovered[e.group].remove(row);
+            }
+        }
+        let mut still_open: BTreeMap<GlobalSeq, usize> = BTreeMap::new();
+        for (g, ids) in uncovered.iter().enumerate() {
+            for id in ids.keys() {
+                let seq = state.group_updates[g]
+                    .get(id)
+                    .copied()
+                    .expect("uncovered row was routed");
+                *still_open.entry(seq).or_insert(0) += 1;
+            }
+        }
+        for (seq, n) in still_open {
+            open_updates.insert(seq, Some(n));
+        }
+
+        // Fresh view managers initialized at their durable watermark (the
+        // recovery scan rejects stateful manager kinds).
+        let mut vms: BTreeMap<ViewId, Box<dyn ViewManager>> = BTreeMap::new();
+        for e in state.integrator.registry().iter() {
+            let mut vm = e.kind.build(e.id, e.def.clone())?;
+            let g = state
+                .integrator
+                .partitioning()
+                .group_of_view(e.id)
+                .unwrap_or(0);
+            let watermark = *state.installed_al.get(&e.id).unwrap_or(&zero);
+            if watermark > zero {
+                let cut = state.group_updates[g]
+                    .get(&watermark)
+                    .copied()
+                    .expect("AL watermark maps to a routed update");
+                vm.initialize(&cluster.as_of(cut))?;
+            }
+            vms.insert(e.id, vm);
+        }
+
+        let workload: VecDeque<DriverAction> =
+            remaining.into_iter().map(DriverAction::Txn).collect();
+        Ok(Sim {
+            rng: StdRng::seed_from_u64(config.seed),
+            last_processed_seq: state.last_logged_src,
+            cluster,
+            integrator: state.integrator,
+            vms,
+            mps: state.mps,
+            warehouse: state.warehouse,
+            channels,
+            workload,
+            reorder_buf: Vec::new(),
+            metrics: SimMetrics::default(),
+            obs: PipelineObs::new("steps"),
+            vm_pending: BTreeMap::new(),
+            al_recv: BTreeMap::new(),
+            group_updates: state.group_updates,
+            inject_steps: BTreeMap::new(),
+            uncovered,
+            release_steps: vec![BTreeMap::new(); groups],
+            guarantees: state.guarantees,
+            group_views: state.group_views,
+            commit_log: state.commit_log,
+            routed: state.routed,
+            open_updates,
+            install_specs: BTreeMap::new(),
+            install_rows: BTreeMap::new(),
+            activations: BTreeMap::new(),
+            wal: None,
+            commits_since_checkpoint: 0,
+            checkpoint_every: 0,
+            config,
+        })
     }
 }
 

@@ -26,6 +26,7 @@ use crate::sim::{CommitLogEntry, SimError, SimReport};
 use mvc_core::{
     CommitPolicy, ConsistencyLevel, MergeAlgorithm, MergeProcess, TxnSeq, UpdateId, ViewId,
 };
+use mvc_durability::{DurabilityConfig, WalRecord, WalWriter};
 use mvc_relational::{Delta, RelationName, Schema, ViewDef};
 use mvc_source::{GlobalSeq, SourceCluster, SourceId};
 use mvc_viewmgr::{
@@ -63,6 +64,16 @@ pub struct ThreadedConfig {
     pub reader_views: Vec<ViewId>,
     /// Pause between reader samples.
     pub reader_interval: Duration,
+    /// Pause between queue-depth samples. Senders record depths only at
+    /// send time, so without the sampler the gauges never see idle-time
+    /// decay; `ZERO` disables the sampler thread.
+    pub depth_sample_interval: Duration,
+    /// Write-ahead logging + crash injection. The threaded runtime logs
+    /// but never checkpoints (merge state lives inside the MP threads),
+    /// so recovery replays from the log start. WAL errors never stop the
+    /// pipeline here — use `KillMode::Drop` faults, which model a machine
+    /// that keeps computing while nothing more reaches the disk.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ThreadedConfig {
@@ -80,6 +91,8 @@ impl Default for ThreadedConfig {
             sequential: false,
             reader_views: Vec::new(),
             reader_interval: Duration::from_micros(200),
+            depth_sample_interval: Duration::from_micros(500),
+            durability: None,
         }
     }
 }
@@ -93,6 +106,12 @@ pub struct WallClock {
     /// Samples taken by the concurrent reader (when configured): each is
     /// one consistent multi-view read.
     pub reader_samples: Vec<std::collections::BTreeMap<ViewId, mvc_relational::Relation>>,
+    /// In-flight message counter at the end of the drain (0 on a clean
+    /// run — nonzero would mean quiescence detection is broken).
+    pub in_flight_at_end: i64,
+    /// Per-channel backlog at the end of the drain: the same diagnostics
+    /// a `DrainTimeout` error carries, available on success too.
+    pub queue_depths_at_end: Vec<(String, usize)>,
 }
 
 enum VmMsg {
@@ -187,6 +206,12 @@ impl ThreadedBuilder {
         self.cluster.catalog()
     }
 
+    /// The installed view registry — recovery needs the same one to
+    /// rebuild managers from a WAL this runtime wrote.
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
     pub fn workload(mut self, txns: Vec<crate::sim::WorkloadTxn>) -> Self {
         self.workload.extend(txns);
         self
@@ -224,6 +249,18 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     }
     let warehouse = Arc::new(Mutex::new(warehouse));
     let commit_log: Arc<Mutex<Vec<CommitLogEntry>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Write-ahead log, shared by every logging thread. Unlike the
+    // simulator, append errors are deliberately dropped (`let _`): a WAL
+    // crash point must never stop the in-memory pipeline, only the log —
+    // every `KillMode` degenerates to `Drop` here, modelling a machine
+    // whose disk died while the process kept computing. Recovery then
+    // replays the pre-crash prefix. No checkpoints either: merge state
+    // lives inside the MP threads, so recovery replays from the start.
+    let wal: Option<Arc<Mutex<WalWriter>>> = match &config.durability {
+        Some(d) => Some(Arc::new(Mutex::new(WalWriter::create(d)?))),
+        None => None,
+    };
 
     // Per-thread observability: every thread records latencies into its
     // own PipelineObs (no lock on the hot path) and pushes it here on
@@ -323,6 +360,10 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             None => MergeProcess::for_managers(levels, config.commit_policy),
         };
         guarantees.push(mp.guarantees());
+        if wal.is_some() {
+            mp.enable_paint_events();
+        }
+        let wal = wal.clone();
         let quiescent = Arc::new(AtomicBool::new(true));
         mp_quiescent.lock().push(quiescent.clone());
         let wh_tx = wh_tx.clone();
@@ -339,21 +380,63 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                 let released = match msg {
                     MpMsg::Rel(i, rel, sent) => {
                         obs.int_routing.record(sent.elapsed().as_nanos() as u64);
+                        if let Some(w) = &wal {
+                            let _ = w.lock().append(&WalRecord::RelInstalled {
+                                group: g as u64,
+                                id: i,
+                                rel: rel.clone(),
+                            });
+                        }
                         mp.on_rel(i, rel).map_err(|e| e.to_string())?
                     }
                     MpMsg::Action(al) => {
                         al_recv.insert((al.view, al.last), Instant::now());
+                        if let Some(w) = &wal {
+                            let _ = w.lock().append(&WalRecord::ActionInstalled {
+                                group: g as u64,
+                                al: al.clone(),
+                            });
+                        }
                         mp.on_action(al).map_err(|e| e.to_string())?
                     }
-                    MpMsg::Committed(seq) => mp.on_committed(seq),
+                    MpMsg::Committed(seq) => {
+                        if let Some(w) = &wal {
+                            let _ = w.lock().append(&WalRecord::CommitAcked {
+                                group: g as u64,
+                                seq,
+                            });
+                        }
+                        mp.on_committed(seq)
+                    }
                     MpMsg::Flush => mp.flush(),
                     MpMsg::Stop => break,
                 };
+                if let Some(w) = &wal {
+                    let mut w = w.lock();
+                    for e in mp.take_paint_events() {
+                        let _ = w.append(&WalRecord::Paint {
+                            group: g as u64,
+                            update: e.update,
+                            view: e.view,
+                            color: e.color,
+                            state: e.state,
+                        });
+                    }
+                }
                 for t in released {
                     for a in &t.actions {
                         if let Some(arrived) = al_recv.remove(&(a.view, a.last)) {
                             obs.merge_hold.record(arrived.elapsed().as_nanos() as u64);
                         }
+                    }
+                    // Full payload, logged before the send: once this hits
+                    // the disk the transaction survives a crash even if the
+                    // committer never sees it.
+                    if let Some(w) = &wal {
+                        let _ = w.lock().append(&WalRecord::GroupReleased {
+                            group: g as u64,
+                            txn: t.clone(),
+                        });
                     }
                     flight.up();
                     let _ = wh_tx.send(WhMsg::Txn(g, t, Instant::now()));
@@ -429,6 +512,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let flight = flight.clone();
         let delay = config.commit_delay;
         let obs_parts = obs_parts.clone();
+        let wal = wal.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
             // Commits run concurrently when a latency is configured (a
             // real DBMS overlaps independent transactions); ordering of
@@ -445,12 +529,21 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                         let commit_log = commit_log.clone();
                         let mp_tx = mp_txs[g].clone();
                         let flight = flight.clone();
+                        let wal = wal.clone();
                         let commit = move |obs: &mut PipelineObs| -> Result<(), String> {
                             if !delay.is_zero() {
                                 std::thread::sleep(delay);
                             }
                             {
                                 let mut w = warehouse.lock();
+                                // Under the warehouse lock so the log's
+                                // TxnCommitted order matches the history.
+                                if let Some(l) = &wal {
+                                    let _ = l.lock().append(&WalRecord::TxnCommitted {
+                                        group: g as u64,
+                                        seq: txn.seq,
+                                    });
+                                }
                                 w.apply(&txn).map_err(|e| e.to_string())?;
                                 commit_log.lock().push(CommitLogEntry {
                                     group: g,
@@ -511,6 +604,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let flight = flight.clone();
         let routing_state = routing_state.clone();
         let obs_parts = obs_parts.clone();
+        let wal = wal.clone();
         let ngroups = groups;
         handles.push(std::thread::spawn(move || -> Result<(), String> {
             let mut obs = PipelineObs::new("ns");
@@ -521,6 +615,9 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                 match msg {
                     IntMsg::Update(u, sent) => {
                         obs.src_to_int_wait.record(sent.elapsed().as_nanos() as u64);
+                        if let Some(w) = &wal {
+                            let _ = w.lock().append(&WalRecord::SourceUpdate(u.clone()));
+                        }
                         for r in integrator.route(u) {
                             routed.insert(r.numbered.seq());
                             group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
@@ -573,6 +670,40 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                 std::thread::sleep(interval);
             }
             samples
+        }))
+    };
+
+    // --- Queue-depth sampler ---
+    // Senders gauge a channel only at send time, so between bursts the
+    // recorded depths never decay; this thread samples every channel on a
+    // fixed interval so the gauges also see idle-time drain-down.
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    let sampler_handle = if config.depth_sample_interval.is_zero() {
+        None
+    } else {
+        let int_tx = int_tx.clone();
+        let qs_tx = qs_tx.clone();
+        let wh_tx = wh_tx.clone();
+        let vm_txs = vm_txs.clone();
+        let mp_txs = mp_txs.clone();
+        let interval = config.depth_sample_interval;
+        let stop = sampler_stop.clone();
+        let obs_parts = obs_parts.clone();
+        Some(std::thread::spawn(move || {
+            let mut obs = PipelineObs::new("ns");
+            while !stop.load(Ordering::SeqCst) {
+                obs.note_depth("src_to_int", int_tx.len() as u64);
+                obs.note_depth("vm_to_qs", qs_tx.len() as u64);
+                obs.note_depth("mp_to_wh", wh_tx.len() as u64);
+                for tx in vm_txs.values() {
+                    obs.note_depth("int_to_vm", tx.len() as u64);
+                }
+                for tx in &mp_txs {
+                    obs.note_depth("int_to_mp", tx.len() as u64);
+                }
+                std::thread::sleep(interval);
+            }
+            obs_parts.lock().push(obs);
         }))
     };
 
@@ -679,7 +810,12 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         std::thread::sleep(Duration::from_micros(200));
     }
     let elapsed = started.elapsed();
+    // Drain diagnostics on the *success* path too — the same counters a
+    // DrainTimeout error carries; a clean run must show 0 / all-empty.
+    let in_flight_at_end = flight.count();
+    let queue_depths_at_end = queue_depths(&vm_txs, &mp_txs);
     reader_stop.store(true, Ordering::SeqCst);
+    sampler_stop.store(true, Ordering::SeqCst);
     let reader_samples = match reader_handle {
         Some(h) => h.join().unwrap_or_default(),
         None => Vec::new(),
@@ -701,6 +837,13 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             Ok(Err(e)) => return Err(SimError::NonQuiescent(format!("thread error: {e}"))),
             Err(_) => return Err(SimError::NonQuiescent("thread panicked".into())),
         }
+    }
+    if let Some(h) = sampler_handle {
+        let _ = h.join();
+    }
+    // All logging threads have exited: flush whatever the fault left.
+    if let Some(w) = &wal {
+        let _ = w.lock().finalize();
     }
 
     let (group_updates, routed, registry) = routing_state
@@ -760,6 +903,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             elapsed,
             updates_per_sec,
             reader_samples,
+            in_flight_at_end,
+            queue_depths_at_end,
         },
     ))
 }
@@ -820,6 +965,22 @@ mod tests {
         assert!(p.vut_occupancy.count() > 0, "VUT occupancy sampled");
         assert!(p.queue_depth.contains_key("src_to_int"));
         assert!(p.queue_depth.contains_key("mp_to_wh"));
+        // The sampler thread gauges every channel class on an interval —
+        // "vm_to_qs" proves it ran, since Complete managers never send a
+        // query and so no sender ever gauges that channel.
+        assert!(p.queue_depth.contains_key("vm_to_qs"));
+        assert!(p.queue_depth.contains_key("int_to_vm"));
+        assert!(p.queue_depth.contains_key("int_to_mp"));
+        // Drain diagnostics on the success path: a clean run ends empty.
+        assert_eq!(
+            wall.in_flight_at_end, 0,
+            "clean run leaves nothing in flight"
+        );
+        assert!(
+            wall.queue_depths_at_end.iter().all(|(_, d)| *d == 0),
+            "clean run drains every channel: {:?}",
+            wall.queue_depths_at_end
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //!   view managers;
 //! * [`warehouse`] — the warehouse store with atomic multi-view
 //!   transactions and consistent readers;
+//! * [`durability`] — checksummed write-ahead log, checkpoints and the
+//!   fault-injection knobs behind the crash-recovery tests;
 //! * [`whips`] — system assembly: integrator, deterministic simulator,
 //!   threaded runtime, workload generators, metrics, the consistency
 //!   oracle, and canned paper scenarios.
@@ -24,6 +26,7 @@
 //! the system inventory and per-experiment index.
 
 pub use mvc_core as core;
+pub use mvc_durability as durability;
 pub use mvc_relational as relational;
 pub use mvc_source as source;
 pub use mvc_viewmgr as viewmgr;
@@ -35,12 +38,13 @@ pub mod prelude {
     pub use mvc_core::{
         CommitPolicy, ConsistencyLevel, MergeAlgorithm, MergeProcess, UpdateId, ViewId,
     };
+    pub use mvc_durability::{DurabilityConfig, FaultSpec, KillMode};
     pub use mvc_relational::{
         tuple, AggFunc, Catalog, Delta, Expr, Relation, Schema, Tuple, TupleOp, ViewDef,
     };
     pub use mvc_source::{GlobalSeq, SourceCluster, SourceId, WriteOp};
     pub use mvc_whips::{
-        ManagerKind, Oracle, SimBuilder, SimConfig, ThreadedBuilder, ThreadedConfig, ViewSuite,
-        WorkloadSpec,
+        recover_and_run, DurableOutcome, ManagerKind, Oracle, SimBuilder, SimConfig,
+        ThreadedBuilder, ThreadedConfig, ViewRegistry, ViewSuite, WorkloadSpec,
     };
 }

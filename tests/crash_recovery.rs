@@ -1,0 +1,318 @@
+//! Crash–recover–finish, machine-checked: a durable run is killed at an
+//! injected WAL crash point, a fresh pipeline is rebuilt from the log,
+//! the workload remainder is injected, and the *stitched* history —
+//! pre-crash commits restored from the WAL, post-crash commits appended
+//! by the resumed run — is handed to the consistency oracle. MVC
+//! completeness / strong consistency must survive the crash for both SPA
+//! and PA, with zero duplicate warehouse commits.
+
+use mvc_repro::durability::{WalError, WalReader};
+use mvc_repro::prelude::*;
+use mvc_repro::whips::workload::{generate, install_relations, install_views, WorkloadSpec};
+use mvc_repro::whips::{recover_and_run, RecoveryError, SimReport, WorkloadTxn};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn wal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mvc-crash-{}-{tag}.wal", std::process::id()))
+}
+
+fn spec(seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        seed,
+        relations: 3,
+        updates: 24,
+        key_domain: 6,
+        delete_percent: 25,
+        multi_percent: 0,
+    }
+}
+
+/// Two overlapping join views over a three-relation chain, complete
+/// managers (the only kind recovery supports).
+fn builder(config: SimConfig) -> SimBuilder {
+    let b = SimBuilder::new(config);
+    let b = install_relations(b, 3);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::OverlappingChain { count: 2 },
+        ManagerKind::Complete,
+    );
+    b
+}
+
+/// The acceptance bar for any (possibly stitched) report: the oracle
+/// certifies the configured MVC level, the commit log stays aligned 1:1
+/// with the warehouse history, and no `(group, seq)` commits twice.
+fn certify(report: &SimReport, txns: usize) {
+    Oracle::new(report).unwrap().assert_ok();
+    assert_eq!(report.commit_log.len(), report.warehouse.history().len());
+    let mut seen = BTreeSet::new();
+    for e in &report.commit_log {
+        assert!(
+            seen.insert((e.group, e.seq)),
+            "duplicate warehouse commit: group {} seq {:?}",
+            e.group,
+            e.seq
+        );
+    }
+    assert_eq!(
+        report.cluster.history().len(),
+        txns,
+        "every workload transaction reached the sources exactly once"
+    );
+}
+
+/// Kill the pipeline at a spread of WAL positions; after each crash,
+/// recover and finish, then certify the stitched history.
+fn crash_sweep(
+    algorithm: MergeAlgorithm,
+    tag: &str,
+    shape: impl Fn(DurabilityConfig) -> DurabilityConfig,
+) {
+    let w = generate(&spec(11));
+    let path = wal_path(tag);
+    let config = SimConfig {
+        seed: 3,
+        algorithm: Some(algorithm),
+        durability: Some(shape(DurabilityConfig::new(&path))),
+        ..SimConfig::default()
+    };
+
+    // Baseline durable run without a fault: sizes the log and must be
+    // oracle-clean itself.
+    let b = builder(config.clone()).workload(w.txns.clone());
+    let registry = b.registry().clone();
+    let report = match b.run_durable().unwrap() {
+        DurableOutcome::Completed(r) => r,
+        DurableOutcome::Crashed { .. } => unreachable!("no fault configured"),
+    };
+    certify(&report, w.txns.len());
+    let total = WalReader::open(&path).unwrap().read_all().unwrap().len() as u64;
+    assert!(total > 20, "workload too small to crash mid-merge");
+
+    let step = (total / 6).max(1);
+    let mut kill = 1;
+    while kill <= total {
+        let fault = FaultSpec {
+            kill_at_record: kill,
+            torn_tail_bytes: 0,
+            mode: KillMode::Error,
+        };
+        let mut cfg = config.clone();
+        cfg.durability = Some(shape(DurabilityConfig::new(&path)).with_fault(fault));
+        match builder(cfg.clone())
+            .workload(w.txns.clone())
+            .run_durable()
+            .unwrap()
+        {
+            DurableOutcome::Crashed { cluster, injected } => {
+                let remaining: Vec<WorkloadTxn> = w.txns[injected..].to_vec();
+                let stitched = recover_and_run(cfg, cluster, &registry, remaining)
+                    .unwrap_or_else(|e| panic!("recovery at kill point {kill} failed: {e}"));
+                certify(&stitched, w.txns.len());
+            }
+            DurableOutcome::Completed(r) => certify(&r, w.txns.len()),
+        }
+        kill += step;
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn spa_crash_recover_finish_certifies() {
+    crash_sweep(MergeAlgorithm::Spa, "spa", |d| d);
+}
+
+#[test]
+fn pa_crash_recover_finish_certifies() {
+    crash_sweep(MergeAlgorithm::Pa, "pa", |d| d);
+}
+
+/// With periodic checkpoints, recovery restores the newest checkpoint and
+/// replays only the log tail — same certification bar.
+#[test]
+fn checkpointed_recovery_replays_only_the_tail() {
+    crash_sweep(MergeAlgorithm::Spa, "ckpt", |d| d.with_checkpoint_every(2));
+}
+
+/// Delayed group fsync plus a torn final write: the log loses a strict
+/// suffix, recovery re-derives the lost transitions from the sources.
+#[test]
+fn delayed_fsync_and_torn_tail_lose_only_a_suffix() {
+    crash_sweep(MergeAlgorithm::Spa, "torn", |d| d.with_fsync_every(4));
+
+    // And with an explicitly torn tail at one mid-log point.
+    let w = generate(&spec(5));
+    let path = wal_path("torn-tail");
+    let config =
+        SimConfig {
+            seed: 9,
+            algorithm: Some(MergeAlgorithm::Pa),
+            durability: Some(DurabilityConfig::new(&path).with_fsync_every(3).with_fault(
+                FaultSpec {
+                    kill_at_record: 40,
+                    torn_tail_bytes: 5,
+                    mode: KillMode::Error,
+                },
+            )),
+            ..SimConfig::default()
+        };
+    let b = builder(config.clone()).workload(w.txns.clone());
+    let registry = b.registry().clone();
+    match b.run_durable().unwrap() {
+        DurableOutcome::Crashed { cluster, injected } => {
+            let stitched =
+                recover_and_run(config, cluster, &registry, w.txns[injected..].to_vec()).unwrap();
+            certify(&stitched, w.txns.len());
+        }
+        DurableOutcome::Completed(_) => panic!("kill point 40 should fire"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A kill point past the end of the log never fires: the run completes.
+#[test]
+fn kill_point_beyond_log_end_completes() {
+    let w = generate(&spec(2));
+    let path = wal_path("nofire");
+    let config = SimConfig {
+        seed: 1,
+        algorithm: Some(MergeAlgorithm::Spa),
+        durability: Some(DurabilityConfig::new(&path).with_fault(FaultSpec {
+            kill_at_record: 1_000_000,
+            torn_tail_bytes: 0,
+            mode: KillMode::Error,
+        })),
+        ..SimConfig::default()
+    };
+    match builder(config)
+        .workload(w.txns.clone())
+        .run_durable()
+        .unwrap()
+    {
+        DurableOutcome::Completed(r) => certify(&r, w.txns.len()),
+        DurableOutcome::Crashed { .. } => panic!("kill point beyond log end fired"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Recovery is total, not merely post-crash: replaying the WAL of a run
+/// that completed cleanly (empty remainder) reproduces an oracle-clean
+/// history.
+#[test]
+fn recovery_of_a_completed_log_is_total() {
+    let w = generate(&spec(17));
+    let path = wal_path("total");
+    let config = SimConfig {
+        seed: 4,
+        algorithm: Some(MergeAlgorithm::Pa),
+        durability: Some(DurabilityConfig::new(&path)),
+        ..SimConfig::default()
+    };
+    let b = builder(config.clone()).workload(w.txns.clone());
+    let registry = b.registry().clone();
+    let report = match b.run_durable().unwrap() {
+        DurableOutcome::Completed(r) => r,
+        DurableOutcome::Crashed { .. } => unreachable!("no fault configured"),
+    };
+    let replayed = recover_and_run(config, report.cluster.clone(), &registry, Vec::new()).unwrap();
+    certify(&replayed, w.txns.len());
+    assert_eq!(
+        replayed.warehouse.history().len(),
+        report.warehouse.history().len(),
+        "replay reproduces every commit"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The threaded runtime logs through the same WAL but never checkpoints,
+/// and WAL faults there model a dead disk under a live process (`Drop`):
+/// the in-memory pipeline finishes while the log freezes at the crash
+/// point. Recovery rebuilds a simulator from that prefix and replays the
+/// cluster tail to a certified history.
+#[test]
+fn threaded_wal_prefix_recovers_on_the_simulator() {
+    let w = generate(&spec(31));
+    let path = wal_path("threaded");
+    let t_config = ThreadedConfig {
+        record_snapshots: true,
+        durability: Some(DurabilityConfig::new(&path).with_fault(FaultSpec {
+            kill_at_record: 25,
+            torn_tail_bytes: 0,
+            mode: KillMode::Drop,
+        })),
+        ..ThreadedConfig::default()
+    };
+    let b = ThreadedBuilder::new(t_config);
+    let b = install_relations(b, 3);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::OverlappingChain { count: 2 },
+        ManagerKind::Complete,
+    );
+    let registry = b.registry().clone();
+    let (report, _wall) = b.workload(w.txns.clone()).run().unwrap();
+    Oracle::new(&report).unwrap().assert_ok();
+
+    let logged = WalReader::open(&path).unwrap().read_all().unwrap().len();
+    assert_eq!(logged, 24, "Drop fault freezes the log at the crash point");
+
+    // Every transaction already reached the sources, so the remainder is
+    // empty; the resumed run re-derives everything past the prefix from
+    // the cluster tail.
+    let r_config = SimConfig {
+        record_snapshots: true,
+        durability: Some(DurabilityConfig::new(&path)),
+        ..SimConfig::default()
+    };
+    let stitched = recover_and_run(r_config, report.cluster.clone(), &registry, Vec::new())
+        .unwrap_or_else(|e| panic!("threaded-log recovery failed: {e}"));
+    certify(&stitched, w.txns.len());
+    let ids: Vec<ViewId> = registry.ids().collect();
+    assert_eq!(
+        stitched.warehouse.read(&ids),
+        report.warehouse.read(&ids),
+        "recovered warehouse converges to the threaded run's final state"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Oracle sensitivity (fault harness turned on itself): flipping one byte
+/// inside a WAL frame payload must surface as a typed `CorruptRecord` —
+/// no panic, and no silent truncation past the corruption point.
+#[test]
+fn corrupted_record_is_a_typed_recovery_error() {
+    let w = generate(&spec(23));
+    let path = wal_path("corrupt");
+    let config = SimConfig {
+        seed: 6,
+        algorithm: Some(MergeAlgorithm::Spa),
+        durability: Some(DurabilityConfig::new(&path)),
+        ..SimConfig::default()
+    };
+    let b = builder(config.clone()).workload(w.txns.clone());
+    let registry = b.registry().clone();
+    let report = match b.run_durable().unwrap() {
+        DurableOutcome::Completed(r) => r,
+        DurableOutcome::Crashed { .. } => unreachable!("no fault configured"),
+    };
+
+    // Flip one byte in the first frame's payload: 8 (magic) + 12 (frame
+    // header) + 2 lands safely inside the first record.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8 + 12 + 2] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = recover_and_run(config, report.cluster.clone(), &registry, Vec::new())
+        .err()
+        .expect("a corrupt log must not recover silently");
+    match err {
+        RecoveryError::Wal(WalError::CorruptRecord { index, offset }) => {
+            assert_eq!(index, 0, "corruption is in the first record");
+            assert_eq!(offset, 8, "frame offset points at the corrupt frame");
+        }
+        e => panic!("expected a typed CorruptRecord error, got: {e}"),
+    }
+    let _ = std::fs::remove_file(&path);
+}
