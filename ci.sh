@@ -16,7 +16,37 @@ cargo fmt --check
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== protocol lint (deny) =="
+cargo run -q --release -p mvc-analysis --bin protocol_lint -- .
+
+echo "== hb-audit tests (vector-clock instrumentation on) =="
+cargo test -q -p mvc-whips --features hb-audit
+
 echo "== recovery smoke (SPA + PA crash-recover) =="
 cargo run -q --release -p mvc-bench --bin recovery_smoke
+
+echo "== explorer smoke (SPA + PA interleaving census, oracle-certified) =="
+cargo run -q --release -p mvc-bench --bin explore_smoke
+
+# Optional deep checks: opt in with MIRI=1 / TSAN=1. Both need extra
+# toolchain components, so they skip gracefully when unavailable.
+if [[ "${MIRI:-0}" == "1" ]]; then
+  if rustup component list 2>/dev/null | grep -q "^miri.*(installed)"; then
+    echo "== miri (mvc-core unit tests) =="
+    cargo miri test -p mvc-core
+  else
+    echo "== miri requested but not installed; skipping =="
+  fi
+fi
+if [[ "${TSAN:-0}" == "1" ]]; then
+  if rustup component list 2>/dev/null | grep -q "^rust-src.*(installed)"; then
+    echo "== thread sanitizer (mvc-whips threaded tests) =="
+    RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -p mvc-whips --target x86_64-unknown-linux-gnu -Zbuild-std threaded || {
+      echo "== thread sanitizer run failed (nightly/toolchain issue); skipping =="
+    }
+  else
+    echo "== thread sanitizer requested but rust-src not installed; skipping =="
+  fi
+fi
 
 echo "CI OK"

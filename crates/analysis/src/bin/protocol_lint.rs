@@ -1,0 +1,51 @@
+//! Repo-specific protocol lint driver.
+//!
+//! Usage: `protocol_lint [--warn] [ROOT]`
+//!
+//! Walks `ROOT` (default `.`, skipping `target/`, `vendor/`, `.git/`),
+//! applies the concurrency-hygiene rules of `mvc_analysis::lint`, and
+//! exits nonzero on any finding unless `--warn` is given. Wired into
+//! `ci.sh` in deny mode.
+
+use mvc_analysis::lint::lint_tree;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut warn_only = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--warn" => warn_only = true,
+            "--help" | "-h" => {
+                println!("usage: protocol_lint [--warn] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let findings = match lint_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("protocol_lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("protocol_lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("protocol_lint: {} finding(s)", findings.len());
+        if warn_only {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # mvc-analysis
+//!
+//! Protocol analysis toolchain for the MVC reproduction. Three pillars:
+//!
+//! * the **pipeline state machine** ([`pipeline`]): the VM →
+//!   merge-process → warehouse-applier dataflow with every scheduler
+//!   decision exposed as a named, replayable [`schedule::Choice`];
+//! * the **schedule explorer** ([`explore`]): bounded exhaustive DFS
+//!   over interleavings with sleep-set partial-order reduction, each
+//!   complete schedule certified by the consistency oracle and each
+//!   violation serialized as a replayable [`schedule::ScheduleId`];
+//! * the **protocol lint** ([`lint`]): a hand-rolled token-level scanner
+//!   enforcing this repo's concurrency hygiene rules (see the
+//!   `protocol_lint` binary).
+//!
+//! Everything is self-contained and offline: no solver, no external
+//! model checker, no new dependencies.
+
+#![forbid(unsafe_code)]
+
+pub mod explore;
+pub mod lint;
+pub mod pipeline;
+pub mod schedule;
+
+pub use explore::{explore, ExploreConfig, ExploreOutcome, Independence, ScheduleViolation};
+pub use lint::{lint_file, lint_tree, LintFinding, Rule};
+pub use pipeline::{Breakage, Pipeline, PipelineBuilder, PipelineConfig, PipelineError};
+pub use schedule::{ChanId, Choice, ScheduleId, ScheduleParseError};

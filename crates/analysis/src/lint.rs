@@ -1,0 +1,542 @@
+//! Repo-specific protocol lint: a hand-rolled token-level scanner for
+//! the concurrency-hygiene rules the threaded runtime and durability
+//! subsystem rely on. No rustc plumbing, no syn — a small line model
+//! with string literals and comments stripped is enough for every rule,
+//! and keeps the lint dependency-free and fast.
+//!
+//! Rules:
+//!
+//! 1. **recv-join-unwrap** (threaded runtime only): channel `recv()` and
+//!    thread `join()` results must not be `unwrap`ped or discarded with
+//!    `let _ =` — a panicking worker must surface as a typed error, not
+//!    tear down or silently leak the runtime.
+//! 2. **atomic-ordering-comment**: every atomic `Ordering::…` use must
+//!    carry a justification comment on the same line or within the two
+//!    preceding lines. (`std::cmp::Ordering`'s variants are
+//!    `Less`/`Equal`/`Greater` — different names, never matched.)
+//! 3. **direct-paint-write**: VUT paint transitions go through the typed
+//!    API in `core/src/vut.rs`; assigning `.color =` or `.state =`
+//!    anywhere else bypasses the state machine's invariants.
+//! 4. **wal-variant-roundtrip**: every `WalRecord` variant must appear in
+//!    the durability crate's test code — a codec change without a
+//!    roundtrip test is how recovery silently rots.
+//!
+//! Because rule matching runs on comment- and string-stripped code, the
+//! deliberately-bad fixtures embedded in this file's own unit tests (as
+//! string literals) never flag the lint itself.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Which rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    RecvJoinUnwrap,
+    AtomicOrderingComment,
+    DirectPaintWrite,
+    WalVariantRoundtrip,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rule::RecvJoinUnwrap => "recv-join-unwrap",
+            Rule::AtomicOrderingComment => "atomic-ordering-comment",
+            Rule::DirectPaintWrite => "direct-paint-write",
+            Rule::WalVariantRoundtrip => "wal-variant-roundtrip",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One lint hit, anchored to a file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    pub file: String,
+    pub line: usize,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One source line after stripping: executable code with string/char
+/// literal *contents* blanked, plus whether any comment touched the line.
+#[derive(Debug, Clone)]
+struct CodeLine {
+    code: String,
+    has_comment: bool,
+}
+
+/// Strip comments and literal contents, preserving line structure.
+/// Handles line/nested block comments, cooked and raw strings (any hash
+/// count), byte strings, char literals, and lifetimes.
+fn strip(source: &str) -> Vec<CodeLine> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut has_comment = false;
+    let mut i = 0;
+    let n = chars.len();
+    let flush = |code: &mut String, has_comment: &mut bool, lines: &mut Vec<CodeLine>| {
+        lines.push(CodeLine {
+            code: std::mem::take(code),
+            has_comment: *has_comment,
+        });
+        *has_comment = false;
+    };
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                flush(&mut code, &mut has_comment, &mut lines);
+                i += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                has_comment = true;
+                while i < n && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                has_comment = true;
+                i += 2;
+                let mut depth = 1usize;
+                while i < n && depth > 0 {
+                    if chars[i] == '\n' {
+                        flush(&mut code, &mut has_comment, &mut lines);
+                        has_comment = true;
+                        i += 1;
+                    } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            'r' | 'b' if is_raw_or_byte_string(&chars, i) => {
+                // Skip prefix letters and count hashes.
+                let mut j = i;
+                let mut saw_r = false;
+                while j < n && (chars[j] == 'r' || chars[j] == 'b') {
+                    saw_r |= chars[j] == 'r';
+                    j += 1;
+                }
+                let mut hashes = 0;
+                while j < n && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                let raw = saw_r || hashes > 0;
+                // j is at the opening quote.
+                j += 1;
+                code.push('"');
+                loop {
+                    if j >= n {
+                        break;
+                    }
+                    let d = chars[j];
+                    if d == '\n' {
+                        flush(&mut code, &mut has_comment, &mut lines);
+                        j += 1;
+                        continue;
+                    }
+                    if !raw && d == '\\' {
+                        j += 2;
+                        continue;
+                    }
+                    if d == '"' {
+                        let mut k = 0;
+                        while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                code.push('"');
+                i = j;
+            }
+            '"' => {
+                code.push('"');
+                i += 1;
+                while i < n {
+                    let d = chars[i];
+                    if d == '\\' {
+                        i += 2;
+                    } else if d == '\n' {
+                        flush(&mut code, &mut has_comment, &mut lines);
+                        i += 1;
+                    } else if d == '"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                code.push('"');
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let is_lifetime = i + 1 < n
+                    && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_')
+                    && !(i + 2 < n && chars[i + 2] == '\'');
+                if is_lifetime {
+                    code.push('\'');
+                    i += 1;
+                } else {
+                    code.push('\'');
+                    i += 1;
+                    if i < n && chars[i] == '\\' {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < n && chars[i] != '\'' && chars[i] != '\n' {
+                        i += 1;
+                    }
+                    if i < n && chars[i] == '\'' {
+                        i += 1;
+                    }
+                    code.push('\'');
+                }
+            }
+            _ => {
+                code.push(c);
+                i += 1;
+            }
+        }
+    }
+    if !code.is_empty() || has_comment {
+        lines.push(CodeLine { code, has_comment });
+    }
+    lines
+}
+
+/// Is `chars[i..]` the start of a raw/byte string prefix (`r"`, `r#`,
+/// `b"`, `br"`, `br#`…) and not a plain identifier?
+fn is_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    // Must not be the tail of an identifier (e.g. `attr"`, `for r in`).
+    if i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_') {
+        return false;
+    }
+    let mut j = i;
+    let n = chars.len();
+    let mut prefix = String::new();
+    while j < n && (chars[j] == 'r' || chars[j] == 'b') && prefix.len() < 2 {
+        prefix.push(chars[j]);
+        j += 1;
+    }
+    if prefix.is_empty() || prefix == "bb" {
+        return false;
+    }
+    while j < n && chars[j] == '#' {
+        if !prefix.contains('r') {
+            return false;
+        }
+        j += 1;
+    }
+    j < n && chars[j] == '"'
+}
+
+/// The atomic orderings (never `cmp::Ordering`'s variants).
+const ATOMIC_ORDERINGS: [&str; 5] = [
+    "Ordering::SeqCst",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::Relaxed",
+];
+
+/// Lint one file's source. `path` is the repo-relative path (used for
+/// per-file rule scoping); rule 4 is cross-file and lives in
+/// [`lint_tree`].
+pub fn lint_file(path: &str, source: &str) -> Vec<LintFinding> {
+    let lines = strip(source);
+    let mut findings = Vec::new();
+    let finding = |line: usize, rule: Rule, message: String| LintFinding {
+        file: path.to_string(),
+        line: line + 1,
+        rule,
+        message,
+    };
+
+    let in_threaded = Path::new(path)
+        .file_name()
+        .is_some_and(|f| f == "threaded.rs");
+    let in_vut = path.ends_with("core/src/vut.rs") || path == "vut.rs";
+
+    for (idx, l) in lines.iter().enumerate() {
+        let code = l.code.as_str();
+
+        // Rule 1: unwrap/discard on recv() / join() in the threaded runtime.
+        if in_threaded {
+            let touches = code.contains(".recv()") || code.contains(".join()");
+            let next_code = lines.get(idx + 1).map(|l| l.code.as_str()).unwrap_or("");
+            let unwraps = |s: &str| s.contains(".unwrap(") || s.contains(".unwrap_or");
+            if touches && (unwraps(code) || unwraps(next_code)) {
+                findings.push(finding(
+                    idx,
+                    Rule::RecvJoinUnwrap,
+                    "channel recv / thread join result unwrapped; surface the failure as a typed error".into(),
+                ));
+            }
+            if code.trim_start().starts_with("let _ =") && touches {
+                findings.push(finding(
+                    idx,
+                    Rule::RecvJoinUnwrap,
+                    "channel recv / thread join result discarded with `let _ =`".into(),
+                ));
+            }
+        }
+
+        // Rule 2: atomic Ordering uses need a justification comment.
+        if ATOMIC_ORDERINGS.iter().any(|o| code.contains(o)) {
+            let justified = l.has_comment
+                || (idx >= 1 && lines[idx - 1].has_comment)
+                || (idx >= 2 && lines[idx - 2].has_comment);
+            if !justified {
+                findings.push(finding(
+                    idx,
+                    Rule::AtomicOrderingComment,
+                    "atomic memory ordering without a justification comment on this or the two preceding lines".into(),
+                ));
+            }
+        }
+
+        // Rule 3: direct paint-state writes outside the VUT.
+        if !in_vut {
+            for pat in [".color =", ".state ="] {
+                if let Some(p) = code.find(pat) {
+                    let after = code[p + pat.len()..].trim_start();
+                    if !after.starts_with('=') {
+                        findings.push(finding(
+                            idx,
+                            Rule::DirectPaintWrite,
+                            format!(
+                                "direct `{}` write bypasses the Vut typed paint API",
+                                pat.trim()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Extract the variant names of `pub enum WalRecord` from record.rs
+/// source (comment-stripped, brace-tracked).
+fn wal_variants(source: &str) -> Vec<(usize, String)> {
+    let lines = strip(source);
+    let mut out = Vec::new();
+    let mut depth: i32 = -1;
+    for (idx, l) in lines.iter().enumerate() {
+        let code = l.code.as_str();
+        if depth < 0 {
+            if code.contains("enum WalRecord") {
+                depth = 0;
+                if code.contains('{') {
+                    depth = 1;
+                }
+            }
+            continue;
+        }
+        if depth == 0 && code.contains('{') {
+            depth = 1;
+            continue;
+        }
+        let trimmed = code.trim();
+        if depth == 1 {
+            let name: String = trimmed
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name
+                .chars()
+                .next()
+                .map(|c| c.is_ascii_uppercase())
+                .unwrap_or(false)
+            {
+                out.push((idx + 1, name));
+            }
+        }
+        for c in trimmed.chars() {
+            match c {
+                '{' | '(' => depth += 1,
+                '}' | ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return out;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// Concatenated `#[cfg(test)]`-and-after code of one file.
+fn test_region(source: &str) -> String {
+    match source.find("#[cfg(test)]") {
+        Some(p) => source[p..].to_string(),
+        None => String::new(),
+    }
+}
+
+/// Walk `root` (skipping `target/`, `vendor/`, `.git/`) and lint every
+/// `.rs` file, including the cross-file WAL-roundtrip rule.
+pub fn lint_tree(root: &Path) -> io::Result<Vec<LintFinding>> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    files.sort();
+
+    let mut findings = Vec::new();
+    let mut record_rs: Option<(String, String)> = None;
+    let mut durability_tests = String::new();
+
+    for f in &files {
+        let source = fs::read_to_string(f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        findings.extend(lint_file(&rel, &source));
+        if rel.contains("durability") {
+            durability_tests.push_str(&test_region(&source));
+            if rel.ends_with("record.rs") {
+                record_rs = Some((rel.clone(), source.clone()));
+            }
+        }
+    }
+
+    if let Some((rel, source)) = record_rs {
+        for (line, variant) in wal_variants(&source) {
+            if !durability_tests.contains(&variant) {
+                findings.push(LintFinding {
+                    file: rel.clone(),
+                    line,
+                    rule: Rule::WalVariantRoundtrip,
+                    message: format!(
+                        "WalRecord::{variant} has no codec roundtrip coverage in durability tests"
+                    ),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name == ".git" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strip_removes_comments_and_literal_contents() {
+        let src = "let x = \"Ordering::SeqCst\"; // Ordering::SeqCst\nlet y = 1; /* multi\nline */ let z = 2;\n";
+        let lines = strip(src);
+        assert_eq!(lines.len(), 3);
+        assert!(!lines[0].code.contains("SeqCst"));
+        assert!(lines[0].has_comment);
+        assert!(lines[1].has_comment);
+        assert!(lines[2].code.contains("let z = 2;"));
+        assert!(lines[2].has_comment);
+    }
+
+    #[test]
+    fn strip_handles_raw_strings_and_lifetimes() {
+        let src = "let r = r#\"let _ = rx.recv()\"#;\nfn f<'a>(x: &'a str) -> char { 'x' }\n";
+        let lines = strip(src);
+        assert!(!lines[0].code.contains("recv"));
+        assert!(lines[1].code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn rule_recv_join_unwrap_fires() {
+        let bad = "let v = rx.recv().unwrap();\nlet _ = handle.join();\nlet w = rx\n    .recv()\n    .unwrap_or_default();\n";
+        let hits = lint_file("crates/whips/src/threaded.rs", bad);
+        let recv_hits: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == Rule::RecvJoinUnwrap)
+            .collect();
+        assert_eq!(recv_hits.len(), 3, "{hits:?}");
+        // The same source outside the threaded runtime is fine.
+        assert!(lint_file("crates/whips/src/sim.rs", bad)
+            .iter()
+            .all(|f| f.rule != Rule::RecvJoinUnwrap));
+    }
+
+    #[test]
+    fn rule_atomic_ordering_comment_fires_and_clears() {
+        let bad = "x.store(1, Ordering::SeqCst);\n";
+        let hits = lint_file("crates/whips/src/threaded.rs", bad);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, Rule::AtomicOrderingComment);
+        assert_eq!(hits[0].line, 1);
+
+        let ok_same = "x.store(1, Ordering::SeqCst); // release-the-kraken justification\n";
+        assert!(lint_file("a.rs", ok_same).is_empty());
+        let ok_above = "// counter is a plain statistic\n\nx.store(1, Ordering::Relaxed);\n";
+        assert!(lint_file("a.rs", ok_above).is_empty());
+        let too_far = "// too far away\n\n\nx.store(1, Ordering::Relaxed);\n";
+        assert_eq!(lint_file("a.rs", too_far).len(), 1);
+        // cmp::Ordering variants never match.
+        assert!(lint_file("a.rs", "let o = Ordering::Less;\n").is_empty());
+    }
+
+    #[test]
+    fn rule_direct_paint_write_fires_outside_vut() {
+        let bad = "entry.color = Color::Black;\nrow.state = JumpState::Waiting;\nif e.color == Color::Red {}\n";
+        let hits = lint_file("crates/core/src/merge.rs", bad);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().all(|f| f.rule == Rule::DirectPaintWrite));
+        assert!(lint_file("crates/core/src/vut.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn wal_variant_extraction() {
+        let src = "pub enum WalRecord {\n    SourceUpdate(SourceUpdate),\n    RelInstalled { group: usize },\n    Checkpoint(Box<CheckpointState>),\n}\n";
+        let names: Vec<String> = wal_variants(src).into_iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["SourceUpdate", "RelInstalled", "Checkpoint"]);
+    }
+}

@@ -1,0 +1,629 @@
+//! The VM → merge-process → warehouse-applier pipeline as an explicit
+//! event-driven state machine with named choice points.
+//!
+//! This mirrors the deterministic simulator (`mvc_whips::sim`) exactly —
+//! same message kinds, same per-channel FIFOs, same component semantics —
+//! but exposes the scheduler as data: [`Pipeline::enabled`] lists the
+//! choices open in the current state and [`Pipeline::step`] executes one.
+//! Replaying the same [`Choice`] sequence from a fresh build reproduces
+//! the same history bit for bit, which is what makes violating schedules
+//! serializable as regression tests.
+//!
+//! Two deliberate simplifications against the simulator: there is no
+//! random scheduler (the explorer owns all nondeterminism), and the
+//! drain-phase flush nudges are *not* choice points — when no choice is
+//! enabled but the system is not yet quiescent, a deterministic flush
+//! round runs (every VM, then every merge process, in id order). Flush
+//! timing is a liveness heuristic of the driver, not a protocol event;
+//! the message deliveries a flush provokes are still explored as choices.
+
+use crate::schedule::{ChanId, Choice, ScheduleId};
+use mvc_core::{
+    ActionList, CommitPolicy, ConsistencyLevel, MergeAlgorithm, MergeProcess, Partitioning, TxnSeq,
+    UpdateId, ViewId,
+};
+use mvc_relational::{Catalog, Delta, RelationName, Schema, ViewDef};
+use mvc_source::{GlobalSeq, SourceCluster, SourceId, SourceUpdate};
+use mvc_viewmgr::{
+    answer_query, NumberedUpdate, QueryAnswer, QueryRequest, QueryToken, ViewManager, VmEvent,
+    VmOutput,
+};
+use mvc_warehouse::{StoreTxn, Warehouse};
+use mvc_whips::sim::{CommitLogEntry, SimReport, WorkloadTxn};
+use mvc_whips::workload::Deployment;
+use mvc_whips::{ManagerKind, SimMetrics, ViewRegistry};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Explorer-facing pipeline errors. Protocol errors (merge, view
+/// manager, warehouse, source) are bugs of the *system under test* and
+/// surface with the schedule prefix that triggered them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    Build(String),
+    /// A component rejected an event while executing a choice.
+    Step {
+        choice: String,
+        detail: String,
+    },
+    /// The requested choice is not enabled in the current state (stale or
+    /// foreign [`ScheduleId`]).
+    NotEnabled {
+        position: usize,
+        choice: String,
+    },
+    /// Flush rounds stopped making progress before quiescence.
+    Stalled(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Build(d) => write!(f, "pipeline build failed: {d}"),
+            PipelineError::Step { choice, detail } => {
+                write!(f, "choice {choice} failed: {detail}")
+            }
+            PipelineError::NotEnabled { position, choice } => {
+                write!(f, "choice {choice} at position {position} is not enabled")
+            }
+            PipelineError::Stalled(d) => write!(f, "pipeline stalled before quiescence: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A deliberately broken, test-only warehouse-applier policy. Used to
+/// prove the explorer + oracle actually find protocol violations (and
+/// that a violating schedule replays deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Breakage {
+    /// Buffer released transactions and commit each full buffer in
+    /// reverse order — the §4.3 hazard the commit scheduler exists to
+    /// prevent.
+    ReorderCommits { depth: usize },
+}
+
+/// Static configuration of the explored pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    pub commit_policy: CommitPolicy,
+    /// Force one engine for every merge group (`None` = §6.3 weakest-level
+    /// selection from the managers).
+    pub algorithm: Option<MergeAlgorithm>,
+    /// Partition views into per-relation-set merge groups (§6.1).
+    pub partition: bool,
+    /// Tuple-level irrelevance tests at the integrator (ref [7]).
+    pub tuple_relevance: bool,
+    /// Warehouse snapshot recording (the oracle needs it only for
+    /// state-matching levels; explorer runs keep it on by default so
+    /// every consistency level is certifiable).
+    pub record_snapshots: bool,
+    /// Test-only broken applier; `None` = faithful pipeline.
+    pub breakage: Option<Breakage>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            commit_policy: CommitPolicy::DependencyAware,
+            algorithm: None,
+            partition: false,
+            tuple_relevance: true,
+            record_snapshots: true,
+            breakage: None,
+        }
+    }
+}
+
+/// Factory for [`Pipeline`] instances: holds the immutable experiment
+/// description (relations, views, workload, config) and builds a fresh
+/// state machine per replay — component state is not cloneable (view
+/// managers are trait objects), so determinism comes from rebuilding.
+#[derive(Clone)]
+pub struct PipelineBuilder {
+    config: PipelineConfig,
+    relations: Vec<(SourceId, RelationName, Schema)>,
+    registry: ViewRegistry,
+    workload: Vec<WorkloadTxn>,
+    /// Catalog mirror so view definitions can be built against the
+    /// declared relations before any pipeline exists.
+    catalog: Catalog,
+}
+
+impl PipelineBuilder {
+    pub fn new(config: PipelineConfig) -> Self {
+        PipelineBuilder {
+            config,
+            relations: Vec::new(),
+            registry: ViewRegistry::new(),
+            workload: Vec::new(),
+            catalog: Catalog::new(),
+        }
+    }
+
+    pub fn relation(
+        mut self,
+        source: SourceId,
+        name: impl Into<RelationName>,
+        schema: Schema,
+    ) -> Self {
+        let name = name.into();
+        self.catalog
+            .define(name.clone(), schema.clone())
+            .expect("relation definition");
+        self.relations.push((source, name, schema));
+        self
+    }
+
+    pub fn view(mut self, id: ViewId, def: ViewDef, kind: ManagerKind) -> Self {
+        self.registry.add(id, def, kind);
+        self
+    }
+
+    pub fn workload(mut self, txns: Vec<WorkloadTxn>) -> Self {
+        self.workload.extend(txns);
+        self
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn registry(&self) -> &ViewRegistry {
+        &self.registry
+    }
+
+    /// Build a fresh pipeline at the initial state `ss_0`.
+    pub fn build(&self) -> Result<Pipeline, PipelineError> {
+        let mut cluster = SourceCluster::new(64);
+        for (source, name, schema) in &self.relations {
+            cluster
+                .create_relation(*source, name.clone(), schema.clone())
+                .map_err(|e| PipelineError::Build(format!("relation {name}: {e}")))?;
+        }
+
+        let partitioning = self.registry.partitioning(self.config.partition);
+        let groups = partitioning.group_count().max(1);
+        let mut group_views: Vec<BTreeSet<ViewId>> = vec![BTreeSet::new(); groups];
+        for id in self.registry.ids() {
+            let g = partitioning.group_of_view(id).unwrap_or(0);
+            group_views[g].insert(id);
+        }
+
+        let mut mps = Vec::with_capacity(groups);
+        let mut guarantees = Vec::with_capacity(groups);
+        for views in group_views.iter() {
+            let levels: Vec<(ViewId, ConsistencyLevel)> = self
+                .registry
+                .levels()
+                .into_iter()
+                .filter(|(v, _)| views.contains(v))
+                .collect();
+            let mp = match self.config.algorithm {
+                Some(alg) => MergeProcess::new(
+                    alg,
+                    levels.iter().map(|(v, _)| *v),
+                    self.config.commit_policy,
+                ),
+                None => MergeProcess::for_managers(levels, self.config.commit_policy),
+            };
+            guarantees.push(mp.guarantees());
+            mps.push(mp);
+        }
+
+        let mut vms: BTreeMap<ViewId, Box<dyn ViewManager>> = BTreeMap::new();
+        let mut warehouse = Warehouse::new(self.config.record_snapshots);
+        for e in self.registry.iter() {
+            vms.insert(
+                e.id,
+                e.kind
+                    .build(e.id, e.def.clone())
+                    .map_err(|err| PipelineError::Build(format!("view {}: {err}", e.id)))?,
+            );
+            warehouse
+                .register_view(
+                    e.id,
+                    e.def.name.clone(),
+                    mvc_relational::Relation::new(e.def.schema.clone()),
+                )
+                .map_err(|err| PipelineError::Build(format!("warehouse view {}: {err}", e.id)))?;
+        }
+
+        let integrator = mvc_whips::Integrator::new(
+            self.registry.clone(),
+            self.registry.partitioning(self.config.partition),
+            self.config.tuple_relevance,
+        );
+
+        Ok(Pipeline {
+            breakage: self.config.breakage,
+            cluster,
+            integrator,
+            vms,
+            mps,
+            warehouse,
+            channels: BTreeMap::new(),
+            workload: self.workload.iter().cloned().collect(),
+            reorder_buf: Vec::new(),
+            metrics: SimMetrics::default(),
+            group_updates: vec![BTreeMap::new(); groups],
+            guarantees,
+            group_views,
+            commit_log: Vec::new(),
+            routed: BTreeSet::new(),
+            registry: self.registry.clone(),
+            partitioning,
+            flushed_all: false,
+            flush_rounds: 0,
+        })
+    }
+
+    /// Deterministically replay a serialized schedule to its report.
+    /// Every choice must be enabled where the schedule claims it is —
+    /// a diverging replay means the schedule belongs to a different
+    /// builder and fails with [`PipelineError::NotEnabled`].
+    pub fn replay(&self, schedule: &ScheduleId) -> Result<SimReport, PipelineError> {
+        let mut pipe = self.build()?;
+        for (position, &choice) in schedule.0.iter().enumerate() {
+            let enabled = pipe.ready()?;
+            if !enabled.contains(&choice) {
+                return Err(PipelineError::NotEnabled {
+                    position,
+                    choice: choice.to_string(),
+                });
+            }
+            pipe.step(choice)?;
+        }
+        let rest = pipe.ready()?;
+        if !rest.is_empty() {
+            return Err(PipelineError::Stalled(format!(
+                "schedule ended with {} choices still enabled",
+                rest.len()
+            )));
+        }
+        pipe.finish()
+    }
+}
+
+/// The explorer's Deployment hook: the shared workload installers
+/// (`install_relations`, `install_views`) work on pipeline builders too.
+impl Deployment for PipelineBuilder {
+    fn add_relation(self, source: SourceId, name: String, schema: Schema) -> Self {
+        self.relation(source, name, schema)
+    }
+    fn add_view(self, id: ViewId, def: ViewDef, kind: ManagerKind) -> Self {
+        self.view(id, def, kind)
+    }
+    fn view_catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+}
+
+/// In-flight message payloads (the simulator's `Msg`, minus dynamic view
+/// installation which the explorer does not model).
+#[derive(Debug)]
+enum Msg {
+    SrcUpdate(SourceUpdate),
+    AnswerFor(ViewId, QueryToken, QueryAnswer),
+    Update(NumberedUpdate),
+    Answer(QueryToken, QueryAnswer),
+    Rel(UpdateId, BTreeSet<ViewId>),
+    Action(ActionList<Delta>),
+    Query(QueryToken, Box<QueryRequest>),
+    Txn(StoreTxn),
+    Committed(TxnSeq),
+}
+
+/// One explorable pipeline instance.
+pub struct Pipeline {
+    breakage: Option<Breakage>,
+    cluster: SourceCluster,
+    integrator: mvc_whips::Integrator,
+    vms: BTreeMap<ViewId, Box<dyn ViewManager>>,
+    mps: Vec<MergeProcess<Delta>>,
+    warehouse: Warehouse,
+    channels: BTreeMap<ChanId, VecDeque<Msg>>,
+    workload: VecDeque<WorkloadTxn>,
+    reorder_buf: Vec<(usize, StoreTxn)>,
+    metrics: SimMetrics,
+    group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>>,
+    guarantees: Vec<ConsistencyLevel>,
+    group_views: Vec<BTreeSet<ViewId>>,
+    commit_log: Vec<CommitLogEntry>,
+    routed: BTreeSet<GlobalSeq>,
+    registry: ViewRegistry,
+    partitioning: Partitioning<RelationName>,
+    /// Every component received at least one end-of-run flush (mirrors
+    /// the simulator's drain contract for batching/convergent parts).
+    flushed_all: bool,
+    flush_rounds: usize,
+}
+
+/// Hard cap on drain flush rounds — matches the simulator's bound; a
+/// pipeline needing more is stuck, not draining.
+const MAX_FLUSH_ROUNDS: usize = 10_000;
+
+impl Pipeline {
+    /// Scheduler choices enabled in the current state, in canonical
+    /// order: inject first, then nonempty channels in `ChanId` order.
+    pub fn enabled(&self) -> Vec<Choice> {
+        let mut out = Vec::new();
+        if !self.workload.is_empty() {
+            out.push(Choice::Inject);
+        }
+        for (&c, q) in &self.channels {
+            if !q.is_empty() {
+                out.push(Choice::Deliver(c));
+            }
+        }
+        out
+    }
+
+    /// All messages consumed, all components idle.
+    pub fn quiescent(&self) -> bool {
+        self.workload.is_empty()
+            && self.channels.values().all(VecDeque::is_empty)
+            && self.vms.values().all(|v| v.is_idle())
+            && self.mps.iter().all(MergeProcess::is_quiescent)
+            && self.reorder_buf.is_empty()
+    }
+
+    /// Enabled choices after applying any deterministic drain rounds.
+    /// Empty result means the schedule is complete (quiescent and fully
+    /// flushed) — [`Pipeline::finish`] may be called.
+    pub fn ready(&mut self) -> Result<Vec<Choice>, PipelineError> {
+        loop {
+            let enabled = self.enabled();
+            if !enabled.is_empty() {
+                return Ok(enabled);
+            }
+            if self.quiescent() && self.flushed_all {
+                return Ok(Vec::new());
+            }
+            self.flush_round()?;
+        }
+    }
+
+    /// One deterministic drain round: flush every view manager (id
+    /// order), then every merge group, then any breakage buffer. Not a
+    /// choice point — see the module docs.
+    fn flush_round(&mut self) -> Result<(), PipelineError> {
+        self.flush_rounds += 1;
+        if self.flush_rounds > MAX_FLUSH_ROUNDS {
+            return Err(PipelineError::Stalled(format!(
+                "{MAX_FLUSH_ROUNDS} flush rounds without quiescence"
+            )));
+        }
+        let ids: Vec<ViewId> = self.vms.keys().copied().collect();
+        for v in ids {
+            let outs = self
+                .vms
+                .get_mut(&v)
+                .expect("known view")
+                .handle(VmEvent::Flush)
+                .map_err(|e| PipelineError::Step {
+                    choice: format!("flush({v})"),
+                    detail: e.to_string(),
+                })?;
+            self.route_vm_outputs(v, outs);
+        }
+        for g in 0..self.mps.len() {
+            let released = self.mps[g].flush();
+            self.push_released(g, released);
+        }
+        // The chaos buffer commits its (reversed) remainder at drain time,
+        // exactly like the simulator's reorder fault.
+        self.flush_reorder_buffer()?;
+        self.flushed_all = true;
+        Ok(())
+    }
+
+    /// Execute one enabled choice. Callers are expected to pick from
+    /// [`Pipeline::enabled`]/[`Pipeline::ready`]; stepping a non-enabled
+    /// choice fails typed.
+    pub fn step(&mut self, choice: Choice) -> Result<(), PipelineError> {
+        self.metrics.steps += 1;
+        match choice {
+            Choice::Inject => self.inject(),
+            Choice::Deliver(chan) => self.deliver(chan),
+        }
+    }
+
+    fn send(&mut self, chan: ChanId, msg: Msg) {
+        self.channels.entry(chan).or_default().push_back(msg);
+    }
+
+    fn inject(&mut self) -> Result<(), PipelineError> {
+        let t = self.workload.pop_front().ok_or(PipelineError::NotEnabled {
+            position: self.metrics.steps as usize,
+            choice: "I".to_string(),
+        })?;
+        let update = if t.global {
+            self.cluster.execute_global(t.source, t.writes)
+        } else {
+            self.cluster.execute(t.source, t.writes)
+        }
+        .map_err(|e| PipelineError::Step {
+            choice: "I".to_string(),
+            detail: e.to_string(),
+        })?;
+        self.metrics.injected += 1;
+        self.send(ChanId::SrcToInt, Msg::SrcUpdate(update));
+        Ok(())
+    }
+
+    fn deliver(&mut self, chan: ChanId) -> Result<(), PipelineError> {
+        let msg = self
+            .channels
+            .get_mut(&chan)
+            .and_then(VecDeque::pop_front)
+            .ok_or(PipelineError::NotEnabled {
+                position: self.metrics.steps as usize,
+                choice: Choice::Deliver(chan).to_string(),
+            })?;
+        self.metrics.messages_delivered += 1;
+        let step_err = |detail: String| PipelineError::Step {
+            choice: Choice::Deliver(chan).to_string(),
+            detail,
+        };
+        match (chan, msg) {
+            (ChanId::SrcToInt, Msg::SrcUpdate(u)) => {
+                let routings = self.integrator.route(u);
+                for r in routings {
+                    self.routed.insert(r.numbered.seq());
+                    self.group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
+                    self.send(
+                        ChanId::IntToMp(r.group),
+                        Msg::Rel(r.numbered.id, r.rel.clone()),
+                    );
+                    for v in r.rel {
+                        self.send(ChanId::IntToVm(v), Msg::Update(r.numbered.clone()));
+                    }
+                }
+            }
+            (ChanId::SrcToInt, Msg::AnswerFor(v, token, answer)) => {
+                // Same FIFO as the view's updates: answers cannot overtake
+                // the updates they reflect.
+                self.send(ChanId::IntToVm(v), Msg::Answer(token, answer));
+            }
+            (ChanId::IntToVm(v), msg @ (Msg::Update(_) | Msg::Answer(..))) => {
+                let event = match msg {
+                    Msg::Update(u) => VmEvent::Update(u),
+                    Msg::Answer(token, answer) => VmEvent::Answer { token, answer },
+                    _ => unreachable!("guarded by the outer pattern"),
+                };
+                let outs = self
+                    .vms
+                    .get_mut(&v)
+                    .expect("known view")
+                    .handle(event)
+                    .map_err(|e| step_err(e.to_string()))?;
+                self.route_vm_outputs(v, outs);
+            }
+            (ChanId::VmToQs(v), Msg::Query(token, request)) => {
+                let answer =
+                    answer_query(&self.cluster, &request).map_err(|e| step_err(e.to_string()))?;
+                self.send(ChanId::SrcToInt, Msg::AnswerFor(v, token, answer));
+            }
+            (ChanId::IntToMp(g), Msg::Rel(id, rel)) => {
+                let released = self.mps[g]
+                    .on_rel(id, rel)
+                    .map_err(|e| step_err(e.to_string()))?;
+                self.push_released(g, released);
+            }
+            (ChanId::VmToMp(v), Msg::Action(al)) => {
+                let g = self.partitioning.group_of_view(v).unwrap_or(0);
+                let released = self.mps[g]
+                    .on_action(al)
+                    .map_err(|e| step_err(e.to_string()))?;
+                self.push_released(g, released);
+            }
+            (ChanId::MpToWh(g), Msg::Txn(txn)) => {
+                self.commit_or_buffer(g, txn)?;
+            }
+            (ChanId::WhToMp(g), Msg::Committed(seq)) => {
+                let released = self.mps[g].on_committed(seq);
+                self.push_released(g, released);
+            }
+            (c, m) => {
+                return Err(step_err(format!("message {m:?} on channel {c:?}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn route_vm_outputs(&mut self, v: ViewId, outs: Vec<VmOutput>) {
+        for o in outs {
+            match o {
+                VmOutput::Action(al) => self.send(ChanId::VmToMp(v), Msg::Action(al)),
+                VmOutput::Query { token, request } => {
+                    self.send(ChanId::VmToQs(v), Msg::Query(token, Box::new(request)));
+                }
+            }
+        }
+    }
+
+    fn push_released(&mut self, g: usize, released: Vec<StoreTxn>) {
+        for t in released {
+            self.send(ChanId::MpToWh(g), Msg::Txn(t));
+        }
+    }
+
+    fn commit_or_buffer(&mut self, g: usize, txn: StoreTxn) -> Result<(), PipelineError> {
+        match self.breakage {
+            Some(Breakage::ReorderCommits { depth }) => {
+                self.reorder_buf.push((g, txn));
+                if self.reorder_buf.len() >= depth.max(1) {
+                    self.flush_reorder_buffer()?;
+                }
+                Ok(())
+            }
+            None => self.commit(g, txn),
+        }
+    }
+
+    fn flush_reorder_buffer(&mut self) -> Result<(), PipelineError> {
+        let buf: Vec<(usize, StoreTxn)> = self.reorder_buf.drain(..).rev().collect();
+        for (g, txn) in buf {
+            self.commit(g, txn)?;
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self, g: usize, txn: StoreTxn) -> Result<(), PipelineError> {
+        let seq = txn.seq;
+        self.warehouse
+            .apply(&txn)
+            .map_err(|e| PipelineError::Step {
+                choice: format!("commit({g},{seq})"),
+                detail: e.to_string(),
+            })?;
+        self.commit_log.push(CommitLogEntry {
+            group: g,
+            seq,
+            rows: txn.rows.clone(),
+            views: txn.views.clone(),
+        });
+        self.metrics.commits += 1;
+        self.send(ChanId::WhToMp(g), Msg::Committed(seq));
+        Ok(())
+    }
+
+    /// Consume the quiescent pipeline into an oracle-checkable report.
+    pub fn finish(self) -> Result<SimReport, PipelineError> {
+        if !self.quiescent() {
+            return Err(PipelineError::Stalled(
+                "finish() before quiescence".to_string(),
+            ));
+        }
+        let merge_stats = self.mps.iter().map(MergeProcess::stats).collect();
+        let commit_stats = self.mps.iter().map(MergeProcess::commit_stats).collect();
+        Ok(SimReport {
+            cluster: self.cluster,
+            warehouse: self.warehouse,
+            registry: self.registry,
+            partitioning: self.partitioning,
+            group_updates: self.group_updates,
+            metrics: self.metrics,
+            merge_stats,
+            commit_stats,
+            guarantees: self.guarantees,
+            group_views: self.group_views,
+            commit_log: self.commit_log,
+            pipeline: mvc_whips::PipelineObs::new("steps"),
+            routed: self.routed,
+            activations: BTreeMap::new(),
+        })
+    }
+
+    /// Number of merge groups (needed by the independence relation).
+    pub fn groups(&self) -> usize {
+        self.mps.len()
+    }
+
+    /// Group owning a view — delegates to the §6.1 partitioning.
+    pub fn group_of_view(&self, v: ViewId) -> usize {
+        self.partitioning.group_of_view(v).unwrap_or(0)
+    }
+}

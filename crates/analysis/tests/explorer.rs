@@ -1,0 +1,213 @@
+//! Integration tests for the interleaving explorer: census regression
+//! pins, partial-order-reduction sanity, replay determinism, and the
+//! violating-schedule round trip.
+
+use mvc_analysis::{
+    explore, Breakage, Choice, ExploreConfig, PipelineBuilder, PipelineConfig, ScheduleId,
+};
+use mvc_core::{CommitPolicy, MergeAlgorithm, ViewId};
+use mvc_relational::{tuple, Schema, ViewDef};
+use mvc_source::{SourceId, WriteOp};
+use mvc_whips::sim::WorkloadTxn;
+use mvc_whips::{ManagerKind, Oracle};
+
+fn txn(source: u32, w: WriteOp) -> WorkloadTxn {
+    WorkloadTxn {
+        source: SourceId(source),
+        writes: vec![w],
+        global: false,
+    }
+}
+
+/// Two independent copy views over disjoint relations — the minimal
+/// deployment with real cross-view interleaving freedom. One update per
+/// view keeps the census small enough for a full naive sweep in debug
+/// builds; the release-mode smoke binary runs the bigger workloads.
+fn two_copy_views(config: PipelineConfig) -> PipelineBuilder {
+    let mut b = PipelineBuilder::new(config)
+        .relation(SourceId(0), "R", Schema::ints(&["a", "b"]))
+        .relation(SourceId(1), "Q", Schema::ints(&["q", "r"]));
+    let vr = ViewDef::builder("VR").from("R").build(b.catalog()).unwrap();
+    let vq = ViewDef::builder("VQ").from("Q").build(b.catalog()).unwrap();
+    b = b
+        .view(ViewId(1), vr, ManagerKind::Complete)
+        .view(ViewId(2), vq, ManagerKind::Complete);
+    b.workload(vec![
+        txn(0, WriteOp::insert("R", tuple![1, 1])),
+        txn(1, WriteOp::insert("Q", tuple![2, 2])),
+    ])
+}
+
+fn spa_builder() -> PipelineBuilder {
+    two_copy_views(PipelineConfig {
+        algorithm: Some(MergeAlgorithm::Spa),
+        ..PipelineConfig::default()
+    })
+}
+
+fn pa_builder() -> PipelineBuilder {
+    two_copy_views(PipelineConfig {
+        algorithm: Some(MergeAlgorithm::Pa),
+        ..PipelineConfig::default()
+    })
+}
+
+/// Run the reduced (POR) census to completion and a capped naive sweep;
+/// return both. The naive interleaving space of even this two-update
+/// workload exceeds 100k schedules, so the naive run is capped — hitting
+/// the cap while the reduced census completes IS the pruning evidence.
+fn census(b: &PipelineBuilder) -> (mvc_analysis::ExploreOutcome, mvc_analysis::ExploreOutcome) {
+    let reduced = explore(b, &ExploreConfig::default()).unwrap();
+    let naive = explore(
+        b,
+        &ExploreConfig {
+            por: false,
+            max_schedules: 2_000,
+            ..ExploreConfig::default()
+        },
+    )
+    .unwrap();
+    (reduced, naive)
+}
+
+#[test]
+fn spa_census_is_pinned_and_por_prunes() {
+    let b = spa_builder();
+    let (reduced, naive) = census(&b);
+    eprintln!("SPA reduced: {reduced:?}");
+    assert!(reduced.all_certified(), "{:?}", reduced.violations);
+    assert!(naive.all_certified());
+    assert_eq!(reduced.truncated, 0);
+    assert!(!reduced.capped, "reduced census must complete");
+    // POR must prune: the full reduced census is smaller than even the
+    // capped naive sweep, and the sleep sets actually skipped work.
+    assert!(naive.capped, "naive sweep was expected to blow the cap");
+    assert!(reduced.complete < naive.schedules());
+    assert!(reduced.sleep_skips > 0);
+    // Census regression pin: a drift means the pipeline's event
+    // structure or the reduction changed — update deliberately.
+    assert_eq!(reduced.complete, 84);
+}
+
+#[test]
+fn pa_census_is_pinned_and_por_prunes() {
+    let b = pa_builder();
+    let (reduced, naive) = census(&b);
+    eprintln!("PA reduced: {reduced:?}");
+    assert!(reduced.all_certified(), "{:?}", reduced.violations);
+    assert!(naive.all_certified());
+    assert!(!reduced.capped, "reduced census must complete");
+    assert!(naive.capped, "naive sweep was expected to blow the cap");
+    assert!(reduced.complete < naive.schedules());
+    assert_eq!(reduced.complete, 84);
+}
+
+/// Fingerprint of everything the oracle's verdict depends on.
+fn fingerprint(report: &mvc_whips::SimReport) -> String {
+    format!(
+        "commits={:?} source={} wh={} verdicts={:?}",
+        report.commit_log,
+        report.cluster.history().len(),
+        report.warehouse.history().len(),
+        Oracle::new(report)
+            .unwrap()
+            .check_report()
+            .iter()
+            .map(|(g, l, v)| format!("{g}:{l}:{v}"))
+            .collect::<Vec<_>>()
+    )
+}
+
+#[test]
+fn schedule_replay_is_deterministic() {
+    let b = spa_builder();
+    // Drive one complete schedule by always taking the first enabled
+    // choice, recording it.
+    let mut pipe = b.build().unwrap();
+    let mut choices: Vec<Choice> = Vec::new();
+    loop {
+        let enabled = pipe.ready().unwrap();
+        let Some(&c) = enabled.first() else { break };
+        pipe.step(c).unwrap();
+        choices.push(c);
+    }
+    let reference = fingerprint(&pipe.finish().unwrap());
+    let id = ScheduleId(choices);
+
+    // Same id through serialization: identical history and verdicts.
+    let text = id.to_string();
+    let parsed: ScheduleId = text.parse().unwrap();
+    assert_eq!(parsed, id);
+    let r1 = fingerprint(&b.replay(&parsed).unwrap());
+    let r2 = fingerprint(&b.replay(&parsed).unwrap());
+    assert_eq!(r1, reference);
+    assert_eq!(r2, reference);
+}
+
+/// A deliberately broken applier (commit reordering) + conflicting
+/// updates: the explorer must find an oracle violation, and the
+/// violating schedule must survive a string round trip into a replay
+/// that reproduces the violation deterministically.
+#[test]
+fn violating_schedule_roundtrips_to_deterministic_replay() {
+    let mut b = PipelineBuilder::new(PipelineConfig {
+        commit_policy: CommitPolicy::Immediate,
+        algorithm: Some(MergeAlgorithm::Spa),
+        breakage: Some(Breakage::ReorderCommits { depth: 2 }),
+        ..PipelineConfig::default()
+    })
+    .relation(SourceId(0), "Q", Schema::ints(&["q", "r"]));
+    let vq = ViewDef::builder("VQ").from("Q").build(b.catalog()).unwrap();
+    b = b.view(ViewId(1), vq, ManagerKind::Complete);
+    // Insert/delete of the SAME tuple: reversal is observable.
+    b = b.workload(vec![
+        txn(0, WriteOp::insert("Q", tuple![7, 7])),
+        txn(0, WriteOp::delete("Q", tuple![7, 7])),
+    ]);
+
+    let outcome = explore(&b, &ExploreConfig::default()).unwrap();
+    eprintln!(
+        "breakage: complete={} certified={} violations={}",
+        outcome.complete,
+        outcome.certified,
+        outcome.violations.len()
+    );
+    assert!(
+        !outcome.violations.is_empty(),
+        "broken applier never violated the oracle"
+    );
+
+    let v = &outcome.violations[0];
+    // String round trip.
+    let text = v.schedule.to_string();
+    let parsed: ScheduleId = text.parse().unwrap();
+    assert_eq!(parsed, v.schedule);
+
+    // Deterministic replay reproduces the violation.
+    let replayed = b.replay(&parsed).unwrap();
+    let verdicts = Oracle::new(&replayed).unwrap().check_report();
+    assert!(
+        verdicts.iter().any(|(_, _, v)| !v.is_satisfied()),
+        "replay of violating schedule {text} did not violate"
+    );
+    assert_eq!(
+        fingerprint(&replayed),
+        fingerprint(&b.replay(&parsed).unwrap())
+    );
+}
+
+/// A schedule from a different deployment must fail replay with a
+/// positional NotEnabled error, not panic or silently diverge.
+#[test]
+fn foreign_schedule_fails_replay_typed() {
+    let b = spa_builder();
+    let bogus: ScheduleId = "I.W3.C3".parse().unwrap();
+    let err = match b.replay(&bogus) {
+        Ok(_) => panic!("foreign schedule replayed cleanly"),
+        Err(e) => e,
+    };
+    match err {
+        mvc_analysis::PipelineError::NotEnabled { position, .. } => assert_eq!(position, 1),
+        other => panic!("unexpected error {other:?}"),
+    }
+}

@@ -153,6 +153,80 @@ fn mixed(seed: u64, sched: u64, updates: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Explorer property: bounded-exhaustively explore a random tiny
+/// pipeline (workload size × algorithm × bounds) with partial-order
+/// reduction; every complete schedule must certify and the census must
+/// be clean of truncation within the generous depth bound.
+fn explorer(seed: u64, updates: u64, pa: bool, cap: u64) -> Result<(), String> {
+    use mvc_analysis::{explore, ExploreConfig, PipelineBuilder, PipelineConfig};
+    use mvc_core::ViewId;
+    use mvc_relational::{tuple, ViewDef};
+    use mvc_source::{SourceId, WriteOp};
+    use mvc_whips::sim::WorkloadTxn;
+
+    let config = PipelineConfig {
+        algorithm: Some(if pa {
+            MergeAlgorithm::Pa
+        } else {
+            MergeAlgorithm::Spa
+        }),
+        ..PipelineConfig::default()
+    };
+    let mut b = install_relations(PipelineBuilder::new(config), 2);
+    let v1 = ViewDef::builder("V1")
+        .from(rel_name(0).as_str())
+        .build(b.catalog())
+        .map_err(|e| format!("viewdef: {e:?}"))?;
+    let v2 = ViewDef::builder("V2")
+        .from(rel_name(1).as_str())
+        .build(b.catalog())
+        .map_err(|e| format!("viewdef: {e:?}"))?;
+    b = b
+        .view(ViewId(1), v1, ManagerKind::Complete)
+        .view(ViewId(2), v2, ManagerKind::Complete);
+    let mut rng = Lcg(seed.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(7));
+    let txns: Vec<WorkloadTxn> = (0..updates)
+        .map(|i| {
+            let r = rng.range(0, 2) as usize;
+            let k = rng.range(0, 4) as i64;
+            WorkloadTxn {
+                source: SourceId(r as u32),
+                writes: vec![WriteOp::insert(rel_name(r).as_str(), tuple![k, i as i64])],
+                global: false,
+            }
+        })
+        .collect();
+    b = b.workload(txns);
+    let outcome = explore(
+        &b,
+        &ExploreConfig {
+            max_schedules: cap,
+            ..ExploreConfig::default()
+        },
+    )
+    .map_err(|e| format!("explore: {e}"))?;
+    if !outcome.violations.is_empty() {
+        let v = &outcome.violations[0];
+        return Err(format!(
+            "uncertified schedule {} (group {}, {}): {}",
+            v.schedule, v.group, v.level, v.detail
+        ));
+    }
+    if outcome.complete != outcome.certified {
+        return Err(format!(
+            "census mismatch: {} complete vs {} certified",
+            outcome.complete, outcome.certified
+        ));
+    }
+    if outcome.truncated > 0 {
+        return Err(format!(
+            "{} schedules truncated at the depth bound",
+            outcome.truncated
+        ));
+    }
+    Ok(())
+}
+
 /// Crash/recover property: kill a durable run at a random WAL position,
 /// rebuild from the log, finish the workload, and hold the stitched
 /// history to the same oracle bar as an uninterrupted run — plus zero
@@ -241,7 +315,7 @@ fn main() {
         let mut rng = Lcg(case.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
         let seed = rng.range(0, 10_000);
         let sched = rng.range(0, 10_000);
-        let family = case % 11;
+        let family = case % 12;
         let res = match family {
             // spa_complete / pa_strobe / eca / selfmaint (5-param shape)
             0..=3 => {
@@ -328,6 +402,15 @@ fn main() {
                 let pa = rng.next().is_multiple_of(2);
                 crash_recover(seed, sched, updates, kill, pa)
                     .map_err(|e| format!("crash_recover {e}"))
+            }
+            10 => {
+                // Tiny random pipelines keep bounded-exhaustive exploration
+                // tractable per case while varying workload × algorithm ×
+                // schedule cap.
+                let updates = rng.range(2, 4);
+                let pa = rng.next().is_multiple_of(2);
+                let cap = rng.range(2_000, 20_000);
+                explorer(seed, updates, pa, cap).map_err(|e| format!("explorer {e}"))
             }
             _ => {
                 let updates = rng.range(10, 40) as usize;

@@ -4,6 +4,8 @@
 //! and figure of the paper plus the §7 planned studies. See EXPERIMENTS.md
 //! for the index and `src/bin/` for the runnable harnesses.
 
+#![forbid(unsafe_code)]
+
 pub mod rows;
 
 pub use rows::{print_table, Row};

@@ -1,0 +1,300 @@
+//! Happens-before auditing primitives: vector clocks over the pipeline's
+//! processes and an [`HbState`] that checks two protocol invariants at
+//! runtime — dependent commits of one merge group must be causally
+//! ordered (no commit-order inversion, §4.3), and paint transitions of
+//! one VUT cell must be totally ordered by happens-before (no
+//! unsynchronized `PaintState` transition).
+//!
+//! The types here are plain data with no threading assumptions; the
+//! threaded runtime (`mvc-whips`, behind its `hb-audit` feature) attaches
+//! a clock to every channel send/recv and feeds commits and paint events
+//! into one shared [`HbState`]. Keeping the checker in `mvc-core` lets
+//! `mvc-analysis` (which depends on `mvc-whips`) reuse the diagnostics
+//! without a dependency cycle.
+
+use crate::ids::{TxnSeq, UpdateId, ViewId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A vector clock over dynamically-registered process ids. Missing
+/// components are implicitly zero, so clocks from disjoint process sets
+/// compare as concurrent rather than panicking.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock(BTreeMap<u32, u64>);
+
+impl VectorClock {
+    pub fn new() -> Self {
+        VectorClock(BTreeMap::new())
+    }
+
+    /// Advance this process's own component.
+    pub fn tick(&mut self, pid: u32) {
+        *self.0.entry(pid).or_insert(0) += 1;
+    }
+
+    /// Pointwise maximum — the receive rule.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (&pid, &t) in &other.0 {
+            let e = self.0.entry(pid).or_insert(0);
+            if *e < t {
+                *e = t;
+            }
+        }
+    }
+
+    /// `self ≥ other` pointwise: every event in `other` is in this
+    /// clock's causal past (or is this clock).
+    pub fn dominates(&self, other: &VectorClock) -> bool {
+        other
+            .0
+            .iter()
+            .all(|(pid, &t)| self.0.get(pid).copied().unwrap_or(0) >= t)
+    }
+
+    /// Neither clock dominates the other: causally unrelated events.
+    pub fn concurrent_with(&self, other: &VectorClock) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+
+    pub fn component(&self, pid: u32) -> u64 {
+        self.0.get(&pid).copied().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (pid, t)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{pid}:{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A detected happens-before violation, with enough context to name the
+/// offending transition in a diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HbViolation {
+    /// Two commits of the same merge group reached the warehouse without
+    /// a happens-before edge between them (or with their transaction
+    /// sequence numbers inverted): the §4.3 commit-order guarantee is
+    /// void for this pair.
+    CommitOrderInversion {
+        group: usize,
+        earlier: TxnSeq,
+        later: TxnSeq,
+        /// True when the sequence numbers themselves were out of order;
+        /// false when the order was right but the clocks were concurrent
+        /// (a synchronization gap rather than an observed reorder).
+        seq_inverted: bool,
+    },
+    /// Two paint transitions of the same VUT cell `(update, view)` were
+    /// causally unrelated: some path paints the cell without holding the
+    /// merge process's serialization.
+    UnorderedPaint {
+        group: usize,
+        view: ViewId,
+        update: UpdateId,
+    },
+}
+
+impl fmt::Display for HbViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HbViolation::CommitOrderInversion {
+                group,
+                earlier,
+                later,
+                seq_inverted,
+            } => write!(
+                f,
+                "commit-order inversion in group {group}: {earlier} then {later} ({})",
+                if *seq_inverted {
+                    "sequence inverted"
+                } else {
+                    "clocks concurrent"
+                }
+            ),
+            HbViolation::UnorderedPaint {
+                group,
+                view,
+                update,
+            } => write!(
+                f,
+                "unordered paint of VUT cell ({update}, {view}) in group {group}"
+            ),
+        }
+    }
+}
+
+/// Shared audit state: the last commit clock per merge group and the last
+/// paint clock per VUT cell, plus every violation observed so far.
+#[derive(Debug, Default)]
+pub struct HbState {
+    /// Internal component ticked per commit so two commits carrying
+    /// identical sender stamps still get distinct clocks.
+    commit_serial: u64,
+    last_commit: BTreeMap<usize, (TxnSeq, VectorClock)>,
+    last_paint: BTreeMap<(usize, ViewId, UpdateId), VectorClock>,
+    violations: Vec<HbViolation>,
+}
+
+/// Reserved pid for the audit's own warehouse-side commit counter.
+const WAREHOUSE_PID: u32 = u32::MAX;
+
+impl HbState {
+    pub fn new() -> Self {
+        HbState::default()
+    }
+
+    /// Record a warehouse commit of `(group, seq)` whose causal past is
+    /// `stamp` (the releasing merge process's clock at send). Returns the
+    /// commit's own clock, to be carried on the acknowledgement edge.
+    pub fn on_commit(&mut self, group: usize, seq: TxnSeq, stamp: &VectorClock) -> VectorClock {
+        self.commit_serial += 1;
+        let mut clock = stamp.clone();
+        let mut serial = VectorClock::new();
+        serial.0.insert(WAREHOUSE_PID, self.commit_serial);
+        clock.join(&serial);
+        if let Some((prev_seq, prev_clock)) = self.last_commit.get(&group) {
+            let seq_inverted = seq <= *prev_seq;
+            if seq_inverted || !clock.dominates(prev_clock) {
+                self.violations.push(HbViolation::CommitOrderInversion {
+                    group,
+                    earlier: *prev_seq,
+                    later: seq,
+                    seq_inverted,
+                });
+            }
+        }
+        self.last_commit.insert(group, (seq, clock.clone()));
+        clock
+    }
+
+    /// Record a paint transition of VUT cell `(update, view)` in `group`
+    /// at clock `stamp`. Transitions of one cell must be totally ordered.
+    pub fn on_paint(&mut self, group: usize, view: ViewId, update: UpdateId, stamp: &VectorClock) {
+        let key = (group, view, update);
+        if let Some(prev) = self.last_paint.get(&key) {
+            if !stamp.dominates(prev) {
+                self.violations.push(HbViolation::UnorderedPaint {
+                    group,
+                    view,
+                    update,
+                });
+            }
+        }
+        self.last_paint.insert(key, stamp.clone());
+    }
+
+    pub fn violations(&self) -> &[HbViolation] {
+        &self.violations
+    }
+
+    pub fn take_violations(&mut self) -> Vec<HbViolation> {
+        std::mem::take(&mut self.violations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock(entries: &[(u32, u64)]) -> VectorClock {
+        let mut c = VectorClock::new();
+        for &(pid, t) in entries {
+            c.0.insert(pid, t);
+        }
+        c
+    }
+
+    #[test]
+    fn vector_clock_ordering() {
+        let a = clock(&[(0, 1), (1, 2)]);
+        let b = clock(&[(0, 2), (1, 2)]);
+        assert!(b.dominates(&a));
+        assert!(!a.dominates(&b));
+        let c = clock(&[(0, 0), (1, 3)]);
+        assert!(a.concurrent_with(&c));
+        let mut j = a.clone();
+        j.join(&c);
+        assert!(j.dominates(&a) && j.dominates(&c));
+        assert_eq!(j.component(1), 3);
+    }
+
+    #[test]
+    fn ordered_commits_pass() {
+        let mut hb = HbState::new();
+        let c1 = hb.on_commit(0, TxnSeq(1), &clock(&[(5, 1)]));
+        // The second commit's stamp includes the first commit's clock —
+        // the MP saw the ack before releasing the dependent txn.
+        let mut s2 = c1;
+        s2.tick(5);
+        hb.on_commit(0, TxnSeq(2), &s2);
+        assert!(hb.violations().is_empty());
+    }
+
+    #[test]
+    fn seq_inversion_detected() {
+        let mut hb = HbState::new();
+        let c1 = hb.on_commit(0, TxnSeq(2), &clock(&[(5, 1)]));
+        let mut s2 = c1;
+        s2.tick(5);
+        hb.on_commit(0, TxnSeq(1), &s2);
+        assert_eq!(hb.violations().len(), 1);
+        match &hb.violations()[0] {
+            HbViolation::CommitOrderInversion {
+                group,
+                earlier,
+                later,
+                seq_inverted,
+            } => {
+                assert_eq!(
+                    (*group, *earlier, *later, *seq_inverted),
+                    (0, TxnSeq(2), TxnSeq(1), true)
+                );
+            }
+            other => panic!("wrong violation: {other}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_commit_clocks_detected() {
+        let mut hb = HbState::new();
+        hb.on_commit(1, TxnSeq(1), &clock(&[(5, 4)]));
+        // Right sequence order, but the second stamp does not include the
+        // first commit's causal past: a synchronization gap.
+        hb.on_commit(1, TxnSeq(2), &clock(&[(6, 1)]));
+        assert_eq!(hb.violations().len(), 1);
+        assert!(matches!(
+            hb.violations()[0],
+            HbViolation::CommitOrderInversion {
+                seq_inverted: false,
+                ..
+            }
+        ));
+        // Distinct groups never conflict.
+        hb.on_commit(2, TxnSeq(1), &clock(&[(7, 1)]));
+        assert_eq!(hb.violations().len(), 1);
+    }
+
+    #[test]
+    fn unordered_paint_detected() {
+        let mut hb = HbState::new();
+        let cell = (ViewId(3), UpdateId(7));
+        hb.on_paint(0, cell.0, cell.1, &clock(&[(5, 1)]));
+        let mut later = clock(&[(5, 2)]);
+        hb.on_paint(0, cell.0, cell.1, &later);
+        assert!(hb.violations().is_empty());
+        // A concurrent stamp on the same cell is a violation…
+        hb.on_paint(0, cell.0, cell.1, &clock(&[(9, 1)]));
+        assert_eq!(hb.violations().len(), 1);
+        // …but other cells are independent.
+        later.tick(9);
+        hb.on_paint(0, ViewId(4), UpdateId(7), &later);
+        assert_eq!(hb.violations().len(), 1);
+    }
+}

@@ -23,10 +23,13 @@
 //! algorithms are independent of the data model. The relational payload
 //! lives in `mvc-warehouse`/`mvc-viewmgr`.
 
+#![forbid(unsafe_code)]
+
 pub mod action;
 pub mod commit;
 pub mod consistency;
 pub mod error;
+pub mod hb;
 pub mod ids;
 pub mod merge;
 pub mod pa;
@@ -39,6 +42,7 @@ pub use action::{ActionList, WarehouseTxn};
 pub use commit::{CommitPolicy, CommitScheduler, CommitStats};
 pub use consistency::{ConsistencyLevel, MergeAlgorithm};
 pub use error::MergeError;
+pub use hb::{HbState, HbViolation, VectorClock};
 pub use ids::{TxnSeq, UpdateId, ViewId};
 pub use merge::{MergeProcess, MergeStats};
 pub use pa::{Pa, PaStats};

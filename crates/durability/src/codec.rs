@@ -947,6 +947,82 @@ mod tests {
         });
     }
 
+    /// Every `WalRecord` variant must survive the codec; the protocol
+    /// lint (`wal-variant-roundtrip`) enforces that this list stays in
+    /// sync with the enum. `WalRecord` has no `PartialEq`, so equality is
+    /// byte-image equality: encode → decode → re-encode must be stable.
+    #[test]
+    fn wal_record_every_variant_roundtrips() {
+        use crate::checkpoint::{CheckpointState, CommitRecord};
+        use crate::record::WalRecord;
+
+        fn rt(rec: WalRecord) {
+            let bytes = to_bytes(&rec);
+            let back: WalRecord = from_bytes(&bytes).expect("decode");
+            assert_eq!(rec.kind(), back.kind());
+            assert_eq!(bytes, to_bytes(&back), "{} re-encode differs", rec.kind());
+        }
+
+        let delta = {
+            let mut d = Delta::new();
+            d.add(Tuple::new(vec![Value::Int(3)]), 1);
+            d
+        };
+        let al = ActionList::batch(ViewId(1), UpdateId(2), UpdateId(2), delta.clone());
+        rt(WalRecord::SourceUpdate(SourceUpdate {
+            seq: GlobalSeq::INITIAL,
+            source: SourceId(0),
+            changes: vec![RelationChange {
+                relation: "R".into(),
+                delta,
+            }],
+        }));
+        rt(WalRecord::RelInstalled {
+            group: 0,
+            id: UpdateId(2),
+            rel: BTreeSet::from([ViewId(1)]),
+        });
+        rt(WalRecord::ActionInstalled {
+            group: 0,
+            al: al.clone(),
+        });
+        rt(WalRecord::Paint {
+            group: 0,
+            update: UpdateId(2),
+            view: ViewId(1),
+            color: Color::Red,
+            state: UpdateId(2),
+        });
+        rt(WalRecord::GroupReleased {
+            group: 0,
+            txn: WarehouseTxn {
+                seq: TxnSeq(1),
+                rows: vec![UpdateId(2)],
+                actions: vec![al],
+                views: BTreeSet::from([ViewId(1)]),
+                frontier: UpdateId(2),
+            },
+        });
+        rt(WalRecord::TxnCommitted {
+            group: 0,
+            seq: TxnSeq(1),
+        });
+        rt(WalRecord::CommitAcked {
+            group: 0,
+            seq: TxnSeq(1),
+        });
+        rt(WalRecord::Checkpoint(Box::new(CheckpointState {
+            warehouse: mvc_warehouse::Warehouse::new(false).snapshot(),
+            merges: Vec::new(),
+            commit_log: vec![CommitRecord {
+                group: 0,
+                seq: TxnSeq(1),
+                rows: vec![UpdateId(2)],
+                views: BTreeSet::from([ViewId(1)]),
+            }],
+        })));
+    }
+
     #[test]
     fn truncated_input_is_eof_not_panic() {
         let bytes = to_bytes(&"hello".to_owned());

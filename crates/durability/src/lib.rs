@@ -19,6 +19,8 @@
 //!   end-of-log, while a checksum mismatch on a complete frame is a typed
 //!   [`WalError::CorruptRecord`], never a silent truncation.
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod codec;
 pub mod record;

@@ -9,6 +9,8 @@
 //! Everything here is deterministic: relations iterate in sorted order so
 //! higher layers can pin golden outputs byte-for-byte.
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod database;
 pub mod delta;

@@ -7,6 +7,8 @@
 //! reconstruction, and the query services (as-of and current-state) view
 //! managers use for delta computation.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod service;
 pub mod update;

@@ -18,6 +18,8 @@
 //! [`protocol`] message types; runtimes inject every delay, which is what
 //! makes intertwining — and therefore the MVC problem — real.
 
+#![forbid(unsafe_code)]
+
 pub mod complete;
 pub mod complete_n;
 pub mod convergent;

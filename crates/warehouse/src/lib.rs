@@ -9,6 +9,8 @@
 //! This crate instantiates `mvc-core`'s opaque action-list payload with
 //! the relational [`ViewDelta`].
 
+#![forbid(unsafe_code)]
+
 pub mod shared;
 pub mod store;
 

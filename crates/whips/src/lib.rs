@@ -7,6 +7,8 @@
 //! consistency oracle that machine-checks the §2 definitions, and canned
 //! scenarios reproducing the paper's worked examples.
 
+#![forbid(unsafe_code)]
+
 pub mod integrator;
 pub mod metrics;
 pub mod obs;

@@ -112,37 +112,186 @@ pub struct WallClock {
     /// Per-channel backlog at the end of the drain: the same diagnostics
     /// a `DrainTimeout` error carries, available on success too.
     pub queue_depths_at_end: Vec<(String, usize)>,
+    /// Happens-before violations found by the vector-clock audit
+    /// (`hb-audit` feature): commit-order inversions and unsynchronized
+    /// paint transitions. Always empty when the feature is off. The
+    /// audit assumes commit order is a guarantee, which holds under
+    /// `CommitPolicy::Sequential`; the `DependencyAware`/`Immediate`
+    /// policies legally commit independent transactions out of order,
+    /// so entries under those policies are diagnostics, not bugs.
+    pub hb_violations: Vec<mvc_core::HbViolation>,
 }
 
+/// Vector-clock happens-before auditing (`hb-audit` feature). Each
+/// thread owns a [`hb_rt::Clock`]; every stamped send carries a
+/// [`hb_rt::Stamp`] snapshot and every recv joins it, so a message edge
+/// becomes a happens-before edge. Commit/paint checking lives in
+/// `mvc_core::hb` (shared with future runtimes); this module is only
+/// the wiring. With the feature off every type is zero-sized and every
+/// call a no-op — message layouts and call sites are identical either
+/// way, which keeps the two builds from drifting apart.
+#[cfg(feature = "hb-audit")]
+mod hb_rt {
+    use mvc_core::hb::{HbState, HbViolation, VectorClock};
+    use mvc_core::snapshot::PaintEvent;
+    use mvc_core::TxnSeq;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    /// Clock snapshot attached to a message.
+    pub(super) type Stamp = VectorClock;
+
+    /// A thread-owned vector clock; `pid` must be unique per thread.
+    pub(super) struct Clock {
+        pid: u32,
+        vc: VectorClock,
+    }
+
+    impl Clock {
+        pub(super) fn new(pid: u32) -> Self {
+            Clock {
+                pid,
+                vc: VectorClock::new(),
+            }
+        }
+    }
+
+    /// Shared checker handle.
+    #[derive(Clone)]
+    pub(super) struct HbAudit(Arc<Mutex<HbState>>);
+
+    impl HbAudit {
+        pub(super) fn new() -> Self {
+            HbAudit(Arc::new(Mutex::new(HbState::new())))
+        }
+
+        /// Local event + stamp for an outgoing message.
+        pub(super) fn stamp(&self, clock: &mut Clock) -> Stamp {
+            clock.vc.tick(clock.pid);
+            clock.vc.clone()
+        }
+
+        /// Local event + merge an incoming message's stamp.
+        pub(super) fn recv(&self, clock: &mut Clock, stamp: &Stamp) {
+            clock.vc.tick(clock.pid);
+            clock.vc.join(stamp);
+        }
+
+        /// Check a warehouse commit; the returned clock rides the ack.
+        /// Serialized by the checker's own lock (the caller already holds
+        /// the warehouse lock, so commit order and check order agree).
+        pub(super) fn on_commit(&self, group: usize, seq: TxnSeq, stamp: &Stamp) -> Stamp {
+            self.0.lock().on_commit(group, seq, stamp)
+        }
+
+        /// Check paint transitions drained from a merge process against
+        /// the MP thread's clock.
+        pub(super) fn on_paints(&self, group: usize, events: &[PaintEvent], clock: &Clock) {
+            if events.is_empty() {
+                return;
+            }
+            let mut st = self.0.lock();
+            for e in events {
+                st.on_paint(group, e.view, e.update, &clock.vc);
+            }
+        }
+
+        pub(super) fn take_violations(&self) -> Vec<HbViolation> {
+            self.0.lock().take_violations()
+        }
+    }
+}
+
+/// No-op twin of the audit wiring: zero-sized stamps, inlined-away calls.
+#[cfg(not(feature = "hb-audit"))]
+mod hb_rt {
+    use mvc_core::snapshot::PaintEvent;
+    use mvc_core::{HbViolation, TxnSeq};
+
+    /// Zero-sized stand-in (a struct, not `()`, so stamped sends don't
+    /// trip clippy's `unit_arg` when the feature is off).
+    #[derive(Clone, Copy)]
+    pub(super) struct Stamp;
+
+    pub(super) struct Clock;
+
+    impl Clock {
+        #[inline]
+        pub(super) fn new(_pid: u32) -> Self {
+            Clock
+        }
+    }
+
+    #[derive(Clone)]
+    pub(super) struct HbAudit;
+
+    impl HbAudit {
+        #[inline]
+        pub(super) fn new() -> Self {
+            HbAudit
+        }
+        #[inline]
+        pub(super) fn stamp(&self, _clock: &mut Clock) -> Stamp {
+            Stamp
+        }
+        #[inline]
+        pub(super) fn recv(&self, _clock: &mut Clock, _stamp: &Stamp) {}
+        #[inline]
+        pub(super) fn on_commit(&self, _group: usize, _seq: TxnSeq, _stamp: &Stamp) -> Stamp {
+            Stamp
+        }
+        #[inline]
+        pub(super) fn on_paints(&self, _group: usize, _events: &[PaintEvent], _clock: &Clock) {}
+        #[inline]
+        pub(super) fn take_violations(&self) -> Vec<HbViolation> {
+            Vec::new()
+        }
+    }
+}
+
+use hb_rt::{Clock as HbClock, HbAudit, Stamp};
+
 enum VmMsg {
-    Update(mvc_viewmgr::NumberedUpdate, Instant),
-    Answer(QueryToken, QueryAnswer),
+    Update(mvc_viewmgr::NumberedUpdate, Instant, Stamp),
+    Answer(QueryToken, QueryAnswer, Stamp),
     Flush,
     Stop,
 }
 
 enum MpMsg {
-    Rel(UpdateId, BTreeSet<ViewId>, Instant),
-    Action(ActionListDelta),
-    Committed(TxnSeq),
+    Rel(UpdateId, BTreeSet<ViewId>, Instant, Stamp),
+    Action(ActionListDelta, Stamp),
+    Committed(TxnSeq, Stamp),
     Flush,
     Stop,
 }
 
 enum IntMsg {
-    Update(mvc_source::SourceUpdate, Instant),
-    AnswerFor(ViewId, QueryToken, QueryAnswer),
+    Update(mvc_source::SourceUpdate, Instant, Stamp),
+    AnswerFor(ViewId, QueryToken, QueryAnswer, Stamp),
     Stop,
 }
 
 enum QsMsg {
-    Query(ViewId, QueryToken, Box<QueryRequest>),
+    Query(ViewId, QueryToken, Box<QueryRequest>, Stamp),
     Stop,
 }
 
 enum WhMsg {
-    Txn(usize, StoreTxn, Instant),
+    Txn(usize, StoreTxn, Instant, Stamp),
     Stop,
+}
+
+/// Best-effort text of a worker thread's panic payload, so a panicking
+/// thread surfaces as a typed error instead of a silent leak.
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Tracks in-flight messages for quiescence detection.
@@ -154,15 +303,23 @@ impl Flight {
         Flight(Arc::new(AtomicI64::new(0)))
     }
     fn up(&self) {
+        // SeqCst: increments must be globally ordered before the send
+        // they cover, or `zero()` could observe an empty pipeline while a
+        // message is still in flight.
         self.0.fetch_add(1, Ordering::SeqCst);
     }
     fn down(&self) {
+        // SeqCst: the decrement happens only after the message's outputs
+        // were sent (and counted), keeping the counter conservative.
         self.0.fetch_sub(1, Ordering::SeqCst);
     }
     fn zero(&self) -> bool {
+        // SeqCst: quiescence reads must not be reordered ahead of the
+        // up/down traffic they summarize.
         self.0.load(Ordering::SeqCst) == 0
     }
     fn count(&self) -> i64 {
+        // SeqCst: diagnostic snapshot, kept at the same order as zero().
         self.0.load(Ordering::SeqCst)
     }
 }
@@ -236,6 +393,11 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
 
     // Shared state.
     let flight = Flight::new();
+    // Happens-before auditor (no-op unless `hb-audit`). Thread pids:
+    // driver 0, integrator 1, VM 10+view, MP 1000+group; the query
+    // server and commit workers pass stamps through without a clock of
+    // their own (they are stateless relays for ordering purposes).
+    let audit = HbAudit::new();
     let cluster = Arc::new(Mutex::new(b.cluster));
     let mut warehouse = Warehouse::new(config.record_snapshots);
     for e in b.registry.iter() {
@@ -299,18 +461,24 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let flight = flight.clone();
         let id = e.id;
         let obs_parts = obs_parts.clone();
+        let audit = audit.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
             let mut obs = PipelineObs::new("ns");
+            let mut hbc = HbClock::new(10 + id.0);
             while let Ok(msg) = rx.recv() {
                 let event = match msg {
-                    VmMsg::Update(u, sent) => {
+                    VmMsg::Update(u, sent, stamp) => {
+                        audit.recv(&mut hbc, &stamp);
                         obs.int_routing.record(sent.elapsed().as_nanos() as u64);
                         VmEvent::Update(u)
                     }
-                    VmMsg::Answer(t, a) => VmEvent::Answer {
-                        token: t,
-                        answer: a,
-                    },
+                    VmMsg::Answer(t, a, stamp) => {
+                        audit.recv(&mut hbc, &stamp);
+                        VmEvent::Answer {
+                            token: t,
+                            answer: a,
+                        }
+                    }
                     VmMsg::Flush => VmEvent::Flush,
                     VmMsg::Stop => break,
                 };
@@ -321,16 +489,23 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                     match o {
                         VmOutput::Action(al) => {
                             flight.up();
-                            let _ = mp_tx.send(MpMsg::Action(al));
+                            let _ = mp_tx.send(MpMsg::Action(al, audit.stamp(&mut hbc)));
                             obs.note_depth("vm_to_mp", mp_tx.len() as u64);
                         }
                         VmOutput::Query { token, request } => {
                             flight.up();
-                            let _ = qs_tx.send(QsMsg::Query(id, token, Box::new(request)));
+                            let _ = qs_tx.send(QsMsg::Query(
+                                id,
+                                token,
+                                Box::new(request),
+                                audit.stamp(&mut hbc),
+                            ));
                             obs.note_depth("vm_to_qs", qs_tx.len() as u64);
                         }
                     }
                 }
+                // SeqCst: the idle flag must not be observed set before the
+                // sends above are visible — quiescence reads it unlocked.
                 idle.store(vm.is_idle(), Ordering::SeqCst);
                 flight.down();
             }
@@ -360,7 +535,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             None => MergeProcess::for_managers(levels, config.commit_policy),
         };
         guarantees.push(mp.guarantees());
-        if wal.is_some() {
+        // Paint transitions feed both the WAL and the HB audit.
+        if wal.is_some() || cfg!(feature = "hb-audit") {
             mp.enable_paint_events();
         }
         let wal = wal.clone();
@@ -371,14 +547,17 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let merge_stats = merge_stats.clone();
         let commit_stats = commit_stats.clone();
         let obs_parts = obs_parts.clone();
+        let audit = audit.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
             let mut obs = PipelineObs::new("ns");
+            let mut hbc = HbClock::new(1000 + g as u32);
             // AL arrival times, keyed like the simulator's merge-hold map:
             // (view, last covered update) identifies the list inside a WT.
             let mut al_recv: BTreeMap<(ViewId, UpdateId), Instant> = BTreeMap::new();
             while let Ok(msg) = rx.recv() {
                 let released = match msg {
-                    MpMsg::Rel(i, rel, sent) => {
+                    MpMsg::Rel(i, rel, sent, stamp) => {
+                        audit.recv(&mut hbc, &stamp);
                         obs.int_routing.record(sent.elapsed().as_nanos() as u64);
                         if let Some(w) = &wal {
                             let _ = w.lock().append(&WalRecord::RelInstalled {
@@ -389,7 +568,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                         }
                         mp.on_rel(i, rel).map_err(|e| e.to_string())?
                     }
-                    MpMsg::Action(al) => {
+                    MpMsg::Action(al, stamp) => {
+                        audit.recv(&mut hbc, &stamp);
                         al_recv.insert((al.view, al.last), Instant::now());
                         if let Some(w) = &wal {
                             let _ = w.lock().append(&WalRecord::ActionInstalled {
@@ -399,7 +579,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                         }
                         mp.on_action(al).map_err(|e| e.to_string())?
                     }
-                    MpMsg::Committed(seq) => {
+                    MpMsg::Committed(seq, stamp) => {
+                        audit.recv(&mut hbc, &stamp);
                         if let Some(w) = &wal {
                             let _ = w.lock().append(&WalRecord::CommitAcked {
                                 group: g as u64,
@@ -411,9 +592,10 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                     MpMsg::Flush => mp.flush(),
                     MpMsg::Stop => break,
                 };
+                let paints = mp.take_paint_events();
                 if let Some(w) = &wal {
                     let mut w = w.lock();
-                    for e in mp.take_paint_events() {
+                    for e in &paints {
                         let _ = w.append(&WalRecord::Paint {
                             group: g as u64,
                             update: e.update,
@@ -423,6 +605,10 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                         });
                     }
                 }
+                // Paint transitions are checked against this thread's
+                // clock, which already joined the stamp of the message
+                // that caused them.
+                audit.on_paints(g, &paints, &hbc);
                 for t in released {
                     for a in &t.actions {
                         if let Some(arrived) = al_recv.remove(&(a.view, a.last)) {
@@ -439,10 +625,12 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                         });
                     }
                     flight.up();
-                    let _ = wh_tx.send(WhMsg::Txn(g, t, Instant::now()));
+                    let _ = wh_tx.send(WhMsg::Txn(g, t, Instant::now(), audit.stamp(&mut hbc)));
                     obs.note_depth("mp_to_wh", wh_tx.len() as u64);
                 }
                 obs.vut_occupancy.record(mp.live_rows() as u64);
+                // SeqCst: pairs with the quiescence check — the flag must
+                // not appear set before the releases above are visible.
                 quiescent.store(mp.is_quiescent(), Ordering::SeqCst);
                 merge_stats.lock()[g] = mp.stats();
                 commit_stats.lock()[g] = mp.commit_stats();
@@ -467,7 +655,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             let mut workers = Vec::new();
             while let Ok(msg) = qs_rx.recv() {
                 match msg {
-                    QsMsg::Query(v, token, request) => {
+                    QsMsg::Query(v, token, request, stamp) => {
                         let cluster = cluster.clone();
                         let int_tx = int_tx.clone();
                         let flight = flight.clone();
@@ -483,7 +671,10 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                 answer_query(&c, &request).map_err(|e| e.to_string())?
                             };
                             flight.up();
-                            let _ = int_tx.send(IntMsg::AnswerFor(v, token, answer));
+                            // The query's own stamp rides through: the
+                            // answer happens-after the question, and the
+                            // concurrent workers own no clock.
+                            let _ = int_tx.send(IntMsg::AnswerFor(v, token, answer, stamp));
                             flight.down();
                             Ok(())
                         };
@@ -513,6 +704,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let delay = config.commit_delay;
         let obs_parts = obs_parts.clone();
         let wal = wal.clone();
+        let audit = audit.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
             // Commits run concurrently when a latency is configured (a
             // real DBMS overlaps independent transactions); ordering of
@@ -524,17 +716,18 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             let mut local_obs = PipelineObs::new("ns");
             while let Ok(msg) = wh_rx.recv() {
                 match msg {
-                    WhMsg::Txn(g, txn, released) => {
+                    WhMsg::Txn(g, txn, released, stamp) => {
                         let warehouse = warehouse.clone();
                         let commit_log = commit_log.clone();
                         let mp_tx = mp_txs[g].clone();
                         let flight = flight.clone();
                         let wal = wal.clone();
+                        let audit = audit.clone();
                         let commit = move |obs: &mut PipelineObs| -> Result<(), String> {
                             if !delay.is_zero() {
                                 std::thread::sleep(delay);
                             }
-                            {
+                            let ack = {
                                 let mut w = warehouse.lock();
                                 // Under the warehouse lock so the log's
                                 // TxnCommitted order matches the history.
@@ -551,14 +744,18 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                     rows: txn.rows.clone(),
                                     views: txn.views.clone(),
                                 });
-                            }
+                                // Checked under the warehouse lock so the
+                                // audit sees commits in history order; the
+                                // returned clock stamps the ack.
+                                audit.on_commit(g, txn.seq, &stamp)
+                            };
                             // WT released by the merge process -> applied
                             // at the warehouse (same span the simulator
                             // measures in steps).
                             obs.commit_apply
                                 .record(released.elapsed().as_nanos() as u64);
                             flight.up();
-                            let _ = mp_tx.send(MpMsg::Committed(txn.seq));
+                            let _ = mp_tx.send(MpMsg::Committed(txn.seq, ack));
                             obs.note_depth("wh_to_mp", mp_tx.len() as u64);
                             flight.down();
                             Ok(())
@@ -606,14 +803,17 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let obs_parts = obs_parts.clone();
         let wal = wal.clone();
         let ngroups = groups;
+        let audit = audit.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
             let mut obs = PipelineObs::new("ns");
+            let mut hbc = HbClock::new(1);
             let mut group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>> =
                 vec![BTreeMap::new(); ngroups];
             let mut routed: BTreeSet<GlobalSeq> = BTreeSet::new();
             while let Ok(msg) = int_rx.recv() {
                 match msg {
-                    IntMsg::Update(u, sent) => {
+                    IntMsg::Update(u, sent, stamp) => {
+                        audit.recv(&mut hbc, &stamp);
                         obs.src_to_int_wait.record(sent.elapsed().as_nanos() as u64);
                         if let Some(w) = &wal {
                             let _ = w.lock().append(&WalRecord::SourceUpdate(u.clone()));
@@ -626,20 +826,26 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                 r.numbered.id,
                                 r.rel.clone(),
                                 Instant::now(),
+                                audit.stamp(&mut hbc),
                             ));
                             obs.note_depth("int_to_mp", mp_txs[r.group].len() as u64);
                             for v in &r.rel {
                                 flight.up();
-                                let _ = vm_txs[v]
-                                    .send(VmMsg::Update(r.numbered.clone(), Instant::now()));
+                                let _ = vm_txs[v].send(VmMsg::Update(
+                                    r.numbered.clone(),
+                                    Instant::now(),
+                                    audit.stamp(&mut hbc),
+                                ));
                                 obs.note_depth("int_to_vm", vm_txs[v].len() as u64);
                             }
                         }
                         flight.down();
                     }
-                    IntMsg::AnswerFor(v, token, answer) => {
+                    IntMsg::AnswerFor(v, token, answer, stamp) => {
+                        audit.recv(&mut hbc, &stamp);
                         flight.up();
-                        let _ = vm_txs[&v].send(VmMsg::Answer(token, answer));
+                        let _ =
+                            vm_txs[&v].send(VmMsg::Answer(token, answer, audit.stamp(&mut hbc)));
                         flight.down();
                     }
                     IntMsg::Stop => break,
@@ -662,6 +868,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let stop = reader_stop.clone();
         Some(std::thread::spawn(move || {
             let mut samples = Vec::new();
+            // SeqCst: plain stop flag; strongest order costs nothing here.
             while !stop.load(Ordering::SeqCst) {
                 {
                     let w = warehouse.lock();
@@ -691,6 +898,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let obs_parts = obs_parts.clone();
         Some(std::thread::spawn(move || {
             let mut obs = PipelineObs::new("ns");
+            // SeqCst: plain stop flag; strongest order costs nothing here.
             while !stop.load(Ordering::SeqCst) {
                 obs.note_depth("src_to_int", int_tx.len() as u64);
                 obs.note_depth("vm_to_qs", qs_tx.len() as u64);
@@ -729,99 +937,112 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     };
     let quiescent_now = |flight: &Flight| -> bool {
         flight.zero()
+            // SeqCst: both flag families pair with the SeqCst stores in
+            // the VM/MP loops, so this composite test is conservative.
             && vm_idle.lock().values().all(|f| f.load(Ordering::SeqCst))
             && mp_quiescent.lock().iter().all(|f| f.load(Ordering::SeqCst))
     };
-    for t in b.workload {
-        if config.sequential {
-            // wait for pipeline quiescence before the next transaction
-            let deadline = Instant::now() + config.drain_timeout;
-            loop {
-                if quiescent_now(&flight) {
+    // Inject + drain run inside a closure so that EVERY exit — success,
+    // drain timeout, source error — falls through to the unconditional
+    // shutdown below. The old early returns leaked every worker thread
+    // (and the reader/sampler, which never saw their stop flags) on the
+    // timeout paths.
+    let mut driver_hbc = HbClock::new(0);
+    let workload = b.workload;
+    let run_result: Result<Duration, SimError> = (|| {
+        for t in workload {
+            if config.sequential {
+                // wait for pipeline quiescence before the next transaction
+                let deadline = Instant::now() + config.drain_timeout;
+                loop {
+                    if quiescent_now(&flight) {
+                        break;
+                    }
+                    if Instant::now() > deadline {
+                        return Err(SimError::DrainTimeout {
+                            in_flight: flight.count(),
+                            queue_depths: queue_depths(&vm_txs, &mp_txs),
+                        });
+                    }
+                    std::thread::yield_now();
+                }
+            }
+            {
+                let mut c = cluster.lock();
+                let res = if t.global {
+                    c.execute_global(t.source, t.writes)
+                } else {
+                    c.execute(t.source, t.writes)
+                }
+                .map_err(SimError::Source)?;
+                // send under the lock so answers computed later cannot
+                // overtake this update in the integrator queue
+                flight.up();
+                let _ = int_tx.send(IntMsg::Update(
+                    res,
+                    Instant::now(),
+                    audit.stamp(&mut driver_hbc),
+                ));
+                driver_obs.note_depth("src_to_int", int_tx.len() as u64);
+            }
+            if !config.pacing.is_zero() {
+                std::thread::sleep(config.pacing);
+            }
+        }
+
+        // --- Drain ---
+        let deadline = Instant::now() + config.drain_timeout;
+        let mut flushed_all = false;
+        loop {
+            if quiescent_now(&flight) {
+                if flushed_all {
                     break;
                 }
-                if Instant::now() > deadline {
-                    return Err(SimError::DrainTimeout {
-                        in_flight: flight.count(),
-                        queue_depths: queue_depths(&vm_txs, &mp_txs),
-                    });
-                }
-                std::thread::yield_now();
-            }
-        }
-        let update = {
-            let mut c = cluster.lock();
-            let res = if t.global {
-                c.execute_global(t.source, t.writes)
-            } else {
-                c.execute(t.source, t.writes)
-            }
-            .map_err(SimError::Source)?;
-            // send under the lock so answers computed later cannot
-            // overtake this update in the integrator queue
-            flight.up();
-            let _ = int_tx.send(IntMsg::Update(res.clone(), Instant::now()));
-            driver_obs.note_depth("src_to_int", int_tx.len() as u64);
-            res
-        };
-        let _ = update;
-        if !config.pacing.is_zero() {
-            std::thread::sleep(config.pacing);
-        }
-    }
-
-    // --- Drain ---
-    let deadline = Instant::now() + config.drain_timeout;
-    let mut flushed_all = false;
-    loop {
-        if quiescent_now(&flight) {
-            if flushed_all {
-                break;
-            }
-            // one full flush round even when everything looks idle
-            for tx in vm_txs.values() {
-                flight.up();
-                let _ = tx.send(VmMsg::Flush);
-            }
-            for tx in &mp_txs {
-                flight.up();
-                let _ = tx.send(MpMsg::Flush);
-            }
-            flushed_all = true;
-        } else if flight.zero() {
-            // stalled with nothing in flight: nudge batching components
-            for (v, idle) in vm_idle.lock().iter() {
-                if !idle.load(Ordering::SeqCst) {
+                // one full flush round even when everything looks idle
+                for tx in vm_txs.values() {
                     flight.up();
-                    let _ = vm_txs[v].send(VmMsg::Flush);
+                    let _ = tx.send(VmMsg::Flush);
+                }
+                for tx in &mp_txs {
+                    flight.up();
+                    let _ = tx.send(MpMsg::Flush);
+                }
+                flushed_all = true;
+            } else if flight.zero() {
+                // stalled with nothing in flight: nudge batching components
+                for (v, idle) in vm_idle.lock().iter() {
+                    // SeqCst: matches the store in the VM loop.
+                    if !idle.load(Ordering::SeqCst) {
+                        flight.up();
+                        let _ = vm_txs[v].send(VmMsg::Flush);
+                    }
+                }
+                for tx in &mp_txs {
+                    flight.up();
+                    let _ = tx.send(MpMsg::Flush);
                 }
             }
-            for tx in &mp_txs {
-                flight.up();
-                let _ = tx.send(MpMsg::Flush);
+            if Instant::now() > deadline {
+                return Err(SimError::DrainTimeout {
+                    in_flight: flight.count(),
+                    queue_depths: queue_depths(&vm_txs, &mp_txs),
+                });
             }
+            std::thread::sleep(Duration::from_micros(200));
         }
-        if Instant::now() > deadline {
-            return Err(SimError::DrainTimeout {
-                in_flight: flight.count(),
-                queue_depths: queue_depths(&vm_txs, &mp_txs),
-            });
-        }
-        std::thread::sleep(Duration::from_micros(200));
-    }
-    let elapsed = started.elapsed();
-    // Drain diagnostics on the *success* path too — the same counters a
+        Ok(started.elapsed())
+    })();
+    // Drain diagnostics regardless of outcome — the same counters a
     // DrainTimeout error carries; a clean run must show 0 / all-empty.
     let in_flight_at_end = flight.count();
     let queue_depths_at_end = queue_depths(&vm_txs, &mp_txs);
+
+    // --- Shutdown (unconditional: every spawned thread is joined on
+    // every path; a timed-out run still tears down cleanly, it just
+    // waits for in-flight work to finish behind the Stop messages) ---
+    // SeqCst: stop flags for the reader/sampler loops above.
     reader_stop.store(true, Ordering::SeqCst);
     sampler_stop.store(true, Ordering::SeqCst);
-    let reader_samples = match reader_handle {
-        Some(h) => h.join().unwrap_or_default(),
-        None => Vec::new(),
-    };
-
-    // --- Shutdown ---
     let _ = int_tx.send(IntMsg::Stop);
     let _ = qs_tx.send(QsMsg::Stop);
     let _ = wh_tx.send(WhMsg::Stop);
@@ -831,20 +1052,43 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     for tx in &mp_txs {
         let _ = tx.send(MpMsg::Stop);
     }
+    let mut thread_errors: Vec<String> = Vec::new();
     for h in handles {
         match h.join() {
             Ok(Ok(())) => {}
-            Ok(Err(e)) => return Err(SimError::NonQuiescent(format!("thread error: {e}"))),
-            Err(_) => return Err(SimError::NonQuiescent("thread panicked".into())),
+            Ok(Err(e)) => thread_errors.push(format!("thread error: {e}")),
+            Err(p) => thread_errors.push(format!("thread panicked: {}", panic_message(p))),
         }
     }
+    let reader_samples = match reader_handle {
+        Some(h) => match h.join() {
+            Ok(samples) => samples,
+            Err(p) => {
+                thread_errors.push(format!("reader panicked: {}", panic_message(p)));
+                Vec::new()
+            }
+        },
+        None => Vec::new(),
+    };
     if let Some(h) = sampler_handle {
-        let _ = h.join();
+        if let Err(p) = h.join() {
+            thread_errors.push(format!("sampler panicked: {}", panic_message(p)));
+        }
     }
     // All logging threads have exited: flush whatever the fault left.
     if let Some(w) = &wal {
         let _ = w.lock().finalize();
     }
+    // A worker failure is the root cause — report it even when the
+    // driver's own verdict was a drain timeout it provoked.
+    if !thread_errors.is_empty() {
+        return Err(SimError::NonQuiescent(format!(
+            "worker thread failure: {}",
+            thread_errors.join("; ")
+        )));
+    }
+    let elapsed = run_result?;
+    let hb_violations = audit.take_violations();
 
     let (group_updates, routed, registry) = routing_state
         .lock()
@@ -905,6 +1149,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             reader_samples,
             in_flight_at_end,
             queue_depths_at_end,
+            hb_violations,
         },
     ))
 }
@@ -1082,6 +1327,48 @@ mod tests {
         );
         let (report, _wall) = b.workload(w.txns).run().unwrap();
         Oracle::new(&report).unwrap().assert_ok();
+    }
+
+    /// Under `CommitPolicy::Sequential` every commit ack is chained
+    /// through the merge process before the next release, so the audit's
+    /// clocks must form a total order over commits — any violation here
+    /// is a real synchronization bug. (The concurrent policies legally
+    /// commit independent transactions out of order, so this clean-run
+    /// guarantee is policy-specific; see `WallClock::hb_violations`.)
+    #[cfg(feature = "hb-audit")]
+    #[test]
+    fn hb_audit_clean_sequential_run_has_no_violations() {
+        let config = ThreadedConfig {
+            commit_policy: CommitPolicy::Sequential,
+            record_snapshots: true,
+            ..ThreadedConfig::default()
+        };
+        let mut b = ThreadedBuilder::new(config)
+            .relation(SourceId(0), "R", Schema::ints(&["a", "b"]))
+            .relation(SourceId(1), "S", Schema::ints(&["b", "c"]));
+        let v1 = ViewDef::builder("V1").from("R").build(b.catalog()).unwrap();
+        let v2 = ViewDef::builder("V2").from("S").build(b.catalog()).unwrap();
+        b = b
+            .view(ViewId(1), v1, ManagerKind::Complete)
+            .view(ViewId(2), v2, ManagerKind::Strobe);
+        let mut txns = Vec::new();
+        for i in 0..12i64 {
+            txns.push(crate::sim::WorkloadTxn {
+                source: SourceId((i % 2) as u32),
+                writes: vec![WriteOp::insert(
+                    if i % 2 == 0 { "R" } else { "S" },
+                    tuple![i, i],
+                )],
+                global: false,
+            });
+        }
+        let (report, wall) = b.workload(txns).run().unwrap();
+        Oracle::new(&report).unwrap().assert_ok();
+        assert!(
+            wall.hb_violations.is_empty(),
+            "sequential run must audit clean: {:?}",
+            wall.hb_violations
+        );
     }
 
     #[test]

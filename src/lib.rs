@@ -25,6 +25,8 @@
 //! See `examples/quickstart.rs` for a five-minute tour and DESIGN.md for
 //! the system inventory and per-experiment index.
 
+#![forbid(unsafe_code)]
+
 pub use mvc_core as core;
 pub use mvc_durability as durability;
 pub use mvc_relational as relational;
