@@ -28,6 +28,19 @@ cargo run -q --release -p mvc-bench --bin recovery_smoke
 echo "== explorer smoke (SPA + PA interleaving census, oracle-certified) =="
 cargo run -q --release -p mvc-bench --bin explore_smoke
 
+echo "== bench smoke (mixed scenario vs committed baseline, 20% tolerance) =="
+# Writes to a scratch path so the committed BENCH_pipeline.json artifact is
+# never clobbered. Gates on the deterministic `sim` runtime only: the
+# threaded commit rate swings several-fold run-to-run on a busy or
+# single-core box, so it is reported but not enforced. BENCH_SMOKE=0 skips.
+if [[ "${BENCH_SMOKE:-1}" == "1" ]]; then
+  cargo run -q --release -p mvc-bench --bin bench_pipeline -- \
+    --only mixed --out target/bench_smoke.json \
+    --check BENCH_pipeline.before.json --check-runtime sim
+else
+  echo "== bench smoke skipped (BENCH_SMOKE=0) =="
+fi
+
 # Optional deep checks: opt in with MIRI=1 / TSAN=1. Both need extra
 # toolchain components, so they skip gracefully when unavailable.
 if [[ "${MIRI:-0}" == "1" ]]; then

@@ -20,6 +20,17 @@
 //! 4. **wal-variant-roundtrip**: every `WalRecord` variant must appear in
 //!    the durability crate's test code — a codec change without a
 //!    roundtrip test is how recovery silently rots.
+//! 5. **update-payload-clone** (pipeline files in `whips/src/` and
+//!    `analysis/src/`, except `integrator.rs`): `.clone()` on an
+//!    update-payload binding (`numbered`, `update`, `u`) must carry a
+//!    `seal:` justification comment on the same line or within the six
+//!    preceding lines (wrapped method chains push the call away from its
+//!    comment). Update payloads are `Arc`-shared end-to-end;
+//!    a handle clone at a fan-out point is fine (and cheap), but each
+//!    such site must say so — an unexplained clone is where a deep copy
+//!    of tuple data sneaks back into the hot path. The integrator is
+//!    exempt: it owns numbering and legitimately clones handles while
+//!    routing.
 //!
 //! Because rule matching runs on comment- and string-stripped code, the
 //! deliberately-bad fixtures embedded in this file's own unit tests (as
@@ -37,6 +48,7 @@ pub enum Rule {
     AtomicOrderingComment,
     DirectPaintWrite,
     WalVariantRoundtrip,
+    UpdatePayloadClone,
 }
 
 impl fmt::Display for Rule {
@@ -46,6 +58,7 @@ impl fmt::Display for Rule {
             Rule::AtomicOrderingComment => "atomic-ordering-comment",
             Rule::DirectPaintWrite => "direct-paint-write",
             Rule::WalVariantRoundtrip => "wal-variant-roundtrip",
+            Rule::UpdatePayloadClone => "update-payload-clone",
         };
         f.write_str(s)
     }
@@ -282,6 +295,16 @@ pub fn lint_file(path: &str, source: &str) -> Vec<LintFinding> {
         .file_name()
         .is_some_and(|f| f == "threaded.rs");
     let in_vut = path.ends_with("core/src/vut.rs") || path == "vut.rs";
+    // Rule 5 scope: the runtimes that actually route update payloads.
+    // The integrator owns numbering and clones handles as part of its
+    // contract, so it is exempt by file.
+    let in_pipeline = (path.contains("whips/src/") || path.contains("analysis/src/"))
+        && Path::new(path)
+            .file_name()
+            .is_none_or(|f| f != "integrator.rs");
+    // Raw (unstripped) lines, for the `seal:` justification lookback —
+    // the marker lives inside comments, which `strip` blanks out.
+    let raw: Vec<&str> = source.lines().collect();
 
     for (idx, l) in lines.iter().enumerate() {
         let code = l.code.as_str();
@@ -321,6 +344,26 @@ pub fn lint_file(path: &str, source: &str) -> Vec<LintFinding> {
             }
         }
 
+        // Rule 5: update-payload `.clone()` without a `seal:` comment.
+        if in_pipeline {
+            for ident in payload_clone_receivers(code) {
+                let lo = idx.saturating_sub(6);
+                let justified = raw[lo..=idx.min(raw.len().saturating_sub(1))]
+                    .iter()
+                    .any(|l| l.contains("seal:"));
+                if !justified {
+                    findings.push(finding(
+                        idx,
+                        Rule::UpdatePayloadClone,
+                        format!(
+                            "`{ident}.clone()` on an update payload without a `seal:` \
+                             justification comment within the six preceding lines"
+                        ),
+                    ));
+                }
+            }
+        }
+
         // Rule 3: direct paint-state writes outside the VUT.
         if !in_vut {
             for pat in [".color =", ".state ="] {
@@ -341,6 +384,31 @@ pub fn lint_file(path: &str, source: &str) -> Vec<LintFinding> {
         }
     }
     findings
+}
+
+/// Receivers a `.clone()` is suspicious on: the update-payload bindings
+/// used throughout the routing code. Matching is by the identifier
+/// immediately before `.clone()` (so `r.numbered.clone()` matches via
+/// `numbered`, while `menu.clone()` does not match via `u`).
+const PAYLOAD_IDENTS: [&str; 3] = ["numbered", "update", "u"];
+
+/// All payload identifiers that receive a `.clone()` on this stripped
+/// code line.
+fn payload_clone_receivers(code: &str) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    let mut rest = code;
+    while let Some(p) = rest.find(".clone()") {
+        let before = &rest[..p];
+        let ident_start = before
+            .rfind(|c: char| !c.is_alphanumeric() && c != '_')
+            .map_or(0, |q| q + 1);
+        let ident = &before[ident_start..];
+        if let Some(hit) = PAYLOAD_IDENTS.iter().find(|i| **i == ident) {
+            out.push(*hit);
+        }
+        rest = &rest[p + ".clone()".len()..];
+    }
+    out
 }
 
 /// Extract the variant names of `pub enum WalRecord` from record.rs
@@ -531,6 +599,40 @@ mod tests {
         assert_eq!(hits.len(), 2, "{hits:?}");
         assert!(hits.iter().all(|f| f.rule == Rule::DirectPaintWrite));
         assert!(lint_file("crates/core/src/vut.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn rule_update_payload_clone_fires_and_clears() {
+        let bad =
+            "send(Msg::Update(r.numbered.clone()));\nroute(u.clone());\nlet m = menu.clone();\n";
+        let hits = lint_file("crates/whips/src/sim.rs", bad);
+        let clone_hits: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == Rule::UpdatePayloadClone)
+            .collect();
+        // `menu.clone()` must not match via the trailing `u`.
+        assert_eq!(clone_hits.len(), 2, "{hits:?}");
+        assert_eq!(clone_hits[0].line, 1);
+        assert_eq!(clone_hits[1].line, 2);
+
+        // A `seal:` comment within the six preceding lines justifies.
+        let ok = "// seal: fan-out shares the Arc handle,\n// never the tuple data\nlet x = 1;\nlet y = 2;\nsend(Msg::Update(r.numbered.clone()));\n";
+        assert!(lint_file("crates/whips/src/sim.rs", ok)
+            .iter()
+            .all(|f| f.rule != Rule::UpdatePayloadClone));
+        // ...but not from seven lines away.
+        let too_far = "// seal: too far\nlet a = 1;\nlet b = 2;\nlet c = 3;\nlet d = 4;\nlet e = 5;\nlet f = 6;\nroute(u.clone());\n";
+        assert_eq!(
+            lint_file("crates/whips/src/sim.rs", too_far)
+                .iter()
+                .filter(|f| f.rule == Rule::UpdatePayloadClone)
+                .count(),
+            1
+        );
+
+        // The integrator and non-pipeline crates are out of scope.
+        assert!(lint_file("crates/whips/src/integrator.rs", bad).is_empty());
+        assert!(lint_file("crates/viewmgr/src/strobe.rs", bad).is_empty());
     }
 
     #[test]

@@ -225,7 +225,7 @@ impl PipelineBuilder {
                 .register_view(
                     e.id,
                     e.def.name.clone(),
-                    mvc_relational::Relation::new(e.def.schema.clone()),
+                    mvc_relational::Relation::shared(e.def.schema.clone()),
                 )
                 .map_err(|err| PipelineError::Build(format!("warehouse view {}: {err}", e.id)))?;
         }
@@ -304,7 +304,7 @@ impl Deployment for PipelineBuilder {
 /// installation which the explorer does not model).
 #[derive(Debug)]
 enum Msg {
-    SrcUpdate(SourceUpdate),
+    SrcUpdate(std::sync::Arc<SourceUpdate>),
     AnswerFor(ViewId, QueryToken, QueryAnswer),
     Update(NumberedUpdate),
     Answer(QueryToken, QueryAnswer),
@@ -449,7 +449,10 @@ impl Pipeline {
             detail: e.to_string(),
         })?;
         self.metrics.injected += 1;
-        self.send(ChanId::SrcToInt, Msg::SrcUpdate(update));
+        self.send(
+            ChanId::SrcToInt,
+            Msg::SrcUpdate(std::sync::Arc::new(update)),
+        );
         Ok(())
     }
 
@@ -478,6 +481,8 @@ impl Pipeline {
                         Msg::Rel(r.numbered.id, r.rel.clone()),
                     );
                     for v in r.rel {
+                        // seal: fan-out shares the routed payload's Arc
+                        // handle, never the tuple data
                         self.send(ChanId::IntToVm(v), Msg::Update(r.numbered.clone()));
                     }
                 }

@@ -1,24 +1,42 @@
 //! Pipeline observability report — regenerates `BENCH_pipeline.json`.
 //!
-//! Runs one SPA scenario (Complete managers, Theorem 4.1) and one PA
-//! scenario (Strobe managers, Theorem 5.1) through BOTH runtimes and
-//! dumps every stage's latency distribution (p50/p99), throughput and
-//! peak VUT occupancy. The simulator measures in virtual scheduler
-//! steps, the threaded runtime in nanoseconds; the JSON records the
-//! unit next to each block so the two are never compared directly.
+//! Runs one SPA scenario (Complete managers, Theorem 4.1), one PA
+//! scenario (Strobe managers, Theorem 5.1) and one mixed-manager
+//! scenario through BOTH runtimes and dumps every stage's latency
+//! distribution (p50/p99), throughput, commit rate and peak VUT
+//! occupancy. The simulator measures in virtual scheduler steps, the
+//! threaded runtime in nanoseconds; every run is tagged with its
+//! `runtime` and `unit` so the two are never compared directly —
+//! `--check` refuses cross-unit comparisons outright.
 //!
 //! Run with: `cargo run --release -p mvc-bench --bin bench_pipeline`
 //! (writes `BENCH_pipeline.json` into the current directory).
+//!
+//! Flags:
+//!   --only <scenario>      run just one scenario (e.g. `mixed`)
+//!   --out <path>           output path (default BENCH_pipeline.json)
+//!   --check <baseline>     after running, compare commit rates against a
+//!                          committed baseline JSON; exits nonzero if any
+//!                          matching (scenario, runtime) run regressed by
+//!                          more than 20%, and refuses to compare runs
+//!                          whose `unit` fields differ.
+//!   --check-runtime <rt>   restrict `--check` to one runtime (`sim` or
+//!                          `threaded`); CI gates on `sim`, which is
+//!                          deterministic and hence noise-free.
 
-use mvc_whips::workload::{generate, install_relations, install_views};
+use mvc_whips::workload::{generate, install_relations, install_views, install_views_mixed};
 use mvc_whips::{
     ManagerKind, SimBuilder, SimConfig, SimReport, ThreadedBuilder, ThreadedConfig, ViewSuite,
     WorkloadSpec,
 };
 
+/// Commit-rate regression tolerance for `--check` (fraction of baseline).
+const REGRESSION_TOLERANCE: f64 = 0.20;
+
 struct Scenario {
     name: &'static str,
-    kind: ManagerKind,
+    /// Manager kinds assigned round-robin across the suite's views.
+    kinds: Vec<ManagerKind>,
     suite: ViewSuite,
     spec: WorkloadSpec,
 }
@@ -29,7 +47,7 @@ fn scenarios() -> Vec<Scenario> {
         // merge process batches and the VUT holds rows across views.
         Scenario {
             name: "spa_complete_chain",
-            kind: ManagerKind::Complete,
+            kinds: vec![ManagerKind::Complete],
             suite: ViewSuite::OverlappingChain { count: 3 },
             spec: WorkloadSpec {
                 seed: 21,
@@ -44,7 +62,7 @@ fn scenarios() -> Vec<Scenario> {
         // integrator widen the vm_compute stage.
         Scenario {
             name: "pa_strobe_chain",
-            kind: ManagerKind::Strobe,
+            kinds: vec![ManagerKind::Strobe],
             suite: ViewSuite::OverlappingChain { count: 2 },
             spec: WorkloadSpec {
                 seed: 22,
@@ -55,27 +73,59 @@ fn scenarios() -> Vec<Scenario> {
                 multi_percent: 0,
             },
         },
+        // Mixed: Complete and Strobe managers side by side over a longer
+        // workload — the hot-path (zero-copy routing, batched channels,
+        // group commit) gate scenario.
+        Scenario {
+            name: "mixed",
+            kinds: vec![ManagerKind::Complete, ManagerKind::Strobe],
+            suite: ViewSuite::OverlappingChain { count: 3 },
+            spec: WorkloadSpec {
+                seed: 23,
+                relations: 4,
+                updates: 600,
+                key_domain: 16,
+                delete_percent: 25,
+                multi_percent: 10,
+            },
+        },
     ]
 }
 
 fn entry(
     s: &Scenario,
     runtime: &str,
+    unit: &str,
     report: &SimReport,
     throughput: (f64, &str),
+    commit_rate: (f64, &str),
 ) -> serde_json::Value {
     let (tp, tp_unit) = throughput;
+    let (cr, cr_unit) = commit_rate;
     [
         ("scenario".to_owned(), s.name.into()),
         ("runtime".to_owned(), runtime.into()),
+        ("unit".to_owned(), unit.into()),
         ("injected".to_owned(), report.metrics.injected.into()),
         ("commits".to_owned(), report.metrics.commits.into()),
         ("throughput".to_owned(), tp.into()),
         ("throughput_unit".to_owned(), tp_unit.into()),
+        ("commit_rate".to_owned(), cr.into()),
+        ("commit_rate_unit".to_owned(), cr_unit.into()),
         ("pipeline".to_owned(), report.pipeline.to_json()),
     ]
     .into_iter()
     .collect()
+}
+
+fn install<D: mvc_whips::workload::Deployment>(b: D, s: &Scenario) -> D {
+    let b = install_relations(b, s.spec.relations);
+    let (b, _) = if s.kinds.len() == 1 {
+        install_views(b, s.suite, s.kinds[0])
+    } else {
+        install_views_mixed(b, s.suite, &s.kinds)
+    };
+    b
 }
 
 fn run_sim(s: &Scenario) -> serde_json::Value {
@@ -84,36 +134,144 @@ fn run_sim(s: &Scenario) -> serde_json::Value {
         seed: s.spec.seed ^ 0xabcd,
         ..SimConfig::default()
     };
-    let b = SimBuilder::new(config);
-    let b = install_relations(b, s.spec.relations);
-    let (b, _) = install_views(b, s.suite, s.kind);
+    let b = install(SimBuilder::new(config), s);
     let report = b.workload(w.txns).run().expect("sim run");
-    // Virtual-time throughput: source updates per thousand scheduler steps.
-    let tp = if report.metrics.steps > 0 {
-        report.metrics.injected as f64 * 1000.0 / report.metrics.steps as f64
-    } else {
-        0.0
+    // Virtual-time rates: events per thousand scheduler steps.
+    let per_kstep = |n: u64| {
+        if report.metrics.steps > 0 {
+            n as f64 * 1000.0 / report.metrics.steps as f64
+        } else {
+            0.0
+        }
     };
-    entry(s, "sim", &report, (tp, "updates_per_kstep"))
+    let tp = per_kstep(report.metrics.injected);
+    let cr = per_kstep(report.metrics.commits);
+    entry(
+        s,
+        "sim",
+        "virtual_steps",
+        &report,
+        (tp, "updates_per_kstep"),
+        (cr, "commits_per_kstep"),
+    )
 }
 
 fn run_threaded(s: &Scenario) -> serde_json::Value {
     let w = generate(&s.spec);
-    let b = ThreadedBuilder::new(ThreadedConfig::default());
-    let b = install_relations(b, s.spec.relations);
-    let (b, _) = install_views(b, s.suite, s.kind);
+    let mut config = ThreadedConfig::default();
+    // Tuning overrides for A/B runs; the committed baseline uses defaults.
+    if let Ok(n) = std::env::var("BENCH_BATCH_MAX") {
+        config.batch_max = n.parse().expect("BENCH_BATCH_MAX must be a number");
+    }
+    if let Ok(us) = std::env::var("BENCH_BATCH_DEADLINE_US") {
+        config.batch_deadline = std::time::Duration::from_micros(
+            us.parse()
+                .expect("BENCH_BATCH_DEADLINE_US must be a number"),
+        );
+    }
+    let b = install(ThreadedBuilder::new(config), s);
     let (report, wall) = b.workload(w.txns).run().expect("threaded run");
+    let secs = wall.elapsed.as_secs_f64();
+    let cr = if secs > 0.0 {
+        report.metrics.commits as f64 / secs
+    } else {
+        0.0
+    };
     entry(
         s,
         "threaded",
+        "ns",
         &report,
         (wall.updates_per_sec, "updates_per_sec"),
+        (cr, "commits_per_sec"),
     )
 }
 
+/// Key identifying a comparable run.
+fn run_key(run: &serde_json::Value) -> Option<(String, String)> {
+    Some((
+        run.get("scenario")?.as_str()?.to_owned(),
+        run.get("runtime")?.as_str()?.to_owned(),
+    ))
+}
+
+/// Compare fresh runs against a committed baseline. Returns errors; an
+/// empty vec means everything passed. Runs present on only one side are
+/// skipped (scenario sets may evolve), but a matching run with a
+/// different `unit` is an error — steps and nanoseconds do not compare.
+fn check_against(
+    baseline: &serde_json::Value,
+    fresh: &[serde_json::Value],
+    runtime_filter: Option<&str>,
+) -> Vec<String> {
+    let mut errors = Vec::new();
+    let empty = Vec::new();
+    let base_runs = baseline
+        .get("runs")
+        .and_then(|r| r.as_array())
+        .unwrap_or(&empty);
+    for new in fresh {
+        let Some(key) = run_key(new) else { continue };
+        if runtime_filter.is_some_and(|rt| rt != key.1) {
+            continue;
+        }
+        let Some(old) = base_runs.iter().find(|r| run_key(r).as_ref() == Some(&key)) else {
+            continue;
+        };
+        let (old_unit, new_unit) = (
+            old.get("unit").and_then(|u| u.as_str()).unwrap_or(""),
+            new.get("unit").and_then(|u| u.as_str()).unwrap_or(""),
+        );
+        if old_unit != new_unit {
+            errors.push(format!(
+                "{}/{}: refusing to compare across units ({old_unit:?} vs {new_unit:?})",
+                key.0, key.1
+            ));
+            continue;
+        }
+        let old_cr = old
+            .get("commit_rate")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let new_cr = new
+            .get("commit_rate")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        if old_cr > 0.0 && new_cr < old_cr * (1.0 - REGRESSION_TOLERANCE) {
+            errors.push(format!(
+                "{}/{}: commit rate regressed {:.1} -> {:.1} (> {:.0}% drop)",
+                key.0,
+                key.1,
+                old_cr,
+                new_cr,
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        }
+    }
+    errors
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1).cloned())
+    };
+    let only = flag("--only");
+    let out = flag("--out").unwrap_or_else(|| "BENCH_pipeline.json".to_owned());
+    let check = flag("--check");
+    // Restrict `--check` to one runtime. CI passes `sim`: the simulator
+    // is deterministic, so its commit rate is a stable regression gate,
+    // while the threaded rate swings several-fold run-to-run on a busy
+    // or single-core box.
+    let check_runtime = flag("--check-runtime");
+
     let mut runs = Vec::new();
     for s in scenarios() {
+        if only.as_deref().is_some_and(|o| o != s.name) {
+            continue;
+        }
         println!("running {} (sim)...", s.name);
         runs.push(run_sim(&s));
         println!("running {} (threaded)...", s.name);
@@ -122,13 +280,31 @@ fn main() {
     let doc: serde_json::Value = [
         (
             "note".to_owned(),
-            "per-stage pipeline latencies; sim in virtual steps, threaded in ns".into(),
+            "per-stage pipeline latencies; every run tagged with runtime and unit \
+             (sim: virtual_steps, threaded: ns)"
+                .into(),
         ),
-        ("runs".to_owned(), serde_json::Value::Array(runs)),
+        ("runs".to_owned(), serde_json::Value::Array(runs.clone())),
     ]
     .into_iter()
     .collect();
     let rendered = serde_json::to_string_pretty(&doc);
-    std::fs::write("BENCH_pipeline.json", &rendered).expect("write BENCH_pipeline.json");
-    println!("wrote BENCH_pipeline.json ({} bytes)", rendered.len());
+    std::fs::write(&out, &rendered).expect("write benchmark JSON");
+    println!("wrote {out} ({} bytes)", rendered.len());
+
+    if let Some(path) = check {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let baseline =
+            serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse baseline {path}: {e:?}"));
+        let errors = check_against(&baseline, &runs, check_runtime.as_deref());
+        if errors.is_empty() {
+            println!("check vs {path}: OK");
+        } else {
+            for e in &errors {
+                eprintln!("bench check FAILED: {e}");
+            }
+            std::process::exit(1);
+        }
+    }
 }

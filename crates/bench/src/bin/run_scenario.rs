@@ -91,6 +91,14 @@ struct RuntimeSpec {
     query_delay_us: Option<u64>,
     #[serde(default)]
     sequential: Option<bool>,
+    /// Threaded mode only: updates per channel message (1 = per-update
+    /// sends, the pre-batching behaviour).
+    #[serde(default)]
+    batch_max: Option<usize>,
+    /// Threaded mode only: flush a partial batch once its oldest update
+    /// has waited this long.
+    #[serde(default)]
+    batch_deadline_us: Option<u64>,
 }
 
 /// Hand-rolled JSON → `Scenario` extraction. The vendored `serde_json`
@@ -236,6 +244,10 @@ mod from_json {
                 .map(|n| n as usize),
             query_delay_us: field(v, "query_delay_us").and_then(Json::as_u64),
             sequential: field(v, "sequential").and_then(Json::as_bool),
+            batch_max: field(v, "batch_max")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize),
+            batch_deadline_us: field(v, "batch_deadline_us").and_then(Json::as_u64),
         })
     }
 }
@@ -364,6 +376,7 @@ fn run(sc: &Scenario) -> Result<(), String> {
     let txns = build_txns(sc)?;
 
     let report = if mode == "threaded" {
+        let defaults = ThreadedConfig::default();
         let config = ThreadedConfig {
             commit_policy: policy,
             algorithm,
@@ -371,7 +384,13 @@ fn run(sc: &Scenario) -> Result<(), String> {
             query_delay: Duration::from_micros(sc.runtime.query_delay_us.unwrap_or(0)),
             sequential: sc.runtime.sequential.unwrap_or(false),
             record_snapshots: true,
-            ..ThreadedConfig::default()
+            batch_max: sc.runtime.batch_max.unwrap_or(defaults.batch_max),
+            batch_deadline: sc
+                .runtime
+                .batch_deadline_us
+                .map(Duration::from_micros)
+                .unwrap_or(defaults.batch_deadline),
+            ..defaults
         };
         let mut b = ThreadedBuilder::new(config);
         for r in &sc.relations {

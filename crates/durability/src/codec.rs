@@ -969,14 +969,14 @@ mod tests {
             d
         };
         let al = ActionList::batch(ViewId(1), UpdateId(2), UpdateId(2), delta.clone());
-        rt(WalRecord::SourceUpdate(SourceUpdate {
+        rt(WalRecord::SourceUpdate(std::sync::Arc::new(SourceUpdate {
             seq: GlobalSeq::INITIAL,
             source: SourceId(0),
             changes: vec![RelationChange {
                 relation: "R".into(),
                 delta,
             }],
-        }));
+        })));
         rt(WalRecord::RelInstalled {
             group: 0,
             id: UpdateId(2),

@@ -6,14 +6,20 @@ use crate::delta::Delta;
 use crate::relation::Relation;
 use crate::schema::{RelationName, SchemaError};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Anything that can supply the contents of a base relation for query
 /// evaluation: an in-memory [`Database`], an MVCC as-of snapshot, or a
 /// remote source's query service.
+///
+/// `fetch` returns a [`Cow`] so providers that already hold the requested
+/// state (a database reading its own map, an MVCC log whose checkpoint or
+/// current contents match the requested seq) lend it zero-copy; only
+/// providers that must *reconstruct* state allocate.
 pub trait StateProvider {
     /// Fetch a relation's contents by name. `None` when unknown.
-    fn fetch(&self, name: &RelationName) -> Option<Relation>;
+    fn fetch(&self, name: &RelationName) -> Option<Cow<'_, Relation>>;
 }
 
 /// In-memory database: one [`Relation`] per name.
@@ -85,8 +91,8 @@ impl Database {
 }
 
 impl StateProvider for Database {
-    fn fetch(&self, name: &RelationName) -> Option<Relation> {
-        self.relations.get(name).cloned()
+    fn fetch(&self, name: &RelationName) -> Option<Cow<'_, Relation>> {
+        self.relations.get(name).map(Cow::Borrowed)
     }
 }
 
@@ -113,9 +119,9 @@ impl<'a, P: StateProvider + ?Sized> Overlay<'a, P> {
 }
 
 impl<P: StateProvider + ?Sized> StateProvider for Overlay<'_, P> {
-    fn fetch(&self, name: &RelationName) -> Option<Relation> {
+    fn fetch(&self, name: &RelationName) -> Option<Cow<'_, Relation>> {
         match self.replacements.get(name) {
-            Some(r) => Some(r.clone()),
+            Some(r) => Some(Cow::Borrowed(r)),
             None => self.base.fetch(name),
         }
     }

@@ -67,9 +67,10 @@ pub fn eval_view(def: &ViewDef, provider: &dyn StateProvider) -> Result<Relation
     }
 }
 
-/// Evaluate just the SPJ core against a provider.
+/// Evaluate just the SPJ core against a provider. Provider state is
+/// borrowed where the provider allows it — the join below only reads.
 pub fn eval_core(core: &SpjCore, provider: &dyn StateProvider) -> Result<Relation, EvalError> {
-    let rels: Vec<Relation> = core
+    let rels: Vec<std::borrow::Cow<'_, Relation>> = core
         .sources
         .iter()
         .map(|n| {
@@ -83,8 +84,12 @@ pub fn eval_core(core: &SpjCore, provider: &dyn StateProvider) -> Result<Relatio
 
 /// Evaluate the SPJ core with explicitly supplied relations, one per source
 /// occurrence (in order). This is the entry point the delta rules use to
-/// substitute a delta for one occurrence.
-pub fn eval_core_with(core: &SpjCore, rels: &[Relation]) -> Result<Relation, EvalError> {
+/// substitute a delta for one occurrence. Accepts owned or borrowed
+/// relations (`Relation`, `Cow<Relation>`, …) — evaluation never mutates.
+pub fn eval_core_with<R: std::borrow::Borrow<Relation>>(
+    core: &SpjCore,
+    rels: &[R],
+) -> Result<Relation, EvalError> {
     let joined = eval_join_with(core, rels)?;
     project_relation(core, &joined)
 }
@@ -93,7 +98,11 @@ pub fn eval_core_with(core: &SpjCore, rels: &[Relation]) -> Result<Relation, Eva
 /// the qualified [`SpjCore::join_schema`]. Strobe-style view managers keep
 /// their mirror at this level so that base-tuple deletes can be applied by
 /// segment matching without re-querying the sources.
-pub fn eval_join_with(core: &SpjCore, rels: &[Relation]) -> Result<Relation, EvalError> {
+pub fn eval_join_with<R: std::borrow::Borrow<Relation>>(
+    core: &SpjCore,
+    rels: &[R],
+) -> Result<Relation, EvalError> {
+    let rels: Vec<&Relation> = rels.iter().map(std::borrow::Borrow::borrow).collect();
     if rels.len() != core.sources.len() {
         return Err(EvalError::SourceCountMismatch {
             expected: core.sources.len(),
@@ -107,7 +116,7 @@ pub fn eval_join_with(core: &SpjCore, rels: &[Relation]) -> Result<Relation, Eva
     let stage_end: Vec<usize> = core
         .offsets
         .iter()
-        .zip(rels)
+        .zip(&rels)
         .map(|(off, r)| off + r.schema().arity())
         .collect();
     let stage_of = |e: &Expr| -> usize {
@@ -248,7 +257,7 @@ pub fn aggregate(def: &ViewDef, core: &Relation) -> Result<Relation, EvalError> 
         groups.entry(key).or_default().push((t, n));
     }
 
-    let mut out = Relation::new(def.schema.clone());
+    let mut out = Relation::shared(def.schema.clone());
     for (key, rows) in groups {
         let mut vals: Vec<Value> = key;
         for agg in &def.aggregates {

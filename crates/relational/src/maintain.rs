@@ -21,6 +21,7 @@ use crate::relation::Relation;
 use crate::schema::RelationName;
 use crate::value::Value;
 use crate::viewdef::{SpjCore, ViewDef};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Compute the exact view delta for an SPJ core given the base-relation
@@ -46,16 +47,18 @@ pub fn spj_delta(
         }
 
         // Assemble the per-occurrence relation vector for this term.
-        let mut rels: Vec<Relation> = Vec::with_capacity(n);
+        // Unchanged occurrences stay borrowed from the providers; only the
+        // delta occurrence is materialized.
+        let mut rels: Vec<Cow<'_, Relation>> = Vec::with_capacity(n);
         for (m, src) in core.sources.iter().enumerate() {
             if m == k {
                 // placeholder; replaced below by the delta parts
-                rels.push(Relation::new(
-                    old.fetch(src)
-                        .ok_or_else(|| EvalError::MissingRelation(src.clone()))?
-                        .schema()
-                        .clone(),
-                ));
+                let schema = old
+                    .fetch(src)
+                    .ok_or_else(|| EvalError::MissingRelation(src.clone()))?
+                    .schema()
+                    .clone();
+                rels.push(Cow::Owned(Relation::new(schema)));
             } else if m < k {
                 rels.push(
                     new.fetch(src)
@@ -74,14 +77,14 @@ pub fn spj_delta(
         let minus = change.deletes_relation(&schema)?;
 
         if !plus.is_empty() {
-            rels[k] = plus;
+            rels[k] = Cow::Owned(plus);
             let contrib = eval_core_with(core, &rels)?;
             for (t, m) in contrib.iter_counted() {
                 out.add(t.clone(), m as i64);
             }
         }
         if !minus.is_empty() {
-            rels[k] = minus;
+            rels[k] = Cow::Owned(minus);
             let contrib = eval_core_with(core, &rels)?;
             for (t, m) in contrib.iter_counted() {
                 out.add(t.clone(), -(m as i64));

@@ -12,14 +12,20 @@ use crate::tuple::Tuple;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A multiset of tuples conforming to a [`Schema`].
 ///
 /// Backed by a `BTreeMap<Tuple, u64>` so iteration order is deterministic —
 /// important for golden tests that render the paper's tables byte-for-byte.
+///
+/// The schema is held behind an `Arc`: schemas are immutable after
+/// catalog construction, so cloning a relation (or instantiating many
+/// empty relations over one view definition) shares the attribute list
+/// instead of copying it.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Relation {
-    schema: Schema,
+    schema: Arc<Schema>,
     rows: BTreeMap<Tuple, u64>,
     /// Total multiplicity (cached so `len` is O(1)).
     count: u64,
@@ -28,6 +34,11 @@ pub struct Relation {
 impl Relation {
     /// Empty relation with the given schema.
     pub fn new(schema: Schema) -> Self {
+        Relation::shared(Arc::new(schema))
+    }
+
+    /// Empty relation sharing an existing schema handle (no deep copy).
+    pub fn shared(schema: Arc<Schema>) -> Self {
         Relation {
             schema,
             rows: BTreeMap::new(),

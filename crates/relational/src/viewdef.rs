@@ -104,8 +104,10 @@ pub struct ViewDef {
     /// Aggregates over the *core output* schema. Empty → plain SPJ view.
     pub aggregates: Vec<Aggregate>,
     /// Final output schema (= core output for SPJ views; group-by +
-    /// aggregate columns for aggregate views).
-    pub schema: Schema,
+    /// aggregate columns for aggregate views). Shared by `Arc` so that
+    /// instantiating warehouse relations, materializations, and oracle
+    /// baselines from one definition never copies the attribute list.
+    pub schema: Arc<Schema>,
 }
 
 impl ViewDef {
@@ -382,7 +384,7 @@ impl ViewDefBuilder {
             }
             return Ok(ViewDef {
                 name: self.name,
-                schema: output_schema,
+                schema: Arc::new(output_schema),
                 core,
                 group_by: Vec::new(),
                 aggregates: Vec::new(),
@@ -429,7 +431,7 @@ impl ViewDefBuilder {
             core,
             group_by,
             aggregates,
-            schema,
+            schema: Arc::new(schema),
         })
     }
 }

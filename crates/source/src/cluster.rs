@@ -14,6 +14,7 @@ use mvc_relational::{
     Catalog, Database, Delta, Relation, RelationName, Schema, SchemaError, StateProvider,
 };
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -271,18 +272,41 @@ impl SourceCluster {
     /// commit). Reconstructs from the nearest checkpoint at or before
     /// `seq`, replaying at most `checkpoint_interval` deltas.
     pub fn relation_as_of(&self, rel: &RelationName, seq: GlobalSeq) -> Option<Relation> {
+        self.relation_as_of_ref(rel, seq).map(Cow::into_owned)
+    }
+
+    /// Zero-copy variant of [`SourceCluster::relation_as_of`]: lends the
+    /// live contents when the relation has not changed after `seq` (the
+    /// dominant case — every current-state query lands here) and lends a
+    /// checkpoint when `seq` hits one exactly; only a genuinely historical
+    /// state between checkpoints is reconstructed.
+    pub fn relation_as_of_ref(
+        &self,
+        rel: &RelationName,
+        seq: GlobalSeq,
+    ) -> Option<Cow<'_, Relation>> {
+        use std::ops::Bound::{Excluded, Included, Unbounded};
         let log = self.logs.get(rel)?;
+        if log
+            .deltas
+            .range((Excluded(seq), Unbounded))
+            .next()
+            .is_none()
+        {
+            return self.current.relation(rel).map(Cow::Borrowed);
+        }
         let (&ck_seq, snapshot) = log.checkpoints.range(..=seq).next_back()?;
-        let mut out = snapshot.clone();
-        for (_, delta) in log.deltas.range((
-            std::ops::Bound::Excluded(ck_seq),
-            std::ops::Bound::Included(seq),
-        )) {
+        let replay = log.deltas.range((Excluded(ck_seq), Included(seq)));
+        let mut out: Option<Relation> = None;
+        for (_, delta) in replay {
             delta
-                .apply_to(&mut out)
+                .apply_to(out.get_or_insert_with(|| snapshot.clone()))
                 .expect("logged deltas replay cleanly");
         }
-        Some(out)
+        Some(match out {
+            Some(r) => Cow::Owned(r),
+            None => Cow::Borrowed(snapshot),
+        })
     }
 
     /// Current contents of a relation.
@@ -320,8 +344,8 @@ pub struct AsOfProvider<'a> {
 }
 
 impl StateProvider for AsOfProvider<'_> {
-    fn fetch(&self, name: &RelationName) -> Option<Relation> {
-        self.cluster.relation_as_of(name, self.seq)
+    fn fetch(&self, name: &RelationName) -> Option<Cow<'_, Relation>> {
+        self.cluster.relation_as_of_ref(name, self.seq)
     }
 }
 

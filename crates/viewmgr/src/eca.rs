@@ -363,7 +363,7 @@ impl ViewManager for EcaVm {
     }
 
     fn initialize(&mut self, provider: &dyn mvc_relational::StateProvider) -> Result<(), VmError> {
-        let rels: Vec<Relation> = self
+        let rels: Vec<std::borrow::Cow<'_, Relation>> = self
             .def
             .core
             .sources
@@ -424,10 +424,7 @@ mod tests {
     }
 
     fn numbered(u: SourceUpdate) -> NumberedUpdate {
-        NumberedUpdate {
-            id: UpdateId(u.seq.0),
-            update: u,
-        }
+        NumberedUpdate::from_owned(UpdateId(u.seq.0), u)
     }
 
     fn queries(outs: &[VmOutput]) -> Vec<(QueryToken, QueryRequest)> {

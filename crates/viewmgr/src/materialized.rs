@@ -20,7 +20,7 @@ impl MaterializedView {
     /// Empty materialization (view at `ss_0` when sources start empty).
     pub fn new(def: ViewDef) -> Self {
         let core = Relation::new(def.core.output_schema.clone());
-        let view = Relation::new(def.schema.clone());
+        let view = Relation::shared(def.schema.clone());
         MaterializedView { def, core, view }
     }
 

@@ -151,10 +151,7 @@ mod tests {
     }
 
     fn numbered(u: SourceUpdate) -> NumberedUpdate {
-        NumberedUpdate {
-            id: UpdateId(u.seq.0),
-            update: u,
-        }
+        NumberedUpdate::from_owned(UpdateId(u.seq.0), u)
     }
 
     fn drive(vm: &mut PeriodicVm, c: &SourceCluster, ev: VmEvent) -> Vec<ActionList<Delta>> {

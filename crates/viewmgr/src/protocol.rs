@@ -16,19 +16,33 @@ use mvc_source::{GlobalSeq, SourceCluster, SourceUpdate};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A source update as forwarded by the integrator: the paper's `Ui`,
 /// carrying both the integrator's arrival number (`id`) and the source
 /// commit sequence (`seq`). The integrator consumes the cluster's commit
 /// stream in order, so `id.0 == seq.0` in every run; both are kept because
 /// the algorithms key on `id` while as-of queries key on `seq`.
+///
+/// The payload is immutable once the source commits it, so it is shared
+/// by `Arc`: routing one update to `n` views (or replaying it from the
+/// WAL) clones a handle, never the tuple data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NumberedUpdate {
     pub id: UpdateId,
-    pub update: SourceUpdate,
+    pub update: Arc<SourceUpdate>,
 }
 
 impl NumberedUpdate {
+    /// Number an owned update (tests and pseudo-updates; the integrator
+    /// shares an existing `Arc` instead).
+    pub fn from_owned(id: UpdateId, update: SourceUpdate) -> Self {
+        NumberedUpdate {
+            id,
+            update: Arc::new(update),
+        }
+    }
+
     pub fn seq(&self) -> GlobalSeq {
         self.update.seq
     }
@@ -134,10 +148,11 @@ pub fn answer_query(cluster: &SourceCluster, req: &QueryRequest) -> Result<Query
         } => {
             let now = cluster.latest_seq();
             let provider = cluster.as_of(now);
-            let mut rels: Vec<Relation> = Vec::with_capacity(core.sources.len());
+            let mut rels: Vec<std::borrow::Cow<'_, Relation>> =
+                Vec::with_capacity(core.sources.len());
             for (k, src) in core.sources.iter().enumerate() {
                 if k == *occurrence {
-                    rels.push(rows.clone());
+                    rels.push(std::borrow::Cow::Borrowed(rows));
                 } else {
                     rels.push(
                         provider

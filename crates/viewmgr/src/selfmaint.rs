@@ -92,7 +92,7 @@ impl ViewManager for SelfMaintVm {
                 .fetch(&name)
                 .ok_or_else(|| mvc_relational::EvalError::MissingRelation(name.clone()))
                 .map_err(VmError::Eval)?;
-            self.aux.insert_relation(name, rel);
+            self.aux.insert_relation(name, rel.into_owned());
         }
         let core = mvc_relational::eval_core(&self.mat.def().core.clone(), &self.aux)?;
         self.mat = MaterializedView::from_core(self.mat.def().clone(), core)?;
@@ -156,10 +156,7 @@ mod tests {
     }
 
     fn numbered(u: SourceUpdate) -> NumberedUpdate {
-        NumberedUpdate {
-            id: UpdateId(u.seq.0),
-            update: u,
-        }
+        NumberedUpdate::from_owned(UpdateId(u.seq.0), u)
     }
 
     fn action(vm: &mut SelfMaintVm, u: SourceUpdate) -> ActionList<mvc_relational::Delta> {

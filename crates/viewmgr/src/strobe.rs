@@ -294,7 +294,7 @@ impl ViewManager for StrobeVm {
 
     fn initialize(&mut self, provider: &dyn mvc_relational::StateProvider) -> Result<(), VmError> {
         // join-level mirror = pre-projection contents at the load state
-        let rels: Vec<Relation> = self
+        let rels: Vec<std::borrow::Cow<'_, mvc_relational::Relation>> = self
             .def
             .core
             .sources
@@ -356,10 +356,7 @@ mod tests {
     }
 
     fn numbered(u: SourceUpdate) -> NumberedUpdate {
-        NumberedUpdate {
-            id: UpdateId(u.seq.0),
-            update: u,
-        }
+        NumberedUpdate::from_owned(UpdateId(u.seq.0), u)
     }
 
     fn take_queries(outs: &[VmOutput]) -> Vec<(QueryToken, QueryRequest)> {

@@ -189,6 +189,24 @@ impl Warehouse {
         Ok(self.history.last().expect("just pushed"))
     }
 
+    /// Group commit: apply a run of ready transactions back to back,
+    /// in order, under whatever lock the caller already holds. Each
+    /// transaction gets its own history record (byte-identical to
+    /// applying them one `apply` call at a time) — only the caller's
+    /// locking is amortized. Stops at the first failing transaction,
+    /// returning how many committed before it alongside the error.
+    pub fn apply_batch<'a, I>(&mut self, txns: I) -> Result<usize, (usize, WarehouseError)>
+    where
+        I: IntoIterator<Item = &'a StoreTxn>,
+    {
+        let mut applied = 0;
+        for txn in txns {
+            self.apply(txn).map_err(|e| (applied, e))?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
     /// Committed-transaction history in commit order.
     pub fn history(&self) -> &[CommittedTxn] {
         &self.history
@@ -302,6 +320,79 @@ mod tests {
         assert!(w.view(ViewId(1)).unwrap().contains(&tuple![1, 2]));
         assert!(w.view(ViewId(2)).unwrap().contains(&tuple![2, 3]));
         assert_eq!(w.version(ViewId(1)), Some(UpdateId(1)));
+    }
+
+    #[test]
+    fn apply_batch_matches_per_txn_apply() {
+        let run = [
+            txn(
+                1,
+                vec![ActionList::single(
+                    ViewId(1),
+                    UpdateId(1),
+                    delta_ins(&[(1, 2)]),
+                )],
+            ),
+            txn(
+                2,
+                vec![ActionList::single(
+                    ViewId(2),
+                    UpdateId(2),
+                    delta_ins(&[(2, 3)]),
+                )],
+            ),
+            txn(
+                3,
+                vec![ActionList::single(
+                    ViewId(1),
+                    UpdateId(3),
+                    delta_ins(&[(4, 5)]),
+                )],
+            ),
+        ];
+        let mut batched = wh();
+        assert_eq!(batched.apply_batch(run.iter()).unwrap(), 3);
+        let mut serial = wh();
+        for t in &run {
+            serial.apply(t).unwrap();
+        }
+        assert_eq!(batched.history().len(), serial.history().len());
+        for (bt, st) in batched.history().iter().zip(serial.history()) {
+            assert_eq!(bt.seq, st.seq);
+            assert_eq!(bt.commit_index, st.commit_index);
+            assert_eq!(bt.fingerprints, st.fingerprints);
+        }
+        assert_eq!(
+            batched.read(&[ViewId(1), ViewId(2)]),
+            serial.read(&[ViewId(1), ViewId(2)])
+        );
+    }
+
+    #[test]
+    fn apply_batch_stops_at_first_failure() {
+        let mut w = wh();
+        let run = [
+            txn(
+                1,
+                vec![ActionList::single(
+                    ViewId(1),
+                    UpdateId(1),
+                    delta_ins(&[(1, 2)]),
+                )],
+            ),
+            txn(
+                2,
+                vec![ActionList::single(
+                    ViewId(9),
+                    UpdateId(2),
+                    delta_ins(&[(2, 3)]),
+                )],
+            ),
+        ];
+        let (applied, err) = w.apply_batch(run.iter()).unwrap_err();
+        assert_eq!(applied, 1, "first txn committed before the failure");
+        assert!(matches!(err, WarehouseError::UnknownView(ViewId(9))));
+        assert_eq!(w.history().len(), 1);
     }
 
     #[test]

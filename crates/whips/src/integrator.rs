@@ -6,12 +6,13 @@
 //! update numbering — a group only ever sees updates relevant to it, and
 //! the painting algorithms need gapless `REL` streams.
 
-use crate::registry::ViewRegistry;
+use crate::registry::{RelevanceIndex, ViewRegistry};
 use mvc_core::{Partitioning, UpdateId, ViewId};
 use mvc_relational::RelationName;
 use mvc_source::SourceUpdate;
 use mvc_viewmgr::NumberedUpdate;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The routing decision for one source update within one merge group.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,6 +29,10 @@ pub struct GroupRouting {
 pub struct Integrator {
     registry: ViewRegistry,
     partitioning: Partitioning<RelationName>,
+    /// Precomputed relation → candidate-view routing index, built once
+    /// from the registered view definitions (rebuilt only on dynamic
+    /// view installation).
+    index: RelevanceIndex,
     /// Next update number per merge group.
     next_id: Vec<UpdateId>,
     /// Use the tuple-level irrelevance test of ref \[7\] in addition to the
@@ -46,9 +51,11 @@ impl Integrator {
         tuple_relevance: bool,
     ) -> Self {
         let groups = partitioning.group_count();
+        let index = registry.relevance_index(&partitioning);
         Integrator {
             registry,
             partitioning,
+            index,
             next_id: vec![UpdateId::ZERO; groups],
             tuple_relevance,
             received: 0,
@@ -72,24 +79,6 @@ impl Integrator {
         self.dropped
     }
 
-    /// Is this update relevant to the given view?
-    fn relevant_to(&self, view: ViewId, update: &SourceUpdate) -> bool {
-        let entry = self.registry.get(view).expect("registered view");
-        for change in &update.changes {
-            if !entry.def.base_relations().contains(&change.relation) {
-                continue;
-            }
-            if !self.tuple_relevance {
-                return true;
-            }
-            let tuples: Vec<_> = change.delta.iter().map(|(t, _)| t.clone()).collect();
-            if entry.def.relevant_update(&change.relation, &tuples) {
-                return true;
-            }
-        }
-        false
-    }
-
     /// §1.2 dynamic view installation (single-merge-group deployments
     /// only): register the view with the integrator and allocate the
     /// install row's update id. The caller wires the rest (VM creation,
@@ -105,6 +94,7 @@ impl Integrator {
         }
         self.registry.add(id, def, kind);
         self.partitioning = self.registry.partitioning(false);
+        self.index = self.registry.relevance_index(&self.partitioning);
         let g = 0;
         if self.next_id.is_empty() {
             self.next_id.push(UpdateId::ZERO);
@@ -117,28 +107,43 @@ impl Integrator {
     /// Route one committed source update. Returns one entry per merge
     /// group with a non-empty relevant set; an update relevant to nothing
     /// returns an empty vec.
-    pub fn route(&mut self, update: SourceUpdate) -> Vec<GroupRouting> {
+    ///
+    /// Zero-copy: the payload arrives as a shared `Arc` and every
+    /// per-group `NumberedUpdate` clones the handle only. Candidate views
+    /// come from the precomputed relevance index (one map lookup per
+    /// touched relation); the tuple-level test of ref \[7\] then runs
+    /// per candidate directly on the delta, without materializing a
+    /// tuple list.
+    pub fn route(&mut self, update: Arc<SourceUpdate>) -> Vec<GroupRouting> {
         self.received += 1;
-        // Which groups could care, by relation ownership.
-        let groups: BTreeSet<usize> = self.partitioning.route(update.relations());
-        let mut out = Vec::new();
-        for g in groups {
-            let rel: BTreeSet<ViewId> = self
-                .registry
-                .ids()
-                .filter(|&v| self.partitioning.group_of_view(v) == Some(g))
-                .filter(|&v| self.relevant_to(v, &update))
-                .collect();
-            if rel.is_empty() {
-                continue;
+        let mut rel_by_group: BTreeMap<usize, BTreeSet<ViewId>> = BTreeMap::new();
+        for change in &update.changes {
+            for &v in self.index.candidates(&change.relation) {
+                let g = self.index.group_of_view(v);
+                if rel_by_group.get(&g).is_some_and(|s| s.contains(&v)) {
+                    continue;
+                }
+                let relevant = !self.tuple_relevance || {
+                    let def = &self.registry.get(v).expect("registered view").def;
+                    change
+                        .delta
+                        .iter()
+                        .any(|(t, _)| def.relevant_tuple(&change.relation, t))
+                };
+                if relevant {
+                    rel_by_group.entry(g).or_default().insert(v);
+                }
             }
+        }
+        let mut out = Vec::with_capacity(rel_by_group.len());
+        for (g, rel) in rel_by_group {
             let id = self.next_id[g].next();
             self.next_id[g] = id;
             out.push(GroupRouting {
                 group: g,
                 numbered: NumberedUpdate {
                     id,
-                    update: update.clone(),
+                    update: Arc::clone(&update),
                 },
                 rel,
             });
@@ -204,7 +209,7 @@ mod tests {
     #[test]
     fn relation_level_routing() {
         let mut it = setup(false, false);
-        let r = it.route(update(1, "S", (2, 3)));
+        let r = it.route(Arc::new(update(1, "S", (2, 3))));
         assert_eq!(r.len(), 1, "single group");
         assert_eq!(
             r[0].rel,
@@ -212,7 +217,7 @@ mod tests {
         );
         assert_eq!(r[0].numbered.id, UpdateId(1));
         // Q update → only V3; numbering continues in the same group space
-        let r2 = it.route(update(2, "Q", (1, 1)));
+        let r2 = it.route(Arc::new(update(2, "Q", (1, 1))));
         assert_eq!(r2[0].rel, [ViewId(3)].into_iter().collect::<BTreeSet<_>>());
         assert_eq!(r2[0].numbered.id, UpdateId(2));
     }
@@ -222,11 +227,11 @@ mod tests {
         let mut it = setup(true, false);
         // R tuple with a=5 fails V1's selection a>10 → V1 not relevant;
         // R is not in any other view → update dropped entirely.
-        let r = it.route(update(1, "R", (5, 2)));
+        let r = it.route(Arc::new(update(1, "R", (5, 2))));
         assert!(r.is_empty());
         assert_eq!(it.dropped(), 1);
         // a=11 passes
-        let r = it.route(update(2, "R", (11, 2)));
+        let r = it.route(Arc::new(update(2, "R", (11, 2))));
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].rel, [ViewId(1)].into_iter().collect::<BTreeSet<_>>());
         assert_eq!(r[0].numbered.id, UpdateId(1), "dropped updates unnumbered");
@@ -238,17 +243,17 @@ mod tests {
         let g_rs = it.partitioning().group_of_view(ViewId(1)).unwrap();
         let g_q = it.partitioning().group_of_view(ViewId(3)).unwrap();
         assert_ne!(g_rs, g_q);
-        let r1 = it.route(update(1, "S", (2, 3)));
+        let r1 = it.route(Arc::new(update(1, "S", (2, 3))));
         assert_eq!(r1[0].group, g_rs);
         assert_eq!(r1[0].numbered.id, UpdateId(1));
-        let r2 = it.route(update(2, "Q", (1, 1)));
+        let r2 = it.route(Arc::new(update(2, "Q", (1, 1))));
         assert_eq!(r2[0].group, g_q);
         assert_eq!(
             r2[0].numbered.id,
             UpdateId(1),
             "each group numbers independently"
         );
-        let r3 = it.route(update(3, "S", (9, 9)));
+        let r3 = it.route(Arc::new(update(3, "S", (9, 9))));
         assert_eq!(r3[0].numbered.id, UpdateId(2));
     }
 
@@ -273,7 +278,7 @@ mod tests {
                 },
             ],
         };
-        let r = it.route(u);
+        let r = it.route(Arc::new(u));
         assert_eq!(r.len(), 2, "routed to both groups");
     }
 }

@@ -140,7 +140,17 @@ impl Histogram {
     }
 
     /// Fold another histogram into this one (exact: bucket-wise sums).
+    ///
+    /// Bucket vectors can differ in length (a histogram deserialized
+    /// from a run built with different `SUB_BITS`, or a hand-rolled
+    /// fixture): grow to the longer layout first, so no bucket of
+    /// `other` is dropped and `count` always equals the bucket sum —
+    /// `zip` alone would silently truncate to the shorter vector while
+    /// still adding the full `other.count`.
     pub fn merge(&mut self, other: &Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -416,6 +426,44 @@ mod tests {
         assert_eq!(a.counts, whole.counts);
         assert_eq!(a.sum, whole.sum);
         assert_eq!(a.p99(), whole.p99());
+    }
+
+    proptest::proptest! {
+        /// Under arbitrary fills — including histograms whose bucket
+        /// vectors differ in length, as deserialization from a run with
+        /// a different `SUB_BITS` layout produces — merging never loses
+        /// samples: `merge(a, b).count == a.count + b.count`, and the
+        /// count always equals the bucket sum (the invariant `quantile`
+        /// walks rely on; the old `zip`-only merge broke it by dropping
+        /// `other`'s excess buckets).
+        #[test]
+        fn prop_merge_preserves_counts(
+            xs in proptest::collection::vec(0u64..u64::MAX, 0..200),
+            ys in proptest::collection::vec(0u64..u64::MAX, 0..200),
+            truncate_to in 0usize..BUCKETS,
+        ) {
+            let mut a = Histogram::new();
+            for &v in &xs {
+                a.record(v);
+            }
+            let mut b = Histogram::new();
+            for &v in &ys {
+                b.record(v);
+            }
+            // Model a layout mismatch: shrink `a`'s vector to a prefix
+            // (moving truncated samples into the last kept bucket so the
+            // fixture itself stays internally consistent).
+            let keep = truncate_to.max(1);
+            if keep < a.counts.len() {
+                let excess: u64 = a.counts[keep..].iter().sum();
+                a.counts.truncate(keep);
+                *a.counts.last_mut().unwrap() += excess;
+            }
+            let (ca, cb) = (a.count(), b.count());
+            a.merge(&b);
+            proptest::prop_assert_eq!(a.count(), ca + cb);
+            proptest::prop_assert_eq!(a.counts.iter().sum::<u64>(), a.count());
+        }
     }
 
     #[test]

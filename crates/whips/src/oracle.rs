@@ -157,7 +157,7 @@ impl<'a> Oracle<'a> {
         // Expected view contents at the current cut (lazily re-evaluated).
         let mut expected: BTreeMap<ViewId, u64> = BTreeMap::new();
         for (&v, def) in &defs {
-            expected.insert(v, Relation::new(def.schema.clone()).fingerprint());
+            expected.insert(v, Relation::shared(def.schema.clone()).fingerprint());
         }
 
         let history = self.report.warehouse.history();
@@ -404,7 +404,7 @@ impl<'a> Oracle<'a> {
         }
         // Warehouse content sequence for this view, consecutive dups
         // collapsed.
-        let mut states: Vec<u64> = vec![Relation::new(def.schema.clone()).fingerprint()];
+        let mut states: Vec<u64> = vec![Relation::shared(def.schema.clone()).fingerprint()];
         for rec in self.report.warehouse.history() {
             let fp = rec.fingerprints[&view];
             if *states.last().expect("nonempty") != fp {

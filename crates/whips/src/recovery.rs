@@ -206,7 +206,7 @@ fn rebuild(
                     .register_view(
                         e.id,
                         e.def.name.clone(),
-                        mvc_relational::Relation::new(e.def.schema.clone()),
+                        mvc_relational::Relation::shared(e.def.schema.clone()),
                     )
                     .expect("fresh warehouse");
             }
@@ -242,6 +242,8 @@ fn rebuild(
         match rec {
             WalRecord::SourceUpdate(u) => {
                 last_logged_src = u.seq;
+                // seal: WAL replay deep-copies the logged update once to
+                // re-number it; recovery is off the hot path by definition
                 for r in integrator.route(u.clone()) {
                     routed.insert(r.numbered.seq());
                     group_updates[r.group].insert(r.numbered.id, r.numbered.seq());

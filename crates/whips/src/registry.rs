@@ -130,6 +130,31 @@ impl ViewRegistry {
             .collect()
     }
 
+    /// Build the precomputed relevance index for integrator routing: for
+    /// every base relation, the views whose REL_i set can possibly contain
+    /// an update touching it. Built once at registration time so the
+    /// integrator's per-update work is a hash lookup over the update's
+    /// relations instead of a scan over every registered view.
+    pub fn relevance_index(&self, partitioning: &Partitioning<RelationName>) -> RelevanceIndex {
+        let mut by_relation: BTreeMap<RelationName, Vec<ViewId>> = BTreeMap::new();
+        for e in self.entries.values() {
+            for rel in e.def.base_relations() {
+                by_relation.entry(rel).or_default().push(e.id);
+            }
+        }
+        let groups = partitioning.group_count().max(1);
+        let group_of = self
+            .entries
+            .keys()
+            .map(|&v| (v, partitioning.group_of_view(v).unwrap_or(0)))
+            .collect();
+        RelevanceIndex {
+            by_relation,
+            group_of,
+            groups,
+        }
+    }
+
     /// Compute the §6.1 partitioning. With `partition == false` everything
     /// lands in a single group (the default single-merge deployment).
     pub fn partitioning(&self, partition: bool) -> Partitioning<RelationName> {
@@ -145,6 +170,37 @@ impl ViewRegistry {
             }
             Partitioning::compute(&fp)
         }
+    }
+}
+
+/// Precomputed routing structure: relation → candidate views, view →
+/// merge group. Derived from the registry + partitioning once per
+/// deployment (and rebuilt on dynamic view installation); the integrator
+/// consults it on every update instead of re-deriving footprints.
+#[derive(Debug, Clone, Default)]
+pub struct RelevanceIndex {
+    /// Views whose base-relation footprint contains the relation, in
+    /// ascending `ViewId` order (BTreeMap iteration at build time).
+    by_relation: BTreeMap<RelationName, Vec<ViewId>>,
+    group_of: BTreeMap<ViewId, usize>,
+    groups: usize,
+}
+
+impl RelevanceIndex {
+    /// Candidate views for an update touching `rel` (relation-level
+    /// REL_i — tuple-level tests refine this further).
+    pub fn candidates(&self, rel: &RelationName) -> &[ViewId] {
+        self.by_relation.get(rel).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Merge group owning a view.
+    pub fn group_of_view(&self, v: ViewId) -> usize {
+        self.group_of.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Number of merge groups.
+    pub fn groups(&self) -> usize {
+        self.groups
     }
 }
 

@@ -37,6 +37,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
@@ -204,8 +205,9 @@ enum DriverAction {
 /// Messages on the Figure 1 arrows.
 #[derive(Debug, Clone)]
 enum Msg {
-    /// sources → integrator: a committed transaction's report.
-    SrcUpdate(SourceUpdate),
+    /// sources → integrator: a committed transaction's report. The
+    /// payload is shared zero-copy with the WAL and every routed view.
+    SrcUpdate(Arc<SourceUpdate>),
     /// driver → integrator: §1.2 dynamic view installation.
     InstallView(ViewId),
     /// integrator → merge process: grow the VUT by one column before the
@@ -543,7 +545,7 @@ impl Sim {
                 .register_view(
                     e.id,
                     e.def.name.clone(),
-                    mvc_relational::Relation::new(e.def.schema.clone()),
+                    mvc_relational::Relation::shared(e.def.schema.clone()),
                 )
                 .expect("fresh warehouse");
         }
@@ -838,7 +840,7 @@ impl Sim {
                 self.metrics.injected += 1;
                 self.inject_steps.insert(update.seq, self.metrics.steps);
                 self.open_updates.insert(update.seq, None);
-                self.send(Chan::SrcToInt, Msg::SrcUpdate(update));
+                self.send(Chan::SrcToInt, Msg::SrcUpdate(Arc::new(update)));
             }
             DriverAction::Install(spec) => {
                 // rides the same FIFO as the update stream so the
@@ -870,7 +872,7 @@ impl Sim {
                 let seq = u.seq;
                 self.last_processed_seq = seq;
                 if self.wal.is_some() {
-                    self.log(&WalRecord::SourceUpdate(u.clone()))?;
+                    self.log(&WalRecord::SourceUpdate(Arc::clone(&u)))?;
                 }
                 let routings = self.integrator.route(u);
                 if routings.is_empty() {
@@ -890,6 +892,8 @@ impl Sim {
                         Msg::Rel(r.numbered.id, r.rel.clone()),
                     );
                     for v in r.rel {
+                        // seal: fan-out shares the routed payload's Arc
+                        // handle, never the tuple data
                         self.send(Chan::IntToVm(v), Msg::Update(r.numbered.clone()));
                     }
                 }
@@ -1098,7 +1102,7 @@ impl Sim {
             .register_view(
                 spec.id,
                 spec.def.name.clone(),
-                mvc_relational::Relation::new(spec.def.schema.clone()),
+                mvc_relational::Relation::shared(spec.def.schema.clone()),
             )
             .map_err(SimError::Warehouse)?;
 
@@ -1121,11 +1125,11 @@ impl Sim {
         self.send(Chan::IntToMp(g), Msg::Rel(c, self.group_views[g].clone()));
         let pseudo = mvc_viewmgr::NumberedUpdate {
             id: c,
-            update: SourceUpdate {
+            update: Arc::new(SourceUpdate {
                 seq: cut_seq,
                 source: mvc_source::SourceId(0),
                 changes: vec![],
-            },
+            }),
         };
         for v in old_views {
             self.send(Chan::IntToVm(v), Msg::Update(pseudo.clone()));
@@ -1254,7 +1258,9 @@ impl Sim {
         let mut open_updates: BTreeMap<GlobalSeq, Option<usize>> = BTreeMap::new();
         for u in state.cluster_tail(&cluster) {
             open_updates.insert(u.seq, None);
-            push(Chan::SrcToInt, Msg::SrcUpdate(u.clone()));
+            // seal: replay owns its payload — the surviving history entry
+            // is deep-copied once into a fresh Arc, off the hot path
+            push(Chan::SrcToInt, Msg::SrcUpdate(Arc::new(u.clone())));
         }
 
         // REL messages past each group's installed watermark (per-channel
@@ -1273,6 +1279,8 @@ impl Sim {
                 let watermark = *state.installed_al.get(&v).unwrap_or(&zero);
                 for (id, numbered, rel) in &state.route_lists[g] {
                     if rel.contains(&v) && *id > watermark {
+                        // seal: re-delivery shares the routed payload's
+                        // Arc handle, never the tuple data
                         push(Chan::IntToVm(v), Msg::Update(numbered.clone()));
                     }
                 }

@@ -193,10 +193,26 @@ pub enum ViewSuite {
 
 /// Install a view suite over chained relations; returns the builder plus
 /// the installed view ids.
-pub fn install_views<D: Deployment>(
+pub fn install_views<D: Deployment>(b: D, suite: ViewSuite, kind: ManagerKind) -> (D, Vec<ViewId>) {
+    install_views_with(b, suite, |_| kind)
+}
+
+/// Install a view suite assigning manager kinds round-robin from `kinds`
+/// — the mixed-manager benchmark deployments.
+pub fn install_views_mixed<D: Deployment>(
+    b: D,
+    suite: ViewSuite,
+    kinds: &[ManagerKind],
+) -> (D, Vec<ViewId>) {
+    assert!(!kinds.is_empty(), "at least one manager kind");
+    install_views_with(b, suite, |i| kinds[i % kinds.len()])
+}
+
+/// Install a view suite with a per-view manager kind chosen by position.
+pub fn install_views_with<D: Deployment, F: Fn(usize) -> ManagerKind>(
     mut b: D,
     suite: ViewSuite,
-    kind: ManagerKind,
+    kind_of: F,
 ) -> (D, Vec<ViewId>) {
     let mut ids = Vec::new();
     match suite {
@@ -212,7 +228,7 @@ pub fn install_views<D: Deployment>(
                     .build(b.view_catalog())
                     .expect("chain view");
                 let id = ViewId(i as u32 + 1);
-                b = b.add_view(id, def, kind);
+                b = b.add_view(id, def, kind_of(ids.len()));
                 ids.push(id);
             }
         }
@@ -223,7 +239,7 @@ pub fn install_views<D: Deployment>(
                     .build(b.view_catalog())
                     .expect("copy view");
                 let id = ViewId(i as u32 + 1);
-                b = b.add_view(id, def, kind);
+                b = b.add_view(id, def, kind_of(ids.len()));
                 ids.push(id);
             }
         }
@@ -239,7 +255,7 @@ pub fn install_views<D: Deployment>(
                 }
             }
             let def = builder.build(b.view_catalog()).expect("star view");
-            b = b.add_view(ViewId(1), def, kind);
+            b = b.add_view(ViewId(1), def, kind_of(ids.len()));
             ids.push(ViewId(1));
             for i in 0..copies {
                 let def = ViewDef::builder(format!("C{i}").as_str())
@@ -247,7 +263,7 @@ pub fn install_views<D: Deployment>(
                     .build(b.view_catalog())
                     .expect("copy view");
                 let id = ViewId(i as u32 + 2);
-                b = b.add_view(id, def, kind);
+                b = b.add_view(id, def, kind_of(ids.len()));
                 ids.push(id);
             }
         }
@@ -265,7 +281,7 @@ pub fn install_views<D: Deployment>(
                     .build(b.view_catalog())
                     .expect("aggregate view");
                 let id = ViewId(i as u32 + 1);
-                b = b.add_view(id, def, kind);
+                b = b.add_view(id, def, kind_of(ids.len()));
                 ids.push(id);
             }
         }
