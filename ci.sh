@@ -28,6 +28,12 @@ cargo run -q --release -p mvc-bench --bin recovery_smoke
 echo "== explorer smoke (SPA + PA interleaving census, oracle-certified) =="
 cargo run -q --release -p mvc-bench --bin explore_smoke
 
+echo "== read smoke (MVCC reader workloads, every cut certified) =="
+# Sim leg is deterministic and gated against the committed artifact's
+# mixed_readers numbers; threaded leg races 4 reader threads against
+# real commits and certifies every observed cut.
+cargo run -q --release -p mvc-bench --bin read_smoke -- --check BENCH_pipeline.json
+
 echo "== bench smoke (mixed scenario vs committed baseline, 20% tolerance) =="
 # Writes to a scratch path so the committed BENCH_pipeline.json artifact is
 # never clobbered. Gates on the deterministic `sim` runtime only: the

@@ -619,6 +619,10 @@ impl Pipeline {
             pipeline: mvc_whips::PipelineObs::new("steps"),
             routed: self.routed,
             activations: BTreeMap::new(),
+            // The explorer's pipeline state machine has no reader
+            // workload; nothing to certify on the read side.
+            read_observations: Vec::new(),
+            initial_fingerprints: BTreeMap::new(),
         })
     }
 

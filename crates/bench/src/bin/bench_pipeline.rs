@@ -1,8 +1,10 @@
 //! Pipeline observability report — regenerates `BENCH_pipeline.json`.
 //!
 //! Runs one SPA scenario (Complete managers, Theorem 4.1), one PA
-//! scenario (Strobe managers, Theorem 5.1) and one mixed-manager
-//! scenario through BOTH runtimes and dumps every stage's latency
+//! scenario (Strobe managers, Theorem 5.1), one mixed-manager scenario
+//! and one mixed-manager + concurrent-reader scenario (MVCC snapshot
+//! reads, every observed cut certified against the commit history)
+//! through BOTH runtimes and dumps every stage's latency
 //! distribution (p50/p99), throughput, commit rate and peak VUT
 //! occupancy. The simulator measures in virtual scheduler steps, the
 //! threaded runtime in nanoseconds; every run is tagged with its
@@ -39,6 +41,9 @@ struct Scenario {
     kinds: Vec<ManagerKind>,
     suite: ViewSuite,
     spec: WorkloadSpec,
+    /// Concurrent MVCC reader sessions (threads in the threaded runtime,
+    /// lottery participants in the sim). 0 = writer-only scenario.
+    readers: usize,
 }
 
 fn scenarios() -> Vec<Scenario> {
@@ -57,6 +62,7 @@ fn scenarios() -> Vec<Scenario> {
                 delete_percent: 25,
                 multi_percent: 0,
             },
+            readers: 0,
         },
         // PA: MVC-strong Strobe managers — query round trips through the
         // integrator widen the vm_compute stage.
@@ -72,6 +78,7 @@ fn scenarios() -> Vec<Scenario> {
                 delete_percent: 25,
                 multi_percent: 0,
             },
+            readers: 0,
         },
         // Mixed: Complete and Strobe managers side by side over a longer
         // workload — the hot-path (zero-copy routing, batched channels,
@@ -88,6 +95,25 @@ fn scenarios() -> Vec<Scenario> {
                 delete_percent: 25,
                 multi_percent: 10,
             },
+            readers: 0,
+        },
+        // Mixed + readers: the same mixed-manager workload with a fleet
+        // of concurrent MVCC reader sessions querying versioned cuts
+        // while the writers commit. Gates the snapshot-read path: every
+        // observed cut is certified against the commit history.
+        Scenario {
+            name: "mixed_readers",
+            kinds: vec![ManagerKind::Complete, ManagerKind::Strobe],
+            suite: ViewSuite::OverlappingChain { count: 3 },
+            spec: WorkloadSpec {
+                seed: 23,
+                relations: 4,
+                updates: 600,
+                key_domain: 16,
+                delete_percent: 25,
+                multi_percent: 10,
+            },
+            readers: 4,
         },
     ]
 }
@@ -99,10 +125,11 @@ fn entry(
     report: &SimReport,
     throughput: (f64, &str),
     commit_rate: (f64, &str),
+    read_rate: Option<(f64, &str)>,
 ) -> serde_json::Value {
     let (tp, tp_unit) = throughput;
     let (cr, cr_unit) = commit_rate;
-    [
+    let mut fields = vec![
         ("scenario".to_owned(), s.name.into()),
         ("runtime".to_owned(), runtime.into()),
         ("unit".to_owned(), unit.into()),
@@ -113,9 +140,33 @@ fn entry(
         ("commit_rate".to_owned(), cr.into()),
         ("commit_rate_unit".to_owned(), cr_unit.into()),
         ("pipeline".to_owned(), report.pipeline.to_json()),
-    ]
-    .into_iter()
-    .collect()
+    ];
+    if let Some((rr, rr_unit)) = read_rate {
+        fields.push((
+            "reads".to_owned(),
+            report.pipeline.read_staleness.count().into(),
+        ));
+        fields.push(("read_rate".to_owned(), rr.into()));
+        fields.push(("read_rate_unit".to_owned(), rr_unit.into()));
+    }
+    fields.into_iter().collect()
+}
+
+/// Certify every cut the readers observed against the commit history;
+/// a reader scenario whose observations are not mutually consistent is
+/// a bug, not a slow run, so this panics rather than reporting.
+fn certify_reads(s: &Scenario, report: &SimReport) {
+    if s.readers == 0 {
+        return;
+    }
+    let oracle = mvc_whips::Oracle::new(report).expect("oracle over reader run");
+    let cert = oracle
+        .check_reads()
+        .unwrap_or_else(|v| panic!("{}: uncertified reader cut: {v}", s.name));
+    println!(
+        "  {} readers: {} observations over {} sessions certified",
+        s.readers, cert.observations, cert.sessions
+    );
 }
 
 fn install<D: mvc_whips::workload::Deployment>(b: D, s: &Scenario) -> D {
@@ -132,6 +183,7 @@ fn run_sim(s: &Scenario) -> serde_json::Value {
     let w = generate(&s.spec);
     let config = SimConfig {
         seed: s.spec.seed ^ 0xabcd,
+        readers: s.readers,
         ..SimConfig::default()
     };
     let b = install(SimBuilder::new(config), s);
@@ -146,6 +198,13 @@ fn run_sim(s: &Scenario) -> serde_json::Value {
     };
     let tp = per_kstep(report.metrics.injected);
     let cr = per_kstep(report.metrics.commits);
+    certify_reads(s, &report);
+    let rr = (s.readers > 0).then(|| {
+        (
+            per_kstep(report.pipeline.read_staleness.count()),
+            "reads_per_kstep",
+        )
+    });
     entry(
         s,
         "sim",
@@ -153,6 +212,7 @@ fn run_sim(s: &Scenario) -> serde_json::Value {
         &report,
         (tp, "updates_per_kstep"),
         (cr, "commits_per_kstep"),
+        rr,
     )
 }
 
@@ -169,6 +229,7 @@ fn run_threaded(s: &Scenario) -> serde_json::Value {
                 .expect("BENCH_BATCH_DEADLINE_US must be a number"),
         );
     }
+    config.readers = s.readers;
     let b = install(ThreadedBuilder::new(config), s);
     let (report, wall) = b.workload(w.txns).run().expect("threaded run");
     let secs = wall.elapsed.as_secs_f64();
@@ -177,6 +238,13 @@ fn run_threaded(s: &Scenario) -> serde_json::Value {
     } else {
         0.0
     };
+    certify_reads(s, &report);
+    let rr = (s.readers > 0 && secs > 0.0).then(|| {
+        (
+            report.pipeline.read_staleness.count() as f64 / secs,
+            "reads_per_sec",
+        )
+    });
     entry(
         s,
         "threaded",
@@ -184,6 +252,7 @@ fn run_threaded(s: &Scenario) -> serde_json::Value {
         &report,
         (wall.updates_per_sec, "updates_per_sec"),
         (cr, "commits_per_sec"),
+        rr,
     )
 }
 

@@ -304,6 +304,59 @@ fn crash_recover(seed: u64, sched: u64, updates: usize, kill: u64, pa: bool) -> 
     res
 }
 
+/// Reader/writer interleaving property: a fleet of MVCC reader sessions
+/// joins the scheduler lottery while writers commit; every cut any
+/// reader observes must certify as a mutually-consistent warehouse
+/// state at its watermark, with per-session watermarks monotone.
+#[allow(clippy::too_many_arguments)]
+fn readers(
+    seed: u64,
+    sched: u64,
+    updates: usize,
+    deletes: u8,
+    weight: u32,
+    sessions: usize,
+    kind: ManagerKind,
+    policy: CommitPolicy,
+) -> Result<(), String> {
+    let spec = WorkloadSpec {
+        seed,
+        relations: 3,
+        updates,
+        key_domain: 5,
+        delete_percent: deletes,
+        multi_percent: 10,
+    };
+    let w = generate(&spec);
+    let config = SimConfig {
+        seed: sched,
+        inject_weight: weight,
+        commit_policy: policy,
+        readers: sessions,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let b = install_relations(b, 3);
+    let (b, _) = install_views(b, ViewSuite::OverlappingChain { count: 2 }, kind);
+    let report = b
+        .workload(w.txns)
+        .run()
+        .map_err(|e| format!("sim error: {e}"))?;
+    if report.read_observations.is_empty() {
+        return Err("reader sessions never observed a cut".into());
+    }
+    let oracle = Oracle::new(&report).map_err(|e| format!("oracle: {e:?}"))?;
+    for (g, level, verdict) in oracle.check_report() {
+        if !verdict.is_satisfied() {
+            return Err(format!("group {g} failed {level}: {verdict}"));
+        }
+    }
+    oracle
+        .check_reads()
+        .map_err(|v| format!("uncertified cut: {v}"))?;
+    Ok(())
+}
+
 fn main() {
     // Optional first arg: number of cases (default 200k full sweep).
     let cases: u64 = std::env::args()
@@ -315,7 +368,7 @@ fn main() {
         let mut rng = Lcg(case.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
         let seed = rng.range(0, 10_000);
         let sched = rng.range(0, 10_000);
-        let family = case % 12;
+        let family = case % 13;
         let res = match family {
             // spa_complete / pa_strobe / eca / selfmaint (5-param shape)
             0..=3 => {
@@ -411,6 +464,25 @@ fn main() {
                 let pa = rng.next().is_multiple_of(2);
                 let cap = rng.range(2_000, 20_000);
                 explorer(seed, updates, pa, cap).map_err(|e| format!("explorer {e}"))
+            }
+            11 => {
+                // Random reader/writer interleavings: vary fleet size,
+                // manager kind and commit policy; every observed cut
+                // must certify.
+                let updates = rng.range(10, 50) as usize;
+                let deletes = rng.range(0, 50) as u8;
+                let weight = rng.range(1, 10) as u32;
+                let sessions = rng.range(2, 6) as usize;
+                let kind = [ManagerKind::Complete, ManagerKind::Strobe][rng.range(0, 2) as usize];
+                let policy = if rng.next().is_multiple_of(2) {
+                    CommitPolicy::DependencyAware
+                } else {
+                    CommitPolicy::Immediate
+                };
+                readers(
+                    seed, sched, updates, deletes, weight, sessions, kind, policy,
+                )
+                .map_err(|e| format!("readers {e}"))
             }
             _ => {
                 let updates = rng.range(10, 40) as usize;

@@ -1,0 +1,136 @@
+//! CI reader smoke: the MVCC snapshot-read path, end to end, in both
+//! runtimes.
+//!
+//! Sim leg: the `mixed_readers` bench scenario (mixed Complete/Strobe
+//! managers, 4 lottery reader sessions) runs deterministically; every
+//! observed cut is certified against the commit history and the read
+//! volume is compared against the committed `BENCH_pipeline.json`
+//! numbers — the sim is seeded, so the observation count must match the
+//! artifact exactly.
+//!
+//! Threaded leg: 4 reader threads race real commits through the full
+//! channel pipeline; the oracle certifies every cut they saw. Rates are
+//! reported but not gated (wall-clock noise).
+//!
+//! Exits nonzero (via panic) on any uncertified cut so `ci.sh` can gate
+//! on it.
+
+use mvc_whips::workload::{generate, install_relations, install_views_mixed};
+use mvc_whips::{
+    ManagerKind, Oracle, SimBuilder, SimConfig, SimReport, ThreadedBuilder, ThreadedConfig,
+    ViewSuite, WorkloadSpec,
+};
+
+/// Mirror of the `mixed_readers` scenario in `bench_pipeline.rs` — keep
+/// the two in lockstep or the baseline comparison below goes stale.
+const SEED: u64 = 23;
+const READERS: usize = 4;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        seed: SEED,
+        relations: 4,
+        updates: 600,
+        key_domain: 16,
+        delete_percent: 25,
+        multi_percent: 10,
+    }
+}
+
+fn install<D: mvc_whips::workload::Deployment>(b: D) -> D {
+    let b = install_relations(b, spec().relations);
+    let kinds = [ManagerKind::Complete, ManagerKind::Strobe];
+    let (b, _) = install_views_mixed(b, ViewSuite::OverlappingChain { count: 3 }, &kinds);
+    b
+}
+
+fn certify(report: &SimReport, label: &str) -> u64 {
+    assert!(
+        !report.read_observations.is_empty(),
+        "{label}: reader workload produced no observations"
+    );
+    let oracle = Oracle::new(report)
+        .unwrap_or_else(|e| panic!("{label}: oracle construction failed: {e:?}"));
+    oracle.assert_ok();
+    let cert = oracle
+        .check_reads()
+        .unwrap_or_else(|v| panic!("{label}: uncertified reader cut: {v}"));
+    println!(
+        "{label}: {} observations over {} sessions certified (max watermark {})",
+        cert.observations, cert.sessions, cert.max_watermark
+    );
+    cert.observations as u64
+}
+
+/// Pull the committed `mixed_readers` sim numbers out of the benchmark
+/// artifact; the deterministic sim must reproduce them exactly.
+fn check_baseline(path: &str, fresh_reads: u64) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => panic!("read baseline {path}: {e}"),
+    };
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse baseline {path}: {e:?}"));
+    let empty = Vec::new();
+    let runs = doc.get("runs").and_then(|r| r.as_array()).unwrap_or(&empty);
+    let Some(run) = runs.iter().find(|r| {
+        r.get("scenario").and_then(|v| v.as_str()) == Some("mixed_readers")
+            && r.get("runtime").and_then(|v| v.as_str()) == Some("sim")
+    }) else {
+        panic!("{path} has no mixed_readers/sim run — regenerate it with bench_pipeline");
+    };
+    let baseline_reads = run.get("reads").and_then(|v| v.as_u64()).unwrap_or(0);
+    assert_eq!(
+        fresh_reads, baseline_reads,
+        "deterministic sim read count diverged from {path} \
+         (fresh {fresh_reads} vs committed {baseline_reads}); \
+         regenerate the artifact with bench_pipeline"
+    );
+    println!("baseline {path}: mixed_readers/sim reads match ({baseline_reads})");
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let baseline = argv
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| argv.get(i + 1).cloned());
+
+    // Sim leg: deterministic, certifiable, baseline-gated.
+    let config = SimConfig {
+        seed: SEED ^ 0xabcd,
+        readers: READERS,
+        ..SimConfig::default()
+    };
+    let w = generate(&spec());
+    let report = install(SimBuilder::new(config))
+        .workload(w.txns)
+        .run()
+        .expect("sim run");
+    let sim_reads = certify(&report, "sim mixed_readers");
+    if let Some(path) = baseline {
+        check_baseline(&path, sim_reads);
+    }
+
+    // Threaded leg: real reader threads racing real commits.
+    let config = ThreadedConfig {
+        readers: READERS,
+        ..ThreadedConfig::default()
+    };
+    let w = generate(&spec());
+    let (report, wall) = install(ThreadedBuilder::new(config))
+        .workload(w.txns)
+        .run()
+        .expect("threaded run");
+    let reads = certify(&report, "threaded mixed_readers");
+    let secs = wall.elapsed.as_secs_f64();
+    if secs > 0.0 {
+        println!(
+            "threaded mixed_readers: {:.0} reads/sec alongside {:.0} updates/sec",
+            reads as f64 / secs,
+            wall.updates_per_sec
+        );
+    }
+
+    println!("read smoke OK");
+}

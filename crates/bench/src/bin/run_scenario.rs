@@ -99,6 +99,14 @@ struct RuntimeSpec {
     /// has waited this long.
     #[serde(default)]
     batch_deadline_us: Option<u64>,
+    /// Concurrent MVCC reader sessions (both modes): reader threads in
+    /// threaded mode, scheduler-lottery reader sessions in sim mode.
+    /// Every observed cut is certified after the run.
+    #[serde(default)]
+    readers: Option<usize>,
+    /// Threaded mode only: think time between a reader's queries.
+    #[serde(default)]
+    reader_think_time_us: Option<u64>,
 }
 
 /// Hand-rolled JSON → `Scenario` extraction. The vendored `serde_json`
@@ -248,6 +256,10 @@ mod from_json {
                 .and_then(Json::as_u64)
                 .map(|n| n as usize),
             batch_deadline_us: field(v, "batch_deadline_us").and_then(Json::as_u64),
+            readers: field(v, "readers")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize),
+            reader_think_time_us: field(v, "reader_think_time_us").and_then(Json::as_u64),
         })
     }
 }
@@ -390,6 +402,12 @@ fn run(sc: &Scenario) -> Result<(), String> {
                 .batch_deadline_us
                 .map(Duration::from_micros)
                 .unwrap_or(defaults.batch_deadline),
+            readers: sc.runtime.readers.unwrap_or(0),
+            reader_think_time: sc
+                .runtime
+                .reader_think_time_us
+                .map(Duration::from_micros)
+                .unwrap_or(defaults.reader_think_time),
             ..defaults
         };
         let mut b = ThreadedBuilder::new(config);
@@ -417,6 +435,7 @@ fn run(sc: &Scenario) -> Result<(), String> {
             partition: sc.runtime.partition.unwrap_or(false),
             max_open_updates: sc.runtime.max_open_updates,
             sequential: sc.runtime.sequential.unwrap_or(false),
+            readers: sc.runtime.readers.unwrap_or(0),
             ..SimConfig::default()
         };
         let mut b = SimBuilder::new(config);
@@ -455,6 +474,19 @@ fn run(sc: &Scenario) -> Result<(), String> {
     for (g, level, verdict) in oracle.check_report() {
         println!("merge group {g} guarantees {level}: {verdict}");
         all_ok &= verdict.is_satisfied();
+    }
+    if !report.read_observations.is_empty() {
+        match oracle.check_reads() {
+            Ok(cert) => println!(
+                "reader certification: {} observations over {} sessions all \
+                 mutually consistent (max watermark {})",
+                cert.observations, cert.sessions, cert.max_watermark
+            ),
+            Err(v) => {
+                println!("reader certification FAILED: {v}");
+                all_ok = false;
+            }
+        }
     }
     if !all_ok {
         return Err("consistency violated".into());

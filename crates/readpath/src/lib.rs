@@ -1,0 +1,681 @@
+//! # mvc-readpath
+//!
+//! The read path of the MVC reproduction: an MVCC layer over the
+//! warehouse that retains multi-view cuts keyed by commit watermark, so
+//! readers get snapshot-isolation multi-view reads (§1.1's customer
+//! inquiry) without holding the warehouse lock while the merge pipeline
+//! commits.
+//!
+//! Pieces:
+//!
+//! * [`VersionedCuts`] — the version store. Every committed warehouse
+//!   transaction publishes `Arc`-shared handles of the views it changed
+//!   under the commit's watermark (= `CommittedTxn::commit_index`, so
+//!   watermark 0 is the initial pre-commit state). Per view the store
+//!   keeps a version *chain*; a read at watermark `w` resolves each view
+//!   to its newest version at or below `w` — a mutually consistent cut by
+//!   construction, because the publisher publishes whole commits in
+//!   commit order.
+//! * [`ReadSession`] — a reader handle with *read-your-watermark*
+//!   monotonicity: a session never observes a cut older than one it has
+//!   already seen ([`ReadSession::read_at`] clamps the requested
+//!   watermark up to the session's last seen cut). Each live session pins
+//!   the store's GC floor at its last-seen watermark, so the slowest
+//!   active session bounds retention and memory stays proportional to
+//!   `head − floor`.
+//! * [`verify_observations`] — the read-side half of the consistency
+//!   oracle: every observed cut must fingerprint-match the committed
+//!   state vector at its watermark (one of the mutually consistent states
+//!   the write-side oracle certifies), and per-session watermarks must be
+//!   monotone.
+//!
+//! All handles are `Arc`-shared: publishing a commit clones view handles,
+//! never tuple data, and a read clones one `Arc` per requested view.
+
+#![forbid(unsafe_code)]
+
+use mvc_core::ViewId;
+use mvc_relational::Relation;
+use mvc_warehouse::CommittedTxn;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Commit watermark: `CommittedTxn::commit_index` of the newest commit a
+/// cut reflects; 0 = the initial (pre-any-commit) state.
+pub type Watermark = u64;
+
+/// Identifies one [`ReadSession`] within its store.
+pub type SessionId = u64;
+
+/// Read-path errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadError {
+    /// The requested watermark is ahead of everything published.
+    Unpublished {
+        requested: Watermark,
+        head: Watermark,
+    },
+    /// A requested view has no version chain (never seeded or published).
+    UnknownView(ViewId),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Unpublished { requested, head } => {
+                write!(f, "watermark {requested} not yet published (head {head})")
+            }
+            ReadError::UnknownView(v) => write!(f, "view {v} has no version chain"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// A mutually consistent multi-view cut at one watermark.
+#[derive(Debug, Clone)]
+pub struct Cut {
+    /// The watermark the cut was resolved at (after any session clamp).
+    pub watermark: Watermark,
+    /// `Arc`-shared view contents — no tuple data is copied.
+    pub views: BTreeMap<ViewId, Arc<Relation>>,
+}
+
+/// One read a session performed, retained for certification. Holds `Arc`
+/// handles, so keeping every observation of a run is cheap.
+#[derive(Debug, Clone)]
+pub struct ReadObservation {
+    pub session: SessionId,
+    /// Per-session read counter (establishes the session's read order even
+    /// when observations from many sessions are merged into one list).
+    pub seq: u64,
+    pub cut: Cut,
+}
+
+/// Metrics of one read, for the observability histograms.
+#[derive(Debug, Clone)]
+pub struct ReadOutcome {
+    pub observation: ReadObservation,
+    /// `head − watermark` at read time, in commits.
+    pub staleness: u64,
+    /// Longest version chain among the requested views at read time.
+    pub chain_len: u64,
+    /// `head − floor` at read time: how much history GC is retaining.
+    pub gc_lag: u64,
+}
+
+/// Store-wide counters, sampled via [`VersionedCuts::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CutStats {
+    /// Commits published.
+    pub published: u64,
+    /// Chain entries reclaimed by GC.
+    pub pruned: u64,
+    /// Reads served.
+    pub reads: u64,
+}
+
+struct Inner {
+    /// Per view: version chain sorted by ascending watermark. The entry
+    /// at the chain head is the *base* — the newest version at or below
+    /// the GC floor — and is never pruned.
+    chains: BTreeMap<ViewId, Vec<(Watermark, Arc<Relation>)>>,
+    /// Newest published watermark.
+    head: Watermark,
+    /// GC floor: versions strictly below it (except each chain's base)
+    /// are reclaimed. Advanced to the minimum session pin, monotone.
+    floor: Watermark,
+    /// Live sessions: session → last-seen watermark (its pin).
+    pins: BTreeMap<SessionId, Watermark>,
+    next_session: SessionId,
+    stats: CutStats,
+}
+
+impl Inner {
+    /// Advance the floor to the slowest live session (or the head when no
+    /// session is live) and prune every chain entry strictly below it,
+    /// keeping the newest entry at or below the floor as the base.
+    fn gc(&mut self) {
+        let target = self.pins.values().copied().min().unwrap_or(self.head);
+        if target <= self.floor {
+            return;
+        }
+        self.floor = target;
+        for chain in self.chains.values_mut() {
+            // Index of the newest entry at or below the floor: everything
+            // before it is unreachable by any current or future read.
+            let base = chain.partition_point(|(w, _)| *w <= self.floor);
+            if base > 1 {
+                self.stats.pruned += (base - 1) as u64;
+                chain.drain(..base - 1);
+            }
+        }
+    }
+
+    /// Resolve one view at `w`: newest version at or below `w`.
+    fn resolve(&self, view: ViewId, w: Watermark) -> Result<Arc<Relation>, ReadError> {
+        let chain = self.chains.get(&view).ok_or(ReadError::UnknownView(view))?;
+        let idx = chain.partition_point(|(vw, _)| *vw <= w);
+        if idx == 0 {
+            // Below the chain's base: only possible for a view published
+            // (installed) after `w` — there was no such view at that cut.
+            return Err(ReadError::UnknownView(view));
+        }
+        Ok(Arc::clone(&chain[idx - 1].1))
+    }
+}
+
+/// The shared MVCC version store (clone = another handle to the same
+/// store). Writers publish whole commits; [`ReadSession`]s read cuts.
+#[derive(Clone)]
+pub struct VersionedCuts {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for VersionedCuts {
+    fn default() -> Self {
+        VersionedCuts::new()
+    }
+}
+
+impl VersionedCuts {
+    pub fn new() -> Self {
+        VersionedCuts {
+            inner: Arc::new(Mutex::new(Inner {
+                chains: BTreeMap::new(),
+                head: 0,
+                floor: 0,
+                pins: BTreeMap::new(),
+                next_session: 0,
+                stats: CutStats::default(),
+            })),
+        }
+    }
+
+    /// Seed the store with the initial view contents at `base` (0 for a
+    /// fresh warehouse; a recovered run seeds at its restored commit
+    /// count). Must precede any `publish`.
+    pub fn seed<I>(&self, base: Watermark, views: I)
+    where
+        I: IntoIterator<Item = (ViewId, Arc<Relation>)>,
+    {
+        let mut inner = self.inner.lock();
+        debug_assert_eq!(inner.head, 0, "seed precedes publishes");
+        inner.head = base;
+        inner.floor = base;
+        for (v, rel) in views {
+            inner.chains.entry(v).or_default().push((base, rel));
+        }
+    }
+
+    /// Publish one committed transaction's changed views under its commit
+    /// watermark. Watermarks must arrive in commit order (strictly
+    /// increasing); the caller guarantees this by publishing under the
+    /// same lock that serialized the commit.
+    pub fn publish<I>(&self, watermark: Watermark, changed: I)
+    where
+        I: IntoIterator<Item = (ViewId, Arc<Relation>)>,
+    {
+        let mut inner = self.inner.lock();
+        assert!(
+            watermark > inner.head,
+            "publish watermark {watermark} not past head {}",
+            inner.head
+        );
+        inner.head = watermark;
+        for (v, rel) in changed {
+            inner.chains.entry(v).or_default().push((watermark, rel));
+        }
+        inner.stats.published += 1;
+        inner.gc();
+    }
+
+    /// Open a reader session, pinned at the current floor (it may read
+    /// any retained cut; its pin advances as it reads).
+    pub fn open_session(&self) -> ReadSession {
+        let mut inner = self.inner.lock();
+        let id = inner.next_session;
+        inner.next_session += 1;
+        let pin = inner.floor;
+        inner.pins.insert(id, pin);
+        ReadSession {
+            store: self.clone(),
+            id,
+            last_seen: pin,
+            reads: 0,
+        }
+    }
+
+    pub fn head(&self) -> Watermark {
+        self.inner.lock().head
+    }
+
+    /// Current GC floor (= slowest live session, or head when idle).
+    pub fn floor(&self) -> Watermark {
+        self.inner.lock().floor
+    }
+
+    pub fn stats(&self) -> CutStats {
+        self.inner.lock().stats
+    }
+
+    /// Retained chain entries across all views (memory proxy).
+    pub fn retained_versions(&self) -> usize {
+        self.inner.lock().chains.values().map(Vec::len).sum()
+    }
+}
+
+/// A reader handle over one [`VersionedCuts`] store, offering snapshot
+/// reads with read-your-watermark monotonicity. Dropping the session
+/// releases its GC pin.
+pub struct ReadSession {
+    store: VersionedCuts,
+    id: SessionId,
+    last_seen: Watermark,
+    reads: u64,
+}
+
+impl ReadSession {
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// Watermark of the newest cut this session has observed.
+    pub fn last_seen(&self) -> Watermark {
+        self.last_seen
+    }
+
+    /// Snapshot read at `watermark`. The effective watermark is clamped
+    /// *up* to the session's last-seen cut (never down — that is the
+    /// monotonic-session guarantee); requesting past the head is an
+    /// error. Advances the session's pin to the effective watermark.
+    pub fn read_at(
+        &mut self,
+        watermark: Watermark,
+        views: &[ViewId],
+    ) -> Result<ReadOutcome, ReadError> {
+        let mut inner = self.store.inner.lock();
+        if watermark > inner.head {
+            return Err(ReadError::Unpublished {
+                requested: watermark,
+                head: inner.head,
+            });
+        }
+        // Monotonicity clamp; the floor clamp is belt-and-braces (the
+        // session's own pin keeps the floor at or below `last_seen`).
+        let effective = watermark.max(self.last_seen).max(inner.floor);
+        let mut cut = BTreeMap::new();
+        let mut chain_len = 0u64;
+        for &v in views {
+            cut.insert(v, inner.resolve(v, effective)?);
+            chain_len = chain_len.max(inner.chains[&v].len() as u64);
+        }
+        let staleness = inner.head - effective;
+        let gc_lag = inner.head - inner.floor;
+        self.last_seen = effective;
+        inner.pins.insert(self.id, effective);
+        inner.stats.reads += 1;
+        inner.gc();
+        self.reads += 1;
+        Ok(ReadOutcome {
+            observation: ReadObservation {
+                session: self.id,
+                seq: self.reads,
+                cut: Cut {
+                    watermark: effective,
+                    views: cut,
+                },
+            },
+            staleness,
+            chain_len,
+            gc_lag,
+        })
+    }
+
+    /// Read the newest published cut.
+    pub fn read_latest(&mut self, views: &[ViewId]) -> Result<ReadOutcome, ReadError> {
+        let head = self.store.inner.lock().head;
+        self.read_at(head, views)
+    }
+}
+
+impl Drop for ReadSession {
+    fn drop(&mut self) {
+        let mut inner = self.store.inner.lock();
+        inner.pins.remove(&self.id);
+        inner.gc();
+    }
+}
+
+/// Why an observed cut failed certification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadViolation {
+    pub session: SessionId,
+    pub seq: u64,
+    pub watermark: Watermark,
+    pub detail: String,
+}
+
+impl fmt::Display for ReadViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "session {} read #{} at watermark {}: {}",
+            self.session, self.seq, self.watermark, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ReadViolation {}
+
+/// Certificate summarizing a successful [`verify_observations`] pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReadCertificate {
+    pub observations: usize,
+    pub sessions: usize,
+    pub max_watermark: Watermark,
+}
+
+/// Locate the committed record at `watermark` by `commit_index`. History
+/// is in commit order but may have been pruned below a checkpoint, so
+/// this binary-searches rather than indexing.
+fn record_at(history: &[CommittedTxn], watermark: Watermark) -> Option<&CommittedTxn> {
+    let idx = history.partition_point(|r| r.commit_index < watermark);
+    history.get(idx).filter(|r| r.commit_index == watermark)
+}
+
+/// The read-side consistency check: certify that
+///
+/// 1. per session, watermarks are monotone in read order (the
+///    read-your-watermark guarantee actually held), and
+/// 2. every observed cut fingerprint-matches the committed state vector
+///    at its watermark — i.e. each read saw one of the mutually
+///    consistent states the write-side oracle certifies, never a torn or
+///    fabricated mixture.
+///
+/// `initial` holds the pre-any-commit fingerprints (for watermark-0
+/// observations). Returns the first violation found.
+pub fn verify_observations(
+    observations: &[ReadObservation],
+    history: &[CommittedTxn],
+    initial: &BTreeMap<ViewId, u64>,
+) -> Result<ReadCertificate, ReadViolation> {
+    let mut last: BTreeMap<SessionId, (u64, Watermark)> = BTreeMap::new();
+    let mut cert = ReadCertificate::default();
+    for obs in observations {
+        let violation = |detail: String| ReadViolation {
+            session: obs.session,
+            seq: obs.seq,
+            watermark: obs.cut.watermark,
+            detail,
+        };
+        // Session monotonicity, ordered by the per-session read counter.
+        if let Some(&(prev_seq, prev_w)) = last.get(&obs.session) {
+            if obs.seq > prev_seq && obs.cut.watermark < prev_w {
+                return Err(violation(format!(
+                    "session watermark regressed from {prev_w} (read #{prev_seq})"
+                )));
+            }
+            if obs.seq > prev_seq {
+                last.insert(obs.session, (obs.seq, obs.cut.watermark));
+            } else if obs.cut.watermark > prev_w {
+                return Err(violation(format!(
+                    "later read #{prev_seq} saw older watermark {prev_w}"
+                )));
+            }
+        } else {
+            last.insert(obs.session, (obs.seq, obs.cut.watermark));
+        }
+        // Cut certification against the committed state vector.
+        let expected: &BTreeMap<ViewId, u64> = if obs.cut.watermark == 0 {
+            initial
+        } else {
+            match record_at(history, obs.cut.watermark) {
+                Some(rec) => &rec.fingerprints,
+                None => {
+                    return Err(violation("no committed record at this watermark".into()));
+                }
+            }
+        };
+        for (v, rel) in &obs.cut.views {
+            match expected.get(v) {
+                Some(&fp) if rel.fingerprint() == fp => {}
+                Some(_) => {
+                    return Err(violation(format!(
+                        "view {v} does not match the committed state vector"
+                    )));
+                }
+                None => {
+                    return Err(violation(format!(
+                        "view {v} not part of the state vector at this watermark"
+                    )));
+                }
+            }
+        }
+        cert.observations += 1;
+        cert.max_watermark = cert.max_watermark.max(obs.cut.watermark);
+    }
+    cert.sessions = last.len();
+    Ok(cert)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mvc_core::{ActionList, TxnSeq, UpdateId};
+    use mvc_relational::{tuple, Delta, Schema};
+    use mvc_warehouse::{StoreTxn, Warehouse};
+
+    fn wh() -> Warehouse {
+        let mut w = Warehouse::new(false);
+        w.register_view(ViewId(1), "V1", Relation::new(Schema::ints(&["a", "b"])))
+            .unwrap();
+        w.register_view(ViewId(2), "V2", Relation::new(Schema::ints(&["b", "c"])))
+            .unwrap();
+        w
+    }
+
+    fn ins_txn(seq: u64, view: u32, vals: (i64, i64)) -> StoreTxn {
+        let mut d = Delta::new();
+        d.insert(tuple![vals.0, vals.1]);
+        let al = ActionList::single(ViewId(view), UpdateId(seq), d);
+        StoreTxn {
+            seq: TxnSeq(seq),
+            rows: vec![UpdateId(seq)],
+            views: [ViewId(view)].into(),
+            frontier: UpdateId(seq),
+            actions: vec![al],
+        }
+    }
+
+    /// Warehouse + store wired like a runtime: every apply publishes the
+    /// changed views under the commit watermark.
+    fn commit(w: &mut Warehouse, cuts: &VersionedCuts, txn: &StoreTxn) {
+        let (watermark, views) = {
+            let rec = w.apply(txn).unwrap();
+            (
+                rec.commit_index,
+                rec.views.iter().copied().collect::<Vec<_>>(),
+            )
+        };
+        cuts.publish(watermark, w.read(&views));
+    }
+
+    fn seeded(w: &Warehouse) -> VersionedCuts {
+        let cuts = VersionedCuts::new();
+        let ids: Vec<ViewId> = w.view_ids().collect();
+        cuts.seed(0, w.read(&ids));
+        cuts
+    }
+
+    #[test]
+    fn snapshot_reads_see_historical_cuts() {
+        let mut w = wh();
+        let cuts = seeded(&w);
+        let mut s = cuts.open_session();
+        commit(&mut w, &cuts, &ins_txn(1, 1, (1, 2)));
+        commit(&mut w, &cuts, &ins_txn(2, 2, (2, 3)));
+        // Watermark 1: V1 has its tuple, V2 is still initial.
+        let at1 = s.read_at(1, &[ViewId(1), ViewId(2)]).unwrap();
+        assert_eq!(at1.observation.cut.watermark, 1);
+        assert!(at1.observation.cut.views[&ViewId(1)].contains(&tuple![1, 2]));
+        assert!(at1.observation.cut.views[&ViewId(2)].is_empty());
+        assert_eq!(at1.staleness, 1, "head is 2");
+        let at2 = s.read_latest(&[ViewId(2)]).unwrap();
+        assert!(at2.observation.cut.views[&ViewId(2)].contains(&tuple![2, 3]));
+        verify_observations(
+            &[at1.observation, at2.observation],
+            w.history(),
+            &BTreeMap::from([
+                (
+                    ViewId(1),
+                    Relation::new(Schema::ints(&["a", "b"])).fingerprint(),
+                ),
+                (
+                    ViewId(2),
+                    Relation::new(Schema::ints(&["b", "c"])).fingerprint(),
+                ),
+            ]),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn session_never_goes_backwards() {
+        let mut w = wh();
+        let cuts = seeded(&w);
+        let mut s = cuts.open_session();
+        commit(&mut w, &cuts, &ins_txn(1, 1, (1, 2)));
+        commit(&mut w, &cuts, &ins_txn(2, 1, (3, 4)));
+        s.read_latest(&[ViewId(1)]).unwrap();
+        assert_eq!(s.last_seen(), 2);
+        // Requesting an older cut clamps up to the last-seen watermark.
+        let o = s.read_at(0, &[ViewId(1)]).unwrap();
+        assert_eq!(o.observation.cut.watermark, 2);
+    }
+
+    #[test]
+    fn future_watermark_rejected() {
+        let w = wh();
+        let cuts = seeded(&w);
+        let mut s = cuts.open_session();
+        assert_eq!(
+            s.read_at(5, &[ViewId(1)]).unwrap_err(),
+            ReadError::Unpublished {
+                requested: 5,
+                head: 0
+            }
+        );
+        assert!(matches!(
+            s.read_at(0, &[ViewId(9)]),
+            Err(ReadError::UnknownView(ViewId(9)))
+        ));
+    }
+
+    #[test]
+    fn gc_floor_follows_slowest_session() {
+        let mut w = wh();
+        let cuts = seeded(&w);
+        let mut slow = cuts.open_session();
+        let mut fast = cuts.open_session();
+        for i in 1..=6 {
+            commit(&mut w, &cuts, &ins_txn(i, 1, (i as i64, i as i64)));
+            fast.read_latest(&[ViewId(1)]).unwrap();
+        }
+        // The idle slow session pins the floor at its open watermark.
+        assert_eq!(cuts.floor(), 0);
+        assert_eq!(cuts.retained_versions(), 8, "nothing reclaimed yet");
+        slow.read_latest(&[ViewId(1)]).unwrap();
+        // Both sessions at head: everything below is reclaimed down to
+        // one base version per view.
+        assert_eq!(cuts.floor(), 6);
+        assert_eq!(cuts.retained_versions(), 2);
+        assert!(cuts.stats().pruned >= 6);
+        // The base still serves reads at the floor.
+        let o = slow.read_at(6, &[ViewId(1), ViewId(2)]).unwrap();
+        assert_eq!(o.observation.cut.views[&ViewId(1)].len(), 6);
+        drop(fast);
+        drop(slow);
+        assert_eq!(cuts.floor(), 6, "no sessions: floor at head");
+    }
+
+    #[test]
+    fn dropped_session_releases_pin() {
+        let mut w = wh();
+        let cuts = seeded(&w);
+        let slow = cuts.open_session();
+        for i in 1..=4 {
+            commit(&mut w, &cuts, &ins_txn(i, 1, (i as i64, 0)));
+        }
+        assert_eq!(cuts.floor(), 0);
+        drop(slow);
+        assert_eq!(cuts.floor(), 4);
+        assert_eq!(cuts.retained_versions(), 2);
+    }
+
+    #[test]
+    fn verification_catches_torn_cut() {
+        let mut w = wh();
+        let cuts = seeded(&w);
+        let mut s = cuts.open_session();
+        commit(&mut w, &cuts, &ins_txn(1, 1, (1, 2)));
+        commit(&mut w, &cuts, &ins_txn(2, 2, (2, 3)));
+        let good = s.read_latest(&[ViewId(1), ViewId(2)]).unwrap().observation;
+        // Tamper: claim the watermark-2 cut held V2's *initial* content —
+        // a torn read mixing two committed states.
+        let mut torn = good.clone();
+        torn.cut.views.insert(
+            ViewId(2),
+            Arc::new(Relation::new(Schema::ints(&["b", "c"]))),
+        );
+        let initial = BTreeMap::new();
+        verify_observations(&[good], w.history(), &initial).unwrap();
+        let err = verify_observations(&[torn], w.history(), &initial).unwrap_err();
+        assert!(err.detail.contains("does not match"), "{err}");
+    }
+
+    #[test]
+    fn verification_catches_watermark_regression() {
+        let mut w = wh();
+        let cuts = seeded(&w);
+        let mut s = cuts.open_session();
+        commit(&mut w, &cuts, &ins_txn(1, 1, (1, 2)));
+        let first = s.read_latest(&[ViewId(1)]).unwrap().observation;
+        commit(&mut w, &cuts, &ins_txn(2, 1, (3, 4)));
+        let second = s.read_latest(&[ViewId(1)]).unwrap().observation;
+        // Forge a regression: swap the two cuts' sequence numbers.
+        let mut forged_first = second.clone();
+        forged_first.seq = first.seq;
+        let mut forged_second = first;
+        forged_second.seq = second.seq;
+        let err = verify_observations(
+            &[forged_first, forged_second],
+            w.history(),
+            &BTreeMap::new(),
+        )
+        .unwrap_err();
+        assert!(err.detail.contains("regressed"), "{err}");
+    }
+
+    #[test]
+    fn verification_tolerates_pruned_history() {
+        // Checkpoint-anchored retention: records below the floor are
+        // pruned, yet observations at or above it still certify (the
+        // record lookup goes by commit_index, not position).
+        let mut w = wh();
+        let cuts = seeded(&w);
+        for i in 1..=5 {
+            commit(&mut w, &cuts, &ins_txn(i, 1, (i as i64, 0)));
+        }
+        let mut s = cuts.open_session();
+        let obs = s.read_at(5, &[ViewId(1)]).unwrap().observation;
+        w.prune_history_below(4);
+        verify_observations(std::slice::from_ref(&obs), w.history(), &BTreeMap::new()).unwrap();
+        let mut old = obs;
+        old.cut.watermark = 2; // pruned away
+        let err = verify_observations(&[old], w.history(), &BTreeMap::new()).unwrap_err();
+        assert!(err.detail.contains("no committed record"), "{err}");
+    }
+}

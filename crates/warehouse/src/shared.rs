@@ -29,8 +29,9 @@ impl SharedWarehouse {
         w.apply(txn).map(|rec| rec.seq)
     }
 
-    /// Consistent multi-view read (§1.1's customer-inquiry access).
-    pub fn read(&self, ids: &[ViewId]) -> BTreeMap<ViewId, Relation> {
+    /// Consistent multi-view read (§1.1's customer-inquiry access);
+    /// `Arc` handles, no tuple copies.
+    pub fn read(&self, ids: &[ViewId]) -> BTreeMap<ViewId, Arc<Relation>> {
         self.inner.read().read(ids)
     }
 

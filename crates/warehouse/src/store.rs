@@ -7,6 +7,7 @@ use mvc_relational::{Delta, Relation, SchemaError, ViewName};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// The concrete action-list payload of the relational instantiation: the
 /// delta to apply to one materialized view.
@@ -61,11 +62,13 @@ pub struct CommittedTxn {
     pub commit_index: u64,
 }
 
-/// One materialized view plus bookkeeping.
+/// One materialized view plus bookkeeping. Content is `Arc`-shared so
+/// `read` hands out handles instead of clones; `apply` copies-on-write
+/// only when a reader still holds the previous version.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ViewSlot {
     name: ViewName,
-    content: Relation,
+    content: Arc<Relation>,
     /// Last source update reflected (0 = initial state).
     version: UpdateId,
 }
@@ -120,7 +123,7 @@ impl Warehouse {
             id,
             ViewSlot {
                 name: name.into(),
-                content: initial,
+                content: Arc::new(initial),
                 version: UpdateId::ZERO,
             },
         );
@@ -137,7 +140,7 @@ impl Warehouse {
 
     /// Current contents of one view.
     pub fn view(&self, id: ViewId) -> Option<&Relation> {
-        self.views.get(&id).map(|s| &s.content)
+        self.views.get(&id).map(|s| s.content.as_ref())
     }
 
     /// Version (last reflected update) of one view.
@@ -145,11 +148,13 @@ impl Warehouse {
         self.views.get(&id).map(|s| s.version)
     }
 
-    /// Consistent multi-view read: clones the requested views atomically
-    /// (the warehouse customer-inquiry scenario of §1.1).
-    pub fn read(&self, ids: &[ViewId]) -> BTreeMap<ViewId, Relation> {
+    /// Consistent multi-view read (the warehouse customer-inquiry
+    /// scenario of §1.1): hands out `Arc` handles to the requested views
+    /// atomically. No tuple data is copied — a later `apply` to the same
+    /// view copies-on-write, leaving the returned handles untouched.
+    pub fn read(&self, ids: &[ViewId]) -> BTreeMap<ViewId, Arc<Relation>> {
         ids.iter()
-            .filter_map(|id| self.views.get(id).map(|s| (*id, s.content.clone())))
+            .filter_map(|id| self.views.get(id).map(|s| (*id, Arc::clone(&s.content))))
             .collect()
     }
 
@@ -164,7 +169,9 @@ impl Warehouse {
         }
         for al in &txn.actions {
             let slot = self.views.get_mut(&al.view).expect("validated");
-            al.payload.apply_to(&mut slot.content)?;
+            // Copy-on-write: clones the relation only when a reader still
+            // holds the previous version's handle.
+            al.payload.apply_to(Arc::make_mut(&mut slot.content))?;
             slot.version = slot.version.max(al.last);
         }
         self.commits += 1;
@@ -180,7 +187,7 @@ impl Warehouse {
             snapshot: self.record_snapshots.then(|| {
                 self.views
                     .iter()
-                    .map(|(&id, s)| (id, s.content.clone()))
+                    .map(|(&id, s)| (id, s.content.as_ref().clone()))
                     .collect()
             }),
             commit_index: self.commits,
@@ -222,13 +229,26 @@ impl Warehouse {
         self.commits
     }
 
+    /// Checkpoint-anchored history retention: drop committed records with
+    /// `commit_index` strictly below `watermark`, returning how many were
+    /// reclaimed. Callers tie `watermark` to the read path's GC floor (no
+    /// live session can observe a cut below it) and to the durability
+    /// checkpoint (recovery replays only from the last checkpoint, so it
+    /// never needs records below it either). History stays contiguous in
+    /// commit order, so oracle lookups by `commit_index` keep working.
+    pub fn prune_history_below(&mut self, watermark: u64) -> usize {
+        let cut = self.history.partition_point(|r| r.commit_index < watermark);
+        self.history.drain(..cut);
+        cut
+    }
+
     /// Capture the full store for a durability checkpoint.
     pub fn snapshot(&self) -> WarehouseSnapshot {
         WarehouseSnapshot {
             views: self
                 .views
                 .iter()
-                .map(|(&id, s)| (id, s.name.clone(), s.content.clone(), s.version))
+                .map(|(&id, s)| (id, s.name.clone(), s.content.as_ref().clone(), s.version))
                 .collect(),
             history: self.history.clone(),
             record_snapshots: self.record_snapshots,
@@ -247,7 +267,7 @@ impl Warehouse {
                         id,
                         ViewSlot {
                             name,
-                            content,
+                            content: Arc::new(content),
                             version,
                         },
                     )
@@ -393,6 +413,156 @@ mod tests {
         assert_eq!(applied, 1, "first txn committed before the failure");
         assert!(matches!(err, WarehouseError::UnknownView(ViewId(9))));
         assert_eq!(w.history().len(), 1);
+    }
+
+    /// Partial-failure semantics in full: on error at index `i`, exactly
+    /// the first `i` transactions are visible — contents, versions, and
+    /// history fingerprints all match a warehouse that applied only the
+    /// good prefix — and nothing of the failing or later transactions
+    /// leaked in.
+    #[test]
+    fn apply_batch_partial_failure_visibility() {
+        let good = |seq: u64, view: u32, vals: (i64, i64)| {
+            txn(
+                seq,
+                vec![ActionList::single(
+                    ViewId(view),
+                    UpdateId(seq),
+                    delta_ins(&[vals]),
+                )],
+            )
+        };
+        let run = [
+            good(1, 1, (1, 2)),
+            good(2, 2, (2, 3)),
+            good(3, 1, (4, 5)),
+            // Fails validation (unknown view) at index 3…
+            txn(
+                4,
+                vec![
+                    ActionList::single(ViewId(1), UpdateId(4), delta_ins(&[(6, 7)])),
+                    ActionList::single(ViewId(9), UpdateId(4), delta_ins(&[(8, 9)])),
+                ],
+            ),
+            // …so this one must never run.
+            good(5, 2, (10, 11)),
+        ];
+        let mut w = wh();
+        let (applied, err) = w.apply_batch(run.iter()).unwrap_err();
+        assert_eq!(applied, 3, "exactly the prefix before the failure");
+        assert!(matches!(err, WarehouseError::UnknownView(ViewId(9))));
+
+        let mut prefix_only = wh();
+        assert_eq!(prefix_only.apply_batch(run[..3].iter()).unwrap(), 3);
+        assert_eq!(
+            w.read(&[ViewId(1), ViewId(2)]),
+            prefix_only.read(&[ViewId(1), ViewId(2)])
+        );
+        assert_eq!(w.commit_count(), 3);
+        assert_eq!(w.history().len(), 3);
+        for (got, want) in w.history().iter().zip(prefix_only.history()) {
+            assert_eq!(got.seq, want.seq);
+            assert_eq!(got.commit_index, want.commit_index);
+            assert_eq!(got.fingerprints, want.fingerprints);
+        }
+        // The failing txn's valid first action must not have leaked: its
+        // atomicity is per-transaction, not per-action.
+        assert!(!w.view(ViewId(1)).unwrap().contains(&tuple![6, 7]));
+        assert!(!w.view(ViewId(2)).unwrap().contains(&tuple![10, 11]));
+        assert_eq!(w.version(ViewId(1)), Some(UpdateId(3)));
+        assert_eq!(w.version(ViewId(2)), Some(UpdateId(2)));
+    }
+
+    /// `read` hands out handles: the cut stays frozen while the warehouse
+    /// moves on (copy-on-write in `apply`), and an un-retained read costs
+    /// no relation clone at all.
+    #[test]
+    fn read_handles_are_stable_snapshots() {
+        let mut w = wh();
+        w.apply(&txn(
+            1,
+            vec![ActionList::single(
+                ViewId(1),
+                UpdateId(1),
+                delta_ins(&[(1, 2)]),
+            )],
+        ))
+        .unwrap();
+        let cut = w.read(&[ViewId(1)]);
+        w.apply(&txn(
+            2,
+            vec![ActionList::single(
+                ViewId(1),
+                UpdateId(2),
+                delta_ins(&[(3, 4)]),
+            )],
+        ))
+        .unwrap();
+        assert_eq!(cut[&ViewId(1)].len(), 1, "retained cut unaffected");
+        assert!(!cut[&ViewId(1)].contains(&tuple![3, 4]));
+        assert_eq!(w.view(ViewId(1)).unwrap().len(), 2);
+        // With the old handle dropped, the next apply mutates in place
+        // (same allocation — no reader, no copy).
+        drop(cut);
+        let before = Arc::as_ptr(&w.read(&[ViewId(1)])[&ViewId(1)]);
+        w.apply(&txn(
+            3,
+            vec![ActionList::single(
+                ViewId(1),
+                UpdateId(3),
+                delta_ins(&[(5, 6)]),
+            )],
+        ))
+        .unwrap();
+        assert_eq!(before, Arc::as_ptr(&w.read(&[ViewId(1)])[&ViewId(1)]));
+    }
+
+    /// Retained history still satisfies recovery: prune below a
+    /// checkpoint watermark, snapshot/restore (the durability path), and
+    /// the restored store continues committing with correct commit
+    /// indices and oracle-visible records for everything at or above the
+    /// watermark.
+    #[test]
+    fn pruned_history_survives_snapshot_restore() {
+        let step = |seq: u64| {
+            txn(
+                seq,
+                vec![ActionList::single(
+                    ViewId(1),
+                    UpdateId(seq),
+                    delta_ins(&[(seq as i64, 0)]),
+                )],
+            )
+        };
+        let mut w = wh();
+        let mut twin = wh();
+        for seq in 1..=6 {
+            w.apply(&step(seq)).unwrap();
+            twin.apply(&step(seq)).unwrap();
+        }
+        assert_eq!(w.prune_history_below(4), 3);
+        assert_eq!(w.history().len(), 3);
+        assert_eq!(w.history()[0].commit_index, 4);
+        // Checkpoint round-trip with pruned history.
+        let mut restored = Warehouse::restore(w.snapshot());
+        assert_eq!(restored.commit_count(), 6);
+        restored.apply(&step(7)).unwrap();
+        twin.apply(&step(7)).unwrap();
+        assert_eq!(restored.history().last().unwrap().commit_index, 7);
+        // Every retained record matches the unpruned twin's.
+        for rec in restored.history() {
+            let want = &twin.history()[(rec.commit_index - 1) as usize];
+            assert_eq!(rec.seq, want.seq);
+            assert_eq!(rec.fingerprints, want.fingerprints);
+        }
+        assert_eq!(
+            restored.read(&[ViewId(1), ViewId(2)]),
+            twin.read(&[ViewId(1), ViewId(2)])
+        );
+        // Pruning everything keeps the store usable.
+        assert_eq!(restored.prune_history_below(u64::MAX), 4);
+        restored.apply(&step(8)).unwrap();
+        assert_eq!(restored.history().last().unwrap().commit_index, 8);
     }
 
     #[test]

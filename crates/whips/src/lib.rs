@@ -21,7 +21,10 @@ pub mod threaded;
 pub mod workload;
 
 pub use integrator::{GroupRouting, Integrator};
+// Re-exported so oracle users can name the read-certification types
+// without a direct mvc-readpath dependency.
 pub use metrics::{SimMetrics, Summary};
+pub use mvc_readpath::{ReadCertificate, ReadObservation, ReadViolation};
 pub use obs::{Histogram, PipelineObs, QueueGauge};
 pub use oracle::{Oracle, Verdict};
 pub use recovery::{recover_and_run, RecoveryError};

@@ -229,6 +229,14 @@ pub struct PipelineObs {
     pub commit_apply: Histogram,
     pub vut_occupancy: Histogram,
     pub queue_depth: BTreeMap<&'static str, QueueGauge>,
+    /// Reader-workload metrics (empty when no readers are configured).
+    /// `read_latency` is in this instance's `unit`; the other three are
+    /// unit-less counts (commits behind head, chain entries, commits of
+    /// GC lag) sampled per read.
+    pub read_latency: Histogram,
+    pub read_staleness: Histogram,
+    pub read_chain: Histogram,
+    pub read_gc_lag: Histogram,
 }
 
 impl PipelineObs {
@@ -242,7 +250,22 @@ impl PipelineObs {
             commit_apply: Histogram::new(),
             vut_occupancy: Histogram::new(),
             queue_depth: BTreeMap::new(),
+            read_latency: Histogram::new(),
+            read_staleness: Histogram::new(),
+            read_chain: Histogram::new(),
+            read_gc_lag: Histogram::new(),
         }
+    }
+
+    /// Record one reader-workload read's unit-less gauges (staleness in
+    /// commits behind head, longest version chain touched, GC lag in
+    /// commits). Latency goes into `read_latency` separately — the sim
+    /// has no meaningful per-read latency, only the threaded runtime
+    /// records it.
+    pub fn note_read(&mut self, staleness: u64, chain_len: u64, gc_lag: u64) {
+        self.read_staleness.record(staleness);
+        self.read_chain.record(chain_len);
+        self.read_gc_lag.record(gc_lag);
     }
 
     /// Latency stages by name, in pipeline order (excludes the occupancy
@@ -282,6 +305,10 @@ impl PipelineObs {
         for (chan, g) in &other.queue_depth {
             self.queue_depth.entry(chan).or_default().merge(g);
         }
+        self.read_latency.merge(&other.read_latency);
+        self.read_staleness.merge(&other.read_staleness);
+        self.read_chain.merge(&other.read_chain);
+        self.read_gc_lag.merge(&other.read_gc_lag);
     }
 
     /// JSON rendering used by the `bench_pipeline` harness.
@@ -306,15 +333,31 @@ impl PipelineObs {
                 )
             })
             .collect();
-        [
+        let mut out: Vec<(String, serde_json::Value)> = vec![
             ("unit".to_owned(), self.unit.into()),
             ("stages".to_owned(), stages),
             ("queue_depth".to_owned(), depths),
             ("vut_occupancy".to_owned(), self.vut_occupancy.to_json()),
             ("vut_peak".to_owned(), self.vut_peak().into()),
-        ]
-        .into_iter()
-        .collect()
+        ];
+        if !self.read_staleness.is_empty() {
+            // Reader metrics carry the run's unit tag like everything
+            // else; latency is in `unit`, the gauges are commit counts.
+            out.push((
+                "readers".to_owned(),
+                [
+                    ("unit".to_owned(), self.unit.into()),
+                    ("reads".to_owned(), self.read_staleness.count().into()),
+                    ("latency".to_owned(), self.read_latency.to_json()),
+                    ("staleness".to_owned(), self.read_staleness.to_json()),
+                    ("chain_len".to_owned(), self.read_chain.to_json()),
+                    ("gc_lag".to_owned(), self.read_gc_lag.to_json()),
+                ]
+                .into_iter()
+                .collect(),
+            ));
+        }
+        out.into_iter().collect()
     }
 }
 
@@ -511,5 +554,24 @@ mod tests {
         assert_eq!(j["unit"].as_str(), Some("ns"));
         assert_eq!(j["stages"]["src_to_int_wait"]["count"].as_u64(), Some(2));
         assert_eq!(j["vut_peak"].as_u64(), Some(5));
+        // No readers configured → no readers block in the JSON.
+        assert!(j["readers"].as_object().is_none());
+    }
+
+    #[test]
+    fn reader_metrics_merge_and_json() {
+        let mut a = PipelineObs::new("steps");
+        a.note_read(3, 2, 5);
+        a.read_latency.record(100);
+        let mut b = PipelineObs::new("steps");
+        b.note_read(0, 1, 0);
+        a.merge(&b);
+        assert_eq!(a.read_staleness.count(), 2);
+        assert_eq!(a.read_gc_lag.max(), 5);
+        let j = a.to_json();
+        assert_eq!(j["readers"]["reads"].as_u64(), Some(2));
+        assert_eq!(j["readers"]["unit"].as_str(), Some("steps"));
+        assert_eq!(j["readers"]["staleness"]["max"].as_u64(), Some(3));
+        assert_eq!(j["readers"]["latency"]["count"].as_u64(), Some(1));
     }
 }

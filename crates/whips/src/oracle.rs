@@ -492,13 +492,33 @@ impl<'a> Oracle<'a> {
         out
     }
 
-    /// Test helper: assert every group satisfies its guaranteed level.
+    /// Read-side check: every cut the reader workload observed must be
+    /// one of the mutually consistent states this oracle certifies on the
+    /// write side (fingerprint-matching the committed state vector at the
+    /// cut's watermark), and per-session watermarks must be monotone —
+    /// the snapshot-isolation + read-your-watermark guarantees of
+    /// `mvc_readpath`.
+    pub fn check_reads(
+        &self,
+    ) -> Result<mvc_readpath::ReadCertificate, mvc_readpath::ReadViolation> {
+        mvc_readpath::verify_observations(
+            &self.report.read_observations,
+            self.report.warehouse.history(),
+            &self.report.initial_fingerprints,
+        )
+    }
+
+    /// Test helper: assert every group satisfies its guaranteed level and
+    /// every observed reader cut certifies.
     pub fn assert_ok(&self) {
         for (g, level, verdict) in self.check_report() {
             assert!(
                 verdict.is_satisfied(),
                 "merge group {g} failed its {level} guarantee: {verdict}"
             );
+        }
+        if let Err(v) = self.check_reads() {
+            panic!("reader observed an uncertified cut: {v}");
         }
     }
 }

@@ -26,6 +26,7 @@ use mvc_core::{
 use mvc_durability::{
     CheckpointState, CommitRecord, DurabilityConfig, WalError, WalRecord, WalWriter,
 };
+use mvc_readpath::{ReadObservation, ReadSession, VersionedCuts};
 use mvc_relational::{Delta, EvalError, RelationName, Schema, ViewDef};
 use mvc_source::{GlobalSeq, SourceCluster, SourceError, SourceId, SourceUpdate, WriteOp};
 use mvc_viewmgr::{
@@ -73,6 +74,12 @@ pub struct SimConfig {
     pub max_open_updates: Option<usize>,
     /// Record full warehouse snapshots per commit (needed by the oracle).
     pub record_snapshots: bool,
+    /// Concurrent reader sessions over the MVCC read path. Each session
+    /// is one extra scheduler lottery ticket per step, so reader reads
+    /// interleave arbitrarily with pipeline progress (and the explorer /
+    /// fuzz stack covers those interleavings). Every observed cut is
+    /// retained in `SimReport::read_observations` for certification.
+    pub readers: usize,
     /// Safety cap on scheduler steps.
     pub max_steps: u64,
     /// Write-ahead logging + crash injection (`None` = in-memory only).
@@ -94,6 +101,7 @@ impl Default for SimConfig {
             sequential: false,
             max_open_updates: None,
             record_snapshots: true,
+            readers: 0,
             max_steps: 50_000_000,
             durability: None,
         }
@@ -439,6 +447,13 @@ pub struct SimReport {
     /// that activated it, source seq of its initial load). Views absent
     /// here were registered statically (active from commit 0).
     pub activations: BTreeMap<ViewId, (usize, GlobalSeq)>,
+    /// Every cut the reader workload observed (empty without readers),
+    /// certified by `Oracle::check_reads`.
+    pub read_observations: Vec<ReadObservation>,
+    /// Pre-any-commit state-vector fingerprints — what a watermark-0
+    /// observation must match (empty on a resumed run that recovered past
+    /// commit 0, where no watermark-0 read is possible).
+    pub initial_fingerprints: BTreeMap<ViewId, u64>,
 }
 
 /// One entry of [`SimReport::commit_log`].
@@ -503,6 +518,16 @@ pub(crate) struct Sim {
     commits_since_checkpoint: u64,
     /// Checkpoint cadence from the durability config (0 = never).
     checkpoint_every: u64,
+    /// MVCC version store: every commit publishes its changed views here.
+    cuts: VersionedCuts,
+    /// Reader workload sessions (scheduler participants).
+    reader_sessions: Vec<ReadSession>,
+    /// View set the reader workload queries (fixed at build time).
+    reader_views: Vec<ViewId>,
+    /// Every cut the readers observed, for certification.
+    read_observations: Vec<ReadObservation>,
+    /// Pre-any-commit state-vector fingerprints.
+    initial_fingerprints: BTreeMap<ViewId, u64>,
 }
 
 impl Sim {
@@ -578,6 +603,17 @@ impl Sim {
             }
         }
 
+        // MVCC read path: seed the version store with the initial view
+        // contents at watermark 0 and open the configured reader
+        // sessions. The initial fingerprints anchor watermark-0 cuts
+        // during certification.
+        let initial_fingerprints = warehouse.initial_fingerprints();
+        let reader_views: Vec<ViewId> = warehouse.view_ids().collect();
+        let cuts = VersionedCuts::new();
+        cuts.seed(0, warehouse.read(&reader_views));
+        let reader_sessions: Vec<ReadSession> =
+            (0..b.config.readers).map(|_| cuts.open_session()).collect();
+
         let mut wal = None;
         let mut checkpoint_every = 0;
         if let Some(d) = &b.config.durability {
@@ -623,6 +659,11 @@ impl Sim {
             wal,
             commits_since_checkpoint: 0,
             checkpoint_every,
+            cuts,
+            reader_sessions,
+            reader_views,
+            read_observations: Vec::new(),
+            initial_fingerprints,
             config: b.config,
         })
     }
@@ -728,13 +769,19 @@ impl Sim {
             } else {
                 0
             };
-            let total = nonempty.len() + inject_w;
+            // Reader sessions are ordinary lottery participants (one
+            // ticket each), slotted in *after* the termination check so
+            // readers never keep an otherwise-finished run alive.
+            let reader_w = self.reader_sessions.len();
+            let total = nonempty.len() + inject_w + reader_w;
             let pick = self.rng.gen_range(0..total);
             self.metrics.steps += 1;
             if pick < nonempty.len() {
                 self.deliver(nonempty[pick])?;
-            } else {
+            } else if pick < nonempty.len() + inject_w {
                 self.inject()?;
+            } else {
+                self.reader_step(pick - nonempty.len() - inject_w);
             }
         }
 
@@ -824,6 +871,8 @@ impl Sim {
             pipeline: self.obs,
             routed: self.routed,
             activations: self.activations,
+            read_observations: self.read_observations,
+            initial_fingerprints: self.initial_fingerprints,
         })
     }
 
@@ -1144,13 +1193,43 @@ impl Sim {
         Ok(())
     }
 
+    /// One scheduled read by reader session `i`: alternate randomly
+    /// between reading the newest cut and a snapshot read at a random
+    /// retained watermark (which the session clamps up to its last-seen
+    /// cut — exercising the monotonicity path). The observation is kept
+    /// for certification; staleness/chain/GC gauges feed the histograms.
+    fn reader_step(&mut self, i: usize) {
+        let head = self.cuts.head();
+        let s = &mut self.reader_sessions[i];
+        let target = if self.rng.gen_bool(0.5) {
+            head
+        } else {
+            let low = s.last_seen();
+            low + self.rng.gen_range(0..=head.saturating_sub(low))
+        };
+        let out = s
+            .read_at(target, &self.reader_views)
+            .expect("target ≤ head and every chain was seeded at build");
+        self.obs.note_read(out.staleness, out.chain_len, out.gc_lag);
+        self.read_observations.push(out.observation);
+    }
+
     fn commit(&mut self, g: usize, txn: StoreTxn) -> Result<(), SimError> {
         let seq = txn.seq;
         self.log(&WalRecord::TxnCommitted {
             group: g as u64,
             seq,
         })?;
-        self.warehouse.apply(&txn)?;
+        let (watermark, changed) = {
+            let rec = self.warehouse.apply(&txn)?;
+            (
+                rec.commit_index,
+                rec.views.iter().copied().collect::<Vec<_>>(),
+            )
+        };
+        // Publish the commit's new view versions to the MVCC read path
+        // (Arc handles — the warehouse copies-on-write underneath them).
+        self.cuts.publish(watermark, self.warehouse.read(&changed));
         self.commit_log.push(CommitLogEntry {
             group: g,
             seq,
@@ -1346,6 +1425,23 @@ impl Sim {
 
         let workload: VecDeque<DriverAction> =
             remaining.into_iter().map(DriverAction::Txn).collect();
+
+        // Re-seed the MVCC read path at the recovered commit watermark:
+        // resumed sessions can only observe cuts from here forward, so
+        // watermark-0 fingerprints are needed only when nothing committed
+        // before the crash.
+        let base = state.warehouse.commit_count();
+        let initial_fingerprints = if base == 0 {
+            state.warehouse.initial_fingerprints()
+        } else {
+            BTreeMap::new()
+        };
+        let reader_views: Vec<ViewId> = state.warehouse.view_ids().collect();
+        let cuts = VersionedCuts::new();
+        cuts.seed(base, state.warehouse.read(&reader_views));
+        let reader_sessions: Vec<ReadSession> =
+            (0..config.readers).map(|_| cuts.open_session()).collect();
+
         Ok(Sim {
             rng: StdRng::seed_from_u64(config.seed),
             last_processed_seq: state.last_logged_src,
@@ -1376,6 +1472,11 @@ impl Sim {
             wal: None,
             commits_since_checkpoint: 0,
             checkpoint_every: 0,
+            cuts,
+            reader_sessions,
+            reader_views,
+            read_observations: Vec::new(),
+            initial_fingerprints,
             config,
         })
     }
@@ -1482,6 +1583,73 @@ mod tests {
             let oracle = crate::oracle::Oracle::new(&report).unwrap();
             oracle.assert_ok();
         }
+    }
+
+    /// MVCC reader workload inside the deterministic sim: reader
+    /// sessions interleave with the pipeline under the scheduler
+    /// lottery, every observed cut certifies against the committed
+    /// state-vector history, and the reader histograms fill in.
+    #[test]
+    fn sim_reader_workload_certified_across_seeds() {
+        for seed in 0..15 {
+            let config = SimConfig {
+                seed,
+                readers: 3,
+                inject_weight: 4,
+                ..SimConfig::default()
+            };
+            let mut b = builder(config);
+            let (d1, d2) = (v1(&b), v2(&b));
+            b = b
+                .view(ViewId(1), d1, ManagerKind::Strobe)
+                .view(ViewId(2), d2, ManagerKind::Strobe);
+            b = example1_workload(b)
+                .txn(SourceId(1), vec![WriteOp::insert("S", tuple![2, 9])])
+                .txn(SourceId(0), vec![WriteOp::insert("R", tuple![7, 2])])
+                .txn(SourceId(1), vec![WriteOp::delete("S", tuple![2, 3])]);
+            let report = b.run().unwrap();
+            assert!(
+                !report.read_observations.is_empty(),
+                "seed {seed}: readers never ran"
+            );
+            let oracle = crate::oracle::Oracle::new(&report).unwrap();
+            oracle.assert_ok(); // includes check_reads
+            let cert = oracle.check_reads().unwrap();
+            assert_eq!(cert.observations, report.read_observations.len());
+            assert!(cert.sessions >= 1 && cert.sessions <= 3);
+            assert_eq!(
+                report.pipeline.read_staleness.count(),
+                report.read_observations.len() as u64
+            );
+        }
+    }
+
+    /// The sim's reader workload is part of the deterministic lottery:
+    /// same seed → byte-identical observations, different seed →
+    /// (almost surely) a different interleaving.
+    #[test]
+    fn sim_reader_workload_is_deterministic() {
+        let run = |seed: u64| {
+            let config = SimConfig {
+                seed,
+                readers: 2,
+                ..SimConfig::default()
+            };
+            let mut b = builder(config);
+            let (d1, d2) = (v1(&b), v2(&b));
+            b = b.view(ViewId(1), d1, ManagerKind::Complete).view(
+                ViewId(2),
+                d2,
+                ManagerKind::Complete,
+            );
+            let report = example1_workload(b).run().unwrap();
+            report
+                .read_observations
+                .iter()
+                .map(|o| (o.session, o.seq, o.cut.watermark))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
     }
 
     #[test]

@@ -74,6 +74,13 @@ pub struct ThreadedConfig {
     pub reader_views: Vec<ViewId>,
     /// Pause between reader samples.
     pub reader_interval: Duration,
+    /// Closed-loop MVCC reader workload: this many reader threads hammer
+    /// multi-view snapshot reads through `mvc_readpath` sessions during
+    /// maintenance — never touching the warehouse lock — and every
+    /// observed cut is retained for `Oracle::check_reads` certification.
+    pub readers: usize,
+    /// Think time between each MVCC reader's queries.
+    pub reader_think_time: Duration,
     /// Pause between queue-depth samples. Senders record depths only at
     /// send time, so without the sampler the gauges never see idle-time
     /// decay; `ZERO` disables the sampler thread.
@@ -103,6 +110,8 @@ impl Default for ThreadedConfig {
             sequential: false,
             reader_views: Vec::new(),
             reader_interval: Duration::from_micros(200),
+            readers: 0,
+            reader_think_time: Duration::from_micros(50),
             depth_sample_interval: Duration::from_micros(500),
             durability: None,
         }
@@ -117,7 +126,7 @@ pub struct WallClock {
     pub updates_per_sec: f64,
     /// Samples taken by the concurrent reader (when configured): each is
     /// one consistent multi-view read.
-    pub reader_samples: Vec<std::collections::BTreeMap<ViewId, mvc_relational::Relation>>,
+    pub reader_samples: Vec<std::collections::BTreeMap<ViewId, Arc<mvc_relational::Relation>>>,
     /// In-flight message counter at the end of the drain (0 on a clean
     /// run — nonzero would mean quiescence detection is broken).
     pub in_flight_at_end: i64,
@@ -506,6 +515,14 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             )
             .expect("fresh warehouse");
     }
+    // MVCC read path: capture the pre-commit fingerprints, seed the
+    // version store at watermark 0, and note the full view set before the
+    // warehouse disappears behind its mutex. Commit workers publish every
+    // commit's changed views under the same lock that serialized it.
+    let initial_fingerprints = warehouse.initial_fingerprints();
+    let all_views: Vec<ViewId> = warehouse.view_ids().collect();
+    let cuts = mvc_readpath::VersionedCuts::new();
+    cuts.seed(0, warehouse.read(&all_views));
     let warehouse = Arc::new(Mutex::new(warehouse));
     let commit_log: Arc<Mutex<Vec<CommitLogEntry>>> = Arc::new(Mutex::new(Vec::new()));
 
@@ -834,6 +851,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let obs_parts = obs_parts.clone();
         let wal = wal.clone();
         let audit = audit.clone();
+        let cuts = cuts.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
             // Commits run concurrently when a latency is configured (a
             // real DBMS overlaps independent transactions); ordering of
@@ -864,8 +882,16 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                             });
                         }
                     }
+                    let base = w.commit_count();
                     w.apply_batch(run.iter().map(|(_, t, _, _)| t))
                         .map_err(|(_, e)| e.to_string())?;
+                    // Publish each commit's new view versions while still
+                    // holding the warehouse lock, so the version store's
+                    // watermark order matches the history.
+                    for (i, (_, txn, _, _)) in run.iter().enumerate() {
+                        let changed: Vec<ViewId> = txn.views.iter().copied().collect();
+                        cuts.publish(base + i as u64 + 1, w.read(&changed));
+                    }
                     let mut log = commit_log.lock();
                     let mut acks = Vec::with_capacity(run.len());
                     for (g, txn, released, stamp) in &run {
@@ -929,6 +955,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                             let wal = wal.clone();
                             let audit = audit.clone();
                             let obs_parts = obs_parts.clone();
+                            let cuts = cuts.clone();
                             workers.push(std::thread::spawn(move || -> Result<(), String> {
                                 let mut obs = PipelineObs::new("ns");
                                 std::thread::sleep(delay);
@@ -940,7 +967,10 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                             seq: txn.seq,
                                         });
                                     }
-                                    w.apply(&txn).map_err(|e| e.to_string())?;
+                                    let watermark =
+                                        w.apply(&txn).map_err(|e| e.to_string())?.commit_index;
+                                    let changed: Vec<ViewId> = txn.views.iter().copied().collect();
+                                    cuts.publish(watermark, w.read(&changed));
                                     commit_log.lock().push(CommitLogEntry {
                                         group: g,
                                         seq: txn.seq,
@@ -1094,6 +1124,50 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             samples
         }))
     };
+
+    // --- MVCC reader fleet (closed loop) ---
+    // K reader threads hammer multi-view snapshot reads through the
+    // version store — never taking the warehouse lock, so readers and
+    // commits only contend on the (short) version-store mutex. Each
+    // iteration alternates reading the newest cut with a re-read at the
+    // session's own watermark (exercising the monotonic-session path).
+    // Observations are retained and certified after the run.
+    let mvcc_reader_stop = Arc::new(AtomicBool::new(false));
+    let mut mvcc_reader_handles = Vec::new();
+    for _ in 0..config.readers {
+        let mut session = cuts.open_session();
+        let views = all_views.clone();
+        let think = config.reader_think_time;
+        let stop = mvcc_reader_stop.clone();
+        let obs_parts = obs_parts.clone();
+        mvcc_reader_handles.push(std::thread::spawn(
+            move || -> Vec<mvc_readpath::ReadObservation> {
+                let mut obs = PipelineObs::new("ns");
+                let mut observations = Vec::new();
+                let mut at_head = true;
+                // SeqCst: plain stop flag; strongest order costs nothing here.
+                while !stop.load(Ordering::SeqCst) {
+                    let begun = Instant::now();
+                    let result = if at_head {
+                        session.read_latest(&views)
+                    } else {
+                        let seen = session.last_seen();
+                        session.read_at(seen, &views)
+                    };
+                    at_head = !at_head;
+                    let out = result.expect("chains seeded at build, target ≤ head");
+                    obs.read_latency.record(begun.elapsed().as_nanos() as u64);
+                    obs.note_read(out.staleness, out.chain_len, out.gc_lag);
+                    observations.push(out.observation);
+                    if !think.is_zero() {
+                        std::thread::sleep(think);
+                    }
+                }
+                obs_parts.lock().push(obs);
+                observations
+            },
+        ));
+    }
 
     // --- Queue-depth sampler ---
     // Senders gauge a channel only at send time, so between bursts the
@@ -1256,6 +1330,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     // waits for in-flight work to finish behind the Stop messages) ---
     // SeqCst: stop flags for the reader/sampler loops above.
     reader_stop.store(true, Ordering::SeqCst);
+    mvcc_reader_stop.store(true, Ordering::SeqCst);
+    // SeqCst: same plain stop-flag pattern as the two above.
     sampler_stop.store(true, Ordering::SeqCst);
     let _ = int_tx.send(IntMsg::Stop);
     let _ = qs_tx.send(QsMsg::Stop);
@@ -1284,6 +1360,13 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         },
         None => Vec::new(),
     };
+    let mut read_observations = Vec::new();
+    for h in mvcc_reader_handles {
+        match h.join() {
+            Ok(obs) => read_observations.extend(obs),
+            Err(p) => thread_errors.push(format!("mvcc reader panicked: {}", panic_message(p))),
+        }
+    }
     if let Some(h) = sampler_handle {
         if let Err(p) = h.join() {
             thread_errors.push(format!("sampler panicked: {}", panic_message(p)));
@@ -1356,6 +1439,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             routed,
             activations: BTreeMap::new(),
             pipeline,
+            read_observations,
+            initial_fingerprints,
         },
         WallClock {
             elapsed,
@@ -1516,6 +1601,58 @@ mod tests {
         let (groups_flat, without_partition) = run(false);
         assert!(groups_part > groups_flat, "partitioning must split groups");
         assert_eq!(with_partition, without_partition);
+    }
+
+    /// Tentpole acceptance: a mixed threaded scenario with K=4 MVCC
+    /// reader threads hammering snapshot reads during maintenance. Every
+    /// observed cut must certify against the committed state-vector
+    /// history (zero violations), per-session watermarks must be
+    /// monotone (checked by the certifier), and the reader metrics must
+    /// flow through the merged observability shards.
+    #[test]
+    fn threaded_mvcc_readers_certified() {
+        let config = ThreadedConfig {
+            readers: 4,
+            reader_think_time: Duration::from_micros(20),
+            record_snapshots: true,
+            ..ThreadedConfig::default()
+        };
+        let spec = WorkloadSpec {
+            seed: 23,
+            relations: 4,
+            updates: 80,
+            delete_percent: 20,
+            ..WorkloadSpec::default()
+        };
+        let w = generate(&spec);
+        let b = ThreadedBuilder::new(config);
+        let b = install_relations(b, spec.relations);
+        let (b, _ids) = install_views(
+            b,
+            crate::workload::ViewSuite::OverlappingChain { count: 3 },
+            ManagerKind::Complete,
+        );
+        let (report, _wall) = b.workload(w.txns).run().unwrap();
+        assert!(
+            !report.read_observations.is_empty(),
+            "reader fleet never ran"
+        );
+        let oracle = Oracle::new(&report).unwrap();
+        oracle.assert_ok(); // includes check_reads
+        let cert = oracle.check_reads().unwrap();
+        assert_eq!(cert.observations, report.read_observations.len());
+        assert!(cert.sessions >= 1 && cert.sessions <= 4);
+        let p = &report.pipeline;
+        assert_eq!(
+            p.read_staleness.count(),
+            report.read_observations.len() as u64
+        );
+        assert_eq!(p.read_latency.count(), p.read_staleness.count());
+        assert_eq!(
+            p.to_json()["readers"]["unit"].as_str(),
+            Some("ns"),
+            "reader metrics tagged with the runtime's unit"
+        );
     }
 
     #[test]
