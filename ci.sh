@@ -22,6 +22,18 @@ cargo run -q --release -p mvc-analysis --bin protocol_lint -- .
 echo "== hb-audit tests (vector-clock instrumentation on) =="
 cargo test -q -p mvc-whips --features hb-audit
 
+echo "== lock audit (manifest lint deny + lockdep/hb threaded smoke) =="
+# Static half: every lock construction and statically visible acquisition
+# nesting in whips/readpath/warehouse must match analysis/locks.toml.
+cargo run -q --release -p mvc-analysis --bin lock_lint -- .
+# Runtime half: lockdep + vector-clock instrumentation on, negative
+# tests included (inverted order -> cycle, stale cut -> read-path hb).
+cargo test -q -p mvc-core --features lock-audit
+cargo test -q -p mvc-whips --features "lock-audit hb-audit"
+# Smoke: a mixed reader/writer threaded run must certify with zero
+# lock-order cycles and zero read-path hb violations.
+cargo run -q --release -p mvc-bench --features "lock-audit hb-audit" --bin lock_smoke
+
 echo "== recovery smoke (SPA + PA crash-recover) =="
 cargo run -q --release -p mvc-bench --bin recovery_smoke
 

@@ -1,0 +1,68 @@
+//! Lock-order manifest lint driver.
+//!
+//! Usage: `lock_lint [--warn] [ROOT]`
+//!
+//! Loads `ROOT/analysis/locks.toml`, scans the lock-audited crates
+//! (`crates/whips/src`, `crates/readpath/src`, `crates/warehouse/src`)
+//! with `mvc_analysis::locklint`, and exits nonzero on any finding
+//! unless `--warn` is given. Wired into `ci.sh`'s `lock_audit` stage in
+//! deny mode.
+
+use mvc_analysis::locklint::{lock_lint_tree, LockManifest};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut warn_only = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--warn" => warn_only = true,
+            "--help" | "-h" => {
+                println!("usage: lock_lint [--warn] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let manifest_path = root.join("analysis/locks.toml");
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lock_lint: cannot read {}: {e}", manifest_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let manifest = match LockManifest::parse(&text) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("lock_lint: bad manifest {}: {e}", manifest_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let findings = match lock_lint_tree(&root, &manifest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lock_lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("lock_lint: clean ({} declared locks)", manifest.order.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("lock_lint: {} finding(s)", findings.len());
+        if warn_only {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -11,7 +11,12 @@
 //!   violation serialized as a replayable [`schedule::ScheduleId`];
 //! * the **protocol lint** ([`lint`]): a hand-rolled token-level scanner
 //!   enforcing this repo's concurrency hygiene rules (see the
-//!   `protocol_lint` binary).
+//!   `protocol_lint` binary);
+//! * the **lock-manifest lint** ([`locklint`]): checks the pipeline
+//!   crates' audited-lock constructions and statically visible
+//!   acquisition nesting against the declared order in
+//!   `analysis/locks.toml` (see the `lock_lint` binary) — the static
+//!   complement of the runtime lockdep graph in `mvc_core::lock`.
 //!
 //! Everything is self-contained and offline: no solver, no external
 //! model checker, no new dependencies.
@@ -20,10 +25,12 @@
 
 pub mod explore;
 pub mod lint;
+pub mod locklint;
 pub mod pipeline;
 pub mod schedule;
 
 pub use explore::{explore, ExploreConfig, ExploreOutcome, Independence, ScheduleViolation};
 pub use lint::{lint_file, lint_tree, LintFinding, Rule};
+pub use locklint::{lock_lint_file, lock_lint_tree, LockLintFinding, LockManifest, LockRule};
 pub use pipeline::{Breakage, Pipeline, PipelineBuilder, PipelineConfig, PipelineError};
 pub use schedule::{ChanId, Choice, ScheduleId, ScheduleParseError};

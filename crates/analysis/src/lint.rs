@@ -31,6 +31,14 @@
 //!    of tuple data sneaks back into the hot path. The integrator is
 //!    exempt: it owns numbering and legitimately clones handles while
 //!    routing.
+//! 6. **raw-lock-unaudited** (lock-audited pipeline files: the threaded
+//!    runtime, `readpath/src/`, `warehouse/src/`): every `Mutex::new(`
+//!    / `RwLock::new(` must go through the audited wrappers
+//!    (`AuditedMutex`/`AuditedRwLock` from `mvc_core::lock`) so the
+//!    lockdep graph sees it; a raw `parking_lot` lock is invisible to
+//!    deadlock detection and to the `analysis/locks.toml` manifest. A
+//!    `seal:` justification comment within the three preceding lines
+//!    exempts a site (e.g. a lock deliberately outside the audit).
 //!
 //! Because rule matching runs on comment- and string-stripped code, the
 //! deliberately-bad fixtures embedded in this file's own unit tests (as
@@ -49,6 +57,7 @@ pub enum Rule {
     DirectPaintWrite,
     WalVariantRoundtrip,
     UpdatePayloadClone,
+    RawLockUnaudited,
 }
 
 impl fmt::Display for Rule {
@@ -59,6 +68,7 @@ impl fmt::Display for Rule {
             Rule::DirectPaintWrite => "direct-paint-write",
             Rule::WalVariantRoundtrip => "wal-variant-roundtrip",
             Rule::UpdatePayloadClone => "update-payload-clone",
+            Rule::RawLockUnaudited => "raw-lock-unaudited",
         };
         f.write_str(s)
     }
@@ -86,9 +96,14 @@ impl fmt::Display for LintFinding {
 /// One source line after stripping: executable code with string/char
 /// literal *contents* blanked, plus whether any comment touched the line.
 #[derive(Debug, Clone)]
-struct CodeLine {
-    code: String,
-    has_comment: bool,
+pub(crate) struct CodeLine {
+    pub(crate) code: String,
+    pub(crate) has_comment: bool,
+}
+
+/// The stripped line model, shared with the lock-manifest lint.
+pub(crate) fn strip_source(source: &str) -> Vec<CodeLine> {
+    strip(source)
 }
 
 /// Strip comments and literal contents, preserving line structure.
@@ -302,6 +317,10 @@ pub fn lint_file(path: &str, source: &str) -> Vec<LintFinding> {
         && Path::new(path)
             .file_name()
             .is_none_or(|f| f != "integrator.rs");
+    // Rule 6 scope: the crates whose locks are wired into the lockdep
+    // audit (threaded runtime, read path, shared warehouse).
+    let in_lock_scope =
+        in_threaded || path.contains("readpath/src/") || path.contains("warehouse/src/");
     // Raw (unstripped) lines, for the `seal:` justification lookback —
     // the marker lives inside comments, which `strip` blanks out.
     let raw: Vec<&str> = source.lines().collect();
@@ -360,6 +379,43 @@ pub fn lint_file(path: &str, source: &str) -> Vec<LintFinding> {
                              justification comment within the six preceding lines"
                         ),
                     ));
+                }
+            }
+        }
+
+        // Rule 6: raw lock constructions in lock-audited crates. The
+        // preceding-character check keeps `AuditedMutex::new(` (which
+        // contains `Mutex::new(` as a substring) from matching itself.
+        if in_lock_scope {
+            for pat in ["Mutex::new(", "RwLock::new("] {
+                let mut rest = code;
+                let mut off = 0;
+                while let Some(p) = rest.find(pat) {
+                    let before = &code[..off + p];
+                    let wrapped = before
+                        .chars()
+                        .next_back()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+                    if !wrapped {
+                        let lo = idx.saturating_sub(3);
+                        let sealed = raw[lo..=idx.min(raw.len().saturating_sub(1))]
+                            .iter()
+                            .any(|l| l.contains("seal:"));
+                        if !sealed {
+                            findings.push(finding(
+                                idx,
+                                Rule::RawLockUnaudited,
+                                format!(
+                                    "raw `{}...)` is invisible to the lockdep audit; use the \
+                                     audited wrapper from `mvc_core::lock` or add a `seal:` \
+                                     justification within the three preceding lines",
+                                    pat
+                                ),
+                            ));
+                        }
+                    }
+                    off += p + pat.len();
+                    rest = &code[off..];
                 }
             }
         }
@@ -633,6 +689,36 @@ mod tests {
         // The integrator and non-pipeline crates are out of scope.
         assert!(lint_file("crates/whips/src/integrator.rs", bad).is_empty());
         assert!(lint_file("crates/viewmgr/src/strobe.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn rule_raw_lock_unaudited_fires_and_clears() {
+        let bad = "let m = Mutex::new(0);\nlet w = parking_lot::RwLock::new(v);\n";
+        let hits = lint_file("crates/whips/src/threaded.rs", bad);
+        let lock_hits: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == Rule::RawLockUnaudited)
+            .collect();
+        assert_eq!(lock_hits.len(), 2, "{hits:?}");
+        assert!(lock_hits[0].message.contains("lockdep"));
+
+        // The audited wrappers never match themselves.
+        let ok = "let m = AuditedMutex::new(\"whips.x\", 0);\nlet w = AuditedRwLock::new(\"whips.y\", v);\n";
+        assert!(lint_file("crates/readpath/src/lib.rs", ok)
+            .iter()
+            .all(|f| f.rule != Rule::RawLockUnaudited));
+
+        // A seal: justification within three lines exempts a site.
+        let sealed =
+            "// seal: fixture lock, deliberately outside the audit\nlet m = Mutex::new(0);\n";
+        assert!(lint_file("crates/warehouse/src/shared.rs", sealed)
+            .iter()
+            .all(|f| f.rule != Rule::RawLockUnaudited));
+
+        // Out-of-scope crates may construct raw locks freely.
+        assert!(lint_file("crates/core/src/lock.rs", bad)
+            .iter()
+            .all(|f| f.rule != Rule::RawLockUnaudited));
     }
 
     #[test]

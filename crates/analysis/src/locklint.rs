@@ -1,0 +1,521 @@
+//! Static lock-order lint against a declared manifest.
+//!
+//! The runtime lockdep graph ([`mvc_core::lock`]) only sees the
+//! acquisition orders a particular run happens to execute. This pass is
+//! its static complement: the repo declares every audited lock and one
+//! global acquisition order in `analysis/locks.toml`, and the lint
+//! checks the pipeline crates' source against it:
+//!
+//! * **undeclared-lock** — an `AuditedMutex::new("…")` /
+//!   `AuditedRwLock::new("…")` construction whose name is missing from
+//!   the manifest's `[order]` list. Every audited lock must be declared
+//!   so its ordering constraints are reviewable in one place.
+//! * **stale-manifest** — a manifest entry no scanned file constructs.
+//!   Dead declarations rot: the next reader trusts an order constraint
+//!   that no code enforces.
+//! * **unknown-receiver** — a `.lock()` / `.read()` / `.write()`
+//!   acquisition through a receiver the manifest's per-crate `[vars.*]`
+//!   table does not map to a lock name. An unmapped acquisition is one
+//!   the order check silently skips, so it must be either mapped or
+//!   `seal:`-justified.
+//! * **order-inversion** — a statically visible nested acquisition
+//!   (guard held via a `let` binding, or two acquisitions on one line,
+//!   which in Rust nest left-to-right through temporary guard
+//!   lifetimes) that contradicts the declared order.
+//!
+//! Matching runs on the same comment/string-stripped line model as
+//! [`crate::lint`]. Acquisition patterns require *empty* parens —
+//! `w.read(&changed)` is a warehouse snapshot read, not a lock — and
+//! only the production region of each file is scanned (everything
+//! before `#[cfg(test)]`); test fixtures lock whatever they like.
+//! Cross-function nesting (a callee taking its own lock) is invisible
+//! here by design — that is exactly what the runtime lockdep graph
+//! covers.
+
+use crate::lint::strip_source;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Which manifest check fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockRule {
+    UndeclaredLock,
+    StaleManifest,
+    UnknownReceiver,
+    OrderInversion,
+}
+
+impl fmt::Display for LockRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            LockRule::UndeclaredLock => "undeclared-lock",
+            LockRule::StaleManifest => "stale-manifest",
+            LockRule::UnknownReceiver => "unknown-receiver",
+            LockRule::OrderInversion => "order-inversion",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One manifest-check hit, anchored to a file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct LockLintFinding {
+    pub file: String,
+    pub line: usize,
+    pub rule: LockRule,
+    pub message: String,
+}
+
+impl fmt::Display for LockLintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Parsed `analysis/locks.toml`: the global acquisition order plus the
+/// per-crate receiver→lock maps the static scanner needs (it sees
+/// `warehouse.lock()`, not the lock's registered name).
+#[derive(Debug, Clone, Default)]
+pub struct LockManifest {
+    /// Lock names in declared acquisition order (earlier acquired first).
+    pub order: Vec<String>,
+    /// `crate key → (receiver identifier → lock name)`.
+    pub vars: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+impl LockManifest {
+    /// Hand-rolled parser for the TOML subset the manifest uses:
+    /// `[section]` headers, `key = "value"` pairs, one `locks = [...]`
+    /// string array (single- or multi-line), `#` comments. No external
+    /// TOML dependency.
+    pub fn parse(text: &str) -> Result<LockManifest, String> {
+        let mut m = LockManifest::default();
+        let mut section = String::new();
+        let mut in_locks_array = false;
+        for (n, raw) in text.lines().enumerate() {
+            let line = match raw.find('#') {
+                // `#` never appears inside the manifest's quoted strings.
+                Some(p) => &raw[..p],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            if in_locks_array {
+                m.order.extend(quoted_strings(line));
+                if line.contains(']') {
+                    in_locks_array = false;
+                }
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                section = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| format!("line {}: unterminated section header", n + 1))?
+                    .to_string();
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", n + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            if section == "order" && key == "locks" {
+                m.order.extend(quoted_strings(value));
+                in_locks_array = value.contains('[') && !value.contains(']');
+            } else if let Some(krate) = section.strip_prefix("vars.") {
+                let name = quoted_strings(value)
+                    .pop()
+                    .ok_or_else(|| format!("line {}: expected a quoted lock name", n + 1))?;
+                m.vars
+                    .entry(krate.to_string())
+                    .or_default()
+                    .insert(key.to_string(), name);
+            } else {
+                return Err(format!("line {}: unexpected entry in [{section}]", n + 1));
+            }
+        }
+        if m.order.is_empty() {
+            return Err("manifest declares no [order] locks".into());
+        }
+        let dup: BTreeSet<_> = m.order.iter().collect();
+        if dup.len() != m.order.len() {
+            return Err("duplicate lock name in [order]".into());
+        }
+        for names in m.vars.values() {
+            for v in names.values() {
+                if !m.order.contains(v) {
+                    return Err(format!("[vars] maps to undeclared lock `{v}`"));
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    fn rank(&self, name: &str) -> Option<usize> {
+        self.order.iter().position(|n| n == name)
+    }
+}
+
+/// The string contents of every `"…"` on one line.
+fn quoted_strings(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find('"') {
+        let Some(len) = rest[start + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[start + 1..start + 1 + len].to_string());
+        rest = &rest[start + len + 2..];
+    }
+    out
+}
+
+/// Which `[vars.*]` table applies to a repo-relative path.
+fn crate_key(path: &str) -> Option<&'static str> {
+    for key in ["whips", "readpath", "warehouse"] {
+        if path.contains(&format!("{key}/src/")) {
+            return Some(key);
+        }
+    }
+    None
+}
+
+/// Lock names constructed on this raw line (or the next — rustfmt may
+/// wrap the name onto its own line). The *stripped* line located the
+/// construction; the name must come from the raw source because `strip`
+/// blanks string contents.
+fn construction_names(raw: &[&str], idx: usize) -> Vec<String> {
+    for probe in [idx, idx + 1] {
+        if let Some(line) = raw.get(probe) {
+            let names = quoted_strings(line);
+            if !names.is_empty() {
+                return names;
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// The receiver identifiers acquiring a lock on this stripped line, in
+/// textual order. Only empty-paren `.lock()` / `.read()` / `.write()`
+/// count as acquisitions.
+fn acquisitions(code: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for pat in [".lock()", ".read()", ".write()"] {
+        let mut rest = code;
+        let mut off = 0;
+        while let Some(p) = rest.find(pat) {
+            let abs = off + p;
+            let before = &code[..abs];
+            let ident_start = before
+                .rfind(|c: char| !c.is_alphanumeric() && c != '_')
+                .map_or(0, |q| q + 1);
+            let ident = &before[ident_start..];
+            if !ident.is_empty() && !ident.chars().next().unwrap().is_ascii_digit() {
+                out.push((abs, ident.to_string()));
+            }
+            off = abs + pat.len();
+            rest = &code[off..];
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lint one file's source against the manifest. `path` is the
+/// repo-relative path; `constructed` collects every lock name this file
+/// constructs (for the cross-file stale-manifest check).
+pub fn lock_lint_file(
+    path: &str,
+    source: &str,
+    manifest: &LockManifest,
+    constructed: &mut BTreeSet<String>,
+) -> Vec<LockLintFinding> {
+    let mut findings = Vec::new();
+    let Some(krate) = crate_key(path) else {
+        return findings;
+    };
+    // Production region only: test fixtures lock whatever they like.
+    let prod = match source.find("#[cfg(test)]") {
+        Some(p) => &source[..p],
+        None => source,
+    };
+    let lines = strip_source(prod);
+    let raw: Vec<&str> = prod.lines().collect();
+    let vars = manifest.vars.get(krate);
+    let finding = |line: usize, rule: LockRule, message: String| LockLintFinding {
+        file: path.to_string(),
+        line: line + 1,
+        rule,
+        message,
+    };
+    let sealed = |idx: usize| {
+        let lo = idx.saturating_sub(3);
+        raw[lo..=idx.min(raw.len().saturating_sub(1))]
+            .iter()
+            .any(|l| l.contains("seal:"))
+    };
+
+    // Let-bound guards currently in scope: (brace depth, lock name).
+    let mut held: Vec<(i64, String)> = Vec::new();
+    let mut depth: i64 = 0;
+
+    for (idx, l) in lines.iter().enumerate() {
+        let code = l.code.as_str();
+
+        // Audited constructions: names must be declared.
+        for pat in ["AuditedMutex::new(", "AuditedRwLock::new("] {
+            if code.contains(pat) {
+                for name in construction_names(&raw, idx) {
+                    constructed.insert(name.clone());
+                    if manifest.rank(&name).is_none() {
+                        findings.push(finding(
+                            idx,
+                            LockRule::UndeclaredLock,
+                            format!(
+                                "lock `{name}` is constructed here but not declared in \
+                                 analysis/locks.toml [order]"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Acquisitions: map receivers, record same-line nesting and
+        // nesting under live let-bound guards, check the declared order.
+        let acqs = acquisitions(code);
+        let mut line_locks: Vec<String> = Vec::new();
+        for (_, recv) in &acqs {
+            let Some(name) = vars.and_then(|v| v.get(recv)) else {
+                if !sealed(idx) {
+                    findings.push(finding(
+                        idx,
+                        LockRule::UnknownReceiver,
+                        format!(
+                            "acquisition through `{recv}` is not mapped in \
+                             analysis/locks.toml [vars.{krate}]; map it or add a `seal:` \
+                             justification within the three preceding lines"
+                        ),
+                    ));
+                }
+                continue;
+            };
+            let outer = held
+                .iter()
+                .map(|(_, n)| n)
+                .chain(line_locks.iter())
+                .cloned()
+                .collect::<Vec<_>>();
+            for held_name in outer {
+                if held_name == *name {
+                    continue;
+                }
+                if let (Some(h), Some(a)) = (manifest.rank(&held_name), manifest.rank(name)) {
+                    if a < h {
+                        findings.push(finding(
+                            idx,
+                            LockRule::OrderInversion,
+                            format!(
+                                "acquires `{name}` while holding `{held_name}`, but the \
+                                 manifest orders `{name}` before `{held_name}`"
+                            ),
+                        ));
+                    }
+                }
+            }
+            line_locks.push(name.clone());
+        }
+
+        // A `let`-bound guard stays held until its block closes.
+        if code.trim_start().starts_with("let ") {
+            if let Some(name) = line_locks.first() {
+                held.push((depth, name.clone()));
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    held.retain(|(d, _)| *d <= depth);
+                }
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+/// Walk the lock-audited crates under `root` and lint every production
+/// `.rs` file against the manifest, including the cross-file
+/// stale-manifest check.
+pub fn lock_lint_tree(root: &Path, manifest: &LockManifest) -> io::Result<Vec<LockLintFinding>> {
+    let mut findings = Vec::new();
+    let mut constructed = BTreeSet::new();
+    for dir in [
+        "crates/whips/src",
+        "crates/readpath/src",
+        "crates/warehouse/src",
+    ] {
+        let dir_path = root.join(dir);
+        if !dir_path.is_dir() {
+            continue;
+        }
+        let mut files: Vec<_> = fs::read_dir(&dir_path)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+            .collect();
+        files.sort();
+        for f in files {
+            let source = fs::read_to_string(&f)?;
+            let rel = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            findings.extend(lock_lint_file(&rel, &source, manifest, &mut constructed));
+        }
+    }
+    for name in &manifest.order {
+        if !constructed.contains(name) {
+            findings.push(LockLintFinding {
+                file: "analysis/locks.toml".into(),
+                line: 0,
+                rule: LockRule::StaleManifest,
+                message: format!(
+                    "declared lock `{name}` is never constructed in the scanned crates"
+                ),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> LockManifest {
+        LockManifest::parse(
+            r#"
+# test manifest
+[order]
+locks = [
+    "whips.cluster",   # outermost
+    "whips.warehouse",
+    "whips.commit_log",
+]
+
+[vars.whips]
+cluster = "whips.cluster"
+warehouse = "whips.warehouse"
+commit_log = "whips.commit_log"
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn manifest_parses_order_and_vars() {
+        let m = manifest();
+        assert_eq!(
+            m.order,
+            vec!["whips.cluster", "whips.warehouse", "whips.commit_log"]
+        );
+        assert_eq!(m.vars["whips"]["warehouse"], "whips.warehouse");
+        assert!(LockManifest::parse("[order]\nlocks = []\n").is_err());
+        assert!(
+            LockManifest::parse("[order]\nlocks = [\"a\"]\n[vars.x]\ny = \"zzz\"\n").is_err(),
+            "vars must map to declared locks"
+        );
+    }
+
+    #[test]
+    fn undeclared_construction_is_flagged_and_declared_is_not() {
+        let m = manifest();
+        let mut built = BTreeSet::new();
+        let src = "let a = AuditedMutex::new(\"whips.cluster\", 0);\nlet b = AuditedMutex::new(\n    \"whips.rogue\",\n    1,\n);\n";
+        let hits = lock_lint_file("crates/whips/src/threaded.rs", src, &m, &mut built);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, LockRule::UndeclaredLock);
+        assert!(hits[0].message.contains("whips.rogue"));
+        assert!(built.contains("whips.cluster"));
+    }
+
+    #[test]
+    fn order_inversion_through_let_guard_is_flagged() {
+        let m = manifest();
+        let mut built = BTreeSet::new();
+        // Held commit_log, then acquires warehouse: inverted.
+        let bad = "fn f() {\n    let log = commit_log.lock();\n    let w = warehouse.lock();\n}\n";
+        let hits = lock_lint_file("crates/whips/src/threaded.rs", bad, &m, &mut built);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, LockRule::OrderInversion);
+        assert_eq!(hits[0].line, 3);
+        assert!(hits[0].message.contains("whips.warehouse"));
+        assert!(hits[0].message.contains("whips.commit_log"));
+
+        // The declared order is clean, and a guard released by its
+        // closing brace no longer constrains later acquisitions.
+        let ok = "fn f() {\n    {\n        let w = warehouse.lock();\n        commit_log.lock().push(1);\n    }\n    let log = commit_log.lock();\n}\nfn g() {\n    let w = warehouse.lock();\n}\n";
+        assert!(lock_lint_file("crates/whips/src/threaded.rs", ok, &m, &mut built).is_empty());
+    }
+
+    #[test]
+    fn same_line_nesting_counts_as_an_edge() {
+        let m = manifest();
+        let mut built = BTreeSet::new();
+        // Temporary guards on one line nest left-to-right: inverted here.
+        let bad = "let q = commit_log.lock().len() == 0 && warehouse.lock().len() == 0;\n";
+        let hits = lock_lint_file("crates/whips/src/sim.rs", bad, &m, &mut built);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, LockRule::OrderInversion);
+        let ok = "let q = warehouse.lock().len() == 0 && commit_log.lock().len() == 0;\n";
+        assert!(lock_lint_file("crates/whips/src/sim.rs", ok, &m, &mut built).is_empty());
+    }
+
+    #[test]
+    fn unknown_receiver_needs_mapping_or_seal() {
+        let m = manifest();
+        let mut built = BTreeSet::new();
+        let bad = "let g = mystery.lock();\n";
+        let hits = lock_lint_file("crates/whips/src/threaded.rs", bad, &m, &mut built);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, LockRule::UnknownReceiver);
+        assert!(hits[0].message.contains("vars.whips"));
+
+        let sealed = "// seal: fixture lock outside the audit\nlet g = mystery.lock();\n";
+        assert!(lock_lint_file("crates/whips/src/threaded.rs", sealed, &m, &mut built).is_empty());
+
+        // Non-empty parens are data reads, not acquisitions.
+        let data = "let rows = w.read(&changed);\n";
+        assert!(lock_lint_file("crates/whips/src/threaded.rs", data, &m, &mut built).is_empty());
+    }
+
+    #[test]
+    fn test_region_and_foreign_paths_are_skipped() {
+        let m = manifest();
+        let mut built = BTreeSet::new();
+        let src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let g = mystery.lock(); }\n}\n";
+        assert!(lock_lint_file("crates/whips/src/threaded.rs", src, &m, &mut built).is_empty());
+        assert!(lock_lint_file(
+            "crates/core/src/lock.rs",
+            "let g = mystery.lock();",
+            &m,
+            &mut built
+        )
+        .is_empty());
+    }
+}

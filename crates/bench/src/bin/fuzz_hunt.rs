@@ -357,6 +357,70 @@ fn readers(
     Ok(())
 }
 
+/// Threaded lock-stress property: a real reader fleet races writers and
+/// cut GC through the channel pipeline. The run must certify (report
+/// oracle plus every observed cut), and the audit surfaces must stay
+/// clean: zero lockdep cycles and zero read-path happens-before
+/// violations. Both vectors are trivially empty unless this binary is
+/// built with `--features "lock-audit hb-audit"`, so the family doubles
+/// as plain thread stress in default builds.
+fn lock_stress(
+    seed: u64,
+    updates: usize,
+    deletes: u8,
+    sessions: usize,
+    kind: ManagerKind,
+    policy: CommitPolicy,
+) -> Result<(), String> {
+    use mvc_whips::{ThreadedBuilder, ThreadedConfig};
+    let spec = WorkloadSpec {
+        seed,
+        relations: 3,
+        updates,
+        key_domain: 5,
+        delete_percent: deletes,
+        multi_percent: 10,
+    };
+    let w = generate(&spec);
+    let config = ThreadedConfig {
+        readers: sessions,
+        commit_policy: policy,
+        ..ThreadedConfig::default()
+    };
+    let b = ThreadedBuilder::new(config);
+    let b = install_relations(b, 3);
+    let (b, _) = install_views(b, ViewSuite::OverlappingChain { count: 2 }, kind);
+    let (report, wall) = b
+        .workload(w.txns)
+        .run()
+        .map_err(|e| format!("threaded run: {e}"))?;
+    let oracle = Oracle::new(&report).map_err(|e| format!("oracle: {e:?}"))?;
+    for (g, level, verdict) in oracle.check_report() {
+        if !verdict.is_satisfied() {
+            return Err(format!("group {g} failed {level}: {verdict}"));
+        }
+    }
+    oracle
+        .check_reads()
+        .map_err(|v| format!("uncertified cut: {v}"))?;
+    if !wall.lock_cycles.is_empty() {
+        return Err(format!(
+            "{} lock-order cycle(s): {}",
+            wall.lock_cycles.len(),
+            wall.lock_cycles[0]
+        ));
+    }
+    let read_path = wall
+        .hb_violations
+        .iter()
+        .filter(|v| v.is_read_path())
+        .count();
+    if read_path > 0 {
+        return Err(format!("{read_path} read-path hb violation(s)"));
+    }
+    Ok(())
+}
+
 fn main() {
     // Optional first arg: number of cases (default 200k full sweep).
     let cases: u64 = std::env::args()
@@ -368,7 +432,7 @@ fn main() {
         let mut rng = Lcg(case.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
         let seed = rng.range(0, 10_000);
         let sched = rng.range(0, 10_000);
-        let family = case % 13;
+        let family = case % 14;
         let res = match family {
             // spa_complete / pa_strobe / eca / selfmaint (5-param shape)
             0..=3 => {
@@ -483,6 +547,23 @@ fn main() {
                     seed, sched, updates, deletes, weight, sessions, kind, policy,
                 )
                 .map_err(|e| format!("readers {e}"))
+            }
+            12 => {
+                // Threaded reader/writer/GC lock stress: real threads,
+                // audited locks, stamped reads; zero lockdep cycles and
+                // zero read-path hb violations when the audit features
+                // are compiled in.
+                let updates = rng.range(10, 40) as usize;
+                let deletes = rng.range(0, 50) as u8;
+                let sessions = rng.range(2, 5) as usize;
+                let kind = [ManagerKind::Complete, ManagerKind::Strobe][rng.range(0, 2) as usize];
+                let policy = if rng.next().is_multiple_of(2) {
+                    CommitPolicy::Sequential
+                } else {
+                    CommitPolicy::DependencyAware
+                };
+                lock_stress(seed, updates, deletes, sessions, kind, policy)
+                    .map_err(|e| format!("lock_stress {e}"))
             }
             _ => {
                 let updates = rng.range(10, 40) as usize;

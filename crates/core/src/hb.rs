@@ -99,6 +99,33 @@ pub enum HbViolation {
         view: ViewId,
         update: UpdateId,
     },
+    /// A certified read observed a cut at `watermark` without the commit
+    /// that published that watermark in its causal past: the watermark
+    /// escaped to the reader before (or concurrently with) its commit
+    /// stamp — a torn publication.
+    StaleRead { session: u64, watermark: u64 },
+    /// A version below the GC floor was pruned by a collector whose
+    /// clock did not dominate every read of that version: the read was
+    /// not happens-before the GC, so the pin protocol has a hole.
+    ReadAfterGc {
+        watermark: u64,
+        /// How many reads of the pruned version had been recorded.
+        reads: u64,
+    },
+}
+
+impl HbViolation {
+    /// True for the MVCC read-path checks ([`HbViolation::StaleRead`],
+    /// [`HbViolation::ReadAfterGc`]); false for the commit/paint checks.
+    /// Read-path violations are protocol bugs under *every* commit
+    /// policy, whereas `CommitOrderInversion` is an expected diagnostic
+    /// under deliberately weak policies.
+    pub fn is_read_path(&self) -> bool {
+        matches!(
+            self,
+            HbViolation::StaleRead { .. } | HbViolation::ReadAfterGc { .. }
+        )
+    }
 }
 
 impl fmt::Display for HbViolation {
@@ -126,6 +153,16 @@ impl fmt::Display for HbViolation {
                 f,
                 "unordered paint of VUT cell ({update}, {view}) in group {group}"
             ),
+            HbViolation::StaleRead { session, watermark } => write!(
+                f,
+                "stale read: session {session} observed watermark {watermark} without the \
+                 publishing commit in its causal past"
+            ),
+            HbViolation::ReadAfterGc { watermark, reads } => write!(
+                f,
+                "read-after-gc: watermark {watermark} pruned without {reads} recorded read(s) \
+                 in the collector's causal past"
+            ),
         }
     }
 }
@@ -139,6 +176,11 @@ pub struct HbState {
     commit_serial: u64,
     last_commit: BTreeMap<usize, (TxnSeq, VectorClock)>,
     last_paint: BTreeMap<(usize, ViewId, UpdateId), VectorClock>,
+    /// Clock of the cut publication per watermark (read-path check).
+    publishes: BTreeMap<u64, VectorClock>,
+    /// Per watermark: how many certified reads observed it, and the join
+    /// of their clocks — what any GC of that version must dominate.
+    read_joins: BTreeMap<u64, (u64, VectorClock)>,
     violations: Vec<HbViolation>,
 }
 
@@ -188,6 +230,51 @@ impl HbState {
             }
         }
         self.last_paint.insert(key, stamp.clone());
+    }
+
+    /// Record the publication of the multi-view cut at `watermark`,
+    /// stamped with the publishing commit's clock (the return value of
+    /// [`HbState::on_commit`]). Publication happens under the commit
+    /// lock, so the stamp is exactly the causal past a reader must carry
+    /// to legitimately observe this watermark.
+    pub fn on_publish(&mut self, watermark: u64, stamp: &VectorClock) {
+        self.publishes.insert(watermark, stamp.clone());
+    }
+
+    /// Record a certified read by `session` of the cut at `watermark`,
+    /// with the reader's clock *after* joining the publish stamp it
+    /// obtained through the version store. The read must be
+    /// happens-after the commit that produced its watermark.
+    pub fn on_read(&mut self, session: u64, watermark: u64, clock: &VectorClock) {
+        if let Some(publish) = self.publishes.get(&watermark) {
+            if !clock.dominates(publish) {
+                self.violations
+                    .push(HbViolation::StaleRead { session, watermark });
+            }
+        }
+        let entry = self
+            .read_joins
+            .entry(watermark)
+            .or_insert_with(|| (0, VectorClock::new()));
+        entry.0 += 1;
+        entry.1.join(clock);
+    }
+
+    /// Record that every version strictly below `floor` was pruned by a
+    /// collector whose clock is `clock` (the pruning commit's clock
+    /// joined with the GC license — the pin stamps that allowed the
+    /// floor to advance). Every recorded read of a pruned version must
+    /// be in that clock's causal past. Tracked state below the floor is
+    /// dropped afterwards, so the audit's footprint follows retention.
+    pub fn on_gc_below(&mut self, floor: u64, clock: &VectorClock) {
+        let keep = self.read_joins.split_off(&floor);
+        for (watermark, (reads, join)) in std::mem::replace(&mut self.read_joins, keep) {
+            if !clock.dominates(&join) {
+                self.violations
+                    .push(HbViolation::ReadAfterGc { watermark, reads });
+            }
+        }
+        self.publishes = self.publishes.split_off(&floor);
     }
 
     pub fn violations(&self) -> &[HbViolation] {
@@ -279,6 +366,100 @@ mod tests {
         // Distinct groups never conflict.
         hb.on_commit(2, TxnSeq(1), &clock(&[(7, 1)]));
         assert_eq!(hb.violations().len(), 1);
+    }
+
+    #[test]
+    fn read_joining_publish_stamp_is_clean() {
+        let mut hb = HbState::new();
+        let ack = hb.on_commit(0, TxnSeq(1), &clock(&[(5, 1)]));
+        hb.on_publish(1, &ack);
+        // The reader resolved the cut through the version store and
+        // joined the publish stamp it found there.
+        let mut r = clock(&[(2000, 3)]);
+        r.join(&ack);
+        hb.on_read(7, 1, &r);
+        assert!(hb.violations().is_empty());
+    }
+
+    /// The negative test the issue demands: a synthetically stale cut —
+    /// the watermark reaches a reader without the publishing commit's
+    /// stamp in the reader's past — trips the read-path check.
+    #[test]
+    fn stale_cut_trips_read_path_check() {
+        let mut hb = HbState::new();
+        let ack = hb.on_commit(0, TxnSeq(1), &clock(&[(5, 1)]));
+        hb.on_publish(1, &ack);
+        // Reader clock concurrent with the publish stamp: watermark 1
+        // escaped before its commit stamp.
+        hb.on_read(9, 1, &clock(&[(2000, 4)]));
+        assert_eq!(hb.violations().len(), 1);
+        match &hb.violations()[0] {
+            HbViolation::StaleRead { session, watermark } => {
+                assert_eq!((*session, *watermark), (9, 1));
+            }
+            other => panic!("wrong violation: {other}"),
+        }
+        assert!(hb.violations()[0].is_read_path());
+        let msg = hb.violations()[0].to_string();
+        assert!(
+            msg.contains("session 9") && msg.contains("watermark 1"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn gc_dominating_all_reads_is_clean_and_prunes_state() {
+        let mut hb = HbState::new();
+        let a1 = hb.on_commit(0, TxnSeq(1), &clock(&[(5, 1)]));
+        hb.on_publish(1, &a1);
+        let mut r = clock(&[(2000, 1)]);
+        r.join(&a1);
+        hb.on_read(1, 1, &r);
+        // The collector's clock includes the reader's pin stamp (the GC
+        // license) plus the pruning commit's own clock.
+        let mut gc = hb.on_commit(0, TxnSeq(2), &{
+            let mut s = a1.clone();
+            s.tick(5);
+            s
+        });
+        gc.join(&r);
+        hb.on_publish(2, &gc);
+        hb.on_gc_below(2, &gc);
+        assert!(hb.violations().is_empty());
+        // Pruned watermark is forgotten: a later read of it is unchecked.
+        hb.on_read(2, 1, &clock(&[(2001, 1)]));
+        assert!(hb.violations().is_empty());
+    }
+
+    #[test]
+    fn gc_without_read_in_past_detected() {
+        let mut hb = HbState::new();
+        let a1 = hb.on_commit(0, TxnSeq(1), &clock(&[(5, 1)]));
+        hb.on_publish(1, &a1);
+        let mut r = clock(&[(2000, 1)]);
+        r.join(&a1);
+        hb.on_read(1, 1, &r);
+        hb.on_read(1, 1, &{
+            let mut r2 = r.clone();
+            r2.tick(2000);
+            r2
+        });
+        // Collector advances the floor without the reader's clock — no
+        // license joined in: both reads of watermark 1 are unprotected.
+        let gc = hb.on_commit(0, TxnSeq(2), &{
+            let mut s = a1.clone();
+            s.tick(5);
+            s
+        });
+        hb.on_gc_below(2, &gc);
+        assert_eq!(hb.violations().len(), 1);
+        match &hb.violations()[0] {
+            HbViolation::ReadAfterGc { watermark, reads } => {
+                assert_eq!((*watermark, *reads), (1, 2));
+            }
+            other => panic!("wrong violation: {other}"),
+        }
+        assert!(hb.violations()[0].is_read_path());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod consistency;
 pub mod error;
 pub mod hb;
 pub mod ids;
+pub mod lock;
 pub mod merge;
 pub mod pa;
 pub mod partition;
@@ -44,6 +45,7 @@ pub use consistency::{ConsistencyLevel, MergeAlgorithm};
 pub use error::MergeError;
 pub use hb::{HbState, HbViolation, VectorClock};
 pub use ids::{TxnSeq, UpdateId, ViewId};
+pub use lock::{AcquisitionChain, AuditedMutex, AuditedRwLock, LockCycle, LockId};
 pub use merge::{MergeProcess, MergeStats};
 pub use pa::{Pa, PaStats};
 pub use partition::Partitioning;

@@ -34,10 +34,11 @@
 
 #![forbid(unsafe_code)]
 
+use mvc_core::hb::VectorClock;
+use mvc_core::lock::AuditedMutex;
 use mvc_core::ViewId;
 use mvc_relational::Relation;
 use mvc_warehouse::CommittedTxn;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -104,6 +105,35 @@ pub struct ReadOutcome {
     pub chain_len: u64,
     /// `head − floor` at read time: how much history GC is retaining.
     pub gc_lag: u64,
+    /// Clock of the newest stamped publication at or below the effective
+    /// watermark, handed to the reader through the store's mutex — the
+    /// happens-before edge that entitles it to observe this cut. `None`
+    /// when publishes are unstamped (audit off / sim runtime).
+    pub publish_stamp: Option<VectorClock>,
+    /// GC the read's own pin advance triggered, if any.
+    pub gc: Option<GcReceipt>,
+}
+
+/// Evidence of one GC floor advance, for the happens-before audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcReceipt {
+    /// The new floor; versions strictly below it were reclaimed.
+    pub floor: Watermark,
+    /// Chain entries reclaimed by this advance.
+    pub pruned: u64,
+    /// Join of every live session's pin stamp plus every departed
+    /// session's final stamp: the causal license under which pruning
+    /// below the floor is legitimate. `None` when no stamped reader
+    /// ever pinned the store.
+    pub license: Option<VectorClock>,
+}
+
+/// Evidence returned by [`VersionedCuts::publish_stamped`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishReceipt {
+    pub watermark: Watermark,
+    /// GC this publication triggered, if the floor advanced.
+    pub gc: Option<GcReceipt>,
 }
 
 /// Store-wide counters, sampled via [`VersionedCuts::stats`].
@@ -117,18 +147,32 @@ pub struct CutStats {
     pub reads: u64,
 }
 
+/// A live session's GC pin: its last-seen watermark plus the clock it
+/// carried on its last stamped read (what licenses pruning below it).
+struct Pin {
+    at: Watermark,
+    stamp: Option<Arc<VectorClock>>,
+}
+
 struct Inner {
     /// Per view: version chain sorted by ascending watermark. The entry
     /// at the chain head is the *base* — the newest version at or below
     /// the GC floor — and is never pruned.
     chains: BTreeMap<ViewId, Vec<(Watermark, Arc<Relation>)>>,
+    /// Clock of each stamped publication, by watermark. Pruned with the
+    /// chains (the newest entry at or below the floor is kept, so every
+    /// retained cut still resolves to a stamp).
+    published: BTreeMap<Watermark, Arc<VectorClock>>,
     /// Newest published watermark.
     head: Watermark,
     /// GC floor: versions strictly below it (except each chain's base)
     /// are reclaimed. Advanced to the minimum session pin, monotone.
     floor: Watermark,
-    /// Live sessions: session → last-seen watermark (its pin).
-    pins: BTreeMap<SessionId, Watermark>,
+    /// Live sessions: session → pin.
+    pins: BTreeMap<SessionId, Pin>,
+    /// Join of the final stamps of dropped sessions: their reads must
+    /// stay licensed after the pin is gone.
+    departed: Option<VectorClock>,
     next_session: SessionId,
     stats: CutStats,
 }
@@ -137,21 +181,49 @@ impl Inner {
     /// Advance the floor to the slowest live session (or the head when no
     /// session is live) and prune every chain entry strictly below it,
     /// keeping the newest entry at or below the floor as the base.
-    fn gc(&mut self) {
-        let target = self.pins.values().copied().min().unwrap_or(self.head);
+    /// Returns a receipt when the floor actually advanced.
+    fn gc(&mut self) -> Option<GcReceipt> {
+        let target = self.pins.values().map(|p| p.at).min().unwrap_or(self.head);
         if target <= self.floor {
-            return;
+            return None;
         }
         self.floor = target;
+        let mut pruned = 0u64;
         for chain in self.chains.values_mut() {
             // Index of the newest entry at or below the floor: everything
             // before it is unreachable by any current or future read.
             let base = chain.partition_point(|(w, _)| *w <= self.floor);
             if base > 1 {
-                self.stats.pruned += (base - 1) as u64;
+                pruned += (base - 1) as u64;
                 chain.drain(..base - 1);
             }
         }
+        self.stats.pruned += pruned;
+        // Keep the newest stamp at or below the floor (the base cut's),
+        // drop everything older.
+        if let Some(base_w) = self
+            .published
+            .range(..=self.floor)
+            .next_back()
+            .map(|(w, _)| *w)
+        {
+            self.published = self.published.split_off(&base_w);
+        }
+        // The license: every clock whose advance allowed this floor move.
+        let mut license: Option<VectorClock> = None;
+        for stamp in self
+            .pins
+            .values()
+            .filter_map(|p| p.stamp.as_deref())
+            .chain(self.departed.as_ref())
+        {
+            license.get_or_insert_with(VectorClock::new).join(stamp);
+        }
+        Some(GcReceipt {
+            floor: self.floor,
+            pruned,
+            license,
+        })
     }
 
     /// Resolve one view at `w`: newest version at or below `w`.
@@ -171,7 +243,7 @@ impl Inner {
 /// store). Writers publish whole commits; [`ReadSession`]s read cuts.
 #[derive(Clone)]
 pub struct VersionedCuts {
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<AuditedMutex<Inner>>,
 }
 
 impl Default for VersionedCuts {
@@ -183,14 +255,19 @@ impl Default for VersionedCuts {
 impl VersionedCuts {
     pub fn new() -> Self {
         VersionedCuts {
-            inner: Arc::new(Mutex::new(Inner {
-                chains: BTreeMap::new(),
-                head: 0,
-                floor: 0,
-                pins: BTreeMap::new(),
-                next_session: 0,
-                stats: CutStats::default(),
-            })),
+            inner: Arc::new(AuditedMutex::new(
+                "readpath.cuts",
+                Inner {
+                    chains: BTreeMap::new(),
+                    published: BTreeMap::new(),
+                    head: 0,
+                    floor: 0,
+                    pins: BTreeMap::new(),
+                    departed: None,
+                    next_session: 0,
+                    stats: CutStats::default(),
+                },
+            )),
         }
     }
 
@@ -218,6 +295,23 @@ impl VersionedCuts {
     where
         I: IntoIterator<Item = (ViewId, Arc<Relation>)>,
     {
+        self.publish_stamped(watermark, changed, None);
+    }
+
+    /// [`VersionedCuts::publish`] carrying the publishing commit's vector
+    /// clock, for the happens-before audit: readers resolving this cut
+    /// receive the stamp back through the store's mutex, and the receipt
+    /// reports any GC the publication triggered together with its causal
+    /// license.
+    pub fn publish_stamped<I>(
+        &self,
+        watermark: Watermark,
+        changed: I,
+        stamp: Option<Arc<VectorClock>>,
+    ) -> PublishReceipt
+    where
+        I: IntoIterator<Item = (ViewId, Arc<Relation>)>,
+    {
         let mut inner = self.inner.lock();
         assert!(
             watermark > inner.head,
@@ -228,8 +322,12 @@ impl VersionedCuts {
         for (v, rel) in changed {
             inner.chains.entry(v).or_default().push((watermark, rel));
         }
+        if let Some(stamp) = stamp {
+            inner.published.insert(watermark, stamp);
+        }
         inner.stats.published += 1;
-        inner.gc();
+        let gc = inner.gc();
+        PublishReceipt { watermark, gc }
     }
 
     /// Open a reader session, pinned at the current floor (it may read
@@ -239,7 +337,13 @@ impl VersionedCuts {
         let id = inner.next_session;
         inner.next_session += 1;
         let pin = inner.floor;
-        inner.pins.insert(id, pin);
+        inner.pins.insert(
+            id,
+            Pin {
+                at: pin,
+                stamp: None,
+            },
+        );
         ReadSession {
             store: self.clone(),
             id,
@@ -296,6 +400,20 @@ impl ReadSession {
         watermark: Watermark,
         views: &[ViewId],
     ) -> Result<ReadOutcome, ReadError> {
+        self.read_at_stamped(watermark, views, None)
+    }
+
+    /// [`ReadSession::read_at`] carrying the reader's vector clock
+    /// (ticked just before the call), for the happens-before audit. The
+    /// stamp becomes the session's new pin stamp — the clock under which
+    /// pruning at or below this read is licensed — and the outcome hands
+    /// back the cut's publish stamp for the reader to join.
+    pub fn read_at_stamped(
+        &mut self,
+        watermark: Watermark,
+        views: &[ViewId],
+        stamp: Option<Arc<VectorClock>>,
+    ) -> Result<ReadOutcome, ReadError> {
         let mut inner = self.store.inner.lock();
         if watermark > inner.head {
             return Err(ReadError::Unpublished {
@@ -314,10 +432,21 @@ impl ReadSession {
         }
         let staleness = inner.head - effective;
         let gc_lag = inner.head - inner.floor;
+        let publish_stamp = inner
+            .published
+            .range(..=effective)
+            .next_back()
+            .map(|(_, s)| (**s).clone());
         self.last_seen = effective;
-        inner.pins.insert(self.id, effective);
+        inner.pins.insert(
+            self.id,
+            Pin {
+                at: effective,
+                stamp,
+            },
+        );
         inner.stats.reads += 1;
-        inner.gc();
+        let gc = inner.gc();
         self.reads += 1;
         Ok(ReadOutcome {
             observation: ReadObservation {
@@ -331,20 +460,39 @@ impl ReadSession {
             staleness,
             chain_len,
             gc_lag,
+            publish_stamp,
+            gc,
         })
     }
 
     /// Read the newest published cut.
     pub fn read_latest(&mut self, views: &[ViewId]) -> Result<ReadOutcome, ReadError> {
+        self.read_latest_stamped(views, None)
+    }
+
+    /// [`ReadSession::read_latest`], stamped like
+    /// [`ReadSession::read_at_stamped`].
+    pub fn read_latest_stamped(
+        &mut self,
+        views: &[ViewId],
+        stamp: Option<Arc<VectorClock>>,
+    ) -> Result<ReadOutcome, ReadError> {
         let head = self.store.inner.lock().head;
-        self.read_at(head, views)
+        self.read_at_stamped(head, views, stamp)
     }
 }
 
 impl Drop for ReadSession {
     fn drop(&mut self) {
         let mut inner = self.store.inner.lock();
-        inner.pins.remove(&self.id);
+        // Fold the session's final stamp into the departed join: its
+        // reads must stay licensed once the pin no longer exists.
+        if let Some(Pin { stamp: Some(s), .. }) = inner.pins.remove(&self.id) {
+            match &mut inner.departed {
+                Some(d) => d.join(&s),
+                None => inner.departed = Some((*s).clone()),
+            }
+        }
         inner.gc();
     }
 }
@@ -613,6 +761,71 @@ mod tests {
         drop(slow);
         assert_eq!(cuts.floor(), 4);
         assert_eq!(cuts.retained_versions(), 2);
+    }
+
+    #[test]
+    fn stamped_publish_travels_to_stamped_read() {
+        let mut w = wh();
+        let cuts = seeded(&w);
+        let mut s = cuts.open_session();
+        // Publish watermark 1 with a commit clock.
+        let mut commit_clock = VectorClock::new();
+        commit_clock.tick(42);
+        let rec = w.apply(&ins_txn(1, 1, (1, 2))).unwrap();
+        let views: Vec<ViewId> = rec.views.iter().copied().collect();
+        let wm = rec.commit_index;
+        let receipt =
+            cuts.publish_stamped(wm, w.read(&views), Some(Arc::new(commit_clock.clone())));
+        assert_eq!(receipt.watermark, 1);
+        assert!(receipt.gc.is_none(), "idle session pins the floor");
+        // A stamped read gets the publish stamp back through the mutex.
+        let mut reader_clock = VectorClock::new();
+        reader_clock.tick(2000);
+        let out = s
+            .read_latest_stamped(&[ViewId(1)], Some(Arc::new(reader_clock)))
+            .unwrap();
+        assert_eq!(out.publish_stamp.as_ref(), Some(&commit_clock));
+    }
+
+    #[test]
+    fn gc_receipt_carries_pin_license() {
+        let mut w = wh();
+        let cuts = seeded(&w);
+        let mut s = cuts.open_session();
+        for i in 1..=3 {
+            let rec = w.apply(&ins_txn(i, 1, (i as i64, 0))).unwrap();
+            let views: Vec<ViewId> = rec.views.iter().copied().collect();
+            let mut c = VectorClock::new();
+            c.tick(42);
+            cuts.publish_stamped(rec.commit_index, w.read(&views), Some(Arc::new(c)));
+        }
+        // The lagging session catches up: its own pin advance moves the
+        // floor, and the receipt rides on the read outcome, licensed by
+        // the stamp the reader just pinned.
+        let mut reader_clock = VectorClock::new();
+        reader_clock.tick(2000);
+        let out = s
+            .read_latest_stamped(&[ViewId(1)], Some(Arc::new(reader_clock.clone())))
+            .unwrap();
+        let gc = out.gc.expect("catch-up read advances the floor");
+        assert_eq!(gc.floor, 3);
+        assert!(gc.pruned >= 1);
+        let license = gc.license.expect("stamped pin licenses the prune");
+        assert!(license.dominates(&reader_clock));
+        // Dropped sessions keep licensing through the departed join: with
+        // no pins left, the next publish advances the floor to head.
+        drop(s);
+        let rec = w.apply(&ins_txn(4, 1, (4, 0))).unwrap();
+        let views: Vec<ViewId> = rec.views.iter().copied().collect();
+        let mut c = VectorClock::new();
+        c.tick(42);
+        let receipt = cuts.publish_stamped(rec.commit_index, w.read(&views), Some(Arc::new(c)));
+        let gc = receipt.gc.expect("no pins: floor advances to head");
+        assert_eq!(gc.floor, 4);
+        assert!(gc
+            .license
+            .expect("departed stamp retained")
+            .dominates(&reader_clock));
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! commit-order control is necessary).
 
 use crate::store::{CommittedTxn, StoreTxn, Warehouse, WarehouseError};
+use mvc_core::lock::AuditedRwLock;
 use mvc_core::{TxnSeq, ViewId};
 use mvc_relational::Relation;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -13,13 +13,13 @@ use std::sync::Arc;
 /// consistent snapshots under the same lock.
 #[derive(Debug, Clone)]
 pub struct SharedWarehouse {
-    inner: Arc<RwLock<Warehouse>>,
+    inner: Arc<AuditedRwLock<Warehouse>>,
 }
 
 impl SharedWarehouse {
     pub fn new(warehouse: Warehouse) -> Self {
         SharedWarehouse {
-            inner: Arc::new(RwLock::new(warehouse)),
+            inner: Arc::new(AuditedRwLock::new("warehouse.shared", warehouse)),
         }
     }
 

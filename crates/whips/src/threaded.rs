@@ -23,6 +23,7 @@ use crate::metrics::SimMetrics;
 use crate::obs::PipelineObs;
 use crate::registry::{ManagerKind, ViewRegistry};
 use crate::sim::{CommitLogEntry, SimError, SimReport};
+use mvc_core::lock::AuditedMutex;
 use mvc_core::{
     CommitPolicy, ConsistencyLevel, MergeAlgorithm, MergeProcess, TxnSeq, UpdateId, ViewId,
 };
@@ -33,7 +34,6 @@ use mvc_viewmgr::{
     answer_query, ActionListDelta, QueryAnswer, QueryRequest, QueryToken, VmEvent, VmOutput,
 };
 use mvc_warehouse::{StoreTxn, Warehouse};
-use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
@@ -91,6 +91,17 @@ pub struct ThreadedConfig {
     /// pipeline here — use `KillMode::Drop` faults, which model a machine
     /// that keeps computing while nothing more reaches the disk.
     pub durability: Option<DurabilityConfig>,
+    /// Thread-level fault injection, for tests of the shutdown paths.
+    pub fault: Option<ThreadFault>,
+}
+
+/// Deliberate thread-lifecycle faults. The runtime must survive every
+/// one of these with all threads joined and a typed error reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadFault {
+    /// Panic the first MVCC reader thread after it completes this many
+    /// reads (exercises the panic leg of the reader-fleet join path).
+    ReaderPanic { after_reads: u64 },
 }
 
 impl Default for ThreadedConfig {
@@ -114,6 +125,7 @@ impl Default for ThreadedConfig {
             reader_think_time: Duration::from_micros(50),
             depth_sample_interval: Duration::from_micros(500),
             durability: None,
+            fault: None,
         }
     }
 }
@@ -141,6 +153,13 @@ pub struct WallClock {
     /// policies legally commit independent transactions out of order,
     /// so entries under those policies are diagnostics, not bugs.
     pub hb_violations: Vec<mvc_core::HbViolation>,
+    /// Lock-order cycles found by the lockdep graph (`lock-audit`
+    /// feature), restricted to this runtime's lock namespaces. A cycle is
+    /// a *potential* deadlock — two acquisition chains that, interleaved
+    /// unluckily, would block forever — so any entry here is a bug even
+    /// when the run itself completed. Always empty when the feature is
+    /// off.
+    pub lock_cycles: Vec<mvc_core::LockCycle>,
 }
 
 /// Vector-clock happens-before auditing (`hb-audit` feature). Each
@@ -154,9 +173,10 @@ pub struct WallClock {
 #[cfg(feature = "hb-audit")]
 mod hb_rt {
     use mvc_core::hb::{HbState, HbViolation, VectorClock};
+    use mvc_core::lock::AuditedMutex;
     use mvc_core::snapshot::PaintEvent;
     use mvc_core::TxnSeq;
-    use parking_lot::Mutex;
+    use mvc_readpath::GcReceipt;
     use std::sync::Arc;
 
     /// Clock snapshot attached to a message.
@@ -177,13 +197,20 @@ mod hb_rt {
         }
     }
 
-    /// Shared checker handle.
+    /// Shared checker handle. The state lock participates in the
+    /// lock-order audit itself: `on_commit` runs under the warehouse
+    /// lock, so `whips.hb_state` must sit below `whips.warehouse` in the
+    /// declared order.
     #[derive(Clone)]
-    pub(super) struct HbAudit(Arc<Mutex<HbState>>);
+    pub(super) struct HbAudit {
+        state: Arc<AuditedMutex<HbState>>,
+    }
 
     impl HbAudit {
         pub(super) fn new() -> Self {
-            HbAudit(Arc::new(Mutex::new(HbState::new())))
+            HbAudit {
+                state: Arc::new(AuditedMutex::new("whips.hb_state", HbState::new())),
+            }
         }
 
         /// Local event + stamp for an outgoing message.
@@ -202,7 +229,7 @@ mod hb_rt {
         /// Serialized by the checker's own lock (the caller already holds
         /// the warehouse lock, so commit order and check order agree).
         pub(super) fn on_commit(&self, group: usize, seq: TxnSeq, stamp: &Stamp) -> Stamp {
-            self.0.lock().on_commit(group, seq, stamp)
+            self.state.lock().on_commit(group, seq, stamp)
         }
 
         /// Check paint transitions drained from a merge process against
@@ -211,14 +238,62 @@ mod hb_rt {
             if events.is_empty() {
                 return;
             }
-            let mut st = self.0.lock();
+            let mut st = self.state.lock();
             for e in events {
                 st.on_paint(group, e.view, e.update, &clock.vc);
             }
         }
 
+        /// Record a cut publication at `watermark`; the returned clone of
+        /// the committer's ack clock stamps the published cut, making
+        /// every later certified read at this watermark happen-after the
+        /// commit that produced it.
+        pub(super) fn on_publish(&self, watermark: u64, ack: &Stamp) -> Option<Arc<VectorClock>> {
+            self.state.lock().on_publish(watermark, ack);
+            Some(Arc::new(ack.clone()))
+        }
+
+        /// Tick a reader's clock and snapshot it: the stamp pins the
+        /// reader's session in the version store, licensing any GC that
+        /// prunes watermarks the reader is provably past.
+        pub(super) fn reader_stamp(&self, clock: &mut Clock) -> Option<Arc<VectorClock>> {
+            clock.vc.tick(clock.pid);
+            Some(Arc::new(clock.vc.clone()))
+        }
+
+        /// Certified read: join the cut's publish stamp into the reader's
+        /// clock (the mutex hand-off is the physical edge; this records
+        /// it), then check the read happens-after the publication.
+        /// Returns the reader's post-join clock for `on_gc`.
+        pub(super) fn on_read(
+            &self,
+            session: u64,
+            watermark: u64,
+            publish_stamp: &Option<VectorClock>,
+            clock: &mut Clock,
+        ) -> Stamp {
+            clock.vc.tick(clock.pid);
+            if let Some(ps) = publish_stamp {
+                clock.vc.join(ps);
+            }
+            self.state.lock().on_read(session, watermark, &clock.vc);
+            clock.vc.clone()
+        }
+
+        /// Check a GC floor advance: the store's license (join of every
+        /// live pin and departed-session stamp) plus the advancing
+        /// thread's own clock must dominate every read of every pruned
+        /// watermark — i.e. all such reads happen-before the reclamation.
+        pub(super) fn on_gc(&self, gc: &Option<GcReceipt>, clock: &Stamp) {
+            if let Some(r) = gc {
+                let mut license = r.license.clone().unwrap_or_else(VectorClock::new);
+                license.join(clock);
+                self.state.lock().on_gc_below(r.floor, &license);
+            }
+        }
+
         pub(super) fn take_violations(&self) -> Vec<HbViolation> {
-            self.0.lock().take_violations()
+            self.state.lock().take_violations()
         }
     }
 }
@@ -226,8 +301,11 @@ mod hb_rt {
 /// No-op twin of the audit wiring: zero-sized stamps, inlined-away calls.
 #[cfg(not(feature = "hb-audit"))]
 mod hb_rt {
+    use mvc_core::hb::VectorClock;
     use mvc_core::snapshot::PaintEvent;
     use mvc_core::{HbViolation, TxnSeq};
+    use mvc_readpath::GcReceipt;
+    use std::sync::Arc;
 
     /// Zero-sized stand-in (a struct, not `()`, so stamped sends don't
     /// trip clippy's `unit_arg` when the feature is off).
@@ -263,6 +341,26 @@ mod hb_rt {
         }
         #[inline]
         pub(super) fn on_paints(&self, _group: usize, _events: &[PaintEvent], _clock: &Clock) {}
+        #[inline]
+        pub(super) fn on_publish(&self, _watermark: u64, _ack: &Stamp) -> Option<Arc<VectorClock>> {
+            None
+        }
+        #[inline]
+        pub(super) fn reader_stamp(&self, _clock: &mut Clock) -> Option<Arc<VectorClock>> {
+            None
+        }
+        #[inline]
+        pub(super) fn on_read(
+            &self,
+            _session: u64,
+            _watermark: u64,
+            _publish_stamp: &Option<VectorClock>,
+            _clock: &mut Clock,
+        ) -> Stamp {
+            Stamp
+        }
+        #[inline]
+        pub(super) fn on_gc(&self, _gc: &Option<GcReceipt>, _clock: &Stamp) {}
         #[inline]
         pub(super) fn take_violations(&self) -> Vec<HbViolation> {
             Vec::new()
@@ -379,7 +477,7 @@ impl Flight {
 /// computed at state `s`, which keeps the invariant that every update
 /// ≤ `s` reaches the integrator queue ahead of the answer.
 struct SrcBatcher {
-    buf: Mutex<Vec<SrcItem>>,
+    buf: AuditedMutex<Vec<SrcItem>>,
     /// Seal when the batch reaches this many items.
     max: usize,
     /// Seal when the oldest buffered item is at least this old (checked
@@ -391,7 +489,7 @@ struct SrcBatcher {
 impl SrcBatcher {
     fn new(max: usize, deadline: Duration, int_tx: crossbeam::channel::Sender<IntMsg>) -> Self {
         SrcBatcher {
-            buf: Mutex::new(Vec::new()),
+            buf: AuditedMutex::new("whips.src_batcher", Vec::new()),
             max: max.max(1),
             deadline,
             int_tx,
@@ -503,7 +601,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     // server and commit workers pass stamps through without a clock of
     // their own (they are stateless relays for ordering purposes).
     let audit = HbAudit::new();
-    let cluster = Arc::new(Mutex::new(src_cluster));
+    let cluster = Arc::new(AuditedMutex::new("whips.cluster", src_cluster));
     let mut warehouse = Warehouse::new(config.record_snapshots);
     for e in reg.iter() {
         warehouse
@@ -523,8 +621,9 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     let all_views: Vec<ViewId> = warehouse.view_ids().collect();
     let cuts = mvc_readpath::VersionedCuts::new();
     cuts.seed(0, warehouse.read(&all_views));
-    let warehouse = Arc::new(Mutex::new(warehouse));
-    let commit_log: Arc<Mutex<Vec<CommitLogEntry>>> = Arc::new(Mutex::new(Vec::new()));
+    let warehouse = Arc::new(AuditedMutex::new("whips.warehouse", warehouse));
+    let commit_log: Arc<AuditedMutex<Vec<CommitLogEntry>>> =
+        Arc::new(AuditedMutex::new("whips.commit_log", Vec::new()));
 
     // Write-ahead log, shared by every logging thread. Unlike the
     // simulator, append errors are deliberately dropped (`let _`): a WAL
@@ -533,15 +632,19 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     // whose disk died while the process kept computing. Recovery then
     // replays the pre-crash prefix. No checkpoints either: merge state
     // lives inside the MP threads, so recovery replays from the start.
-    let wal: Option<Arc<Mutex<WalWriter>>> = match &config.durability {
-        Some(d) => Some(Arc::new(Mutex::new(WalWriter::create(d)?))),
+    let wal: Option<Arc<AuditedMutex<WalWriter>>> = match &config.durability {
+        Some(d) => Some(Arc::new(AuditedMutex::new(
+            "whips.wal",
+            WalWriter::create(d)?,
+        ))),
         None => None,
     };
 
     // Per-thread observability: every thread records latencies into its
     // own PipelineObs (no lock on the hot path) and pushes it here on
     // exit; the driver merges the shards into SimReport.pipeline.
-    let obs_parts: Arc<Mutex<Vec<PipelineObs>>> = Arc::new(Mutex::new(Vec::new()));
+    let obs_parts: Arc<AuditedMutex<Vec<PipelineObs>>> =
+        Arc::new(AuditedMutex::new("whips.obs_parts", Vec::new()));
 
     // Channels.
     let (int_tx, int_rx) = crossbeam::channel::unbounded::<IntMsg>();
@@ -565,8 +668,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     let mut handles = Vec::new();
 
     // --- View manager threads ---
-    let vm_idle: Arc<Mutex<BTreeMap<ViewId, Arc<AtomicBool>>>> =
-        Arc::new(Mutex::new(BTreeMap::new()));
+    let vm_idle: Arc<AuditedMutex<BTreeMap<ViewId, Arc<AtomicBool>>>> =
+        Arc::new(AuditedMutex::new("whips.vm_idle", BTreeMap::new()));
     // (MP channels created below; VMs need them — create MP channels first.)
     let mut mp_rxs = Vec::new();
     for _ in 0..groups {
@@ -575,17 +678,24 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         mp_rxs.push(rx);
     }
 
+    // Build every view manager BEFORE the spawn loop: `build` is the
+    // only fallible step in view setup, and a `?` taken after workers
+    // exist would leak every already-spawned thread (nothing would ever
+    // send them Stop). All-or-nothing construction keeps the
+    // unconditional shutdown below the only teardown path.
+    let mut built_vms = Vec::new();
     for e in reg.iter() {
+        built_vms.push((e.id, e.kind.build(e.id, e.def.clone())?));
+    }
+    for (id, mut vm) in built_vms {
         let (tx, rx) = crossbeam::channel::unbounded::<VmMsg>();
-        vm_txs.insert(e.id, tx);
-        let mut vm = e.kind.build(e.id, e.def.clone())?;
+        vm_txs.insert(id, tx);
         let idle = Arc::new(AtomicBool::new(true));
-        vm_idle.lock().insert(e.id, idle.clone());
-        let g = partitioning.group_of_view(e.id).unwrap_or(0);
+        vm_idle.lock().insert(id, idle.clone());
+        let g = partitioning.group_of_view(id).unwrap_or(0);
         let mp_tx = mp_txs[g].clone();
         let qs_tx = qs_tx.clone();
         let flight = flight.clone();
-        let id = e.id;
         let obs_parts = obs_parts.clone();
         let audit = audit.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
@@ -648,9 +758,16 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     }
 
     // --- Merge process threads ---
-    let mp_quiescent: Arc<Mutex<Vec<Arc<AtomicBool>>>> = Arc::new(Mutex::new(Vec::new()));
-    let merge_stats = Arc::new(Mutex::new(vec![mvc_core::MergeStats::default(); groups]));
-    let commit_stats = Arc::new(Mutex::new(vec![mvc_core::CommitStats::default(); groups]));
+    let mp_quiescent: Arc<AuditedMutex<Vec<Arc<AtomicBool>>>> =
+        Arc::new(AuditedMutex::new("whips.mp_quiescent", Vec::new()));
+    let merge_stats = Arc::new(AuditedMutex::new(
+        "whips.merge_stats",
+        vec![mvc_core::MergeStats::default(); groups],
+    ));
+    let commit_stats = Arc::new(AuditedMutex::new(
+        "whips.commit_stats",
+        vec![mvc_core::CommitStats::default(); groups],
+    ));
     let mut guarantees = Vec::with_capacity(groups);
     for (g, rx) in mp_rxs.into_iter().enumerate() {
         let levels: Vec<(ViewId, ConsistencyLevel)> = reg
@@ -885,16 +1002,9 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                     let base = w.commit_count();
                     w.apply_batch(run.iter().map(|(_, t, _, _)| t))
                         .map_err(|(_, e)| e.to_string())?;
-                    // Publish each commit's new view versions while still
-                    // holding the warehouse lock, so the version store's
-                    // watermark order matches the history.
-                    for (i, (_, txn, _, _)) in run.iter().enumerate() {
-                        let changed: Vec<ViewId> = txn.views.iter().copied().collect();
-                        cuts.publish(base + i as u64 + 1, w.read(&changed));
-                    }
                     let mut log = commit_log.lock();
                     let mut acks = Vec::with_capacity(run.len());
-                    for (g, txn, released, stamp) in &run {
+                    for (i, (g, txn, released, stamp)) in run.iter().enumerate() {
                         log.push(CommitLogEntry {
                             group: *g,
                             seq: txn.seq,
@@ -909,7 +1019,23 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                         // Checked under the warehouse lock so the audit
                         // sees commits in history order; the returned
                         // clock stamps the ack.
-                        acks.push((*g, txn.seq, audit.on_commit(*g, txn.seq, stamp)));
+                        let ack = audit.on_commit(*g, txn.seq, stamp);
+                        // Publish the commit's new view versions while
+                        // still holding the warehouse lock (watermark
+                        // order = history order), stamped with the ack
+                        // clock: every certified read of this cut
+                        // happens-after the commit that produced it.
+                        let watermark = base + i as u64 + 1;
+                        let changed: Vec<ViewId> = txn.views.iter().copied().collect();
+                        let receipt = cuts.publish_stamped(
+                            watermark,
+                            w.read(&changed),
+                            audit.on_publish(watermark, &ack),
+                        );
+                        // Any GC this publish triggered must happen-after
+                        // every read of the pruned versions.
+                        audit.on_gc(&receipt.gc, &ack);
+                        acks.push((*g, txn.seq, ack));
                     }
                     acks
                 };
@@ -969,15 +1095,24 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                     }
                                     let watermark =
                                         w.apply(&txn).map_err(|e| e.to_string())?.commit_index;
-                                    let changed: Vec<ViewId> = txn.views.iter().copied().collect();
-                                    cuts.publish(watermark, w.read(&changed));
                                     commit_log.lock().push(CommitLogEntry {
                                         group: g,
                                         seq: txn.seq,
                                         rows: txn.rows.clone(),
                                         views: txn.views.clone(),
                                     });
-                                    audit.on_commit(g, txn.seq, &stamp)
+                                    let ack = audit.on_commit(g, txn.seq, &stamp);
+                                    // Ack-stamped publish under the
+                                    // warehouse lock, exactly like the
+                                    // group-commit path above.
+                                    let changed: Vec<ViewId> = txn.views.iter().copied().collect();
+                                    let receipt = cuts.publish_stamped(
+                                        watermark,
+                                        w.read(&changed),
+                                        audit.on_publish(watermark, &ack),
+                                    );
+                                    audit.on_gc(&receipt.gc, &ack);
+                                    ack
                                 };
                                 obs.commit_apply
                                     .record(released.elapsed().as_nanos() as u64);
@@ -1008,7 +1143,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         BTreeSet<GlobalSeq>,
         ViewRegistry,
     );
-    let routing_state: Arc<Mutex<Option<RoutingState>>> = Arc::new(Mutex::new(None));
+    let routing_state: Arc<AuditedMutex<Option<RoutingState>>> =
+        Arc::new(AuditedMutex::new("whips.routing_state", None));
     {
         let registry = reg.clone();
         let partitioning = registry.partitioning(config.partition);
@@ -1134,31 +1270,58 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     // Observations are retained and certified after the run.
     let mvcc_reader_stop = Arc::new(AtomicBool::new(false));
     let mut mvcc_reader_handles = Vec::new();
-    for _ in 0..config.readers {
+    for k in 0..config.readers {
         let mut session = cuts.open_session();
         let views = all_views.clone();
         let think = config.reader_think_time;
         let stop = mvcc_reader_stop.clone();
         let obs_parts = obs_parts.clone();
+        let audit = audit.clone();
+        // Only the first reader carries an injected fault: one panicking
+        // thread among healthy peers is the interesting shutdown case.
+        let fault = if k == 0 { config.fault.clone() } else { None };
         mvcc_reader_handles.push(std::thread::spawn(
             move || -> Vec<mvc_readpath::ReadObservation> {
                 let mut obs = PipelineObs::new("ns");
+                let mut hbc = HbClock::new(2000 + k as u32);
                 let mut observations = Vec::new();
                 let mut at_head = true;
+                let mut reads_done = 0u64;
                 // SeqCst: plain stop flag; strongest order costs nothing here.
                 while !stop.load(Ordering::SeqCst) {
                     let begun = Instant::now();
+                    // The pre-read clock snapshot pins the session in the
+                    // version store: any GC while this pin is live is
+                    // licensed by (joins) it, proving the reclamation
+                    // happens-after everything this reader has seen.
                     let result = if at_head {
-                        session.read_latest(&views)
+                        session.read_latest_stamped(&views, audit.reader_stamp(&mut hbc))
                     } else {
                         let seen = session.last_seen();
-                        session.read_at(seen, &views)
+                        session.read_at_stamped(seen, &views, audit.reader_stamp(&mut hbc))
                     };
                     at_head = !at_head;
                     let out = result.expect("chains seeded at build, target ≤ head");
+                    // Certified read: must happen-after the commit that
+                    // published its watermark. The returned post-join
+                    // clock licenses any GC this read's pin advance
+                    // triggered.
+                    let post = audit.on_read(
+                        out.observation.session,
+                        out.observation.cut.watermark,
+                        &out.publish_stamp,
+                        &mut hbc,
+                    );
+                    audit.on_gc(&out.gc, &post);
                     obs.read_latency.record(begun.elapsed().as_nanos() as u64);
                     obs.note_read(out.staleness, out.chain_len, out.gc_lag);
                     observations.push(out.observation);
+                    reads_done += 1;
+                    if let Some(ThreadFault::ReaderPanic { after_reads }) = fault {
+                        if reads_done >= after_reads {
+                            panic!("injected reader fault after {reads_done} reads");
+                        }
+                    }
                     if !think.is_zero() {
                         std::thread::sleep(think);
                     }
@@ -1386,6 +1549,13 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     }
     let elapsed = run_result?;
     let hb_violations = audit.take_violations();
+    // Lock-order cycles from the process-global lockdep graph, filtered
+    // to this runtime's namespaces (the graph is shared by every audited
+    // lock in the process, including other tests' fixtures).
+    let lock_cycles: Vec<mvc_core::LockCycle> = mvc_core::lock::lock_cycles()
+        .into_iter()
+        .filter(|c| c.within_prefixes(&["whips.", "readpath.", "warehouse."]))
+        .collect();
 
     let (group_updates, routed, registry) = routing_state
         .lock()
@@ -1449,6 +1619,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             in_flight_at_end,
             queue_depths_at_end,
             hb_violations,
+            lock_cycles,
         },
     ))
 }
@@ -1718,6 +1889,139 @@ mod tests {
         assert!(
             wall.hb_violations.is_empty(),
             "sequential run must audit clean: {:?}",
+            wall.hb_violations
+        );
+    }
+
+    /// A panicking MVCC reader must not leak threads or hang the run:
+    /// every worker is joined on the panic path and the fault surfaces
+    /// as a typed error naming the panicking thread and its payload.
+    #[test]
+    fn reader_panic_is_joined_and_reported() {
+        let config = ThreadedConfig {
+            readers: 3,
+            reader_think_time: Duration::from_micros(50),
+            pacing: Duration::from_millis(1),
+            record_snapshots: true,
+            fault: Some(ThreadFault::ReaderPanic { after_reads: 5 }),
+            ..ThreadedConfig::default()
+        };
+        let spec = WorkloadSpec {
+            seed: 11,
+            relations: 3,
+            updates: 20,
+            ..WorkloadSpec::default()
+        };
+        let w = generate(&spec);
+        let b = ThreadedBuilder::new(config);
+        let b = install_relations(b, spec.relations);
+        let (b, _ids) = install_views(
+            b,
+            crate::workload::ViewSuite::OverlappingChain { count: 2 },
+            ManagerKind::Complete,
+        );
+        let err = match b.workload(w.txns).run() {
+            Ok(_) => panic!("run must fail when a reader panics"),
+            Err(e) => e,
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("mvcc reader panicked"),
+            "panic must be attributed to the reader fleet: {msg}"
+        );
+        assert!(
+            msg.contains("injected reader fault"),
+            "panic payload must survive the join: {msg}"
+        );
+    }
+
+    /// Clean mixed readers/writers/GC run under the lockdep audit: the
+    /// runtime's declared acquisition order has no cycles, and the audit
+    /// demonstrably saw this runtime's locks.
+    #[cfg(feature = "lock-audit")]
+    #[test]
+    fn lock_audit_clean_threaded_run_has_no_cycles() {
+        let config = ThreadedConfig {
+            readers: 2,
+            reader_views: vec![ViewId(1)],
+            reader_think_time: Duration::from_micros(20),
+            record_snapshots: true,
+            ..ThreadedConfig::default()
+        };
+        let spec = WorkloadSpec {
+            seed: 7,
+            relations: 4,
+            updates: 60,
+            delete_percent: 20,
+            ..WorkloadSpec::default()
+        };
+        let w = generate(&spec);
+        let b = ThreadedBuilder::new(config);
+        let b = install_relations(b, spec.relations);
+        let (b, _ids) = install_views(
+            b,
+            crate::workload::ViewSuite::OverlappingChain { count: 3 },
+            ManagerKind::Complete,
+        );
+        let (report, wall) = b.workload(w.txns).run().unwrap();
+        Oracle::new(&report).unwrap().assert_ok();
+        assert!(
+            wall.lock_cycles.is_empty(),
+            "lock-order cycles in a clean run:\n{}",
+            wall.lock_cycles
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let names = mvc_core::lock::audited_lock_names();
+        for expect in ["whips.cluster", "whips.warehouse", "readpath.cuts"] {
+            assert!(
+                names.iter().any(|n| n == expect),
+                "audit never registered {expect}; saw {names:?}"
+            );
+        }
+    }
+
+    /// Certified snapshot reads under the full hb audit: every read
+    /// happens-after the commit that published its watermark and before
+    /// any GC of it, so a Sequential run with a reader fleet must report
+    /// zero violations — read-path or otherwise.
+    #[cfg(feature = "hb-audit")]
+    #[test]
+    fn hb_audit_certified_reads_have_no_read_path_violations() {
+        let config = ThreadedConfig {
+            commit_policy: CommitPolicy::Sequential,
+            readers: 3,
+            reader_think_time: Duration::from_micros(20),
+            record_snapshots: true,
+            ..ThreadedConfig::default()
+        };
+        let spec = WorkloadSpec {
+            seed: 41,
+            relations: 4,
+            updates: 60,
+            delete_percent: 10,
+            ..WorkloadSpec::default()
+        };
+        let w = generate(&spec);
+        let b = ThreadedBuilder::new(config);
+        let b = install_relations(b, spec.relations);
+        let (b, _ids) = install_views(
+            b,
+            crate::workload::ViewSuite::OverlappingChain { count: 3 },
+            ManagerKind::Complete,
+        );
+        let (report, wall) = b.workload(w.txns).run().unwrap();
+        let oracle = Oracle::new(&report).unwrap();
+        oracle.assert_ok();
+        assert!(
+            !report.read_observations.is_empty(),
+            "reader fleet never ran"
+        );
+        assert!(
+            wall.hb_violations.is_empty(),
+            "certified sequential run must audit clean: {:?}",
             wall.hb_violations
         );
     }
