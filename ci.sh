@@ -46,6 +46,13 @@ echo "== read smoke (MVCC reader workloads, every cut certified) =="
 # real commits and certifies every observed cut.
 cargo run -q --release -p mvc-bench --bin read_smoke -- --check BENCH_pipeline.json
 
+echo "== shard smoke (sharded commit plane: sim gated, threaded certified) =="
+# Sim leg is deterministic: same-seed reproduction, full shard-plane
+# certification, and emulated-parallel commit throughput scaling with the
+# group count. Threaded leg runs G>=2 groups over S=2 shards with reader
+# threads active and certifies (no wall-clock assertion on 1 CPU).
+cargo run -q --release -p mvc-bench --bin shard_smoke
+
 echo "== bench smoke (mixed scenario vs committed baseline, 20% tolerance) =="
 # Writes to a scratch path so the committed BENCH_pipeline.json artifact is
 # never clobbered. Gates on the deterministic `sim` runtime only: the

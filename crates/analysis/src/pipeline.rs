@@ -620,9 +620,11 @@ impl Pipeline {
             routed: self.routed,
             activations: BTreeMap::new(),
             // The explorer's pipeline state machine has no reader
-            // workload; nothing to certify on the read side.
+            // workload; nothing to certify on the read side. It is also
+            // never sharded.
             read_observations: Vec::new(),
             initial_fingerprints: BTreeMap::new(),
+            shard_plane: None,
         })
     }
 

@@ -421,6 +421,67 @@ fn lock_stress(
     Ok(())
 }
 
+/// Sharded-plane property: a random group/shard topology (partitioned
+/// disjoint views, coarsened to a random group cap, spread over a random
+/// shard count) under a random manager kind, commit policy and reader
+/// fleet. The history must certify per group, every cut every reader
+/// observed must certify globally, and the shard plane itself must pass
+/// `check_sharded` (ticket linearization, per-shard reads, frontier
+/// monotonicity) — zero uncertified histories or cuts.
+#[allow(clippy::too_many_arguments)]
+fn sharded(
+    seed: u64,
+    sched: u64,
+    updates: usize,
+    views: usize,
+    groups: usize,
+    shards: usize,
+    sessions: usize,
+    kind: ManagerKind,
+    policy: CommitPolicy,
+) -> Result<(), String> {
+    let spec = WorkloadSpec {
+        seed,
+        relations: views,
+        updates,
+        key_domain: 5,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let config = SimConfig {
+        seed: sched,
+        partition: true,
+        groups: Some(groups),
+        shards,
+        commit_policy: policy,
+        readers: sessions,
+        ..SimConfig::default()
+    };
+    let b = SimBuilder::new(config);
+    let b = install_relations(b, views);
+    let (b, _) = install_views(b, ViewSuite::DisjointCopies { count: views }, kind);
+    let report = b
+        .workload(w.txns)
+        .run()
+        .map_err(|e| format!("sim error: {e}"))?;
+    let oracle = Oracle::new(&report).map_err(|e| format!("oracle: {e:?}"))?;
+    for (g, level, verdict) in oracle.check_report() {
+        if !verdict.is_satisfied() {
+            return Err(format!("group {g} failed {level}: {verdict}"));
+        }
+    }
+    if sessions > 0 && !report.read_observations.is_empty() {
+        oracle
+            .check_reads()
+            .map_err(|v| format!("uncertified cut: {v}"))?;
+    }
+    oracle
+        .check_sharded()
+        .map_err(|v| format!("uncertified shard plane: {v}"))?;
+    Ok(())
+}
+
 fn main() {
     // Optional first arg: number of cases (default 200k full sweep).
     let cases: u64 = std::env::args()
@@ -432,7 +493,7 @@ fn main() {
         let mut rng = Lcg(case.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1));
         let seed = rng.range(0, 10_000);
         let sched = rng.range(0, 10_000);
-        let family = case % 14;
+        let family = case % 15;
         let res = match family {
             // spa_complete / pa_strobe / eca / selfmaint (5-param shape)
             0..=3 => {
@@ -564,6 +625,26 @@ fn main() {
                 };
                 lock_stress(seed, updates, deletes, sessions, kind, policy)
                     .map_err(|e| format!("lock_stress {e}"))
+            }
+            13 => {
+                // Random group/shard topologies over the sharded commit
+                // plane: every history and cut must certify, including
+                // the shard plane's ticket linearization and frontiers.
+                let updates = rng.range(10, 50) as usize;
+                let views = rng.range(2, 6) as usize;
+                let groups = rng.range(1, views as u64 + 1) as usize;
+                let shards = rng.range(1, 5) as usize;
+                let sessions = rng.range(0, 4) as usize;
+                let kind = [ManagerKind::Complete, ManagerKind::Strobe][rng.range(0, 2) as usize];
+                let policy = match rng.range(0, 3) {
+                    0 => CommitPolicy::Sequential,
+                    1 => CommitPolicy::Immediate,
+                    _ => CommitPolicy::DependencyAware,
+                };
+                sharded(
+                    seed, sched, updates, views, groups, shards, sessions, kind, policy,
+                )
+                .map_err(|e| format!("sharded {e}"))
             }
             _ => {
                 let updates = rng.range(10, 40) as usize;

@@ -107,6 +107,16 @@ struct RuntimeSpec {
     /// Threaded mode only: think time between a reader's queries.
     #[serde(default)]
     reader_think_time_us: Option<u64>,
+    /// Cap on the §6.1 merge-group count (both modes): the relevance
+    /// partitioning is coarsened down to at most this many groups.
+    #[serde(default)]
+    groups: Option<usize>,
+    /// Warehouse shards (both modes): groups are assigned round-robin,
+    /// each shard commits independently, and the run is certified by
+    /// `Oracle::check_sharded` (ticket linearization + cross-shard read
+    /// watermarks).
+    #[serde(default)]
+    shards: Option<usize>,
 }
 
 /// Hand-rolled JSON → `Scenario` extraction. The vendored `serde_json`
@@ -260,6 +270,12 @@ mod from_json {
                 .and_then(Json::as_u64)
                 .map(|n| n as usize),
             reader_think_time_us: field(v, "reader_think_time_us").and_then(Json::as_u64),
+            groups: field(v, "groups")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize),
+            shards: field(v, "shards")
+                .and_then(Json::as_u64)
+                .map(|n| n as usize),
         })
     }
 }
@@ -408,6 +424,8 @@ fn run(sc: &Scenario) -> Result<(), String> {
                 .reader_think_time_us
                 .map(Duration::from_micros)
                 .unwrap_or(defaults.reader_think_time),
+            groups: sc.runtime.groups,
+            shards: sc.runtime.shards.unwrap_or(defaults.shards),
             ..defaults
         };
         let mut b = ThreadedBuilder::new(config);
@@ -436,6 +454,8 @@ fn run(sc: &Scenario) -> Result<(), String> {
             max_open_updates: sc.runtime.max_open_updates,
             sequential: sc.runtime.sequential.unwrap_or(false),
             readers: sc.runtime.readers.unwrap_or(0),
+            groups: sc.runtime.groups,
+            shards: sc.runtime.shards.unwrap_or(1),
             ..SimConfig::default()
         };
         let mut b = SimBuilder::new(config);
@@ -484,6 +504,20 @@ fn run(sc: &Scenario) -> Result<(), String> {
             ),
             Err(v) => {
                 println!("reader certification FAILED: {v}");
+                all_ok = false;
+            }
+        }
+    }
+    if let Some(plane) = &report.shard_plane {
+        match oracle.check_sharded() {
+            Ok(()) => println!(
+                "shard certification: {} shards over {} groups — ticket \
+                 linearization, per-shard reads, and frontier monotonicity ok",
+                plane.shards.len(),
+                plane.assignment.len()
+            ),
+            Err(v) => {
+                println!("shard certification FAILED: {v}");
                 all_ok = false;
             }
         }

@@ -1,0 +1,171 @@
+//! Sharded-plane smoke gate for CI.
+//!
+//! Two legs:
+//!
+//! * **sim** (deterministic, gated): the shard-scaling sweep at a fixed
+//!   workload must (a) reproduce itself exactly under the same seed,
+//!   (b) certify every run via `Oracle::check_sharded`/`check_reads`,
+//!   and (c) show the emulated-parallel commit throughput scaling with
+//!   the group count (G=4 strictly beats G=1 on the same workload).
+//! * **threaded** (real threads, certified only): a G≥2 × S≥2 run with
+//!   an active reader fleet must produce a shard plane, certify, and
+//!   show overlapping per-group worker activity spans. On this 1-CPU
+//!   container wall-clock speedup is not asserted — correctness is.
+//!
+//! Run with: `cargo run --release -p mvc-bench --bin shard_smoke`
+
+use mvc_whips::workload::{generate, install_relations, install_views};
+use mvc_whips::{
+    ManagerKind, Oracle, SimBuilder, SimConfig, SimReport, ThreadedBuilder, ThreadedConfig,
+    ViewSuite, WorkloadSpec,
+};
+
+fn sim_run(groups: usize, shards: usize, readers: usize) -> SimReport {
+    let spec = WorkloadSpec {
+        seed: 29,
+        relations: 4,
+        updates: 300,
+        key_domain: 12,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let config = SimConfig {
+        seed: 0x5aad,
+        partition: true,
+        groups: Some(groups),
+        shards,
+        readers,
+        ..SimConfig::default()
+    };
+    let b = install_relations(SimBuilder::new(config), spec.relations);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::DisjointCopies { count: 4 },
+        ManagerKind::Complete,
+    );
+    b.workload(w.txns).run().expect("sim shard run")
+}
+
+/// Commits per kstep of emulated-parallel makespan: steps outside the
+/// merge plane stay serial, the busiest group bounds the plane.
+fn parallel_rate(report: &SimReport) -> f64 {
+    let busy = &report.metrics.group_busy_steps;
+    let makespan =
+        report.metrics.steps - busy.iter().sum::<u64>() + busy.iter().copied().max().unwrap_or(0);
+    report.metrics.commits as f64 * 1000.0 / makespan as f64
+}
+
+fn certify(report: &SimReport, label: &str) {
+    let oracle = Oracle::new(report).expect("oracle");
+    for (g, level, verdict) in oracle.check_report() {
+        assert!(
+            verdict.is_satisfied(),
+            "{label}: group {g} failed {level}: {verdict}"
+        );
+    }
+    if !report.read_observations.is_empty() {
+        let cert = oracle
+            .check_reads()
+            .unwrap_or_else(|v| panic!("{label}: uncertified cut: {v}"));
+        println!(
+            "  {label}: {} read observations over {} sessions certified",
+            cert.observations, cert.sessions
+        );
+    }
+    oracle
+        .check_sharded()
+        .unwrap_or_else(|v| panic!("{label}: uncertified shard plane: {v}"));
+}
+
+fn sim_leg() {
+    println!("shard smoke (sim leg): determinism + certification + scaling");
+    // Determinism: the same seed must reproduce the run bit-for-bit.
+    let (a, b) = (sim_run(4, 2, 2), sim_run(4, 2, 2));
+    assert_eq!(
+        a.metrics.steps, b.metrics.steps,
+        "sim must be deterministic"
+    );
+    assert_eq!(a.metrics.commits, b.metrics.commits);
+    assert_eq!(
+        a.metrics.group_busy_steps, b.metrics.group_busy_steps,
+        "per-group step attribution must be deterministic"
+    );
+    assert_eq!(a.read_observations.len(), b.read_observations.len());
+    certify(&a, "sim g4/s2");
+
+    // Scaling: same workload, more groups => higher emulated-parallel
+    // commit throughput. G=1 is the serial baseline by construction.
+    let g1 = sim_run(1, 1, 0);
+    let g2 = sim_run(2, 2, 0);
+    let g4 = sim_run(4, 2, 0);
+    certify(&g2, "sim g2/s2");
+    certify(&g4, "sim g4/s2 writer-only");
+    let (r1, r2, r4) = (parallel_rate(&g1), parallel_rate(&g2), parallel_rate(&g4));
+    println!("  commit throughput (commits/kstep): g1={r1:.1} g2={r2:.1} g4={r4:.1}");
+    assert!(
+        r4 > r2 && r2 > r1,
+        "commit throughput must scale with group count: g1={r1:.1} g2={r2:.1} g4={r4:.1}"
+    );
+}
+
+fn threaded_leg() {
+    println!("shard smoke (threaded leg): G>=2, S>=2, readers active");
+    let spec = WorkloadSpec {
+        seed: 31,
+        relations: 4,
+        updates: 120,
+        key_domain: 12,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let w = generate(&spec);
+    let config = ThreadedConfig {
+        partition: true,
+        shards: 2,
+        readers: 3,
+        reader_think_time: std::time::Duration::from_micros(20),
+        ..ThreadedConfig::default()
+    };
+    let b = install_relations(ThreadedBuilder::new(config), spec.relations);
+    let (b, _) = install_views(
+        b,
+        ViewSuite::DisjointCopies { count: 4 },
+        ManagerKind::Complete,
+    );
+    let (report, wall) = b.workload(w.txns).run().expect("threaded shard run");
+    let plane = report.shard_plane.as_ref().expect("shard plane present");
+    assert!(plane.shards.len() >= 2, "S>=2");
+    assert!(report.partitioning.group_count() >= 2, "G>=2");
+    assert!(
+        !report.read_observations.is_empty(),
+        "reader fleet must observe cuts"
+    );
+    assert!(!plane.frontiers.is_empty(), "cross-shard frontiers taken");
+    certify(&report, "threaded g>=2/s2");
+    // Concurrency evidence: two per-group worker spans overlap.
+    let spans: Vec<(u64, u64)> = report.pipeline.group_activity.values().copied().collect();
+    let overlapping = spans
+        .iter()
+        .enumerate()
+        .any(|(i, a)| spans[i + 1..].iter().any(|b| a.0 <= b.1 && b.0 <= a.1));
+    assert!(overlapping, "group worker spans must overlap: {spans:?}");
+    assert!(
+        wall.lock_cycles.is_empty(),
+        "lockdep cycles: {:?}",
+        wall.lock_cycles
+    );
+    println!(
+        "  threaded: {} shards x {} groups, {} commits, {} reads, spans overlap",
+        plane.shards.len(),
+        report.partitioning.group_count(),
+        report.metrics.commits,
+        report.read_observations.len()
+    );
+}
+
+fn main() {
+    sim_leg();
+    threaded_leg();
+    println!("shard smoke OK");
+}

@@ -78,10 +78,12 @@ impl fmt::Display for VectorClock {
 /// offending transition in a diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HbViolation {
-    /// Two commits of the same merge group reached the warehouse without
-    /// a happens-before edge between them (or with their transaction
-    /// sequence numbers inverted): the §4.3 commit-order guarantee is
-    /// void for this pair.
+    /// Two *dependent* commits of the same merge group — §4.3: their
+    /// view sets intersect — reached the warehouse without a
+    /// happens-before edge between them (or with their transaction
+    /// sequence numbers inverted): the commit-order guarantee is void
+    /// for this pair. Independent commits (disjoint views, or different
+    /// groups) are never flagged.
     CommitOrderInversion {
         group: usize,
         earlier: TxnSeq,
@@ -174,7 +176,10 @@ pub struct HbState {
     /// Internal component ticked per commit so two commits carrying
     /// identical sender stamps still get distinct clocks.
     commit_serial: u64,
-    last_commit: BTreeMap<usize, (TxnSeq, VectorClock)>,
+    /// Last commit clock per (merge group, view) — the §4.3 dependence
+    /// granularity: two commits of one group conflict iff their view
+    /// sets intersect, so order is only enforced along shared views.
+    last_commit: BTreeMap<(usize, ViewId), (TxnSeq, VectorClock)>,
     last_paint: BTreeMap<(usize, ViewId, UpdateId), VectorClock>,
     /// Clock of the cut publication per watermark (read-path check).
     publishes: BTreeMap<u64, VectorClock>,
@@ -192,27 +197,46 @@ impl HbState {
         HbState::default()
     }
 
-    /// Record a warehouse commit of `(group, seq)` whose causal past is
-    /// `stamp` (the releasing merge process's clock at send). Returns the
-    /// commit's own clock, to be carried on the acknowledgement edge.
-    pub fn on_commit(&mut self, group: usize, seq: TxnSeq, stamp: &VectorClock) -> VectorClock {
+    /// Record a warehouse commit of `(group, seq)` touching `views`,
+    /// whose causal past is `stamp` (the releasing merge process's clock
+    /// at send). Returns the commit's own clock, to be carried on the
+    /// acknowledgement edge.
+    ///
+    /// Dominance is checked **per (group, view)**: §4.3 dependence says
+    /// two transactions conflict iff they share a view, so a concurrent
+    /// commit policy that legally reorders independent same-group
+    /// transactions (disjoint view sets) is not flagged, and cross-group
+    /// commits never conflict. An inversion along a *shared* view is a
+    /// real ordering bug under every policy.
+    pub fn on_commit(
+        &mut self,
+        group: usize,
+        seq: TxnSeq,
+        views: impl IntoIterator<Item = ViewId>,
+        stamp: &VectorClock,
+    ) -> VectorClock {
         self.commit_serial += 1;
         let mut clock = stamp.clone();
         let mut serial = VectorClock::new();
         serial.0.insert(WAREHOUSE_PID, self.commit_serial);
         clock.join(&serial);
-        if let Some((prev_seq, prev_clock)) = self.last_commit.get(&group) {
-            let seq_inverted = seq <= *prev_seq;
-            if seq_inverted || !clock.dominates(prev_clock) {
-                self.violations.push(HbViolation::CommitOrderInversion {
-                    group,
-                    earlier: *prev_seq,
-                    later: seq,
-                    seq_inverted,
-                });
+        // One violation per conflicting predecessor, not one per shared
+        // view of the same predecessor pair.
+        let mut flagged: std::collections::BTreeSet<TxnSeq> = std::collections::BTreeSet::new();
+        for view in views {
+            if let Some((prev_seq, prev_clock)) = self.last_commit.get(&(group, view)) {
+                let seq_inverted = seq <= *prev_seq;
+                if (seq_inverted || !clock.dominates(prev_clock)) && flagged.insert(*prev_seq) {
+                    self.violations.push(HbViolation::CommitOrderInversion {
+                        group,
+                        earlier: *prev_seq,
+                        later: seq,
+                        seq_inverted,
+                    });
+                }
             }
+            self.last_commit.insert((group, view), (seq, clock.clone()));
         }
-        self.last_commit.insert(group, (seq, clock.clone()));
         clock
     }
 
@@ -315,22 +339,22 @@ mod tests {
     #[test]
     fn ordered_commits_pass() {
         let mut hb = HbState::new();
-        let c1 = hb.on_commit(0, TxnSeq(1), &clock(&[(5, 1)]));
+        let c1 = hb.on_commit(0, TxnSeq(1), [ViewId(1)], &clock(&[(5, 1)]));
         // The second commit's stamp includes the first commit's clock —
         // the MP saw the ack before releasing the dependent txn.
         let mut s2 = c1;
         s2.tick(5);
-        hb.on_commit(0, TxnSeq(2), &s2);
+        hb.on_commit(0, TxnSeq(2), [ViewId(1)], &s2);
         assert!(hb.violations().is_empty());
     }
 
     #[test]
     fn seq_inversion_detected() {
         let mut hb = HbState::new();
-        let c1 = hb.on_commit(0, TxnSeq(2), &clock(&[(5, 1)]));
+        let c1 = hb.on_commit(0, TxnSeq(2), [ViewId(1)], &clock(&[(5, 1)]));
         let mut s2 = c1;
         s2.tick(5);
-        hb.on_commit(0, TxnSeq(1), &s2);
+        hb.on_commit(0, TxnSeq(1), [ViewId(1)], &s2);
         assert_eq!(hb.violations().len(), 1);
         match &hb.violations()[0] {
             HbViolation::CommitOrderInversion {
@@ -351,10 +375,10 @@ mod tests {
     #[test]
     fn concurrent_commit_clocks_detected() {
         let mut hb = HbState::new();
-        hb.on_commit(1, TxnSeq(1), &clock(&[(5, 4)]));
+        hb.on_commit(1, TxnSeq(1), [ViewId(1)], &clock(&[(5, 4)]));
         // Right sequence order, but the second stamp does not include the
         // first commit's causal past: a synchronization gap.
-        hb.on_commit(1, TxnSeq(2), &clock(&[(6, 1)]));
+        hb.on_commit(1, TxnSeq(2), [ViewId(1)], &clock(&[(6, 1)]));
         assert_eq!(hb.violations().len(), 1);
         assert!(matches!(
             hb.violations()[0],
@@ -364,14 +388,82 @@ mod tests {
             }
         ));
         // Distinct groups never conflict.
-        hb.on_commit(2, TxnSeq(1), &clock(&[(7, 1)]));
+        hb.on_commit(2, TxnSeq(1), [ViewId(1)], &clock(&[(7, 1)]));
         assert_eq!(hb.violations().len(), 1);
+    }
+
+    /// Per-group dominance at §4.3 granularity: two same-group commits
+    /// with *disjoint* view sets are independent, so a concurrent commit
+    /// policy reordering them (sequence inverted, clocks concurrent) is
+    /// legal and must not be flagged.
+    #[test]
+    fn same_group_disjoint_views_reorder_not_flagged() {
+        let mut hb = HbState::new();
+        hb.on_commit(0, TxnSeq(2), [ViewId(1)], &clock(&[(5, 1)]));
+        hb.on_commit(0, TxnSeq(1), [ViewId(2)], &clock(&[(6, 1)]));
+        assert!(
+            hb.violations().is_empty(),
+            "independent same-group commits may reorder: {:?}",
+            hb.violations()
+        );
+        // …but a later commit sharing a view with either predecessor is
+        // dependent and must dominate it.
+        hb.on_commit(0, TxnSeq(3), [ViewId(1), ViewId(3)], &clock(&[(7, 1)]));
+        assert_eq!(hb.violations().len(), 1);
+        assert!(matches!(
+            hb.violations()[0],
+            HbViolation::CommitOrderInversion {
+                seq_inverted: false,
+                ..
+            }
+        ));
+    }
+
+    /// The negative test the sharding issue demands: a cross-group
+    /// "inversion" (later seq in one group commits before an earlier seq
+    /// in another) is not a conflict — groups have disjoint footprints —
+    /// and must never be flagged.
+    #[test]
+    fn cross_group_inversion_not_flagged() {
+        let mut hb = HbState::new();
+        hb.on_commit(0, TxnSeq(5), [ViewId(1)], &clock(&[(5, 1)]));
+        // Group 1's earlier-numbered txn lands after, clocks concurrent.
+        hb.on_commit(1, TxnSeq(2), [ViewId(2)], &clock(&[(6, 1)]));
+        // And a genuinely inverted same-numbered pair across groups.
+        hb.on_commit(1, TxnSeq(1), [ViewId(3)], &clock(&[(7, 1)]));
+        assert!(
+            hb.violations().is_empty(),
+            "cross-group commits never conflict: {:?}",
+            hb.violations()
+        );
+    }
+
+    /// One conflicting predecessor produces one violation even when the
+    /// two commits share several views.
+    #[test]
+    fn shared_view_inversion_flagged_once() {
+        let mut hb = HbState::new();
+        hb.on_commit(0, TxnSeq(2), [ViewId(1), ViewId(2)], &clock(&[(5, 1)]));
+        hb.on_commit(0, TxnSeq(1), [ViewId(1), ViewId(2)], &clock(&[(6, 1)]));
+        assert_eq!(hb.violations().len(), 1);
+        match &hb.violations()[0] {
+            HbViolation::CommitOrderInversion {
+                group,
+                earlier,
+                later,
+                seq_inverted,
+            } => assert_eq!(
+                (*group, *earlier, *later, *seq_inverted),
+                (0, TxnSeq(2), TxnSeq(1), true)
+            ),
+            other => panic!("wrong violation: {other}"),
+        }
     }
 
     #[test]
     fn read_joining_publish_stamp_is_clean() {
         let mut hb = HbState::new();
-        let ack = hb.on_commit(0, TxnSeq(1), &clock(&[(5, 1)]));
+        let ack = hb.on_commit(0, TxnSeq(1), [ViewId(1)], &clock(&[(5, 1)]));
         hb.on_publish(1, &ack);
         // The reader resolved the cut through the version store and
         // joined the publish stamp it found there.
@@ -387,7 +479,7 @@ mod tests {
     #[test]
     fn stale_cut_trips_read_path_check() {
         let mut hb = HbState::new();
-        let ack = hb.on_commit(0, TxnSeq(1), &clock(&[(5, 1)]));
+        let ack = hb.on_commit(0, TxnSeq(1), [ViewId(1)], &clock(&[(5, 1)]));
         hb.on_publish(1, &ack);
         // Reader clock concurrent with the publish stamp: watermark 1
         // escaped before its commit stamp.
@@ -410,14 +502,14 @@ mod tests {
     #[test]
     fn gc_dominating_all_reads_is_clean_and_prunes_state() {
         let mut hb = HbState::new();
-        let a1 = hb.on_commit(0, TxnSeq(1), &clock(&[(5, 1)]));
+        let a1 = hb.on_commit(0, TxnSeq(1), [ViewId(1)], &clock(&[(5, 1)]));
         hb.on_publish(1, &a1);
         let mut r = clock(&[(2000, 1)]);
         r.join(&a1);
         hb.on_read(1, 1, &r);
         // The collector's clock includes the reader's pin stamp (the GC
         // license) plus the pruning commit's own clock.
-        let mut gc = hb.on_commit(0, TxnSeq(2), &{
+        let mut gc = hb.on_commit(0, TxnSeq(2), [ViewId(1)], &{
             let mut s = a1.clone();
             s.tick(5);
             s
@@ -434,7 +526,7 @@ mod tests {
     #[test]
     fn gc_without_read_in_past_detected() {
         let mut hb = HbState::new();
-        let a1 = hb.on_commit(0, TxnSeq(1), &clock(&[(5, 1)]));
+        let a1 = hb.on_commit(0, TxnSeq(1), [ViewId(1)], &clock(&[(5, 1)]));
         hb.on_publish(1, &a1);
         let mut r = clock(&[(2000, 1)]);
         r.join(&a1);
@@ -446,7 +538,7 @@ mod tests {
         });
         // Collector advances the floor without the reader's clock — no
         // license joined in: both reads of watermark 1 are unprotected.
-        let gc = hb.on_commit(0, TxnSeq(2), &{
+        let gc = hb.on_commit(0, TxnSeq(2), [ViewId(1)], &{
             let mut s = a1.clone();
             s.tick(5);
             s

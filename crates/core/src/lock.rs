@@ -91,6 +91,27 @@ impl fmt::Display for LockCycle {
     }
 }
 
+/// Intern a dynamically-built lock-class name (e.g. `"shard0.warehouse"`)
+/// into the `&'static str` the audited wrappers require. Each distinct
+/// name is leaked exactly once and the same reference is returned on
+/// every later call, so per-shard lock construction across many runs
+/// never grows memory beyond the set of unique names. Compiled
+/// regardless of the `lock-audit` feature: construction sites use it
+/// unconditionally.
+pub fn intern_lock_name(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static INTERNED: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let registry = INTERNED.get_or_init(|| Mutex::new(BTreeSet::new()));
+    let mut registry = registry.lock().expect("lock-name intern registry poisoned");
+    if let Some(existing) = registry.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    registry.insert(leaked);
+    leaked
+}
+
 #[cfg(feature = "lock-audit")]
 mod audit {
     use super::{AcquisitionChain, LockCycle};
@@ -532,6 +553,19 @@ impl<T: ?Sized> Drop for AuditedWriteGuard<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn intern_lock_name_is_stable_per_unique_name() {
+        let a = intern_lock_name("coretest.intern.shard0");
+        let b = intern_lock_name("coretest.intern.shard0");
+        let c = intern_lock_name("coretest.intern.shard1");
+        assert!(std::ptr::eq(a, b), "same name must intern to one leak");
+        assert_ne!(a, c);
+        // The interned name is usable as an audited lock class.
+        let m = AuditedMutex::new(a, 1u32);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+    }
 
     #[test]
     fn wrapper_behaves_like_a_mutex() {

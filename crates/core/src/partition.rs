@@ -124,6 +124,42 @@ impl<R: Ord + Clone> Partitioning<R> {
             .collect()
     }
 
+    /// Coarsen this partitioning to at most `target` groups by folding
+    /// the connected components round-robin into super-groups. Unions of
+    /// disjoint footprints stay pairwise disjoint across super-groups,
+    /// so the result is still a valid partitioning — just coarser. This
+    /// is how a runtime caps the number of merge workers it spawns
+    /// (the `runtime.groups` knob): correctness never depends on using
+    /// the finest partitioning, only on never splitting a component.
+    /// `target == 0` is treated as 1; `target >= group_count` is a
+    /// no-op clone.
+    pub fn coarsen(&self, target: usize) -> Partitioning<R> {
+        let target = target.max(1);
+        if self.groups.len() <= target {
+            return self.clone();
+        }
+        let fold = |g: usize| g % target;
+        let mut groups: Vec<BTreeSet<ViewId>> = vec![BTreeSet::new(); target];
+        for (g, views) in self.groups.iter().enumerate() {
+            groups[fold(g)].extend(views.iter().copied());
+        }
+        let view_group = self
+            .view_group
+            .iter()
+            .map(|(&v, &g)| (v, fold(g)))
+            .collect();
+        let relation_group = self
+            .relation_group
+            .iter()
+            .map(|(r, &g)| (r.clone(), fold(g)))
+            .collect();
+        Partitioning {
+            groups,
+            relation_group,
+            view_group,
+        }
+    }
+
     /// Verify the defining property: group base-relation footprints are
     /// pairwise disjoint. (Exposed for property tests.)
     pub fn is_valid(&self, footprints: &BTreeMap<ViewId, BTreeSet<R>>) -> bool {
@@ -241,6 +277,33 @@ mod tests {
         assert_eq!(p.route([&r]).len(), 1);
         let spanning = p.route([&r, &q]);
         assert_eq!(spanning.len(), 2, "multi-relation txn spans groups");
+    }
+
+    #[test]
+    fn coarsen_folds_components_and_stays_valid() {
+        let footprints = fp(&[
+            (1, &["A"]),
+            (2, &["B"]),
+            (3, &["C"]),
+            (4, &["D"]),
+            (5, &["E"]),
+        ]);
+        let p = Partitioning::compute(&footprints);
+        assert_eq!(p.group_count(), 5);
+        let c = p.coarsen(2);
+        assert_eq!(c.group_count(), 2);
+        assert!(c.is_valid(&footprints));
+        // Every view and every relation still routes to exactly one
+        // (coarsened) group, consistently.
+        for (v, rels) in &footprints {
+            let g = c.group_of_view(*v).unwrap();
+            for r in rels {
+                assert_eq!(c.group_of_relation(r), Some(g));
+            }
+        }
+        // target >= group_count is identity; 0 clamps to 1.
+        assert_eq!(p.coarsen(9), p);
+        assert_eq!(p.coarsen(0).group_count(), 1);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod shard;
 pub mod shared;
 pub mod store;
 
+pub use shard::{merge_shards, ShardInput, ShardMerge, ShardMergeError};
 pub use shared::{ReorderingCommitter, SharedWarehouse};
 pub use store::{
     CommittedTxn, StoreTxn, ViewDelta, Warehouse, WarehouseAction, WarehouseError,

@@ -1,0 +1,291 @@
+//! Merging per-shard commit histories into one global store (sharded
+//! warehouse plane, §6.1 scaled out).
+//!
+//! Each warehouse shard owns a disjoint subset of views and applies its
+//! transactions under its own lock, so cross-shard interference is
+//! structurally impossible. During the run every applied transaction
+//! draws a **global ticket** (a shared atomic counter incremented while
+//! the applying shard's lock is held), which fixes one legal
+//! linearization of the whole plane: shard streams are view-disjoint, so
+//! any interleaving that preserves each shard's local order is
+//! equivalent, and the ticket order is such an interleaving that was
+//! actually observed. [`merge_shards`] replays that order into a single
+//! global [`Warehouse`] whose history carries full state vectors, so the
+//! existing single-store consistency oracle certifies the sharded run
+//! unchanged.
+
+use crate::store::{CommittedTxn, Warehouse, WarehouseSnapshot};
+use mvc_core::ViewId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One shard's contribution to the merge.
+#[derive(Debug)]
+pub struct ShardInput {
+    /// The shard's store at end of run (local history intact).
+    pub warehouse: Warehouse,
+    /// Global ticket per history entry, parallel to
+    /// `warehouse.history()` (drawn under the shard lock at apply time).
+    pub tickets: Vec<u64>,
+    /// The shard's pre-any-commit state vector, snapshotted at setup.
+    pub initial_fingerprints: BTreeMap<ViewId, u64>,
+}
+
+/// Why a merge was rejected. Any of these means the run's ticket
+/// protocol was broken — the plane has no certifiable linearization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardMergeError {
+    /// `tickets` and the shard's history disagree in length.
+    TicketCountMismatch {
+        shard: usize,
+        tickets: usize,
+        commits: usize,
+    },
+    /// The same global ticket was drawn twice.
+    DuplicateTicket(u64),
+    /// A shard's tickets are not increasing in local commit order (the
+    /// counter must be drawn under the shard lock, in apply order).
+    TicketOrderInverted { shard: usize, ticket: u64 },
+    /// Two shards claim the same view.
+    DuplicateView(ViewId),
+}
+
+impl fmt::Display for ShardMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardMergeError::TicketCountMismatch {
+                shard,
+                tickets,
+                commits,
+            } => write!(f, "shard {shard}: {tickets} tickets for {commits} commits"),
+            ShardMergeError::DuplicateTicket(t) => {
+                write!(f, "global ticket {t} drawn by two commits")
+            }
+            ShardMergeError::TicketOrderInverted { shard, ticket } => write!(
+                f,
+                "shard {shard}: ticket {ticket} out of order with its local history"
+            ),
+            ShardMergeError::DuplicateView(v) => write!(f, "view {v} owned by two shards"),
+        }
+    }
+}
+
+impl std::error::Error for ShardMergeError {}
+
+/// The result of [`merge_shards`]: a global store plus the maps that
+/// relate it back to the per-shard planes.
+#[derive(Debug)]
+pub struct ShardMerge {
+    /// Global warehouse: all shards' views, ticket-ordered history with
+    /// full (all-view) fingerprint vectors per commit.
+    pub warehouse: Warehouse,
+    /// Global commit order: position `k` holds `(shard, local_index)` of
+    /// the commit that became global `commit_index` `k + 1`.
+    pub order: Vec<(usize, usize)>,
+    /// Per shard: local watermark `w` (1-based; vector index `w - 1`)
+    /// mapped to its global `commit_index`. Strictly increasing per
+    /// shard, so remapped per-shard watermark sequences stay monotone.
+    pub local_to_global: Vec<Vec<u64>>,
+}
+
+/// Replay per-shard histories in global-ticket order into one store.
+/// See the module docs for why the ticket order is a legal
+/// linearization. Shard view contents are taken as-is (they *are* the
+/// final global contents — no other shard ever touched them);
+/// per-commit fingerprint maps are spliced into running full state
+/// vectors initialized from every shard's initial fingerprints.
+pub fn merge_shards(inputs: Vec<ShardInput>) -> Result<ShardMerge, ShardMergeError> {
+    // Ticket-sorted global order, with protocol validation.
+    let mut order: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+    for (s, input) in inputs.iter().enumerate() {
+        let commits = input.warehouse.history().len();
+        if input.tickets.len() != commits {
+            return Err(ShardMergeError::TicketCountMismatch {
+                shard: s,
+                tickets: input.tickets.len(),
+                commits,
+            });
+        }
+        let mut prev: Option<u64> = None;
+        for (i, &t) in input.tickets.iter().enumerate() {
+            if prev.is_some_and(|p| t <= p) {
+                return Err(ShardMergeError::TicketOrderInverted {
+                    shard: s,
+                    ticket: t,
+                });
+            }
+            prev = Some(t);
+            if order.insert(t, (s, i)).is_some() {
+                return Err(ShardMergeError::DuplicateTicket(t));
+            }
+        }
+    }
+
+    // Disjoint view ownership + the running global state vector.
+    let mut running: BTreeMap<ViewId, u64> = BTreeMap::new();
+    let mut views = Vec::new();
+    let mut owner: BTreeMap<ViewId, usize> = BTreeMap::new();
+    for (s, input) in inputs.iter().enumerate() {
+        let snap = input.warehouse.snapshot();
+        for (id, name, content, version) in snap.views {
+            if let Some(&other) = owner.get(&id) {
+                let _ = other;
+                return Err(ShardMergeError::DuplicateView(id));
+            }
+            owner.insert(id, s);
+            views.push((id, name, content, version));
+        }
+        for (&v, &fp) in &input.initial_fingerprints {
+            running.insert(v, fp);
+        }
+    }
+
+    let order: Vec<(usize, usize)> = order.into_values().collect();
+    let mut history: Vec<CommittedTxn> = Vec::with_capacity(order.len());
+    let mut local_to_global: Vec<Vec<u64>> = inputs
+        .iter()
+        .map(|i| Vec::with_capacity(i.tickets.len()))
+        .collect();
+    for (k, &(s, i)) in order.iter().enumerate() {
+        let rec = &inputs[s].warehouse.history()[i];
+        // The shard's per-commit fingerprint map is its full shard-local
+        // state vector; other shards' entries are untouched by this
+        // commit (separate stores), so the spliced map is the global
+        // state vector after it.
+        for (&v, &fp) in &rec.fingerprints {
+            running.insert(v, fp);
+        }
+        let global_index = k as u64 + 1;
+        local_to_global[s].push(global_index);
+        history.push(CommittedTxn {
+            seq: rec.seq,
+            views: rec.views.clone(),
+            frontier: rec.frontier,
+            fingerprints: running.clone(),
+            snapshot: None,
+            commit_index: global_index,
+        });
+    }
+
+    let commits = history.len() as u64;
+    let warehouse = Warehouse::restore(WarehouseSnapshot {
+        views,
+        history,
+        record_snapshots: false,
+        commits,
+    });
+    Ok(ShardMerge {
+        warehouse,
+        order,
+        local_to_global,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreTxn;
+    use mvc_core::{ActionList, TxnSeq, UpdateId};
+    use mvc_relational::{tuple, Delta, Relation, Schema};
+
+    fn shard_with(views: &[(u32, i64)], txns: &[(u64, u32, i64)]) -> ShardInput {
+        let mut w = Warehouse::new(false);
+        for &(v, seed) in views {
+            let mut r = Relation::new(Schema::ints(&["a"]));
+            r.insert(tuple![seed]).unwrap();
+            w.register_view(ViewId(v), format!("V{v}").as_str(), r)
+                .unwrap();
+        }
+        let initial_fingerprints = w.initial_fingerprints();
+        let mut tickets = Vec::new();
+        for &(ticket, v, row) in txns {
+            let mut d = Delta::new();
+            d.insert(tuple![row]);
+            let al = ActionList::single(ViewId(v), UpdateId(row as u64), d);
+            let txn = StoreTxn {
+                seq: TxnSeq(ticket),
+                rows: vec![UpdateId(row as u64)],
+                views: [ViewId(v)].into(),
+                frontier: UpdateId(row as u64),
+                actions: vec![al],
+            };
+            w.apply(&txn).unwrap();
+            tickets.push(ticket);
+        }
+        ShardInput {
+            warehouse: w,
+            tickets,
+            initial_fingerprints,
+        }
+    }
+
+    #[test]
+    fn merge_interleaves_by_ticket_with_full_state_vectors() {
+        // Shard 0 owns V1 (tickets 1, 4), shard 1 owns V2 (tickets 2, 3).
+        let s0 = shard_with(&[(1, 10)], &[(1, 1, 11), (4, 1, 12)]);
+        let s1 = shard_with(&[(2, 20)], &[(2, 2, 21), (3, 2, 22)]);
+        let v1_initial = s0.initial_fingerprints[&ViewId(1)];
+        let v2_after_first = s1.warehouse.history()[0].fingerprints[&ViewId(2)];
+        let m = merge_shards(vec![s0, s1]).unwrap();
+        assert_eq!(m.order, vec![(0, 0), (1, 0), (1, 1), (0, 1)]);
+        assert_eq!(m.local_to_global, vec![vec![1, 4], vec![2, 3]]);
+        let h = m.warehouse.history();
+        assert_eq!(h.len(), 4);
+        // Every merged record carries both views' fingerprints, with the
+        // other shard's entry frozen at its last value.
+        for rec in h {
+            assert!(rec.fingerprints.contains_key(&ViewId(1)));
+            assert!(rec.fingerprints.contains_key(&ViewId(2)));
+        }
+        assert_eq!(h[0].fingerprints[&ViewId(2)], {
+            let mut r = Relation::new(Schema::ints(&["a"]));
+            r.insert(tuple![20]).unwrap();
+            r.fingerprint()
+        });
+        assert_eq!(h[1].fingerprints[&ViewId(1)], h[0].fingerprints[&ViewId(1)]);
+        assert_eq!(h[1].fingerprints[&ViewId(2)], v2_after_first);
+        assert_ne!(h[0].fingerprints[&ViewId(1)], v1_initial);
+        assert_eq!(
+            h.iter().map(|r| r.commit_index).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        // Final contents come straight from the shard stores.
+        assert_eq!(m.warehouse.commit_count(), 4);
+        assert!(m.warehouse.view(ViewId(1)).is_some());
+        assert!(m.warehouse.view(ViewId(2)).is_some());
+    }
+
+    #[test]
+    fn merge_rejects_protocol_violations() {
+        // Duplicate ticket across shards.
+        let s0 = shard_with(&[(1, 10)], &[(1, 1, 11)]);
+        let s1 = shard_with(&[(2, 20)], &[(1, 2, 21)]);
+        match merge_shards(vec![s0, s1]) {
+            Err(ShardMergeError::DuplicateTicket(t)) => assert_eq!(t, 1),
+            other => panic!("expected DuplicateTicket, got {other:?}"),
+        }
+        // Duplicate view ownership.
+        let a = shard_with(&[(1, 10)], &[(1, 1, 11)]);
+        let b = shard_with(&[(1, 20)], &[(2, 1, 21)]);
+        match merge_shards(vec![a, b]) {
+            Err(ShardMergeError::DuplicateView(v)) => assert_eq!(v, ViewId(1)),
+            other => panic!("expected DuplicateView, got {other:?}"),
+        }
+        // Ticket count mismatch.
+        let mut c = shard_with(&[(1, 10)], &[(1, 1, 11)]);
+        c.tickets.push(9);
+        match merge_shards(vec![c]) {
+            Err(ShardMergeError::TicketCountMismatch { shard, .. }) => assert_eq!(shard, 0),
+            other => panic!("expected TicketCountMismatch, got {other:?}"),
+        }
+        // Local ticket order inverted.
+        let mut d = shard_with(&[(1, 10)], &[(1, 1, 11), (2, 1, 12)]);
+        d.tickets = vec![2, 1];
+        match merge_shards(vec![d]) {
+            Err(ShardMergeError::TicketOrderInverted { shard, ticket }) => {
+                assert_eq!((shard, ticket), (0, 1));
+            }
+            other => panic!("expected TicketOrderInverted, got {other:?}"),
+        }
+    }
+}

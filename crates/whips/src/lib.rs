@@ -16,6 +16,7 @@ pub mod oracle;
 pub mod recovery;
 pub mod registry;
 pub mod scenario;
+pub mod shard;
 pub mod sim;
 pub mod threaded;
 pub mod workload;
@@ -26,9 +27,10 @@ pub use integrator::{GroupRouting, Integrator};
 pub use metrics::{SimMetrics, Summary};
 pub use mvc_readpath::{ReadCertificate, ReadObservation, ReadViolation};
 pub use obs::{Histogram, PipelineObs, QueueGauge};
-pub use oracle::{Oracle, Verdict};
+pub use oracle::{Oracle, ShardViolation, Verdict};
 pub use recovery::{recover_and_run, RecoveryError};
 pub use registry::{ManagerKind, ViewEntry, ViewRegistry};
+pub use shard::{ReadFrontier, ShardPlane, ShardReport, ShardTopology, ShardWatermarks};
 pub use sim::{
     CommitLogEntry, DurableOutcome, SimBuilder, SimConfig, SimError, SimReport, WorkloadTxn,
 };

@@ -59,6 +59,14 @@ pub struct SimMetrics {
     pub vut_occupancy: Summary,
     /// Messages delivered per channel class (diagnostics).
     pub messages_delivered: u64,
+    /// Scheduler steps spent inside each merge group's plane (VM compute
+    /// routed to the group's views, merge, commit, ack). Sim runtime
+    /// only; empty in the threaded runtime. The serial sim executes
+    /// these one at a time, but the groups are independent (§6.1), so
+    /// `max(group_busy_steps)` is the emulated-parallel makespan of the
+    /// merge/commit plane — the basis of the shard-scaling bench.
+    #[serde(default)]
+    pub group_busy_steps: Vec<u64>,
 }
 
 impl SimMetrics {

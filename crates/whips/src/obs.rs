@@ -237,6 +237,12 @@ pub struct PipelineObs {
     pub read_staleness: Histogram,
     pub read_chain: Histogram,
     pub read_gc_lag: Histogram,
+    /// Wall-span of per-group merge activity: group → (first, last)
+    /// activity timestamp, in this instance's `unit` since the run's
+    /// epoch (ns threaded, virtual steps simulated). Overlapping spans
+    /// across groups are the direct evidence that per-group merge
+    /// workers were concurrently active.
+    pub group_activity: BTreeMap<usize, (u64, u64)>,
 }
 
 impl PipelineObs {
@@ -254,7 +260,15 @@ impl PipelineObs {
             read_staleness: Histogram::new(),
             read_chain: Histogram::new(),
             read_gc_lag: Histogram::new(),
+            group_activity: BTreeMap::new(),
         }
+    }
+
+    /// Stretch group `g`'s activity span to cover timestamp `at`.
+    pub fn note_group_span(&mut self, group: usize, at: u64) {
+        let e = self.group_activity.entry(group).or_insert((at, at));
+        e.0 = e.0.min(at);
+        e.1 = e.1.max(at);
     }
 
     /// Record one reader-workload read's unit-less gauges (staleness in
@@ -309,6 +323,11 @@ impl PipelineObs {
         self.read_staleness.merge(&other.read_staleness);
         self.read_chain.merge(&other.read_chain);
         self.read_gc_lag.merge(&other.read_gc_lag);
+        for (g, (first, last)) in &other.group_activity {
+            let e = self.group_activity.entry(*g).or_insert((*first, *last));
+            e.0 = e.0.min(*first);
+            e.1 = e.1.max(*last);
+        }
     }
 
     /// JSON rendering used by the `bench_pipeline` harness.
@@ -340,6 +359,25 @@ impl PipelineObs {
             ("vut_occupancy".to_owned(), self.vut_occupancy.to_json()),
             ("vut_peak".to_owned(), self.vut_peak().into()),
         ];
+        if !self.group_activity.is_empty() {
+            out.push((
+                "group_activity".to_owned(),
+                self.group_activity
+                    .iter()
+                    .map(|(g, (first, last))| {
+                        (
+                            g.to_string(),
+                            [
+                                ("first".to_owned(), serde_json::Value::from(*first)),
+                                ("last".to_owned(), (*last).into()),
+                            ]
+                            .into_iter()
+                            .collect::<serde_json::Value>(),
+                        )
+                    })
+                    .collect(),
+            ));
+        }
         if !self.read_staleness.is_empty() {
             // Reader metrics carry the run's unit tag like everything
             // else; latency is in `unit`, the gauges are commit counts.
@@ -556,6 +594,26 @@ mod tests {
         assert_eq!(j["vut_peak"].as_u64(), Some(5));
         // No readers configured → no readers block in the JSON.
         assert!(j["readers"].as_object().is_none());
+    }
+
+    #[test]
+    fn group_activity_spans_merge_and_json() {
+        let mut a = PipelineObs::new("ns");
+        a.note_group_span(0, 10);
+        a.note_group_span(0, 50);
+        a.note_group_span(1, 30);
+        let mut b = PipelineObs::new("ns");
+        b.note_group_span(0, 5);
+        b.note_group_span(1, 90);
+        a.merge(&b);
+        assert_eq!(a.group_activity[&0], (5, 50));
+        assert_eq!(a.group_activity[&1], (30, 90));
+        let j = a.to_json();
+        assert_eq!(j["group_activity"]["0"]["first"].as_u64(), Some(5));
+        assert_eq!(j["group_activity"]["1"]["last"].as_u64(), Some(90));
+        // No spans recorded → no key in the JSON.
+        let empty = PipelineObs::new("ns");
+        assert!(empty.to_json()["group_activity"].as_object().is_none());
     }
 
     #[test]

@@ -76,6 +76,88 @@ impl fmt::Display for Verdict {
     }
 }
 
+/// A sharded-plane protocol violation found by [`Oracle::check_sharded`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardViolation {
+    /// The plane's shape is inconsistent with the global report (counts,
+    /// assignment bounds, map lengths).
+    Shape(String),
+    /// A shard's commit log is not the global log filtered to its groups
+    /// (same entries, same relative order).
+    CommitLogMismatch {
+        shard: usize,
+        index: usize,
+        detail: String,
+    },
+    /// `local_to_global` is not strictly increasing, or points at a
+    /// global commit that disagrees with the shard-local one.
+    MapMismatch {
+        shard: usize,
+        local: u64,
+        detail: String,
+    },
+    /// A shard's twin state vector diverged from the global one.
+    FingerprintMismatch {
+        shard: usize,
+        local: u64,
+        view: ViewId,
+    },
+    /// A shard's read observations failed snapshot certification.
+    Read {
+        shard: usize,
+        violation: mvc_readpath::ReadViolation,
+    },
+    /// One reader's successive frontiers regressed on some shard —
+    /// the cross-shard read-your-watermark guarantee broke.
+    FrontierRegression {
+        reader: usize,
+        seq: u64,
+        shard: usize,
+    },
+    /// A frontier entry exceeds the shard's commit count: a reader saw a
+    /// register value no published cut can resolve.
+    FrontierUnresolvable {
+        reader: usize,
+        seq: u64,
+        shard: usize,
+        watermark: u64,
+    },
+}
+
+impl fmt::Display for ShardViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardViolation::Shape(d) => write!(f, "plane shape: {d}"),
+            ShardViolation::CommitLogMismatch { shard, index, detail } => {
+                write!(f, "shard {shard} commit log entry {index}: {detail}")
+            }
+            ShardViolation::MapMismatch { shard, local, detail } => {
+                write!(f, "shard {shard} local watermark {local}: {detail}")
+            }
+            ShardViolation::FingerprintMismatch { shard, local, view } => write!(
+                f,
+                "shard {shard} watermark {local}: view {view} fingerprint diverges from the global history"
+            ),
+            ShardViolation::Read { shard, violation } => {
+                write!(f, "shard {shard} read certification: {violation}")
+            }
+            ShardViolation::FrontierRegression { reader, seq, shard } => write!(
+                f,
+                "reader {reader} frontier {seq} regressed on shard {shard}"
+            ),
+            ShardViolation::FrontierUnresolvable {
+                reader,
+                seq,
+                shard,
+                watermark,
+            } => write!(
+                f,
+                "reader {reader} frontier {seq}: shard {shard} watermark {watermark} was never published"
+            ),
+        }
+    }
+}
+
 /// Oracle over one simulation report.
 pub struct Oracle<'a> {
     report: &'a SimReport,
@@ -508,8 +590,186 @@ impl<'a> Oracle<'a> {
         )
     }
 
-    /// Test helper: assert every group satisfies its guaranteed level and
-    /// every observed reader cut certifies.
+    /// Certify the sharded commit plane (vacuously `Ok` on unsharded
+    /// runs). Four obligations:
+    ///
+    /// 1. **routing** — each shard's commit log is exactly the global log
+    ///    filtered to the groups the assignment gives that shard, in the
+    ///    same relative order (the global history is a legal merge of the
+    ///    per-shard streams);
+    /// 2. **watermark maps** — `local_to_global` is strictly increasing
+    ///    and each mapped global commit carries the same transaction,
+    ///    with the shard twin's state vector agreeing with the global
+    ///    one on the shard's views at every cut;
+    /// 3. **per-shard reads** — every shard's observations certify as
+    ///    snapshot reads of that shard's history (monotone sessions,
+    ///    fingerprint-matched cuts);
+    /// 4. **frontiers** — one reader's successive watermark-vector
+    ///    snapshots are pointwise monotone and every entry resolves to a
+    ///    published cut: the cross-shard read-your-watermark guarantee.
+    pub fn check_sharded(&self) -> Result<(), ShardViolation> {
+        let Some(plane) = &self.report.shard_plane else {
+            return Ok(());
+        };
+        let history = self.report.warehouse.history();
+        if self.report.commit_log.len() != history.len() {
+            return Err(ShardViolation::Shape(format!(
+                "global commit log has {} entries for {} commits",
+                self.report.commit_log.len(),
+                history.len()
+            )));
+        }
+
+        // 1. Per-shard logs = routed global log.
+        let mut expected: Vec<Vec<&crate::sim::CommitLogEntry>> =
+            vec![Vec::new(); plane.shards.len()];
+        for e in &self.report.commit_log {
+            let s = *plane.assignment.get(e.group).ok_or_else(|| {
+                ShardViolation::Shape(format!(
+                    "group {} outside the assignment ({} groups)",
+                    e.group,
+                    plane.assignment.len()
+                ))
+            })?;
+            if s >= plane.shards.len() {
+                return Err(ShardViolation::Shape(format!(
+                    "group {} assigned to shard {s} of {}",
+                    e.group,
+                    plane.shards.len()
+                )));
+            }
+            expected[s].push(e);
+        }
+        for (s, shard) in plane.shards.iter().enumerate() {
+            if shard.commit_log.len() != expected[s].len() {
+                return Err(ShardViolation::CommitLogMismatch {
+                    shard: s,
+                    index: shard.commit_log.len().min(expected[s].len()),
+                    detail: format!(
+                        "{} local entries, {} routed to this shard globally",
+                        shard.commit_log.len(),
+                        expected[s].len()
+                    ),
+                });
+            }
+            for (i, (got, want)) in shard.commit_log.iter().zip(&expected[s]).enumerate() {
+                if got.group != want.group || got.seq != want.seq || got.views != want.views {
+                    return Err(ShardViolation::CommitLogMismatch {
+                        shard: s,
+                        index: i,
+                        detail: format!(
+                            "local (group {}, seq {}) vs global (group {}, seq {})",
+                            got.group, got.seq, want.group, want.seq
+                        ),
+                    });
+                }
+            }
+
+            // 2. Watermark map + twin state vectors.
+            if shard.local_to_global.len() != shard.history.len()
+                || shard.commits != shard.history.len() as u64
+            {
+                return Err(ShardViolation::Shape(format!(
+                    "shard {s}: {} map entries / {} commits for {} history entries",
+                    shard.local_to_global.len(),
+                    shard.commits,
+                    shard.history.len()
+                )));
+            }
+            let mut prev = 0u64;
+            for (i, (&global, rec)) in shard.local_to_global.iter().zip(&shard.history).enumerate()
+            {
+                let local = i as u64 + 1;
+                if global <= prev {
+                    return Err(ShardViolation::MapMismatch {
+                        shard: s,
+                        local,
+                        detail: format!("global index {global} after {prev} (not increasing)"),
+                    });
+                }
+                prev = global;
+                let Some(grec) = history.get(global as usize - 1) else {
+                    return Err(ShardViolation::MapMismatch {
+                        shard: s,
+                        local,
+                        detail: format!(
+                            "global index {global} past the history ({} commits)",
+                            history.len()
+                        ),
+                    });
+                };
+                if grec.seq != rec.seq || grec.views != rec.views {
+                    return Err(ShardViolation::MapMismatch {
+                        shard: s,
+                        local,
+                        detail: format!("local seq {} maps to global seq {}", rec.seq, grec.seq),
+                    });
+                }
+                for (v, fp) in &rec.fingerprints {
+                    if grec.fingerprints.get(v) != Some(fp) {
+                        return Err(ShardViolation::FingerprintMismatch {
+                            shard: s,
+                            local,
+                            view: *v,
+                        });
+                    }
+                }
+            }
+
+            // 3. Shard-local snapshot-read certification.
+            if let Err(violation) = mvc_readpath::verify_observations(
+                &shard.read_observations,
+                &shard.history,
+                &shard.initial_fingerprints,
+            ) {
+                return Err(ShardViolation::Read {
+                    shard: s,
+                    violation,
+                });
+            }
+        }
+
+        // 4. Frontier monotonicity + resolvability per reader.
+        let mut last: BTreeMap<usize, (u64, &[u64])> = BTreeMap::new();
+        for f in &plane.frontiers {
+            if f.watermarks.len() != plane.shards.len() {
+                return Err(ShardViolation::Shape(format!(
+                    "reader {} frontier {} has {} entries for {} shards",
+                    f.reader,
+                    f.seq,
+                    f.watermarks.len(),
+                    plane.shards.len()
+                )));
+            }
+            for (s, &w) in f.watermarks.iter().enumerate() {
+                if w > plane.shards[s].commits {
+                    return Err(ShardViolation::FrontierUnresolvable {
+                        reader: f.reader,
+                        seq: f.seq,
+                        shard: s,
+                        watermark: w,
+                    });
+                }
+            }
+            if let Some((prev_seq, prev)) = last.get(&f.reader) {
+                if f.seq > *prev_seq {
+                    if let Some(s) = (0..prev.len()).find(|&s| f.watermarks[s] < prev[s]) {
+                        return Err(ShardViolation::FrontierRegression {
+                            reader: f.reader,
+                            seq: f.seq,
+                            shard: s,
+                        });
+                    }
+                }
+            }
+            last.insert(f.reader, (f.seq, &f.watermarks));
+        }
+        Ok(())
+    }
+
+    /// Test helper: assert every group satisfies its guaranteed level,
+    /// every observed reader cut certifies, and (when the run was
+    /// sharded) the shard plane certifies.
     pub fn assert_ok(&self) {
         for (g, level, verdict) in self.check_report() {
             assert!(
@@ -519,6 +779,9 @@ impl<'a> Oracle<'a> {
         }
         if let Err(v) = self.check_reads() {
             panic!("reader observed an uncertified cut: {v}");
+        }
+        if let Err(v) = self.check_sharded() {
+            panic!("sharded plane failed certification: {v}");
         }
     }
 }

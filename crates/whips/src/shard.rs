@@ -1,0 +1,248 @@
+//! The sharded merge/commit plane: group→shard topology, per-shard
+//! monotone watermark registers, cross-shard reader frontiers, and the
+//! per-shard report the oracle's `check_sharded` certifies.
+//!
+//! A *shard* owns a subset of merge groups (and therefore a disjoint
+//! subset of views — groups never share base relations, §6.1). Each
+//! shard runs its own commit plane: its own warehouse store, WAL
+//! stream, commit log, and versioned-cut store, serialized by its own
+//! audited lock classes (`shard{i}.*`). The only cross-shard
+//! coordination is the **watermark protocol**: after every commit a
+//! shard publishes its new local watermark into a `fetch_max` register;
+//! a reader spanning shards snapshots the whole register vector (its
+//! *frontier*) and reads each shard at its clamped entry. Registers are
+//! monotone, so successive frontiers of one reader are pointwise
+//! monotone — the cross-shard analogue of read-your-watermark — and
+//! every per-shard read is an ordinary certified snapshot read.
+
+use crate::sim::CommitLogEntry;
+use mvc_core::ViewId;
+use mvc_readpath::ReadObservation;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Static group→shard assignment: groups are dealt round-robin, so
+/// shard loads stay balanced without knowing per-group rates. The shard
+/// count is clamped to `[1, max(groups, 1)]` — a shard with no groups
+/// would be dead weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTopology {
+    group_shard: Vec<usize>,
+    shards: usize,
+}
+
+impl ShardTopology {
+    pub fn new(groups: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, groups.max(1));
+        ShardTopology {
+            group_shard: (0..groups).map(|g| g % shards).collect(),
+            shards,
+        }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    pub fn groups(&self) -> usize {
+        self.group_shard.len()
+    }
+
+    /// The shard that owns merge group `g`.
+    pub fn shard_of(&self, group: usize) -> usize {
+        self.group_shard[group]
+    }
+
+    /// The groups assigned to `shard`, ascending.
+    pub fn groups_of(&self, shard: usize) -> Vec<usize> {
+        self.group_shard
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(g, _)| g)
+            .collect()
+    }
+
+    /// The full assignment vector (`group → shard`), for reports.
+    pub fn assignment(&self) -> &[usize] {
+        &self.group_shard
+    }
+}
+
+/// Per-shard monotone watermark registers — the whole cross-shard
+/// coordination surface. Writers `publish` their shard's new local
+/// watermark after committing; readers `snapshot` the vector as their
+/// frontier. `fetch_max` keeps each register monotone even if acks race.
+#[derive(Debug)]
+pub struct ShardWatermarks {
+    regs: Vec<AtomicU64>,
+}
+
+impl ShardWatermarks {
+    pub fn new(shards: usize) -> Self {
+        ShardWatermarks {
+            regs: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Publish `watermark` as shard `s`'s newest committed cut. Called
+    /// after the shard's cut store has the version, so any reader that
+    /// observes the register value can resolve it.
+    pub fn publish(&self, shard: usize, watermark: u64) {
+        // SeqCst: the register must not be observed ahead of the cut
+        // publication that precedes it program-order; plain store-max
+        // with the strongest ordering keeps the reasoning trivial, and
+        // this is one RMW per commit — far off the hot path.
+        self.regs[shard].fetch_max(watermark, Ordering::SeqCst);
+    }
+
+    pub fn get(&self, shard: usize) -> u64 {
+        // SeqCst: pairs with `publish` (see its justification).
+        self.regs[shard].load(Ordering::SeqCst)
+    }
+
+    /// The global low-watermark snapshot: one register read per shard.
+    /// Entries are each individually in the past, so reading each shard
+    /// *at* its entry yields a consistent (certified) per-shard cut;
+    /// monotonicity of the registers makes successive snapshots of one
+    /// reader pointwise monotone.
+    pub fn snapshot(&self) -> Vec<u64> {
+        (0..self.regs.len()).map(|s| self.get(s)).collect()
+    }
+}
+
+/// One cross-shard read's frontier: the watermark vector a reader
+/// snapshotted before fanning its read out to the shards. `check_sharded`
+/// verifies the vectors of one reader are pointwise monotone in `seq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadFrontier {
+    /// Reader index (fleet-local).
+    pub reader: usize,
+    /// The reader's own read counter (orders its frontiers).
+    pub seq: u64,
+    /// Per-shard watermarks at snapshot time.
+    pub watermarks: Vec<u64>,
+}
+
+/// One shard's slice of a sharded run, kept in shard-local terms so the
+/// oracle can re-certify each plane independently of the global merge.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Shard-local commit log (groups are global group ids).
+    pub commit_log: Vec<CommitLogEntry>,
+    /// Shard-local commit history (local `commit_index`).
+    pub history: Vec<mvc_warehouse::CommittedTxn>,
+    /// Pre-any-commit fingerprints of this shard's views.
+    pub initial_fingerprints: BTreeMap<ViewId, u64>,
+    /// Read observations against this shard's cut store, in shard-local
+    /// session ids and watermarks.
+    pub read_observations: Vec<ReadObservation>,
+    /// Local watermark `w` (1-based; index `w - 1`) → global
+    /// `commit_index` in the merged history.
+    pub local_to_global: Vec<u64>,
+    /// Commits this shard applied.
+    pub commits: u64,
+}
+
+/// The sharded plane's report: per-shard slices plus the cross-shard
+/// reader frontiers. `None` in `SimReport::shard_plane` means the run
+/// was unsharded and the plane checks are vacuous.
+#[derive(Debug, Clone, Default)]
+pub struct ShardPlane {
+    /// `group → shard` assignment the run used.
+    pub assignment: Vec<usize>,
+    pub shards: Vec<ShardReport>,
+    pub frontiers: Vec<ReadFrontier>,
+}
+
+/// Build the audited lock-class name for shard `s` from a `{i}`
+/// template (e.g. `shard_class(2, "shard{i}.warehouse")` →
+/// `"shard2.warehouse"`). The template literal at each construction
+/// site is what `lock_lint` checks against the manifest; the interner
+/// gives the concrete per-index name the runtime lockdep graph needs.
+pub fn shard_class(shard: usize, template: &'static str) -> &'static str {
+    mvc_core::lock::intern_lock_name(&template.replace("{i}", &shard.to_string()))
+}
+
+/// Remap a shard-local session id into the global space: shard index in
+/// the high 32 bits. Keeps per-(reader, shard) sessions distinct after
+/// shard observation lists are merged into one global list.
+pub fn global_session(shard: usize, local: u64) -> u64 {
+    ((shard as u64) << 32) | (local & 0xffff_ffff)
+}
+
+/// Remap one shard's observations into global terms: session ids via
+/// [`global_session`], watermarks via the shard's `local_to_global` map
+/// (local 0 — the pre-any-commit cut — stays global 0: the shard's
+/// views still carry their initial fingerprints then). The remapped
+/// observations certify against the *merged* history with the ordinary
+/// single-store `verify_observations`.
+pub fn remap_observations(
+    shard: usize,
+    observations: &[ReadObservation],
+    local_to_global: &[u64],
+) -> Vec<ReadObservation> {
+    observations
+        .iter()
+        .map(|o| {
+            let mut o = o.clone();
+            o.session = global_session(shard, o.session);
+            o.cut.watermark = if o.cut.watermark == 0 {
+                0
+            } else {
+                local_to_global[o.cut.watermark as usize - 1]
+            };
+            o
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_round_robin_and_clamping() {
+        let t = ShardTopology::new(5, 2);
+        assert_eq!(t.shards(), 2);
+        assert_eq!(t.assignment(), &[0, 1, 0, 1, 0]);
+        assert_eq!(t.groups_of(0), vec![0, 2, 4]);
+        assert_eq!(t.groups_of(1), vec![1, 3]);
+        assert_eq!(t.shard_of(3), 1);
+        // More shards than groups: clamp so no shard is empty.
+        let t = ShardTopology::new(2, 8);
+        assert_eq!(t.shards(), 2);
+        // Degenerate inputs.
+        assert_eq!(ShardTopology::new(0, 0).shards(), 1);
+        assert_eq!(ShardTopology::new(3, 0).shards(), 1);
+        assert_eq!(ShardTopology::new(3, 1).assignment(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn watermark_registers_are_monotone() {
+        let w = ShardWatermarks::new(3);
+        w.publish(0, 5);
+        w.publish(1, 2);
+        w.publish(0, 3); // late racing ack must not regress the register
+        assert_eq!(w.snapshot(), vec![5, 2, 0]);
+        w.publish(2, 7);
+        w.publish(1, 4);
+        assert_eq!(w.snapshot(), vec![5, 4, 7]);
+    }
+
+    #[test]
+    fn session_remap_is_injective_across_shards() {
+        assert_ne!(global_session(0, 3), global_session(1, 3));
+        assert_eq!(global_session(0, 3), 3);
+        assert_eq!(global_session(2, 1), (2u64 << 32) | 1);
+    }
+
+    #[test]
+    fn shard_class_substitutes_and_interns() {
+        let a = shard_class(0, "shard{i}.warehouse");
+        assert_eq!(a, "shard0.warehouse");
+        let b = shard_class(0, "shard{i}.warehouse");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(shard_class(3, "shard{i}.wal"), "shard3.wal");
+    }
+}

@@ -19,6 +19,9 @@ use crate::integrator::Integrator;
 use crate::metrics::SimMetrics;
 use crate::obs::PipelineObs;
 use crate::registry::{ManagerKind, ViewRegistry};
+use crate::shard::{
+    remap_observations, ReadFrontier, ShardPlane, ShardReport, ShardTopology, ShardWatermarks,
+};
 use mvc_core::{
     CommitPolicy, CommitStats, ConsistencyLevel, MergeAlgorithm, MergeError, MergeProcess,
     MergeStats, Partitioning, TxnSeq, UpdateId, ViewId,
@@ -86,6 +89,19 @@ pub struct SimConfig {
     /// Durable runs reject §1.2 dynamic installs — the install protocol's
     /// pseudo-updates are not in the WAL vocabulary.
     pub durability: Option<DurabilityConfig>,
+    /// Cap on the number of merge groups: the §6.1 partitioning is
+    /// coarsened (groups folded together) down to at most this many.
+    /// `None` keeps the natural connected-component partitioning.
+    pub groups: Option<usize>,
+    /// Warehouse shards. Each shard owns a subset of merge groups
+    /// (round-robin) and runs a twin commit plane — its own store,
+    /// commit log and versioned-cut stack — coordinated only through
+    /// the cross-shard watermark registers. Readers switch to the
+    /// frontier protocol (snapshot the register vector, read each shard
+    /// at its entry). `1` = unsharded (the plane is absent from the
+    /// report). Sharded runs are in-memory only and reject dynamic
+    /// installs.
+    pub shards: usize,
 }
 
 impl Default for SimConfig {
@@ -104,6 +120,8 @@ impl Default for SimConfig {
             readers: 0,
             max_steps: 50_000_000,
             durability: None,
+            groups: None,
+            shards: 1,
         }
     }
 }
@@ -454,6 +472,10 @@ pub struct SimReport {
     /// observation must match (empty on a resumed run that recovered past
     /// commit 0, where no watermark-0 read is possible).
     pub initial_fingerprints: BTreeMap<ViewId, u64>,
+    /// The sharded commit plane's report (`None` = unsharded run):
+    /// per-shard commit logs/histories/observations plus the cross-shard
+    /// reader frontiers, certified by `Oracle::check_sharded`.
+    pub shard_plane: Option<ShardPlane>,
 }
 
 /// One entry of [`SimReport::commit_log`].
@@ -463,6 +485,37 @@ pub struct CommitLogEntry {
     pub seq: TxnSeq,
     pub rows: Vec<UpdateId>,
     pub views: BTreeSet<ViewId>,
+}
+
+/// Live state of the sharded commit plane (`None` when `shards == 1`).
+/// The global warehouse stays the primary store — its history *is* the
+/// observed global linearization — and every commit is twinned into the
+/// owning shard's plane, which is what a real sharded deployment would
+/// run (the global store here plays the role of the ticket-merged
+/// reconstruction the threaded runtime computes after the fact).
+struct ShardState {
+    topology: ShardTopology,
+    /// Per-shard twin stores (only the shard's own views registered).
+    warehouses: Vec<Warehouse>,
+    /// Per-shard view sets, ascending (the shard readers' query set).
+    views: Vec<Vec<ViewId>>,
+    commit_logs: Vec<Vec<CommitLogEntry>>,
+    /// Per-shard versioned-cut stacks (shard-local watermarks).
+    cuts: Vec<VersionedCuts>,
+    /// `sessions[reader][shard]`: one session per (reader, shard) pair.
+    sessions: Vec<Vec<ReadSession>>,
+    /// Per-shard observations, in shard-local sessions/watermarks.
+    observations: Vec<Vec<ReadObservation>>,
+    initial_fingerprints: Vec<BTreeMap<ViewId, u64>>,
+    /// Per shard: local watermark `w` (index `w - 1`) → global
+    /// `commit_index`, recorded at commit time.
+    local_to_global: Vec<Vec<u64>>,
+    /// The cross-shard watermark registers.
+    watermarks: ShardWatermarks,
+    /// Every frontier the readers snapshotted, in program order.
+    frontiers: Vec<ReadFrontier>,
+    /// Per reader: next frontier sequence number.
+    reader_seq: Vec<u64>,
 }
 
 pub(crate) struct Sim {
@@ -528,11 +581,16 @@ pub(crate) struct Sim {
     read_observations: Vec<ReadObservation>,
     /// Pre-any-commit state-vector fingerprints.
     initial_fingerprints: BTreeMap<ViewId, u64>,
+    /// Sharded commit plane (`None` when `shards == 1`).
+    shard_state: Option<ShardState>,
 }
 
 impl Sim {
     fn build(b: SimBuilder) -> Result<Self, SimError> {
-        let partitioning = b.registry.partitioning(b.config.partition);
+        let mut partitioning = b.registry.partitioning(b.config.partition);
+        if let Some(cap) = b.config.groups {
+            partitioning = partitioning.coarsen(cap);
+        }
         let groups = partitioning.group_count().max(1);
         let mut group_views: Vec<BTreeSet<ViewId>> = vec![BTreeSet::new(); groups];
         for id in b.registry.ids() {
@@ -577,7 +635,7 @@ impl Sim {
 
         let integrator = Integrator::new(
             b.registry.clone(),
-            b.registry.partitioning(b.config.partition),
+            partitioning.clone(),
             b.config.tuple_relevance,
         );
 
@@ -614,6 +672,69 @@ impl Sim {
         let reader_sessions: Vec<ReadSession> =
             (0..b.config.readers).map(|_| cuts.open_session()).collect();
 
+        // Sharded commit plane: twin stores per shard, each with its own
+        // versioned-cut stack, plus one read session per (reader, shard)
+        // pair. Sharded runs stay in-memory (per-shard WAL streams live
+        // in the threaded runtime) and reject dynamic installs (a twin
+        // created at build time would never learn the new view).
+        let topology = ShardTopology::new(groups, b.config.shards);
+        let shard_state = if topology.shards() > 1 {
+            if b.config.durability.is_some() {
+                return Err(SimError::Unsupported(
+                    "sharded sim runs are in-memory only".into(),
+                ));
+            }
+            if !b.installs.is_empty() {
+                return Err(SimError::Unsupported(
+                    "dynamic view installs are not supported in sharded mode".into(),
+                ));
+            }
+            let shards = topology.shards();
+            let mut warehouses: Vec<Warehouse> =
+                (0..shards).map(|_| Warehouse::new(false)).collect();
+            let mut views: Vec<Vec<ViewId>> = vec![Vec::new(); shards];
+            for e in b.registry.iter() {
+                let g = partitioning.group_of_view(e.id).unwrap_or(0);
+                let s = topology.shard_of(g);
+                warehouses[s]
+                    .register_view(
+                        e.id,
+                        e.def.name.clone(),
+                        mvc_relational::Relation::shared(e.def.schema.clone()),
+                    )
+                    .expect("fresh shard warehouse");
+                views[s].push(e.id);
+            }
+            let shard_initial = warehouses
+                .iter()
+                .map(Warehouse::initial_fingerprints)
+                .collect();
+            let shard_cuts: Vec<VersionedCuts> =
+                (0..shards).map(|_| VersionedCuts::new()).collect();
+            for (s, c) in shard_cuts.iter().enumerate() {
+                c.seed(0, warehouses[s].read(&views[s]));
+            }
+            let sessions = (0..b.config.readers)
+                .map(|_| shard_cuts.iter().map(VersionedCuts::open_session).collect())
+                .collect();
+            Some(ShardState {
+                warehouses,
+                views,
+                commit_logs: vec![Vec::new(); shards],
+                cuts: shard_cuts,
+                sessions,
+                observations: vec![Vec::new(); shards],
+                initial_fingerprints: shard_initial,
+                local_to_global: vec![Vec::new(); shards],
+                watermarks: ShardWatermarks::new(shards),
+                frontiers: Vec::new(),
+                reader_seq: vec![0; b.config.readers],
+                topology,
+            })
+        } else {
+            None
+        };
+
         let mut wal = None;
         let mut checkpoint_every = 0;
         if let Some(d) = &b.config.durability {
@@ -639,7 +760,10 @@ impl Sim {
             channels: BTreeMap::new(),
             workload: driver,
             reorder_buf: Vec::new(),
-            metrics: SimMetrics::default(),
+            metrics: SimMetrics {
+                group_busy_steps: vec![0; groups],
+                ..SimMetrics::default()
+            },
             obs: PipelineObs::new("steps"),
             vm_pending: BTreeMap::new(),
             al_recv: BTreeMap::new(),
@@ -664,6 +788,7 @@ impl Sim {
             reader_views,
             read_observations: Vec::new(),
             initial_fingerprints,
+            shard_state,
             config: b.config,
         })
     }
@@ -856,6 +981,43 @@ impl Sim {
         }
         let merge_stats = self.mps.iter().map(MergeProcess::stats).collect();
         let commit_stats = self.mps.iter().map(MergeProcess::commit_stats).collect();
+        // Sharded runs: emit the per-shard planes, and *also* remap every
+        // shard observation into global sessions/watermarks so the
+        // ordinary single-store read certification covers them against
+        // the global history (the remap is exact — `local_to_global` was
+        // recorded at commit time).
+        let mut read_observations = self.read_observations;
+        let shard_plane = self.shard_state.map(|ss| {
+            let ShardState {
+                topology,
+                warehouses,
+                mut commit_logs,
+                mut observations,
+                mut initial_fingerprints,
+                mut local_to_global,
+                frontiers,
+                ..
+            } = ss;
+            let mut shards = Vec::with_capacity(warehouses.len());
+            for (s, w) in warehouses.iter().enumerate() {
+                let obs = std::mem::take(&mut observations[s]);
+                let l2g = std::mem::take(&mut local_to_global[s]);
+                read_observations.extend(remap_observations(s, &obs, &l2g));
+                shards.push(ShardReport {
+                    commit_log: std::mem::take(&mut commit_logs[s]),
+                    history: w.history().to_vec(),
+                    initial_fingerprints: std::mem::take(&mut initial_fingerprints[s]),
+                    read_observations: obs,
+                    local_to_global: l2g,
+                    commits: w.commit_count(),
+                });
+            }
+            ShardPlane {
+                assignment: topology.assignment().to_vec(),
+                shards,
+                frontiers,
+            }
+        });
         Ok(SimReport {
             cluster: self.cluster,
             warehouse: self.warehouse,
@@ -871,8 +1033,9 @@ impl Sim {
             pipeline: self.obs,
             routed: self.routed,
             activations: self.activations,
-            read_observations: self.read_observations,
+            read_observations,
             initial_fingerprints: self.initial_fingerprints,
+            shard_plane,
         })
     }
 
@@ -908,6 +1071,21 @@ impl Sim {
             .and_then(VecDeque::pop_front)
             .expect("chosen channel nonempty");
         self.metrics.messages_delivered += 1;
+        // Emulated-parallel accounting: deliveries handled by a merge
+        // group's plane (its views' VM compute, merge, commit, ack) are
+        // charged to that group. Groups are independent (§6.1), so
+        // `max(group_busy_steps)` is the plane's parallel makespan even
+        // though this serial scheduler runs them one at a time.
+        let busy_group = match chan {
+            Chan::IntToMp(g) | Chan::MpToWh(g) | Chan::WhToMp(g) => Some(g),
+            Chan::IntToVm(v) | Chan::VmToMp(v) | Chan::VmToQs(v) => {
+                self.integrator.partitioning().group_of_view(v)
+            }
+            Chan::SrcToInt => None,
+        };
+        if let Some(b) = busy_group.and_then(|g| self.metrics.group_busy_steps.get_mut(g)) {
+            *b += 1;
+        }
         let wait = self.metrics.steps.saturating_sub(sent);
         match chan {
             Chan::SrcToInt => self.obs.src_to_int_wait.record(wait),
@@ -1199,6 +1377,10 @@ impl Sim {
     /// cut — exercising the monotonicity path). The observation is kept
     /// for certification; staleness/chain/GC gauges feed the histograms.
     fn reader_step(&mut self, i: usize) {
+        if self.shard_state.is_some() {
+            self.sharded_reader_step(i);
+            return;
+        }
         let head = self.cuts.head();
         let s = &mut self.reader_sessions[i];
         let target = if self.rng.gen_bool(0.5) {
@@ -1212,6 +1394,31 @@ impl Sim {
             .expect("target ≤ head and every chain was seeded at build");
         self.obs.note_read(out.staleness, out.chain_len, out.gc_lag);
         self.read_observations.push(out.observation);
+    }
+
+    /// One cross-shard read by reader `i` under the watermark protocol:
+    /// snapshot the register vector *first* (the frontier), then read
+    /// each shard at its entry. Every register value was published after
+    /// its cut, so each per-shard read resolves; register monotonicity
+    /// makes one reader's successive frontiers pointwise monotone —
+    /// `check_sharded` certifies both.
+    fn sharded_reader_step(&mut self, i: usize) {
+        let ss = self.shard_state.as_mut().expect("sharded mode");
+        let frontier = ss.watermarks.snapshot();
+        let seq = ss.reader_seq[i];
+        ss.reader_seq[i] += 1;
+        ss.frontiers.push(ReadFrontier {
+            reader: i,
+            seq,
+            watermarks: frontier.clone(),
+        });
+        for (s, &target) in frontier.iter().enumerate() {
+            let out = ss.sessions[i][s]
+                .read_at(target, &ss.views[s])
+                .expect("register values are published after their cuts");
+            self.obs.note_read(out.staleness, out.chain_len, out.gc_lag);
+            ss.observations[s].push(out.observation);
+        }
     }
 
     fn commit(&mut self, g: usize, txn: StoreTxn) -> Result<(), SimError> {
@@ -1236,6 +1443,26 @@ impl Sim {
             rows: txn.rows.clone(),
             views: txn.views.clone(),
         });
+        // Twin the commit into the owning shard's plane: local apply,
+        // local cut publication, then — and only then — the watermark
+        // register, so any register value a reader observes is already
+        // resolvable in that shard's cut stack.
+        if let Some(ss) = self.shard_state.as_mut() {
+            let s = ss.topology.shard_of(g);
+            let local = {
+                let rec = ss.warehouses[s].apply(&txn)?;
+                rec.commit_index
+            };
+            ss.cuts[s].publish(local, ss.warehouses[s].read(&changed));
+            ss.commit_logs[s].push(CommitLogEntry {
+                group: g,
+                seq,
+                rows: txn.rows.clone(),
+                views: txn.views.clone(),
+            });
+            ss.local_to_global[s].push(watermark);
+            ss.watermarks.publish(s, local);
+        }
         for row in &txn.rows {
             if let Some(&(v, cut)) = self.install_rows.get(row) {
                 self.activations
@@ -1279,6 +1506,9 @@ impl Sim {
             self.metrics.commit_delay_steps.record(delay);
             self.obs.commit_apply.record(delay);
         }
+        // Group-activity span in virtual steps (the threaded runtime
+        // records the same span in ns from its MP threads).
+        self.obs.note_group_span(g, self.metrics.steps);
         self.send(Chan::WhToMp(g), Msg::Committed(seq));
         self.maybe_checkpoint()?;
         Ok(())
@@ -1472,6 +1702,8 @@ impl Sim {
             wal: None,
             commits_since_checkpoint: 0,
             checkpoint_every: 0,
+            // Durable (and therefore resumed) runs are always unsharded.
+            shard_state: None,
             cuts,
             reader_sessions,
             reader_views,
@@ -1824,5 +2056,151 @@ mod tests {
                 assert_eq!(has_r, has_q, "§6.2 atomicity violated at {:?}", rec.seq);
             }
         }
+    }
+
+    /// Sharded sim workload: {V1,V2} and {V3} partition into two merge
+    /// groups, dealt onto two shards. Q traffic keeps both shards busy.
+    fn sharded_builder(config: SimConfig) -> SimBuilder {
+        let mut b = builder(config);
+        let (d1, d2, d3) = (v1(&b), v2(&b), v3(&b));
+        b = b
+            .view(ViewId(1), d1, ManagerKind::Complete)
+            .view(ViewId(2), d2, ManagerKind::Complete)
+            .view(ViewId(3), d3, ManagerKind::Complete);
+        example1_workload(b)
+            .txn(SourceId(3), vec![WriteOp::insert("Q", tuple![5, 5])])
+            .txn(SourceId(1), vec![WriteOp::insert("S", tuple![2, 9])])
+            .txn(SourceId(3), vec![WriteOp::insert("Q", tuple![6, 6])])
+            .txn(SourceId(3), vec![WriteOp::delete("Q", tuple![5, 5])])
+    }
+
+    /// Sharded runs: the plane materializes, every commit lands on its
+    /// assigned shard, the twin stores track the global state vector,
+    /// cross-shard reads follow the frontier protocol, and the whole
+    /// thing certifies — `assert_ok` covers the per-group MVC checks,
+    /// the remapped global read certification, AND `check_sharded`.
+    #[test]
+    fn sim_sharded_run_certified_across_seeds() {
+        for seed in 0..15 {
+            let config = SimConfig {
+                seed,
+                partition: true,
+                shards: 2,
+                readers: 2,
+                inject_weight: 4,
+                ..SimConfig::default()
+            };
+            let report = sharded_builder(config).run().unwrap();
+            let plane = report.shard_plane.as_ref().expect("sharded run");
+            assert_eq!(plane.shards.len(), 2);
+            assert_eq!(plane.assignment, vec![0, 1], "{{V1,V2}} | {{V3}}");
+            // Both shards committed, and together they cover the run.
+            assert!(plane.shards.iter().all(|s| s.commits > 0), "seed {seed}");
+            assert_eq!(
+                plane.shards.iter().map(|s| s.commits).sum::<u64>(),
+                report.warehouse.commit_count()
+            );
+            assert!(!plane.frontiers.is_empty(), "seed {seed}: readers idle");
+            // Sharded observations were remapped into the global list.
+            let shard_obs: usize = plane.shards.iter().map(|s| s.read_observations.len()).sum();
+            assert_eq!(report.read_observations.len(), shard_obs);
+            crate::oracle::Oracle::new(&report).unwrap().assert_ok();
+        }
+    }
+
+    /// One seed fixes the sharded interleaving end to end: commit
+    /// routing, local→global maps, frontiers, and observations.
+    #[test]
+    fn sim_sharded_run_is_deterministic() {
+        let run = |seed: u64| {
+            let config = SimConfig {
+                seed,
+                partition: true,
+                shards: 2,
+                readers: 2,
+                ..SimConfig::default()
+            };
+            let report = sharded_builder(config).run().unwrap();
+            let plane = report.shard_plane.unwrap();
+            let commits: Vec<Vec<(usize, TxnSeq)>> = plane
+                .shards
+                .iter()
+                .map(|s| s.commit_log.iter().map(|e| (e.group, e.seq)).collect())
+                .collect();
+            let maps: Vec<Vec<u64>> = plane
+                .shards
+                .iter()
+                .map(|s| s.local_to_global.clone())
+                .collect();
+            let frontiers: Vec<(usize, u64, Vec<u64>)> = plane
+                .frontiers
+                .iter()
+                .map(|f| (f.reader, f.seq, f.watermarks.clone()))
+                .collect();
+            let obs: Vec<Vec<(u64, u64, u64)>> = plane
+                .shards
+                .iter()
+                .map(|s| {
+                    s.read_observations
+                        .iter()
+                        .map(|o| (o.session, o.seq, o.cut.watermark))
+                        .collect()
+                })
+                .collect();
+            (commits, maps, frontiers, obs)
+        };
+        assert_eq!(run(11), run(11));
+    }
+
+    /// `groups` coarsens the §6.1 partitioning; `shards` clamps to the
+    /// group count so no shard is dead weight.
+    #[test]
+    fn sim_group_cap_and_shard_clamp() {
+        let config = SimConfig {
+            seed: 3,
+            partition: true,
+            groups: Some(1),
+            shards: 4,
+            readers: 1,
+            ..SimConfig::default()
+        };
+        let report = sharded_builder(config).run().unwrap();
+        // Two natural groups folded into one → a single shard despite
+        // shards=4 → the plane is degenerate (single shard) but honest.
+        assert_eq!(report.partitioning.group_count(), 1);
+        assert!(report.shard_plane.is_none(), "1 shard = unsharded plane");
+        crate::oracle::Oracle::new(&report).unwrap().assert_ok();
+
+        let config = SimConfig {
+            seed: 3,
+            partition: true,
+            shards: 4,
+            readers: 1,
+            ..SimConfig::default()
+        };
+        let report = sharded_builder(config).run().unwrap();
+        let plane = report.shard_plane.as_ref().expect("2 groups, 2 shards");
+        assert_eq!(plane.shards.len(), 2, "clamped to the group count");
+        crate::oracle::Oracle::new(&report).unwrap().assert_ok();
+    }
+
+    /// Sharded mode is in-memory only — durable configs are rejected
+    /// up front rather than silently losing the per-shard WAL streams.
+    #[test]
+    fn sim_sharded_rejects_durability() {
+        let dir = std::env::temp_dir().join(format!("mvc-shard-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = SimConfig {
+            seed: 0,
+            partition: true,
+            shards: 2,
+            durability: Some(DurabilityConfig::new(dir.join("w.wal"))),
+            ..SimConfig::default()
+        };
+        match sharded_builder(config).run() {
+            Err(SimError::Unsupported(_)) => {}
+            other => panic!("expected Unsupported, got {:?}", other.map(|_| ())),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

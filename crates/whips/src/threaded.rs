@@ -22,6 +22,10 @@ use crate::integrator::Integrator;
 use crate::metrics::SimMetrics;
 use crate::obs::PipelineObs;
 use crate::registry::{ManagerKind, ViewRegistry};
+use crate::shard::{
+    remap_observations, shard_class, ReadFrontier, ShardPlane, ShardReport, ShardTopology,
+    ShardWatermarks,
+};
 use crate::sim::{CommitLogEntry, SimError, SimReport};
 use mvc_core::lock::AuditedMutex;
 use mvc_core::{
@@ -33,9 +37,9 @@ use mvc_source::{GlobalSeq, SourceCluster, SourceId};
 use mvc_viewmgr::{
     answer_query, ActionListDelta, QueryAnswer, QueryRequest, QueryToken, VmEvent, VmOutput,
 };
-use mvc_warehouse::{StoreTxn, Warehouse};
+use mvc_warehouse::{merge_shards, ShardInput, StoreTxn, Warehouse};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -93,6 +97,23 @@ pub struct ThreadedConfig {
     pub durability: Option<DurabilityConfig>,
     /// Thread-level fault injection, for tests of the shutdown paths.
     pub fault: Option<ThreadFault>,
+    /// Cap on the merge-group count: the §6.1 partitioning is coarsened
+    /// (groups folded together) down to at most this many. `None` keeps
+    /// the natural connected-component partitioning.
+    pub groups: Option<usize>,
+    /// Warehouse shard count (clamped to `[1, groups]`). At 1 the
+    /// runtime is the classic single-store pipeline. Above 1, each shard
+    /// owns a disjoint subset of merge groups and runs its own commit
+    /// scheduler thread over its own store, commit log, versioned-cut
+    /// stack and (when durable) WAL stream; a shared atomic ticket
+    /// fixes one observed linearization that [`merge_shards`] replays
+    /// into the global report after the joins. Sharded runs skip the
+    /// read-path leg of the hb audit (`on_publish`/`on_read`/`on_gc`
+    /// key by *global* watermark, and per-shard local watermarks
+    /// collide in that keyspace); read certification instead comes from
+    /// `Oracle::check_sharded` (per-shard) plus `check_reads` over the
+    /// remapped observations.
+    pub shards: usize,
 }
 
 /// Deliberate thread-lifecycle faults. The runtime must survive every
@@ -126,6 +147,8 @@ impl Default for ThreadedConfig {
             depth_sample_interval: Duration::from_micros(500),
             durability: None,
             fault: None,
+            groups: None,
+            shards: 1,
         }
     }
 }
@@ -148,10 +171,11 @@ pub struct WallClock {
     /// Happens-before violations found by the vector-clock audit
     /// (`hb-audit` feature): commit-order inversions and unsynchronized
     /// paint transitions. Always empty when the feature is off. The
-    /// audit assumes commit order is a guarantee, which holds under
-    /// `CommitPolicy::Sequential`; the `DependencyAware`/`Immediate`
-    /// policies legally commit independent transactions out of order,
-    /// so entries under those policies are diagnostics, not bugs.
+    /// commit check enforces dominance per (group, view) — §4.3
+    /// dependence — so the `DependencyAware`/`Immediate` policies, which
+    /// legally reorder *independent* (disjoint-view) transactions, audit
+    /// clean too: any entry here is a real ordering bug under every
+    /// policy.
     pub hb_violations: Vec<mvc_core::HbViolation>,
     /// Lock-order cycles found by the lockdep graph (`lock-audit`
     /// feature), restricted to this runtime's lock namespaces. A cycle is
@@ -175,8 +199,9 @@ mod hb_rt {
     use mvc_core::hb::{HbState, HbViolation, VectorClock};
     use mvc_core::lock::AuditedMutex;
     use mvc_core::snapshot::PaintEvent;
-    use mvc_core::TxnSeq;
+    use mvc_core::{TxnSeq, ViewId};
     use mvc_readpath::GcReceipt;
+    use std::collections::BTreeSet;
     use std::sync::Arc;
 
     /// Clock snapshot attached to a message.
@@ -228,8 +253,19 @@ mod hb_rt {
         /// Check a warehouse commit; the returned clock rides the ack.
         /// Serialized by the checker's own lock (the caller already holds
         /// the warehouse lock, so commit order and check order agree).
-        pub(super) fn on_commit(&self, group: usize, seq: TxnSeq, stamp: &Stamp) -> Stamp {
-            self.state.lock().on_commit(group, seq, stamp)
+        /// Dominance is enforced per (group, view) — §4.3 dependence —
+        /// so concurrent commit policies that legally reorder
+        /// independent same-group transactions audit clean.
+        pub(super) fn on_commit(
+            &self,
+            group: usize,
+            seq: TxnSeq,
+            views: &BTreeSet<ViewId>,
+            stamp: &Stamp,
+        ) -> Stamp {
+            self.state
+                .lock()
+                .on_commit(group, seq, views.iter().copied(), stamp)
         }
 
         /// Check paint transitions drained from a merge process against
@@ -336,7 +372,13 @@ mod hb_rt {
         #[inline]
         pub(super) fn recv(&self, _clock: &mut Clock, _stamp: &Stamp) {}
         #[inline]
-        pub(super) fn on_commit(&self, _group: usize, _seq: TxnSeq, _stamp: &Stamp) -> Stamp {
+        pub(super) fn on_commit(
+            &self,
+            _group: usize,
+            _seq: TxnSeq,
+            _views: &std::collections::BTreeSet<mvc_core::ViewId>,
+            _stamp: &Stamp,
+        ) -> Stamp {
             Stamp
         }
         #[inline]
@@ -415,6 +457,16 @@ enum QsMsg {
 enum WhMsg {
     Txn(usize, StoreTxn, Instant, Stamp),
     Stop,
+}
+
+/// What one MVCC reader thread hands back at join time. Unsharded
+/// readers fill `observations` (certified directly against the global
+/// history); sharded readers fill the per-shard vectors plus one
+/// [`ReadFrontier`] per iteration for `Oracle::check_sharded`.
+struct ReaderYield {
+    observations: Vec<mvc_readpath::ReadObservation>,
+    shard_observations: Vec<Vec<mvc_readpath::ReadObservation>>,
+    frontiers: Vec<ReadFrontier>,
 }
 
 /// Best-effort text of a worker thread's panic payload, so a panicking
@@ -586,13 +638,21 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         registry: reg,
         workload,
     } = b;
-    let partitioning = reg.partitioning(config.partition);
+    let mut partitioning = reg.partitioning(config.partition);
+    if let Some(cap) = config.groups {
+        partitioning = partitioning.coarsen(cap);
+    }
     let groups = partitioning.group_count().max(1);
     let mut group_views: Vec<BTreeSet<ViewId>> = vec![BTreeSet::new(); groups];
     for id in reg.ids() {
         let g = partitioning.group_of_view(id).unwrap_or(0);
         group_views[g].insert(id);
     }
+    // §6.1 scaled out: shards own disjoint subsets of merge groups (and
+    // therefore disjoint view sets), each with its own commit plane.
+    let topology = ShardTopology::new(groups, config.shards);
+    let shards = topology.shards();
+    let sharded = shards > 1;
 
     // Shared state.
     let flight = Flight::new();
@@ -602,9 +662,19 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     // their own (they are stateless relays for ordering purposes).
     let audit = HbAudit::new();
     let cluster = Arc::new(AuditedMutex::new("whips.cluster", src_cluster));
-    let mut warehouse = Warehouse::new(config.record_snapshots);
+    // One store per shard; shard 0 owns every view when unsharded.
+    // Sharded stores never record snapshots: the post-run ticket merge
+    // reconstructs the global history with full state vectors and the
+    // snapshot column deliberately empty.
+    let record_snapshots = config.record_snapshots && !sharded;
+    let mut shard_whs: Vec<Warehouse> = (0..shards)
+        .map(|_| Warehouse::new(record_snapshots))
+        .collect();
+    let mut shard_views: Vec<Vec<ViewId>> = vec![Vec::new(); shards];
     for e in reg.iter() {
-        warehouse
+        let g = partitioning.group_of_view(e.id).unwrap_or(0);
+        let s = topology.shard_of(g);
+        shard_whs[s]
             .register_view(
                 e.id,
                 e.def.name.clone(),
@@ -612,18 +682,58 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                 mvc_relational::Relation::shared(e.def.schema.clone()),
             )
             .expect("fresh warehouse");
+        shard_views[s].push(e.id);
     }
-    // MVCC read path: capture the pre-commit fingerprints, seed the
-    // version store at watermark 0, and note the full view set before the
-    // warehouse disappears behind its mutex. Commit workers publish every
-    // commit's changed views under the same lock that serialized it.
-    let initial_fingerprints = warehouse.initial_fingerprints();
-    let all_views: Vec<ViewId> = warehouse.view_ids().collect();
-    let cuts = mvc_readpath::VersionedCuts::new();
-    cuts.seed(0, warehouse.read(&all_views));
-    let warehouse = Arc::new(AuditedMutex::new("whips.warehouse", warehouse));
-    let commit_log: Arc<AuditedMutex<Vec<CommitLogEntry>>> =
-        Arc::new(AuditedMutex::new("whips.commit_log", Vec::new()));
+    // MVCC read path: per-shard pre-commit fingerprints and a version
+    // store per shard, seeded at watermark 0 with that shard's views.
+    // The global fingerprint vector is their disjoint union. Committers
+    // publish every commit's changed views under the same shard lock
+    // that serialized it.
+    let shard_initials: Vec<BTreeMap<ViewId, u64>> = shard_whs
+        .iter()
+        .map(Warehouse::initial_fingerprints)
+        .collect();
+    let mut initial_fingerprints: BTreeMap<ViewId, u64> = BTreeMap::new();
+    for f in &shard_initials {
+        initial_fingerprints.extend(f.iter().map(|(k, v)| (*k, *v)));
+    }
+    let shard_cuts: Vec<mvc_readpath::VersionedCuts> = (0..shards)
+        .map(|s| {
+            let cuts = mvc_readpath::VersionedCuts::new();
+            cuts.seed(0, shard_whs[s].read(&shard_views[s]));
+            cuts
+        })
+        .collect();
+    // Lock classes: the classic names when unsharded (byte-identical
+    // runtime), `shard{i}.*` per shard otherwise — both literals sit on
+    // their construction line for the static lock lint.
+    let stores: Vec<Arc<AuditedMutex<Warehouse>>> = shard_whs
+        .into_iter()
+        .enumerate()
+        .map(|(s, w)| {
+            if sharded {
+                Arc::new(AuditedMutex::new(shard_class(s, "shard{i}.warehouse"), w))
+            } else {
+                Arc::new(AuditedMutex::new("whips.warehouse", w))
+            }
+        })
+        .collect();
+    let shard_logs: Vec<Arc<AuditedMutex<Vec<CommitLogEntry>>>> = (0..shards)
+        .map(|s| {
+            if sharded {
+                Arc::new(AuditedMutex::new(
+                    shard_class(s, "shard{i}.commit_log"),
+                    Vec::new(),
+                ))
+            } else {
+                Arc::new(AuditedMutex::new("whips.commit_log", Vec::new()))
+            }
+        })
+        .collect();
+    // Cross-shard read-watermark registers plus the global ticket
+    // counter every sharded committer draws from under its shard lock.
+    let watermarks = Arc::new(ShardWatermarks::new(shards));
+    let ticket_counter = Arc::new(AtomicU64::new(0));
 
     // Write-ahead log, shared by every logging thread. Unlike the
     // simulator, append errors are deliberately dropped (`let _`): a WAL
@@ -632,13 +742,29 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     // whose disk died while the process kept computing. Recovery then
     // replays the pre-crash prefix. No checkpoints either: merge state
     // lives inside the MP threads, so recovery replays from the start.
-    let wal: Option<Arc<AuditedMutex<WalWriter>>> = match &config.durability {
-        Some(d) => Some(Arc::new(AuditedMutex::new(
-            "whips.wal",
-            WalWriter::create(d)?,
-        ))),
-        None => None,
-    };
+    // Sharded runs split the log into one stream per shard (path suffix
+    // `.shard{i}`); the integrator duplicates every `SourceUpdate` into
+    // all streams, so each shard's log is self-contained for its groups.
+    let mut wals: Vec<Arc<AuditedMutex<WalWriter>>> = Vec::new();
+    if let Some(d) = &config.durability {
+        if sharded {
+            for s in 0..shards {
+                let mut ds = d.clone();
+                let mut name = ds.wal_path.clone().into_os_string();
+                name.push(format!(".shard{s}"));
+                ds.wal_path = name.into();
+                wals.push(Arc::new(AuditedMutex::new(
+                    shard_class(s, "shard{i}.wal"),
+                    WalWriter::create(&ds)?,
+                )));
+            }
+        } else {
+            wals.push(Arc::new(AuditedMutex::new(
+                "whips.wal",
+                WalWriter::create(d)?,
+            )));
+        }
+    }
 
     // Per-thread observability: every thread records latencies into its
     // own PipelineObs (no lock on the hot path) and pushes it here on
@@ -661,11 +787,22 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         config.batch_deadline,
         int_tx.clone(),
     ));
-    let (wh_tx, wh_rx) = crossbeam::channel::unbounded::<WhMsg>();
+    // One release channel per committer: MP `g` routes its releases to
+    // `wh_txs[topology.shard_of(g)]` (always index 0 unsharded).
+    let mut wh_txs: Vec<crossbeam::channel::Sender<WhMsg>> = Vec::with_capacity(shards);
+    let mut wh_rxs = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = crossbeam::channel::unbounded::<WhMsg>();
+        wh_txs.push(tx);
+        wh_rxs.push(rx);
+    }
     let mut vm_txs: BTreeMap<ViewId, crossbeam::channel::Sender<VmMsg>> = BTreeMap::new();
     let mut mp_txs: Vec<crossbeam::channel::Sender<MpMsg>> = Vec::new();
 
     let mut handles = Vec::new();
+    // Shared epoch for the per-group activity spans recorded by the MP
+    // threads: overlapping spans across groups demonstrate concurrency.
+    let epoch = Instant::now();
 
     // --- View manager threads ---
     let vm_idle: Arc<AuditedMutex<BTreeMap<ViewId, Arc<AtomicBool>>>> =
@@ -785,13 +922,14 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         };
         guarantees.push(mp.guarantees());
         // Paint transitions feed both the WAL and the HB audit.
-        if wal.is_some() || cfg!(feature = "hb-audit") {
+        if !wals.is_empty() || cfg!(feature = "hb-audit") {
             mp.enable_paint_events();
         }
-        let wal = wal.clone();
+        // This group's shard: its WAL stream and its commit scheduler.
+        let wal = wals.get(topology.shard_of(g)).cloned();
         let quiescent = Arc::new(AtomicBool::new(true));
         mp_quiescent.lock().push(quiescent.clone());
-        let wh_tx = wh_tx.clone();
+        let wh_tx = wh_txs[topology.shard_of(g)].clone();
         let flight = flight.clone();
         let merge_stats = merge_stats.clone();
         let commit_stats = commit_stats.clone();
@@ -804,6 +942,9 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             // (view, last covered update) identifies the list inside a WT.
             let mut al_recv: BTreeMap<(ViewId, UpdateId), Instant> = BTreeMap::new();
             while let Ok(msg) = rx.recv() {
+                // Span stretches over every wakeup (including the drain's
+                // Flush rounds), so concurrently-live groups overlap.
+                obs.note_group_span(g, epoch.elapsed().as_nanos() as u64);
                 let released = match msg {
                     MpMsg::Rels(rels, stamp) => {
                         audit.recv(&mut hbc, &stamp);
@@ -958,17 +1099,98 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         }));
     }
 
-    // --- Warehouse committer thread ---
-    {
-        let warehouse = warehouse.clone();
-        let commit_log = commit_log.clone();
+    // --- Warehouse committer thread(s) ---
+    // Sharded: one commit scheduler per shard — a per-txn applier over
+    // its own store, WAL stream, commit log and cut stack, drawing a
+    // global ticket per applied transaction (the observed linearization
+    // `merge_shards` replays after the joins). Unsharded: the classic
+    // single committer with group-commit batching and concurrent
+    // delay workers, byte-identical to the pre-sharding runtime.
+    let mut committer_handles: Vec<std::thread::JoinHandle<Result<Vec<u64>, String>>> = Vec::new();
+    if sharded {
+        for (s, wh_rx) in wh_rxs.drain(..).enumerate() {
+            let shard_wh = stores[s].clone();
+            let shard_log = shard_logs[s].clone();
+            let shard_wal = wals.get(s).cloned();
+            let cuts = shard_cuts[s].clone();
+            let mp_txs = mp_txs.clone();
+            let flight = flight.clone();
+            let delay = config.commit_delay;
+            let obs_parts = obs_parts.clone();
+            let audit = audit.clone();
+            let watermarks = watermarks.clone();
+            let ticket_counter = ticket_counter.clone();
+            committer_handles.push(std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut obs = PipelineObs::new("ns");
+                let mut tickets: Vec<u64> = Vec::new();
+                while let Ok(msg) = wh_rx.recv() {
+                    match msg {
+                        WhMsg::Txn(g, txn, released, stamp) => {
+                            // Per-txn apply; a configured commit latency is
+                            // slept inline (one scheduler per shard — the
+                            // cross-txn overlap now comes from the shards).
+                            if !delay.is_zero() {
+                                std::thread::sleep(delay);
+                            }
+                            let ack = {
+                                let mut w = shard_wh.lock();
+                                if let Some(shard_wal) = &shard_wal {
+                                    let _ = shard_wal.lock().append(&WalRecord::TxnCommitted {
+                                        group: g as u64,
+                                        seq: txn.seq,
+                                    });
+                                }
+                                // SeqCst: the global ticket is drawn under
+                                // the shard lock in apply order; the merge
+                                // validates per-shard monotonicity, so the
+                                // draw must not reorder around the apply it
+                                // linearizes.
+                                tickets.push(ticket_counter.fetch_add(1, Ordering::SeqCst));
+                                let local = w.apply(&txn).map_err(|e| e.to_string())?.commit_index;
+                                shard_log.lock().push(CommitLogEntry {
+                                    group: g,
+                                    seq: txn.seq,
+                                    rows: txn.rows.clone(),
+                                    views: txn.views.clone(),
+                                });
+                                // The commit-order audit still runs (groups
+                                // are global); the read-path audit legs are
+                                // skipped sharded — see ThreadedConfig.
+                                let ack = audit.on_commit(g, txn.seq, &txn.views, &stamp);
+                                let changed: Vec<ViewId> = txn.views.iter().copied().collect();
+                                cuts.publish(local, w.read(&changed));
+                                // Watermark register last, still under the
+                                // shard lock: any register value a reader
+                                // snapshots is already resolvable in this
+                                // shard's cut stack.
+                                watermarks.publish(s, local);
+                                ack
+                            };
+                            obs.commit_apply
+                                .record(released.elapsed().as_nanos() as u64);
+                            flight.up();
+                            let _ = mp_txs[g].send(MpMsg::Committed(txn.seq, ack));
+                            obs.note_depth("wh_to_mp", mp_txs[g].len() as u64);
+                            flight.down();
+                        }
+                        WhMsg::Stop => break,
+                    }
+                }
+                obs_parts.lock().push(obs);
+                Ok(tickets)
+            }));
+        }
+    } else {
+        let wh_rx = wh_rxs.remove(0);
+        let warehouse = stores[0].clone();
+        let commit_log = shard_logs[0].clone();
         let mp_txs = mp_txs.clone();
         let flight = flight.clone();
         let delay = config.commit_delay;
         let obs_parts = obs_parts.clone();
-        let wal = wal.clone();
+        let wal = wals.first().cloned();
         let audit = audit.clone();
-        let cuts = cuts.clone();
+        let cuts = shard_cuts[0].clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
             // Commits run concurrently when a latency is configured (a
             // real DBMS overlaps independent transactions); ordering of
@@ -1019,7 +1241,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                         // Checked under the warehouse lock so the audit
                         // sees commits in history order; the returned
                         // clock stamps the ack.
-                        let ack = audit.on_commit(*g, txn.seq, stamp);
+                        let ack = audit.on_commit(*g, txn.seq, &txn.views, stamp);
                         // Publish the commit's new view versions while
                         // still holding the warehouse lock (watermark
                         // order = history order), stamped with the ack
@@ -1101,7 +1323,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                         rows: txn.rows.clone(),
                                         views: txn.views.clone(),
                                     });
-                                    let ack = audit.on_commit(g, txn.seq, &stamp);
+                                    let ack = audit.on_commit(g, txn.seq, &txn.views, &stamp);
                                     // Ack-stamped publish under the
                                     // warehouse lock, exactly like the
                                     // group-commit path above.
@@ -1147,15 +1369,20 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         Arc::new(AuditedMutex::new("whips.routing_state", None));
     {
         let registry = reg.clone();
-        let partitioning = registry.partitioning(config.partition);
-        let mut integrator =
-            Integrator::new(registry.clone(), partitioning, config.tuple_relevance);
+        // The (possibly coarsened) partitioning computed above — NOT
+        // re-derived, or a `groups` cap would desynchronize routing
+        // from the per-group threads and the shard topology.
+        let mut integrator = Integrator::new(
+            registry.clone(),
+            partitioning.clone(),
+            config.tuple_relevance,
+        );
         let vm_txs = vm_txs.clone();
         let mp_txs = mp_txs.clone();
         let flight = flight.clone();
         let routing_state = routing_state.clone();
         let obs_parts = obs_parts.clone();
-        let wal = wal.clone();
+        let wals = wals.clone();
         let ngroups = groups;
         let audit = audit.clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
@@ -1180,8 +1407,10 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                         for (u, sent, stamp) in batch {
                             audit.recv(&mut hbc, &stamp);
                             obs.src_to_int_wait.record(sent.elapsed().as_nanos() as u64);
-                            if let Some(w) = &wal {
-                                // Shares the routed payload's handle.
+                            for w in &wals {
+                                // Shares the routed payload's handle. Every
+                                // shard stream carries the full source feed
+                                // so each log replays standalone.
                                 let _ = w.lock().append(&WalRecord::SourceUpdate(Arc::clone(&u)));
                             }
                             for r in integrator.route(u) {
@@ -1243,7 +1472,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     let reader_handle = if config.reader_views.is_empty() {
         None
     } else {
-        let warehouse = warehouse.clone();
+        let read_stores = stores.clone();
+        let owned = shard_views.clone();
         let views = config.reader_views.clone();
         let interval = config.reader_interval;
         let stop = reader_stop.clone();
@@ -1251,10 +1481,25 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             let mut samples = Vec::new();
             // SeqCst: plain stop flag; strongest order costs nothing here.
             while !stop.load(Ordering::SeqCst) {
-                {
-                    let w = warehouse.lock();
-                    samples.push(w.read(&views));
+                // One shard lock at a time, never nested: shards own
+                // disjoint view sets, so each sub-read is a consistent
+                // cut of its shard and the union is well defined.
+                // Unsharded the single store owns every view — identical
+                // to the classic one-lock sample.
+                let mut sample = BTreeMap::new();
+                for (s, store) in read_stores.iter().enumerate() {
+                    let wanted: Vec<ViewId> = views
+                        .iter()
+                        .copied()
+                        .filter(|v| owned[s].contains(v))
+                        .collect();
+                    if wanted.is_empty() {
+                        continue;
+                    }
+                    let w = store.lock();
+                    sample.extend(w.read(&wanted));
                 }
+                samples.push(sample);
                 std::thread::sleep(interval);
             }
             samples
@@ -1269,53 +1514,55 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     // session's own watermark (exercising the monotonic-session path).
     // Observations are retained and certified after the run.
     let mvcc_reader_stop = Arc::new(AtomicBool::new(false));
-    let mut mvcc_reader_handles = Vec::new();
+    let mut mvcc_reader_handles: Vec<std::thread::JoinHandle<ReaderYield>> = Vec::new();
     for k in 0..config.readers {
-        let mut session = cuts.open_session();
-        let views = all_views.clone();
         let think = config.reader_think_time;
         let stop = mvcc_reader_stop.clone();
         let obs_parts = obs_parts.clone();
-        let audit = audit.clone();
         // Only the first reader carries an injected fault: one panicking
         // thread among healthy peers is the interesting shutdown case.
         let fault = if k == 0 { config.fault.clone() } else { None };
-        mvcc_reader_handles.push(std::thread::spawn(
-            move || -> Vec<mvc_readpath::ReadObservation> {
+        if sharded {
+            // Cross-shard frontier reader: per-shard sessions plus the
+            // watermark-register protocol. The read-path hb audit is
+            // skipped here (see `ThreadedConfig::shards`); certification
+            // comes from `Oracle::check_sharded` + remapped `check_reads`.
+            let mut sessions: Vec<_> = shard_cuts.iter().map(|c| c.open_session()).collect();
+            let views = shard_views.clone();
+            let watermarks = watermarks.clone();
+            mvcc_reader_handles.push(std::thread::spawn(move || -> ReaderYield {
                 let mut obs = PipelineObs::new("ns");
-                let mut hbc = HbClock::new(2000 + k as u32);
-                let mut observations = Vec::new();
-                let mut at_head = true;
+                let mut shard_observations: Vec<Vec<mvc_readpath::ReadObservation>> =
+                    vec![Vec::new(); sessions.len()];
+                let mut frontiers = Vec::new();
+                let mut seq = 0u64;
                 let mut reads_done = 0u64;
                 // SeqCst: plain stop flag; strongest order costs nothing here.
                 while !stop.load(Ordering::SeqCst) {
                     let begun = Instant::now();
-                    // The pre-read clock snapshot pins the session in the
-                    // version store: any GC while this pin is live is
-                    // licensed by (joins) it, proving the reclamation
-                    // happens-after everything this reader has seen.
-                    let result = if at_head {
-                        session.read_latest_stamped(&views, audit.reader_stamp(&mut hbc))
-                    } else {
-                        let seen = session.last_seen();
-                        session.read_at_stamped(seen, &views, audit.reader_stamp(&mut hbc))
-                    };
-                    at_head = !at_head;
-                    let out = result.expect("chains seeded at build, target ≤ head");
-                    // Certified read: must happen-after the commit that
-                    // published its watermark. The returned post-join
-                    // clock licenses any GC this read's pin advance
-                    // triggered.
-                    let post = audit.on_read(
-                        out.observation.session,
-                        out.observation.cut.watermark,
-                        &out.publish_stamp,
-                        &mut hbc,
-                    );
-                    audit.on_gc(&out.gc, &post);
+                    // Frontier protocol: snapshot every shard's register
+                    // FIRST, then read each shard at its entry. Registers
+                    // are monotone (fetch_max) and writers publish only
+                    // after the cut exists under the shard lock, so every
+                    // target is published and ≥ this reader's previous
+                    // target — the combined cut is a certifiable
+                    // cross-shard snapshot and per-reader frontiers are
+                    // pointwise monotone.
+                    let frontier = watermarks.snapshot();
+                    frontiers.push(ReadFrontier {
+                        reader: k,
+                        seq,
+                        watermarks: frontier.clone(),
+                    });
+                    seq += 1;
+                    for (s, session) in sessions.iter_mut().enumerate() {
+                        let out = session
+                            .read_at(frontier[s], &views[s])
+                            .expect("frontier ≤ shard head by publication order");
+                        obs.note_read(out.staleness, out.chain_len, out.gc_lag);
+                        shard_observations[s].push(out.observation);
+                    }
                     obs.read_latency.record(begun.elapsed().as_nanos() as u64);
-                    obs.note_read(out.staleness, out.chain_len, out.gc_lag);
-                    observations.push(out.observation);
                     reads_done += 1;
                     if let Some(ThreadFault::ReaderPanic { after_reads }) = fault {
                         if reads_done >= after_reads {
@@ -1327,9 +1574,69 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                     }
                 }
                 obs_parts.lock().push(obs);
-                observations
-            },
-        ));
+                ReaderYield {
+                    observations: Vec::new(),
+                    shard_observations,
+                    frontiers,
+                }
+            }));
+            continue;
+        }
+        let mut session = shard_cuts[0].open_session();
+        let views = shard_views[0].clone();
+        let audit = audit.clone();
+        mvcc_reader_handles.push(std::thread::spawn(move || -> ReaderYield {
+            let mut obs = PipelineObs::new("ns");
+            let mut hbc = HbClock::new(2000 + k as u32);
+            let mut observations = Vec::new();
+            let mut at_head = true;
+            let mut reads_done = 0u64;
+            // SeqCst: plain stop flag; strongest order costs nothing here.
+            while !stop.load(Ordering::SeqCst) {
+                let begun = Instant::now();
+                // The pre-read clock snapshot pins the session in the
+                // version store: any GC while this pin is live is
+                // licensed by (joins) it, proving the reclamation
+                // happens-after everything this reader has seen.
+                let result = if at_head {
+                    session.read_latest_stamped(&views, audit.reader_stamp(&mut hbc))
+                } else {
+                    let seen = session.last_seen();
+                    session.read_at_stamped(seen, &views, audit.reader_stamp(&mut hbc))
+                };
+                at_head = !at_head;
+                let out = result.expect("chains seeded at build, target ≤ head");
+                // Certified read: must happen-after the commit that
+                // published its watermark. The returned post-join
+                // clock licenses any GC this read's pin advance
+                // triggered.
+                let post = audit.on_read(
+                    out.observation.session,
+                    out.observation.cut.watermark,
+                    &out.publish_stamp,
+                    &mut hbc,
+                );
+                audit.on_gc(&out.gc, &post);
+                obs.read_latency.record(begun.elapsed().as_nanos() as u64);
+                obs.note_read(out.staleness, out.chain_len, out.gc_lag);
+                observations.push(out.observation);
+                reads_done += 1;
+                if let Some(ThreadFault::ReaderPanic { after_reads }) = fault {
+                    if reads_done >= after_reads {
+                        panic!("injected reader fault after {reads_done} reads");
+                    }
+                }
+                if !think.is_zero() {
+                    std::thread::sleep(think);
+                }
+            }
+            obs_parts.lock().push(obs);
+            ReaderYield {
+                observations,
+                shard_observations: Vec::new(),
+                frontiers: Vec::new(),
+            }
+        }));
     }
 
     // --- Queue-depth sampler ---
@@ -1342,7 +1649,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     } else {
         let int_tx = int_tx.clone();
         let qs_tx = qs_tx.clone();
-        let wh_tx = wh_tx.clone();
+        let wh_txs = wh_txs.clone();
         let vm_txs = vm_txs.clone();
         let mp_txs = mp_txs.clone();
         let interval = config.depth_sample_interval;
@@ -1354,7 +1661,9 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             while !stop.load(Ordering::SeqCst) {
                 obs.note_depth("src_to_int", int_tx.len() as u64);
                 obs.note_depth("vm_to_qs", qs_tx.len() as u64);
-                obs.note_depth("mp_to_wh", wh_tx.len() as u64);
+                for tx in &wh_txs {
+                    obs.note_depth("mp_to_wh", tx.len() as u64);
+                }
                 for tx in vm_txs.values() {
                     obs.note_depth("int_to_vm", tx.len() as u64);
                 }
@@ -1377,7 +1686,10 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let mut d = vec![
             ("src_to_int".to_string(), int_tx.len()),
             ("vm_to_qs".to_string(), qs_tx.len()),
-            ("mp_to_wh".to_string(), wh_tx.len()),
+            (
+                "mp_to_wh".to_string(),
+                wh_txs.iter().map(crossbeam::channel::Sender::len).sum(),
+            ),
         ];
         for (v, tx) in vm_txs {
             d.push((format!("vm:{v}"), tx.len()));
@@ -1498,7 +1810,9 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     sampler_stop.store(true, Ordering::SeqCst);
     let _ = int_tx.send(IntMsg::Stop);
     let _ = qs_tx.send(QsMsg::Stop);
-    let _ = wh_tx.send(WhMsg::Stop);
+    for tx in &wh_txs {
+        let _ = tx.send(WhMsg::Stop);
+    }
     for tx in vm_txs.values() {
         let _ = tx.send(VmMsg::Stop);
     }
@@ -1513,6 +1827,23 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             Err(p) => thread_errors.push(format!("thread panicked: {}", panic_message(p))),
         }
     }
+    // Sharded commit schedulers hand back their drawn tickets in spawn
+    // (= shard) order; a failed shard contributes an empty vector and a
+    // thread error that aborts the run before any merge is attempted.
+    let mut shard_tickets: Vec<Vec<u64>> = Vec::new();
+    for h in committer_handles {
+        match h.join() {
+            Ok(Ok(t)) => shard_tickets.push(t),
+            Ok(Err(e)) => {
+                thread_errors.push(format!("committer error: {e}"));
+                shard_tickets.push(Vec::new());
+            }
+            Err(p) => {
+                thread_errors.push(format!("committer panicked: {}", panic_message(p)));
+                shard_tickets.push(Vec::new());
+            }
+        }
+    }
     let reader_samples = match reader_handle {
         Some(h) => match h.join() {
             Ok(samples) => samples,
@@ -1524,9 +1855,19 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         None => Vec::new(),
     };
     let mut read_observations = Vec::new();
+    let mut reader_shard_obs: Vec<Vec<mvc_readpath::ReadObservation>> = vec![Vec::new(); shards];
+    let mut frontiers: Vec<ReadFrontier> = Vec::new();
     for h in mvcc_reader_handles {
         match h.join() {
-            Ok(obs) => read_observations.extend(obs),
+            Ok(y) => {
+                read_observations.extend(y.observations);
+                for (s, o) in y.shard_observations.into_iter().enumerate() {
+                    reader_shard_obs[s].extend(o);
+                }
+                // Concatenation preserves each reader's (reader, seq)
+                // order — all check_sharded's monotonicity pass needs.
+                frontiers.extend(y.frontiers);
+            }
             Err(p) => thread_errors.push(format!("mvcc reader panicked: {}", panic_message(p))),
         }
     }
@@ -1536,7 +1877,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         }
     }
     // All logging threads have exited: flush whatever the fault left.
-    if let Some(w) = &wal {
+    for w in &wals {
         let _ = w.lock().finalize();
     }
     // A worker failure is the root cause — report it even when the
@@ -1554,7 +1895,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     // lock in the process, including other tests' fixtures).
     let lock_cycles: Vec<mvc_core::LockCycle> = mvc_core::lock::lock_cycles()
         .into_iter()
-        .filter(|c| c.within_prefixes(&["whips.", "readpath.", "warehouse."]))
+        .filter(|c| c.within_prefixes(&["whips.", "readpath.", "warehouse.", "shard"]))
         .collect();
 
     let (group_updates, routed, registry) = routing_state
@@ -1564,12 +1905,78 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     let cluster = Arc::try_unwrap(cluster)
         .map_err(|_| SimError::NonQuiescent("cluster still shared".into()))?
         .into_inner();
-    let warehouse = Arc::try_unwrap(warehouse)
-        .map_err(|_| SimError::NonQuiescent("warehouse still shared".into()))?
-        .into_inner();
-    let commit_log = Arc::try_unwrap(commit_log)
-        .map_err(|_| SimError::NonQuiescent("commit log still shared".into()))?
-        .into_inner();
+    let mut final_stores: Vec<Warehouse> = Vec::with_capacity(shards);
+    for st in stores {
+        final_stores.push(
+            Arc::try_unwrap(st)
+                .map_err(|_| SimError::NonQuiescent("warehouse still shared".into()))?
+                .into_inner(),
+        );
+    }
+    let mut final_logs: Vec<Vec<CommitLogEntry>> = Vec::with_capacity(shards);
+    for lg in shard_logs {
+        final_logs.push(
+            Arc::try_unwrap(lg)
+                .map_err(|_| SimError::NonQuiescent("commit log still shared".into()))?
+                .into_inner(),
+        );
+    }
+
+    // Sharded: replay the observed global-ticket linearization into one
+    // store (shard streams are view-disjoint, so ticket order is a legal
+    // interleaving — §6.1), splice the global commit log in that order,
+    // remap every shard-local read observation into the global watermark
+    // space, and retain the per-shard planes for `Oracle::check_sharded`.
+    let (warehouse, commit_log, shard_plane) = if sharded {
+        let shard_histories: Vec<Vec<mvc_warehouse::CommittedTxn>> =
+            final_stores.iter().map(|w| w.history().to_vec()).collect();
+        let shard_commit_counts: Vec<u64> =
+            final_stores.iter().map(Warehouse::commit_count).collect();
+        let inputs: Vec<ShardInput> = final_stores
+            .into_iter()
+            .zip(&shard_tickets)
+            .zip(&shard_initials)
+            .map(|((warehouse, tickets), initials)| ShardInput {
+                warehouse,
+                tickets: tickets.clone(),
+                initial_fingerprints: initials.clone(),
+            })
+            .collect();
+        let merge = merge_shards(inputs)
+            .map_err(|e| SimError::NonQuiescent(format!("shard merge rejected: {e}")))?;
+        let commit_log: Vec<CommitLogEntry> = merge
+            .order
+            .iter()
+            .map(|&(s, i)| final_logs[s][i].clone())
+            .collect();
+        for (s, obs) in reader_shard_obs.iter().enumerate() {
+            read_observations.extend(remap_observations(s, obs, &merge.local_to_global[s]));
+        }
+        let mut shard_reports = Vec::with_capacity(shards);
+        for (s, history) in shard_histories.into_iter().enumerate() {
+            shard_reports.push(ShardReport {
+                commit_log: std::mem::take(&mut final_logs[s]),
+                history,
+                initial_fingerprints: shard_initials[s].clone(),
+                read_observations: std::mem::take(&mut reader_shard_obs[s]),
+                local_to_global: merge.local_to_global[s].clone(),
+                commits: shard_commit_counts[s],
+            });
+        }
+        (
+            merge.warehouse,
+            commit_log,
+            Some(ShardPlane {
+                assignment: topology.assignment().to_vec(),
+                shards: shard_reports,
+                frontiers,
+            }),
+        )
+    } else {
+        let warehouse = final_stores.pop().expect("one store unsharded");
+        let commit_log = final_logs.pop().expect("one log unsharded");
+        (warehouse, commit_log, None)
+    };
 
     let metrics = SimMetrics {
         injected,
@@ -1583,7 +1990,6 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         f64::INFINITY
     };
 
-    let partitioning = registry.partitioning(config.partition);
     let final_merge_stats = merge_stats.lock().clone();
     let final_commit_stats = commit_stats.lock().clone();
 
@@ -1611,6 +2017,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             pipeline,
             read_observations,
             initial_fingerprints,
+            shard_plane,
         },
         WallClock {
             elapsed,
@@ -1824,6 +2231,109 @@ mod tests {
             Some("ns"),
             "reader metrics tagged with the runtime's unit"
         );
+    }
+
+    /// Sharded tentpole acceptance: G≥2 merge workers over S=2 warehouse
+    /// shards with an MVCC reader fleet spanning both shards. The run
+    /// must produce a shard plane, certify under `check_sharded` (ticket
+    /// linearization, per-shard read certification, frontier
+    /// monotonicity), match the unsharded final state, and show the
+    /// per-group merge workers demonstrably concurrent (overlapping
+    /// group-activity spans).
+    #[test]
+    fn threaded_sharded_end_to_end_certified() {
+        let spec = WorkloadSpec {
+            seed: 31,
+            relations: 4,
+            updates: 80,
+            delete_percent: 20,
+            ..WorkloadSpec::default()
+        };
+        let run = |shards: usize| {
+            let config = ThreadedConfig {
+                partition: true,
+                shards,
+                readers: 3,
+                reader_think_time: Duration::from_micros(20),
+                ..ThreadedConfig::default()
+            };
+            let w = generate(&spec);
+            let b = ThreadedBuilder::new(config);
+            let b = install_relations(b, spec.relations);
+            let (b, ids) = install_views(
+                b,
+                crate::workload::ViewSuite::DisjointCopies { count: 4 },
+                ManagerKind::Complete,
+            );
+            let (report, _wall) = b.workload(w.txns).run().unwrap();
+            let contents = report.warehouse.read(&ids);
+            (report, contents)
+        };
+        let (report, sharded_contents) = run(2);
+        let plane = report.shard_plane.as_ref().expect("shard plane recorded");
+        assert_eq!(plane.shards.len(), 2);
+        assert!(
+            report.partitioning.group_count() >= 2,
+            "disjoint views must partition into 2+ groups"
+        );
+        // Both shards committed work: group assignment spreads the
+        // disjoint groups round-robin, and every group saw updates.
+        assert!(plane.shards.iter().all(|s| s.commits > 0));
+        assert!(
+            !report.read_observations.is_empty(),
+            "reader fleet never ran"
+        );
+        assert!(!plane.frontiers.is_empty(), "cross-shard frontiers taken");
+        let oracle = Oracle::new(&report).unwrap();
+        oracle.assert_ok(); // includes check_sharded + check_reads
+        oracle.check_sharded().unwrap();
+        // Concurrency evidence: at least two per-group worker spans
+        // overlap in wall-clock (they all stretch over the drain's Flush
+        // rounds, so live groups must interleave).
+        let spans: Vec<(u64, u64)> = report.pipeline.group_activity.values().copied().collect();
+        assert!(spans.len() >= 2, "2+ groups active: {spans:?}");
+        let overlapping = spans
+            .iter()
+            .enumerate()
+            .any(|(i, a)| spans[i + 1..].iter().any(|b| a.0 <= b.1 && b.0 <= a.1));
+        assert!(overlapping, "group worker spans must overlap: {spans:?}");
+        // §6.1: sharding must not change the final warehouse contents.
+        let (unsharded, unsharded_contents) = run(1);
+        assert!(unsharded.shard_plane.is_none());
+        assert_eq!(sharded_contents, unsharded_contents);
+    }
+
+    /// The `groups` knob coarsens the relevance partitioning before the
+    /// workers spawn, bounding the thread count without changing results.
+    #[test]
+    fn threaded_groups_cap_coarsens_partitioning() {
+        let spec = WorkloadSpec {
+            seed: 7,
+            relations: 4,
+            updates: 40,
+            ..WorkloadSpec::default()
+        };
+        let config = ThreadedConfig {
+            partition: true,
+            groups: Some(2),
+            shards: 2,
+            ..ThreadedConfig::default()
+        };
+        let w = generate(&spec);
+        let b = ThreadedBuilder::new(config);
+        let b = install_relations(b, spec.relations);
+        let (b, _ids) = install_views(
+            b,
+            crate::workload::ViewSuite::DisjointCopies { count: 4 },
+            ManagerKind::Complete,
+        );
+        let (report, _wall) = b.workload(w.txns).run().unwrap();
+        assert!(
+            report.partitioning.group_count() <= 2,
+            "groups cap must coarsen: got {}",
+            report.partitioning.group_count()
+        );
+        Oracle::new(&report).unwrap().assert_ok();
     }
 
     #[test]
