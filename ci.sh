@@ -16,6 +16,9 @@ cargo fmt --check
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== rustdoc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "== protocol lint (deny) =="
 cargo run -q --release -p mvc-analysis --bin protocol_lint -- .
 
@@ -39,6 +42,20 @@ cargo run -q --release -p mvc-bench --bin recovery_smoke
 
 echo "== explorer smoke (SPA + PA interleaving census, oracle-certified) =="
 cargo run -q --release -p mvc-bench --bin explore_smoke
+
+echo "== durable smoke (explorer x durability: every crash point of every schedule) =="
+# Both recovery classes (watermark + delivery replay): every complete
+# schedule of the pinned census replayed durably, crash-recovered at every
+# WAL-record prefix, and the stitched history oracle-certified. 100% or fail.
+cargo run -q --release -p mvc-bench --bin durable_smoke
+
+echo "== durability bench gate (fsync sweep monotone + vs committed artifact) =="
+# Deterministic sim sweep: effective commit rate must rise monotonically
+# across fsync_every 1 -> 8 -> 32 (asserted inside the bin) and must not
+# regress >20% against the committed BENCH_pipeline.json durability rows.
+cargo run -q --release -p mvc-bench --bin bench_pipeline -- \
+  --only durability --out target/bench_durability.json \
+  --check BENCH_pipeline.json --check-runtime sim
 
 echo "== read smoke (MVCC reader workloads, every cut certified) =="
 # Sim leg is deterministic and gated against the committed artifact's

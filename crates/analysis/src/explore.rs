@@ -150,6 +150,11 @@ pub struct ExploreConfig {
     /// Sleep-set partial-order reduction on/off (off = naive DFS, for
     /// measuring the reduction).
     pub por: bool,
+    /// Retain every complete schedule in
+    /// [`ExploreOutcome::complete_schedules`] — the durable explorer's
+    /// work list. Off by default: exhaustive runs can visit tens of
+    /// thousands of schedules.
+    pub collect: bool,
 }
 
 impl Default for ExploreConfig {
@@ -158,6 +163,7 @@ impl Default for ExploreConfig {
             max_depth: 80,
             max_schedules: 20_000,
             por: true,
+            collect: false,
         }
     }
 }
@@ -188,6 +194,9 @@ pub struct ExploreOutcome {
     pub max_depth_seen: usize,
     /// Enabled choices skipped by the sleep sets (the reduction).
     pub sleep_skips: u64,
+    /// Every complete schedule, in exploration order (only populated
+    /// with [`ExploreConfig::collect`]).
+    pub complete_schedules: Vec<ScheduleId>,
 }
 
 impl ExploreOutcome {
@@ -217,6 +226,27 @@ struct Frame {
 /// the DFS steps incrementally while descending and replays the prefix
 /// from a fresh build when switching siblings — replay is cheap at the
 /// workload sizes exhaustive exploration can reach anyway.
+///
+/// ```
+/// use mvc_analysis::{explore, ExploreConfig, PipelineBuilder, PipelineConfig};
+/// use mvc_core::ViewId;
+/// use mvc_relational::{tuple, Schema, ViewDef};
+/// use mvc_source::{SourceId, WriteOp};
+/// use mvc_whips::sim::WorkloadTxn;
+/// use mvc_whips::ManagerKind;
+///
+/// let mut b = PipelineBuilder::new(PipelineConfig::default())
+///     .relation(SourceId(0), "R", Schema::ints(&["a", "b"]));
+/// let v = ViewDef::builder("V").from("R").build(b.catalog()).unwrap();
+/// let b = b.view(ViewId(1), v, ManagerKind::Complete).workload(vec![WorkloadTxn {
+///     source: SourceId(0),
+///     writes: vec![WriteOp::insert("R", tuple![1, 2])],
+///     global: false,
+/// }]);
+/// let out = explore(&b, &ExploreConfig::default()).unwrap();
+/// assert!(out.complete > 0);
+/// assert!(out.all_certified());
+/// ```
 pub fn explore(
     builder: &PipelineBuilder,
     config: &ExploreConfig,
@@ -228,7 +258,7 @@ pub fn explore(
     let root_enabled = first.ready()?;
     if root_enabled.is_empty() {
         // Empty workload: the single empty schedule.
-        certify(first, &ScheduleId::default(), &mut out)?;
+        certify(first, &ScheduleId::default(), &mut out, config.collect)?;
         return Ok(out);
     }
 
@@ -284,7 +314,7 @@ pub fn explore(
 
         let enabled = pipe.ready()?;
         if enabled.is_empty() {
-            certify(pipe, &ScheduleId(prefix.clone()), &mut out)?;
+            certify(pipe, &ScheduleId(prefix.clone()), &mut out, config.collect)?;
             prefix.pop();
             continue;
         }
@@ -331,8 +361,12 @@ fn certify(
     pipe: Pipeline,
     schedule: &ScheduleId,
     out: &mut ExploreOutcome,
+    collect: bool,
 ) -> Result<(), PipelineError> {
     out.complete += 1;
+    if collect {
+        out.complete_schedules.push(schedule.clone());
+    }
     let report = pipe.finish()?;
     let oracle = Oracle::new(&report).map_err(|e| PipelineError::Step {
         choice: "oracle".to_string(),

@@ -1,14 +1,19 @@
 //! # mvc-analysis
 //!
-//! Protocol analysis toolchain for the MVC reproduction. Three pillars:
+//! Protocol analysis toolchain for the MVC reproduction. Five pillars:
 //!
 //! * the **pipeline state machine** ([`pipeline`]): the VM →
 //!   merge-process → warehouse-applier dataflow with every scheduler
 //!   decision exposed as a named, replayable [`schedule::Choice`];
-//! * the **schedule explorer** ([`explore`]): bounded exhaustive DFS
+//! * the **schedule explorer** ([`mod@explore`]): bounded exhaustive DFS
 //!   over interleavings with sleep-set partial-order reduction, each
 //!   complete schedule certified by the consistency oracle and each
 //!   violation serialized as a replayable [`schedule::ScheduleId`];
+//! * the **durable explorer** ([`durable`]): every complete schedule the
+//!   explorer certifies is replayed on a WAL-journaling pipeline and
+//!   crash-recovered at every record prefix of its log, the stitched
+//!   history certified again — scheduling nondeterminism × crash points
+//!   in one sweep;
 //! * the **protocol lint** ([`lint`]): a hand-rolled token-level scanner
 //!   enforcing this repo's concurrency hygiene rules (see the
 //!   `protocol_lint` binary);
@@ -23,12 +28,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod durable;
 pub mod explore;
 pub mod lint;
 pub mod locklint;
 pub mod pipeline;
 pub mod schedule;
 
+pub use durable::{explore_durably, DurableExploreConfig, DurableExploreOutcome, PrefixFailure};
 pub use explore::{explore, ExploreConfig, ExploreOutcome, Independence, ScheduleViolation};
 pub use lint::{lint_file, lint_tree, LintFinding, Rule};
 pub use locklint::{lock_lint_file, lock_lint_tree, LockLintFinding, LockManifest, LockRule};

@@ -22,6 +22,7 @@ use mvc_core::{
     ActionList, CommitPolicy, ConsistencyLevel, MergeAlgorithm, MergeProcess, Partitioning, TxnSeq,
     UpdateId, ViewId,
 };
+use mvc_durability::{DurabilityConfig, WalRecord, WalWriter};
 use mvc_relational::{Catalog, Delta, RelationName, Schema, ViewDef};
 use mvc_source::{GlobalSeq, SourceCluster, SourceId, SourceUpdate};
 use mvc_viewmgr::{
@@ -93,7 +94,7 @@ pub struct PipelineConfig {
     pub algorithm: Option<MergeAlgorithm>,
     /// Partition views into per-relation-set merge groups (§6.1).
     pub partition: bool,
-    /// Tuple-level irrelevance tests at the integrator (ref [7]).
+    /// Tuple-level irrelevance tests at the integrator (paper ref \[7\]).
     pub tuple_relevance: bool,
     /// Warehouse snapshot recording (the oracle needs it only for
     /// state-matching levels; explorer runs keep it on by default so
@@ -172,6 +173,10 @@ impl PipelineBuilder {
 
     pub fn registry(&self) -> &ViewRegistry {
         &self.registry
+    }
+
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
     }
 
     /// Build a fresh pipeline at the initial state `ss_0`.
@@ -256,7 +261,28 @@ impl PipelineBuilder {
             partitioning,
             flushed_all: false,
             flush_rounds: 0,
+            wal: None,
+            log_deliveries: BTreeSet::new(),
         })
+    }
+
+    /// Build a fresh pipeline that journals every protocol event into a
+    /// write-ahead log — the same records, at the same sites, as the
+    /// durable simulator — so any record prefix of the resulting log can
+    /// be crash-recovered by [`mvc_whips::recover_and_run`].
+    pub fn build_durable(&self, dcfg: &DurabilityConfig) -> Result<Pipeline, PipelineError> {
+        let mut pipe = self.build()?;
+        pipe.wal =
+            Some(WalWriter::create(dcfg).map_err(|e| PipelineError::Build(format!("wal: {e}")))?);
+        // Delivery-replay manager kinds journal their delivered events
+        // (log-ahead), exactly like the simulator's `snapshot_logged` set.
+        pipe.log_deliveries = self
+            .registry
+            .iter()
+            .filter(|e| e.kind.needs_delivery_replay())
+            .map(|e| e.id)
+            .collect();
+        Ok(pipe)
     }
 
     /// Deterministically replay a serialized schedule to its report.
@@ -264,7 +290,20 @@ impl PipelineBuilder {
     /// a diverging replay means the schedule belongs to a different
     /// builder and fails with [`PipelineError::NotEnabled`].
     pub fn replay(&self, schedule: &ScheduleId) -> Result<SimReport, PipelineError> {
-        let mut pipe = self.build()?;
+        Self::run_schedule(self.build()?, schedule)
+    }
+
+    /// [`PipelineBuilder::replay`] on a WAL-journaling pipeline: the
+    /// report and the on-disk log of the schedule's full run.
+    pub fn replay_durable(
+        &self,
+        schedule: &ScheduleId,
+        dcfg: &DurabilityConfig,
+    ) -> Result<SimReport, PipelineError> {
+        Self::run_schedule(self.build_durable(dcfg)?, schedule)
+    }
+
+    fn run_schedule(mut pipe: Pipeline, schedule: &ScheduleId) -> Result<SimReport, PipelineError> {
         for (position, &choice) in schedule.0.iter().enumerate() {
             let enabled = pipe.ready()?;
             if !enabled.contains(&choice) {
@@ -338,6 +377,13 @@ pub struct Pipeline {
     /// the simulator's drain contract for batching/convergent parts).
     flushed_all: bool,
     flush_rounds: usize,
+    /// Write-ahead log, attached by [`PipelineBuilder::build_durable`]:
+    /// the same records at the same protocol sites as the simulator, so
+    /// every record prefix is a legal crash point for recovery.
+    wal: Option<WalWriter>,
+    /// Views whose manager kinds recover by delivery replay — their
+    /// delivered events are journaled log-ahead.
+    log_deliveries: BTreeSet<ViewId>,
 }
 
 /// Hard cap on drain flush rounds — matches the simulator's bound; a
@@ -397,6 +443,9 @@ impl Pipeline {
         }
         let ids: Vec<ViewId> = self.vms.keys().copied().collect();
         for v in ids {
+            if self.log_deliveries.contains(&v) {
+                self.log(&WalRecord::VmFlushDelivered { view: v })?;
+            }
             let outs = self
                 .vms
                 .get_mut(&v)
@@ -410,7 +459,7 @@ impl Pipeline {
         }
         for g in 0..self.mps.len() {
             let released = self.mps[g].flush();
-            self.push_released(g, released);
+            self.push_released(g, released)?;
         }
         // The chaos buffer commits its (reversed) remainder at drain time,
         // exactly like the simulator's reorder fault.
@@ -432,6 +481,18 @@ impl Pipeline {
 
     fn send(&mut self, chan: ChanId, msg: Msg) {
         self.channels.entry(chan).or_default().push_back(msg);
+    }
+
+    /// Log-ahead append; a no-op without an attached WAL. The explorer
+    /// injects no WAL faults, so an append error is a real I/O failure.
+    fn log(&mut self, rec: &WalRecord) -> Result<(), PipelineError> {
+        if let Some(w) = self.wal.as_mut() {
+            w.append(rec).map_err(|e| PipelineError::Step {
+                choice: "wal-append".to_string(),
+                detail: e.to_string(),
+            })?;
+        }
+        Ok(())
     }
 
     fn inject(&mut self) -> Result<(), PipelineError> {
@@ -472,6 +533,9 @@ impl Pipeline {
         };
         match (chan, msg) {
             (ChanId::SrcToInt, Msg::SrcUpdate(u)) => {
+                if self.wal.is_some() {
+                    self.log(&WalRecord::SourceUpdate(std::sync::Arc::clone(&u)))?;
+                }
                 let routings = self.integrator.route(u);
                 for r in routings {
                     self.routed.insert(r.numbered.seq());
@@ -494,8 +558,25 @@ impl Pipeline {
             }
             (ChanId::IntToVm(v), msg @ (Msg::Update(_) | Msg::Answer(..))) => {
                 let event = match msg {
-                    Msg::Update(u) => VmEvent::Update(u),
-                    Msg::Answer(token, answer) => VmEvent::Answer { token, answer },
+                    Msg::Update(u) => {
+                        if self.log_deliveries.contains(&v) {
+                            self.log(&WalRecord::VmUpdateDelivered { view: v, id: u.id })?;
+                        }
+                        VmEvent::Update(u)
+                    }
+                    Msg::Answer(token, answer) => {
+                        // By value: re-asking the sources post-crash would
+                        // observe a different state than the manager
+                        // compensated for.
+                        if self.log_deliveries.contains(&v) {
+                            self.log(&WalRecord::VmAnswerDelivered {
+                                view: v,
+                                token,
+                                answer: answer.clone(),
+                            })?;
+                        }
+                        VmEvent::Answer { token, answer }
+                    }
                     _ => unreachable!("guarded by the outer pattern"),
                 };
                 let outs = self
@@ -512,24 +593,41 @@ impl Pipeline {
                 self.send(ChanId::SrcToInt, Msg::AnswerFor(v, token, answer));
             }
             (ChanId::IntToMp(g), Msg::Rel(id, rel)) => {
+                if self.wal.is_some() {
+                    self.log(&WalRecord::RelInstalled {
+                        group: g as u64,
+                        id,
+                        rel: rel.clone(),
+                    })?;
+                }
                 let released = self.mps[g]
                     .on_rel(id, rel)
                     .map_err(|e| step_err(e.to_string()))?;
-                self.push_released(g, released);
+                self.push_released(g, released)?;
             }
             (ChanId::VmToMp(v), Msg::Action(al)) => {
                 let g = self.partitioning.group_of_view(v).unwrap_or(0);
+                if self.wal.is_some() {
+                    self.log(&WalRecord::ActionInstalled {
+                        group: g as u64,
+                        al: al.clone(),
+                    })?;
+                }
                 let released = self.mps[g]
                     .on_action(al)
                     .map_err(|e| step_err(e.to_string()))?;
-                self.push_released(g, released);
+                self.push_released(g, released)?;
             }
             (ChanId::MpToWh(g), Msg::Txn(txn)) => {
                 self.commit_or_buffer(g, txn)?;
             }
             (ChanId::WhToMp(g), Msg::Committed(seq)) => {
+                self.log(&WalRecord::CommitAcked {
+                    group: g as u64,
+                    seq,
+                })?;
                 let released = self.mps[g].on_committed(seq);
-                self.push_released(g, released);
+                self.push_released(g, released)?;
             }
             (c, m) => {
                 return Err(step_err(format!("message {m:?} on channel {c:?}")));
@@ -549,10 +647,19 @@ impl Pipeline {
         }
     }
 
-    fn push_released(&mut self, g: usize, released: Vec<StoreTxn>) {
+    fn push_released(&mut self, g: usize, released: Vec<StoreTxn>) -> Result<(), PipelineError> {
         for t in released {
+            if self.wal.is_some() {
+                // Full payload: a txn released before a crash point but
+                // committed after it cannot be regenerated by tail replay.
+                self.log(&WalRecord::GroupReleased {
+                    group: g as u64,
+                    txn: t.clone(),
+                })?;
+            }
             self.send(ChanId::MpToWh(g), Msg::Txn(t));
         }
+        Ok(())
     }
 
     fn commit_or_buffer(&mut self, g: usize, txn: StoreTxn) -> Result<(), PipelineError> {
@@ -578,6 +685,10 @@ impl Pipeline {
 
     fn commit(&mut self, g: usize, txn: StoreTxn) -> Result<(), PipelineError> {
         let seq = txn.seq;
+        self.log(&WalRecord::TxnCommitted {
+            group: g as u64,
+            seq,
+        })?;
         self.warehouse
             .apply(&txn)
             .map_err(|e| PipelineError::Step {
@@ -596,11 +707,17 @@ impl Pipeline {
     }
 
     /// Consume the quiescent pipeline into an oracle-checkable report.
-    pub fn finish(self) -> Result<SimReport, PipelineError> {
+    pub fn finish(mut self) -> Result<SimReport, PipelineError> {
         if !self.quiescent() {
             return Err(PipelineError::Stalled(
                 "finish() before quiescence".to_string(),
             ));
+        }
+        if let Some(mut w) = self.wal.take() {
+            w.finalize().map_err(|e| PipelineError::Step {
+                choice: "wal-finalize".to_string(),
+                detail: e.to_string(),
+            })?;
         }
         let merge_stats = self.mps.iter().map(MergeProcess::stats).collect();
         let commit_stats = self.mps.iter().map(MergeProcess::commit_stats).collect();

@@ -1,0 +1,94 @@
+//! Integration tests for the durable explorer: every complete schedule
+//! replayed on a WAL-journaling pipeline and crash-recovered at a stride
+//! of record prefixes (the release-mode `durable_smoke` binary sweeps
+//! every prefix).
+
+use mvc_analysis::{
+    explore_durably, Breakage, DurableExploreConfig, ExploreConfig, PipelineBuilder,
+    PipelineConfig, PipelineError,
+};
+use mvc_core::{MergeAlgorithm, ViewId};
+use mvc_relational::{tuple, Schema, ViewDef};
+use mvc_source::{SourceId, WriteOp};
+use mvc_whips::sim::WorkloadTxn;
+use mvc_whips::ManagerKind;
+
+fn txn(source: u32, w: WriteOp) -> WorkloadTxn {
+    WorkloadTxn {
+        source: SourceId(source),
+        writes: vec![w],
+        global: false,
+    }
+}
+
+fn two_copy_views(config: PipelineConfig, kind: ManagerKind) -> PipelineBuilder {
+    let mut b = PipelineBuilder::new(config)
+        .relation(SourceId(0), "R", Schema::ints(&["a", "b"]))
+        .relation(SourceId(1), "Q", Schema::ints(&["q", "r"]));
+    let vr = ViewDef::builder("VR").from("R").build(b.catalog()).unwrap();
+    let vq = ViewDef::builder("VQ").from("Q").build(b.catalog()).unwrap();
+    b = b.view(ViewId(1), vr, kind).view(ViewId(2), vq, kind);
+    b.workload(vec![
+        txn(0, WriteOp::insert("R", tuple![1, 1])),
+        txn(1, WriteOp::insert("Q", tuple![2, 2])),
+    ])
+}
+
+/// Debug-profile sweep: stride the prefixes so the test stays fast; the
+/// full per-record sweep runs in release mode in CI (`durable_smoke`).
+fn sweep(config: PipelineConfig, kind: ManagerKind, stride: usize) {
+    let b = two_copy_views(config, kind);
+    let out = explore_durably(
+        &b,
+        &DurableExploreConfig {
+            explore: ExploreConfig::default(),
+            stride,
+            ..DurableExploreConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(out.explore.all_certified());
+    assert_eq!(out.schedules, out.explore.complete);
+    assert!(out.prefixes > out.schedules, "several crash points per log");
+    assert!(
+        out.all_certified(),
+        "uncertified crash points: {:?}",
+        out.failures
+    );
+}
+
+#[test]
+fn durable_exploration_certifies_every_swept_crash_point() {
+    sweep(
+        PipelineConfig {
+            algorithm: Some(MergeAlgorithm::Spa),
+            ..PipelineConfig::default()
+        },
+        ManagerKind::Complete,
+        5,
+    );
+}
+
+/// Strobe managers recover by delivery replay: their logs also carry
+/// `Vm*Delivered` records and every prefix must still stitch.
+#[test]
+fn durable_exploration_covers_delivery_replay_managers() {
+    sweep(PipelineConfig::default(), ManagerKind::Strobe, 7);
+}
+
+/// The broken test-only applier cannot be crash-recovered (the recovery
+/// simulator is always faithful) — rejected typed, up front.
+#[test]
+fn durable_exploration_rejects_broken_appliers() {
+    let b = two_copy_views(
+        PipelineConfig {
+            breakage: Some(Breakage::ReorderCommits { depth: 2 }),
+            ..PipelineConfig::default()
+        },
+        ManagerKind::Complete,
+    );
+    let Err(err) = explore_durably(&b, &DurableExploreConfig::default()) else {
+        panic!("breakage must not silently explore durably");
+    };
+    assert!(matches!(err, PipelineError::Build(_)), "got: {err}");
+}

@@ -15,7 +15,10 @@
 //! (writes `BENCH_pipeline.json` into the current directory).
 //!
 //! Flags:
-//!   --only <scenario>      run just one scenario (e.g. `mixed`)
+//!
+//! ```text
+//!   --only <scenario>      run just one scenario (e.g. `mixed`), or
+//!                          `durability` for just the durability sweep
 //!   --out <path>           output path (default BENCH_pipeline.json)
 //!   --check <baseline>     after running, compare commit rates against a
 //!                          committed baseline JSON; exits nonzero if any
@@ -25,15 +28,26 @@
 //!   --check-runtime <rt>   restrict `--check` to one runtime (`sim` or
 //!                          `threaded`); CI gates on `sim`, which is
 //!                          deterministic and hence noise-free.
+//! ```
 
+use mvc_durability::DurabilityConfig;
 use mvc_whips::workload::{generate, install_relations, install_views, install_views_mixed};
 use mvc_whips::{
-    ManagerKind, SimBuilder, SimConfig, SimReport, ThreadedBuilder, ThreadedConfig, ViewSuite,
-    WorkloadSpec,
+    DurableOutcome, ManagerKind, SimBuilder, SimConfig, SimReport, ThreadedBuilder, ThreadedConfig,
+    ViewSuite, WorkloadSpec,
 };
 
 /// Commit-rate regression tolerance for `--check` (fraction of baseline).
 const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Virtual cost of one fsync batch, in scheduler steps, for the
+/// durability sweep's effective-throughput model. The sim executes an
+/// fsync in zero virtual time, so the cost of durability has to be
+/// modeled to be measured: one synchronous flush is worth tens of
+/// in-memory scheduler events on any real device. The *relative* shape
+/// of the sweep (group commit amortizes fsyncs) is insensitive to the
+/// exact constant.
+const FSYNC_COST_STEPS: u64 = 25;
 
 struct Scenario {
     name: &'static str,
@@ -387,6 +401,222 @@ fn shard_scaling() -> serde_json::Value {
     .collect()
 }
 
+/// Durability sweep: the SPA Complete-chain workload run durably in the
+/// deterministic sim at `fsync_every` 1 / 8 / 32. The scheduler trace is
+/// identical across the sweep (fsyncs take zero virtual time and never
+/// change a scheduling decision), so the only thing that moves is the
+/// fsync count — charged at [`FSYNC_COST_STEPS`] each, which makes the
+/// effective commit rate rise monotonically as group commit amortizes
+/// flushes. A threaded per-record vs. group-commit A/B rides along for
+/// wall-clock flavour but is informational only (1-CPU container).
+fn durability() -> serde_json::Value {
+    let spec = WorkloadSpec {
+        seed: 31,
+        relations: 4,
+        updates: 300,
+        key_domain: 12,
+        delete_percent: 25,
+        multi_percent: 0,
+    };
+    let mut rows: Vec<serde_json::Value> = Vec::new();
+    let mut rates = Vec::new();
+    for fsync_every in [1u64, 8, 32] {
+        let w = generate(&spec);
+        let path = std::env::temp_dir().join(format!(
+            "mvc-bench-durability-{}-{fsync_every}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let config = SimConfig {
+            seed: 0xd0d0,
+            durability: Some(DurabilityConfig::new(&path).with_fsync_every(fsync_every)),
+            ..SimConfig::default()
+        };
+        let b = install_relations(SimBuilder::new(config), spec.relations);
+        let (b, _) = install_views(
+            b,
+            ViewSuite::OverlappingChain { count: 3 },
+            ManagerKind::Complete,
+        );
+        let report = match b
+            .workload(w.txns)
+            .run_durable()
+            .expect("durability sweep run")
+        {
+            DurableOutcome::Completed(r) => r,
+            DurableOutcome::Crashed { .. } => unreachable!("no fault configured"),
+        };
+        let _ = std::fs::remove_file(&path);
+        mvc_whips::Oracle::new(&report)
+            .expect("oracle over durable run")
+            .assert_ok();
+        let m = &report.metrics;
+        let effective_steps = m.steps + m.wal_fsyncs * FSYNC_COST_STEPS;
+        let rate = if effective_steps > 0 {
+            m.commits as f64 * 1000.0 / effective_steps as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  durability sweep fsync_every={fsync_every}: {} commits, {} fsyncs, \
+             {} steps (+{} virtual fsync cost) -> {rate:.2} commits/kstep",
+            m.commits,
+            m.wal_fsyncs,
+            m.steps,
+            effective_steps - m.steps,
+        );
+        rates.push(rate);
+        rows.push(
+            [
+                (
+                    "fsync_every".to_owned(),
+                    serde_json::Value::from(fsync_every),
+                ),
+                ("commits".to_owned(), m.commits.into()),
+                ("steps".to_owned(), m.steps.into()),
+                ("wal_fsyncs".to_owned(), m.wal_fsyncs.into()),
+                ("effective_steps".to_owned(), effective_steps.into()),
+                ("effective_commit_rate_per_kstep".to_owned(), rate.into()),
+            ]
+            .into_iter()
+            .collect(),
+        );
+    }
+    // The sweep is deterministic, so this is an exact invariant, not a
+    // statistical one: batching fsyncs must never cost throughput.
+    for pair in rates.windows(2) {
+        assert!(
+            pair[1] >= pair[0],
+            "group commit reduced effective commit throughput: {rates:?}"
+        );
+    }
+
+    let threaded_rows: Vec<serde_json::Value> = [
+        ("per_record", 1u64, None),
+        (
+            "group_commit",
+            1024,
+            Some(std::time::Duration::from_micros(500)),
+        ),
+    ]
+    .into_iter()
+    .map(|(label, fsync_every, deadline)| {
+        let w = generate(&spec);
+        let path = std::env::temp_dir().join(format!(
+            "mvc-bench-durability-threaded-{}-{label}.wal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut dcfg = DurabilityConfig::new(&path).with_fsync_every(fsync_every);
+        if let Some(d) = deadline {
+            dcfg = dcfg.with_fsync_deadline(d);
+        }
+        let config = ThreadedConfig {
+            durability: Some(dcfg),
+            ..ThreadedConfig::default()
+        };
+        let b = install_relations(ThreadedBuilder::new(config), spec.relations);
+        let (b, _) = install_views(
+            b,
+            ViewSuite::OverlappingChain { count: 3 },
+            ManagerKind::Complete,
+        );
+        let (report, wall) = b.workload(w.txns).run().expect("threaded durable run");
+        let _ = std::fs::remove_file(&path);
+        let secs = wall.elapsed.as_secs_f64();
+        let cr = if secs > 0.0 {
+            report.metrics.commits as f64 / secs
+        } else {
+            0.0
+        };
+        println!(
+            "  durability threaded {label}: {} commits, {} fsyncs, {cr:.0} commits/sec",
+            report.metrics.commits, report.metrics.wal_fsyncs,
+        );
+        [
+            ("mode".to_owned(), serde_json::Value::from(label)),
+            ("fsync_every".to_owned(), fsync_every.into()),
+            (
+                "fsync_deadline_us".to_owned(),
+                deadline.map_or(0u64, |d| d.as_micros() as u64).into(),
+            ),
+            ("commits".to_owned(), report.metrics.commits.into()),
+            ("wal_fsyncs".to_owned(), report.metrics.wal_fsyncs.into()),
+            ("commit_rate_per_sec".to_owned(), cr.into()),
+        ]
+        .into_iter()
+        .collect()
+    })
+    .collect();
+
+    [
+        (
+            "note".to_owned(),
+            "deterministic sim sweep, fixed workload; fsyncs execute in zero \
+             virtual time so durability cost is modeled: each fsync batch is \
+             charged fsync_cost_steps scheduler steps and the effective commit \
+             rate is commits per thousand (steps + charged) steps. The sweep \
+             must be monotonically non-decreasing in fsync_every (group commit \
+             amortizes flushes). The threaded per-record vs group-commit A/B \
+             reports real wall clock and fsync counts but is informational \
+             only on this 1-CPU container; only the sim sweep is gated."
+                .into(),
+        ),
+        ("unit".to_owned(), "virtual_steps".into()),
+        ("runtime".to_owned(), "sim".into()),
+        ("fsync_cost_steps".to_owned(), FSYNC_COST_STEPS.into()),
+        ("sweep".to_owned(), serde_json::Value::Array(rows)),
+        (
+            "threaded_group_commit".to_owned(),
+            serde_json::Value::Array(threaded_rows),
+        ),
+    ]
+    .into_iter()
+    .collect()
+}
+
+/// Compare the fresh durability sweep against the committed baseline's,
+/// row by `fsync_every` row, at the usual tolerance. The sweep is
+/// sim-only (deterministic), so there is no runtime filter to apply.
+fn check_durability(baseline: &serde_json::Value, fresh: &serde_json::Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    let empty = Vec::new();
+    let base_rows = baseline
+        .get("durability")
+        .and_then(|d| d.get("sweep"))
+        .and_then(|s| s.as_array())
+        .unwrap_or(&empty);
+    let fresh_rows = fresh
+        .get("sweep")
+        .and_then(|s| s.as_array())
+        .unwrap_or(&empty);
+    for new in fresh_rows {
+        let Some(fe) = new.get("fsync_every").and_then(|v| v.as_u64()) else {
+            continue;
+        };
+        let Some(old) = base_rows
+            .iter()
+            .find(|r| r.get("fsync_every").and_then(|v| v.as_u64()) == Some(fe))
+        else {
+            continue;
+        };
+        let rate = |row: &serde_json::Value| {
+            row.get("effective_commit_rate_per_kstep")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0)
+        };
+        let (old_r, new_r) = (rate(old), rate(new));
+        if old_r > 0.0 && new_r < old_r * (1.0 - REGRESSION_TOLERANCE) {
+            errors.push(format!(
+                "durability/fsync_every={fe}: effective commit rate regressed \
+                 {old_r:.2} -> {new_r:.2} (> {:.0}% drop)",
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        }
+    }
+    errors
+}
+
 /// Key identifying a comparable run.
 fn run_key(run: &serde_json::Value) -> Option<(String, String)> {
     Some((
@@ -483,6 +713,14 @@ fn main() {
     } else {
         None
     };
+    // `--only durability` runs just the durability sweep (the CI gate
+    // uses it: the sweep is deterministic, so it needs no warm-up runs).
+    let durable = if only.as_deref().is_none_or(|o| o == "durability") {
+        println!("running durability sweep (sim + threaded group-commit A/B)...");
+        Some(durability())
+    } else {
+        None
+    };
     let doc: serde_json::Value = [
         (
             "note".to_owned(),
@@ -494,6 +732,7 @@ fn main() {
     ]
     .into_iter()
     .chain(sharding.map(|v| ("shard_scaling".to_owned(), v)))
+    .chain(durable.clone().map(|v| ("durability".to_owned(), v)))
     .collect();
     let rendered = serde_json::to_string_pretty(&doc);
     std::fs::write(&out, &rendered).expect("write benchmark JSON");
@@ -504,7 +743,14 @@ fn main() {
             std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
         let baseline =
             serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse baseline {path}: {e:?}"));
-        let errors = check_against(&baseline, &runs, check_runtime.as_deref());
+        let mut errors = check_against(&baseline, &runs, check_runtime.as_deref());
+        // The durability sweep is sim-only and deterministic: gate it
+        // whenever the sim runtime is in scope.
+        if check_runtime.as_deref() != Some("threaded") {
+            if let Some(d) = &durable {
+                errors.extend(check_durability(&baseline, d));
+            }
+        }
         if errors.is_empty() {
             println!("check vs {path}: OK");
         } else {

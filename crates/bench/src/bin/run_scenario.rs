@@ -8,6 +8,7 @@
 //! ```
 
 use mvc_core::{CommitPolicy, MergeAlgorithm, ViewId};
+use mvc_durability::DurabilityConfig;
 use mvc_relational::{parse_view, Schema, Value};
 use mvc_source::{SourceId, WriteOp};
 use mvc_whips::{
@@ -117,6 +118,29 @@ struct RuntimeSpec {
     /// watermarks).
     #[serde(default)]
     shards: Option<usize>,
+    /// Durable mode (both modes): write-ahead log at this path. Every
+    /// routing/commit event is journaled; the remaining `wal_*` knobs
+    /// shape batching, rotation and checkpointing.
+    #[serde(default)]
+    wal: Option<String>,
+    /// Write **and fsync** after every N appended records (default 1 =
+    /// durable per record; larger values model delayed group fsync).
+    #[serde(default)]
+    wal_fsync_every: Option<u64>,
+    /// Threaded mode only: group-commit window in microseconds —
+    /// committers park on the shared flush ticket and one leader fsyncs
+    /// for everyone who arrived within the window.
+    #[serde(default)]
+    wal_fsync_deadline_us: Option<u64>,
+    /// Rotate to a fresh `<wal>.seg{k}` segment every N records
+    /// (0 = single-file layout). With checkpoints enabled, segments
+    /// wholly behind the newest checkpoint anchor are compacted away.
+    #[serde(default)]
+    wal_rotate_every: Option<u64>,
+    /// Append a checkpoint record every N warehouse commits (0 = never);
+    /// recovery then restores the checkpoint and replays only the tail.
+    #[serde(default)]
+    wal_checkpoint_every: Option<u64>,
 }
 
 /// Hand-rolled JSON → `Scenario` extraction. The vendored `serde_json`
@@ -276,8 +300,26 @@ mod from_json {
             shards: field(v, "shards")
                 .and_then(Json::as_u64)
                 .map(|n| n as usize),
+            wal: field(v, "wal").and_then(Json::as_str).map(str::to_owned),
+            wal_fsync_every: field(v, "wal_fsync_every").and_then(Json::as_u64),
+            wal_fsync_deadline_us: field(v, "wal_fsync_deadline_us").and_then(Json::as_u64),
+            wal_rotate_every: field(v, "wal_rotate_every").and_then(Json::as_u64),
+            wal_checkpoint_every: field(v, "wal_checkpoint_every").and_then(Json::as_u64),
         })
     }
+}
+
+/// WAL settings from the `wal*` runtime knobs (`None` = in-memory run).
+fn durability(rt: &RuntimeSpec) -> Option<DurabilityConfig> {
+    let path = rt.wal.as_ref()?;
+    let mut d = DurabilityConfig::new(path)
+        .with_fsync_every(rt.wal_fsync_every.unwrap_or(1))
+        .with_rotate_every(rt.wal_rotate_every.unwrap_or(0))
+        .with_checkpoint_every(rt.wal_checkpoint_every.unwrap_or(0));
+    if let Some(us) = rt.wal_fsync_deadline_us {
+        d = d.with_fsync_deadline(Duration::from_micros(us));
+    }
+    Some(d)
 }
 
 fn parse_manager(s: &str) -> Result<ManagerKind, String> {
@@ -426,6 +468,7 @@ fn run(sc: &Scenario) -> Result<(), String> {
                 .unwrap_or(defaults.reader_think_time),
             groups: sc.runtime.groups,
             shards: sc.runtime.shards.unwrap_or(defaults.shards),
+            durability: durability(&sc.runtime),
             ..defaults
         };
         let mut b = ThreadedBuilder::new(config);
@@ -456,6 +499,7 @@ fn run(sc: &Scenario) -> Result<(), String> {
             readers: sc.runtime.readers.unwrap_or(0),
             groups: sc.runtime.groups,
             shards: sc.runtime.shards.unwrap_or(1),
+            durability: durability(&sc.runtime),
             ..SimConfig::default()
         };
         let mut b = SimBuilder::new(config);
@@ -479,6 +523,9 @@ fn run(sc: &Scenario) -> Result<(), String> {
         report
     };
 
+    if let Some(wal) = &sc.runtime.wal {
+        println!("wal: {} ({} fsyncs)", wal, report.metrics.wal_fsyncs);
+    }
     println!();
     for entry in report.registry.iter() {
         println!(

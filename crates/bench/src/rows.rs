@@ -5,6 +5,16 @@
 use serde::Serialize;
 
 /// One experiment result row: ordered (label, value) pairs.
+///
+/// ```
+/// use mvc_bench::{print_table, Row};
+///
+/// let rows = vec![
+///     Row::new().cell("scenario", "mixed").cell_f("commits_per_kstep", 99.86),
+///     Row::new().cell("scenario", "sharded").cell_f("commits_per_kstep", 207.43),
+/// ];
+/// print_table("example", &rows);
+/// ```
 #[derive(Debug, Clone, Serialize)]
 pub struct Row {
     pub cells: Vec<(String, String)>,

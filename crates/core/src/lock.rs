@@ -17,7 +17,7 @@
 //! The graph is process-global (locks of the same name in different
 //! runtime instances share a node). Consumers that may run concurrently
 //! with unrelated tests should filter [`lock_cycles`] by name prefix via
-//! [`LockCycle::involves_prefix`].
+//! [`LockCycle::within_prefixes`].
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};

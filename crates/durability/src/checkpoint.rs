@@ -1,19 +1,27 @@
 //! Checkpoint payloads: a full image of the pipeline's durable state at a
 //! commit boundary.
 //!
-//! A checkpoint is written as an ordinary WAL record, always immediately
-//! after a `TxnCommitted` record on the sim runtime (so every engine input
-//! that produced the checkpointed state precedes it in the log). Recovery
-//! restores the newest checkpoint and replays only records after it into
-//! the engines and the warehouse; `SourceUpdate` records are replayed from
-//! the log start regardless, because integrator routing is deterministic
-//! and cheap to rebuild.
+//! A checkpoint is written as an ordinary WAL record — on the sim runtime
+//! always immediately after a `TxnCommitted` record (so every engine
+//! input that produced the checkpointed state precedes it in the log), on
+//! the threaded runtime by a coordinator that gathers per-component
+//! snapshots via a message round (see `mvc-whips::threaded`).
+//!
+//! Checkpoints are **self-contained**: they carry the full routing
+//! history, install watermarks, in-flight transactions and integrator
+//! counters, so recovery can restore the newest checkpoint outright and
+//! replay only the records at or after its [anchors](CheckpointState::min_anchor).
+//! That self-containment is what makes segment compaction legal — every
+//! WAL record below `min_anchor()` is redundant with the checkpoint and
+//! its segment can be unlinked.
 
 use crate::codec::{Codec, CodecError, Reader};
 use mvc_core::{MergeSnapshot, TxnSeq, UpdateId, ViewId};
 use mvc_relational::Delta;
-use mvc_warehouse::WarehouseSnapshot;
+use mvc_source::{GlobalSeq, SourceUpdate};
+use mvc_warehouse::{StoreTxn, WarehouseSnapshot};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Durability's own mirror of the runtime's commit-log entry (the crate
 /// cannot depend on `mvc-whips`, which owns the runtime type).
@@ -42,15 +50,88 @@ impl Codec for CommitRecord {
     }
 }
 
+/// One integrator routing decision: update `id` of merge group `group`,
+/// with its shared payload and the relevant-view set `REL_id`. The
+/// checkpoint carries the full list from genesis — it doubles as the
+/// payload store for delivery-replay recovery of Strobe/Convergent
+/// managers and keeps re-enqueue of lost in-flight messages exact.
+#[derive(Debug, Clone)]
+pub struct RoutedUpdate {
+    pub group: u64,
+    pub id: UpdateId,
+    pub update: Arc<SourceUpdate>,
+    pub rel: BTreeSet<ViewId>,
+}
+
+impl Codec for RoutedUpdate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.group.encode(out);
+        self.id.encode(out);
+        self.update.encode(out);
+        self.rel.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(RoutedUpdate {
+            group: u64::decode(r)?,
+            id: UpdateId::decode(r)?,
+            update: Arc::new(SourceUpdate::decode(r)?),
+            rel: BTreeSet::decode(r)?,
+        })
+    }
+}
+
 /// Everything recovery needs that is not derivable from the log tail:
 /// warehouse relations + history, per-group merge-process state (VUT,
-/// pending ALs, scheduler queue), and the runtime commit log.
+/// pending ALs, scheduler queue), the runtime commit log, the routing
+/// history with install watermarks, in-flight transactions, integrator
+/// counters, and the per-component replay anchors (absolute WAL record
+/// indices) that gate tail replay.
 #[derive(Debug, Clone)]
 pub struct CheckpointState {
     pub warehouse: WarehouseSnapshot,
     /// Merge snapshots indexed by group number.
     pub merges: Vec<MergeSnapshot<Delta>>,
     pub commit_log: Vec<CommitRecord>,
+    /// Full routing history from genesis, in id order per group.
+    pub route_lists: Vec<RoutedUpdate>,
+    /// Per-group `REL_id` install watermark (highest id delivered to the
+    /// group's merge process).
+    pub installed_rel: Vec<UpdateId>,
+    /// Per-view action-list install watermark (highest `al.last`
+    /// delivered to the view's merge process).
+    pub installed_al: Vec<(ViewId, UpdateId)>,
+    /// Released-but-uncommitted transactions, full payloads, keyed by
+    /// `(group, txn)`.
+    pub pending: Vec<(u64, StoreTxn)>,
+    /// Committed-but-unacknowledged `(group, seq)` pairs.
+    pub unacked: Vec<(u64, TxnSeq)>,
+    /// Last source commit the integrator durably logged.
+    pub last_logged_src: GlobalSeq,
+    /// Integrator counters: per-group next update id, then the
+    /// received/dropped totals.
+    pub next_id: Vec<UpdateId>,
+    pub received: u64,
+    pub dropped: u64,
+    /// Per-group replay anchor: WAL records owned by merge group `g`
+    /// with absolute index `>= merge_anchors[g]` are *not* reflected in
+    /// `merges[g]` and must be replayed.
+    pub merge_anchors: Vec<u64>,
+    /// Same, for the integrator's `SourceUpdate` records.
+    pub routing_anchor: u64,
+}
+
+impl CheckpointState {
+    /// The compaction anchor: every WAL record with absolute index below
+    /// this is reflected in the checkpoint, so segments entirely below it
+    /// are dead. The per-component anchors can precede the checkpoint
+    /// record itself (threaded runtime: each component snapshots at its
+    /// own moment), hence the minimum — never the checkpoint's own index.
+    pub fn min_anchor(&self) -> u64 {
+        self.merge_anchors
+            .iter()
+            .copied()
+            .fold(self.routing_anchor, u64::min)
+    }
 }
 
 impl Codec for CheckpointState {
@@ -58,12 +139,34 @@ impl Codec for CheckpointState {
         self.warehouse.encode(out);
         self.merges.encode(out);
         self.commit_log.encode(out);
+        self.route_lists.encode(out);
+        self.installed_rel.encode(out);
+        self.installed_al.encode(out);
+        self.pending.encode(out);
+        self.unacked.encode(out);
+        self.last_logged_src.encode(out);
+        self.next_id.encode(out);
+        self.received.encode(out);
+        self.dropped.encode(out);
+        self.merge_anchors.encode(out);
+        self.routing_anchor.encode(out);
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         Ok(CheckpointState {
             warehouse: WarehouseSnapshot::decode(r)?,
             merges: Vec::decode(r)?,
             commit_log: Vec::decode(r)?,
+            route_lists: Vec::decode(r)?,
+            installed_rel: Vec::decode(r)?,
+            installed_al: Vec::decode(r)?,
+            pending: Vec::decode(r)?,
+            unacked: Vec::decode(r)?,
+            last_logged_src: GlobalSeq::decode(r)?,
+            next_id: Vec::decode(r)?,
+            received: u64::decode(r)?,
+            dropped: u64::decode(r)?,
+            merge_anchors: Vec::decode(r)?,
+            routing_anchor: u64::decode(r)?,
         })
     }
 }

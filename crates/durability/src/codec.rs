@@ -16,6 +16,7 @@ use mvc_relational::{
     Attribute, Delta, Relation, RelationName, Schema, Tuple, Value, ValueType, ViewName,
 };
 use mvc_source::{GlobalSeq, RelationChange, SourceId, SourceUpdate};
+use mvc_viewmgr::{QueryAnswer, QueryToken};
 use mvc_warehouse::{CommittedTxn, WarehouseSnapshot};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -301,6 +302,7 @@ newtype_codec!(TxnSeq, u64, TxnSeq);
 newtype_codec!(ViewId, u32, ViewId);
 newtype_codec!(GlobalSeq, u64, GlobalSeq);
 newtype_codec!(SourceId, u32, SourceId);
+newtype_codec!(QueryToken, u64, QueryToken);
 
 impl Codec for RelationName {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -824,6 +826,31 @@ impl<P: Codec> Codec for MergeSnapshot<P> {
     }
 }
 
+// ----------------------------------------------------------- query protocol
+
+impl Codec for QueryAnswer {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            QueryAnswer::Delta(d) => {
+                out.push(0);
+                d.encode(out);
+            }
+            QueryAnswer::Rows(rel, seq) => {
+                out.push(1);
+                rel.encode(out);
+                seq.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match u8::decode(r)? {
+            0 => QueryAnswer::Delta(Delta::decode(r)?),
+            1 => QueryAnswer::Rows(Relation::decode(r)?, GlobalSeq::decode(r)?),
+            _ => return Err(CodecError::Invalid("query-answer tag")),
+        })
+    }
+}
+
 // ------------------------------------------------------------ warehouse side
 
 impl Codec for CommittedTxn {
@@ -1020,7 +1047,55 @@ mod tests {
                 rows: vec![UpdateId(2)],
                 views: BTreeSet::from([ViewId(1)]),
             }],
+            route_lists: vec![crate::checkpoint::RoutedUpdate {
+                group: 0,
+                id: UpdateId(2),
+                update: std::sync::Arc::new(SourceUpdate {
+                    seq: GlobalSeq::INITIAL,
+                    source: SourceId(0),
+                    changes: vec![],
+                }),
+                rel: BTreeSet::from([ViewId(1)]),
+            }],
+            installed_rel: vec![UpdateId(2)],
+            installed_al: vec![(ViewId(1), UpdateId(2))],
+            pending: vec![(
+                0,
+                WarehouseTxn {
+                    seq: TxnSeq(2),
+                    rows: vec![UpdateId(3)],
+                    actions: vec![],
+                    views: BTreeSet::from([ViewId(1)]),
+                    frontier: UpdateId(3),
+                },
+            )],
+            unacked: vec![(0, TxnSeq(1))],
+            last_logged_src: GlobalSeq::INITIAL,
+            next_id: vec![UpdateId(3)],
+            received: 3,
+            dropped: 1,
+            merge_anchors: vec![7],
+            routing_anchor: 5,
         })));
+        rt(WalRecord::VmUpdateDelivered {
+            view: ViewId(1),
+            id: UpdateId(2),
+        });
+        rt(WalRecord::VmAnswerDelivered {
+            view: ViewId(1),
+            token: QueryToken(4),
+            answer: QueryAnswer::Delta({
+                let mut d = Delta::new();
+                d.add(Tuple::new(vec![Value::Int(9)]), -1);
+                d
+            }),
+        });
+        rt(WalRecord::VmAnswerDelivered {
+            view: ViewId(1),
+            token: QueryToken(5),
+            answer: QueryAnswer::Rows(Relation::new(Schema::ints(&["a"])), GlobalSeq::INITIAL),
+        });
+        rt(WalRecord::VmFlushDelivered { view: ViewId(1) });
     }
 
     #[test]

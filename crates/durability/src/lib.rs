@@ -26,9 +26,10 @@ pub mod codec;
 pub mod record;
 pub mod wal;
 
-pub use checkpoint::{CheckpointState, CommitRecord};
+pub use checkpoint::{CheckpointState, CommitRecord, RoutedUpdate};
 pub use codec::{from_bytes, to_bytes, Codec, CodecError, Reader};
 pub use record::WalRecord;
 pub use wal::{
-    checksum, DurabilityConfig, FaultSpec, KillMode, WalError, WalReader, WalWriter, WAL_MAGIC,
+    checksum, DurabilityConfig, FaultSpec, FlushTicket, KillMode, LogContents, WalError, WalReader,
+    WalWriter, WAL_MAGIC, WAL_SEG_MAGIC,
 };

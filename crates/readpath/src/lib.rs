@@ -241,6 +241,38 @@ impl Inner {
 
 /// The shared MVCC version store (clone = another handle to the same
 /// store). Writers publish whole commits; [`ReadSession`]s read cuts.
+///
+/// ```
+/// use mvc_core::{ActionList, TxnSeq, UpdateId, ViewId};
+/// use mvc_readpath::VersionedCuts;
+/// use mvc_relational::{tuple, Delta, Relation, Schema};
+/// use mvc_warehouse::{StoreTxn, Warehouse};
+///
+/// let mut w = Warehouse::new(false);
+/// w.register_view(ViewId(1), "V", Relation::new(Schema::ints(&["a", "b"]))).unwrap();
+///
+/// // Seed the store with the pre-commit state, open a reader session.
+/// let cuts = VersionedCuts::new();
+/// cuts.seed(0, w.read(&[ViewId(1)]));
+/// let mut session = cuts.open_session();
+///
+/// // One committed transaction, published under its commit watermark.
+/// let mut d = Delta::new();
+/// d.insert(tuple![1, 2]);
+/// let txn = StoreTxn {
+///     seq: TxnSeq(1),
+///     rows: vec![UpdateId(1)],
+///     views: [ViewId(1)].into(),
+///     frontier: UpdateId(1),
+///     actions: vec![ActionList::single(ViewId(1), UpdateId(1), d)],
+/// };
+/// let watermark = w.apply(&txn).unwrap().commit_index;
+/// cuts.publish(watermark, w.read(&[ViewId(1)]));
+///
+/// // Snapshot read at the watermark — no warehouse lock involved.
+/// let read = session.read_at(watermark, &[ViewId(1)]).unwrap();
+/// assert!(read.observation.cut.views[&ViewId(1)].contains(&tuple![1, 2]));
+/// ```
 #[derive(Clone)]
 pub struct VersionedCuts {
     inner: Arc<AuditedMutex<Inner>>,

@@ -77,6 +77,22 @@ struct RelationLog {
 }
 
 /// The simulated source cluster.
+///
+/// ```
+/// use mvc_relational::{tuple, RelationName, Schema};
+/// use mvc_source::{SourceCluster, SourceId, WriteOp};
+///
+/// let mut c = SourceCluster::new(4);
+/// c.create_relation(SourceId(0), "R", Schema::ints(&["a", "b"])).unwrap();
+/// let update = c.execute(SourceId(0), vec![WriteOp::insert("R", tuple![1, 2])]).unwrap();
+/// assert_eq!(c.history().len(), 1);
+///
+/// let r: RelationName = "R".into();
+/// assert!(c.relation_current(&r).unwrap().contains(&tuple![1, 2]));
+/// // As-of reconstruction: before the update, R was empty.
+/// use mvc_source::GlobalSeq;
+/// assert!(c.relation_as_of(&r, GlobalSeq(update.seq.0 - 1)).unwrap().is_empty());
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SourceCluster {
     catalog: Catalog,

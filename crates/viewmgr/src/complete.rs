@@ -20,6 +20,34 @@ use mvc_source::GlobalSeq;
 use std::collections::VecDeque;
 
 /// Complete view manager (one AL per update; as-of delta queries).
+///
+/// ```
+/// use mvc_core::{UpdateId, ViewId};
+/// use mvc_relational::{tuple, Schema, ViewDef};
+/// use mvc_source::{SourceCluster, SourceId, WriteOp};
+/// use mvc_viewmgr::protocol::{answer_query, NumberedUpdate, ViewManager, VmEvent, VmOutput};
+/// use mvc_viewmgr::CompleteVm;
+///
+/// let mut c = SourceCluster::new(4);
+/// c.create_relation(SourceId(0), "R", Schema::ints(&["a", "b"])).unwrap();
+/// let def = ViewDef::builder("V").from("R").build(c.catalog()).unwrap();
+/// let mut vm = CompleteVm::new(ViewId(1), def);
+///
+/// // A relevant update arrives: the manager asks the source an as-of
+/// // delta query instead of trusting the (possibly stale) current state.
+/// let u = c.execute(SourceId(0), vec![WriteOp::insert("R", tuple![1, 2])]).unwrap();
+/// let mut outs = vm.handle(VmEvent::Update(NumberedUpdate::from_owned(UpdateId(1), u))).unwrap();
+/// let (token, request) = match outs.pop().unwrap() {
+///     VmOutput::Query { token, request } => (token, request),
+///     other => panic!("expected a query, got {other:?}"),
+/// };
+///
+/// // The answer yields exactly one action list for the merge process.
+/// let answer = answer_query(&c, &request).unwrap();
+/// let outs = vm.handle(VmEvent::Answer { token, answer }).unwrap();
+/// assert!(matches!(outs[0], VmOutput::Action(_)));
+/// assert!(vm.view().contains(&tuple![1, 2]));
+/// ```
 #[derive(Debug)]
 pub struct CompleteVm {
     id: ViewId,

@@ -87,6 +87,28 @@ pub struct WarehouseSnapshot {
 
 /// The warehouse: a set of materialized views updated by atomic
 /// multi-view transactions (the merge process's `WT`s / `BWT`s).
+///
+/// ```
+/// use mvc_core::{ActionList, TxnSeq, UpdateId, ViewId};
+/// use mvc_relational::{tuple, Delta, Relation, Schema};
+/// use mvc_warehouse::{StoreTxn, Warehouse};
+///
+/// let mut w = Warehouse::new(false);
+/// w.register_view(ViewId(1), "V", Relation::new(Schema::ints(&["a", "b"]))).unwrap();
+///
+/// let mut d = Delta::new();
+/// d.insert(tuple![1, 2]);
+/// let txn = StoreTxn {
+///     seq: TxnSeq(1),
+///     rows: vec![UpdateId(1)],
+///     views: [ViewId(1)].into(),
+///     frontier: UpdateId(1),
+///     actions: vec![ActionList::single(ViewId(1), UpdateId(1), d)],
+/// };
+/// w.apply(&txn).unwrap();
+/// assert!(w.view(ViewId(1)).unwrap().contains(&tuple![1, 2]));
+/// assert_eq!(w.history().len(), 1);
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Warehouse {
     views: BTreeMap<ViewId, ViewSlot>,

@@ -79,6 +79,25 @@ impl Integrator {
         self.dropped
     }
 
+    /// The dynamic counters a checkpoint must carry: per-group next
+    /// update id plus the received/dropped totals. Everything else
+    /// (registry, partitioning, relevance index) is rebuilt from the
+    /// view definitions by the caller.
+    pub fn counters(&self) -> (Vec<UpdateId>, u64, u64) {
+        (self.next_id.clone(), self.received, self.dropped)
+    }
+
+    /// Restore checkpointed counters into a freshly built integrator
+    /// (recovery: the routing sequence resumes exactly where the
+    /// checkpointed run left off).
+    pub fn restore_counters(&mut self, next_id: Vec<UpdateId>, received: u64, dropped: u64) {
+        if !next_id.is_empty() {
+            self.next_id = next_id;
+        }
+        self.received = received;
+        self.dropped = dropped;
+    }
+
     /// §1.2 dynamic view installation (single-merge-group deployments
     /// only): register the view with the integrator and allocate the
     /// install row's update id. The caller wires the rest (VM creation,

@@ -59,6 +59,12 @@ pub struct SimMetrics {
     pub vut_occupancy: Summary,
     /// Messages delivered per channel class (diagnostics).
     pub messages_delivered: u64,
+    /// Physical fsync batches the WAL issued over the whole run (durable
+    /// runs only; 0 otherwise). With `fsync_every = n` the writer syncs
+    /// once per `n` appended records, so this is the group-commit cost
+    /// knob the durability bench sweeps.
+    #[serde(default)]
+    pub wal_fsyncs: u64,
     /// Scheduler steps spent inside each merge group's plane (VM compute
     /// routed to the group's views, merge, commit, ack). Sim runtime
     /// only; empty in the threaded runtime. The serial sim executes

@@ -1,45 +1,75 @@
 //! Crash recovery: rebuild a mid-flight pipeline from its write-ahead
 //! log and finish the workload.
 //!
-//! The scan makes a single ordered pass over the log. Integrator routing
-//! is replayed from the log start (it is deterministic and cheap, and
-//! rebuilding it also reconstructs the per-group numbering and routing
-//! bookkeeping the oracle needs); engines and the warehouse start from
-//! the newest checkpoint — or fresh, if none — and consume only records
-//! *after* it. Replay is idempotent by construction: engine inputs are
-//! deduplicated by `UpdateId` watermark, commits by `(group, seq)`, so a
-//! group is never double-applied no matter where the crash landed.
+//! The scan makes a single ordered pass over the log (stitched across
+//! rotated segments by `WalReader::open_log`, so record indices are
+//! absolute even after compaction dropped a prefix). Engines, the
+//! warehouse and the integrator counters are restored from the newest
+//! checkpoint — or start fresh, if the log holds none — and each
+//! component consumes only the records at or past its checkpoint
+//! *anchor* (the per-component absolute record index the checkpoint
+//! carries; on the threaded runtime the anchors precede the checkpoint
+//! record itself because each component snapshots at its own moment).
+//! Replay is idempotent by construction: engine inputs are deduplicated
+//! by `UpdateId` watermark, commits by `(group, seq)`, so a group is
+//! never double-applied no matter where the crash landed.
+//!
+//! View managers come back in one of two ways, chosen per kind:
+//!
+//! * **watermark re-initialization** — a fresh manager is initialized at
+//!   the source cut of its highest installed action list, and updates
+//!   past that watermark are re-delivered. Exact for every kind whose
+//!   state is a pure function of that cut.
+//! * **delivery replay** — `Strobe`/`Convergent` managers (compensation
+//!   bookkeeping / accumulated estimate drift) are rebuilt by replaying
+//!   their logged `Vm*Delivered` sequence from genesis; action lists and
+//!   queries the replay re-emits are re-enqueued exactly where the
+//!   crashed run had them in flight. Registering such a view disables
+//!   WAL compaction (replay needs the full delivery history), and a
+//!   compacted log is rejected with a typed error rather than replayed
+//!   from a hole.
 //!
 //! The resumed run does not re-log (single-recovery model): surviving a
 //! second crash during recovery would need the recovered state itself to
 //! be checkpointed first, which is exactly a fresh WAL — out of scope.
 
 use crate::integrator::Integrator;
-use crate::registry::{ManagerKind, ViewRegistry};
+use crate::registry::ViewRegistry;
 use crate::sim::{CommitLogEntry, Sim, SimConfig, SimError, SimReport, WorkloadTxn};
 use mvc_core::{ConsistencyLevel, MergeProcess, TxnSeq, UpdateId, ViewId};
 use mvc_durability::{WalError, WalReader, WalRecord};
 use mvc_relational::Delta;
 use mvc_source::{GlobalSeq, SourceCluster, SourceUpdate};
-use mvc_viewmgr::NumberedUpdate;
+use mvc_viewmgr::{
+    ActionListDelta, NumberedUpdate, QueryAnswer, QueryRequest, QueryToken, ViewManager, VmEvent,
+    VmOutput,
+};
 use mvc_warehouse::{StoreTxn, Warehouse};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// Recovery failures, all typed — corruption, unsupported configurations
 /// and log-discipline violations are reported, never papered over.
 #[derive(Debug)]
 pub enum RecoveryError {
-    /// Reading the log failed (I/O, bad magic, checksum mismatch).
+    /// Reading the log failed (I/O, bad magic, checksum mismatch, torn
+    /// or missing segment).
     Wal(WalError),
     /// The config carries no durability section, so there is no log.
     NoDurability,
-    /// Only stateless (`Complete`) managers can be rebuilt from the log;
-    /// stateful manager kinds would need their own snapshots.
-    UnsupportedManager { view: ViewId },
     /// A `TxnCommitted` record with no preceding `GroupReleased` payload:
     /// the log violates the log-ahead discipline (or was tampered with).
     MissingReleasePayload { group: usize, seq: TxnSeq },
+    /// A `VmUpdateDelivered` record references an update id the routing
+    /// history never produced — the delivery log and the routing log
+    /// disagree (tampering or a torn rewrite).
+    MissingRoutedPayload { view: ViewId, id: UpdateId },
+    /// The log was compacted (its oldest surviving record index is past
+    /// genesis) but `view` uses a delivery-replay manager kind, whose
+    /// replay needs the full history. Writers disable compaction for such
+    /// registries; hitting this means the log and registry mismatch.
+    CompactedDeliveryLog { view: ViewId },
     /// Replaying the tail (or finishing the workload) failed.
     Replay(SimError),
 }
@@ -51,13 +81,22 @@ impl fmt::Display for RecoveryError {
             RecoveryError::NoDurability => {
                 write!(f, "config has no durability section (no log to recover)")
             }
-            RecoveryError::UnsupportedManager { view } => {
-                write!(f, "view {view} uses a stateful manager kind; recovery supports Complete managers only")
-            }
             RecoveryError::MissingReleasePayload { group, seq } => {
                 write!(
                     f,
                     "TxnCommitted({seq:?}) for group {group} has no GroupReleased payload"
+                )
+            }
+            RecoveryError::MissingRoutedPayload { view, id } => {
+                write!(
+                    f,
+                    "VmUpdateDelivered({id:?}) for view {view} has no routed payload"
+                )
+            }
+            RecoveryError::CompactedDeliveryLog { view } => {
+                write!(
+                    f,
+                    "view {view} needs delivery replay from genesis but the log was compacted"
                 )
             }
             RecoveryError::Replay(e) => write!(f, "replay error: {e}"),
@@ -83,6 +122,10 @@ pub(crate) struct RecoveredState {
     pub(crate) integrator: Integrator,
     pub(crate) warehouse: Warehouse,
     pub(crate) mps: Vec<MergeProcess<Delta>>,
+    /// Recovered view managers: watermark kinds re-initialized at their
+    /// install watermark, delivery-replay kinds rebuilt from their logged
+    /// event sequence.
+    pub(crate) vms: BTreeMap<ViewId, Box<dyn ViewManager>>,
     pub(crate) guarantees: Vec<ConsistencyLevel>,
     pub(crate) group_views: Vec<BTreeSet<ViewId>>,
     pub(crate) commit_log: Vec<CommitLogEntry>,
@@ -101,6 +144,18 @@ pub(crate) struct RecoveredState {
     pub(crate) unacked: Vec<(usize, TxnSeq)>,
     /// Seq of the last `SourceUpdate` record in the log.
     pub(crate) last_logged_src: GlobalSeq,
+    /// Views recovered by delivery replay (their update re-enqueue is
+    /// filtered by the `delivered` sets, not by an AL watermark).
+    pub(crate) replayed_views: BTreeSet<ViewId>,
+    /// Per replayed view: update ids durably delivered to its manager.
+    pub(crate) delivered: BTreeMap<ViewId, BTreeSet<UpdateId>>,
+    /// Action lists the delivery replay re-emitted that never reached
+    /// the merge process — back onto the VM→MP channel.
+    pub(crate) vm_requeue_actions: Vec<(ViewId, ActionListDelta)>,
+    /// Queries the delivery replay re-emitted that were never answered —
+    /// back onto the VM→QS channel (re-answered at the current sources;
+    /// the manager compensates exactly as it would have pre-crash).
+    pub(crate) vm_requeue_queries: Vec<(ViewId, QueryToken, QueryRequest)>,
 }
 
 impl RecoveredState {
@@ -130,31 +185,69 @@ pub fn recover_and_run(
         .durability
         .clone()
         .ok_or(RecoveryError::NoDurability)?;
-    let records = WalReader::open(&d.wal_path)?.read_all()?;
-    let state = rebuild(&config, registry, &records)?;
+    let log = WalReader::open_log(&d.wal_path)?;
+    let state = rebuild(&config, registry, &cluster, &log.records, log.base)?;
     let sim = Sim::resume(config, cluster, state, remaining)?;
     sim.run().map_err(RecoveryError::Replay)
 }
 
-/// The single-pass log scan (see module docs).
+/// One logged delivery to a replay-class view manager, in log order.
+enum ReplayEvent {
+    Update(UpdateId),
+    Answer(QueryToken, QueryAnswer),
+    Flush,
+}
+
+/// The single-pass log scan (see module docs). `base` is the absolute
+/// index of `records[0]` — nonzero once compaction dropped a prefix.
 fn rebuild(
     config: &SimConfig,
     registry: &ViewRegistry,
+    cluster: &SourceCluster,
     records: &[WalRecord],
+    base: u64,
 ) -> Result<RecoveredState, RecoveryError> {
-    for e in registry.iter() {
-        if e.kind != ManagerKind::Complete {
-            return Err(RecoveryError::UnsupportedManager { view: e.id });
-        }
+    // Mirror Sim::build's group layout (including the group cap).
+    let mut partitioning = registry.partitioning(config.partition);
+    if let Some(cap) = config.groups {
+        partitioning = partitioning.coarsen(cap);
     }
-
-    // Mirror Sim::build's group layout.
-    let partitioning = registry.partitioning(config.partition);
     let groups = partitioning.group_count().max(1);
     let mut group_views: Vec<BTreeSet<ViewId>> = vec![BTreeSet::new(); groups];
     for id in registry.ids() {
         group_views[partitioning.group_of_view(id).unwrap_or(0)].insert(id);
     }
+
+    let replayed_views: BTreeSet<ViewId> = registry
+        .iter()
+        .filter(|e| e.kind.needs_delivery_replay())
+        .map(|e| e.id)
+        .collect();
+    if base > 0 {
+        if let Some(&view) = replayed_views.iter().next() {
+            return Err(RecoveryError::CompactedDeliveryLog { view });
+        }
+    }
+
+    // Routing bookkeeping, install watermarks, in-flight transactions and
+    // replay anchors — seeded from the newest checkpoint when one exists.
+    let mut integrator = Integrator::new(
+        registry.clone(),
+        partitioning.clone(),
+        config.tuple_relevance,
+    );
+    let mut route_lists: Vec<Vec<(UpdateId, NumberedUpdate, BTreeSet<ViewId>)>> =
+        vec![Vec::new(); groups];
+    let mut group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>> = vec![BTreeMap::new(); groups];
+    let mut routed = BTreeSet::new();
+    let mut installed_rel = vec![UpdateId::ZERO; groups];
+    let mut installed_al: BTreeMap<ViewId, UpdateId> = BTreeMap::new();
+    let mut pending: BTreeMap<(usize, TxnSeq), StoreTxn> = BTreeMap::new();
+    let mut committed: BTreeSet<(usize, TxnSeq)> = BTreeSet::new();
+    let mut unacked_set: BTreeSet<(usize, TxnSeq)> = BTreeSet::new();
+    let mut last_logged_src = GlobalSeq::INITIAL;
+    let mut merge_anchors = vec![0u64; groups];
+    let mut routing_anchor = 0u64;
 
     // Engines, warehouse and commit log start from the newest checkpoint,
     // or fresh if the log holds none.
@@ -173,7 +266,7 @@ fn rebuild(
                 .map(MergeProcess::from_snapshot)
                 .collect();
             let warehouse = Warehouse::restore(ck.warehouse.clone());
-            let commit_log = ck
+            let commit_log: Vec<CommitLogEntry> = ck
                 .commit_log
                 .iter()
                 .map(|r| CommitLogEntry {
@@ -183,6 +276,40 @@ fn rebuild(
                     views: r.views.clone(),
                 })
                 .collect();
+            // The checkpoint is self-contained: restore the routing
+            // history, watermarks, in-flight transactions and counters
+            // outright; the scan below replays only past the anchors.
+            integrator.restore_counters(ck.next_id.clone(), ck.received, ck.dropped);
+            for r in &ck.route_lists {
+                let g = (r.group as usize).min(groups - 1);
+                let numbered = NumberedUpdate {
+                    id: r.id,
+                    update: Arc::clone(&r.update),
+                };
+                routed.insert(numbered.seq());
+                group_updates[g].insert(r.id, numbered.seq());
+                route_lists[g].push((r.id, numbered, r.rel.clone()));
+            }
+            for (g, w) in ck.installed_rel.iter().enumerate().take(groups) {
+                installed_rel[g] = *w;
+            }
+            for &(v, w) in &ck.installed_al {
+                installed_al.insert(v, w);
+            }
+            for (g, txn) in &ck.pending {
+                pending.insert((*g as usize, txn.seq), txn.clone());
+            }
+            for &(g, seq) in &ck.unacked {
+                unacked_set.insert((g as usize, seq));
+            }
+            for e in &commit_log {
+                committed.insert((e.group, e.seq));
+            }
+            last_logged_src = ck.last_logged_src;
+            for (g, a) in ck.merge_anchors.iter().enumerate().take(groups) {
+                merge_anchors[g] = *a;
+            }
+            routing_anchor = ck.routing_anchor;
             (mps, warehouse, commit_log)
         }
         None => {
@@ -215,54 +342,41 @@ fn rebuild(
     };
     let guarantees: Vec<ConsistencyLevel> = mps.iter().map(MergeProcess::guarantees).collect();
 
-    // Routing is replayed from the log start through a fresh integrator
-    // (deterministic, and it rebuilds the numbering bookkeeping).
-    let mut integrator = Integrator::new(
-        registry.clone(),
-        registry.partitioning(config.partition),
-        config.tuple_relevance,
-    );
-
-    let mut route_lists: Vec<Vec<(UpdateId, NumberedUpdate, BTreeSet<ViewId>)>> =
-        vec![Vec::new(); groups];
-    let mut group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>> = vec![BTreeMap::new(); groups];
-    let mut routed = BTreeSet::new();
-    let mut installed_rel = vec![UpdateId::ZERO; groups];
-    let mut installed_al: BTreeMap<ViewId, UpdateId> = BTreeMap::new();
-    let mut pending: BTreeMap<(usize, TxnSeq), StoreTxn> = BTreeMap::new();
-    let mut committed: BTreeSet<(usize, TxnSeq)> = BTreeSet::new();
-    let mut acked: BTreeSet<(usize, TxnSeq)> = BTreeSet::new();
-    let mut last_logged_src = GlobalSeq::INITIAL;
+    // Delivery sequences for replay-class views, gathered over the scan.
+    let mut replay: BTreeMap<ViewId, Vec<ReplayEvent>> = BTreeMap::new();
+    let mut delivered: BTreeMap<ViewId, BTreeSet<UpdateId>> = BTreeMap::new();
 
     for (i, rec) in records.iter().enumerate() {
-        // Engine/warehouse transitions at or before the checkpoint are
-        // already inside it; watermarks and payloads are tracked across
-        // the whole log.
-        let past_ck = ck_idx.is_none_or(|c| i > c);
+        let idx = base + i as u64;
         match rec {
             WalRecord::SourceUpdate(u) => {
-                last_logged_src = u.seq;
-                // seal: WAL replay deep-copies the logged update once to
-                // re-number it; recovery is off the hot path by definition
-                for r in integrator.route(u.clone()) {
-                    routed.insert(r.numbered.seq());
-                    group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
-                    route_lists[r.group].push((r.numbered.id, r.numbered, r.rel));
+                // Records below the routing anchor are already inside the
+                // checkpoint's route lists and counters.
+                if idx >= routing_anchor {
+                    last_logged_src = u.seq;
+                    // seal: WAL replay deep-copies the logged update once
+                    // to re-number it; recovery is off the hot path by
+                    // definition
+                    for r in integrator.route(u.clone()) {
+                        routed.insert(r.numbered.seq());
+                        group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
+                        route_lists[r.group].push((r.numbered.id, r.numbered, r.rel));
+                    }
                 }
             }
             WalRecord::RelInstalled { group, id, rel } => {
                 let g = *group as usize;
-                installed_rel[g] = installed_rel[g].max(*id);
-                if past_ck {
+                if idx >= merge_anchors[g] {
+                    installed_rel[g] = installed_rel[g].max(*id);
                     let released = mps[g].on_rel(*id, rel.clone()).map_err(SimError::from)?;
                     stash(&mut pending, g, released);
                 }
             }
             WalRecord::ActionInstalled { group, al } => {
                 let g = *group as usize;
-                let w = installed_al.entry(al.view).or_insert(UpdateId::ZERO);
-                *w = (*w).max(al.last);
-                if past_ck {
+                if idx >= merge_anchors[g] {
+                    let w = installed_al.entry(al.view).or_insert(UpdateId::ZERO);
+                    *w = (*w).max(al.last);
                     let released = mps[g].on_action(al.clone()).map_err(SimError::from)?;
                     stash(&mut pending, g, released);
                 }
@@ -276,15 +390,15 @@ fn rebuild(
             }
             WalRecord::TxnCommitted { group, seq } => {
                 let g = *group as usize;
-                committed.insert((g, *seq));
-                let txn =
-                    pending
-                        .remove(&(g, *seq))
-                        .ok_or(RecoveryError::MissingReleasePayload {
-                            group: g,
-                            seq: *seq,
-                        })?;
-                if past_ck {
+                // Deduplicated by `(group, seq)` against the checkpoint's
+                // commit log — a pre-anchor record whose commit the
+                // checkpoint already holds just clears its payload.
+                let txn = pending.remove(&(g, *seq));
+                if committed.insert((g, *seq)) {
+                    let txn = txn.ok_or(RecoveryError::MissingReleasePayload {
+                        group: g,
+                        seq: *seq,
+                    })?;
                     warehouse.apply(&txn).map_err(SimError::from)?;
                     commit_log.push(CommitLogEntry {
                         group: g,
@@ -292,15 +406,36 @@ fn rebuild(
                         rows: txn.rows.clone(),
                         views: txn.views.clone(),
                     });
+                    unacked_set.insert((g, *seq));
                 }
             }
             WalRecord::CommitAcked { group, seq } => {
                 let g = *group as usize;
-                acked.insert((g, *seq));
-                if past_ck {
+                unacked_set.remove(&(g, *seq));
+                if idx >= merge_anchors[g] {
                     let released = mps[g].on_committed(*seq);
                     stash(&mut pending, g, released);
                 }
+            }
+            WalRecord::VmUpdateDelivered { view, id } => {
+                delivered.entry(*view).or_default().insert(*id);
+                replay
+                    .entry(*view)
+                    .or_default()
+                    .push(ReplayEvent::Update(*id));
+            }
+            WalRecord::VmAnswerDelivered {
+                view,
+                token,
+                answer,
+            } => {
+                replay
+                    .entry(*view)
+                    .or_default()
+                    .push(ReplayEvent::Answer(*token, answer.clone()));
+            }
+            WalRecord::VmFlushDelivered { view } => {
+                replay.entry(*view).or_default().push(ReplayEvent::Flush);
             }
             // Paint records are an audit trail; colors are reconstructed
             // by the engine replay above. Checkpoints were consumed up
@@ -309,11 +444,76 @@ fn rebuild(
         }
     }
 
-    let unacked: Vec<(usize, TxnSeq)> = committed.difference(&acked).copied().collect();
+    // View managers: watermark kinds re-initialize at their highest
+    // installed AL's source cut; replay kinds re-consume their logged
+    // delivery sequence from genesis, re-collecting whatever they emit
+    // that the crashed run still had in flight.
+    let zero = UpdateId::ZERO;
+    let mut vms: BTreeMap<ViewId, Box<dyn ViewManager>> = BTreeMap::new();
+    let mut vm_requeue_actions: Vec<(ViewId, ActionListDelta)> = Vec::new();
+    let mut vm_requeue_queries: Vec<(ViewId, QueryToken, QueryRequest)> = Vec::new();
+    for e in registry.iter() {
+        let g = partitioning.group_of_view(e.id).unwrap_or(0);
+        let mut vm = e.kind.build(e.id, e.def.clone()).map_err(SimError::Vm)?;
+        let watermark = installed_al.get(&e.id).copied().unwrap_or(zero);
+        if replayed_views.contains(&e.id) {
+            let by_id: BTreeMap<UpdateId, usize> = route_lists[g]
+                .iter()
+                .enumerate()
+                .map(|(i, (id, _, _))| (*id, i))
+                .collect();
+            let mut outstanding: BTreeMap<QueryToken, QueryRequest> = BTreeMap::new();
+            for ev in replay.remove(&e.id).unwrap_or_default() {
+                let outs = match ev {
+                    ReplayEvent::Update(id) => {
+                        let &at = by_id
+                            .get(&id)
+                            .ok_or(RecoveryError::MissingRoutedPayload { view: e.id, id })?;
+                        vm.handle(VmEvent::Update(route_lists[g][at].1.clone()))
+                    }
+                    ReplayEvent::Answer(token, answer) => {
+                        outstanding.remove(&token);
+                        vm.handle(VmEvent::Answer { token, answer })
+                    }
+                    ReplayEvent::Flush => vm.handle(VmEvent::Flush),
+                }
+                .map_err(SimError::from)?;
+                for o in outs {
+                    match o {
+                        // ALs at or below the install watermark reached
+                        // the merge process pre-crash (and fed it via
+                        // `ActionInstalled` replay above); later ones
+                        // were in flight and must be re-enqueued.
+                        VmOutput::Action(al) => {
+                            if al.last > watermark {
+                                vm_requeue_actions.push((e.id, al));
+                            }
+                        }
+                        VmOutput::Query { token, request } => {
+                            outstanding.insert(token, request);
+                        }
+                    }
+                }
+            }
+            for (token, request) in outstanding {
+                vm_requeue_queries.push((e.id, token, request));
+            }
+        } else if watermark > zero {
+            let cut = group_updates[g]
+                .get(&watermark)
+                .copied()
+                .expect("AL watermark maps to a routed update");
+            vm.initialize(&cluster.as_of(cut)).map_err(SimError::from)?;
+        }
+        vms.insert(e.id, vm);
+    }
+
+    let unacked: Vec<(usize, TxnSeq)> = unacked_set.into_iter().collect();
     Ok(RecoveredState {
         integrator,
         warehouse,
         mps,
+        vms,
         guarantees,
         group_views,
         commit_log,
@@ -325,6 +525,10 @@ fn rebuild(
         pending,
         unacked,
         last_logged_src,
+        replayed_views,
+        delivered,
+        vm_requeue_actions,
+        vm_requeue_queries,
     })
 }
 

@@ -64,6 +64,22 @@ impl ManagerKind {
             ManagerKind::CompleteN { n } => Box::new(CompleteNVm::new(id, def, n)),
         })
     }
+
+    /// Whether crash recovery must rebuild this kind by replaying its
+    /// logged delivery sequence from genesis instead of re-initializing a
+    /// fresh manager at its install watermark.
+    ///
+    /// Watermark re-initialization is exact for kinds whose state is a
+    /// pure function of the source cut at the highest installed action
+    /// list (`Complete`, `CompleteN`, `SelfMaintaining`, `Periodic`, and
+    /// `Eca`, whose compensating queries complete before the covering AL
+    /// is released). `Strobe` carries compensation bookkeeping for
+    /// in-flight queries and `Convergent` carries accumulated estimate
+    /// drift — neither is derivable from a watermark, so their managers
+    /// log every delivered event and recovery replays that sequence.
+    pub fn needs_delivery_replay(self) -> bool {
+        matches!(self, ManagerKind::Strobe | ManagerKind::Convergent { .. })
+    }
 }
 
 /// One registered view.

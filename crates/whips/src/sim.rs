@@ -27,7 +27,7 @@ use mvc_core::{
     MergeStats, Partitioning, TxnSeq, UpdateId, ViewId,
 };
 use mvc_durability::{
-    CheckpointState, CommitRecord, DurabilityConfig, WalError, WalRecord, WalWriter,
+    CheckpointState, CommitRecord, DurabilityConfig, RoutedUpdate, WalError, WalRecord, WalWriter,
 };
 use mvc_readpath::{ReadObservation, ReadSession, VersionedCuts};
 use mvc_relational::{Delta, EvalError, RelationName, Schema, ViewDef};
@@ -300,6 +300,26 @@ struct InstallSpec {
 }
 
 /// Builder for a simulation.
+///
+/// ```
+/// use mvc_whips::workload::{generate, install_relations, install_views};
+/// use mvc_whips::{ManagerKind, Oracle, SimBuilder, SimConfig, ViewSuite, WorkloadSpec};
+///
+/// let spec = WorkloadSpec {
+///     seed: 7,
+///     relations: 3,
+///     updates: 12,
+///     key_domain: 6,
+///     delete_percent: 25,
+///     multi_percent: 0,
+/// };
+/// let w = generate(&spec);
+/// let b = install_relations(SimBuilder::new(SimConfig::default()), spec.relations);
+/// let (b, _views) = install_views(b, ViewSuite::OverlappingChain { count: 2 }, ManagerKind::Complete);
+/// let report = b.workload(w.txns).run().unwrap();
+/// assert!(report.metrics.commits > 0);
+/// Oracle::new(&report).unwrap().assert_ok();
+/// ```
 pub struct SimBuilder {
     config: SimConfig,
     cluster: SourceCluster,
@@ -571,6 +591,17 @@ pub(crate) struct Sim {
     commits_since_checkpoint: u64,
     /// Checkpoint cadence from the durability config (0 = never).
     checkpoint_every: u64,
+    /// Durable mode: every routing decision with its shared payload —
+    /// the checkpoint's self-contained routing history.
+    durable_routes: Vec<RoutedUpdate>,
+    /// Durable mode: per-group highest REL id delivered to the engine.
+    installed_rel: Vec<UpdateId>,
+    /// Durable mode: per-view highest `AL.last` delivered to the engine.
+    installed_al: BTreeMap<ViewId, UpdateId>,
+    /// Views whose manager kind needs delivery-replay recovery: every
+    /// event delivered to them is logged as a `Vm*Delivered` record (and
+    /// WAL compaction is disabled — replay starts at genesis).
+    snapshot_logged: BTreeSet<ViewId>,
     /// MVCC version store: every commit publishes its changed views here.
     cuts: VersionedCuts,
     /// Reader workload sessions (scheduler participants).
@@ -737,13 +768,26 @@ impl Sim {
 
         let mut wal = None;
         let mut checkpoint_every = 0;
+        let mut snapshot_logged = BTreeSet::new();
         if let Some(d) = &b.config.durability {
             if !b.installs.is_empty() {
                 return Err(SimError::Unsupported(
                     "dynamic view installs are not supported in durable mode".into(),
                 ));
             }
-            wal = Some(WalWriter::create(d)?);
+            let mut w = WalWriter::create(d)?;
+            // Delivery-replay kinds (Strobe/Convergent) need the full
+            // event history from genesis, so their presence pins every
+            // segment: compaction off, delivery logging on.
+            for e in b.registry.iter() {
+                if e.kind.needs_delivery_replay() {
+                    snapshot_logged.insert(e.id);
+                }
+            }
+            if !snapshot_logged.is_empty() {
+                w.set_compaction(false);
+            }
+            wal = Some(w);
             checkpoint_every = d.checkpoint_every;
             for mp in &mut mps {
                 mp.enable_paint_events();
@@ -783,6 +827,10 @@ impl Sim {
             wal,
             commits_since_checkpoint: 0,
             checkpoint_every,
+            durable_routes: Vec::new(),
+            installed_rel: vec![UpdateId::ZERO; groups],
+            installed_al: BTreeMap::new(),
+            snapshot_logged,
             cuts,
             reader_sessions,
             reader_views,
@@ -978,6 +1026,7 @@ impl Sim {
     fn into_report(mut self) -> Result<SimReport, SimError> {
         if let Some(w) = self.wal.as_mut() {
             w.finalize()?;
+            self.metrics.wal_fsyncs = w.fsyncs();
         }
         let merge_stats = self.mps.iter().map(MergeProcess::stats).collect();
         let commit_stats = self.mps.iter().map(MergeProcess::commit_stats).collect();
@@ -1114,6 +1163,17 @@ impl Sim {
                 for r in routings {
                     self.group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
                     self.uncovered[r.group].insert(r.numbered.id, ());
+                    if self.wal.is_some() {
+                        // Mirror of the WAL's routing stream, kept so the
+                        // next checkpoint is self-contained (shares the
+                        // payload Arc — no tuple copies).
+                        self.durable_routes.push(RoutedUpdate {
+                            group: r.group as u64,
+                            id: r.numbered.id,
+                            update: Arc::clone(&r.numbered.update),
+                            rel: r.rel.clone(),
+                        });
+                    }
                     self.send(
                         Chan::IntToMp(r.group),
                         Msg::Rel(r.numbered.id, r.rel.clone()),
@@ -1126,6 +1186,12 @@ impl Sim {
                 }
             }
             (Chan::IntToVm(v), Msg::Update(u)) => {
+                // Delivery-replay managers log every delivered event
+                // (log-ahead, like every other record) so recovery can
+                // re-run their exact input sequence.
+                if self.snapshot_logged.contains(&v) {
+                    self.log(&WalRecord::VmUpdateDelivered { view: v, id: u.id })?;
+                }
                 self.vm_pending.insert((v, u.id), self.metrics.steps);
                 let outs = self
                     .vms
@@ -1135,6 +1201,9 @@ impl Sim {
                 self.route_vm_outputs(v, outs);
             }
             (Chan::IntToVm(v), Msg::Flush) => {
+                if self.snapshot_logged.contains(&v) {
+                    self.log(&WalRecord::VmFlushDelivered { view: v })?;
+                }
                 let outs = self
                     .vms
                     .get_mut(&v)
@@ -1143,6 +1212,16 @@ impl Sim {
                 self.route_vm_outputs(v, outs);
             }
             (Chan::IntToVm(v), Msg::Answer(token, answer)) => {
+                if self.snapshot_logged.contains(&v) {
+                    // By value: re-asking the sources post-crash would
+                    // observe a different state than the manager
+                    // compensated for.
+                    self.log(&WalRecord::VmAnswerDelivered {
+                        view: v,
+                        token,
+                        answer: answer.clone(),
+                    })?;
+                }
                 let outs = self
                     .vms
                     .get_mut(&v)
@@ -1178,6 +1257,8 @@ impl Sim {
                         group: g as u64,
                         al: al.clone(),
                     })?;
+                    let w = self.installed_al.entry(al.view).or_insert(UpdateId::ZERO);
+                    *w = (*w).max(al.last);
                 }
                 let released = self.mps[g].on_action(al)?;
                 self.sample_vut(g);
@@ -1191,6 +1272,7 @@ impl Sim {
                         id,
                         rel: rel.clone(),
                     })?;
+                    self.installed_rel[g] = self.installed_rel[g].max(id);
                 }
                 let released = self.mps[g].on_rel(id, rel)?;
                 self.sample_vut(g);
@@ -1206,6 +1288,8 @@ impl Sim {
                         group: g as u64,
                         al: al.clone(),
                     })?;
+                    let w = self.installed_al.entry(al.view).or_insert(UpdateId::ZERO);
+                    *w = (*w).max(al.last);
                 }
                 let released = self.mps[g].on_action(al)?;
                 self.sample_vut(g);
@@ -1517,6 +1601,13 @@ impl Sim {
     /// Emit a checkpoint record every `checkpoint_every` commits. Written
     /// immediately after the triggering `TxnCommitted`, so every engine
     /// input that produced the checkpointed state precedes it in the log.
+    ///
+    /// The checkpoint is self-contained (routing history, watermarks,
+    /// in-flight transactions, counters — see `CheckpointState`), which is
+    /// what licenses the WAL to compact segments below its anchor. On
+    /// this single-threaded runtime every logged record's transition has
+    /// been applied by now, so all anchors sit at the checkpoint record's
+    /// own index.
     fn maybe_checkpoint(&mut self) -> Result<(), SimError> {
         if self.wal.is_none() || self.checkpoint_every == 0 {
             return Ok(());
@@ -1526,6 +1617,35 @@ impl Sim {
             return Ok(());
         }
         self.commits_since_checkpoint = 0;
+        // In-flight transactions, read off the channel queues exactly: a
+        // released-but-uncommitted txn sits on an MP→WH queue (or in the
+        // chaos reorder buffer), a committed-but-unacked ack on WH→MP.
+        let mut pending: Vec<(u64, StoreTxn)> = Vec::new();
+        let mut unacked: Vec<(u64, TxnSeq)> = Vec::new();
+        for (chan, q) in &self.channels {
+            match chan {
+                Chan::MpToWh(g) => {
+                    for (_, m) in q {
+                        if let Msg::Txn(t) = m {
+                            pending.push((*g as u64, t.clone()));
+                        }
+                    }
+                }
+                Chan::WhToMp(g) => {
+                    for (_, m) in q {
+                        if let Msg::Committed(s) = m {
+                            unacked.push((*g as u64, *s));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (g, t) in &self.reorder_buf {
+            pending.push((*g as u64, t.clone()));
+        }
+        let (next_id, received, dropped) = self.integrator.counters();
+        let anchor = self.wal.as_ref().expect("durable mode").next_index();
         let ck = CheckpointState {
             warehouse: self.warehouse.snapshot(),
             merges: self.mps.iter().map(MergeProcess::snapshot).collect(),
@@ -1539,20 +1659,30 @@ impl Sim {
                     views: e.views.clone(),
                 })
                 .collect(),
+            route_lists: self.durable_routes.clone(),
+            installed_rel: self.installed_rel.clone(),
+            installed_al: self.installed_al.iter().map(|(&v, &w)| (v, w)).collect(),
+            pending,
+            unacked,
+            last_logged_src: self.last_processed_seq,
+            next_id,
+            received,
+            dropped,
+            merge_anchors: vec![anchor; self.mps.len()],
+            routing_anchor: anchor,
         };
         self.log(&WalRecord::Checkpoint(Box::new(ck)))
     }
 
     /// Reconstruct a mid-flight simulation from recovered state (see
-    /// `recovery::recover_and_run`): engines, warehouse and bookkeeping
-    /// come from the WAL scan; view managers are rebuilt fresh and
-    /// initialized at their last logged AL watermark; every message that
-    /// was in flight (or lost with the log tail) is re-enqueued. The
-    /// resumed run does not re-log (single-recovery model).
+    /// `recovery::recover_and_run`): engines, warehouse, view managers
+    /// and bookkeeping come from the WAL scan; every message that was in
+    /// flight (or lost with the log tail) is re-enqueued. The resumed run
+    /// does not re-log (single-recovery model).
     pub(crate) fn resume(
         mut config: SimConfig,
         cluster: SourceCluster,
-        state: crate::recovery::RecoveredState,
+        mut state: crate::recovery::RecoveredState,
         remaining: Vec<WorkloadTxn>,
     ) -> Result<Self, SimError> {
         config.durability = None;
@@ -1585,15 +1715,40 @@ impl Sim {
         let zero = UpdateId::ZERO;
         for (g, views) in state.group_views.iter().enumerate() {
             for &v in views {
-                let watermark = *state.installed_al.get(&v).unwrap_or(&zero);
-                for (id, numbered, rel) in &state.route_lists[g] {
-                    if rel.contains(&v) && *id > watermark {
-                        // seal: re-delivery shares the routed payload's
-                        // Arc handle, never the tuple data
-                        push(Chan::IntToVm(v), Msg::Update(numbered.clone()));
+                if state.replayed_views.contains(&v) {
+                    // Delivery-replay views: everything routed to the
+                    // view but not in its durable delivery log was in
+                    // flight when the crash hit — re-deliver in id order.
+                    let del = state.delivered.get(&v);
+                    for (id, numbered, rel) in &state.route_lists[g] {
+                        if rel.contains(&v) && !del.is_some_and(|d| d.contains(id)) {
+                            // seal: re-delivery fan-out clones the Arc
+                            // handle, never the tuple payload.
+                            push(Chan::IntToVm(v), Msg::Update(numbered.clone()));
+                        }
+                    }
+                } else {
+                    let watermark = *state.installed_al.get(&v).unwrap_or(&zero);
+                    for (id, numbered, rel) in &state.route_lists[g] {
+                        if rel.contains(&v) && *id > watermark {
+                            // seal: re-delivery shares the routed
+                            // payload's Arc handle, never the tuple data
+                            push(Chan::IntToVm(v), Msg::Update(numbered.clone()));
+                        }
                     }
                 }
             }
+        }
+
+        // What the delivery replay re-emitted and the crashed run still
+        // had in flight: action lists back onto VM→MP, unanswered queries
+        // back onto VM→QS (the answer rides src→int→vm FIFO behind every
+        // re-enqueued update, preserving the compensation ordering).
+        for (v, al) in std::mem::take(&mut state.vm_requeue_actions) {
+            push(Chan::VmToMp(v), Msg::Action(al));
+        }
+        for (v, token, request) in std::mem::take(&mut state.vm_requeue_queries) {
+            push(Chan::VmToQs(v), Msg::Query(token, request));
         }
 
         // Released-but-uncommitted transactions go straight back to the
@@ -1632,26 +1787,10 @@ impl Sim {
             open_updates.insert(seq, Some(n));
         }
 
-        // Fresh view managers initialized at their durable watermark (the
-        // recovery scan rejects stateful manager kinds).
-        let mut vms: BTreeMap<ViewId, Box<dyn ViewManager>> = BTreeMap::new();
-        for e in state.integrator.registry().iter() {
-            let mut vm = e.kind.build(e.id, e.def.clone())?;
-            let g = state
-                .integrator
-                .partitioning()
-                .group_of_view(e.id)
-                .unwrap_or(0);
-            let watermark = *state.installed_al.get(&e.id).unwrap_or(&zero);
-            if watermark > zero {
-                let cut = state.group_updates[g]
-                    .get(&watermark)
-                    .copied()
-                    .expect("AL watermark maps to a routed update");
-                vm.initialize(&cluster.as_of(cut))?;
-            }
-            vms.insert(e.id, vm);
-        }
+        // View managers come ready-made from the recovery scan: watermark
+        // kinds re-initialized at their durable AL watermark, delivery-
+        // replay kinds rebuilt from their logged event sequence.
+        let vms = std::mem::take(&mut state.vms);
 
         let workload: VecDeque<DriverAction> =
             remaining.into_iter().map(DriverAction::Txn).collect();
@@ -1702,6 +1841,10 @@ impl Sim {
             wal: None,
             commits_since_checkpoint: 0,
             checkpoint_every: 0,
+            durable_routes: Vec::new(),
+            installed_rel: vec![UpdateId::ZERO; groups],
+            installed_al: BTreeMap::new(),
+            snapshot_logged: BTreeSet::new(),
             // Durable (and therefore resumed) runs are always unsharded.
             shard_state: None,
             cuts,

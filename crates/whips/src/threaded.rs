@@ -29,9 +29,13 @@ use crate::shard::{
 use crate::sim::{CommitLogEntry, SimError, SimReport};
 use mvc_core::lock::AuditedMutex;
 use mvc_core::{
-    CommitPolicy, ConsistencyLevel, MergeAlgorithm, MergeProcess, TxnSeq, UpdateId, ViewId,
+    CommitPolicy, ConsistencyLevel, MergeAlgorithm, MergeProcess, MergeSnapshot, TxnSeq, UpdateId,
+    ViewId,
 };
-use mvc_durability::{DurabilityConfig, WalRecord, WalWriter};
+use mvc_durability::{
+    CheckpointState, CommitRecord, DurabilityConfig, FlushTicket, RoutedUpdate, WalRecord,
+    WalWriter,
+};
 use mvc_relational::{Delta, RelationName, Schema, ViewDef};
 use mvc_source::{GlobalSeq, SourceCluster, SourceId};
 use mvc_viewmgr::{
@@ -89,11 +93,19 @@ pub struct ThreadedConfig {
     /// send time, so without the sampler the gauges never see idle-time
     /// decay; `ZERO` disables the sampler thread.
     pub depth_sample_interval: Duration,
-    /// Write-ahead logging + crash injection. The threaded runtime logs
-    /// but never checkpoints (merge state lives inside the MP threads),
-    /// so recovery replays from the log start. WAL errors never stop the
-    /// pipeline here — use `KillMode::Drop` faults, which model a machine
-    /// that keeps computing while nothing more reaches the disk.
+    /// Write-ahead logging + crash injection. With `checkpoint_every > 0`
+    /// the committer thread coordinates a checkpoint round every N
+    /// commits (unsharded, zero `commit_delay` runs): each merge process
+    /// and the integrator reply with a state snapshot plus a WAL anchor
+    /// taken at their own point in the log, the coordinator classifies
+    /// in-flight transactions against the commit log and appends a
+    /// self-contained [`CheckpointState`] — so recovery restores the
+    /// newest checkpoint and replays only each component's tail. With
+    /// `fsync_deadline` set, committers park on a shared [`FlushTicket`]
+    /// and one leader fsyncs for the whole window before any of them
+    /// acks (group commit). WAL errors never stop the pipeline here —
+    /// use `KillMode::Drop` faults, which model a machine that keeps
+    /// computing while nothing more reaches the disk.
     pub durability: Option<DurabilityConfig>,
     /// Thread-level fault injection, for tests of the shutdown paths.
     pub fault: Option<ThreadFault>,
@@ -437,8 +449,40 @@ enum MpMsg {
     /// concurrently-routed `Rels` queue behind it.
     Action(ActionListDelta, Stamp),
     Committed(TxnSeq, Stamp),
+    /// Checkpoint round (see the coordinator in the committer thread):
+    /// reply with this group's merge snapshot, retained transactions and
+    /// WAL anchor, taken at this point in the group's own FIFO.
+    Checkpoint(crossbeam::channel::Sender<MpCkSnapshot>),
     Flush,
     Stop,
+}
+
+/// A merge process's half of a threaded checkpoint round. The anchor is
+/// the WAL's next absolute record index read while handling the
+/// [`MpMsg::Checkpoint`] message: every record this MP logged before the
+/// snapshot has a smaller index and is reflected in `merge`; everything
+/// at or above it must be replayed into the restored engine.
+struct MpCkSnapshot {
+    merge: MergeSnapshot<Delta>,
+    /// Released transactions not yet acked back to this MP — the
+    /// coordinator classifies them against the commit log into
+    /// released-but-uncommitted vs committed-but-unacked.
+    retained: Vec<StoreTxn>,
+    installed_rel: UpdateId,
+    installed_al: Vec<(ViewId, UpdateId)>,
+    anchor: u64,
+}
+
+/// The integrator's half of a threaded checkpoint round: routing history
+/// from genesis, allocation counters, and the `SourceUpdate` replay
+/// anchor (same contract as [`MpCkSnapshot::anchor`]).
+struct IntCkSnapshot {
+    route_lists: Vec<RoutedUpdate>,
+    next_id: Vec<UpdateId>,
+    received: u64,
+    dropped: u64,
+    last_logged_src: GlobalSeq,
+    anchor: u64,
 }
 
 enum IntMsg {
@@ -446,6 +490,8 @@ enum IntMsg {
     /// across batches (sealed and sent under the batcher lock).
     Updates(Vec<SrcItem>),
     AnswerFor(ViewId, QueryToken, QueryAnswer, Stamp),
+    /// Checkpoint round: reply with the routing history and counters.
+    Checkpoint(crossbeam::channel::Sender<IntCkSnapshot>),
     Stop,
 }
 
@@ -764,7 +810,29 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                 WalWriter::create(d)?,
             )));
         }
+        // Strobe/Convergent recovery replays logged deliveries from
+        // genesis, so checkpoint-anchored compaction must never unlink
+        // the log's prefix while such a view is registered.
+        if reg.iter().any(|e| e.kind.needs_delivery_replay()) {
+            for w in &wals {
+                w.lock().set_compaction(false);
+            }
+        }
     }
+    // Group commit: one flush ticket per WAL stream; committers enroll
+    // after appending and one leader fsyncs for everyone in the window.
+    let flush_window = config.durability.as_ref().and_then(|d| d.fsync_deadline);
+    let flush_tickets: Vec<Arc<FlushTicket>> =
+        (0..shards).map(|_| Arc::new(FlushTicket::new())).collect();
+    // Threaded checkpoint rounds: coordinated by the (single) committer
+    // on the unsharded, zero-commit-delay path only — the round's
+    // request/reply legs assume one committer classifying a stable
+    // commit log.
+    let checkpoint_every = if sharded || !config.commit_delay.is_zero() {
+        0
+    } else {
+        config.durability.as_ref().map_or(0, |d| d.checkpoint_every)
+    };
 
     // Per-thread observability: every thread records latencies into its
     // own PipelineObs (no lock on the hot path) and pushes it here on
@@ -835,6 +903,13 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let flight = flight.clone();
         let obs_parts = obs_parts.clone();
         let audit = audit.clone();
+        // Delivery-replay views (Strobe/Convergent) log every delivered
+        // event *before* handling it — log-ahead, so any consequent
+        // `ActionInstalled` lands later in the WAL — and recovery replays
+        // the per-view subsequence from genesis.
+        let wal = wals.get(topology.shard_of(g)).cloned();
+        let log_deliveries =
+            wal.is_some() && reg.get(id).is_some_and(|e| e.kind.needs_delivery_replay());
         handles.push(std::thread::spawn(move || -> Result<(), String> {
             let mut obs = PipelineObs::new("ns");
             let mut hbc = HbClock::new(10 + id.0);
@@ -847,17 +922,41 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                         audit.recv(&mut hbc, &stamp);
                         for (u, sent) in batch {
                             obs.int_routing.record(sent.elapsed().as_nanos() as u64);
+                            if log_deliveries {
+                                if let Some(w) = &wal {
+                                    let _ = w.lock().append(&WalRecord::VmUpdateDelivered {
+                                        view: id,
+                                        id: u.id,
+                                    });
+                                }
+                            }
                             events.push(VmEvent::Update(u));
                         }
                     }
                     VmMsg::Answer(t, a, stamp) => {
                         audit.recv(&mut hbc, &stamp);
+                        if log_deliveries {
+                            if let Some(w) = &wal {
+                                let _ = w.lock().append(&WalRecord::VmAnswerDelivered {
+                                    view: id,
+                                    token: t,
+                                    answer: a.clone(),
+                                });
+                            }
+                        }
                         events.push(VmEvent::Answer {
                             token: t,
                             answer: a,
                         });
                     }
-                    VmMsg::Flush => events.push(VmEvent::Flush),
+                    VmMsg::Flush => {
+                        if log_deliveries {
+                            if let Some(w) = &wal {
+                                let _ = w.lock().append(&WalRecord::VmFlushDelivered { view: id });
+                            }
+                        }
+                        events.push(VmEvent::Flush);
+                    }
                     VmMsg::Stop => break,
                 }
                 for event in events {
@@ -941,6 +1040,12 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             // AL arrival times, keyed like the simulator's merge-hold map:
             // (view, last covered update) identifies the list inside a WT.
             let mut al_recv: BTreeMap<(ViewId, UpdateId), Instant> = BTreeMap::new();
+            // Checkpoint bookkeeping (durable runs): released transactions
+            // awaiting their ack, and the install watermarks the recovery
+            // gating needs.
+            let mut retained: BTreeMap<TxnSeq, StoreTxn> = BTreeMap::new();
+            let mut installed_rel = UpdateId::ZERO;
+            let mut installed_al: BTreeMap<ViewId, UpdateId> = BTreeMap::new();
             while let Ok(msg) = rx.recv() {
                 // Span stretches over every wakeup (including the drain's
                 // Flush rounds), so concurrently-live groups overlap.
@@ -957,6 +1062,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                     id: i,
                                     rel: rel.clone(),
                                 });
+                                installed_rel = installed_rel.max(i);
                             }
                             released.extend(mp.on_rel(i, rel).map_err(|e| e.to_string())?);
                         }
@@ -970,6 +1076,8 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                 group: g as u64,
                                 al: al.clone(),
                             });
+                            let e = installed_al.entry(al.view).or_insert(UpdateId::ZERO);
+                            *e = (*e).max(al.last);
                         }
                         mp.on_action(al).map_err(|e| e.to_string())?
                     }
@@ -981,7 +1089,22 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                 seq,
                             });
                         }
+                        retained.remove(&seq);
                         mp.on_committed(seq)
+                    }
+                    MpMsg::Checkpoint(reply) => {
+                        // Anchor read at this point in the group's FIFO:
+                        // everything this MP logged before has a smaller
+                        // absolute index and is reflected in the snapshot.
+                        let anchor = wal.as_ref().map_or(0, |w| w.lock().next_index());
+                        let _ = reply.send(MpCkSnapshot {
+                            merge: mp.snapshot(),
+                            retained: retained.values().cloned().collect(),
+                            installed_rel,
+                            installed_al: installed_al.iter().map(|(v, w)| (*v, *w)).collect(),
+                            anchor,
+                        });
+                        Vec::new()
                     }
                     MpMsg::Flush => mp.flush(),
                     MpMsg::Stop => break,
@@ -1011,12 +1134,14 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                     }
                     // Full payload, logged before the send: once this hits
                     // the disk the transaction survives a crash even if the
-                    // committer never sees it.
+                    // committer never sees it. Retained until the ack comes
+                    // back, so a checkpoint round can classify it.
                     if let Some(w) = &wal {
                         let _ = w.lock().append(&WalRecord::GroupReleased {
                             group: g as u64,
                             txn: t.clone(),
                         });
+                        retained.insert(t.seq, t.clone());
                     }
                     flight.up();
                     let _ = wh_tx.send(WhMsg::Txn(g, t, Instant::now(), audit.stamp(&mut hbc)));
@@ -1112,6 +1237,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             let shard_wh = stores[s].clone();
             let shard_log = shard_logs[s].clone();
             let shard_wal = wals.get(s).cloned();
+            let ticket = flush_tickets[s].clone();
             let cuts = shard_cuts[s].clone();
             let mp_txs = mp_txs.clone();
             let flight = flight.clone();
@@ -1168,6 +1294,14 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                             };
                             obs.commit_apply
                                 .record(released.elapsed().as_nanos() as u64);
+                            // Group commit: this shard's TxnCommitted is
+                            // durable before its ack leaves the committer.
+                            // Concurrent shard committers share one ticket
+                            // per shard stream, so each fsync covers every
+                            // record batched behind the flush leader.
+                            if let (Some(window), Some(l)) = (flush_window, &shard_wal) {
+                                let _ = ticket.wait_flush(window, || l.lock().flush());
+                            }
                             flight.up();
                             let _ = mp_txs[g].send(MpMsg::Committed(txn.seq, ack));
                             obs.note_depth("wh_to_mp", mp_txs[g].len() as u64);
@@ -1185,10 +1319,12 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
         let warehouse = stores[0].clone();
         let commit_log = shard_logs[0].clone();
         let mp_txs = mp_txs.clone();
+        let int_tx = int_tx.clone();
         let flight = flight.clone();
         let delay = config.commit_delay;
         let obs_parts = obs_parts.clone();
         let wal = wals.first().cloned();
+        let ticket = flush_tickets[0].clone();
         let audit = audit.clone();
         let cuts = shard_cuts[0].clone();
         handles.push(std::thread::spawn(move || -> Result<(), String> {
@@ -1200,6 +1336,98 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             // policies, so concurrent workers are safe.
             let mut workers = Vec::new();
             let mut local_obs = PipelineObs::new("ns");
+            // Commits applied since the committer last wrote a checkpoint
+            // (only this thread touches it; Cell keeps the closures Fn).
+            let commits_since_ck = std::cell::Cell::new(0u64);
+            // Checkpoint round (§ durable threaded runtime): ask every
+            // merge process, then the integrator, for a state snapshot
+            // through their own FIFOs, then assemble a CheckpointState
+            // under the warehouse+commit-log locks and append it. The
+            // round runs while this committer still holds undrained Txn
+            // messages in flight, so the driver cannot observe quiescence
+            // and Stop the processes mid-round.
+            let checkpoint_round = || -> Result<(), String> {
+                let mut waiting = Vec::with_capacity(mp_txs.len());
+                for tx in mp_txs.iter() {
+                    let (rtx, rrx) = crossbeam::channel::unbounded();
+                    flight.up();
+                    let _ = tx.send(MpMsg::Checkpoint(rtx));
+                    waiting.push(rrx);
+                }
+                let mut mp_snaps = Vec::with_capacity(waiting.len());
+                for rrx in waiting {
+                    mp_snaps.push(
+                        rrx.recv()
+                            .map_err(|_| "merge process exited mid-checkpoint".to_string())?,
+                    );
+                }
+                let (rtx, rrx) = crossbeam::channel::unbounded();
+                flight.up();
+                let _ = int_tx.send(IntMsg::Checkpoint(rtx));
+                let int_snap = rrx
+                    .recv()
+                    .map_err(|_| "integrator exited mid-checkpoint".to_string())?;
+                let ck = {
+                    // Same lock order as commit_run: warehouse, then log.
+                    let w = warehouse.lock();
+                    let log = commit_log.lock();
+                    // This thread is the only committer, so the commit log
+                    // has not moved since the snapshots above: a retained
+                    // txn present in the log is committed-but-unacked,
+                    // anything else is released-but-uncommitted.
+                    let committed: BTreeSet<(usize, TxnSeq)> =
+                        log.iter().map(|e| (e.group, e.seq)).collect();
+                    let mut pending = Vec::new();
+                    let mut unacked = Vec::new();
+                    let mut merges = Vec::with_capacity(mp_snaps.len());
+                    let mut installed_rel = Vec::with_capacity(mp_snaps.len());
+                    let mut installed_al = Vec::new();
+                    let mut merge_anchors = Vec::with_capacity(mp_snaps.len());
+                    for (g, snap) in mp_snaps.into_iter().enumerate() {
+                        for t in snap.retained {
+                            if committed.contains(&(g, t.seq)) {
+                                unacked.push((g as u64, t.seq));
+                            } else {
+                                pending.push((g as u64, t));
+                            }
+                        }
+                        merges.push(snap.merge);
+                        installed_rel.push(snap.installed_rel);
+                        installed_al.extend(snap.installed_al);
+                        merge_anchors.push(snap.anchor);
+                    }
+                    CheckpointState {
+                        warehouse: w.snapshot(),
+                        merges,
+                        commit_log: log
+                            .iter()
+                            .map(|e| CommitRecord {
+                                group: e.group as u64,
+                                seq: e.seq,
+                                rows: e.rows.clone(),
+                                views: e.views.clone(),
+                            })
+                            .collect(),
+                        route_lists: int_snap.route_lists,
+                        installed_rel,
+                        installed_al,
+                        pending,
+                        unacked,
+                        last_logged_src: int_snap.last_logged_src,
+                        next_id: int_snap.next_id,
+                        received: int_snap.received,
+                        dropped: int_snap.dropped,
+                        merge_anchors,
+                        routing_anchor: int_snap.anchor,
+                    }
+                };
+                if let Some(l) = &wal {
+                    // The append also compacts dead segments when the log
+                    // is rotated with compaction enabled.
+                    let _ = l.lock().append(&WalRecord::Checkpoint(Box::new(ck)));
+                }
+                Ok(())
+            };
             // Group commit (zero commit latency): drain whatever releases
             // are already queued behind the first and apply the whole run
             // under ONE warehouse-lock acquisition. WAL `TxnCommitted`
@@ -1261,6 +1489,24 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                     }
                     acks
                 };
+                // Group commit: every TxnCommitted appended above is
+                // durable before any ack leaves this committer. The
+                // leader holds the flush window open so records from
+                // concurrently-arriving runs share one fsync.
+                if let (Some(window), Some(l)) = (flush_window, &wal) {
+                    let _ = ticket.wait_flush(window, || l.lock().flush());
+                }
+                // Periodic checkpoint, before the acks ship: the consumed
+                // Txn messages keep `flight` nonzero for the whole round.
+                if checkpoint_every > 0 && wal.is_some() {
+                    let n = commits_since_ck.get() + run.len() as u64;
+                    if n >= checkpoint_every {
+                        commits_since_ck.set(0);
+                        checkpoint_round()?;
+                    } else {
+                        commits_since_ck.set(n);
+                    }
+                }
                 for (g, seq, ack) in acks {
                     flight.up();
                     let _ = mp_txs[g].send(MpMsg::Committed(seq, ack));
@@ -1301,6 +1547,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                             let mp_tx = mp_txs[g].clone();
                             let flight = flight.clone();
                             let wal = wal.clone();
+                            let ticket = ticket.clone();
                             let audit = audit.clone();
                             let obs_parts = obs_parts.clone();
                             let cuts = cuts.clone();
@@ -1338,6 +1585,12 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                 };
                                 obs.commit_apply
                                     .record(released.elapsed().as_nanos() as u64);
+                                // Group commit across concurrent workers:
+                                // the flush leader's fsync covers every
+                                // TxnCommitted batched behind it.
+                                if let (Some(window), Some(l)) = (flush_window, &wal) {
+                                    let _ = ticket.wait_flush(window, || l.lock().flush());
+                                }
                                 flight.up();
                                 let _ = mp_tx.send(MpMsg::Committed(txn.seq, ack));
                                 obs.note_depth("wh_to_mp", mp_tx.len() as u64);
@@ -1391,6 +1644,10 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
             let mut group_updates: Vec<BTreeMap<UpdateId, GlobalSeq>> =
                 vec![BTreeMap::new(); ngroups];
             let mut routed: BTreeSet<GlobalSeq> = BTreeSet::new();
+            // Checkpoint bookkeeping (durable runs): routing history from
+            // genesis and the last source commit durably logged.
+            let mut durable_routes: Vec<RoutedUpdate> = Vec::new();
+            let mut last_logged_src = GlobalSeq::INITIAL;
             while let Ok(msg) = int_rx.recv() {
                 match msg {
                     IntMsg::Updates(batch) => {
@@ -1413,9 +1670,20 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                                 // so each log replays standalone.
                                 let _ = w.lock().append(&WalRecord::SourceUpdate(Arc::clone(&u)));
                             }
+                            if !wals.is_empty() {
+                                last_logged_src = last_logged_src.max(u.seq);
+                            }
                             for r in integrator.route(u) {
                                 routed.insert(r.numbered.seq());
                                 group_updates[r.group].insert(r.numbered.id, r.numbered.seq());
+                                if !wals.is_empty() {
+                                    durable_routes.push(RoutedUpdate {
+                                        group: r.group as u64,
+                                        id: r.numbered.id,
+                                        update: Arc::clone(&r.numbered.update),
+                                        rel: r.rel.clone(),
+                                    });
+                                }
                                 mp_out[r.group].push((
                                     r.numbered.id,
                                     r.rel.clone(),
@@ -1456,6 +1724,22 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
                         flight.up();
                         let _ =
                             vm_txs[&v].send(VmMsg::Answer(token, answer, audit.stamp(&mut hbc)));
+                        flight.down();
+                    }
+                    IntMsg::Checkpoint(reply) => {
+                        // Anchor at this point in the integrator FIFO:
+                        // every SourceUpdate this thread logged before has
+                        // a smaller index and is covered by route_lists.
+                        let anchor = wals.first().map_or(0, |w| w.lock().next_index());
+                        let (next_id, received, dropped) = integrator.counters();
+                        let _ = reply.send(IntCkSnapshot {
+                            route_lists: durable_routes.clone(),
+                            next_id,
+                            received,
+                            dropped,
+                            last_logged_src,
+                            anchor,
+                        });
                         flight.down();
                     }
                     IntMsg::Stop => break,
@@ -1981,6 +2265,7 @@ fn run_threaded(b: ThreadedBuilder) -> Result<(SimReport, WallClock), SimError> 
     let metrics = SimMetrics {
         injected,
         commits: commit_log.len() as u64,
+        wal_fsyncs: wals.iter().map(|w| w.lock().fsyncs()).sum(),
         ..SimMetrics::default()
     };
 
